@@ -1,0 +1,53 @@
+//! Parameterized query (bind join, the Figure 3.6 plan) vs. fetch-all +
+//! hash join, across outer cardinalities. Small outer → bind join sends
+//! few source queries and wins; large outer → per-tuple query overhead
+//! makes the hash join competitive (the §3.5 trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::planner::PlannerOptions;
+use medmaker_bench::scaled_mediator;
+use wrappers::workload::PersonWorkload;
+
+fn bench_bindjoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bindjoin");
+    group.sample_size(10);
+    let n = 600usize;
+    let workload = PersonWorkload::sized(n);
+    // Outer cardinality controlled by the query: a point query binds one
+    // outer row; the student-only view binds ~half; the whole view all.
+    let queries = [
+        (
+            "outer_1",
+            format!(
+                "X :- X:<cs_person {{<name '{}'>}}>@med",
+                PersonWorkload::full_name_of(10)
+            ),
+        ),
+        (
+            "outer_half",
+            "X :- X:<cs_person {<rel 'student'>}>@med".to_string(),
+        ),
+        ("outer_all", "X :- X:<cs_person {}>@med".to_string()),
+    ];
+    for (label, q) in &queries {
+        for (strategy, prefer) in [("bind_join", Some(true)), ("hash_join", Some(false))] {
+            let med = scaled_mediator(
+                &workload,
+                PlannerOptions {
+                    prefer_bind_join: prefer,
+                    ..Default::default()
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(*label, strategy), &strategy, |b, _| {
+                b.iter(|| {
+                    let res = med.query_text(q).unwrap();
+                    assert!(!res.top_level().is_empty());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bindjoin);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Capability restrictions (§3.5): when a source cannot evaluate a
+//! condition (whois/`year`), the condition stays in the mediator as a
+//! client-side filter. This measures the cost of that compensation vs. a
+//! fully capable source.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::{Mediator, MediatorOptions};
+use std::sync::Arc;
+use wrappers::scenario::MS1;
+use wrappers::workload::PersonWorkload;
+use wrappers::{Capabilities, RelationalWrapper, SemiStructuredWrapper};
+
+fn build(n: usize, restrict: bool) -> Mediator {
+    let w = PersonWorkload::sized(n);
+    let mut whois = SemiStructuredWrapper::new("whois", w.whois_store());
+    if restrict {
+        whois = whois.with_capabilities(
+            Capabilities::full().without_condition_on(oem::sym("year")),
+        );
+    }
+    Mediator::new(
+        "med",
+        MS1,
+        vec![
+            Arc::new(whois),
+            Arc::new(RelationalWrapper::new("cs", w.cs_catalog())),
+        ],
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+    .with_options(MediatorOptions::default())
+}
+
+fn bench_capabilities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capabilities");
+    group.sample_size(10);
+    let n = 800usize;
+    let q = "S :- S:<cs_person {<year 3>}>@med";
+    for (label, restrict) in [("full_capability", false), ("year_unsupported", true)] {
+        let med = build(n, restrict);
+        let expect = med.query_text(q).unwrap().top_level().len();
+        group.bench_with_input(BenchmarkId::new("year_query", label), &restrict, |b, _| {
+            b.iter(|| {
+                let res = med.query_text(q).unwrap();
+                assert_eq!(res.top_level().len(), expect);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_capabilities);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Duplicate elimination (footnote 9): MSL semantics require it; the
+//! paper's implementation lacked it. This measures its cost across
+//! duplication factors — both the binding-level dedup inside plans and the
+//! final structural dedup across result objects.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::planner::PlannerOptions;
+use medmaker::{Mediator, MediatorOptions};
+use std::sync::Arc;
+use wrappers::workload::duplicated_store;
+use wrappers::SemiStructuredWrapper;
+
+fn build(n_logical: usize, dup_factor: usize, dedup: bool) -> Mediator {
+    let store = duplicated_store(n_logical, dup_factor);
+    Mediator::new(
+        "m",
+        "<unique_person {<name N>}> :- <person {<name N>}>@dups",
+        vec![Arc::new(SemiStructuredWrapper::new("dups", store))],
+        medmaker::ExternalRegistry::new(),
+    )
+    .unwrap()
+    .with_options(MediatorOptions {
+        planner: PlannerOptions {
+            dedup,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+fn bench_dupelim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dupelim");
+    group.sample_size(10);
+    let n_logical = 200usize;
+    for dup_factor in [1usize, 2, 4, 8] {
+        for (label, dedup) in [("dedup_on", true), ("dedup_off", false)] {
+            let med = build(n_logical, dup_factor, dedup);
+            group.bench_with_input(
+                BenchmarkId::new(label, dup_factor),
+                &dup_factor,
+                |b, _| {
+                    b.iter(|| {
+                        let res = med.query_text("P :- P:<unique_person {}>@m").unwrap();
+                        if dedup {
+                            assert_eq!(res.top_level().len(), n_logical);
+                        } else {
+                            assert!(res.top_level().len() >= n_logical);
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dupelim);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Object fusion overhead: the union view with semantic oids, sweeping the
+//! overlap between sources (more overlap = more fusion work per object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::Mediator;
+use std::sync::Arc;
+use wrappers::workload::PersonWorkload;
+
+const UNION_SPEC: &str = "\
+<person_id(N) all_person {<name N> <w 'y'> Rest}> :- <person {<name N> | Rest}>@whois
+<person_id(N) all_person {<name N> <c 'y'> Rest2}> :-
+    <R {<first_name FN> <last_name LN> | Rest2}>@cs AND decomp(N, LN, FN)
+decomp(bound, free, free) by name_to_lnfn
+decomp(free, bound, bound) by lnfn_to_name
+";
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(10);
+    let n = 400usize;
+    for overlap_pct in [0usize, 25, 50, 100] {
+        let w = PersonWorkload {
+            n_whois: n,
+            overlap: overlap_pct as f64 / 100.0,
+            irregularity: 0.3,
+            student_fraction: 0.5,
+            seed: 5,
+        };
+        let (whois, cs) = w.build();
+        let med = Mediator::new(
+            "m",
+            UNION_SPEC,
+            vec![Arc::new(whois), Arc::new(cs)],
+            medmaker::externals::standard_registry(),
+        )
+        .unwrap();
+        let expected = n + (n * overlap_pct / 100);
+        group.bench_with_input(
+            BenchmarkId::new("union_view", overlap_pct),
+            &overlap_pct,
+            |b, _| {
+                b.iter(|| {
+                    let res = med.query_text("P :- P:<all_person {}>@m").unwrap();
+                    assert_eq!(res.top_level().len(), expected);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

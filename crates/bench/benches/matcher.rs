@@ -1,0 +1,65 @@
+//! Pattern matching microbenchmark: the MS1 whois pattern against stores
+//! of varying size and irregularity, plus a subpattern-count sweep (more
+//! conditions = smaller result, more backtracking).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::bindings::Bindings;
+use engine::matcher::match_top_level;
+use msl::TailItem;
+use wrappers::workload::PersonWorkload;
+
+fn pattern_of(query: &str) -> msl::Pattern {
+    match msl::parse_query(query).unwrap().tail.remove(0) {
+        TailItem::Match { pattern, .. } => pattern,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(20);
+
+    // Irregularity sweep at fixed size.
+    for irr_pct in [0usize, 30, 70] {
+        let w = PersonWorkload {
+            n_whois: 500,
+            irregularity: irr_pct as f64 / 100.0,
+            ..PersonWorkload::default()
+        };
+        let store = w.whois_store();
+        let pat = pattern_of(
+            "X :- <person {<name N> <dept 'CS'> <relation R> | Rest}>@whois",
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ms1_pattern_irregularity", irr_pct),
+            &irr_pct,
+            |b, _| {
+                b.iter(|| {
+                    let sols = match_top_level(&store, &pat, &Bindings::new());
+                    assert_eq!(sols.len(), 500);
+                })
+            },
+        );
+    }
+
+    // Subpattern-count sweep.
+    let store = PersonWorkload::sized(500).whois_store();
+    let patterns = [
+        ("1_condition", "X :- <person {<name N>}>@w"),
+        ("2_conditions", "X :- <person {<name N> <dept 'CS'>}>@w"),
+        (
+            "4_conditions",
+            "X :- <person {<name N> <dept 'CS'> <relation R> <year Y>}>@w",
+        ),
+    ];
+    for (label, q) in patterns {
+        let pat = pattern_of(q);
+        group.bench_with_input(BenchmarkId::new("subpatterns", label), &label, |b, _| {
+            b.iter(|| match_top_level(&store, &pat, &Bindings::new()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

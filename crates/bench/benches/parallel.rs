@@ -1,0 +1,50 @@
+//! Parallel chain execution: when a query expands to several independent
+//! datamerge chains (e.g. the τ1/τ2 pair, or exhaustive unification over a
+//! multi-rule specification), the engine can run them on threads. Compare
+//! sequential vs. parallel wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::planner::PlannerOptions;
+use medmaker::{Mediator, MediatorOptions};
+use std::sync::Arc;
+use wrappers::scenario::MS1;
+use wrappers::workload::PersonWorkload;
+
+fn build(n: usize, parallel: bool) -> Mediator {
+    let (whois, cs) = PersonWorkload::sized(n).build();
+    Mediator::new(
+        "med",
+        MS1,
+        vec![Arc::new(whois), Arc::new(cs)],
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+    .with_options(MediatorOptions {
+        planner: PlannerOptions::default(),
+        parallel,
+        learn_stats: false, // keep plans stable across iterations
+        ..Default::default()
+    })
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let n = 600usize;
+    // The year query expands to multiple chains under exhaustive mode.
+    let q = "S :- S:<cs_person {<year 3>}>@med";
+    for (label, parallel) in [("sequential", false), ("parallel", true)] {
+        let med = build(n, parallel);
+        let expect = med.query_text(q).unwrap().top_level().len();
+        group.bench_with_input(BenchmarkId::new("multi_chain_year", label), &parallel, |b, _| {
+            b.iter(|| {
+                let res = med.query_text(q).unwrap();
+                assert_eq!(res.top_level().len(), expect);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Front-end throughput: MSL parsing (specification + query) and OEM
+//! parse/print round-trips at several input sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wrappers::scenario::MS1;
+use wrappers::workload::PersonWorkload;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+
+    group.throughput(Throughput::Bytes(MS1.len() as u64));
+    group.bench_function("msl_spec_ms1", |b| {
+        b.iter(|| msl::parse_spec(MS1).unwrap())
+    });
+
+    let q = "S :- S:<cs_person {<year 3> <name N> | R:{<gpa 4>}}>@med AND ge(N, 'A')";
+    group.throughput(Throughput::Bytes(q.len() as u64));
+    group.bench_function("msl_query", |b| b.iter(|| msl::parse_query(q).unwrap()));
+
+    let lq = "select P.name, P.title from cs_person P where P.rel = 'employee' and P.year >= 3";
+    group.throughput(Throughput::Bytes(lq.len() as u64));
+    group.bench_function("lorel_compile", |b| {
+        b.iter(|| lorel::to_msl(lq, "med").unwrap())
+    });
+
+    for n in [100usize, 1000] {
+        let store = PersonWorkload::sized(n).whois_store();
+        let text = oem::printer::print_store(&store);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("oem_parse", n), &n, |b, _| {
+            b.iter(|| {
+                let s = oem::parser::parse_store(&text).unwrap();
+                assert_eq!(s.top_level().len(), n);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oem_print", n), &n, |b, _| {
+            b.iter(|| oem::printer::print_store(&store))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

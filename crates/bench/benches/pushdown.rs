@@ -1,0 +1,42 @@
+//! The value of "push selections down" (§3.3): with pushdown, the
+//! selective name condition travels to the sources; without it, the
+//! mediator fetches everything and filters client-side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::planner::PlannerOptions;
+use medmaker_bench::scaled_mediator;
+use wrappers::workload::PersonWorkload;
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pushdown");
+    group.sample_size(10);
+    let n = 800usize;
+    let workload = PersonWorkload::sized(n);
+    let query = format!(
+        "JC :- JC:<cs_person {{<name '{}'>}}>@med",
+        PersonWorkload::full_name_of(n / 4)
+    );
+    for (label, pushdown) in [("on", true), ("off", false)] {
+        let med = scaled_mediator(
+            &workload,
+            PlannerOptions {
+                pushdown,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("selective_point", label),
+            &pushdown,
+            |b, _| {
+                b.iter(|| {
+                    let res = med.query_text(&query).unwrap();
+                    assert_eq!(res.top_level().len(), 1);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

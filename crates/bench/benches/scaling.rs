@@ -1,0 +1,41 @@
+//! End-to-end mediation cost vs. source size.
+//!
+//! Paper context: MedMaker has no quantitative evaluation; this bench
+//! characterizes our MSI. Two query shapes: a selective point query
+//! (Q1-style, one person) and the whole-view query (every person in both
+//! sources).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::planner::PlannerOptions;
+use medmaker_bench::scaled_mediator;
+use wrappers::workload::PersonWorkload;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for n in [100usize, 300, 1000, 3000] {
+        let med = scaled_mediator(&PersonWorkload::sized(n), PlannerOptions::default());
+        let point = format!(
+            "JC :- JC:<cs_person {{<name '{}'>}}>@med",
+            PersonWorkload::full_name_of(n / 4)
+        );
+        group.bench_with_input(BenchmarkId::new("point_query", n), &n, |b, _| {
+            b.iter(|| {
+                let res = med.query_text(&point).unwrap();
+                assert_eq!(res.top_level().len(), 1);
+            })
+        });
+        if n <= 1000 {
+            group.bench_with_input(BenchmarkId::new("whole_view", n), &n, |b, _| {
+                b.iter(|| {
+                    let res = med.query_text("P :- P:<cs_person {}>@med").unwrap();
+                    assert_eq!(res.top_level().len(), n / 2);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

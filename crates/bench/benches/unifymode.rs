@@ -1,0 +1,56 @@
+//! Minimal vs. exhaustive unifier enumeration, end to end. Exhaustive mode
+//! (the sound-and-complete default) also explores placements of query
+//! conditions into rest variables even when an explicit head subpattern
+//! unifies; on data where labels never repeat those extra chains find
+//! nothing — this bench prices that completeness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::unify::UnifyMode;
+use medmaker::planner::PlannerOptions;
+use medmaker::{Mediator, MediatorOptions};
+use std::sync::Arc;
+use wrappers::scenario::MS1;
+use wrappers::workload::PersonWorkload;
+
+fn build(n: usize, mode: UnifyMode) -> Mediator {
+    let (whois, cs) = PersonWorkload::sized(n).build();
+    Mediator::new(
+        "med",
+        MS1,
+        vec![Arc::new(whois), Arc::new(cs)],
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+    .with_options(MediatorOptions {
+        planner: PlannerOptions::default(),
+        unify_mode: mode,
+        learn_stats: false,
+        ..Default::default()
+    })
+}
+
+fn bench_unifymode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unifymode");
+    group.sample_size(10);
+    let n = 400usize;
+    let point = format!(
+        "JC :- JC:<cs_person {{<name '{}'>}}>@med",
+        PersonWorkload::full_name_of(7)
+    );
+    for (label, mode) in [
+        ("minimal", UnifyMode::Minimal),
+        ("exhaustive", UnifyMode::Exhaustive),
+    ] {
+        let med = build(n, mode);
+        group.bench_with_input(BenchmarkId::new("point_query", label), &label, |b, _| {
+            b.iter(|| {
+                let res = med.query_text(&point).unwrap();
+                assert_eq!(res.top_level().len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unifymode);
+criterion_main!(benches);

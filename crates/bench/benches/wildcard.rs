@@ -1,0 +1,42 @@
+//! Wildcard search cost (§2 "Other Features"): "Without appropriate index
+//! structures, wildcard searches may be expensive." We sweep nesting depth
+//! and compare the wildcard against the explicit full-path query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wrappers::workload::deep_store;
+use wrappers::{SemiStructuredWrapper, Wrapper};
+
+fn path_query(depth: usize) -> String {
+    let mut inner = "<year Y>".to_string();
+    for _ in 0..depth {
+        inner = format!("<group {{{inner}}}>");
+    }
+    format!("<hit {{<y Y>}}> :- <person {{{inner}}}>@deep")
+}
+
+fn bench_wildcard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wildcard");
+    group.sample_size(10);
+    let n_top = 200usize;
+    for depth in [2usize, 4, 8, 16] {
+        let src = SemiStructuredWrapper::new("deep", deep_store(n_top, depth));
+        let wild = msl::parse_query("<hit {<y Y>}> :- <person {* <year Y>}>@deep").unwrap();
+        let full = msl::parse_query(&path_query(depth)).unwrap();
+        group.bench_with_input(BenchmarkId::new("wildcard", depth), &depth, |b, _| {
+            b.iter(|| {
+                let res = src.query(&wild).unwrap();
+                assert_eq!(res.top_level().len(), 5.min(n_top));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_path", depth), &depth, |b, _| {
+            b.iter(|| {
+                let res = src.query(&full).unwrap();
+                assert_eq!(res.top_level().len(), 5.min(n_top));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wildcard);
+criterion_main!(benches);

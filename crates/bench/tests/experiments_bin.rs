@@ -1,0 +1,42 @@
+//! The experiments binary must regenerate every artifact successfully —
+//! this is the machine check that the whole reproduction index stays green.
+
+use std::process::Command;
+
+#[test]
+fn all_experiments_pass() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("all")
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One [ok] per experiment (fig23 prints its correction note inline).
+    let ok_count = stdout.matches("[ok]").count();
+    assert!(ok_count >= 18, "expected >= 18 [ok] markers, got {ok_count}");
+    // Spot-check headline artifacts.
+    for frag in [
+        "experiment: fig24",
+        "experiment: theta1",
+        "experiment: fig36",
+        "experiment: lorel",
+        "'Joe Chung'",
+        "'Nick Naive'",
+    ] {
+        assert!(stdout.contains(frag), "missing {frag}");
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .arg("frobnicate")
+        .output()
+        .expect("experiments binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("available:"));
+}

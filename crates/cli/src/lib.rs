@@ -1,0 +1,372 @@
+//! # medmaker-cli — a command-line mediator
+//!
+//! Load an MSL specification plus OEM / CSV sources, then run MSL queries
+//! from the command line or an interactive session:
+//!
+//! ```text
+//! medmaker --name med --spec med.msl \
+//!          --oem whois=whois.oem \
+//!          --csv cs=employee.csv --csv cs=student.csv \
+//!          "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med"
+//! ```
+//!
+//! With no query argument, an interactive session starts: each line is a
+//! query; `.explain <q>`, `.spec`, `.sources`, `.help`, `.quit` are
+//! commands. Repeating `--csv NAME=file` with the same NAME adds tables to
+//! one relational source (one catalog per source name).
+
+use medmaker::planner::PlannerOptions;
+use medmaker::{Mediator, MediatorOptions};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use wrappers::{RelationalWrapper, SemiStructuredWrapper, Wrapper};
+
+/// Parsed command line.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Mediator name (`--name`, default `med`).
+    pub name: String,
+    /// Path to the MSL specification (`--spec`, required).
+    pub spec_path: Option<PathBuf>,
+    /// Semi-structured sources: `--oem NAME=FILE`.
+    pub oem_sources: Vec<(String, PathBuf)>,
+    /// Relational sources: `--csv NAME=FILE` (repeatable per NAME).
+    pub csv_sources: Vec<(String, PathBuf)>,
+    /// Use the paper's minimal unification presentation (`--minimal`).
+    pub minimal: bool,
+    /// Disable duplicate elimination (`--no-dedup`).
+    pub no_dedup: bool,
+    /// Print the logical program + plan instead of running (`--explain`).
+    pub explain: bool,
+    /// Treat QUERY (and session lines) as LOREL instead of MSL (`--lorel`).
+    pub lorel: bool,
+    /// One-shot query; absent = interactive session.
+    pub query: Option<String>,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
+                [--minimal] [--no-dedup] [--explain] [QUERY]
+
+  --spec FILE       MSL mediator specification
+  --name NAME       mediator name (default: med)
+  --oem NAME=FILE   semi-structured source from an OEM text file
+  --csv NAME=FILE   relational source table from a CSV file
+                    (header: col:type,...; repeat NAME to add tables)
+  --minimal         paper-style minimal unifier enumeration
+  --no-dedup        disable MSL duplicate elimination
+  --explain         print the expansion + plan for QUERY instead of results
+  --lorel           QUERY/session lines are LOREL (select/from/where), not MSL
+  QUERY             a query; omit for an interactive session
+";
+
+/// Parse command-line arguments (no external crates).
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, String> {
+    let mut cfg = Config {
+        name: "med".to_string(),
+        ..Default::default()
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--spec" => {
+                let v = it.next().ok_or("--spec needs a file argument")?;
+                cfg.spec_path = Some(PathBuf::from(v));
+            }
+            "--name" => {
+                cfg.name = it.next().ok_or("--name needs an argument")?;
+            }
+            "--oem" => {
+                let v = it.next().ok_or("--oem needs NAME=FILE")?;
+                cfg.oem_sources.push(parse_named(&v, "--oem")?);
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs NAME=FILE")?;
+                cfg.csv_sources.push(parse_named(&v, "--csv")?);
+            }
+            "--minimal" => cfg.minimal = true,
+            "--no-dedup" => cfg.no_dedup = true,
+            "--explain" => cfg.explain = true,
+            "--lorel" => cfg.lorel = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            q if !q.starts_with("--") => {
+                if cfg.query.is_some() {
+                    return Err("more than one query given".to_string());
+                }
+                cfg.query = Some(q.to_string());
+            }
+            other => return Err(format!("unknown option '{other}'\n{USAGE}")),
+        }
+    }
+    if cfg.spec_path.is_none() {
+        return Err(format!("--spec is required\n{USAGE}"));
+    }
+    Ok(cfg)
+}
+
+fn parse_named(v: &str, flag: &str) -> Result<(String, PathBuf), String> {
+    let (name, file) = v
+        .split_once('=')
+        .ok_or_else(|| format!("{flag} expects NAME=FILE, got '{v}'"))?;
+    if name.is_empty() || file.is_empty() {
+        return Err(format!("{flag} expects NAME=FILE, got '{v}'"));
+    }
+    Ok((name.to_string(), PathBuf::from(file)))
+}
+
+/// Load sources and build the mediator.
+pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
+    let spec_path = cfg.spec_path.as_ref().expect("validated by parse_args");
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+
+    let mut sources: Vec<Arc<dyn Wrapper>> = Vec::new();
+    for (name, file) in &cfg.oem_sources {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let store = oem::parser::parse_store(&text)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        sources.push(Arc::new(SemiStructuredWrapper::new(name, store)));
+    }
+
+    // Group CSV files into one catalog per source name; the table name is
+    // the file stem.
+    let mut catalogs: BTreeMap<String, minidb::Catalog> = BTreeMap::new();
+    for (name, file) in &cfg.csv_sources {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let table_name = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("bad csv file name {}", file.display()))?;
+        let table = minidb::load_csv(table_name, &text)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+        catalogs
+            .entry(name.clone())
+            .or_default()
+            .add_table(table)
+            .map_err(|e| format!("{}: {e}", file.display()))?;
+    }
+    for (name, catalog) in catalogs {
+        sources.push(Arc::new(RelationalWrapper::new(&name, catalog)));
+    }
+
+    let med = Mediator::new(
+        &cfg.name,
+        &spec_text,
+        sources,
+        medmaker::externals::standard_registry(),
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(med.with_options(MediatorOptions {
+        planner: PlannerOptions {
+            dedup: !cfg.no_dedup,
+            ..Default::default()
+        },
+        unify_mode: if cfg.minimal {
+            engine::unify::UnifyMode::Minimal
+        } else {
+            engine::unify::UnifyMode::Exhaustive
+        },
+        ..Default::default()
+    }))
+}
+
+/// Translate a LOREL query to MSL text for a mediator.
+pub fn lorel_to_msl_text(med: &Mediator, query: &str) -> Result<String, String> {
+    let rule = lorel::to_msl(query, &med.spec().name.as_str()).map_err(|e| e.to_string())?;
+    Ok(msl::printer::rule(&rule))
+}
+
+/// Run one query (or explain it), writing results to `out`. `lorel`
+/// translates the query from LOREL first.
+pub fn run_query_in(
+    med: &Mediator,
+    query: &str,
+    explain: bool,
+    lorel: bool,
+    out: &mut impl Write,
+) -> Result<(), String> {
+    if lorel {
+        let msl_text = lorel_to_msl_text(med, query)?;
+        writeln!(out, ";; MSL: {msl_text}").map_err(|e| e.to_string())?;
+        return run_query(med, &msl_text, explain, out);
+    }
+    run_query(med, query, explain, out)
+}
+
+/// Run one query (or explain it), writing results to `out`.
+pub fn run_query(
+    med: &Mediator,
+    query: &str,
+    explain: bool,
+    out: &mut impl Write,
+) -> Result<(), String> {
+    if explain {
+        let text = med.explain_text(query, true).map_err(|e| e.to_string())?;
+        write!(out, "{text}").map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    let results = med.query_text(query).map_err(|e| e.to_string())?;
+    write!(out, "{}", oem::printer::print_store(&results)).map_err(|e| e.to_string())?;
+    writeln!(out, ";; {} object(s)", results.top_level().len()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// The interactive session loop.
+pub fn repl(med: &Mediator, input: impl BufRead, out: &mut impl Write) -> Result<(), String> {
+    repl_in(med, false, input, out)
+}
+
+/// The interactive session loop; `lorel` switches the default query
+/// language of plain lines.
+pub fn repl_in(
+    med: &Mediator,
+    lorel: bool,
+    input: impl BufRead,
+    out: &mut impl Write,
+) -> Result<(), String> {
+    writeln!(
+        out,
+        "medmaker interactive session — mediator '{}'. Type .help for commands.",
+        med.spec().name
+    )
+    .map_err(|e| e.to_string())?;
+    for line in input.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            ".quit" | ".exit" => break,
+            ".help" => {
+                writeln!(
+                    out,
+                    ".spec            print the mediator specification\n\
+                     .sources         list sources\n\
+                     .explain QUERY   show expansion + plan + traced run\n\
+                     .lorel QUERY     run a LOREL (select/from/where) query\n\
+                     .quit            leave\n\
+                     anything else    run as a query"
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            ".spec" => {
+                writeln!(out, "{}", med.spec().to_text()).map_err(|e| e.to_string())?;
+            }
+            ".sources" => {
+                for s in med.spec().sources() {
+                    writeln!(out, "  @{s}").map_err(|e| e.to_string())?;
+                }
+            }
+            _ if line.starts_with(".explain") => {
+                let q = line.trim_start_matches(".explain").trim();
+                if let Err(e) = run_query_in(med, q, true, lorel, out) {
+                    writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                }
+            }
+            _ if line.starts_with(".lorel") => {
+                let q = line.trim_start_matches(".lorel").trim();
+                if let Err(e) = run_query_in(med, q, false, true, out) {
+                    writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                }
+            }
+            query => {
+                if let Err(e) = run_query_in(med, query, false, lorel, out) {
+                    writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_full_command_line() {
+        let cfg = parse_args(argv(
+            "--spec med.msl --name m --oem whois=w.oem --csv cs=emp.csv --csv cs=stu.csv \
+             --minimal --no-dedup --explain QUERY",
+        ))
+        .unwrap();
+        assert_eq!(cfg.name, "m");
+        assert_eq!(cfg.spec_path.as_ref().unwrap().to_str(), Some("med.msl"));
+        assert_eq!(cfg.oem_sources.len(), 1);
+        assert_eq!(cfg.csv_sources.len(), 2);
+        assert!(cfg.minimal && cfg.no_dedup && cfg.explain);
+        assert_eq!(cfg.query.as_deref(), Some("QUERY"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(argv("--oem whois=w.oem")).is_err()); // no --spec
+        assert!(parse_args(argv("--spec s.msl --oem broken")).is_err());
+        assert!(parse_args(argv("--spec s.msl --frob")).is_err());
+        assert!(parse_args(argv("--spec s.msl q1 q2")).is_err());
+        assert!(parse_args(argv("--spec")).is_err());
+    }
+
+    #[test]
+    fn build_and_query_in_memory() {
+        // Exercise build_mediator through temp files.
+        let dir = std::env::temp_dir().join(format!("medmaker-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.msl");
+        std::fs::write(&spec, "<v {<n N>}> :- <person {<name N>}>@src\n").unwrap();
+        let oem_file = dir.join("src.oem");
+        std::fs::write(
+            &oem_file,
+            "<&p1, person, set, {<&n1, name, 'Ann'>}>\n",
+        )
+        .unwrap();
+        let cfg = parse_args(argv(&format!(
+            "--spec {} --name m --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let med = build_mediator(&cfg).unwrap();
+        let mut out = Vec::new();
+        run_query(&med, "X :- X:<v {}>@m", false, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("'Ann'"), "{text}");
+        assert!(text.contains(";; 1 object(s)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repl_session() {
+        let dir = std::env::temp_dir().join(format!("medmaker-repl-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.msl");
+        std::fs::write(&spec, "<v {<n N>}> :- <person {<name N>}>@src\n").unwrap();
+        let oem_file = dir.join("src.oem");
+        std::fs::write(&oem_file, "<&p1, person, set, {<&n1, name, 'Ann'>}>\n").unwrap();
+        let cfg = parse_args(argv(&format!(
+            "--spec {} --name m --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let med = build_mediator(&cfg).unwrap();
+        let input = b".help\n.spec\n.sources\nX :- X:<v {}>@m\nbad query\n.quit\n";
+        let mut out = Vec::new();
+        repl(&med, &input[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(".explain QUERY"), "{text}");
+        assert!(text.contains("@src"), "{text}");
+        assert!(text.contains("'Ann'"), "{text}");
+        assert!(text.contains("error:"), "{text}");
+    }
+}

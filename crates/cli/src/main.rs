@@ -1,0 +1,32 @@
+//! The `medmaker` binary. See [`medmaker_cli`] for the full description.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match medmaker_cli::parse_args(args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let med = match medmaker_cli::build_mediator(&cfg) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = match &cfg.query {
+        Some(q) => medmaker_cli::run_query_in(&med, q, cfg.explain, cfg.lorel, &mut out),
+        None => medmaker_cli::repl_in(&med, cfg.lorel, std::io::stdin().lock(), &mut out),
+    };
+    if let Err(msg) = result {
+        let _ = out.flush();
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of the `medmaker` binary against the demo files.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn demo_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../demo")
+}
+
+fn base_cmd() -> Command {
+    let demo = demo_dir();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_medmaker"));
+    cmd.arg("--spec")
+        .arg(demo.join("med.msl"))
+        .arg("--oem")
+        .arg(format!("whois={}", demo.join("whois.oem").display()))
+        .arg("--csv")
+        .arg(format!("cs={}", demo.join("employee.csv").display()))
+        .arg("--csv")
+        .arg(format!("cs={}", demo.join("student.csv").display()));
+    cmd
+}
+
+#[test]
+fn one_shot_query_reproduces_figure_2_4() {
+    let out = base_cmd()
+        .arg("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for frag in [
+        "'Joe Chung'",
+        "'employee'",
+        "'chung@cs'",
+        "'professor'",
+        "'John Hennessy'",
+        ";; 1 object(s)",
+    ] {
+        assert!(stdout.contains(frag), "missing {frag} in {stdout}");
+    }
+}
+
+#[test]
+fn explain_mode_prints_plan() {
+    let out = base_cmd()
+        .arg("--explain")
+        .arg("--minimal")
+        .arg("S :- S:<cs_person {<year 3>}>@med")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Logical datamerge program (2 rules)"), "{stdout}");
+    assert!(stdout.contains("[query]"), "{stdout}");
+    assert!(stdout.contains("=== result objects ==="), "{stdout}");
+    assert!(stdout.contains("'Nick Naive'"), "{stdout}");
+}
+
+#[test]
+fn repl_round_trip() {
+    use std::io::Write;
+    let mut child = base_cmd()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary starts");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b".sources\nP :- P:<cs_person {}>@med\n.quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("@whois"), "{stdout}");
+    assert!(stdout.contains(";; 2 object(s)"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_medmaker"))
+        .arg("--frobnicate")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn missing_file_reports_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_medmaker"))
+        .arg("--spec")
+        .arg("/nonexistent/spec.msl")
+        .arg("X :- X:<a {}>@m")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn lorel_flag_translates_and_runs() {
+    let out = base_cmd()
+        .arg("--lorel")
+        .arg("select P.name from cs_person P where P.year >= 3")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(";; MSL:"), "{stdout}");
+    assert!(stdout.contains("'Nick Naive'"), "{stdout}");
+    assert!(stdout.contains(";; 1 object(s)"), "{stdout}");
+}

@@ -1,0 +1,822 @@
+//! The datamerge engine (§3.4).
+//!
+//! "The datamerge engine executes the graph in a bottom-up fashion":
+//! source results are placed in the mediator's memory, binding tables flow
+//! from node to node, and the constructor creates the final result objects.
+//! With tracing enabled, every node records the table it emitted — that is
+//! how the Figure 3.6 walkthrough is regenerated.
+
+use crate::error::{MedError, Result};
+use crate::externals::ExternalRegistry;
+use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
+use crate::table::BindingTable;
+use engine::bindings::{Bindings, BoundValue};
+use engine::construct::Constructor;
+use engine::subst::fill_params_rule;
+use msl::{Rule, TailItem, Term};
+use oem::{copy, ObjectStore, Symbol, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wrappers::Wrapper;
+
+/// Execution options.
+#[derive(Clone, Debug, Default)]
+pub struct ExecOptions {
+    /// Record per-node traces (query texts + emitted tables).
+    pub trace: bool,
+    /// Execute the per-rule chains on separate threads (crossbeam scoped).
+    /// The chains of a logical program are independent until construction,
+    /// so this is safe for any plan — results are merged into one memory
+    /// before the (sequential) construction phase, preserving cross-rule
+    /// semantic-oid fusion.
+    pub parallel: bool,
+}
+
+/// One node's trace entry.
+#[derive(Clone, Debug)]
+pub struct NodeTrace {
+    pub op: String,
+    pub detail: String,
+    pub rows_out: usize,
+    /// The emitted binding table, rendered in Figure 3.6 style (empty when
+    /// tracing is off).
+    pub table: String,
+}
+
+/// Execution result.
+pub struct ExecOutcome {
+    /// Constructed result objects (top-level).
+    pub results: ObjectStore,
+    /// The mediator's working memory (source results live here).
+    pub memory: ObjectStore,
+    /// Per-rule, per-node traces.
+    pub traces: Vec<Vec<NodeTrace>>,
+    /// (source, top-level label, observed result count) — feed these back
+    /// into the statistics cache (§3.5).
+    pub observations: Vec<(Symbol, Option<Symbol>, usize)>,
+    /// Number of queries sent to each source (bind-join vs hash-join cost
+    /// accounting in the experiments).
+    pub source_calls: HashMap<Symbol, usize>,
+}
+
+/// Everything one chain produced (its memory is private until merged).
+struct ChainOutcome {
+    table: BindingTable,
+    memory: ObjectStore,
+    trace: Vec<NodeTrace>,
+    observations: Vec<(Symbol, Option<Symbol>, usize)>,
+    source_calls: HashMap<Symbol, usize>,
+}
+
+/// Execute one rule chain bottom-up with its own working memory.
+fn run_chain(
+    rule_plan: &RulePlan,
+    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: &ExternalRegistry,
+    trace_on: bool,
+) -> Result<ChainOutcome> {
+    let mut memory = ObjectStore::with_oid_prefix("x");
+    let mut table = BindingTable::unit();
+    let mut trace = Vec::new();
+    let mut observations = Vec::new();
+    let mut source_calls: HashMap<Symbol, usize> = HashMap::new();
+    for node in &rule_plan.nodes {
+        table = exec_node(
+            node,
+            table,
+            &mut memory,
+            sources,
+            registry,
+            &mut observations,
+            &mut source_calls,
+        )?;
+        if trace_on {
+            trace.push(NodeTrace {
+                op: node.op_name().to_string(),
+                detail: node_detail(node),
+                rows_out: table.len(),
+                table: table.render(&memory),
+            });
+        }
+        if table.is_empty() {
+            break; // nothing can come out of this chain
+        }
+    }
+    Ok(ChainOutcome {
+        table,
+        memory,
+        trace,
+        observations,
+        source_calls,
+    })
+}
+
+/// Rewrite a table's object references through an old-id → new-id map.
+fn remap_table(table: &mut BindingTable, map: &HashMap<oem::ObjId, oem::ObjId>) {
+    for row in &mut table.rows {
+        for cell in row.iter_mut() {
+            match cell {
+                BoundValue::Obj(id) => *id = map[id],
+                BoundValue::ObjSet(ids) => {
+                    for id in ids.iter_mut() {
+                        *id = map[id];
+                    }
+                }
+                BoundValue::Atom(_) => {}
+            }
+        }
+    }
+}
+
+/// Execute a physical plan.
+pub fn execute(
+    plan: &PhysicalPlan,
+    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: &ExternalRegistry,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome> {
+    // Phase 1: run every rule chain (optionally in parallel — chains are
+    // independent; "the datamerge engine executes the graph in a bottom-up
+    // fashion" per chain).
+    let chains: Vec<Result<ChainOutcome>> = if opts.parallel && plan.rules.len() > 1 {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .rules
+                .iter()
+                .map(|rule_plan| {
+                    scope.spawn(move |_| run_chain(rule_plan, sources, registry, opts.trace))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("chain thread panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    } else {
+        plan.rules
+            .iter()
+            .map(|rule_plan| run_chain(rule_plan, sources, registry, opts.trace))
+            .collect()
+    };
+
+    // Phase 2: merge chain memories into the mediator's memory, remapping
+    // the tables' object references.
+    let mut memory = ObjectStore::with_oid_prefix("x");
+    let mut traces = Vec::new();
+    let mut observations = Vec::new();
+    let mut source_calls: HashMap<Symbol, usize> = HashMap::new();
+    let mut final_tables: Vec<(BindingTable, &RulePlan)> = Vec::new();
+    for (chain, rule_plan) in chains.into_iter().zip(&plan.rules) {
+        let mut chain = chain?;
+        // Only the objects the final table references (and their
+        // descendants) survive into the merged memory.
+        let mut roots: Vec<oem::ObjId> = Vec::new();
+        let mut seen: std::collections::HashSet<oem::ObjId> = std::collections::HashSet::new();
+        for row in &chain.table.rows {
+            for cell in row {
+                match cell {
+                    BoundValue::Obj(id) => {
+                        if seen.insert(*id) {
+                            roots.push(*id);
+                        }
+                    }
+                    BoundValue::ObjSet(ids) => {
+                        for id in ids {
+                            if seen.insert(*id) {
+                                roots.push(*id);
+                            }
+                        }
+                    }
+                    BoundValue::Atom(_) => {}
+                }
+            }
+        }
+        let (_, map) = copy::deep_copy_all_with_map(&chain.memory, &roots, &mut memory);
+        remap_table(&mut chain.table, &map);
+        traces.push(chain.trace);
+        observations.extend(chain.observations);
+        for (s, n) in chain.source_calls {
+            *source_calls.entry(s).or_insert(0) += n;
+        }
+        final_tables.push((chain.table, rule_plan));
+    }
+
+    // Phase 3: construction — one constructor for the whole plan, so
+    // semantic oids fuse across rules.
+    let mut results = ObjectStore::with_oid_prefix("cp");
+    {
+        let mut ctor = Constructor::new(&memory);
+        for (table, rule_plan) in &final_tables {
+            for i in 0..table.len() {
+                let b = table.row_bindings(i);
+                ctor.construct_head(&rule_plan.head, &b, &mut results)?;
+            }
+        }
+    }
+
+    // MSL duplicate elimination across rule outputs.
+    if plan.dedup_results {
+        let tops = results.top_level().to_vec();
+        let unique = oem::eq::dedup_structural(&results, &tops);
+        results.set_top_level(unique);
+    }
+
+    Ok(ExecOutcome {
+        results,
+        memory,
+        traces,
+        observations,
+        source_calls,
+    })
+}
+
+fn node_detail(node: &Node) -> String {
+    match node {
+        Node::Query { source, query, .. } => {
+            format!("@{source}: {}", msl::printer::rule(query))
+        }
+        Node::ParamQuery { source, query, .. } => {
+            format!("@{source}: {}", msl::printer::rule(query))
+        }
+        Node::ExternalPred { pred, args, .. } => {
+            let rendered: Vec<String> = args.iter().map(|a| msl::printer::term(a, true)).collect();
+            format!("{pred}({})", rendered.join(", "))
+        }
+        Node::RestFilter { var, condition } => {
+            format!("{var} contains {}", msl::printer::pattern(condition))
+        }
+        Node::HashJoin {
+            source, join_vars, ..
+        } => {
+            let vars: Vec<String> = join_vars.iter().map(|v| v.as_str()).collect();
+            format!("@{source} on [{}]", vars.join(", "))
+        }
+        Node::DupElim { vars } => {
+            let vars: Vec<String> = vars.iter().map(|v| v.as_str()).collect();
+            format!("project [{}]", vars.join(", "))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_node(
+    node: &Node,
+    input: BindingTable,
+    memory: &mut ObjectStore,
+    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: &ExternalRegistry,
+    observations: &mut Vec<(Symbol, Option<Symbol>, usize)>,
+    source_calls: &mut HashMap<Symbol, usize>,
+) -> Result<BindingTable> {
+    match node {
+        Node::Query {
+            source,
+            query,
+            vars,
+        } => {
+            let extracted = run_and_extract(
+                *source, query, vars, memory, sources, observations, source_calls,
+            )?;
+            // Cartesian with the (unit) input.
+            let mut out = BindingTable::new(
+                input
+                    .cols
+                    .iter()
+                    .copied()
+                    .chain(vars.iter().map(|v| v.var))
+                    .collect(),
+            );
+            for row in &input.rows {
+                for ext in &extracted {
+                    let mut r = row.clone();
+                    r.extend(ext.clone());
+                    out.rows.push(r);
+                }
+            }
+            Ok(out)
+        }
+        Node::ParamQuery {
+            source,
+            query,
+            params,
+            vars,
+        } => {
+            let mut out = BindingTable::new(
+                input
+                    .cols
+                    .iter()
+                    .copied()
+                    .chain(vars.iter().map(|v| v.var))
+                    .collect(),
+            );
+            // Memoize identical parameter tuples: the engine need not send
+            // the same source query twice.
+            let mut memo: HashMap<Vec<Value>, Vec<Vec<BoundValue>>> = HashMap::new();
+            for row in &input.rows {
+                let mut key = Vec::with_capacity(params.len());
+                let mut pmap: HashMap<Symbol, Value> = HashMap::new();
+                let mut ok = true;
+                for p in params {
+                    let idx = input.col(*p).ok_or_else(|| {
+                        MedError::Planning(format!("parameter {p} missing from table"))
+                    })?;
+                    match &row[idx] {
+                        BoundValue::Atom(v) => {
+                            key.push(v.clone());
+                            pmap.insert(*p, v.clone());
+                        }
+                        _ => {
+                            // Non-atomic parameter: this row cannot
+                            // parameterize the query; it yields nothing.
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let extracted = match memo.get(&key) {
+                    Some(e) => e.clone(),
+                    None => {
+                        let filled = fill_params_rule(query, &pmap);
+                        let e = run_and_extract(
+                            *source,
+                            &filled,
+                            vars,
+                            memory,
+                            sources,
+                            observations,
+                            source_calls,
+                        )?;
+                        memo.insert(key.clone(), e.clone());
+                        e
+                    }
+                };
+                for ext in extracted {
+                    let mut r = row.clone();
+                    r.extend(ext);
+                    out.rows.push(r);
+                }
+            }
+            Ok(out)
+        }
+        Node::ExternalPred {
+            pred,
+            args,
+            new_vars,
+        } => {
+            let mut out = BindingTable::new(
+                input
+                    .cols
+                    .iter()
+                    .copied()
+                    .chain(new_vars.iter().copied())
+                    .collect(),
+            );
+            for i in 0..input.len() {
+                let b = input.row_bindings(i);
+                for nb in registry.evaluate(*pred, args, &b)? {
+                    let mut r = input.rows[i].clone();
+                    for v in new_vars {
+                        r.push(
+                            nb.get(*v)
+                                .cloned()
+                                .ok_or_else(|| {
+                                    MedError::External(format!(
+                                        "{pred} did not bind {v} as planned"
+                                    ))
+                                })?,
+                        );
+                    }
+                    out.rows.push(r);
+                }
+            }
+            Ok(out)
+        }
+        Node::RestFilter { var, condition } => {
+            let idx = input.col(*var).ok_or_else(|| {
+                MedError::Planning(format!("filter variable {var} missing from table"))
+            })?;
+            let mut out = BindingTable::new(input.cols.clone());
+            for row in &input.rows {
+                let BoundValue::ObjSet(ids) = &row[idx] else {
+                    continue;
+                };
+                let passes = ids.iter().any(|&id| {
+                    !engine::matcher::match_pattern(memory, id, condition, &Bindings::new())
+                        .is_empty()
+                });
+                if passes {
+                    out.rows.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Node::HashJoin {
+            source,
+            query,
+            vars,
+            join_vars,
+        } => {
+            let extracted = run_and_extract(
+                *source, query, vars, memory, sources, observations, source_calls,
+            )?;
+            // Index inner rows by join key.
+            let inner_key_idx: Vec<usize> = join_vars
+                .iter()
+                .map(|v| {
+                    vars.iter()
+                        .position(|e| e.var == *v)
+                        .expect("planner included join vars in extraction")
+                })
+                .collect();
+            let mut index: HashMap<Vec<BoundValue>, Vec<&Vec<BoundValue>>> = HashMap::new();
+            for row in &extracted {
+                let key: Vec<BoundValue> =
+                    inner_key_idx.iter().map(|&i| row[i].clone()).collect();
+                index.entry(key).or_default().push(row);
+            }
+            // Output: input columns + inner extraction minus join vars.
+            let keep_inner: Vec<usize> = (0..vars.len())
+                .filter(|i| !inner_key_idx.contains(i))
+                .collect();
+            let mut out_cols = input.cols.clone();
+            out_cols.extend(keep_inner.iter().map(|&i| vars[i].var));
+            let outer_key_idx: Vec<usize> = join_vars
+                .iter()
+                .map(|v| {
+                    input.col(*v).ok_or_else(|| {
+                        MedError::Planning(format!("join variable {v} missing from table"))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let mut out = BindingTable::new(out_cols);
+            for row in &input.rows {
+                let key: Vec<BoundValue> =
+                    outer_key_idx.iter().map(|&i| row[i].clone()).collect();
+                if let Some(matches) = index.get(&key) {
+                    for inner in matches {
+                        let mut r = row.clone();
+                        r.extend(keep_inner.iter().map(|&i| inner[i].clone()));
+                        out.rows.push(r);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Node::DupElim { vars } => {
+            let mut out = input.project(vars);
+            out.dedup();
+            Ok(out)
+        }
+    }
+}
+
+/// Send a query to a source, copy the results into the mediator's memory
+/// (§3.4: "the result of Qw is placed in the mediator's memory"), and
+/// extract the `bind_for_*` variables from each result object.
+#[allow(clippy::too_many_arguments)]
+fn run_and_extract(
+    source: Symbol,
+    query: &Rule,
+    vars: &[ExtractVar],
+    memory: &mut ObjectStore,
+    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
+    observations: &mut Vec<(Symbol, Option<Symbol>, usize)>,
+    source_calls: &mut HashMap<Symbol, usize>,
+) -> Result<Vec<Vec<BoundValue>>> {
+    let wrapper = sources
+        .get(&source)
+        .ok_or_else(|| MedError::UnknownSource(source.as_str()))?;
+    *source_calls.entry(source).or_insert(0) += 1;
+    let result = wrapper.query(query)?;
+
+    // Record an observation keyed by the first tail pattern's label.
+    let label = query.tail.iter().find_map(|t| match t {
+        TailItem::Match { pattern, .. } => match &pattern.label {
+            Term::Const(v) => v.as_str_sym(),
+            _ => None,
+        },
+        _ => None,
+    });
+    observations.push((source, label, result.top_level().len()));
+
+    let roots = copy::deep_copy_all(&result, result.top_level(), memory);
+    let mut rows = Vec::with_capacity(roots.len());
+    for root in roots {
+        rows.push(extract_row(memory, root, vars)?);
+    }
+    Ok(rows)
+}
+
+/// Pull variable bindings out of one `bind_for_*` result object.
+fn extract_row(
+    memory: &ObjectStore,
+    root: oem::ObjId,
+    vars: &[ExtractVar],
+) -> Result<Vec<BoundValue>> {
+    let mut row = Vec::with_capacity(vars.len());
+    for v in vars {
+        let carrier_label = Symbol::intern(&format!("bind_for_{}", v.var));
+        let carrier = memory
+            .children(root)
+            .iter()
+            .copied()
+            .find(|&c| memory.get(c).label == carrier_label)
+            .ok_or_else(|| {
+                MedError::Wrapper(format!(
+                    "source result lacks the {carrier_label} carrier object"
+                ))
+            })?;
+        let value = match (&memory.get(carrier).value, v.kind) {
+            (oem::Value::Set(kids), VarKind::Object) => {
+                let Some(first) = kids.first() else {
+                    return Err(MedError::Wrapper(format!(
+                        "empty carrier for object variable {}",
+                        v.var
+                    )));
+                };
+                BoundValue::Obj(*first)
+            }
+            (oem::Value::Set(kids), VarKind::Scalar) => BoundValue::ObjSet(kids.clone()),
+            (atomic, _) => BoundValue::Atom(atomic.clone()),
+        };
+        row.push(value);
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::externals::standard_registry;
+    use crate::planner::{plan, PlanContext, PlannerOptions};
+    use crate::spec::MediatorSpec;
+    use crate::stats::StatsCache;
+    use crate::veao::expand;
+    use engine::unify::UnifyMode;
+    use msl::parse_query;
+    use oem::printer::compact;
+    use oem::sym;
+    use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+
+    fn sources() -> HashMap<Symbol, Arc<dyn Wrapper>> {
+        let mut m: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        m.insert(sym("whois"), Arc::new(whois_wrapper()));
+        m.insert(sym("cs"), Arc::new(cs_wrapper()));
+        m
+    }
+
+    fn run(query: &str, options: PlannerOptions) -> ExecOutcome {
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query(query).unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let srcs = sources();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let plan = plan(&program, &ctx).unwrap();
+        execute(
+            &plan,
+            &srcs,
+            &registry,
+            &ExecOptions { trace: true, parallel: false },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_produces_figure_2_4_object() {
+        // The end-to-end Q1 run must produce the paper's combined object:
+        // <cs_person {<name 'Joe Chung'> <rel 'employee'>
+        //             <e_mail 'chung@cs'> <title 'professor'>
+        //             <reports_to 'John Hennessy'>}>
+        let out = run(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        assert_eq!(out.results.top_level().len(), 1);
+        let printed = compact(&out.results, out.results.top_level()[0]);
+        for frag in [
+            "<name 'Joe Chung'>",
+            "<rel 'employee'>",
+            "<e_mail 'chung@cs'>",
+            "<title 'professor'>",
+            "<reports_to 'John Hennessy'>",
+        ] {
+            assert!(printed.contains(frag), "missing {frag} in {printed}");
+        }
+        assert!(printed.starts_with("<cs_person {"), "{printed}");
+    }
+
+    #[test]
+    fn year_query_returns_nick() {
+        // §3.3's query: 3rd-year students known to both sources.
+        let out = run("S :- S:<cs_person {<year 3>}>@med", PlannerOptions::default());
+        assert_eq!(out.results.top_level().len(), 1);
+        let printed = compact(&out.results, out.results.top_level()[0]);
+        assert!(printed.contains("'Nick Naive'"), "{printed}");
+        assert!(printed.contains("<rel 'student'>"), "{printed}");
+        assert!(printed.contains("<year 3>"), "{printed}");
+    }
+
+    #[test]
+    fn hash_join_and_bind_join_agree() {
+        let q = "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med";
+        let a = run(
+            q,
+            PlannerOptions {
+                prefer_bind_join: Some(true),
+                ..Default::default()
+            },
+        );
+        let b = run(
+            q,
+            PlannerOptions {
+                prefer_bind_join: Some(false),
+                ..Default::default()
+            },
+        );
+        assert_eq!(a.results.top_level().len(), b.results.top_level().len());
+        let pa = compact(&a.results, a.results.top_level()[0]);
+        let pb = compact(&b.results, b.results.top_level()[0]);
+        // Oids differ; structure must not.
+        assert!(oem::eq::struct_eq_cross(
+            &a.results,
+            a.results.top_level()[0],
+            &b.results,
+            b.results.top_level()[0]
+        ), "{pa} vs {pb}");
+    }
+
+    #[test]
+    fn pushdown_off_agrees_with_pushdown_on() {
+        let q = "S :- S:<cs_person {<year 3>}>@med";
+        let on = run(q, PlannerOptions::default());
+        let off = run(
+            q,
+            PlannerOptions {
+                pushdown: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(on.results.top_level().len(), off.results.top_level().len());
+    }
+
+    #[test]
+    fn traces_show_tables() {
+        let out = run(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        let trace = &out.traces[0];
+        assert!(trace.iter().any(|t| t.op == "query"));
+        let qtrace = trace.iter().find(|t| t.op == "query").unwrap();
+        assert!(qtrace.detail.contains("@whois"), "{}", qtrace.detail);
+        assert!(qtrace.table.contains("employee") || qtrace.table.contains("'employee'"));
+    }
+
+    #[test]
+    fn observations_recorded() {
+        let out = run(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        assert!(out
+            .observations
+            .iter()
+            .any(|(s, l, _)| *s == sym("whois") && *l == Some(sym("person"))));
+        assert!(out.source_calls[&sym("whois")] >= 1);
+        assert!(out.source_calls[&sym("cs")] >= 1);
+    }
+
+
+
+    #[test]
+    fn param_query_memoizes_repeated_tuples() {
+        // A workload where many whois persons share the same relation: the
+        // parameterized cs query for a repeated (R, LN, FN) tuple is sent
+        // once. Build a store with duplicate persons to force repeats.
+        use oem::ObjectBuilder;
+        let mut store = oem::ObjectStore::new();
+        for _ in 0..4 {
+            ObjectBuilder::set("person")
+                .atom("name", "Joe Chung")
+                .atom("dept", "CS")
+                .atom("relation", "employee")
+                .build_top(&mut store);
+        }
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(
+            sym("whois"),
+            Arc::new(wrappers::SemiStructuredWrapper::new("whois", store)),
+        );
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("P :- P:<cs_person {}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let options = PlannerOptions {
+            prefer_bind_join: Some(true),
+            ..Default::default()
+        };
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let out = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
+        // 4 identical outer tuples → 1 memoized cs call (plus none other).
+        assert_eq!(out.source_calls[&sym("cs")], 1, "{:?}", out.source_calls);
+        // All four duplicates collapse to one result object.
+        assert_eq!(out.results.top_level().len(), 1);
+    }
+
+    #[test]
+    fn trace_off_keeps_tables_empty() {
+        let out = run(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        // run() traces; spot-check the inverse through execute directly.
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("P :- P:<cs_person {}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let srcs = sources();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let quiet = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
+        assert!(quiet.traces.iter().all(|t| t.is_empty()));
+        let _ = out;
+    }
+
+    #[test]
+    fn memory_contains_only_referenced_objects() {
+        // After the merge phase, the mediator's memory holds the objects
+        // the final tables reference — not every fetched object.
+        let out = run(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        out.memory.validate().unwrap();
+        // All memory objects are reachable from some table-referenced root:
+        // sanity-check via the store size being modest (Joe's rests only).
+        assert!(out.memory.len() <= 12, "memory bloat: {:?}", out.memory);
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        // The year query has two chains (τ1/τ2); run them on threads.
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let srcs = sources();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let seq = execute(&physical, &srcs, &registry, &ExecOptions { trace: false, parallel: false }).unwrap();
+        let par = execute(&physical, &srcs, &registry, &ExecOptions { trace: false, parallel: true }).unwrap();
+        assert_eq!(seq.results.top_level().len(), par.results.top_level().len());
+        for (&a, &b) in seq.results.top_level().iter().zip(par.results.top_level()) {
+            assert!(oem::eq::struct_eq_cross(&seq.results, a, &par.results, b));
+        }
+        // Source-call accounting merges across chains in both modes.
+        assert_eq!(seq.source_calls, par.source_calls);
+    }
+
+    #[test]
+    fn empty_chain_short_circuits() {
+        let out = run(
+            "JC :- JC:<cs_person {<name 'Nobody'>}>@med",
+            PlannerOptions::default(),
+        );
+        assert!(out.results.top_level().is_empty());
+        // cs should never be contacted: the whois result was empty.
+        assert_eq!(out.source_calls.get(&sym("cs")), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Plan and execution rendering — regenerates the paper's Figure 3.6
+//! presentation: the physical datamerge graph with the tables that flowed
+//! during a sample run.
+
+use crate::exec::ExecOutcome;
+use crate::graph::{Node, PhysicalPlan};
+use crate::logical::LogicalProgram;
+use std::fmt::Write;
+
+/// Render a logical program the way §3.2 presents it.
+pub fn render_logical(program: &LogicalProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Logical datamerge program ({} rules):", program.len());
+    for (i, (r, note)) in program
+        .rules
+        .iter()
+        .zip(&program.unifier_notes)
+        .enumerate()
+    {
+        let _ = writeln!(out, "  (R{}) {}", i + 1, msl::printer::rule(r));
+        if !note.is_empty() {
+            let _ = writeln!(out, "       unifier: {note}");
+        }
+    }
+    out
+}
+
+/// Render a physical plan as a per-rule chain of operators (Figure 3.6's
+/// graph, flattened).
+pub fn render_plan(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    for (i, rule) in plan.rules.iter().enumerate() {
+        let _ = writeln!(out, "Datamerge graph for rule R{}:", i + 1);
+        for node in &rule.nodes {
+            let _ = writeln!(out, "  [{}] {}", node.op_name(), summarize(node));
+        }
+        let _ = writeln!(
+            out,
+            "  [constructor] cp = {}",
+            msl::printer::head(&rule.head)
+        );
+    }
+    if plan.dedup_results {
+        let _ = writeln!(out, "  [result dup elim] structural");
+    }
+    out
+}
+
+/// Render a traced execution: each node with the table it emitted — the
+/// rectangles of Figure 3.6.
+pub fn render_execution(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
+    let mut out = String::new();
+    for (i, (rule, trace)) in plan.rules.iter().zip(&outcome.traces).enumerate() {
+        let _ = writeln!(out, "=== rule R{} ===", i + 1);
+        for t in trace {
+            let _ = writeln!(out, "[{}] {}", t.op, t.detail);
+            let _ = writeln!(out, "  rows out: {}", t.rows_out);
+            for line in t.table.lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "[constructor] {}",
+            msl::printer::head(&rule.head)
+        );
+    }
+    let _ = writeln!(out, "=== result objects ===");
+    out.push_str(&oem::printer::print_store(&outcome.results));
+    out
+}
+
+fn summarize(node: &Node) -> String {
+    match node {
+        Node::Query { source, query, .. } => {
+            format!("@{source}  {}", msl::printer::rule(query))
+        }
+        Node::ParamQuery {
+            source,
+            query,
+            params,
+            ..
+        } => {
+            let ps: Vec<String> = params.iter().map(|p| format!("${p}")).collect();
+            format!(
+                "@{source}  params [{}]  {}",
+                ps.join(", "),
+                msl::printer::rule(query)
+            )
+        }
+        Node::ExternalPred { pred, args, .. } => {
+            let rendered: Vec<String> =
+                args.iter().map(|a| msl::printer::term(a, true)).collect();
+            format!("{pred}({})", rendered.join(", "))
+        }
+        Node::RestFilter { var, condition } => {
+            format!("{var} must contain {}", msl::printer::pattern(condition))
+        }
+        Node::HashJoin {
+            source, join_vars, ..
+        } => {
+            let vs: Vec<String> = join_vars.iter().map(|v| v.as_str()).collect();
+            format!("fetch @{source}, join on [{}]", vs.join(", "))
+        }
+        Node::DupElim { vars } => {
+            let vs: Vec<String> = vars.iter().map(|v| v.as_str()).collect();
+            format!("project [{}], dedup", vs.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, ExecOptions};
+    use crate::externals::standard_registry;
+    use crate::planner::{plan, PlanContext, PlannerOptions};
+    use crate::spec::MediatorSpec;
+    use crate::stats::StatsCache;
+    use crate::veao::expand;
+    use engine::unify::UnifyMode;
+    use oem::sym;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+    use wrappers::Wrapper;
+
+
+    #[test]
+    fn summaries_cover_every_node_kind() {
+        use crate::graph::{ExtractVar, Node, VarKind};
+        use msl::{PatValue, Pattern, Term};
+        let q = msl::parse_rule("X :- X:<p {}>@s").unwrap();
+        let nodes = [
+            Node::Query {
+                source: sym("s"),
+                query: q.clone(),
+                vars: vec![ExtractVar { var: sym("V"), kind: VarKind::Scalar }],
+            },
+            Node::ParamQuery {
+                source: sym("s"),
+                query: q.clone(),
+                params: vec![sym("P")],
+                vars: vec![],
+            },
+            Node::ExternalPred {
+                pred: sym("decomp"),
+                args: vec![Term::var("N")],
+                new_vars: vec![],
+            },
+            Node::RestFilter {
+                var: sym("Rest"),
+                condition: Pattern::lv(Term::str("year"), PatValue::Term(Term::int(3))),
+            },
+            Node::HashJoin {
+                source: sym("s"),
+                query: q,
+                vars: vec![],
+                join_vars: vec![sym("K")],
+            },
+            Node::DupElim { vars: vec![sym("V")] },
+        ];
+        let rendered = render_plan(&crate::graph::PhysicalPlan {
+            rules: vec![crate::graph::RulePlan {
+                nodes: nodes.to_vec(),
+                head: msl::Head::Var(sym("X")),
+            }],
+            dedup_results: true,
+        });
+        for frag in [
+            "[query]",
+            "[parameterized query]",
+            "params [$P]",
+            "[external pred]",
+            "decomp(N)",
+            "[filter]",
+            "Rest must contain <year 3>",
+            "[hash join]",
+            "join on [K]",
+            "[dup elim]",
+            "project [V], dedup",
+            "[result dup elim] structural",
+        ] {
+            assert!(rendered.contains(frag), "missing {frag} in:\n{rendered}");
+        }
+    }
+
+    #[test]
+    fn figure_3_6_walkthrough_renders() {
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let logical = render_logical(&program);
+        assert!(logical.contains("(R1)"));
+        assert!(logical.contains("(R2)"));
+
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let mut srcs: HashMap<oem::Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("whois"), Arc::new(whois_wrapper()));
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let rendered = render_plan(&physical);
+        assert!(rendered.contains("[query]"), "{rendered}");
+        assert!(rendered.contains("[external pred]"), "{rendered}");
+        assert!(rendered.contains("[constructor]"), "{rendered}");
+
+        let outcome = execute(&physical, &srcs, &registry, &ExecOptions { trace: true, parallel: false }).unwrap();
+        let walk = render_execution(&physical, &outcome);
+        assert!(walk.contains("=== rule R1 ==="), "{walk}");
+        assert!(walk.contains("rows out"), "{walk}");
+        assert!(walk.contains("'Nick Naive'"), "{walk}");
+        assert!(walk.contains("=== result objects ==="), "{walk}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The physical datamerge graph (§3.4, Figure 3.6).
+//!
+//! "This graph specifies the queries to be sent to the sources as well as
+//! the mechanics for constructing the query result from the results
+//! received from the sources." Our graphs are chains of nodes per logical
+//! rule — exactly the shape of Figure 3.6 — executed bottom-up by the
+//! datamerge engine with a [`crate::table::BindingTable`] flowing between
+//! nodes.
+
+use msl::{Head, Pattern, Rule, Term};
+use oem::Symbol;
+
+/// How a variable's binding is recovered from a `bind_for_<var>` subobject
+/// of a source result object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VarKind {
+    /// Atomic subobject → atom binding; set subobject → object-set binding
+    /// (rest variables and set-valued value variables).
+    Scalar,
+    /// The variable was an object variable (`X:`); its carrier subobject is
+    /// a singleton set holding the object itself.
+    Object,
+}
+
+/// A variable extracted from source results.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExtractVar {
+    pub var: Symbol,
+    pub kind: VarKind,
+}
+
+/// One operator of the datamerge graph.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// Send a fixed query to a source once; for every result object,
+    /// extract `vars` and emit one output row per (input row × result
+    /// binding). Subsumes the paper's *query* + *extractor* node pair
+    /// (the extraction pattern `epw` is implied by the `bind_for_*` head
+    /// the planner generated).
+    Query {
+        source: Symbol,
+        query: Rule,
+        vars: Vec<ExtractVar>,
+    },
+    /// For each input row, instantiate `$param` slots from the row and send
+    /// the query; extend the row with the extracted `vars` (the paper's
+    /// *parameterized query* node, e.g. `Qcs`).
+    ParamQuery {
+        source: Symbol,
+        query: Rule,
+        params: Vec<Symbol>,
+        vars: Vec<ExtractVar>,
+    },
+    /// Invoke an external predicate per row (the paper's *external pred*
+    /// node). `new_vars` are the variables it may bind; with none, the node
+    /// is a pure filter.
+    ExternalPred {
+        pred: Symbol,
+        args: Vec<Term>,
+        new_vars: Vec<Symbol>,
+    },
+    /// Client-side filter: keep rows where the object-set in `var` has a
+    /// member matching `condition` — used when a source cannot evaluate a
+    /// condition itself (§3.5, the whois/year example).
+    RestFilter { var: Symbol, condition: Pattern },
+    /// Fetch the source group once, then hash-join it with the incoming
+    /// table on `join_vars` (the fetch-and-join alternative to a bind
+    /// join). Join keys compare [`engine::BoundValue`]s: atomic values
+    /// compare by value; object/set values compare by identity in mediator
+    /// memory, so cross-source joins should always go through atomic
+    /// variables (cross-source object identity is meaningless in OEM —
+    /// object fusion via semantic oids is the mechanism for identifying
+    /// objects across sources).
+    HashJoin {
+        source: Symbol,
+        query: Rule,
+        vars: Vec<ExtractVar>,
+        join_vars: Vec<Symbol>,
+    },
+    /// Project onto `vars` and eliminate duplicate rows (MSL's duplicate
+    /// elimination, §2 footnote 3 / footnote 9).
+    DupElim { vars: Vec<Symbol> },
+}
+
+impl Node {
+    /// Short operator name for plan rendering.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Node::Query { .. } => "query",
+            Node::ParamQuery { .. } => "parameterized query",
+            Node::ExternalPred { .. } => "external pred",
+            Node::RestFilter { .. } => "filter",
+            Node::HashJoin { .. } => "hash join",
+            Node::DupElim { .. } => "dup elim",
+        }
+    }
+
+    /// Variables this node adds to the flowing table.
+    pub fn added_vars(&self) -> Vec<Symbol> {
+        match self {
+            Node::Query { vars, .. }
+            | Node::ParamQuery { vars, .. }
+            | Node::HashJoin { vars, .. } => vars.iter().map(|v| v.var).collect(),
+            Node::ExternalPred { new_vars, .. } => new_vars.clone(),
+            Node::RestFilter { .. } | Node::DupElim { .. } => Vec::new(),
+        }
+    }
+}
+
+/// The plan for one logical datamerge rule: a chain of nodes feeding a
+/// constructor.
+#[derive(Clone, Debug)]
+pub struct RulePlan {
+    pub nodes: Vec<Node>,
+    /// The constructor node's pattern `cp(...)` (§3.4).
+    pub head: Head,
+}
+
+/// The full physical plan: one chain per logical rule; results are unioned
+/// and (optionally) structurally deduplicated.
+#[derive(Clone, Debug, Default)]
+pub struct PhysicalPlan {
+    pub rules: Vec<RulePlan>,
+    /// Apply final structural duplicate elimination across rule outputs.
+    pub dedup_results: bool,
+}
+
+impl PhysicalPlan {
+    /// Total node count (for plan-shape assertions in tests).
+    pub fn node_count(&self) -> usize {
+        self.rules.iter().map(|r| r.nodes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::sym;
+
+    #[test]
+    fn node_metadata() {
+        let n = Node::ExternalPred {
+            pred: sym("decomp"),
+            args: vec![Term::var("N"), Term::var("LN"), Term::var("FN")],
+            new_vars: vec![sym("LN"), sym("FN")],
+        };
+        assert_eq!(n.op_name(), "external pred");
+        assert_eq!(n.added_vars(), vec![sym("LN"), sym("FN")]);
+
+        let f = Node::RestFilter {
+            var: sym("Rest1"),
+            condition: msl::Pattern::lv(
+                Term::str("year"),
+                msl::PatValue::Term(Term::int(3)),
+            ),
+        };
+        assert_eq!(f.op_name(), "filter");
+        assert!(f.added_vars().is_empty());
+    }
+}

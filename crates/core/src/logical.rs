@@ -1,0 +1,62 @@
+//! The logical datamerge program (§3.2).
+//!
+//! "The result is a *logical datamerge program* that is a set of MSL rules
+//! specifying the result." One rule per unifier combination; the paper's
+//! examples are R2 (for Q1) and the two-rule program Q3/Q4 (for the year-3
+//! query).
+
+use msl::Rule;
+use std::fmt;
+
+/// The output of view expansion.
+#[derive(Clone, Debug, Default)]
+pub struct LogicalProgram {
+    /// One datamerge rule per unifier combination.
+    pub rules: Vec<Rule>,
+    /// Human-readable renderings of the unifiers that justified each rule
+    /// (same order as `rules`) — used by `explain` and the θ1/τ1/τ2
+    /// experiments.
+    pub unifier_notes: Vec<String>,
+}
+
+impl LogicalProgram {
+    /// Is the program empty (the query cannot be satisfied by the view)?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+impl fmt::Display for LogicalProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            writeln!(f, "(R{}) {}", i + 1, msl::printer::rule(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_numbers_rules() {
+        let p = LogicalProgram {
+            rules: vec![
+                msl::parse_rule("X :- X:<a {}>@s").unwrap(),
+                msl::parse_rule("Y :- Y:<b {}>@t").unwrap(),
+            ],
+            unifier_notes: vec![String::new(), String::new()],
+        };
+        let s = p.to_string();
+        assert!(s.contains("(R1)"));
+        assert!(s.contains("(R2)"));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,449 @@
+//! The mediator runtime — the full MSI pipeline behind one `query()` call
+//! (Figure 2.5).
+//!
+//! A [`Mediator`] also implements [`wrappers::Wrapper`], so mediators can
+//! serve as sources of other mediators — stacking exactly as in the
+//! TSIMMIS architecture of Figure 1.1.
+
+use crate::error::{MedError, Result};
+use crate::exec::{execute, ExecOptions, ExecOutcome};
+use crate::externals::ExternalRegistry;
+use crate::logical::LogicalProgram;
+use crate::planner::{plan, PlanContext, PlannerOptions};
+use crate::recursion::materialize_fixpoint;
+use crate::spec::MediatorSpec;
+use crate::stats::StatsCache;
+use crate::veao::expand;
+use engine::unify::UnifyMode;
+use msl::Rule;
+use oem::{ObjectStore, Symbol};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use wrappers::{Capabilities, SourceStats, Wrapper, WrapperError};
+
+/// Mediator-level options.
+#[derive(Clone, Debug)]
+pub struct MediatorOptions {
+    pub planner: PlannerOptions,
+    /// Unifier enumeration mode. `Exhaustive` (default) is complete;
+    /// `Minimal` reproduces the paper's worked expansions.
+    pub unify_mode: UnifyMode,
+    /// Evaluate recursive specifications by fixpoint materialization.
+    pub allow_recursion: bool,
+    /// Record per-node execution traces (explain).
+    pub trace: bool,
+    /// Execute independent rule chains on separate threads.
+    pub parallel: bool,
+    /// Learn statistics from observed query results (§3.5).
+    pub learn_stats: bool,
+}
+
+impl Default for MediatorOptions {
+    fn default() -> MediatorOptions {
+        MediatorOptions {
+            planner: PlannerOptions::default(),
+            unify_mode: UnifyMode::Exhaustive,
+            allow_recursion: true,
+            trace: false,
+            parallel: false,
+            learn_stats: true,
+        }
+    }
+}
+
+/// A declaratively-specified mediator.
+///
+/// ```
+/// use medmaker::Mediator;
+/// use std::sync::Arc;
+/// use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+///
+/// let med = Mediator::new(
+///     "med",
+///     MS1,
+///     vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+///     medmaker::externals::standard_registry(),
+/// ).unwrap();
+/// let results = med
+///     .query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+///     .unwrap();
+/// assert_eq!(results.top_level().len(), 1);
+/// ```
+pub struct Mediator {
+    spec: MediatorSpec,
+    sources: HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: ExternalRegistry,
+    options: MediatorOptions,
+    stats: RwLock<StatsCache>,
+    caps: Capabilities,
+}
+
+impl Mediator {
+    /// Build a mediator from a specification text, sources and an external
+    /// function registry.
+    pub fn new(
+        name: &str,
+        spec_text: &str,
+        sources: Vec<Arc<dyn Wrapper>>,
+        registry: ExternalRegistry,
+    ) -> Result<Mediator> {
+        let spec = MediatorSpec::parse(name, spec_text)?;
+        spec.check_registry(&registry)?;
+        let mut map = HashMap::new();
+        for s in sources {
+            map.insert(s.name(), s);
+        }
+        // Every referenced source must be present, except the mediator
+        // itself (recursive specifications).
+        for s in spec.sources() {
+            if s != spec.name && !map.contains_key(&s) {
+                return Err(MedError::UnknownSource(s.as_str()));
+            }
+        }
+        // Seed the statistics cache with whatever the wrappers offer.
+        let mut stats = StatsCache::new();
+        for (name, w) in &map {
+            if let Some(s) = w.stats() {
+                stats.provide(*name, s);
+            }
+        }
+        // What this mediator supports as a *source*: full MSL matching on
+        // virtual objects except wildcards (any-depth search cannot be
+        // pushed through view expansion soundly — see veao docs).
+        let mut caps = Capabilities::full();
+        caps.wildcards = false;
+        Ok(Mediator {
+            spec,
+            sources: map,
+            registry,
+            options: MediatorOptions::default(),
+            stats: RwLock::new(stats),
+            caps,
+        })
+    }
+
+    /// Replace the option set.
+    pub fn with_options(mut self, options: MediatorOptions) -> Mediator {
+        self.options = options;
+        self
+    }
+
+    /// The mediator's specification.
+    pub fn spec(&self) -> &MediatorSpec {
+        &self.spec
+    }
+
+    /// Run an MSL query (text form) through the full pipeline.
+    pub fn query_text(&self, text: &str) -> Result<ObjectStore> {
+        let rule = msl::parse_query(text)?;
+        self.query_rule(&rule).map(|o| o.results)
+    }
+
+    /// Run a parsed query, returning the full execution outcome (results,
+    /// traces, observations).
+    pub fn query_rule(&self, query: &Rule) -> Result<ExecOutcome> {
+        msl::validate::validate_rule(query, &self.spec.spec.externals)?;
+
+        if self.spec.is_recursive() {
+            if !self.options.allow_recursion {
+                return Err(MedError::RecursionDisabled(self.spec.name.as_str()));
+            }
+            return self.query_recursive(query);
+        }
+
+        let program = self.expand(query)?;
+        let physical = {
+            let stats = self.stats.read();
+            let ctx = PlanContext {
+                sources: &self.sources,
+                registry: &self.registry,
+                stats: &stats,
+                options: &self.options.planner,
+            };
+            plan(&program, &ctx)?
+        };
+        let outcome = execute(
+            &physical,
+            &self.sources,
+            &self.registry,
+            &ExecOptions {
+                trace: self.options.trace,
+                parallel: self.options.parallel,
+            },
+        )?;
+        if self.options.learn_stats {
+            let mut stats = self.stats.write();
+            for (src, label, count) in &outcome.observations {
+                stats.record(*src, *label, *count);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// View expansion only (used by explain and the experiments).
+    pub fn expand(&self, query: &Rule) -> Result<LogicalProgram> {
+        expand(query, &self.spec, self.options.unify_mode)
+    }
+
+    /// Recursive path: materialize the view to fixpoint, then answer the
+    /// query against the materialization.
+    fn query_recursive(&self, query: &Rule) -> Result<ExecOutcome> {
+        let (view, _iters) = materialize_fixpoint(&self.spec, &self.sources, &self.registry)?;
+        let view_wrapper =
+            wrappers::SemiStructuredWrapper::new(&self.spec.name.as_str(), view);
+        let results = view_wrapper.query(query)?;
+        Ok(ExecOutcome {
+            results,
+            memory: ObjectStore::new(),
+            traces: Vec::new(),
+            observations: Vec::new(),
+            source_calls: HashMap::new(),
+        })
+    }
+
+    /// A snapshot of the learned statistics (experiments).
+    pub fn stats_snapshot(&self) -> StatsCache {
+        self.stats.read().clone()
+    }
+
+    /// Full EXPLAIN: render the logical datamerge program, the physical
+    /// plan, and (when `run` is true) a traced execution with the binding
+    /// tables that flowed between nodes — the Figure 3.6 presentation.
+    pub fn explain_text(&self, text: &str, run: bool) -> Result<String> {
+        use std::fmt::Write;
+        let query = msl::parse_query(text)?;
+        msl::validate::validate_rule(&query, &self.spec.spec.externals)?;
+        if self.spec.is_recursive() {
+            return Ok(format!(
+                "specification of '{}' is recursive: evaluated by fixpoint \
+                 materialization (up to {} iterations), then matched directly",
+                self.spec.name,
+                crate::recursion::MAX_ITERATIONS
+            ));
+        }
+        let program = self.expand(&query)?;
+        let mut out = String::new();
+        out.push_str(&crate::explain::render_logical(&program));
+        let physical = {
+            let stats = self.stats.read();
+            let ctx = PlanContext {
+                sources: &self.sources,
+                registry: &self.registry,
+                stats: &stats,
+                options: &self.options.planner,
+            };
+            plan(&program, &ctx)?
+        };
+        let _ = writeln!(out);
+        out.push_str(&crate::explain::render_plan(&physical));
+        if run {
+            let outcome = execute(
+                &physical,
+                &self.sources,
+                &self.registry,
+                &ExecOptions { trace: true, parallel: false },
+            )?;
+            let _ = writeln!(out);
+            out.push_str(&crate::explain::render_execution(&physical, &outcome));
+        }
+        Ok(out)
+    }
+}
+
+impl Wrapper for Mediator {
+    fn name(&self) -> Symbol {
+        self.spec.name
+    }
+
+    fn capabilities(&self) -> &Capabilities {
+        &self.caps
+    }
+
+    fn stats(&self) -> Option<SourceStats> {
+        None // virtual views: cardinalities unknown until queried
+    }
+
+    fn query(&self, q: &Rule) -> std::result::Result<ObjectStore, WrapperError> {
+        // Queries arriving from an upper mediator name this mediator as
+        // their source; our own pipeline expects that too, so pass through.
+        self.query_rule(q)
+            .map(|o| o.results)
+            .map_err(|e| WrapperError::BadQuery(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::externals::standard_registry;
+    use oem::printer::compact;
+    use oem::sym;
+    use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+
+    pub fn paper_mediator() -> Mediator {
+        Mediator::new(
+            "med",
+            MS1,
+            vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+            standard_registry(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn q1_end_to_end() {
+        let med = paper_mediator();
+        let results = med
+            .query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        assert_eq!(results.top_level().len(), 1);
+        let printed = compact(&results, results.top_level()[0]);
+        assert!(printed.contains("<title 'professor'>"), "{printed}");
+    }
+
+    #[test]
+    fn whole_view_lists_both_people() {
+        let med = paper_mediator();
+        let results = med.query_text("P :- P:<cs_person {}>@med").unwrap();
+        assert_eq!(results.top_level().len(), 2);
+    }
+
+    #[test]
+    fn exhaustive_mode_is_still_correct_on_q1() {
+        // Exhaustive unification explores extra unifiers; duplicate
+        // elimination collapses their results back to the same answer.
+        let med = paper_mediator();
+        let results = med
+            .query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        assert_eq!(results.top_level().len(), 1);
+    }
+
+    #[test]
+    fn unknown_source_rejected_at_construction() {
+        let res = Mediator::new(
+            "m",
+            "<v {<a A>}> :- <p {<a A>}>@missing",
+            vec![],
+            standard_registry(),
+        );
+        assert!(matches!(res.err(), Some(MedError::UnknownSource(_))));
+    }
+
+    #[test]
+    fn mediators_stack() {
+        // An upper mediator over `med`, renaming cs_person to staff.
+        let lower = Arc::new(paper_mediator());
+        let upper = Mediator::new(
+            "top",
+            "<staff {<who N>}> :- <cs_person {<name N>}>@med",
+            vec![lower],
+            standard_registry(),
+        )
+        .unwrap();
+        let results = upper.query_text("X :- X:<staff {}>@top").unwrap();
+        assert_eq!(results.top_level().len(), 2);
+        let printed: Vec<String> = results
+            .top_level()
+            .iter()
+            .map(|&t| compact(&results, t))
+            .collect();
+        assert!(printed.iter().any(|p| p.contains("'Joe Chung'")), "{printed:?}");
+    }
+
+    #[test]
+    fn recursive_mediator_answers_queries() {
+        let mut s = ObjectStore::new();
+        for (of, is) in [("a", "b"), ("b", "c")] {
+            oem::ObjectBuilder::set("parent")
+                .atom("of", of)
+                .atom("is", is)
+                .build_top(&mut s);
+        }
+        let src: Arc<dyn Wrapper> = Arc::new(wrappers::SemiStructuredWrapper::new("src", s));
+        let med = Mediator::new(
+            "m",
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+             AND <anc {<of Y> <is Z>}>@m",
+            vec![src],
+            standard_registry(),
+        )
+        .unwrap();
+        let results = med.query_text("X :- X:<anc {<of 'a'>}>@m").unwrap();
+        assert_eq!(results.top_level().len(), 2); // a→b, a→c
+    }
+
+
+    #[test]
+    fn recursion_can_be_disabled() {
+        let mut s = ObjectStore::new();
+        oem::ObjectBuilder::set("parent")
+            .atom("of", "a")
+            .atom("is", "b")
+            .build_top(&mut s);
+        let src: Arc<dyn Wrapper> = Arc::new(wrappers::SemiStructuredWrapper::new("src", s));
+        let med = Mediator::new(
+            "m",
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+             AND <anc {<of Y> <is Z>}>@m",
+            vec![src],
+            standard_registry(),
+        )
+        .unwrap()
+        .with_options(MediatorOptions {
+            allow_recursion: false,
+            ..Default::default()
+        });
+        assert!(matches!(
+            med.query_text("X :- X:<anc {}>@m"),
+            Err(MedError::RecursionDisabled(_))
+        ));
+    }
+
+    #[test]
+    fn learn_stats_off_keeps_cache_empty() {
+        let med = paper_mediator().with_options(MediatorOptions {
+            learn_stats: false,
+            ..Default::default()
+        });
+        med.query_text("P :- P:<cs_person {}>@med").unwrap();
+        // Wrapper-provided stats (cs) are still there, but no observations
+        // accumulate for whois.
+        assert!(!med
+            .stats_snapshot()
+            .knows(sym("whois")));
+    }
+
+    #[test]
+    fn parallel_option_works_through_mediator() {
+        let med = paper_mediator().with_options(MediatorOptions {
+            parallel: true,
+            ..Default::default()
+        });
+        let res = med.query_text("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        assert_eq!(res.top_level().len(), 1);
+    }
+
+    #[test]
+    fn trace_option_populates_traces() {
+        let med = paper_mediator().with_options(MediatorOptions {
+            trace: true,
+            ..Default::default()
+        });
+        let q = msl::parse_query("P :- P:<cs_person {}>@med").unwrap();
+        let out = med.query_rule(&q).unwrap();
+        assert!(out.traces.iter().any(|t| !t.is_empty()));
+        assert!(out.traces.iter().flatten().all(|t| !t.table.is_empty()));
+    }
+
+    #[test]
+    fn stats_learned_across_queries() {
+        let med = paper_mediator();
+        assert!(!med.stats_snapshot().knows(sym("whois")));
+        med.query_text("P :- P:<cs_person {}>@med").unwrap();
+        assert!(med.stats_snapshot().knows(sym("whois")));
+    }
+}

@@ -1,0 +1,911 @@
+//! The cost-based optimizer (§3.4–3.5).
+//!
+//! Turns each logical datamerge rule into a physical chain:
+//!
+//! * groups the tail's match items by source;
+//! * orders the groups — by estimated cardinality when statistics are
+//!   available, falling back to the paper's heuristic ("the outer patterns
+//!   of the join order are the ones that have the greatest number of
+//!   conditions");
+//! * chooses, for every non-outer group, between a **parameterized query**
+//!   (bind join, the plan of Figure 3.6) and a **fetch + hash join**;
+//! * pushes every condition the source can evaluate; conditions a source
+//!   *cannot* evaluate (capability restrictions, §3.5) are stripped from
+//!   the source query and kept as client-side filters;
+//! * places external-predicate calls at the earliest point where an
+//!   implementation is callable (§2's adornments);
+//! * appends duplicate elimination per MSL's semantics (footnote 9).
+
+use crate::error::{MedError, Result};
+use crate::externals::ExternalRegistry;
+use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
+use crate::logical::LogicalProgram;
+use crate::stats::{condition_count, StatsCache};
+use engine::subst::{subst_pattern, Subst};
+use msl::{Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, TailItem, Term};
+use oem::{Symbol, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use wrappers::Wrapper;
+
+/// Planner knobs (ablations + experiments).
+#[derive(Clone, Debug)]
+pub struct PlannerOptions {
+    /// Push source-evaluable conditions into source queries (the "push
+    /// selections down" optimization, §3.3). Disabling keeps every
+    /// condition in the mediator — the ablation baseline.
+    pub pushdown: bool,
+    /// `Some(true)` forces bind joins, `Some(false)` forces hash joins,
+    /// `None` decides by cost.
+    pub prefer_bind_join: Option<bool>,
+    /// Apply duplicate elimination (MSL semantics; the paper's original
+    /// implementation omitted it, fn. 9).
+    pub dedup: bool,
+    /// Use statistics for join ordering; otherwise use only the
+    /// most-conditions-first heuristic.
+    pub use_stats: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> PlannerOptions {
+        PlannerOptions {
+            pushdown: true,
+            prefer_bind_join: None,
+            dedup: true,
+            use_stats: true,
+        }
+    }
+}
+
+/// Everything the planner consults.
+pub struct PlanContext<'a> {
+    pub sources: &'a HashMap<Symbol, Arc<dyn Wrapper>>,
+    pub registry: &'a ExternalRegistry,
+    pub stats: &'a StatsCache,
+    pub options: &'a PlannerOptions,
+}
+
+/// Plan a whole logical program.
+pub fn plan(program: &LogicalProgram, ctx: &PlanContext) -> Result<PhysicalPlan> {
+    let mut rules = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        rules.push(plan_rule(rule, ctx)?);
+    }
+    Ok(PhysicalPlan {
+        rules,
+        dedup_results: ctx.options.dedup,
+    })
+}
+
+struct Group {
+    source: Symbol,
+    patterns: Vec<Pattern>,
+}
+
+/// A condition stripped out of a source query, to be applied client-side.
+enum ClientFilter {
+    /// `var = value` on a freshly introduced retrieval variable.
+    ValueEq { var: Symbol, value: Value },
+    /// The object-set bound to `var` must contain a member matching the
+    /// condition.
+    Rest { var: Symbol, condition: Pattern },
+}
+
+fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
+    // ---- partition the tail --------------------------------------------
+    let mut groups: Vec<Group> = Vec::new();
+    let mut externals: Vec<(Symbol, Vec<Term>)> = Vec::new();
+    for item in &rule.tail {
+        match item {
+            TailItem::Match { pattern, source } => {
+                let Some(src) = source else {
+                    return Err(MedError::Planning(
+                        "datamerge rule has an unannotated match item".into(),
+                    ));
+                };
+                if !ctx.sources.contains_key(src) {
+                    return Err(MedError::UnknownSource(src.as_str()));
+                }
+                match groups.iter_mut().find(|g| g.source == *src) {
+                    Some(g) => g.patterns.push(pattern.clone()),
+                    None => groups.push(Group {
+                        source: *src,
+                        patterns: vec![pattern.clone()],
+                    }),
+                }
+            }
+            TailItem::External { name, args } => externals.push((*name, args.clone())),
+        }
+    }
+
+    // ---- capability handling / pushdown --------------------------------
+    let mut fresh_counter = 0usize;
+    let mut processed: Vec<(Group, Vec<ClientFilter>)> = Vec::new();
+    for g in groups {
+        let wrapper = &ctx.sources[&g.source];
+        let caps = wrapper.capabilities();
+        let mut filters: Vec<ClientFilter> = Vec::new();
+        let patterns: Vec<Pattern> = g
+            .patterns
+            .iter()
+            .map(|p| {
+                strip_conditions(
+                    p,
+                    &|cond: &Pattern| {
+                        if !ctx.options.pushdown {
+                            return true; // ablation: strip everything
+                        }
+                        match &cond.label {
+                            Term::Const(v) => v
+                                .as_str_sym()
+                                .is_some_and(|l| caps.unsupported_condition_labels.contains(&l)),
+                            _ => false,
+                        }
+                    },
+                    &mut fresh_counter,
+                    &mut filters,
+                )
+            })
+            .collect();
+        // After stripping, the source must accept what remains.
+        for p in &patterns {
+            caps.check_pattern(p, true)
+                .map_err(|e| MedError::Planning(format!("source '{}': {e}", g.source)))?;
+        }
+        processed.push((
+            Group {
+                source: g.source,
+                patterns,
+            },
+            filters,
+        ));
+    }
+
+    // ---- join order ------------------------------------------------------
+    // Ascending estimated cardinality; most-conditions-first as the
+    // tie-breaker and as the whole story when statistics are unavailable.
+    processed.sort_by(|(a, _), (b, _)| {
+        let pa: Vec<&Pattern> = a.patterns.iter().collect();
+        let pb: Vec<&Pattern> = b.patterns.iter().collect();
+        let conds_a = condition_count(&pa);
+        let conds_b = condition_count(&pb);
+        let (ka, kb) = (
+            ctx.options.use_stats && ctx.stats.knows(a.source),
+            ctx.options.use_stats && ctx.stats.knows(b.source),
+        );
+        let est_a = if ka {
+            ctx.stats.estimate_group(a.source, &pa)
+        } else {
+            f64::MAX
+        };
+        let est_b = if kb {
+            ctx.stats.estimate_group(b.source, &pb)
+        } else {
+            f64::MAX
+        };
+        est_a
+            .partial_cmp(&est_b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(conds_b.cmp(&conds_a))
+    });
+
+    // ---- variable bookkeeping -------------------------------------------
+    // "Needed" variables must be extracted from source results: head vars,
+    // external-predicate arguments, client-filter vars, and join/param vars
+    // (shared between groups).
+    let mut head_vars = Vec::new();
+    rule.head.collect_vars(&mut head_vars);
+    let mut needed: HashSet<Symbol> = head_vars.iter().copied().collect();
+    for (_, args) in &externals {
+        let mut vs = Vec::new();
+        for a in args {
+            a.collect_vars(&mut vs);
+        }
+        needed.extend(vs);
+    }
+    for (g, filters) in &processed {
+        for f in filters {
+            match f {
+                ClientFilter::ValueEq { var, .. } => {
+                    needed.insert(*var);
+                }
+                ClientFilter::Rest { var, .. } => {
+                    needed.insert(*var);
+                }
+            }
+        }
+        let _ = g;
+    }
+    // Vars shared between groups are join/param variables → needed.
+    {
+        let mut seen_in: HashMap<Symbol, usize> = HashMap::new();
+        for (g, _) in &processed {
+            let mut vs = Vec::new();
+            for p in &g.patterns {
+                p.collect_vars(&mut vs);
+            }
+            let uniq: HashSet<Symbol> = vs.into_iter().collect();
+            for v in uniq {
+                *seen_in.entry(v).or_insert(0) += 1;
+            }
+        }
+        for (v, n) in seen_in {
+            if n > 1 {
+                needed.insert(v);
+            }
+        }
+    }
+
+    // ---- build the chain ---------------------------------------------------
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    let mut placed_ext = vec![false; externals.len()];
+    let mut running_est: f64 = 1.0;
+
+    let place_externals = |nodes: &mut Vec<Node>,
+                           bound: &mut HashSet<Symbol>,
+                           placed: &mut Vec<bool>,
+                           ctx: &PlanContext| {
+        loop {
+            let mut progressed = false;
+            for (i, (pred, args)) in externals.iter().enumerate() {
+                if placed[i] || !callable_static(*pred, args, bound, ctx.registry) {
+                    continue;
+                }
+                let mut vs = Vec::new();
+                for a in args {
+                    a.collect_vars(&mut vs);
+                }
+                let new_vars: Vec<Symbol> = vs
+                    .into_iter()
+                    .filter(|v| !bound.contains(v))
+                    .collect();
+                bound.extend(new_vars.iter().copied());
+                nodes.push(Node::ExternalPred {
+                    pred: *pred,
+                    args: args.clone(),
+                    new_vars,
+                });
+                placed[i] = true;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+    };
+
+    for (gi, (group, filters)) in processed.iter().enumerate() {
+        let wrapper = &ctx.sources[&group.source];
+        let caps = wrapper.capabilities();
+
+        // Variables of this group.
+        let mut gvars = Vec::new();
+        for p in &group.patterns {
+            p.collect_vars(&mut gvars);
+        }
+        let gvars_set: HashSet<Symbol> = gvars.iter().copied().collect();
+        let obj_vars = object_vars(&group.patterns);
+
+        // Parameterizable vars: already bound, occur in term positions.
+        let param_vars: Vec<Symbol> = if gi == 0 {
+            Vec::new()
+        } else {
+            term_position_vars(&group.patterns)
+                .into_iter()
+                .filter(|v| bound.contains(v))
+                .collect()
+        };
+
+        // Extraction: group vars that are needed downstream and not already
+        // bound (params are in the table).
+        let extract: Vec<ExtractVar> = gvars_set
+            .iter()
+            .filter(|v| needed.contains(v) && !bound.contains(v))
+            .map(|v| ExtractVar {
+                var: *v,
+                kind: if obj_vars.contains(v) {
+                    VarKind::Object
+                } else {
+                    VarKind::Scalar
+                },
+            })
+            .collect();
+        let mut extract = extract;
+        extract.sort_by_key(|e| e.var.as_str());
+
+        let est = if ctx.options.use_stats && ctx.stats.knows(group.source) {
+            let pr: Vec<&Pattern> = group.patterns.iter().collect();
+            ctx.stats.estimate_group(group.source, &pr)
+        } else {
+            crate::stats::StatsCache::new().estimate_group(
+                group.source,
+                &group.patterns.iter().collect::<Vec<_>>(),
+            )
+        };
+
+        if gi == 0 {
+            let query = build_source_query(group.source, &group.patterns, &extract, &[]);
+            nodes.push(Node::Query {
+                source: group.source,
+                query,
+                vars: extract.clone(),
+            });
+            running_est = est;
+        } else {
+            let use_bind = !param_vars.is_empty()
+                && caps.parameterized
+                && match ctx.options.prefer_bind_join {
+                    Some(b) => b,
+                    // Bind join sends one source query per outer tuple. If
+                    // the source answers parameterized lookups cheaply
+                    // (indexed), compare cardinalities; if every call is a
+                    // scan, bind joins only pay off for tiny outers (the
+                    // per-call cost signal of §3.5).
+                    None => {
+                        if caps.parameterized_cheap {
+                            running_est <= est
+                        } else {
+                            running_est <= 8.0
+                        }
+                    }
+                };
+            if use_bind {
+                let query =
+                    build_source_query(group.source, &group.patterns, &extract, &param_vars);
+                nodes.push(Node::ParamQuery {
+                    source: group.source,
+                    query,
+                    params: param_vars.clone(),
+                    vars: extract.clone(),
+                });
+            } else {
+                // Fetch the group and hash-join on the shared bound vars.
+                let join_vars: Vec<Symbol> = {
+                    let mut jv: Vec<Symbol> = gvars_set
+                        .iter()
+                        .filter(|v| bound.contains(v))
+                        .copied()
+                        .collect();
+                    jv.sort_by_key(|v| v.as_str());
+                    jv
+                };
+                // Inner extraction must include the join vars.
+                let mut inner_extract = extract.clone();
+                for v in &join_vars {
+                    if !inner_extract.iter().any(|e| e.var == *v) {
+                        inner_extract.push(ExtractVar {
+                            var: *v,
+                            kind: if obj_vars.contains(v) {
+                                VarKind::Object
+                            } else {
+                                VarKind::Scalar
+                            },
+                        });
+                    }
+                }
+                inner_extract.sort_by_key(|e| e.var.as_str());
+                let query =
+                    build_source_query(group.source, &group.patterns, &inner_extract, &[]);
+                nodes.push(Node::HashJoin {
+                    source: group.source,
+                    query,
+                    vars: inner_extract,
+                    join_vars,
+                });
+            }
+            running_est = running_est.min(est).max(1.0);
+        }
+        bound.extend(extract.iter().map(|e| e.var));
+        bound.extend(param_vars.iter().copied());
+
+        // Client-side filters for what the source could not evaluate.
+        for f in filters {
+            match f {
+                ClientFilter::ValueEq { var, value } => nodes.push(Node::ExternalPred {
+                    pred: Symbol::intern("eq"),
+                    args: vec![Term::Var(*var), Term::Const(value.clone())],
+                    new_vars: Vec::new(),
+                }),
+                ClientFilter::Rest { var, condition } => nodes.push(Node::RestFilter {
+                    var: *var,
+                    condition: condition.clone(),
+                }),
+            }
+        }
+
+        place_externals(&mut nodes, &mut bound, &mut placed_ext, ctx);
+    }
+
+    // Last chance for stragglers (e.g. all-bound checks).
+    place_externals(&mut nodes, &mut bound, &mut placed_ext, ctx);
+    if let Some(i) = placed_ext.iter().position(|p| !p) {
+        return Err(MedError::Planning(format!(
+            "external predicate {} is not callable in any placement \
+             (no implementation matches the available bindings)",
+            externals[i].0
+        )));
+    }
+
+    if ctx.options.dedup {
+        let mut hv = Vec::new();
+        rule.head.collect_vars(&mut hv);
+        let mut seen = HashSet::new();
+        hv.retain(|v| seen.insert(*v));
+        nodes.push(Node::DupElim { vars: hv });
+    }
+
+    Ok(RulePlan {
+        nodes,
+        head: rule.head.clone(),
+    })
+}
+
+/// Is the external predicate callable given the statically-known bound
+/// variables?
+fn callable_static(
+    pred: Symbol,
+    args: &[Term],
+    bound: &HashSet<Symbol>,
+    registry: &ExternalRegistry,
+) -> bool {
+    let arg_bound = |t: &Term| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound.contains(v),
+        _ => false,
+    };
+    if crate::externals::is_builtin(pred) {
+        let n = args.iter().filter(|t| arg_bound(t)).count();
+        return n == args.len() || (pred == Symbol::intern("eq") && n + 1 == args.len());
+    }
+    registry.impls_for(pred).iter().any(|imp| {
+        imp.adornment.len() == args.len()
+            && imp
+                .adornment
+                .iter()
+                .zip(args)
+                .all(|(a, t)| *a == msl::Adornment::Free || arg_bound(t))
+    })
+}
+
+/// Object variables appearing anywhere in the patterns.
+fn object_vars(patterns: &[Pattern]) -> HashSet<Symbol> {
+    fn walk(p: &Pattern, out: &mut HashSet<Symbol>) {
+        if let Some(v) = p.obj_var {
+            out.insert(v);
+        }
+        if let PatValue::Set(sp) = &p.value {
+            for e in &sp.elements {
+                if let SetElem::Pattern(q) | SetElem::Wildcard(q) = e {
+                    walk(q, out);
+                }
+            }
+            if let Some(r) = &sp.rest {
+                for c in &r.conditions {
+                    walk(c, out);
+                }
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    for p in patterns {
+        walk(p, &mut out);
+    }
+    out
+}
+
+/// Variables in *term* positions (oid/label/type/value slots) — the ones a
+/// parameterized query can substitute.
+fn term_position_vars(patterns: &[Pattern]) -> Vec<Symbol> {
+    fn walk(p: &Pattern, out: &mut Vec<Symbol>) {
+        for t in [Some(&p.label), p.oid.as_ref(), p.typ.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            t.collect_vars(out);
+        }
+        match &p.value {
+            PatValue::Term(t) => t.collect_vars(out),
+            PatValue::Set(sp) => {
+                for e in &sp.elements {
+                    if let SetElem::Pattern(q) | SetElem::Wildcard(q) = e {
+                        walk(q, out);
+                    }
+                }
+                if let Some(r) = &sp.rest {
+                    for c in &r.conditions {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for p in patterns {
+        walk(p, &mut out);
+    }
+    let mut seen = HashSet::new();
+    out.retain(|v| seen.insert(*v));
+    out
+}
+
+/// Build the bind_for-style source query: head
+/// `<bind_for_<src> { <bind_for_V V> ... }>`, tail = the group's patterns,
+/// with `params` turned into `$param` slots (§3.4's Qw/Qcs shapes).
+fn build_source_query(
+    source: Symbol,
+    patterns: &[Pattern],
+    extract: &[ExtractVar],
+    params: &[Symbol],
+) -> Rule {
+    let mut elements: Vec<SetElem> = Vec::new();
+    for e in extract {
+        let carrier = Symbol::intern(&format!("bind_for_{}", e.var));
+        let inner = match e.kind {
+            VarKind::Scalar => Pattern::lv(
+                Term::Const(Value::Str(carrier)),
+                PatValue::Term(Term::Var(e.var)),
+            ),
+            VarKind::Object => Pattern::lv(
+                Term::Const(Value::Str(carrier)),
+                PatValue::Set(SetPattern {
+                    elements: vec![SetElem::Var(e.var)],
+                    rest: None,
+                }),
+            ),
+        };
+        elements.push(SetElem::Pattern(inner));
+    }
+    let head = Head::Pattern(Pattern::lv(
+        Term::Const(Value::Str(Symbol::intern(&format!("bind_for_{source}")))),
+        PatValue::Set(SetPattern {
+            elements,
+            rest: None,
+        }),
+    ));
+
+    // Parameterize: replace bound vars with $param slots.
+    let subst: Subst = params
+        .iter()
+        .map(|v| (*v, Term::Param(*v)))
+        .collect();
+    let tail = patterns
+        .iter()
+        .map(|p| TailItem::Match {
+            pattern: subst_pattern(p, &subst),
+            source: Some(source),
+        })
+        .collect();
+    Rule { head, tail }
+}
+
+/// Strip conditions selected by `should_strip` out of a pattern, emitting
+/// client-side filters. Constant-valued subpatterns become
+/// variable-valued retrievals plus an equality filter; rest-variable
+/// conditions move to [`ClientFilter::Rest`].
+fn strip_conditions(
+    p: &Pattern,
+    should_strip: &dyn Fn(&Pattern) -> bool,
+    fresh: &mut usize,
+    filters: &mut Vec<ClientFilter>,
+) -> Pattern {
+    let value = match &p.value {
+        PatValue::Term(t) => PatValue::Term(t.clone()),
+        PatValue::Set(sp) => {
+            let mut elements = Vec::with_capacity(sp.elements.len());
+            for e in &sp.elements {
+                match e {
+                    SetElem::Pattern(q) => {
+                        let mut q2 = strip_conditions(q, should_strip, fresh, filters);
+                        if matches!(&q2.value, PatValue::Term(Term::Const(_)))
+                            && should_strip(&q2)
+                        {
+                            if let PatValue::Term(Term::Const(v)) = q2.value.clone() {
+                                *fresh += 1;
+                                let var = Symbol::intern(&format!("StripV{fresh}"));
+                                q2.value = PatValue::Term(Term::Var(var));
+                                filters.push(ClientFilter::ValueEq { var, value: v });
+                            }
+                        }
+                        elements.push(SetElem::Pattern(q2));
+                    }
+                    SetElem::Wildcard(q) => {
+                        elements.push(SetElem::Wildcard(q.clone()));
+                    }
+                    SetElem::Var(v) => elements.push(SetElem::Var(*v)),
+                }
+            }
+            let rest = sp.rest.as_ref().map(|r| {
+                let mut kept = Vec::new();
+                for c in &r.conditions {
+                    if should_strip(c) {
+                        filters.push(ClientFilter::Rest {
+                            var: r.var,
+                            condition: c.clone(),
+                        });
+                    } else {
+                        kept.push(c.clone());
+                    }
+                }
+                RestSpec {
+                    var: r.var,
+                    conditions: kept,
+                }
+            });
+            PatValue::Set(SetPattern { elements, rest })
+        }
+    };
+    Pattern {
+        obj_var: p.obj_var,
+        oid: p.oid.clone(),
+        label: p.label.clone(),
+        typ: p.typ.clone(),
+        value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::externals::standard_registry;
+    use crate::spec::MediatorSpec;
+    use crate::veao::expand;
+    use engine::unify::UnifyMode;
+    use msl::parse_query;
+    use oem::sym;
+    use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+    use wrappers::Capabilities;
+
+    fn sources() -> HashMap<Symbol, Arc<dyn Wrapper>> {
+        let mut m: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        m.insert(sym("whois"), Arc::new(whois_wrapper()));
+        m.insert(sym("cs"), Arc::new(cs_wrapper()));
+        m
+    }
+
+    fn plan_query(query: &str, options: PlannerOptions) -> PhysicalPlan {
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query(query).unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let srcs = sources();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        plan(&program, &ctx).unwrap()
+    }
+
+    #[test]
+    fn q1_plan_matches_figure_3_6_shape() {
+        // Query → ExternalPred(decomp) → ParamQuery → DupElim, plus the
+        // constructor held in RulePlan::head. (Figure 3.6 splits query and
+        // extractor; our Query node fuses them.)
+        let plan = plan_query(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        assert_eq!(plan.rules.len(), 1);
+        let ops: Vec<&str> = plan.rules[0].nodes.iter().map(|n| n.op_name()).collect();
+        assert_eq!(
+            ops,
+            vec!["query", "external pred", "parameterized query", "dup elim"],
+            "{ops:?}"
+        );
+        // The outer query goes to whois (3 conditions vs cs's 0, and no
+        // decomp inputs are available before whois runs).
+        let Node::Query { source, query, .. } = &plan.rules[0].nodes[0] else {
+            panic!()
+        };
+        assert_eq!(*source, sym("whois"));
+        let qtext = msl::printer::rule(query);
+        assert!(qtext.contains("bind_for_whois"), "{qtext}");
+        assert!(qtext.contains("<dept 'CS'>"), "{qtext}");
+
+        // The parameterized query carries $ slots for R, LN, FN.
+        let Node::ParamQuery { source, params, query, .. } = &plan.rules[0].nodes[2] else {
+            panic!()
+        };
+        assert_eq!(*source, sym("cs"));
+        let qtext = msl::printer::rule(query);
+        let mut ps: Vec<String> = params.iter().map(|p| p.as_str()).collect();
+        ps.sort();
+        assert_eq!(ps.len(), 3, "{ps:?} in {qtext}");
+        assert!(qtext.contains("$"), "{qtext}");
+    }
+
+    #[test]
+    fn forced_hash_join() {
+        let plan = plan_query(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions {
+                prefer_bind_join: Some(false),
+                ..Default::default()
+            },
+        );
+        let ops: Vec<&str> = plan.rules[0].nodes.iter().map(|n| n.op_name()).collect();
+        assert!(ops.contains(&"hash join"), "{ops:?}");
+        assert!(!ops.contains(&"parameterized query"), "{ops:?}");
+    }
+
+    #[test]
+    fn dedup_omitted_when_disabled() {
+        let plan = plan_query(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions {
+                dedup: false,
+                ..Default::default()
+            },
+        );
+        let ops: Vec<&str> = plan.rules[0].nodes.iter().map(|n| n.op_name()).collect();
+        assert!(!ops.contains(&"dup elim"));
+        assert!(!plan.dedup_results);
+    }
+
+    #[test]
+    fn pushdown_ablation_strips_conditions() {
+        let plan = plan_query(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions {
+                pushdown: false,
+                ..Default::default()
+            },
+        );
+        let nodes = &plan.rules[0].nodes;
+        // The whois query must no longer contain the 'CS' constant...
+        let Node::Query { query, .. } = &nodes[0] else { panic!() };
+        let qtext = msl::printer::rule(query);
+        assert!(!qtext.contains("'CS'"), "{qtext}");
+        // ...and eq-filters appear client-side.
+        let eq_filters = nodes
+            .iter()
+            .filter(|n| matches!(n, Node::ExternalPred { pred, .. } if *pred == sym("eq")))
+            .count();
+        assert!(eq_filters >= 2, "expected stripped filters, got {nodes:?}");
+    }
+
+    #[test]
+    fn capability_restriction_inserts_rest_filter() {
+        // whois cannot evaluate 'year' conditions: the Q3-style rule keeps
+        // <year 3> in the mediator as a RestFilter.
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(
+            sym("whois"),
+            Arc::new(
+                whois_wrapper().with_capabilities(
+                    Capabilities::full().without_condition_on(sym("year")),
+                ),
+            ),
+        );
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let plan = plan(&program, &ctx).unwrap();
+        // One of the two rules (the push-into-Rest1 one) gets a RestFilter.
+        let has_rest_filter = plan
+            .rules
+            .iter()
+            .flat_map(|r| &r.nodes)
+            .any(|n| matches!(n, Node::RestFilter { var, .. } if var.as_str().starts_with("Rest1")));
+        assert!(has_rest_filter, "{plan:?}");
+        // And the whois query no longer carries the year condition.
+        for r in &plan.rules {
+            for n in &r.nodes {
+                if let Node::Query { source, query, .. } = n {
+                    if *source == sym("whois") {
+                        assert!(!msl::printer::rule(query).contains("<year 3>"));
+                    }
+                }
+            }
+        }
+    }
+
+
+    #[test]
+    fn scan_based_inner_prefers_hash_join() {
+        // With statistics, cs (80 rows) orders before whois (2000). whois
+        // answers parameterized queries by scanning, so the planner must
+        // choose a hash join rather than 80 per-tuple scans. (With a tiny
+        // outer — a handful of tuples — bind joins remain worthwhile even
+        // into scan-based sources; the threshold is in plan_rule.)
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("P :- P:<cs_person {}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let mut stats = StatsCache::new();
+        // Provide stats for both sources so ordering is cardinality-based.
+        stats.provide(
+            sym("cs"),
+            wrappers::SourceStats {
+                top_level_count: 80,
+                label_counts: Default::default(),
+                eq_selectivity: Default::default(),
+            },
+        );
+        stats.provide(
+            sym("whois"),
+            wrappers::SourceStats {
+                top_level_count: 2000,
+                label_counts: [(sym("person"), 2000)].into_iter().collect(),
+                eq_selectivity: Default::default(),
+            },
+        );
+        let srcs = sources();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let plan = plan(&program, &ctx).unwrap();
+        let nodes = &plan.rules[0].nodes;
+        let Node::Query { source, .. } = &nodes[0] else {
+            panic!("expected a query first, got {nodes:?}")
+        };
+        assert_eq!(*source, sym("cs"), "small side goes outer");
+        let whois_hash_joined = nodes.iter().any(
+            |n| matches!(n, Node::HashJoin { source, .. } if *source == sym("whois")),
+        );
+        assert!(
+            whois_hash_joined,
+            "scan-based whois must be hash-joined, not bind-joined: {nodes:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_inner_prefers_bind_join() {
+        // The reverse shape: whois outer (selective conditions), cs inner.
+        // cs answers parameterized lookups via indexes → bind join.
+        let plan = plan_query(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+            PlannerOptions::default(),
+        );
+        let nodes = &plan.rules[0].nodes;
+        assert!(
+            nodes.iter().any(|n| matches!(
+                n,
+                Node::ParamQuery { source, .. } if *source == sym("cs")
+            )),
+            "{nodes:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_source_is_an_error() {
+        let med = MediatorSpec::parse(
+            "med",
+            "<v {<a A>}> :- <p {<a A>}>@nowhere",
+        )
+        .unwrap();
+        let q = parse_query("X :- X:<v {}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let srcs = sources();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        assert!(matches!(
+            plan(&program, &ctx),
+            Err(MedError::UnknownSource(_))
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Recursive views (paper footnote 4: "MSL allows the specification of
+//! recursive views").
+//!
+//! View expansion cannot terminate on a recursive specification, so the
+//! MSI falls back to **bottom-up fixpoint materialization**: start from the
+//! empty view, repeatedly evaluate every rule with the current view exposed
+//! as one more source, and stop when an iteration adds no new (structurally
+//! distinct) object. Duplicate elimination doubles as the fixpoint test —
+//! this is the OEM analogue of naive datalog evaluation.
+
+use crate::error::{MedError, Result};
+use crate::externals::ExternalRegistry;
+use crate::naive::eval_rule_with_view;
+use crate::spec::MediatorSpec;
+use oem::{copy, ObjectStore, Symbol};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wrappers::Wrapper;
+
+/// Iteration bound: a diverging view (e.g. one that grows a counter) is cut
+/// off with [`MedError::FixpointDiverged`].
+pub const MAX_ITERATIONS: usize = 64;
+
+/// Materialize a recursive specification to fixpoint. Returns the view
+/// store (top-level objects = the view's objects) and the number of
+/// iterations taken.
+pub fn materialize_fixpoint(
+    spec: &MediatorSpec,
+    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: &ExternalRegistry,
+) -> Result<(ObjectStore, usize)> {
+    materialize_fixpoint_bounded(spec, sources, registry, MAX_ITERATIONS)
+}
+
+/// [`materialize_fixpoint`] with an explicit iteration bound.
+pub fn materialize_fixpoint_bounded(
+    spec: &MediatorSpec,
+    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: &ExternalRegistry,
+    max_iterations: usize,
+) -> Result<(ObjectStore, usize)> {
+    let mut view = ObjectStore::with_oid_prefix("fx");
+    let mut size = 0usize;
+
+    for iter in 1..=max_iterations {
+        // Evaluate every rule against sources + the current view.
+        let mut next = ObjectStore::with_oid_prefix("fx");
+        // Seed with the current view (monotone accumulation).
+        copy::copy_top_level(&view, &mut next);
+        for rule in &spec.spec.rules {
+            eval_rule_with_view(rule, sources, spec.name, &view, registry, &mut next)?;
+        }
+        // Structural dedup defines convergence.
+        let tops = next.top_level().to_vec();
+        let unique = oem::eq::dedup_structural(&next, &tops);
+        next.set_top_level(unique);
+
+        let new_size = next.top_level().len();
+        view = next;
+        if new_size == size {
+            return Ok((view, iter));
+        }
+        size = new_size;
+    }
+    Err(MedError::FixpointDiverged(max_iterations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::MedError;
+    use crate::externals::standard_registry;
+    use oem::printer::compact;
+    use oem::sym;
+    use oem::ObjectBuilder;
+    use wrappers::SemiStructuredWrapper;
+
+    /// parent facts: a→b→c→d chain.
+    fn parent_source() -> Arc<dyn Wrapper> {
+        let mut s = ObjectStore::new();
+        for (of, is) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            ObjectBuilder::set("parent")
+                .atom("of", of)
+                .atom("is", is)
+                .build_top(&mut s);
+        }
+        Arc::new(SemiStructuredWrapper::new("src", s))
+    }
+
+    fn ancestor_spec() -> MediatorSpec {
+        MediatorSpec::parse(
+            "m",
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+             AND <anc {<of Y> <is Z>}>@m",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_converges() {
+        let mut sources: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        sources.insert(sym("src"), parent_source());
+        let registry = standard_registry();
+        let (view, iters) = materialize_fixpoint(&ancestor_spec(), &sources, &registry).unwrap();
+        // Closure of a 3-edge chain: ab ac ad bc bd cd = 6 pairs.
+        assert_eq!(view.top_level().len(), 6);
+        assert!(iters >= 3, "needs at least 3 rounds, took {iters}");
+        let printed: Vec<String> = view
+            .top_level()
+            .iter()
+            .map(|&t| compact(&view, t))
+            .collect();
+        assert!(printed
+            .iter()
+            .any(|p| p.contains("<of 'a'>") && p.contains("<is 'd'>")));
+    }
+
+
+    #[test]
+    fn diverging_view_is_cut_off() {
+        // Each round wraps the previous round's objects one level deeper —
+        // every iteration creates a structurally new object, so the view
+        // never converges and the engine must stop with FixpointDiverged.
+        let mut s = ObjectStore::new();
+        ObjectBuilder::set("seed").atom("v", 1i64).build_top(&mut s);
+        let mut sources: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        sources.insert(
+            sym("src"),
+            Arc::new(SemiStructuredWrapper::new("src", s)),
+        );
+        let spec = MediatorSpec::parse(
+            "m",
+            "<box {<v 1>}> :- <seed {<v V>}>@src\n\
+             <box {X}> :- X:<box {}>@m",
+        )
+        .unwrap();
+        let registry = standard_registry();
+        let err =
+            materialize_fixpoint_bounded(&spec, &sources, &registry, 8).unwrap_err();
+        assert!(matches!(err, MedError::FixpointDiverged(8)), "{err}");
+    }
+
+    #[test]
+    fn nonrecursive_spec_converges_in_two() {
+        let spec = MediatorSpec::parse(
+            "m",
+            "<pair {<of X>}> :- <parent {<of X>}>@src",
+        )
+        .unwrap();
+        let mut sources: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        sources.insert(sym("src"), parent_source());
+        let registry = standard_registry();
+        let (view, iters) = materialize_fixpoint(&spec, &sources, &registry).unwrap();
+        assert_eq!(view.top_level().len(), 3);
+        assert_eq!(iters, 2);
+    }
+}

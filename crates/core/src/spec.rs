@@ -1,0 +1,123 @@
+//! Mediator specifications.
+
+use crate::error::{MedError, Result};
+use crate::externals::{missing_functions, ExternalRegistry};
+use msl::{Spec, TailItem};
+use oem::Symbol;
+
+/// A parsed, validated mediator specification.
+#[derive(Clone, Debug)]
+pub struct MediatorSpec {
+    /// The mediator's name (what clients put after `@`).
+    pub name: Symbol,
+    /// Rules + external declarations.
+    pub spec: Spec,
+}
+
+impl MediatorSpec {
+    /// Parse and validate an MSL specification.
+    pub fn parse(name: &str, text: &str) -> Result<MediatorSpec> {
+        let spec = msl::parse_spec(text)?;
+        msl::validate::validate_spec(&spec)?;
+        Ok(MediatorSpec {
+            name: Symbol::intern(name),
+            spec,
+        })
+    }
+
+    /// Check that every declared implementation function exists in the
+    /// registry.
+    pub fn check_registry(&self, reg: &ExternalRegistry) -> Result<()> {
+        let missing = missing_functions(&self.spec, reg);
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            let names: Vec<String> = missing.iter().map(|s| s.as_str()).collect();
+            Err(MedError::External(format!(
+                "declared functions not registered: {}",
+                names.join(", ")
+            )))
+        }
+    }
+
+    /// Every source referenced by the rules (deduplicated, in order).
+    pub fn sources(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        for r in &self.spec.rules {
+            for s in r.sources() {
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Is the specification recursive — does any rule tail reference this
+    /// mediator itself? (Footnote 4: "MSL allows the specification of
+    /// recursive views".)
+    pub fn is_recursive(&self) -> bool {
+        self.spec.rules.iter().any(|r| {
+            r.tail.iter().any(|t| {
+                matches!(t, TailItem::Match { source: Some(s), .. } if *s == self.name)
+            })
+        })
+    }
+
+    /// Pretty-print the specification.
+    pub fn to_text(&self) -> String {
+        msl::printer::spec(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::externals::standard_registry;
+    use oem::sym;
+    use wrappers::scenario::MS1;
+
+    #[test]
+    fn parse_ms1() {
+        let ms = MediatorSpec::parse("med", MS1).unwrap();
+        assert_eq!(ms.name, sym("med"));
+        assert_eq!(ms.sources(), vec![sym("whois"), sym("cs")]);
+        assert!(!ms.is_recursive());
+        ms.check_registry(&standard_registry()).unwrap();
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        assert!(MediatorSpec::parse("m", "<a {<x X> <y Y>}> :- <b {<x X>}>@s").is_err());
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let ms = MediatorSpec::parse(
+            "m",
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+             AND <anc {<of Y> <is Z>}>@m",
+        )
+        .unwrap();
+        assert!(ms.is_recursive());
+    }
+
+    #[test]
+    fn missing_registry_functions_reported() {
+        let ms = MediatorSpec::parse(
+            "m",
+            "<o {<l L>}> :- <p {<n N>}>@s AND conv(N, L)\nconv(bound, free) by mystery",
+        )
+        .unwrap();
+        let err = ms.check_registry(&standard_registry()).unwrap_err();
+        assert!(err.to_string().contains("mystery"));
+    }
+
+    #[test]
+    fn roundtrips_to_text() {
+        let ms = MediatorSpec::parse("med", MS1).unwrap();
+        let again = MediatorSpec::parse("med", &ms.to_text()).unwrap();
+        assert_eq!(ms.spec, again.spec);
+    }
+}

@@ -1,0 +1,239 @@
+//! The optimizer's statistics cache (§3.5).
+//!
+//! Three tiers, in decreasing trust:
+//! 1. statistics **observed** from results of previous queries sent to the
+//!    same source ("tries to build its own statistics database that is
+//!    based on results of previous queries");
+//! 2. statistics **provided** by the wrapper;
+//! 3. ad-hoc **defaults**.
+
+use msl::{PatValue, Pattern, SetElem, Term};
+use oem::Symbol;
+use std::collections::HashMap;
+use wrappers::SourceStats;
+
+/// Default guesses when nothing is known.
+const DEFAULT_TOP_COUNT: f64 = 1000.0;
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+
+/// Exponentially-weighted moving average factor for observations.
+const EWMA: f64 = 0.5;
+
+/// Per-source statistics, merged from wrapper-provided numbers and
+/// observed query results.
+#[derive(Default, Debug, Clone)]
+pub struct StatsCache {
+    provided: HashMap<Symbol, SourceStats>,
+    /// (source, top-level label) → EWMA of observed result counts.
+    observed: HashMap<(Symbol, Option<Symbol>), f64>,
+}
+
+impl StatsCache {
+    /// Empty cache.
+    pub fn new() -> StatsCache {
+        StatsCache::default()
+    }
+
+    /// Install wrapper-provided statistics for a source.
+    pub fn provide(&mut self, source: Symbol, stats: SourceStats) {
+        self.provided.insert(source, stats);
+    }
+
+    /// Record the observed result count of a query against `source` whose
+    /// top-level pattern had the given label (None = label variable).
+    pub fn record(&mut self, source: Symbol, label: Option<Symbol>, count: usize) {
+        let e = self.observed.entry((source, label)).or_insert(count as f64);
+        *e = EWMA * count as f64 + (1.0 - EWMA) * *e;
+    }
+
+    /// Estimated number of top-level objects matching a bare label at a
+    /// source.
+    pub fn base_count(&self, source: Symbol, label: Option<Symbol>) -> f64 {
+        if let Some(obs) = self.observed.get(&(source, label)) {
+            return *obs;
+        }
+        if let Some(p) = self.provided.get(&source) {
+            return p.count_for_label(label) as f64;
+        }
+        DEFAULT_TOP_COUNT
+    }
+
+    /// Selectivity of an equality condition on subobject label `l`.
+    pub fn selectivity(&self, source: Symbol, l: Symbol) -> f64 {
+        if let Some(p) = self.provided.get(&source) {
+            return p.selectivity(l);
+        }
+        DEFAULT_EQ_SELECTIVITY
+    }
+
+    /// Does the cache have real (non-default) information for a source?
+    pub fn knows(&self, source: Symbol) -> bool {
+        self.provided.contains_key(&source)
+            || self.observed.keys().any(|(s, _)| *s == source)
+    }
+
+    /// Estimate the result cardinality of matching `pattern` against
+    /// `source`: base count for the top-level label, discounted by the
+    /// selectivity of each constant-valued subcondition.
+    pub fn estimate_pattern(&self, source: Symbol, pattern: &Pattern) -> f64 {
+        let label = match &pattern.label {
+            Term::Const(v) => v.as_str_sym(),
+            _ => None,
+        };
+        let mut est = self.base_count(source, label);
+        for (l, _) in condition_labels(pattern) {
+            est *= self.selectivity(source, l);
+        }
+        est.max(0.01)
+    }
+
+    /// Estimate for a group of patterns at one source (joins within a
+    /// source multiply — a crude but monotone model).
+    pub fn estimate_group(&self, source: Symbol, patterns: &[&Pattern]) -> f64 {
+        patterns
+            .iter()
+            .map(|p| self.estimate_pattern(source, p))
+            .product()
+    }
+}
+
+/// The labels of constant-valued subconditions of a pattern, including
+/// those attached to rest variables. Used both for cost estimation and for
+/// the paper's "most conditions" join-order heuristic.
+pub fn condition_labels(pattern: &Pattern) -> Vec<(Symbol, bool)> {
+    let mut out = Vec::new();
+    if let PatValue::Set(sp) = &pattern.value {
+        for e in &sp.elements {
+            let (SetElem::Pattern(p) | SetElem::Wildcard(p)) = e else {
+                continue;
+            };
+            if matches!(&p.value, PatValue::Term(Term::Const(_) | Term::Param(_))) {
+                if let Term::Const(v) = &p.label {
+                    if let Some(l) = v.as_str_sym() {
+                        out.push((l, true));
+                    }
+                }
+            }
+            out.extend(condition_labels(p));
+        }
+        if let Some(rest) = &sp.rest {
+            for c in &rest.conditions {
+                if matches!(&c.value, PatValue::Term(Term::Const(_) | Term::Param(_))) {
+                    if let Term::Const(v) = &c.label {
+                        if let Some(l) = v.as_str_sym() {
+                            out.push((l, true));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Count of constant conditions in a group of patterns (join-order
+/// tie-breaker: "the outer patterns of the join order are the ones that
+/// have the greatest number of conditions", §3.5).
+pub fn condition_count(patterns: &[&Pattern]) -> usize {
+    patterns.iter().map(|p| condition_labels(p).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::{parse_query, TailItem};
+    use oem::sym;
+
+    fn pat(src: &str) -> Pattern {
+        match parse_query(src).unwrap().tail.remove(0) {
+            TailItem::Match { pattern, .. } => pattern,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn defaults_when_unknown() {
+        let c = StatsCache::new();
+        assert_eq!(c.base_count(sym("s"), Some(sym("person"))), DEFAULT_TOP_COUNT);
+        assert_eq!(c.selectivity(sym("s"), sym("name")), DEFAULT_EQ_SELECTIVITY);
+        assert!(!c.knows(sym("s")));
+    }
+
+    #[test]
+    fn provided_stats_used() {
+        let mut c = StatsCache::new();
+        c.provide(
+            sym("s"),
+            SourceStats {
+                top_level_count: 100,
+                label_counts: [(sym("person"), 80)].into_iter().collect(),
+                eq_selectivity: [(sym("name"), 0.0125)].into_iter().collect(),
+            },
+        );
+        assert_eq!(c.base_count(sym("s"), Some(sym("person"))), 80.0);
+        let p = pat("X :- <person {<name 'Joe'>}>@s");
+        let est = c.estimate_pattern(sym("s"), &p);
+        assert!((est - 1.0).abs() < 1e-9, "{est}");
+        assert!(c.knows(sym("s")));
+    }
+
+    #[test]
+    fn observations_override_provided() {
+        let mut c = StatsCache::new();
+        c.provide(
+            sym("s"),
+            SourceStats {
+                top_level_count: 100,
+                label_counts: [(sym("person"), 80)].into_iter().collect(),
+                eq_selectivity: Default::default(),
+            },
+        );
+        c.record(sym("s"), Some(sym("person")), 10);
+        assert_eq!(c.base_count(sym("s"), Some(sym("person"))), 10.0);
+        // EWMA blends subsequent observations.
+        c.record(sym("s"), Some(sym("person")), 20);
+        assert_eq!(c.base_count(sym("s"), Some(sym("person"))), 15.0);
+    }
+
+
+    #[test]
+    fn estimate_group_multiplies() {
+        let mut c = StatsCache::new();
+        c.provide(
+            sym("s"),
+            SourceStats {
+                top_level_count: 100,
+                label_counts: [(sym("person"), 100)].into_iter().collect(),
+                eq_selectivity: [(sym("name"), 0.01)].into_iter().collect(),
+            },
+        );
+        let p1 = pat("X :- <person {<name 'a'>}>@s");
+        let p2 = pat("X :- <person {}>@s");
+        let est = c.estimate_group(sym("s"), &[&p1, &p2]);
+        // 100 * 0.01 = 1 for the conditioned pattern, * 100 for the other.
+        assert!((est - 100.0).abs() < 1e-9, "{est}");
+    }
+
+    #[test]
+    fn estimates_never_hit_zero() {
+        let mut c = StatsCache::new();
+        c.provide(
+            sym("s"),
+            SourceStats {
+                top_level_count: 0,
+                label_counts: Default::default(),
+                eq_selectivity: Default::default(),
+            },
+        );
+        let p = pat("X :- <person {<name 'a'>}>@s");
+        assert!(c.estimate_pattern(sym("s"), &p) > 0.0);
+    }
+
+    #[test]
+    fn condition_counting() {
+        let p1 = pat("X :- <person {<name 'Joe'> <dept 'CS'> <relation R> | Rest}>@s");
+        assert_eq!(condition_count(&[&p1]), 2);
+        let p2 = pat("X :- <person {<name N> | Rest:{<year 3>}}>@s");
+        assert_eq!(condition_count(&[&p2]), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Binding tables — the tuples that "flow" along the arcs of a physical
+//! datamerge graph (§3.4, Figure 3.6).
+//!
+//! "Typically, the tuples of the tables carry bindings for the logical
+//! datamerge program variables." A table has named columns (the variables)
+//! and rows of [`BoundValue`]s referencing the mediator's memory.
+
+use engine::bindings::{Bindings, BoundValue};
+use oem::{ObjectStore, Symbol};
+use std::fmt::Write;
+
+/// A table of variable bindings.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct BindingTable {
+    pub cols: Vec<Symbol>,
+    pub rows: Vec<Vec<BoundValue>>,
+}
+
+impl BindingTable {
+    /// An empty table with the given columns.
+    pub fn new(cols: Vec<Symbol>) -> BindingTable {
+        BindingTable {
+            cols,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The unit table: no columns, one (empty) row. The identity input for
+    /// the first node of a chain.
+    pub fn unit() -> BindingTable {
+        BindingTable {
+            cols: Vec::new(),
+            rows: vec![Vec::new()],
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column index of a variable.
+    pub fn col(&self, var: Symbol) -> Option<usize> {
+        self.cols.iter().position(|c| *c == var)
+    }
+
+    /// Convert a row to a [`Bindings`] environment.
+    pub fn row_bindings(&self, i: usize) -> Bindings {
+        let mut b = Bindings::new();
+        for (c, v) in self.cols.iter().zip(&self.rows[i]) {
+            b = b
+                .bind(*c, v.clone())
+                .expect("table rows are internally consistent");
+        }
+        b
+    }
+
+    /// Append a row from a bindings environment (missing variables are an
+    /// error — the planner guarantees coverage).
+    pub fn push_bindings(&mut self, b: &Bindings) {
+        let row: Vec<BoundValue> = self
+            .cols
+            .iter()
+            .map(|c| {
+                b.get(*c)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("binding for column {c} missing"))
+            })
+            .collect();
+        self.rows.push(row);
+    }
+
+    /// Project onto a subset of columns (dropping the rest), preserving row
+    /// order.
+    pub fn project(&self, vars: &[Symbol]) -> BindingTable {
+        let idx: Vec<Option<usize>> = vars.iter().map(|v| self.col(*v)).collect();
+        let cols: Vec<Symbol> = vars
+            .iter()
+            .zip(&idx)
+            .filter(|(_, i)| i.is_some())
+            .map(|(v, _)| *v)
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                idx.iter()
+                    .filter_map(|i| i.map(|i| r[i].clone()))
+                    .collect()
+            })
+            .collect();
+        BindingTable { cols, rows }
+    }
+
+    /// Remove duplicate rows (first occurrence wins). Hash-based, linear in
+    /// the row count.
+    pub fn dedup(&mut self) {
+        let mut seen: std::collections::HashSet<Vec<BoundValue>> =
+            std::collections::HashSet::with_capacity(self.rows.len());
+        self.rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    /// Render in the style of Figure 3.6's tables: a header row of variable
+    /// names, then one line per tuple. Object values render as their oid in
+    /// `store`; sets render their member oids.
+    pub fn render(&self, store: &ObjectStore) -> String {
+        let mut out = String::new();
+        let header: Vec<String> = self.cols.iter().map(|c| c.as_str()).collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| render_value(v, store)).collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+}
+
+fn render_value(v: &BoundValue, store: &ObjectStore) -> String {
+    match v {
+        BoundValue::Atom(a) => a.render_atomic(),
+        BoundValue::Obj(id) => match store.try_get(*id) {
+            Some(obj) => format!("x{}", obj.oid),
+            None => format!("{id}"),
+        },
+        BoundValue::ObjSet(ids) => {
+            let parts: Vec<String> = ids
+                .iter()
+                .map(|id| match store.try_get(*id) {
+                    Some(_) => {
+                        let c = oem::printer::compact(store, *id);
+                        if c.chars().count() > 60 {
+                            let short: String = c.chars().take(60).collect();
+                            format!("{short}…")
+                        } else {
+                            c
+                        }
+                    }
+                    None => format!("{id}"),
+                })
+                .collect();
+            format!("{{{}}}", parts.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::{sym, Value};
+
+    fn atom(v: i64) -> BoundValue {
+        BoundValue::Atom(Value::Int(v))
+    }
+
+    #[test]
+    fn unit_and_push() {
+        let u = BindingTable::unit();
+        assert_eq!(u.len(), 1);
+        assert!(u.cols.is_empty());
+
+        let mut t = BindingTable::new(vec![sym("A"), sym("B")]);
+        let b = Bindings::new()
+            .bind(sym("A"), atom(1))
+            .unwrap()
+            .bind(sym("B"), atom(2))
+            .unwrap()
+            .bind(sym("C"), atom(3))
+            .unwrap();
+        t.push_bindings(&b);
+        assert_eq!(t.len(), 1);
+        let back = t.row_bindings(0);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(sym("A")), Some(&atom(1)));
+    }
+
+    #[test]
+    fn projection_and_dedup() {
+        let mut t = BindingTable::new(vec![sym("A"), sym("B")]);
+        t.rows.push(vec![atom(1), atom(10)]);
+        t.rows.push(vec![atom(1), atom(20)]);
+        t.rows.push(vec![atom(2), atom(30)]);
+        let mut p = t.project(&[sym("A")]);
+        assert_eq!(p.cols, vec![sym("A")]);
+        assert_eq!(p.len(), 3);
+        p.dedup();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn project_ignores_unknown_columns() {
+        let t = BindingTable::new(vec![sym("A")]);
+        let p = t.project(&[sym("A"), sym("Z")]);
+        assert_eq!(p.cols, vec![sym("A")]);
+    }
+
+    #[test]
+    fn render_shows_values() {
+        let store = ObjectStore::new();
+        let mut t = BindingTable::new(vec![sym("N")]);
+        t.rows.push(vec![BoundValue::Atom(Value::str("Joe Chung"))]);
+        let s = t.render(&store);
+        assert!(s.contains("| N |"));
+        assert!(s.contains("'Joe Chung'"));
+    }
+}

@@ -1,0 +1,385 @@
+//! LOREL → MSL compilation.
+//!
+//! Each `from` variable becomes one MSL tail pattern (with the variable as
+//! the object variable); path expressions become nested subobject patterns
+//! sharing one retrieval variable per distinct path; `where` conditions
+//! either inline into the pattern (equality against a literal — so the
+//! MSI's pushdown machinery applies) or compile to MSL's built-in
+//! comparison predicates.
+
+use crate::parse::{CmpOp, Comparison, LorelQuery, Path, Selection};
+use crate::{LorelError, Result};
+use msl::{Head, PatValue, Pattern, Rule, SetElem, SetPattern, TailItem, Term};
+use oem::{Symbol, Value};
+use std::collections::BTreeMap;
+
+/// Compile a parsed query into an MSL rule targeting `target`.
+pub fn compile(q: &LorelQuery, target: &str) -> Result<Rule> {
+    let mut c = Compiler::new(q)?;
+    c.plan_paths(q)?;
+    c.build(q, target)
+}
+
+#[derive(Default)]
+struct PathNode {
+    children: BTreeMap<String, PathNode>,
+    /// Retrieval variable for this node's value (leaf paths).
+    var: Option<Symbol>,
+    /// Inlined equality constant (leaf paths with a single `= literal`).
+    inline: Option<Value>,
+}
+
+struct Compiler {
+    /// user from-var → (view label, MSL object variable, path tree)
+    roots: BTreeMap<String, (String, Symbol, PathNode)>,
+    /// order of the from clause
+    order: Vec<String>,
+    fresh: usize,
+    externals: Vec<(Symbol, Vec<Term>)>,
+}
+
+impl Compiler {
+    fn new(q: &LorelQuery) -> Result<Compiler> {
+        let mut roots = BTreeMap::new();
+        let mut order = Vec::new();
+        for (label, var) in &q.from {
+            if roots.contains_key(var) {
+                return Err(LorelError::Compile(format!(
+                    "variable '{var}' declared twice in the from clause"
+                )));
+            }
+            // MSL variables start uppercase; map the user's name.
+            let msl_var = Symbol::intern(&format!(
+                "{}{}",
+                var[..1].to_uppercase(),
+                &var[1..]
+            ));
+            roots.insert(var.clone(), (label.clone(), msl_var, PathNode::default()));
+            order.push(var.clone());
+        }
+        Ok(Compiler {
+            roots,
+            order,
+            fresh: 0,
+            externals: Vec::new(),
+        })
+    }
+
+    fn fresh_var(&mut self) -> Symbol {
+        self.fresh += 1;
+        Symbol::intern(&format!("V{}", self.fresh))
+    }
+
+    /// Walk to a path's leaf node, creating intermediate nodes.
+    fn leaf_mut(&mut self, path: &Path) -> Result<&mut PathNode> {
+        if !self.roots.contains_key(&path.var) {
+            return Err(LorelError::Compile(format!(
+                "variable '{}' is not declared in the from clause",
+                path.var
+            )));
+        }
+        let (_, _, root) = self.roots.get_mut(&path.var).unwrap();
+        let mut node = root;
+        for step in &path.steps {
+            node = node.children.entry(step.clone()).or_default();
+        }
+        Ok(node)
+    }
+
+    /// First pass: decide, per path, between an inlined constant and a
+    /// retrieval variable; collect externals for everything else.
+    fn plan_paths(&mut self, q: &LorelQuery) -> Result<()> {
+        // Paths that must expose a variable: selected paths, paths compared
+        // non-eq or against other paths, and paths with several conditions.
+        let mut cond_count: BTreeMap<String, usize> = BTreeMap::new();
+        for c in &q.conditions {
+            *cond_count.entry(c.lhs.to_string()).or_insert(0) += 1;
+            if let Comparison::Path(p) = &c.rhs {
+                *cond_count.entry(p.to_string()).or_insert(0) += 1;
+            }
+        }
+        let mut needs_var: Vec<Path> = Vec::new();
+        if let Selection::Paths(paths) = &q.select {
+            for p in paths {
+                if !p.steps.is_empty() {
+                    needs_var.push(p.clone());
+                }
+            }
+        }
+        for c in &q.conditions {
+            if c.lhs.steps.is_empty() {
+                return Err(LorelError::Compile(format!(
+                    "cannot compare the whole object '{}'; compare a path",
+                    c.lhs.var
+                )));
+            }
+            let single_inline_eq = c.op == CmpOp::Eq
+                && matches!(c.rhs, Comparison::Literal(_))
+                && cond_count[&c.lhs.to_string()] == 1
+                && !needs_var.contains(&c.lhs);
+            if !single_inline_eq {
+                needs_var.push(c.lhs.clone());
+            }
+            if let Comparison::Path(p) = &c.rhs {
+                if p.steps.is_empty() {
+                    return Err(LorelError::Compile(format!(
+                        "cannot compare the whole object '{}'; compare a path",
+                        p.var
+                    )));
+                }
+                needs_var.push(p.clone());
+            }
+        }
+
+        // Assign variables.
+        for p in &needs_var {
+            if self.leaf_mut(p)?.var.is_none() {
+                let v = self.fresh_var();
+                self.leaf_mut(p)?.var = Some(v);
+            }
+        }
+
+        // Inline or externalize conditions.
+        for c in &q.conditions {
+            let leaf = self.leaf_mut(&c.lhs)?;
+            match (&leaf.var, &c.rhs, c.op) {
+                (None, Comparison::Literal(v), CmpOp::Eq) => {
+                    leaf.inline = Some(v.clone());
+                }
+                (Some(var), rhs, op) => {
+                    let lhs_term = Term::Var(*var);
+                    let rhs_term = match rhs {
+                        Comparison::Literal(v) => Term::Const(v.clone()),
+                        Comparison::Path(p) => {
+                            let pv = self.leaf_mut(p)?.var.expect("assigned above");
+                            Term::Var(pv)
+                        }
+                    };
+                    self.externals
+                        .push((Symbol::intern(op.msl_name()), vec![lhs_term, rhs_term]));
+                }
+                (None, _, _) => unreachable!("non-inline conditions got a variable"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Second pass: emit the MSL rule.
+    fn build(mut self, q: &LorelQuery, target: &str) -> Result<Rule> {
+        let head = self.head(q)?;
+        let target = Symbol::intern(target);
+        let mut tail = Vec::new();
+        for user_var in &self.order {
+            let (label, msl_var, root) = &self.roots[user_var];
+            let elements = node_elements(root)?;
+            tail.push(TailItem::Match {
+                pattern: Pattern {
+                    obj_var: Some(*msl_var),
+                    oid: None,
+                    label: Term::str(label),
+                    typ: None,
+                    value: PatValue::Set(SetPattern {
+                        elements,
+                        rest: None,
+                    }),
+                },
+                source: Some(target),
+            });
+        }
+        for (name, args) in self.externals.drain(..) {
+            tail.push(TailItem::External { name, args });
+        }
+        Ok(Rule { head, tail })
+    }
+
+    fn head(&mut self, q: &LorelQuery) -> Result<Head> {
+        match &q.select {
+            Selection::Star => {
+                if self.order.len() != 1 {
+                    return Err(LorelError::Compile(
+                        "select * needs exactly one from variable".into(),
+                    ));
+                }
+                let (_, msl_var, _) = &self.roots[&self.order[0]];
+                Ok(Head::Var(*msl_var))
+            }
+            Selection::Paths(paths) => {
+                // A single bare variable selects whole objects.
+                if let [p] = paths.as_slice() {
+                    if p.steps.is_empty() {
+                        let Some((_, msl_var, _)) = self.roots.get(&p.var) else {
+                            return Err(LorelError::Compile(format!(
+                                "variable '{}' is not declared in the from clause",
+                                p.var
+                            )));
+                        };
+                        return Ok(Head::Var(*msl_var));
+                    }
+                }
+                let mut elements = Vec::new();
+                let mut used: BTreeMap<String, usize> = BTreeMap::new();
+                for p in paths {
+                    if p.steps.is_empty() {
+                        return Err(LorelError::Compile(format!(
+                            "'{}' selects a whole object; it must be the only selection",
+                            p.var
+                        )));
+                    }
+                    let var = self.leaf_mut(p)?.var.expect("selected paths have vars");
+                    let mut name = p.steps.join("_");
+                    let n = used.entry(name.clone()).or_insert(0);
+                    *n += 1;
+                    if *n > 1 {
+                        name = format!("{name}_{n}");
+                    }
+                    elements.push(SetElem::Pattern(Pattern::lv(
+                        Term::str(&name),
+                        PatValue::Term(Term::Var(var)),
+                    )));
+                }
+                Ok(Head::Pattern(Pattern::lv(
+                    Term::str("result"),
+                    PatValue::Set(SetPattern {
+                        elements,
+                        rest: None,
+                    }),
+                )))
+            }
+        }
+    }
+}
+
+/// Render a path tree as MSL set elements.
+fn node_elements(node: &PathNode) -> Result<Vec<SetElem>> {
+    let mut out = Vec::new();
+    for (label, child) in &node.children {
+        let value = if child.children.is_empty() {
+            match (&child.var, &child.inline) {
+                (Some(v), None) => PatValue::Term(Term::Var(*v)),
+                (None, Some(c)) => PatValue::Term(Term::Const(c.clone())),
+                (Some(v), Some(_)) => PatValue::Term(Term::Var(*v)), // extern filters
+                (None, None) => {
+                    // A traversed-but-unused intermediate; existence check.
+                    PatValue::Term(Term::Var(Symbol::intern(&format!(
+                        "Vexists_{label}"
+                    ))))
+                }
+            }
+        } else {
+            if child.var.is_some() || child.inline.is_some() {
+                return Err(LorelError::Compile(format!(
+                    "path step '{label}' is both traversed (has sub-paths) and \
+                     compared/selected as a value; pick one"
+                )));
+            }
+            PatValue::Set(SetPattern {
+                elements: node_elements(child)?,
+                rest: None,
+            })
+        };
+        out.push(SetElem::Pattern(Pattern::lv(Term::str(label), value)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn msl_of(src: &str) -> String {
+        msl::printer::rule(&compile(&parse(src).unwrap(), "med").unwrap())
+    }
+
+    #[test]
+    fn star_query() {
+        assert_eq!(msl_of("select * from cs_person P"), "P :- P:<cs_person {}>@med");
+    }
+
+    #[test]
+    fn equality_inlines_for_pushdown() {
+        let r = msl_of("select P.name from cs_person P where P.year = 3");
+        assert_eq!(
+            r,
+            "<result {<name V1>}> :- P:<cs_person {<name V1> <year 3>}>@med"
+        );
+    }
+
+    #[test]
+    fn non_eq_conditions_become_builtins() {
+        let r = msl_of("select P.name from cs_person P where P.year >= 3");
+        assert!(r.contains("ge(V2, 3)"), "{r}");
+        assert!(r.contains("<year V2>"), "{r}");
+    }
+
+    #[test]
+    fn selected_and_filtered_path_shares_one_variable() {
+        let r = msl_of("select P.year from cs_person P where P.year = 3");
+        // year is selected, so it keeps its variable and the equality is a
+        // builtin filter.
+        assert!(r.contains("<year V1>"), "{r}");
+        assert!(r.contains("eq(V1, 3)"), "{r}");
+    }
+
+    #[test]
+    fn nested_paths_nest_patterns() {
+        let r = msl_of("select P.author.last from pub P where P.author.first = 'Joe'");
+        assert!(
+            r.contains("<author {<first 'Joe'> <last V1>}>"),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn join_on_paths() {
+        let r = msl_of(
+            "select B.title, A.venue from book B, article A where B.title = A.title",
+        );
+        assert!(r.contains("B:<book {"), "{r}");
+        assert!(r.contains("A:<article {"), "{r}");
+        assert!(r.contains("eq("), "{r}");
+    }
+
+    #[test]
+    fn lowercase_from_variable_is_uppercased() {
+        let r = msl_of("select * from cs_person p");
+        assert_eq!(r, "P :- P:<cs_person {}>@med");
+    }
+
+    #[test]
+    fn duplicate_select_names_disambiguated() {
+        let r = msl_of("select B.title, A.title from book B, article A");
+        assert!(r.contains("<title V1>") || r.contains("<title_2"), "{r}");
+        assert!(r.contains("title_2"), "{r}");
+    }
+
+    #[test]
+    fn compile_errors() {
+        let bad = [
+            "select * from book B, article A",          // star with 2 vars
+            "select Z.name from book B",                // unknown variable
+            "select B, A.title from book B, article A", // whole obj mixed with paths
+            "select B.x from book B where B = 3",       // whole-object compare
+            "select B.a.b, B.a from book B",            // traversed + selected
+            "select * from book B, book B",             // duplicate from var
+        ];
+        for src in bad {
+            let parsed = parse(src).unwrap();
+            assert!(compile(&parsed, "m").is_err(), "should fail: {src}");
+        }
+    }
+
+    #[test]
+    fn compiled_rules_validate_as_msl() {
+        for src in [
+            "select * from cs_person P",
+            "select P.name from cs_person P where P.year = 3",
+            "select P.name, P.rel from cs_person P where P.year >= 1 and P.rel != 'x'",
+            "select B.title from book B, article A where B.title = A.title",
+        ] {
+            let rule = compile(&parse(src).unwrap(), "med").unwrap();
+            msl::validate::validate_rule(&rule, &[])
+                .unwrap_or_else(|e| panic!("{src}: {e}\n{}", msl::printer::rule(&rule)));
+        }
+    }
+}

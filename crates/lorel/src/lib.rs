@@ -1,0 +1,93 @@
+//! # lorel — an end-user front end compiled to MSL
+//!
+//! The MedMaker paper (footnote 4) mentions TSIMMIS's second language:
+//! "LOREL. It is an object-oriented extension to SQL and is oriented to the
+//! end-user. ... MSL is more powerful than LOREL". This crate implements a
+//! LOREL-flavored surface — `select`/`from`/`where` with OEM path
+//! expressions — and compiles it to MSL queries, so end users never see
+//! patterns or rules:
+//!
+//! ```text
+//! select P.name, P.title
+//! from   cs_person P
+//! where  P.rel = 'employee' and P.year >= 3
+//! ```
+//!
+//! compiles (against mediator `med`) to
+//!
+//! ```text
+//! <result {<name V> <title V2>}> :-
+//!     P:<cs_person {<name V> <title V2> <rel 'employee'> <year V3>}>@med
+//!     AND ge(V3, 3)
+//! ```
+//!
+//! Design notes:
+//! * equality conditions against literals are inlined into the pattern so
+//!   the MSI's condition pushdown applies (§3.3);
+//! * other comparisons become MSL's built-in predicates (`lt`, `ge`, ...);
+//! * a path used twice compiles to one retrieval variable;
+//! * `select *` (single `from` variable) materializes whole view objects;
+//! * multi-variable `from` clauses produce joins — a path-to-path equality
+//!   (`P.name = Q.author`) unifies the two retrieval variables.
+
+mod compile;
+mod lexer;
+mod parse;
+
+pub use compile::compile;
+pub use parse::{parse, Comparison, CmpOp, Condition, LorelQuery, Path, Selection};
+
+use std::fmt;
+
+/// LOREL front-end errors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LorelError {
+    /// Lexical error with position.
+    Lex { msg: String, pos: usize },
+    /// Syntax error.
+    Parse { msg: String, pos: usize },
+    /// A query that parses but cannot be compiled (unknown variable,
+    /// `select *` with several `from` variables, ...).
+    Compile(String),
+}
+
+impl fmt::Display for LorelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LorelError::Lex { msg, pos } => write!(f, "LOREL lexical error at byte {pos}: {msg}"),
+            LorelError::Parse { msg, pos } => {
+                write!(f, "LOREL syntax error at byte {pos}: {msg}")
+            }
+            LorelError::Compile(msg) => write!(f, "LOREL compile error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LorelError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, LorelError>;
+
+/// One-call convenience: parse LOREL text and compile it to an MSL rule
+/// against `target` (usually the mediator's name).
+pub fn to_msl(text: &str, target: &str) -> Result<msl::Rule> {
+    compile(&parse(text)?, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let rule = to_msl(
+            "select P.name from cs_person P where P.year = 3",
+            "med",
+        )
+        .unwrap();
+        let printed = msl::printer::rule(&rule);
+        assert!(printed.contains("<cs_person {"), "{printed}");
+        assert!(printed.contains("<year 3>"), "{printed}");
+        assert!(printed.contains("@med"), "{printed}");
+    }
+}

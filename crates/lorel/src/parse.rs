@@ -1,0 +1,283 @@
+//! LOREL parser: `select <sel-list> from <var-decls> [where <conds>]`.
+
+use crate::lexer::{tokenize, Tok, Token};
+use crate::{LorelError, Result};
+use oem::Value;
+
+/// A path expression `X.a.b` (steps may be empty: the bare variable `X`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Path {
+    pub var: String,
+    pub steps: Vec<String>,
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.var)?;
+        for s in &self.steps {
+            write!(f, ".{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The select list.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Selection {
+    /// `select *` — whole objects of the (single) from-variable.
+    Star,
+    /// `select X.a, Y.b, ...`
+    Paths(Vec<Path>),
+}
+
+/// A comparison operator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The MSL built-in predicate name.
+    pub fn msl_name(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Neq => "neq",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// The right-hand side of a comparison.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Comparison {
+    Literal(Value),
+    Path(Path),
+}
+
+/// One `where` conjunct.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Condition {
+    pub lhs: Path,
+    pub op: CmpOp,
+    pub rhs: Comparison,
+}
+
+/// A parsed LOREL query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LorelQuery {
+    pub select: Selection,
+    /// `(view label, variable)` pairs from the `from` clause.
+    pub from: Vec<(String, String)>,
+    pub conditions: Vec<Condition>,
+}
+
+/// Parse LOREL text.
+pub fn parse(input: &str) -> Result<LorelQuery> {
+    let toks = tokenize(input)?;
+    let mut p = P { toks, i: 0 };
+    let q = p.query()?;
+    if p.i < p.toks.len() {
+        return Err(LorelError::Parse {
+            msg: format!("trailing input: {:?}", p.toks[p.i].kind),
+            pos: p.toks[p.i].pos,
+        });
+    }
+    Ok(q)
+}
+
+struct P {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl P {
+    fn pos(&self) -> usize {
+        self.toks.get(self.i).map(|t| t.pos).unwrap_or(usize::MAX)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(LorelError::Parse {
+            msg: msg.into(),
+            pos: self.pos(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, k: &Tok) -> bool {
+        if self.peek() == Some(k) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn query(&mut self) -> Result<LorelQuery> {
+        if !self.eat(&Tok::Select) {
+            return self.err("expected 'select'");
+        }
+        let select = if self.eat(&Tok::Star) {
+            Selection::Star
+        } else {
+            let mut paths = vec![self.path()?];
+            while self.eat(&Tok::Comma) {
+                paths.push(self.path()?);
+            }
+            Selection::Paths(paths)
+        };
+        if !self.eat(&Tok::From) {
+            return self.err("expected 'from'");
+        }
+        let mut from = Vec::new();
+        loop {
+            let label = self.ident("a view label")?;
+            let var = self.ident("a variable")?;
+            from.push((label, var));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let mut conditions = Vec::new();
+        if self.eat(&Tok::Where) {
+            loop {
+                conditions.push(self.condition()?);
+                if !self.eat(&Tok::And) {
+                    break;
+                }
+            }
+        }
+        Ok(LorelQuery {
+            select,
+            from,
+            conditions,
+        })
+    }
+
+    fn path(&mut self) -> Result<Path> {
+        let var = self.ident("a variable")?;
+        let mut steps = Vec::new();
+        while self.eat(&Tok::Dot) {
+            steps.push(self.ident("a path step")?);
+        }
+        Ok(Path { var, steps })
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let lhs = self.path()?;
+        let op = match self.bump() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Neq) => CmpOp::Neq,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            other => return self.err(format!("expected a comparison operator, found {other:?}")),
+        };
+        let rhs = match self.peek() {
+            Some(Tok::Str(_)) | Some(Tok::Int(_)) | Some(Tok::Real(_)) | Some(Tok::Bool(_)) => {
+                let v = match self.bump().unwrap() {
+                    Tok::Str(s) => Value::str(&s),
+                    Tok::Int(i) => Value::Int(i),
+                    Tok::Real(x) => Value::real(x),
+                    Tok::Bool(b) => Value::Bool(b),
+                    _ => unreachable!(),
+                };
+                Comparison::Literal(v)
+            }
+            Some(Tok::Ident(_)) => Comparison::Path(self.path()?),
+            other => return self.err(format!("expected a literal or path, found {other:?}")),
+        };
+        Ok(Condition { lhs, op, rhs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("select * from cs_person P").unwrap();
+        assert_eq!(q.select, Selection::Star);
+        assert_eq!(q.from, vec![("cs_person".to_string(), "P".to_string())]);
+        assert!(q.conditions.is_empty());
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse(
+            "select P.name, P.title from cs_person P \
+             where P.rel = 'employee' and P.year >= 3",
+        )
+        .unwrap();
+        let Selection::Paths(paths) = &q.select else { panic!() };
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].to_string(), "P.name");
+        assert_eq!(q.conditions.len(), 2);
+        assert_eq!(q.conditions[0].op, CmpOp::Eq);
+        assert_eq!(
+            q.conditions[0].rhs,
+            Comparison::Literal(Value::str("employee"))
+        );
+        assert_eq!(q.conditions[1].op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn join_query() {
+        let q = parse(
+            "select B.title from book B, article A where B.title = A.title",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(
+            q.conditions[0].rhs,
+            Comparison::Path(Path {
+                var: "A".into(),
+                steps: vec!["title".into()]
+            })
+        );
+    }
+
+    #[test]
+    fn nested_paths() {
+        let q = parse("select P.author.last from pub P").unwrap();
+        let Selection::Paths(paths) = &q.select else { panic!() };
+        assert_eq!(paths[0].steps, vec!["author".to_string(), "last".to_string()]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("from x X").is_err());
+        assert!(parse("select").is_err());
+        assert!(parse("select * from").is_err());
+        assert!(parse("select * from p P where").is_err());
+        assert!(parse("select * from p P where P.x").is_err());
+        assert!(parse("select * from p P extra").is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! A catalog: one named database of tables. The paper's `cs` source is a
+//! catalog with `employee` and `student`.
+
+use crate::error::{DbError, Result};
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A named collection of tables. `BTreeMap` keeps table enumeration
+/// deterministic — the relational wrapper enumerates relations when an MSL
+/// label variable ranges over table names.
+#[derive(Clone, Default, Debug)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Add a table; its schema name is its catalog name.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let name = table.schema().name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Fetch a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Mutable fetch.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Table names in deterministic (sorted) order.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Iterate tables.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::ColType;
+
+    fn tiny(name: &str) -> Table {
+        Table::new(Schema::new(name, &[("x", ColType::Int)]).unwrap())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        c.add_table(tiny("employee")).unwrap();
+        c.add_table(tiny("student")).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.table("employee").is_ok());
+        assert!(matches!(c.table("nope"), Err(DbError::NoSuchTable(_))));
+        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["employee", "student"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.add_table(tiny("t")).unwrap();
+        assert!(matches!(c.add_table(tiny("t")), Err(DbError::DuplicateTable(_))));
+    }
+
+    #[test]
+    fn mutate_through_catalog() {
+        let mut c = Catalog::new();
+        c.add_table(tiny("t")).unwrap();
+        c.table_mut("t").unwrap().insert(vec![1.into()]).unwrap();
+        assert_eq!(c.table("t").unwrap().len(), 1);
+    }
+}

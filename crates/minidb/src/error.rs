@@ -1,0 +1,59 @@
+//! minidb errors.
+
+use crate::types::ColType;
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// Errors raised by schema/table/query operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DbError {
+    DuplicateColumn { table: String, column: String },
+    DuplicateTable(String),
+    NoSuchTable(String),
+    NoSuchColumn { table: String, column: String },
+    ArityMismatch { table: String, expected: usize, found: usize },
+    TypeMismatch { table: String, column: String, expected: ColType, found: ColType },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::DuplicateColumn { table, column } => {
+                write!(f, "duplicate column '{column}' in table '{table}'")
+            }
+            DbError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            DbError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no column '{column}' in table '{table}'")
+            }
+            DbError::ArityMismatch { table, expected, found } => {
+                write!(f, "table '{table}' expects {expected} values, found {found}")
+            }
+            DbError::TypeMismatch { table, column, expected, found } => write!(
+                f,
+                "column '{table}.{column}' expects {expected}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(DbError::NoSuchTable("x".into()).to_string().contains("x"));
+        let e = DbError::TypeMismatch {
+            table: "t".into(),
+            column: "c".into(),
+            expected: ColType::Int,
+            found: ColType::Str,
+        };
+        assert!(e.to_string().contains("integer"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # minidb — a minimal in-memory relational engine
+//!
+//! The MedMaker paper's first source is "a relational database containing
+//! two tables" behind the `cs` wrapper (§2). This crate is that substrate,
+//! built from scratch: typed schemas, row storage with optional hash
+//! indexes, conjunctive selection predicates, and projection. It
+//! deliberately exposes the query surface the relational *wrapper* needs —
+//! `SELECT <cols> FROM t WHERE c1 = v1 AND c2 θ v2 ...` — and nothing more;
+//! MedMaker's power comes from the mediation layer above, not from the
+//! sources.
+//!
+//! Modules:
+//! * [`types`] — column types and datums.
+//! * [`schema`] — relation schemas.
+//! * [`table`] — row storage plus hash indexes.
+//! * [`pred`] — conjunctive predicates.
+//! * [`query`] — select/project evaluation with index selection.
+//! * [`catalog`] — a named collection of tables (one database).
+//! * [`stats`] — row counts and per-column distinct estimates.
+
+pub mod catalog;
+pub mod csv;
+pub mod error;
+pub mod pred;
+pub mod query;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use csv::load_csv;
+pub use error::{DbError, Result};
+pub use pred::{CmpOp, Condition, Predicate};
+pub use query::{select, select_project};
+pub use schema::Schema;
+pub use stats::TableStats;
+pub use table::Table;
+pub use types::{ColType, Datum};

@@ -1,0 +1,167 @@
+//! Conjunctive selection predicates.
+
+use crate::types::Datum;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A comparison operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate against a three-valued comparison result. Incomparable
+    /// datums (`None`) fail every operator — including `Neq`, matching SQL's
+    /// treatment of NULL.
+    pub fn eval(&self, ord: Option<Ordering>) -> bool {
+        match (self, ord) {
+            (CmpOp::Eq, Some(Ordering::Equal)) => true,
+            (CmpOp::Neq, Some(o)) => o != Ordering::Equal,
+            (CmpOp::Lt, Some(Ordering::Less)) => true,
+            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (CmpOp::Gt, Some(Ordering::Greater)) => true,
+            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        }
+    }
+
+    /// Parse from the MSL built-in predicate names.
+    pub fn from_name(name: &str) -> Option<CmpOp> {
+        Some(match name {
+            "eq" => CmpOp::Eq,
+            "neq" => CmpOp::Neq,
+            "lt" => CmpOp::Lt,
+            "le" => CmpOp::Le,
+            "gt" => CmpOp::Gt,
+            "ge" => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// One condition `column θ value`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Condition {
+    pub column: String,
+    pub op: CmpOp,
+    pub value: Datum,
+}
+
+impl Condition {
+    /// Equality shorthand.
+    pub fn eq(column: &str, value: impl Into<Datum>) -> Condition {
+        Condition {
+            column: column.to_string(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// General shorthand.
+    pub fn cmp(column: &str, op: CmpOp, value: impl Into<Datum>) -> Condition {
+        Condition {
+            column: column.to_string(),
+            op,
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.value)
+    }
+}
+
+/// A conjunction of conditions (possibly empty = always true).
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Predicate {
+    pub conditions: Vec<Condition>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn all() -> Predicate {
+        Predicate::default()
+    }
+
+    /// A predicate from conditions.
+    pub fn of(conditions: Vec<Condition>) -> Predicate {
+        Predicate { conditions }
+    }
+
+    /// Add a condition.
+    pub fn and(mut self, c: Condition) -> Predicate {
+        self.conditions.push(c);
+        self
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conditions.is_empty() {
+            return f.write_str("TRUE");
+        }
+        let parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        f.write_str(&parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_eval() {
+        let cmp = |a: i64, b: i64| Datum::Int(a).compare(&Datum::Int(b));
+        assert!(CmpOp::Eq.eval(cmp(3, 3)));
+        assert!(!CmpOp::Eq.eval(cmp(3, 4)));
+        assert!(CmpOp::Neq.eval(cmp(3, 4)));
+        assert!(CmpOp::Lt.eval(cmp(1, 2)));
+        assert!(CmpOp::Le.eval(cmp(2, 2)));
+        assert!(CmpOp::Gt.eval(cmp(3, 2)));
+        assert!(CmpOp::Ge.eval(cmp(2, 2)));
+    }
+
+    #[test]
+    fn incomparable_fails_everything() {
+        let ord = Datum::Null.compare(&Datum::Int(1));
+        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!op.eval(ord));
+        }
+    }
+
+    #[test]
+    fn from_msl_names() {
+        assert_eq!(CmpOp::from_name("ge"), Some(CmpOp::Ge));
+        assert_eq!(CmpOp::from_name("between"), None);
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::all()
+            .and(Condition::eq("last_name", "Chung"))
+            .and(Condition::cmp("year", CmpOp::Ge, 3));
+        assert_eq!(p.to_string(), "last_name = 'Chung' AND year >= 3");
+        assert_eq!(Predicate::all().to_string(), "TRUE");
+    }
+}

@@ -1,0 +1,191 @@
+//! Selection and projection with index-aware access paths.
+
+use crate::error::{DbError, Result};
+use crate::pred::{CmpOp, Predicate};
+use crate::table::Table;
+use crate::types::Datum;
+
+/// Evaluate `SELECT * FROM table WHERE pred`, returning row ids.
+///
+/// Access path: if some equality condition has a hash index, probe the
+/// most selective such index and post-filter; otherwise scan.
+pub fn select(table: &Table, pred: &Predicate) -> Result<Vec<usize>> {
+    // Resolve column names up front (and error on unknown columns).
+    let mut resolved: Vec<(usize, CmpOp, &Datum)> = Vec::with_capacity(pred.conditions.len());
+    for c in &pred.conditions {
+        let col = table
+            .schema()
+            .column_index(&c.column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: table.schema().name().to_string(),
+                column: c.column.clone(),
+            })?;
+        resolved.push((col, c.op, &c.value));
+    }
+
+    // Choose the best indexed equality condition (fewest candidate rows).
+    let mut best: Option<(usize, &[usize])> = None;
+    for (i, (col, op, value)) in resolved.iter().enumerate() {
+        if *op == CmpOp::Eq {
+            if let Some(rids) = table.index_lookup(*col, value) {
+                if best.is_none_or(|(_, b)| rids.len() < b.len()) {
+                    best = Some((i, rids));
+                }
+            }
+        }
+    }
+
+    let matches_row = |rid: usize| -> bool {
+        let row = table.row(rid);
+        resolved
+            .iter()
+            .all(|(col, op, value)| op.eval(row[*col].compare(value)))
+    };
+
+    let out = match best {
+        Some((_, candidates)) => candidates.iter().copied().filter(|&r| matches_row(r)).collect(),
+        None => table.iter().map(|(rid, _)| rid).filter(|&r| matches_row(r)).collect(),
+    };
+    Ok(out)
+}
+
+/// Evaluate `SELECT cols FROM table WHERE pred`. `columns = None` selects
+/// every column in schema order.
+pub fn select_project(
+    table: &Table,
+    pred: &Predicate,
+    columns: Option<&[&str]>,
+) -> Result<Vec<Vec<Datum>>> {
+    let rids = select(table, pred)?;
+    let cols: Vec<usize> = match columns {
+        None => (0..table.schema().arity()).collect(),
+        Some(names) => {
+            let mut out = Vec::with_capacity(names.len());
+            for n in names {
+                out.push(table.schema().column_index(n).ok_or_else(|| {
+                    DbError::NoSuchColumn {
+                        table: table.schema().name().to_string(),
+                        column: n.to_string(),
+                    }
+                })?);
+            }
+            out
+        }
+    };
+    Ok(rids
+        .into_iter()
+        .map(|rid| {
+            let row = table.row(rid);
+            cols.iter().map(|&c| row[c].clone()).collect()
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::Condition;
+    use crate::schema::Schema;
+    use crate::types::ColType;
+
+    fn employees() -> Table {
+        let schema = Schema::new(
+            "employee",
+            &[
+                ("first_name", ColType::Str),
+                ("last_name", ColType::Str),
+                ("title", ColType::Str),
+                ("reports_to", ColType::Str),
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert_all([
+            vec!["Joe".into(), "Chung".into(), "professor".into(), "John Hennessy".into()],
+            vec!["Ann".into(), "Able".into(), "lecturer".into(), "Joe Chung".into()],
+            vec!["Bob".into(), "Busy".into(), "professor".into(), "John Hennessy".into()],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn full_scan_select() {
+        let t = employees();
+        let rids = select(&t, &Predicate::of(vec![Condition::eq("title", "professor")])).unwrap();
+        assert_eq!(rids, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_predicate_selects_all() {
+        let t = employees();
+        assert_eq!(select(&t, &Predicate::all()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn indexed_select_same_answer_as_scan() {
+        let mut t = employees();
+        let pred = Predicate::of(vec![
+            Condition::eq("title", "professor"),
+            Condition::eq("last_name", "Chung"),
+        ]);
+        let scan = select(&t, &pred).unwrap();
+        t.create_index("last_name").unwrap();
+        t.create_index("title").unwrap();
+        let indexed = select(&t, &pred).unwrap();
+        assert_eq!(scan, indexed);
+        assert_eq!(indexed, vec![0]);
+    }
+
+    #[test]
+    fn projection() {
+        let t = employees();
+        let rows = select_project(
+            &t,
+            &Predicate::of(vec![Condition::eq("last_name", "Chung")]),
+            Some(&["first_name", "title"]),
+        )
+        .unwrap();
+        assert_eq!(rows, vec![vec![Datum::str("Joe"), Datum::str("professor")]]);
+    }
+
+    #[test]
+    fn project_all_columns() {
+        let t = employees();
+        let rows = select_project(&t, &Predicate::all(), None).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 4);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = employees();
+        assert!(select(&t, &Predicate::of(vec![Condition::eq("nope", 1)])).is_err());
+        assert!(select_project(&t, &Predicate::all(), Some(&["nope"])).is_err());
+    }
+
+    #[test]
+    fn range_predicates() {
+        let schema = Schema::new("s", &[("name", ColType::Str), ("year", ColType::Int)]).unwrap();
+        let mut t = Table::new(schema);
+        t.insert_all([
+            vec!["a".into(), 1.into()],
+            vec!["b".into(), 3.into()],
+            vec!["c".into(), 5.into()],
+        ])
+        .unwrap();
+        let rids = select(
+            &t,
+            &Predicate::of(vec![Condition::cmp("year", CmpOp::Ge, 3)]),
+        )
+        .unwrap();
+        assert_eq!(rids, vec![1, 2]);
+    }
+
+    #[test]
+    fn type_mismatch_condition_is_false_not_error() {
+        let t = employees();
+        let rids = select(&t, &Predicate::of(vec![Condition::eq("title", 3)])).unwrap();
+        assert!(rids.is_empty());
+    }
+}

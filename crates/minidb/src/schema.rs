@@ -1,0 +1,149 @@
+//! Relation schemas.
+
+use crate::error::{DbError, Result};
+use crate::types::{ColType, Datum};
+
+/// A relation schema: an ordered list of `(column name, type)` pairs. The
+/// paper's example: `employee(first_name, last_name, title, reports_to)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    name: String,
+    columns: Vec<(String, ColType)>,
+}
+
+impl Schema {
+    /// Build a schema; column names must be distinct.
+    pub fn new(name: &str, columns: &[(&str, ColType)]) -> Result<Schema> {
+        let mut seen = std::collections::HashSet::new();
+        for (c, _) in columns {
+            if !seen.insert(*c) {
+                return Err(DbError::DuplicateColumn {
+                    table: name.to_string(),
+                    column: c.to_string(),
+                });
+            }
+        }
+        Ok(Schema {
+            name: name.to_string(),
+            columns: columns
+                .iter()
+                .map(|(c, t)| (c.to_string(), *t))
+                .collect(),
+        })
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(c, _)| c.as_str())
+    }
+
+    /// The index of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(c, _)| c == name)
+    }
+
+    /// The type of a column by index.
+    pub fn column_type(&self, idx: usize) -> Option<ColType> {
+        self.columns.get(idx).map(|(_, t)| *t)
+    }
+
+    /// The name of a column by index.
+    pub fn column_name(&self, idx: usize) -> Option<&str> {
+        self.columns.get(idx).map(|(c, _)| c.as_str())
+    }
+
+    /// Check a row against the schema: right arity, right types (`Null`
+    /// allowed anywhere).
+    pub fn check_row(&self, row: &[Datum]) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.columns.len(),
+                found: row.len(),
+            });
+        }
+        for (i, d) in row.iter().enumerate() {
+            if let Some(t) = d.col_type() {
+                if t != self.columns[i].1 {
+                    return Err(DbError::TypeMismatch {
+                        table: self.name.clone(),
+                        column: self.columns[i].0.clone(),
+                        expected: self.columns[i].1,
+                        found: t,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employee() -> Schema {
+        Schema::new(
+            "employee",
+            &[
+                ("first_name", ColType::Str),
+                ("last_name", ColType::Str),
+                ("title", ColType::Str),
+                ("reports_to", ColType::Str),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup() {
+        let s = employee();
+        assert_eq!(s.name(), "employee");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column_index("title"), Some(2));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.column_type(0), Some(ColType::Str));
+        assert_eq!(s.column_name(3), Some("reports_to"));
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let err = Schema::new("t", &[("a", ColType::Int), ("a", ColType::Str)]).unwrap_err();
+        assert!(matches!(err, DbError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn row_checking() {
+        let s = employee();
+        s.check_row(&[
+            Datum::str("Joe"),
+            Datum::str("Chung"),
+            Datum::str("professor"),
+            Datum::str("John Hennessy"),
+        ])
+        .unwrap();
+        // Nulls pass.
+        s.check_row(&[Datum::str("A"), Datum::str("B"), Datum::Null, Datum::Null])
+            .unwrap();
+        // Wrong arity.
+        assert!(matches!(
+            s.check_row(&[Datum::str("A")]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+        // Wrong type.
+        assert!(matches!(
+            s.check_row(&[Datum::Int(1), Datum::str("B"), Datum::Null, Datum::Null]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Table statistics.
+//!
+//! §3.5 of the paper: when wrappers *do* provide cost and statistics
+//! information, the mediator's optimizer can use it. The relational
+//! wrapper surfaces these numbers; the semi-structured source does not,
+//! exercising the paper's other branch (ad-hoc heuristics + learned
+//! statistics).
+
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Row count and per-column distinct-value counts for one table.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TableStats {
+    pub table: String,
+    pub row_count: usize,
+    /// Distinct non-null values per column, in schema order.
+    pub distinct: Vec<usize>,
+}
+
+impl TableStats {
+    /// Compute exact statistics by scanning the table.
+    pub fn compute(table: &Table) -> TableStats {
+        let arity = table.schema().arity();
+        let mut sets: Vec<HashSet<&crate::types::Datum>> = vec![HashSet::new(); arity];
+        for (_, row) in table.iter() {
+            for (i, d) in row.iter().enumerate() {
+                if !d.is_null() {
+                    sets[i].insert(d);
+                }
+            }
+        }
+        TableStats {
+            table: table.schema().name().to_string(),
+            row_count: table.len(),
+            distinct: sets.iter().map(|s| s.len()).collect(),
+        }
+    }
+
+    /// Estimated selectivity of an equality condition on the named column:
+    /// `1 / distinct`, the textbook uniform assumption.
+    pub fn eq_selectivity(&self, table: &Table, column: &str) -> f64 {
+        match table.schema().column_index(column) {
+            Some(i) if self.distinct[i] > 0 => 1.0 / self.distinct[i] as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Estimated output cardinality of a conjunctive equality predicate.
+    pub fn estimate_eq_rows(&self, table: &Table, columns: &[&str]) -> f64 {
+        let mut est = self.row_count as f64;
+        for c in columns {
+            est *= self.eq_selectivity(table, c);
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::types::{ColType, Datum};
+
+    fn table() -> Table {
+        let schema =
+            Schema::new("s", &[("name", ColType::Str), ("year", ColType::Int)]).unwrap();
+        let mut t = Table::new(schema);
+        for (n, y) in [("a", 1), ("b", 1), ("c", 2), ("d", 3), ("e", 3), ("f", 3)] {
+            t.insert(vec![n.into(), (y as i64).into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn exact_counts() {
+        let t = table();
+        let s = TableStats::compute(&t);
+        assert_eq!(s.row_count, 6);
+        assert_eq!(s.distinct, vec![6, 3]);
+    }
+
+    #[test]
+    fn selectivity_estimates() {
+        let t = table();
+        let s = TableStats::compute(&t);
+        assert!((s.eq_selectivity(&t, "year") - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.estimate_eq_rows(&t, &["year"]) - 2.0).abs() < 1e-9);
+        // Unknown column: selectivity 1.
+        assert_eq!(s.eq_selectivity(&t, "nope"), 1.0);
+    }
+
+    #[test]
+    fn nulls_excluded_from_distinct() {
+        let schema = Schema::new("t", &[("a", ColType::Str)]).unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec![Datum::Null]).unwrap();
+        t.insert(vec!["x".into()]).unwrap();
+        let s = TableStats::compute(&t);
+        assert_eq!(s.distinct, vec![1]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Row storage with optional per-column hash indexes.
+
+use crate::error::{DbError, Result};
+use crate::schema::Schema;
+use crate::types::Datum;
+use std::collections::HashMap;
+
+/// A table: a schema, rows, and optional hash indexes (equality lookup).
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Datum>>,
+    /// column index → (datum → row ids)
+    indexes: HashMap<usize, HashMap<Datum, Vec<usize>>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row (type-checked against the schema).
+    pub fn insert(&mut self, row: Vec<Datum>) -> Result<()> {
+        self.schema.check_row(&row)?;
+        let rid = self.rows.len();
+        for (col, index) in self.indexes.iter_mut() {
+            if !row[*col].is_null() {
+                index.entry(row[*col].clone()).or_default().push(rid);
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Insert many rows.
+    pub fn insert_all<I: IntoIterator<Item = Vec<Datum>>>(&mut self, rows: I) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Build (or rebuild) a hash index on the named column. Null values are
+    /// not indexed (they never satisfy equality).
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: self.schema.name().to_string(),
+                column: column.to_string(),
+            })?;
+        let mut index: HashMap<Datum, Vec<usize>> = HashMap::new();
+        for (rid, row) in self.rows.iter().enumerate() {
+            if !row[col].is_null() {
+                index.entry(row[col].clone()).or_default().push(rid);
+            }
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// Is there a hash index on this column index?
+    pub fn has_index(&self, col: usize) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Row ids matching `col = value` via the index, if one exists.
+    pub fn index_lookup(&self, col: usize, value: &Datum) -> Option<&[usize]> {
+        self.indexes
+            .get(&col)
+            .map(|idx| idx.get(value).map(|v| v.as_slice()).unwrap_or(&[]))
+    }
+
+    /// A row by id.
+    pub fn row(&self, rid: usize) -> &[Datum] {
+        &self.rows[rid]
+    }
+
+    /// Iterate all rows with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[Datum])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ColType;
+
+    fn student_table() -> Table {
+        let schema = Schema::new(
+            "student",
+            &[
+                ("first_name", ColType::Str),
+                ("last_name", ColType::Str),
+                ("year", ColType::Int),
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec!["Nick".into(), "Naive".into(), 3.into()]).unwrap();
+        t.insert(vec!["Ann".into(), "Able".into(), 1.into()]).unwrap();
+        t.insert(vec!["Bob".into(), "Busy".into(), 3.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_iterate() {
+        let t = student_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0)[0], Datum::str("Nick"));
+        assert_eq!(t.iter().count(), 3);
+    }
+
+    #[test]
+    fn type_errors_rejected() {
+        let mut t = student_table();
+        assert!(t.insert(vec!["X".into(), "Y".into(), "three".into()]).is_err());
+        assert!(t.insert(vec!["X".into()]).is_err());
+    }
+
+    #[test]
+    fn index_lookup_finds_matches() {
+        let mut t = student_table();
+        t.create_index("year").unwrap();
+        let col = t.schema().column_index("year").unwrap();
+        assert!(t.has_index(col));
+        let rids = t.index_lookup(col, &Datum::Int(3)).unwrap();
+        assert_eq!(rids, &[0, 2]);
+        assert!(t.index_lookup(col, &Datum::Int(9)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_maintained_on_insert() {
+        let mut t = student_table();
+        t.create_index("year").unwrap();
+        t.insert(vec!["Col".into(), "Cool".into(), 3.into()]).unwrap();
+        let col = t.schema().column_index("year").unwrap();
+        assert_eq!(t.index_lookup(col, &Datum::Int(3)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let schema = Schema::new("t", &[("a", ColType::Str)]).unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec![Datum::Null]).unwrap();
+        t.insert(vec!["x".into()]).unwrap();
+        t.create_index("a").unwrap();
+        assert_eq!(t.index_lookup(0, &Datum::str("x")).unwrap(), &[1]);
+        assert!(t.index_lookup(0, &Datum::Null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_on_missing_column_errors() {
+        let mut t = student_table();
+        assert!(matches!(
+            t.create_index("nope"),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+    }
+}

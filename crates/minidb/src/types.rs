@@ -1,0 +1,190 @@
+//! Column types and datums.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a relational column.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ColType {
+    Str,
+    Int,
+    Real,
+    Bool,
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ColType::Str => "string",
+            ColType::Int => "integer",
+            ColType::Real => "real",
+            ColType::Bool => "boolean",
+        })
+    }
+}
+
+/// A single relational value. `Real` keeps raw bits so `Datum: Eq + Hash`
+/// (hash indexes need it); use [`Datum::real`] / [`Datum::as_real`] for the
+/// numeric view. `Null` is included because real sources have missing
+/// values — the relational wrapper maps `Null` to an *absent* OEM subobject,
+/// which is exactly how OEM represents irregularity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Datum {
+    Str(String),
+    Int(i64),
+    RealBits(u64),
+    Bool(bool),
+    Null,
+}
+
+impl Datum {
+    /// Construct a string datum.
+    pub fn str(s: &str) -> Datum {
+        Datum::Str(s.to_string())
+    }
+
+    /// Construct a real datum.
+    pub fn real(x: f64) -> Datum {
+        Datum::RealBits(x.to_bits())
+    }
+
+    /// Numeric view of a real datum.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Datum::RealBits(b) => Some(f64::from_bits(*b)),
+            _ => None,
+        }
+    }
+
+    /// The column type of this datum (`None` for `Null`).
+    pub fn col_type(&self) -> Option<ColType> {
+        Some(match self {
+            Datum::Str(_) => ColType::Str,
+            Datum::Int(_) => ColType::Int,
+            Datum::RealBits(_) => ColType::Real,
+            Datum::Bool(_) => ColType::Bool,
+            Datum::Null => return None,
+        })
+    }
+
+    /// Three-valued comparison. `None` when incomparable (type mismatch
+    /// other than int/real promotion, or any `Null`): a predicate over
+    /// incomparable datums is simply false, never an error.
+    pub fn compare(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Str(a), Datum::Str(b)) => Some(a.cmp(b)),
+            (Datum::Int(a), Datum::Int(b)) => Some(a.cmp(b)),
+            (Datum::Bool(a), Datum::Bool(b)) => Some(a.cmp(b)),
+            (Datum::RealBits(_), Datum::RealBits(_))
+            | (Datum::Int(_), Datum::RealBits(_))
+            | (Datum::RealBits(_), Datum::Int(_)) => {
+                let a = self.to_f64()?;
+                let b = other.to_f64()?;
+                a.partial_cmp(&b)
+            }
+            _ => None,
+        }
+    }
+
+    fn to_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::RealBits(b) => Some(f64::from_bits(*b)),
+            _ => None,
+        }
+    }
+
+    /// Is this datum NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Str(s) => write!(f, "'{s}'"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::RealBits(b) => write!(f, "{}", f64::from_bits(*b)),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(s: &str) -> Datum {
+        Datum::str(s)
+    }
+}
+
+impl From<String> for Datum {
+    fn from(s: String) -> Datum {
+        Datum::Str(s)
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(i: i64) -> Datum {
+        Datum::Int(i)
+    }
+}
+
+impl From<i32> for Datum {
+    fn from(i: i32) -> Datum {
+        Datum::Int(i as i64)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(x: f64) -> Datum {
+        Datum::real(x)
+    }
+}
+
+impl From<bool> for Datum {
+    fn from(b: bool) -> Datum {
+        Datum::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_datums() {
+        assert_eq!(Datum::str("x").col_type(), Some(ColType::Str));
+        assert_eq!(Datum::Int(1).col_type(), Some(ColType::Int));
+        assert_eq!(Datum::real(1.5).col_type(), Some(ColType::Real));
+        assert_eq!(Datum::Bool(true).col_type(), Some(ColType::Bool));
+        assert_eq!(Datum::Null.col_type(), None);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            Datum::str("a").compare(&Datum::str("b")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Datum::Int(3).compare(&Datum::real(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Datum::Int(3).compare(&Datum::str("3")), None);
+        assert_eq!(Datum::Null.compare(&Datum::Null), None);
+    }
+
+    #[test]
+    fn null_is_never_comparable() {
+        assert_eq!(Datum::Null.compare(&Datum::Int(1)), None);
+        assert!(Datum::Null.is_null());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Datum::str("x").to_string(), "'x'");
+        assert_eq!(Datum::Int(-2).to_string(), "-2");
+        assert_eq!(Datum::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,70 @@
+//! MSL front-end errors.
+
+use std::fmt;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, MslError>;
+
+/// A source position (1-based line and column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing and validating MSL.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MslError {
+    /// Lexical error.
+    Lex { msg: String, pos: Pos },
+    /// Syntax error.
+    Parse { msg: String, pos: Pos },
+    /// Semantic validation error (range restriction, arity mismatch, ...).
+    Validate(String),
+}
+
+impl MslError {
+    pub(crate) fn lex(msg: impl Into<String>, pos: Pos) -> MslError {
+        MslError::Lex {
+            msg: msg.into(),
+            pos,
+        }
+    }
+
+    pub(crate) fn parse(msg: impl Into<String>, pos: Pos) -> MslError {
+        MslError::Parse {
+            msg: msg.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for MslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MslError::Lex { msg, pos } => write!(f, "MSL lexical error at {pos}: {msg}"),
+            MslError::Parse { msg, pos } => write!(f, "MSL syntax error at {pos}: {msg}"),
+            MslError::Validate(msg) => write!(f, "MSL validation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position() {
+        let e = MslError::parse("expected '>'", Pos { line: 2, col: 9 });
+        assert!(e.to_string().contains("2:9"));
+        assert!(e.to_string().contains("expected '>'"));
+    }
+}

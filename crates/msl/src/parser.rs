@@ -1,0 +1,698 @@
+//! Recursive-descent parser for MSL.
+//!
+//! Field-count disambiguation follows §2 of the paper exactly: a pattern has
+//! up to four fields `<object-id label type value>`; with three fields the
+//! type is dropped (`<object-id label value>`); with two fields the type and
+//! object-id are dropped (`<label value>`).
+
+use crate::ast::*;
+use crate::error::{MslError, Pos, Result};
+use crate::lexer::{tokenize, Token, TokenKind};
+use oem::Symbol;
+
+/// Parse a full mediator specification (rules + external declarations).
+///
+/// ```
+/// let spec = msl::parse_spec(
+///     "<v {<n N>}> :- <person {<name N>}>@src\n\
+///      decomp(bound, free, free) by name_to_lnfn",
+/// ).unwrap();
+/// assert_eq!(spec.rules.len(), 1);
+/// assert_eq!(spec.externals.len(), 1);
+/// ```
+pub fn parse_spec(input: &str) -> Result<Spec> {
+    let mut p = P::new(input)?;
+    let mut spec = Spec::default();
+    while !p.at_end() {
+        if p.peek_is_ident_lparen() {
+            spec.externals.push(p.external_decl()?);
+        } else {
+            spec.rules.push(p.rule()?);
+        }
+    }
+    Ok(spec)
+}
+
+/// Parse a single rule.
+pub fn parse_rule(input: &str) -> Result<Rule> {
+    let mut p = P::new(input)?;
+    let rule = p.rule()?;
+    if !p.at_end() {
+        return Err(MslError::parse(
+            format!("trailing input after rule: {}", p.peek_describe()),
+            p.pos(),
+        ));
+    }
+    Ok(rule)
+}
+
+/// Parse a query — syntactically a rule (§3.1: "we use MSL as our query
+/// language").
+pub fn parse_query(input: &str) -> Result<Rule> {
+    parse_rule(input)
+}
+
+struct P {
+    toks: Vec<Token>,
+    i: usize,
+}
+
+impl P {
+    fn new(input: &str) -> Result<P> {
+        Ok(P {
+            toks: tokenize(input)?,
+            i: 0,
+        })
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks
+            .get(self.i)
+            .or_else(|| self.toks.last())
+            .map(|t| t.pos)
+            .unwrap_or_default()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.toks.get(self.i).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.toks.get(self.i + 1).map(|t| &t.kind)
+    }
+
+    fn peek_describe(&self) -> String {
+        self.peek()
+            .map(|k| k.describe())
+            .unwrap_or_else(|| "end of input".into())
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.toks.get(self.i).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<()> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(MslError::parse(
+                format!("expected {}, found {}", kind.describe(), self.peek_describe()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn peek_is_ident_lparen(&self) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(_)))
+            && matches!(self.peek2(), Some(TokenKind::LParen))
+    }
+
+    // `pred(bound, free, ...) by func`
+    fn external_decl(&mut self) -> Result<ExternalDecl> {
+        let Some(TokenKind::Ident(pred)) = self.bump() else {
+            return Err(MslError::parse("expected predicate name", self.pos()));
+        };
+        self.expect(TokenKind::LParen)?;
+        let mut adornment = Vec::new();
+        loop {
+            match self.bump() {
+                Some(TokenKind::Ident(w)) => match w.as_str() {
+                    "bound" | "b" => adornment.push(Adornment::Bound),
+                    "free" | "f" => adornment.push(Adornment::Free),
+                    other => {
+                        return Err(MslError::parse(
+                            format!("expected 'bound' or 'free', found '{other}'"),
+                            self.pos(),
+                        ))
+                    }
+                },
+                other => {
+                    return Err(MslError::parse(
+                        format!(
+                            "expected 'bound' or 'free', found {}",
+                            other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                        ),
+                        self.pos(),
+                    ))
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::By)?;
+        let Some(TokenKind::Ident(func)) = self.bump() else {
+            return Err(MslError::parse("expected function name after 'by'", self.pos()));
+        };
+        Ok(ExternalDecl {
+            pred: Symbol::intern(&pred),
+            adornment,
+            func: Symbol::intern(&func),
+        })
+    }
+
+    fn rule(&mut self) -> Result<Rule> {
+        let head = self.head()?;
+        self.expect(TokenKind::Implies)?;
+        let mut tail = vec![self.tail_item()?];
+        while self.eat(&TokenKind::And) {
+            tail.push(self.tail_item()?);
+        }
+        Ok(Rule { head, tail })
+    }
+
+    fn head(&mut self) -> Result<Head> {
+        match self.peek() {
+            Some(TokenKind::Var(_)) => {
+                if matches!(self.peek2(), Some(TokenKind::Implies)) {
+                    let Some(TokenKind::Var(v)) = self.bump() else {
+                        unreachable!()
+                    };
+                    Ok(Head::Var(Symbol::intern(&v)))
+                } else {
+                    Ok(Head::Pattern(self.pattern()?))
+                }
+            }
+            Some(TokenKind::Lt) => Ok(Head::Pattern(self.pattern()?)),
+            _ => Err(MslError::parse(
+                format!("expected a rule head, found {}", self.peek_describe()),
+                self.pos(),
+            )),
+        }
+    }
+
+    fn tail_item(&mut self) -> Result<TailItem> {
+        if self.peek_is_ident_lparen() {
+            let Some(TokenKind::Ident(name)) = self.bump() else {
+                unreachable!()
+            };
+            self.expect(TokenKind::LParen)?;
+            let mut args = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                args.push(self.term()?);
+                while self.eat(&TokenKind::Comma) {
+                    args.push(self.term()?);
+                }
+            }
+            self.expect(TokenKind::RParen)?;
+            return Ok(TailItem::External {
+                name: Symbol::intern(&name),
+                args,
+            });
+        }
+        let pattern = self.pattern()?;
+        let source = if self.eat(&TokenKind::At) {
+            match self.bump() {
+                Some(TokenKind::Ident(s)) => Some(Symbol::intern(&s)),
+                other => {
+                    return Err(MslError::parse(
+                        format!(
+                            "expected source name after '@', found {}",
+                            other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                        ),
+                        self.pos(),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(TailItem::Match { pattern, source })
+    }
+
+    /// `[Var ':'] '<' field+ '>'`
+    fn pattern(&mut self) -> Result<Pattern> {
+        let obj_var = if matches!(self.peek(), Some(TokenKind::Var(_)))
+            && matches!(self.peek2(), Some(TokenKind::Colon))
+        {
+            let Some(TokenKind::Var(v)) = self.bump() else {
+                unreachable!()
+            };
+            self.expect(TokenKind::Colon)?;
+            Some(Symbol::intern(&v))
+        } else {
+            None
+        };
+        let start = self.pos();
+        self.expect(TokenKind::Lt)?;
+
+        enum Field {
+            T(Term),
+            S(SetPattern),
+        }
+        let mut fields: Vec<Field> = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenKind::Gt) => {
+                    self.bump();
+                    break;
+                }
+                Some(TokenKind::LBrace) => {
+                    fields.push(Field::S(self.set_pattern()?));
+                }
+                None => {
+                    return Err(MslError::parse("unterminated pattern: expected '>'", start))
+                }
+                _ => {
+                    // Commas between fields are tolerated (the OEM data
+                    // syntax uses them; MSL patterns in the paper do not).
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    fields.push(Field::T(self.term()?));
+                }
+            }
+        }
+
+        // Distribute fields per the paper's dropped-field convention.
+        let (oid, label, typ, value) = match fields.len() {
+            2 => {
+                let mut it = fields.into_iter();
+                let l = it.next().unwrap();
+                let v = it.next().unwrap();
+                (None, l, None, v)
+            }
+            3 => {
+                let mut it = fields.into_iter();
+                let o = it.next().unwrap();
+                let l = it.next().unwrap();
+                let v = it.next().unwrap();
+                (Some(o), l, None, v)
+            }
+            4 => {
+                let mut it = fields.into_iter();
+                let o = it.next().unwrap();
+                let l = it.next().unwrap();
+                let t = it.next().unwrap();
+                let v = it.next().unwrap();
+                (Some(o), l, Some(t), v)
+            }
+            n => {
+                return Err(MslError::parse(
+                    format!("a pattern must have 2-4 fields, found {n}"),
+                    start,
+                ))
+            }
+        };
+
+        let as_term = |f: Field, what: &str| -> Result<Term> {
+            match f {
+                Field::T(t) => Ok(t),
+                Field::S(_) => Err(MslError::parse(
+                    format!("a set pattern cannot appear in {what} position"),
+                    start,
+                )),
+            }
+        };
+        let oid = oid.map(|f| as_term(f, "object-id")).transpose()?;
+        let label = as_term(label, "label")?;
+        let typ = typ.map(|f| as_term(f, "type")).transpose()?;
+        let value = match value {
+            Field::T(t) => PatValue::Term(t),
+            Field::S(sp) => PatValue::Set(sp),
+        };
+        Ok(Pattern {
+            obj_var,
+            oid,
+            label,
+            typ,
+            value,
+        })
+    }
+
+    /// `'{' elem* ('|' rest)? '}'`
+    fn set_pattern(&mut self) -> Result<SetPattern> {
+        self.expect(TokenKind::LBrace)?;
+        let mut elements = Vec::new();
+        let mut rest = None;
+        loop {
+            match self.peek() {
+                Some(TokenKind::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                Some(TokenKind::Comma) => {
+                    self.bump();
+                }
+                Some(TokenKind::Pipe) => {
+                    self.bump();
+                    let Some(TokenKind::Var(v)) = self.bump() else {
+                        return Err(MslError::parse(
+                            "expected a rest variable after '|'",
+                            self.pos(),
+                        ));
+                    };
+                    let mut conditions = Vec::new();
+                    if self.eat(&TokenKind::Colon) {
+                        self.expect(TokenKind::LBrace)?;
+                        while self.peek() != Some(&TokenKind::RBrace) {
+                            if self.eat(&TokenKind::Comma) {
+                                continue;
+                            }
+                            conditions.push(self.pattern()?);
+                        }
+                        self.expect(TokenKind::RBrace)?;
+                    }
+                    rest = Some(RestSpec {
+                        var: Symbol::intern(&v),
+                        conditions,
+                    });
+                    self.expect(TokenKind::RBrace)?;
+                    break;
+                }
+                Some(TokenKind::Star) => {
+                    self.bump();
+                    elements.push(SetElem::Wildcard(self.pattern()?));
+                }
+                Some(TokenKind::Var(_)) => {
+                    // Either a set-valued variable (`Rest1` in a head) or an
+                    // object-variable-annotated pattern (`X:<...>`).
+                    if matches!(self.peek2(), Some(TokenKind::Colon)) {
+                        elements.push(SetElem::Pattern(self.pattern()?));
+                    } else {
+                        let Some(TokenKind::Var(v)) = self.bump() else {
+                            unreachable!()
+                        };
+                        elements.push(SetElem::Var(Symbol::intern(&v)));
+                    }
+                }
+                Some(TokenKind::Lt) => {
+                    elements.push(SetElem::Pattern(self.pattern()?));
+                }
+                other => {
+                    return Err(MslError::parse(
+                        format!(
+                            "unexpected {} in set pattern",
+                            other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                        ),
+                        self.pos(),
+                    ))
+                }
+            }
+        }
+        Ok(SetPattern { elements, rest })
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.bump() {
+            Some(TokenKind::Var(v)) => Ok(Term::Var(Symbol::intern(&v))),
+            Some(TokenKind::Param(p)) => Ok(Term::Param(Symbol::intern(&p))),
+            Some(TokenKind::Ident(name)) => {
+                if self.peek() == Some(&TokenKind::LParen) {
+                    // Function term (semantic oid).
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&TokenKind::RParen) {
+                        args.push(self.term()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.term()?);
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Term::Func(Symbol::intern(&name), args))
+                } else {
+                    // Bare identifiers are string constants (labels, type
+                    // keywords, atoms).
+                    Ok(Term::str(&name))
+                }
+            }
+            Some(k) if k.to_value().is_some() => Ok(Term::Const(k.to_value().unwrap())),
+            other => Err(MslError::parse(
+                format!(
+                    "expected a term, found {}",
+                    other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                ),
+                self.pos(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::{sym, Value};
+
+    /// The paper's MS1 specification.
+    pub const MS1: &str = "
+<cs_person {<name N> <rel R> Rest1 Rest2}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois
+    AND <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN)
+
+decomp(bound, free, free) by name_to_lnfn
+decomp(free, bound, bound) by lnfn_to_name
+decomp(bound, bound, bound) by check_name_lnfn
+";
+
+    #[test]
+    fn parse_ms1() {
+        let spec = parse_spec(MS1).unwrap();
+        assert_eq!(spec.rules.len(), 1);
+        assert_eq!(spec.externals.len(), 3);
+        let rule = &spec.rules[0];
+
+        // Head: <cs_person {<name N> <rel R> Rest1 Rest2}>
+        let Head::Pattern(h) = &rule.head else {
+            panic!("expected pattern head")
+        };
+        assert_eq!(h.label, Term::str("cs_person"));
+        let PatValue::Set(sp) = &h.value else {
+            panic!("expected set value")
+        };
+        assert_eq!(sp.elements.len(), 4);
+        assert!(matches!(&sp.elements[2], SetElem::Var(v) if *v == sym("Rest1")));
+        assert!(sp.rest.is_none());
+
+        // Tail: three items, two matches + one external.
+        assert_eq!(rule.tail.len(), 3);
+        let TailItem::Match { pattern, source } = &rule.tail[0] else {
+            panic!()
+        };
+        assert_eq!(*source, Some(sym("whois")));
+        let PatValue::Set(sp) = &pattern.value else {
+            panic!()
+        };
+        assert_eq!(sp.elements.len(), 3);
+        assert_eq!(sp.rest.as_ref().unwrap().var, sym("Rest1"));
+        assert!(sp.rest.as_ref().unwrap().conditions.is_empty());
+
+        // Second match uses a variable in label position (schematic
+        // discrepancy: R is data in whois, schema in cs).
+        let TailItem::Match { pattern, source } = &rule.tail[1] else {
+            panic!()
+        };
+        assert_eq!(*source, Some(sym("cs")));
+        assert_eq!(pattern.label, Term::var("R"));
+
+        let TailItem::External { name, args } = &rule.tail[2] else {
+            panic!()
+        };
+        assert_eq!(*name, sym("decomp"));
+        assert_eq!(args.len(), 3);
+
+        // External declarations.
+        assert_eq!(spec.externals[0].pred, sym("decomp"));
+        assert_eq!(spec.externals[0].func, sym("name_to_lnfn"));
+        assert_eq!(
+            spec.externals[0].adornment,
+            vec![Adornment::Bound, Adornment::Free, Adornment::Free]
+        );
+    }
+
+    #[test]
+    fn parse_query_q1() {
+        // (Q1) JC :- JC:<cs_person {<name 'Joe Chung'>}>@med
+        let q = parse_query("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med").unwrap();
+        assert_eq!(q.head, Head::Var(sym("JC")));
+        let TailItem::Match { pattern, source } = &q.tail[0] else {
+            panic!()
+        };
+        assert_eq!(pattern.obj_var, Some(sym("JC")));
+        assert_eq!(*source, Some(sym("med")));
+        let PatValue::Set(sp) = &pattern.value else {
+            panic!()
+        };
+        let SetElem::Pattern(name) = &sp.elements[0] else {
+            panic!()
+        };
+        assert_eq!(name.value, PatValue::Term(Term::str("Joe Chung")));
+    }
+
+    #[test]
+    fn parse_rest_with_conditions() {
+        // Qw's tail: ... | Rest1:{<year 3>}
+        let q = parse_query(
+            "<bind_for_whois {<bind_for_R R> <bind_for_Rest1 Rest1>}> :- \
+             <person {<name 'Joe Chung'> <dept 'CS'> <relation R> | Rest1:{<year 3>}}>@whois",
+        )
+        .unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        let PatValue::Set(sp) = &pattern.value else {
+            panic!()
+        };
+        let rest = sp.rest.as_ref().unwrap();
+        assert_eq!(rest.var, sym("Rest1"));
+        assert_eq!(rest.conditions.len(), 1);
+        assert_eq!(rest.conditions[0].label, Term::str("year"));
+        assert_eq!(rest.conditions[0].value, PatValue::Term(Term::int(3)));
+    }
+
+    #[test]
+    fn parse_parameterized_query() {
+        // Qcs: <bind_for_Rest2 Rest2> :- <$R {<last_name $LN> <first_name $FN> | Rest2}>@cs
+        let q = parse_query(
+            "<bind_for_Rest2 Rest2> :- <$R {<last_name $LN> <first_name $FN> | Rest2}>@cs",
+        )
+        .unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        assert_eq!(pattern.label, Term::Param(sym("R")));
+    }
+
+    #[test]
+    fn parse_four_field_pattern() {
+        // <object-id label type value>: oid is a term (here a variable).
+        let q = parse_query("X :- <Oid department string 'CS'>@src").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        assert_eq!(pattern.oid, Some(Term::var("Oid")));
+        assert_eq!(pattern.label, Term::str("department"));
+        assert_eq!(pattern.typ, Some(Term::str("string")));
+        assert_eq!(pattern.value, PatValue::Term(Term::str("CS")));
+    }
+
+    #[test]
+    fn parse_three_field_pattern() {
+        // <object-id label value>: the dropped field is the type (§2).
+        let q = parse_query("X :- <Oid name 'Joe'>@src").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        assert_eq!(pattern.oid, Some(Term::var("Oid")));
+        assert_eq!(pattern.typ, None);
+        assert_eq!(pattern.value, PatValue::Term(Term::str("Joe")));
+    }
+
+    #[test]
+    fn parse_semantic_oid_head() {
+        let r = parse_rule(
+            "<person_id(N) cs_person {<name N>}> :- <person {<name N>}>@whois",
+        )
+        .unwrap();
+        let Head::Pattern(h) = &r.head else { panic!() };
+        assert_eq!(
+            h.oid,
+            Some(Term::Func(sym("person_id"), vec![Term::var("N")]))
+        );
+    }
+
+    #[test]
+    fn parse_wildcard_element() {
+        let q = parse_query("S :- S:<cs_person {* <year 3>}>@med").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        let PatValue::Set(sp) = &pattern.value else {
+            panic!()
+        };
+        assert!(matches!(&sp.elements[0], SetElem::Wildcard(p) if p.label == Term::str("year")));
+    }
+
+    #[test]
+    fn parse_label_variable_schema_query() {
+        // Retrieve schema information: variables in label position.
+        let q = parse_query("<labels L> :- <person {<L V>}>@whois").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        let PatValue::Set(sp) = &pattern.value else {
+            panic!()
+        };
+        let SetElem::Pattern(inner) = &sp.elements[0] else {
+            panic!()
+        };
+        assert_eq!(inner.label, Term::var("L"));
+        assert_eq!(inner.value, PatValue::Term(Term::var("V")));
+    }
+
+    #[test]
+    fn multiple_rules_in_spec() {
+        let spec = parse_spec(
+            "<a {<x X>}> :- <b {<x X>}>@s1\n<a {<y Y>}> :- <c {<y Y>}>@s2",
+        )
+        .unwrap();
+        assert_eq!(spec.rules.len(), 2);
+    }
+
+    #[test]
+    fn comparison_predicates_parse_as_externals() {
+        let q = parse_query("S :- S:<p {<year Y>}>@src AND ge(Y, 3) AND lt(Y, 7)").unwrap();
+        assert_eq!(q.tail.len(), 3);
+        assert!(matches!(&q.tail[1], TailItem::External { name, .. } if *name == sym("ge")));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_rule("JC :-").is_err());
+        assert!(parse_rule("JC : <x 1>@s").is_err());
+        assert!(parse_rule("<x> :- <y 1>@s").is_err()); // 1-field pattern
+        assert!(parse_rule("<a b c d e> :- <y 1>@s").is_err()); // 5 fields
+        assert!(parse_rule("X :- <y {1}>@s").is_err()); // bare int in set
+        assert!(parse_spec("decomp(bogus) by f").is_err());
+        assert!(parse_rule("X :- <y 1>@s extra").is_err());
+    }
+
+    #[test]
+    fn empty_set_pattern() {
+        let q = parse_query("X :- X:<person {}>@s").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        assert_eq!(pattern.value, PatValue::empty_set());
+    }
+
+    #[test]
+    fn values_of_all_types() {
+        let q = parse_query("X :- <p {<a 'x'> <b 3> <c 2.5> <d true>}>@s").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else {
+            panic!()
+        };
+        let PatValue::Set(sp) = &pattern.value else {
+            panic!()
+        };
+        let vals: Vec<&PatValue> = sp
+            .elements
+            .iter()
+            .map(|e| match e {
+                SetElem::Pattern(p) => &p.value,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(*vals[1], PatValue::Term(Term::Const(Value::Int(3))));
+        assert_eq!(*vals[2], PatValue::Term(Term::Const(Value::real(2.5))));
+        assert_eq!(*vals[3], PatValue::Term(Term::Const(Value::Bool(true))));
+    }
+}

@@ -1,0 +1,210 @@
+//! Pretty-printer for MSL. Output re-parses to the same AST (round-trip
+//! property tested in the engine and suite crates), and matches the paper's
+//! presentation: `<cs_person {<name N> <rel R> Rest1 Rest2}> :- ...`.
+
+use crate::ast::*;
+use oem::Value;
+use std::fmt::Write;
+
+/// Render a term. Bare identifiers are used for identifier-like string
+/// constants in label/oid/type positions; `in_value` forces quoted form so
+/// value constants round-trip unambiguously.
+pub fn term(t: &Term, in_value: bool) -> String {
+    match t {
+        Term::Var(v) => v.as_str(),
+        Term::Param(p) => format!("${p}"),
+        Term::Func(f, args) => {
+            let inner: Vec<String> = args.iter().map(|a| term(a, false)).collect();
+            format!("{f}({})", inner.join(", "))
+        }
+        Term::Const(v) => match v {
+            Value::Str(s) if !in_value && is_ident_like(&s.as_str()) => s.as_str(),
+            _ => v.render_atomic(),
+        },
+    }
+}
+
+fn is_ident_like(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() && c.is_lowercase() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || c == '_')
+        && !matches!(s, "by" | "and" | "AND" | "true" | "false")
+}
+
+/// Render a pattern.
+pub fn pattern(p: &Pattern) -> String {
+    let mut out = String::new();
+    if let Some(v) = p.obj_var {
+        let _ = write!(out, "{v}:");
+    }
+    out.push('<');
+    let mut fields: Vec<String> = Vec::new();
+    if let Some(oid) = &p.oid {
+        fields.push(term(oid, false));
+    }
+    fields.push(term(&p.label, false));
+    if let Some(t) = &p.typ {
+        fields.push(term(t, false));
+    }
+    fields.push(match &p.value {
+        PatValue::Term(t) => term(t, true),
+        PatValue::Set(sp) => set_pattern(sp),
+    });
+    out.push_str(&fields.join(" "));
+    out.push('>');
+    out
+}
+
+/// Render a set pattern.
+pub fn set_pattern(sp: &SetPattern) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for e in &sp.elements {
+        match e {
+            SetElem::Pattern(p) => parts.push(pattern(p)),
+            SetElem::Var(v) => parts.push(v.as_str()),
+            SetElem::Wildcard(p) => parts.push(format!("* {}", pattern(p))),
+        }
+    }
+    let mut out = format!("{{{}", parts.join(" "));
+    if let Some(rest) = &sp.rest {
+        let _ = write!(out, " | {}", rest.var);
+        if !rest.conditions.is_empty() {
+            let conds: Vec<String> = rest.conditions.iter().map(pattern).collect();
+            let _ = write!(out, ":{{{}}}", conds.join(" "));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render a tail item.
+pub fn tail_item(t: &TailItem) -> String {
+    match t {
+        TailItem::Match {
+            pattern: p,
+            source,
+        } => match source {
+            Some(s) => format!("{}@{s}", pattern(p)),
+            None => pattern(p),
+        },
+        TailItem::External { name, args } => {
+            let inner: Vec<String> = args.iter().map(|a| term(a, true)).collect();
+            format!("{name}({})", inner.join(", "))
+        }
+    }
+}
+
+/// Render a head.
+pub fn head(h: &Head) -> String {
+    match h {
+        Head::Var(v) => v.as_str(),
+        Head::Pattern(p) => pattern(p),
+    }
+}
+
+/// Render a rule on one logical statement, tail items separated by `AND`.
+pub fn rule(r: &Rule) -> String {
+    let tails: Vec<String> = r.tail.iter().map(tail_item).collect();
+    format!("{} :- {}", head(&r.head), tails.join("\n    AND "))
+}
+
+/// Render an external declaration line.
+pub fn external_decl(d: &ExternalDecl) -> String {
+    let ads: Vec<&str> = d
+        .adornment
+        .iter()
+        .map(|a| match a {
+            Adornment::Bound => "bound",
+            Adornment::Free => "free",
+        })
+        .collect();
+    format!("{}({}) by {}", d.pred, ads.join(", "), d.func)
+}
+
+/// Render a full specification.
+pub fn spec(s: &Spec) -> String {
+    let mut out = String::new();
+    for r in &s.rules {
+        let _ = writeln!(out, "{}", rule(r));
+    }
+    if !s.rules.is_empty() && !s.externals.is_empty() {
+        out.push('\n');
+    }
+    for d in &s.externals {
+        let _ = writeln!(out, "{}", external_decl(d));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_rule, parse_spec};
+
+    fn roundtrip_rule(src: &str) {
+        let r1 = parse_rule(src).unwrap();
+        let printed = rule(&r1);
+        let r2 = parse_rule(&printed).unwrap_or_else(|e| {
+            panic!("printed rule failed to re-parse: {e}\n  printed: {printed}")
+        });
+        assert_eq!(r1, r2, "round-trip mismatch for {printed}");
+    }
+
+    #[test]
+    fn roundtrip_ms1_rule() {
+        roundtrip_rule(
+            "<cs_person {<name N> <rel R> Rest1 Rest2}> :- \
+             <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois \
+             AND <R {<first_name FN> <last_name LN> | Rest2}>@cs \
+             AND decomp(N, LN, FN)",
+        );
+    }
+
+    #[test]
+    fn roundtrip_queries() {
+        roundtrip_rule("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med");
+        roundtrip_rule("S :- S:<cs_person {<year 3>}>@med");
+        roundtrip_rule("X :- <p {<a 'x'> <b 3> <c 2.5> <d true> | R:{<year 3>}}>@s");
+        roundtrip_rule("X :- <Oid department string 'CS'>@src");
+        roundtrip_rule("S :- S:<cs_person {* <year 3>}>@med");
+        roundtrip_rule(
+            "<person_id(N) cs_person {<name N>}> :- <person {<name N>}>@whois AND ge(N, 3)",
+        );
+        roundtrip_rule("<bind_for_Rest2 Rest2> :- <$R {<last_name $LN> | Rest2}>@cs");
+    }
+
+    #[test]
+    fn roundtrip_spec_with_externals() {
+        let src = "<a {<x X>}> :- <b {<x X>}>@s1\n\ndecomp(bound, free, free) by name_to_lnfn\n";
+        let s1 = parse_spec(src).unwrap();
+        let printed = spec(&s1);
+        let s2 = parse_spec(&printed).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn value_strings_always_quoted() {
+        let q = parse_query("X :- <dept cs>@s").unwrap();
+        let printed = rule(&q);
+        assert!(printed.contains("<dept 'cs'>"), "printed: {printed}");
+        roundtrip_rule("X :- <dept cs>@s");
+    }
+
+    #[test]
+    fn head_rendering() {
+        let q = parse_query("JC :- JC:<x {}>@m").unwrap();
+        assert_eq!(head(&q.head), "JC");
+        assert!(rule(&q).starts_with("JC :- JC:<x {}>@m"));
+    }
+
+    #[test]
+    fn non_ident_labels_quoted() {
+        let q = parse_query("X :- <'weird label' 1>@s").unwrap();
+        let printed = rule(&q);
+        assert!(printed.contains("'weird label'"));
+        roundtrip_rule("X :- <'weird label' 1>@s");
+    }
+}

@@ -1,0 +1,400 @@
+//! Semantic validation of MSL rules and specifications.
+//!
+//! Checks performed:
+//! * **range restriction** — every variable used in a rule head must occur
+//!   in the tail (otherwise the head cannot be constructed from bindings);
+//! * **object variables** — a `X:` annotation in a head must have a
+//!   defining `X:` occurrence in the tail (§3.2, item 2: "there is a
+//!   definition for every object ... variable that appears in the query
+//!   head and also appears in the query tail preceding a ':'");
+//! * **external predicates** — consistent arity between uses and
+//!   declarations, declarations must have at least one implementation
+//!   line per predicate used (built-in comparisons are exempt);
+//! * **parameters** — `$X` parameters may appear only in tails (they are
+//!   slots filled by the datamerge engine, §3.4);
+//! * **semantic oids** — function terms may appear only in head oid
+//!   position.
+
+use crate::ast::*;
+use crate::error::{MslError, Result};
+use oem::Symbol;
+use std::collections::HashSet;
+
+/// Built-in comparison predicates, available without declaration.
+pub const BUILTIN_PREDICATES: &[(&str, usize)] = &[
+    ("eq", 2),
+    ("neq", 2),
+    ("lt", 2),
+    ("le", 2),
+    ("gt", 2),
+    ("ge", 2),
+];
+
+/// Is `name` a built-in comparison predicate?
+pub fn is_builtin(name: Symbol) -> bool {
+    BUILTIN_PREDICATES
+        .iter()
+        .any(|(n, _)| Symbol::intern(n) == name)
+}
+
+/// Validate a single rule against the (possibly empty) set of external
+/// declarations in scope.
+pub fn validate_rule(rule: &Rule, externals: &[ExternalDecl]) -> Result<()> {
+    // Tail variables (all of them — matches and externals can both bind).
+    let tail_vars: HashSet<Symbol> = rule.tail_variables().into_iter().collect();
+
+    // Head variables must be bound by the tail.
+    let mut head_vars = Vec::new();
+    rule.head.collect_vars(&mut head_vars);
+    for v in &head_vars {
+        if !tail_vars.contains(v) {
+            return Err(MslError::Validate(format!(
+                "head variable {v} does not occur in the rule tail (range restriction)"
+            )));
+        }
+    }
+
+    // Object variables used as a whole head must be tail object variables.
+    if let Head::Var(v) = &rule.head {
+        let mut defined = false;
+        for t in &rule.tail {
+            if let TailItem::Match { pattern, .. } = t {
+                if pattern_defines_obj_var(pattern, *v) {
+                    defined = true;
+                    break;
+                }
+            }
+        }
+        if !defined {
+            return Err(MslError::Validate(format!(
+                "head object variable {v} has no defining '{v}:' occurrence in the tail"
+            )));
+        }
+    }
+
+    // External predicate arity checks.
+    for t in &rule.tail {
+        if let TailItem::External { name, args } = t {
+            if let Some((_, arity)) = BUILTIN_PREDICATES
+                .iter()
+                .find(|(n, _)| Symbol::intern(n) == *name)
+            {
+                if args.len() != *arity {
+                    return Err(MslError::Validate(format!(
+                        "built-in predicate {name} expects {arity} arguments, found {}",
+                        args.len()
+                    )));
+                }
+                continue;
+            }
+            let decls: Vec<&ExternalDecl> =
+                externals.iter().filter(|d| d.pred == *name).collect();
+            if decls.is_empty() {
+                return Err(MslError::Validate(format!(
+                    "external predicate {name} has no declaration"
+                )));
+            }
+            for d in decls {
+                if d.adornment.len() != args.len() {
+                    return Err(MslError::Validate(format!(
+                        "external predicate {name} used with {} arguments but declared \
+                         with {} ('{}' implementation)",
+                        args.len(),
+                        d.adornment.len(),
+                        d.func
+                    )));
+                }
+            }
+        }
+    }
+
+    // Parameters only in tails; function terms only in head oid position.
+    if let Head::Pattern(p) = &rule.head {
+        check_head_pattern(p, true)?;
+    }
+    for t in &rule.tail {
+        if let TailItem::Match { pattern, .. } = t {
+            check_tail_pattern(pattern)?;
+        }
+    }
+    Ok(())
+}
+
+/// Validate a whole specification.
+pub fn validate_spec(spec: &Spec) -> Result<()> {
+    if spec.rules.is_empty() {
+        return Err(MslError::Validate(
+            "a mediator specification needs at least one rule".into(),
+        ));
+    }
+    for d in &spec.externals {
+        if d.adornment.is_empty() {
+            return Err(MslError::Validate(format!(
+                "external declaration for {} has an empty adornment",
+                d.pred
+            )));
+        }
+    }
+    // All declaration lines of one predicate must agree on arity.
+    for d in &spec.externals {
+        for other in spec.externals_for(d.pred) {
+            if other.adornment.len() != d.adornment.len() {
+                return Err(MslError::Validate(format!(
+                    "conflicting arities declared for external predicate {}",
+                    d.pred
+                )));
+            }
+        }
+    }
+    for r in &spec.rules {
+        validate_rule(r, &spec.externals)?;
+    }
+    Ok(())
+}
+
+fn pattern_defines_obj_var(p: &Pattern, v: Symbol) -> bool {
+    if p.obj_var == Some(v) {
+        return true;
+    }
+    if let PatValue::Set(sp) = &p.value {
+        for e in &sp.elements {
+            match e {
+                SetElem::Pattern(inner) | SetElem::Wildcard(inner) => {
+                    if pattern_defines_obj_var(inner, v) {
+                        return true;
+                    }
+                }
+                SetElem::Var(_) => {}
+            }
+        }
+        if let Some(rest) = &sp.rest {
+            for c in &rest.conditions {
+                if pattern_defines_obj_var(c, v) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+fn check_head_pattern(p: &Pattern, is_root: bool) -> Result<()> {
+    // Function terms allowed only in oid position.
+    no_params_or_funcs(&p.label, "label")?;
+    if let Some(t) = &p.typ {
+        no_params_or_funcs(t, "type")?;
+    }
+    if let Some(oid) = &p.oid {
+        if let Term::Param(name) = oid {
+            return Err(MslError::Validate(format!(
+                "parameter ${name} cannot appear in a rule head"
+            )));
+        }
+        if matches!(oid, Term::Func(..)) && !is_root {
+            // Semantic oids on nested head objects are allowed too — they
+            // fuse subobjects. No error.
+        }
+    }
+    match &p.value {
+        PatValue::Term(t) => no_params_or_funcs(t, "value")?,
+        PatValue::Set(sp) => {
+            for e in &sp.elements {
+                match e {
+                    SetElem::Pattern(inner) => check_head_pattern(inner, false)?,
+                    SetElem::Wildcard(_) => {
+                        return Err(MslError::Validate(
+                            "wildcard subpatterns cannot appear in a rule head".into(),
+                        ))
+                    }
+                    SetElem::Var(_) => {}
+                }
+            }
+            if let Some(rest) = &sp.rest {
+                return Err(MslError::Validate(format!(
+                    "rest variable {} ('| {}') cannot appear in a rule head; \
+                     write the variable inside the braces to splice its contents",
+                    rest.var, rest.var
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_tail_pattern(p: &Pattern) -> Result<()> {
+    if let Some(Term::Func(name, _)) = &p.oid {
+        return Err(MslError::Validate(format!(
+            "function term {name}(...) cannot appear in a tail pattern oid"
+        )));
+    }
+    no_funcs(&p.label, "label")?;
+    if let Some(t) = &p.typ {
+        no_funcs(t, "type")?;
+    }
+    match &p.value {
+        PatValue::Term(t) => no_funcs(t, "value")?,
+        PatValue::Set(sp) => {
+            for e in &sp.elements {
+                match e {
+                    SetElem::Pattern(inner) | SetElem::Wildcard(inner) => {
+                        check_tail_pattern(inner)?
+                    }
+                    SetElem::Var(_) => {}
+                }
+            }
+            if let Some(rest) = &sp.rest {
+                for c in &rest.conditions {
+                    check_tail_pattern(c)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn no_params_or_funcs(t: &Term, what: &str) -> Result<()> {
+    match t {
+        Term::Param(name) => Err(MslError::Validate(format!(
+            "parameter ${name} cannot appear in a rule head {what}"
+        ))),
+        Term::Func(name, _) => Err(MslError::Validate(format!(
+            "function term {name}(...) can only appear in oid position"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+fn no_funcs(t: &Term, what: &str) -> Result<()> {
+    match t {
+        Term::Func(name, _) => Err(MslError::Validate(format!(
+            "function term {name}(...) cannot appear in a tail pattern {what}"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_rule, parse_spec};
+
+    fn ok_rule(src: &str) {
+        let r = parse_rule(src).unwrap();
+        validate_rule(&r, &[]).unwrap();
+    }
+
+    fn bad_rule(src: &str) -> String {
+        let r = parse_rule(src).unwrap();
+        validate_rule(&r, &[]).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn valid_rules_pass() {
+        ok_rule("<out {<name N>}> :- <person {<name N>}>@whois");
+        ok_rule("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med");
+        ok_rule("<out {<v V>}> :- <p {<a V>}>@s AND ge(V, 3)");
+        ok_rule("<person_id(N) out {<name N>}> :- <person {<name N>}>@s");
+    }
+
+    #[test]
+    fn range_restriction_enforced() {
+        let msg = bad_rule("<out {<name N> <x Y>}> :- <person {<name N>}>@whois");
+        assert!(msg.contains("Y"), "{msg}");
+    }
+
+    #[test]
+    fn head_obj_var_needs_definition() {
+        // X appears in the tail as a plain value variable, not as `X:`.
+        let msg = bad_rule("X :- <person {<name X>}>@whois");
+        assert!(msg.contains("defining"), "{msg}");
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        let msg = bad_rule("S :- S:<p {<y Y>}>@s AND ge(Y)");
+        assert!(msg.contains("2 arguments"), "{msg}");
+    }
+
+    #[test]
+    fn undeclared_external_rejected() {
+        let msg = bad_rule("<o {<n N> <l L> <f F>}> :- <p {<n N>}>@s AND decomp(N, L, F)");
+        assert!(msg.contains("no declaration"), "{msg}");
+    }
+
+    #[test]
+    fn declared_external_accepted() {
+        let spec = parse_spec(
+            "<o {<l L> <f F>}> :- <p {<n N>}>@s AND decomp(N, L, F)\n\
+             decomp(bound, free, free) by name_to_lnfn",
+        )
+        .unwrap();
+        validate_spec(&spec).unwrap();
+    }
+
+    #[test]
+    fn external_arity_mismatch_rejected() {
+        let spec = parse_spec(
+            "<o {<l L>}> :- <p {<n N>}>@s AND decomp(N, L)\n\
+             decomp(bound, free, free) by name_to_lnfn",
+        )
+        .unwrap();
+        let msg = validate_spec(&spec).unwrap_err().to_string();
+        assert!(msg.contains("declared with 3"), "{msg}");
+    }
+
+    #[test]
+    fn rest_in_head_rejected() {
+        let msg = bad_rule("<o {<n N> | R}> :- <p {<n N> | R}>@s");
+        assert!(msg.contains("rest variable"), "{msg}");
+    }
+
+    #[test]
+    fn params_in_head_rejected() {
+        let msg = bad_rule("<o {<n $P>}> :- <p {<n $P>}>@s");
+        assert!(msg.contains("parameter"), "{msg}");
+    }
+
+    #[test]
+    fn func_term_in_tail_rejected() {
+        let msg = bad_rule("<o {<n N>}> :- <f(N) p {<n N>}>@s");
+        assert!(msg.contains("function term"), "{msg}");
+    }
+
+    #[test]
+    fn wildcard_in_head_rejected() {
+        let msg = bad_rule("<o {* <n N>}> :- <p {<n N>}>@s");
+        assert!(msg.contains("wildcard"), "{msg}");
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let spec = parse_spec("decomp(bound, free) by f").unwrap();
+        assert!(validate_spec(&spec).is_err());
+    }
+
+    #[test]
+    fn conflicting_external_arities_rejected() {
+        let spec = parse_spec(
+            "<o {<n N>}> :- <p {<n N>}>@s\n\
+             d(bound, free) by f1\n\
+             d(bound) by f2",
+        )
+        .unwrap();
+        let msg = validate_spec(&spec).unwrap_err().to_string();
+        assert!(msg.contains("conflicting"), "{msg}");
+    }
+
+    #[test]
+    fn ms1_validates() {
+        let spec = parse_spec(
+            "<cs_person {<name N> <rel R> Rest1 Rest2}> :- \
+             <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois \
+             AND <R {<first_name FN> <last_name LN> | Rest2}>@cs \
+             AND decomp(N, LN, FN)\n\
+             decomp(bound, free, free) by name_to_lnfn\n\
+             decomp(free, bound, bound) by lnfn_to_name",
+        )
+        .unwrap();
+        validate_spec(&spec).unwrap();
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types for the OEM crate.
+
+use std::fmt;
+
+/// Result alias for OEM operations.
+pub type Result<T> = std::result::Result<T, OemError>;
+
+/// Errors raised by OEM construction, validation and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OemError {
+    /// An object with this oid already exists in the store.
+    DuplicateOid(String),
+    /// `add_child` was called on an atomic object.
+    NotASet(String),
+    /// A set value references an object id that does not exist.
+    DanglingRef { parent: String, child: u32 },
+    /// The oid index disagrees with the arena (internal corruption).
+    CorruptOidIndex(String),
+    /// Textual syntax error: message plus 1-based line/column.
+    Parse {
+        msg: String,
+        line: usize,
+        col: usize,
+    },
+    /// An oid was referenced in a set literal but never defined.
+    UnresolvedOid(String),
+}
+
+impl fmt::Display for OemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OemError::DuplicateOid(oid) => write!(f, "duplicate object-id &{oid}"),
+            OemError::NotASet(oid) => write!(f, "object &{oid} is atomic; cannot add subobjects"),
+            OemError::DanglingRef { parent, child } => {
+                write!(f, "object {parent} references nonexistent object #{child}")
+            }
+            OemError::CorruptOidIndex(oid) => write!(f, "oid index corrupt for &{oid}"),
+            OemError::Parse { msg, line, col } => {
+                write!(f, "OEM parse error at {line}:{col}: {msg}")
+            }
+            OemError::UnresolvedOid(oid) => {
+                write!(f, "set value references undefined object-id &{oid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OemError::Parse {
+            msg: "expected '<'".to_string(),
+            line: 3,
+            col: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("3:7"));
+        assert!(s.contains("expected '<'"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&OemError::DuplicateOid("p1".into()));
+    }
+}

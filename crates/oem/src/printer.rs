@@ -1,0 +1,194 @@
+//! Rendering OEM stores in the paper's figure style.
+//!
+//! Top-level objects print leftmost; each subobject prints indented under
+//! its (first) parent. Shared objects are defined once — later parents show
+//! only the oid reference inside their `{...}` — exactly matching how
+//! Figures 2.2/2.3/2.4 present object structures.
+
+use crate::store::{ObjId, ObjectStore};
+use crate::value::Value;
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Render every top-level structure of the store.
+pub fn print_store(store: &ObjectStore) -> String {
+    let mut out = String::new();
+    let mut printed: HashSet<ObjId> = HashSet::new();
+    for &t in store.top_level() {
+        print_rec(store, t, 0, &mut printed, &mut out);
+    }
+    out
+}
+
+/// Render one structure rooted at `id`.
+pub fn print_object(store: &ObjectStore, id: ObjId) -> String {
+    let mut out = String::new();
+    print_rec(store, id, 0, &mut HashSet::new(), &mut out);
+    out
+}
+
+/// One-line header of an object: `<&p1, person, set, {&n1,&d1}>` or
+/// `<&n1, name, string, 'Joe Chung'>`.
+pub fn object_line(store: &ObjectStore, id: ObjId) -> String {
+    let obj = store.get(id);
+    match &obj.value {
+        Value::Set(children) => {
+            let refs: Vec<String> = children
+                .iter()
+                .map(|c| format!("&{}", store.get(*c).oid))
+                .collect();
+            format!("<&{}, {}, set, {{{}}}>", obj.oid, obj.label, refs.join(","))
+        }
+        atomic => format!(
+            "<&{}, {}, {}, {}>",
+            obj.oid,
+            obj.label,
+            atomic.oem_type().keyword(),
+            atomic.render_atomic()
+        ),
+    }
+}
+
+fn print_rec(
+    store: &ObjectStore,
+    id: ObjId,
+    indent: usize,
+    printed: &mut HashSet<ObjId>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(indent);
+    let _ = writeln!(out, "{pad}{}", object_line(store, id));
+    if !printed.insert(id) {
+        return;
+    }
+    for &c in store.children(id) {
+        if printed.contains(&c) {
+            continue; // already defined elsewhere; the oid ref suffices
+        }
+        print_rec(store, c, indent + 1, printed, out);
+    }
+}
+
+/// Compact single-line rendering with inline subobjects, useful in logs:
+/// `<person {<name 'Joe Chung'> <dept 'CS'>}>`. Cycle-safe (back-references
+/// render as `&oid`).
+pub fn compact(store: &ObjectStore, id: ObjId) -> String {
+    let mut out = String::new();
+    let mut on_path = HashSet::new();
+    compact_rec(store, id, &mut on_path, &mut out);
+    out
+}
+
+fn compact_rec(store: &ObjectStore, id: ObjId, on_path: &mut HashSet<ObjId>, out: &mut String) {
+    let obj = store.get(id);
+    if !on_path.insert(id) {
+        let _ = write!(out, "&{}", obj.oid);
+        return;
+    }
+    match &obj.value {
+        Value::Set(children) => {
+            let _ = write!(out, "<{} {{", obj.label);
+            for (i, &c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                compact_rec(store, c, on_path, out);
+            }
+            let _ = write!(out, "}}>");
+        }
+        atomic => {
+            let _ = write!(out, "<{} {}>", obj.label, atomic.render_atomic());
+        }
+    }
+    on_path.remove(&id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ObjectBuilder;
+    use crate::parser::parse_store;
+
+    #[test]
+    fn roundtrip_print_parse() {
+        let mut s = ObjectStore::new();
+        ObjectBuilder::set("person")
+            .oid("&p1")
+            .child(ObjectBuilder::atom_obj("name", "Joe Chung").oid("&n1"))
+            .child(ObjectBuilder::atom_obj("year", 3i64).oid("&y1"))
+            .build_top(&mut s);
+        let text = print_store(&s);
+        let reparsed = parse_store(&text).unwrap();
+        assert_eq!(reparsed.len(), s.len());
+        assert_eq!(reparsed.top_level().len(), 1);
+        let p = reparsed.top_level()[0];
+        assert!(crate::eq::struct_eq_cross(&s, s.top_level()[0], &reparsed, p));
+    }
+
+    #[test]
+    fn figure_style_output() {
+        let mut s = ObjectStore::new();
+        ObjectBuilder::set("person")
+            .oid("&p1")
+            .child(ObjectBuilder::atom_obj("name", "Joe Chung").oid("&n1"))
+            .child(ObjectBuilder::atom_obj("dept", "CS").oid("&d1"))
+            .build_top(&mut s);
+        let text = print_store(&s);
+        assert_eq!(
+            text,
+            "<&p1, person, set, {&n1,&d1}>\n  <&n1, name, string, 'Joe Chung'>\n  <&d1, dept, string, 'CS'>\n"
+        );
+    }
+
+    #[test]
+    fn shared_objects_defined_once() {
+        let mut s = ObjectStore::new();
+        let shared = s.atom("addr", "Gates");
+        let p1 = s.set("person", vec![shared]);
+        let p2 = s.set("person", vec![shared]);
+        s.add_top(p1);
+        s.add_top(p2);
+        let text = print_store(&s);
+        // The address body must appear exactly once.
+        assert_eq!(text.matches("'Gates'").count(), 1);
+        // But its oid is referenced by both parents.
+        let oid = s.get(shared).oid.as_str();
+        assert_eq!(text.matches(&format!("{{&{oid}}}")).count(), 2);
+    }
+
+    #[test]
+    fn compact_form() {
+        let mut s = ObjectStore::new();
+        let p = ObjectBuilder::set("person")
+            .atom("name", "Joe")
+            .atom("year", 3i64)
+            .build(&mut s);
+        assert_eq!(compact(&s, p), "<person {<name 'Joe'> <year 3>}>");
+    }
+
+    #[test]
+    fn compact_handles_cycles() {
+        let mut s = ObjectStore::new();
+        let a = s
+            .insert(crate::sym("a"), crate::sym("node"), Value::Set(vec![]))
+            .unwrap();
+        s.add_child(a, a).unwrap();
+        // The self-referencing child renders as an oid back-reference.
+        assert_eq!(compact(&s, a), "<node {&a}>");
+    }
+
+    #[test]
+    fn cyclic_print_terminates() {
+        let mut s = ObjectStore::new();
+        let a = s
+            .insert(crate::sym("&a"), crate::sym("node"), Value::Set(vec![]))
+            .unwrap();
+        let b = s
+            .insert(crate::sym("&b"), crate::sym("node"), Value::Set(vec![a]))
+            .unwrap();
+        s.add_child(a, b).unwrap();
+        s.add_top(a);
+        let text = print_store(&s);
+        assert!(text.contains("&a") && text.contains("&b"));
+    }
+}

@@ -1,0 +1,380 @@
+//! The object arena.
+//!
+//! An [`ObjectStore`] owns a collection of OEM objects. Objects refer to
+//! their subobjects through [`ObjId`] indices into the arena, which makes
+//! arbitrary graphs — shared subobjects, even cycles — representable without
+//! reference counting.
+//!
+//! Each store also tracks its **top-level objects**: the leftmost-indented
+//! objects of the paper's figures, which are the default entry points for
+//! queries ("for performance reasons clients query object structures
+//! starting, by default, from the top-level objects", §1.1).
+
+use crate::error::{OemError, Result};
+use crate::symbol::Symbol;
+use crate::value::{OemType, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an object within one [`ObjectStore`].
+///
+/// `ObjId`s are only meaningful relative to the store that issued them;
+/// [`crate::copy::deep_copy`] translates between stores.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ObjId(u32);
+
+impl ObjId {
+    /// Construct from a raw index. Intended for tests and serialization.
+    pub fn from_raw(raw: u32) -> ObjId {
+        ObjId(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One OEM object: `<oid, label, type, value>`. The type is implied by the
+/// value and available via [`OemObject::oem_type`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OemObject {
+    /// The object-id, e.g. `&p1`. Unique within a store.
+    pub oid: Symbol,
+    /// The descriptive label, e.g. `person`.
+    pub label: Symbol,
+    /// The value: atomic, or a set of subobject ids.
+    pub value: Value,
+}
+
+impl OemObject {
+    /// The OEM type tag of this object.
+    pub fn oem_type(&self) -> OemType {
+        self.value.oem_type()
+    }
+}
+
+/// An arena of OEM objects plus the list of top-level entry points.
+///
+/// ```
+/// use oem::{ObjectStore, Value, sym};
+/// let mut store = ObjectStore::new();
+/// let name = store.atom("name", "Joe Chung");
+/// let person = store.set("person", vec![name]);
+/// store.add_top(person);
+/// assert_eq!(store.top_level(), &[person]);
+/// assert_eq!(store.get(name).value, Value::str("Joe Chung"));
+/// assert_eq!(store.children(person), &[name]);
+/// ```
+#[derive(Default, Clone)]
+pub struct ObjectStore {
+    slots: Vec<OemObject>,
+    top: Vec<ObjId>,
+    by_oid: HashMap<Symbol, ObjId>,
+    /// Counter for generated oids (`&x1`, `&x2`, ... by default).
+    gen_counter: u64,
+    /// Prefix used for generated oids; the paper's mediator memory uses
+    /// `x`-prefixed addresses (Fig 3.6), wrappers use source-specific ones.
+    gen_prefix: String,
+}
+
+impl ObjectStore {
+    /// An empty store with the default `&x` oid generator.
+    pub fn new() -> ObjectStore {
+        ObjectStore {
+            slots: Vec::new(),
+            top: Vec::new(),
+            by_oid: HashMap::new(),
+            gen_counter: 0,
+            gen_prefix: "x".to_string(),
+        }
+    }
+
+    /// An empty store whose generated oids use the given prefix, e.g.
+    /// `with_oid_prefix("cp")` generates `&cp1`, `&cp2`, ...
+    pub fn with_oid_prefix(prefix: &str) -> ObjectStore {
+        let mut s = ObjectStore::new();
+        s.gen_prefix = prefix.to_string();
+        s
+    }
+
+    /// Number of objects in the arena.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Generate a fresh oid that is not yet used in this store.
+    pub fn gen_oid(&mut self) -> Symbol {
+        loop {
+            self.gen_counter += 1;
+            let oid = Symbol::intern(&format!("{}{}", self.gen_prefix, self.gen_counter));
+            if !self.by_oid.contains_key(&oid) {
+                return oid;
+            }
+        }
+    }
+
+    /// Insert an object with an explicit oid.
+    ///
+    /// Errors with [`OemError::DuplicateOid`] if the oid is already taken —
+    /// object-ids carry identity, so silently overwriting would corrupt the
+    /// graph.
+    pub fn insert(&mut self, oid: Symbol, label: Symbol, value: Value) -> Result<ObjId> {
+        if self.by_oid.contains_key(&oid) {
+            return Err(OemError::DuplicateOid(oid.as_str()));
+        }
+        let id = ObjId(self.slots.len() as u32);
+        self.slots.push(OemObject { oid, label, value });
+        self.by_oid.insert(oid, id);
+        Ok(id)
+    }
+
+    /// Insert an object with a generated oid.
+    pub fn insert_auto(&mut self, label: Symbol, value: Value) -> ObjId {
+        let oid = self.gen_oid();
+        self.insert(oid, label, value)
+            .expect("generated oid must be fresh")
+    }
+
+    /// Insert an atomic object with a generated oid.
+    pub fn atom(&mut self, label: impl Into<Symbol>, value: impl Into<Value>) -> ObjId {
+        let v = value.into();
+        debug_assert!(v.is_atomic(), "atom() requires an atomic value");
+        self.insert_auto(label.into(), v)
+    }
+
+    /// Insert a set object (with the given children) and a generated oid.
+    pub fn set(&mut self, label: impl Into<Symbol>, children: Vec<ObjId>) -> ObjId {
+        self.insert_auto(label.into(), Value::Set(children))
+    }
+
+    /// Mark an object as top-level. Idempotent.
+    pub fn add_top(&mut self, id: ObjId) {
+        if !self.top.contains(&id) {
+            self.top.push(id);
+        }
+    }
+
+    /// The top-level objects, in insertion order.
+    pub fn top_level(&self) -> &[ObjId] {
+        &self.top
+    }
+
+    /// Replace the top-level list (e.g. after duplicate elimination). Ids
+    /// must belong to this store.
+    pub fn set_top_level(&mut self, tops: Vec<ObjId>) {
+        debug_assert!(tops.iter().all(|t| self.try_get(*t).is_some()));
+        self.top = tops;
+    }
+
+    /// Fetch an object. Panics on a foreign/forged id (ids are only created
+    /// by this store, so this indicates a logic error, not bad data).
+    pub fn get(&self, id: ObjId) -> &OemObject {
+        &self.slots[id.0 as usize]
+    }
+
+    /// Mutable access to an object.
+    pub fn get_mut(&mut self, id: ObjId) -> &mut OemObject {
+        &mut self.slots[id.0 as usize]
+    }
+
+    /// Checked fetch.
+    pub fn try_get(&self, id: ObjId) -> Option<&OemObject> {
+        self.slots.get(id.0 as usize)
+    }
+
+    /// Look up an object by its oid.
+    pub fn by_oid(&self, oid: Symbol) -> Option<ObjId> {
+        self.by_oid.get(&oid).copied()
+    }
+
+    /// Iterate over every object id in the arena.
+    pub fn ids(&self) -> impl Iterator<Item = ObjId> + '_ {
+        (0..self.slots.len() as u32).map(ObjId)
+    }
+
+    /// Iterate `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &OemObject)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// The children of an object (empty slice for atomic objects).
+    pub fn children(&self, id: ObjId) -> &[ObjId] {
+        self.get(id).value.as_set().unwrap_or(&[])
+    }
+
+    /// Append a child to a set object.
+    ///
+    /// Errors with [`OemError::NotASet`] when the target is atomic.
+    pub fn add_child(&mut self, parent: ObjId, child: ObjId) -> Result<()> {
+        let obj = self.get_mut(parent);
+        match obj.value.as_set_mut() {
+            Some(ids) => {
+                if !ids.contains(&child) {
+                    ids.push(child);
+                }
+                Ok(())
+            }
+            None => Err(OemError::NotASet(obj.oid.as_str())),
+        }
+    }
+
+    /// Validate internal consistency: every child reference resolves, and
+    /// the oid index is exact. Used by tests and after deserialization.
+    pub fn validate(&self) -> Result<()> {
+        for (id, obj) in self.iter() {
+            if let Some(children) = obj.value.as_set() {
+                for c in children {
+                    if self.try_get(*c).is_none() {
+                        return Err(OemError::DanglingRef {
+                            parent: obj.oid.as_str(),
+                            child: c.raw(),
+                        });
+                    }
+                }
+            }
+            match self.by_oid.get(&obj.oid) {
+                Some(found) if *found == id => {}
+                _ => return Err(OemError::CorruptOidIndex(obj.oid.as_str())),
+            }
+        }
+        for t in &self.top {
+            if self.try_get(*t).is_none() {
+                return Err(OemError::DanglingRef {
+                    parent: "<top>".to_string(),
+                    child: t.raw(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ObjectStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ObjectStore({} objects, {} top-level)",
+            self.slots.len(),
+            self.top.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym;
+
+    #[test]
+    fn insert_and_get() {
+        let mut s = ObjectStore::new();
+        let id = s.insert(sym("&n1"), sym("name"), Value::str("Joe Chung")).unwrap();
+        let obj = s.get(id);
+        assert_eq!(obj.label, sym("name"));
+        assert_eq!(obj.value, Value::str("Joe Chung"));
+        assert_eq!(obj.oem_type(), OemType::Str);
+        assert_eq!(s.by_oid(sym("&n1")), Some(id));
+    }
+
+    #[test]
+    fn duplicate_oid_rejected() {
+        let mut s = ObjectStore::new();
+        s.insert(sym("&a"), sym("x"), Value::Int(1)).unwrap();
+        let err = s.insert(sym("&a"), sym("y"), Value::Int(2)).unwrap_err();
+        assert!(matches!(err, OemError::DuplicateOid(_)));
+    }
+
+    #[test]
+    fn generated_oids_are_fresh() {
+        let mut s = ObjectStore::new();
+        // Pre-claim the oid the generator would produce first.
+        s.insert(sym("x1"), sym("a"), Value::Int(1)).unwrap();
+        let id = s.atom("b", 2i64);
+        assert_ne!(s.get(id).oid, sym("x1"));
+    }
+
+    #[test]
+    fn oid_prefix() {
+        let mut s = ObjectStore::with_oid_prefix("cp");
+        let id = s.atom("name", "Joe");
+        assert_eq!(s.get(id).oid, sym("cp1"));
+    }
+
+    #[test]
+    fn top_level_tracking() {
+        let mut s = ObjectStore::new();
+        let a = s.atom("name", "Joe");
+        let p = s.set("person", vec![a]);
+        s.add_top(p);
+        s.add_top(p); // idempotent
+        assert_eq!(s.top_level(), &[p]);
+        assert_eq!(s.children(p), &[a]);
+        assert!(s.children(a).is_empty());
+    }
+
+    #[test]
+    fn add_child_to_atom_fails() {
+        let mut s = ObjectStore::new();
+        let a = s.atom("name", "Joe");
+        let b = s.atom("dept", "CS");
+        assert!(matches!(s.add_child(a, b), Err(OemError::NotASet(_))));
+    }
+
+    #[test]
+    fn add_child_dedupes() {
+        let mut s = ObjectStore::new();
+        let a = s.atom("name", "Joe");
+        let p = s.set("person", vec![]);
+        s.add_child(p, a).unwrap();
+        s.add_child(p, a).unwrap();
+        assert_eq!(s.children(p), &[a]);
+    }
+
+    #[test]
+    fn cycles_are_representable() {
+        // <&a, node, set, {&b}>  <&b, node, set, {&a}>
+        let mut s = ObjectStore::new();
+        let a = s.insert(sym("&a"), sym("node"), Value::Set(vec![])).unwrap();
+        let b = s.insert(sym("&b"), sym("node"), Value::Set(vec![a])).unwrap();
+        s.add_child(a, b).unwrap();
+        assert_eq!(s.children(a), &[b]);
+        assert_eq!(s.children(b), &[a]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_dangling() {
+        let mut s = ObjectStore::new();
+        let bogus = ObjId::from_raw(42);
+        s.insert(sym("&p"), sym("person"), Value::Set(vec![bogus])).unwrap();
+        assert!(matches!(s.validate(), Err(OemError::DanglingRef { .. })));
+    }
+
+    #[test]
+    fn iteration_covers_all() {
+        let mut s = ObjectStore::new();
+        for i in 0..5 {
+            s.atom("n", i as i64);
+        }
+        assert_eq!(s.ids().count(), 5);
+        assert_eq!(s.iter().count(), 5);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+    }
+}

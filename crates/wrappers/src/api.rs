@@ -1,0 +1,164 @@
+//! The wrapper interface.
+//!
+//! A wrapper accepts an MSL query — a single rule whose tail patterns refer
+//! to this source — and returns an [`ObjectStore`] whose top-level objects
+//! are the constructed results. This mirrors the paper's architecture: the
+//! MSI's query and parameterized-query nodes send source queries like `Qw`
+//! and `Qcs` (§3.4) and receive OEM objects back.
+
+use crate::capabilities::Capabilities;
+use msl::{Rule, TailItem};
+use oem::{ObjectStore, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors a wrapper can raise.
+#[derive(Clone, PartialEq, Debug)]
+pub enum WrapperError {
+    /// The query uses a feature this source does not support (§3.5). The
+    /// planner reacts by keeping the condition in the mediator (client-side
+    /// filter).
+    Unsupported(String),
+    /// The query was malformed for this wrapper (e.g. referencing another
+    /// source, or a non-pattern tail).
+    BadQuery(String),
+    /// Construction of result objects failed.
+    Construct(String),
+}
+
+impl fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WrapperError::Unsupported(msg) => write!(f, "unsupported by source: {msg}"),
+            WrapperError::BadQuery(msg) => write!(f, "bad wrapper query: {msg}"),
+            WrapperError::Construct(msg) => write!(f, "result construction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+/// Statistics a wrapper may expose to the mediator's cost-based optimizer.
+/// "When the wrappers do not provide cost and statistics information ...
+/// the optimizer has to rely on ad-hoc heuristics" (§3.5) — hence
+/// `Wrapper::stats` returns an `Option`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SourceStats {
+    /// Number of top-level objects.
+    pub top_level_count: usize,
+    /// Top-level objects per top-level label.
+    pub label_counts: BTreeMap<Symbol, usize>,
+    /// Estimated selectivity of an equality condition on a subobject with
+    /// the given label (1/distinct under the uniform assumption).
+    pub eq_selectivity: BTreeMap<Symbol, f64>,
+}
+
+impl SourceStats {
+    /// Top-level objects with the given label (or all, for a label that is
+    /// a variable at planning time).
+    pub fn count_for_label(&self, label: Option<Symbol>) -> usize {
+        match label {
+            Some(l) => self.label_counts.get(&l).copied().unwrap_or(0),
+            None => self.top_level_count,
+        }
+    }
+
+    /// Selectivity of an equality condition on subobject label `l`
+    /// (defaults to 0.1 when unknown — a conventional guess).
+    pub fn selectivity(&self, l: Symbol) -> f64 {
+        self.eq_selectivity.get(&l).copied().unwrap_or(0.1)
+    }
+}
+
+/// A source of OEM objects that answers MSL queries.
+pub trait Wrapper: Send + Sync {
+    /// The source's name (`cs`, `whois`, ...). Queries may reference it in
+    /// `@source` annotations.
+    fn name(&self) -> Symbol;
+
+    /// What this source can evaluate.
+    fn capabilities(&self) -> &Capabilities;
+
+    /// Cost/statistics information, if the wrapper provides any.
+    fn stats(&self) -> Option<SourceStats> {
+        None
+    }
+
+    /// Answer an MSL query. Tail `Match` items must refer to this source
+    /// (their `@source` annotation equal to `self.name()` or absent);
+    /// external predicates are not evaluated by wrappers.
+    fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError>;
+}
+
+/// Shared validation helper: extract this wrapper's match patterns from a
+/// query and reject foreign/unsupported shapes.
+pub fn own_patterns(
+    name: Symbol,
+    q: &Rule,
+) -> Result<Vec<&msl::Pattern>, WrapperError> {
+    let mut out = Vec::new();
+    for item in &q.tail {
+        match item {
+            TailItem::Match { pattern, source } => {
+                if let Some(s) = source {
+                    if *s != name {
+                        return Err(WrapperError::BadQuery(format!(
+                            "query references source '{s}' but was sent to '{name}'"
+                        )));
+                    }
+                }
+                out.push(pattern);
+            }
+            TailItem::External { name: pred, .. } => {
+                return Err(WrapperError::BadQuery(format!(
+                    "wrappers do not evaluate external predicates ({pred})"
+                )));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(WrapperError::BadQuery("query has no match patterns".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::parse_query;
+    use oem::sym;
+
+    #[test]
+    fn own_patterns_accepts_own_and_unannotated() {
+        let q = parse_query("X :- X:<person {<name N>}>@whois AND <dept {<x X2>}>").unwrap();
+        let pats = own_patterns(sym("whois"), &q).unwrap();
+        assert_eq!(pats.len(), 2);
+    }
+
+    #[test]
+    fn own_patterns_rejects_foreign_source() {
+        let q = parse_query("X :- X:<person {}>@cs").unwrap();
+        let err = own_patterns(sym("whois"), &q).unwrap_err();
+        assert!(matches!(err, WrapperError::BadQuery(_)));
+    }
+
+    #[test]
+    fn own_patterns_rejects_externals() {
+        let q = parse_query("X :- X:<p {<n N>}>@s AND ge(N, 3)").unwrap();
+        assert!(own_patterns(sym("s"), &q).is_err());
+    }
+
+    #[test]
+    fn stats_defaults() {
+        let s = SourceStats {
+            top_level_count: 10,
+            label_counts: [(sym("person"), 7)].into_iter().collect(),
+            eq_selectivity: [(sym("name"), 0.02)].into_iter().collect(),
+        };
+        assert_eq!(s.count_for_label(Some(sym("person"))), 7);
+        assert_eq!(s.count_for_label(Some(sym("robot"))), 0);
+        assert_eq!(s.count_for_label(None), 10);
+        assert!((s.selectivity(sym("name")) - 0.02).abs() < 1e-12);
+        assert!((s.selectivity(sym("zzz")) - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Source query capabilities.
+//!
+//! §3.5: "the limited query capabilities of the underlying sources may
+//! prohibit even simple algebraic optimizations ... For example, the source
+//! whois may not be able to evaluate the condition on 'year' that appears
+//! in Qw." This module lets a wrapper declare what it can evaluate; the
+//! mediator's planner checks queries against the declaration and keeps
+//! unsupported conditions on its own side (a client-side filter), the
+//! resolution sketched in the capabilities-based-rewriting companion paper
+//! \[PGH\].
+
+use msl::{PatValue, Pattern, Rule, SetElem, TailItem, Term};
+use oem::Symbol;
+use std::collections::BTreeSet;
+
+/// What query features a source supports.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Capabilities {
+    /// Variables allowed in label positions (schema retrieval)?
+    pub label_variables: bool,
+    /// Wildcard (any-depth) subpatterns?
+    pub wildcards: bool,
+    /// Conditions attached to rest variables (`| Rest:{<year 3>}`)?
+    pub rest_conditions: bool,
+    /// Subobject labels on which this source cannot evaluate *any*
+    /// condition (value constants or bound variables). Conditions on these
+    /// labels must stay in the mediator.
+    pub unsupported_condition_labels: BTreeSet<Symbol>,
+    /// Accepts parameterized (per-tuple) queries from the datamerge
+    /// engine's parameterized-query node?
+    pub parameterized: bool,
+    /// Are parameterized lookups *cheap* (index-backed, sub-linear) rather
+    /// than scan-per-call? The optimizer uses this as the per-call cost
+    /// signal §3.5 says wrappers rarely provide: a bind join into a
+    /// scan-based source costs a full scan per outer tuple.
+    pub parameterized_cheap: bool,
+}
+
+impl Default for Capabilities {
+    fn default() -> Capabilities {
+        Capabilities::full()
+    }
+}
+
+impl Capabilities {
+    /// A fully capable source.
+    pub fn full() -> Capabilities {
+        Capabilities {
+            label_variables: true,
+            wildcards: true,
+            rest_conditions: true,
+            unsupported_condition_labels: BTreeSet::new(),
+            parameterized: true,
+            parameterized_cheap: false,
+        }
+    }
+
+    /// A deliberately restricted profile: no wildcards, no label variables.
+    /// Typical of a form-based facility like the paper's whois.
+    pub fn restricted() -> Capabilities {
+        Capabilities {
+            label_variables: false,
+            wildcards: false,
+            rest_conditions: true,
+            unsupported_condition_labels: BTreeSet::new(),
+            parameterized: true,
+            parameterized_cheap: false,
+        }
+    }
+
+    /// Mark a subobject label as un-filterable at this source.
+    pub fn without_condition_on(mut self, label: Symbol) -> Capabilities {
+        self.unsupported_condition_labels.insert(label);
+        self
+    }
+
+    /// Check a whole query. `Err(reason)` names the first violation.
+    pub fn check_query(&self, q: &Rule) -> Result<(), String> {
+        for item in &q.tail {
+            if let TailItem::Match { pattern, .. } = item {
+                self.check_pattern(pattern, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Check one pattern (recursively). `top` marks the top-level pattern,
+    /// whose label is the "relation" position — label variables there are
+    /// judged by the same switch.
+    pub fn check_pattern(&self, p: &Pattern, _top: bool) -> Result<(), String> {
+        if !self.label_variables && matches!(p.label, Term::Var(_)) {
+            return Err("label variables not supported by this source".into());
+        }
+        if let PatValue::Set(sp) = &p.value {
+            for e in &sp.elements {
+                match e {
+                    SetElem::Pattern(inner) => {
+                        self.check_condition_label(inner)?;
+                        self.check_pattern(inner, false)?;
+                    }
+                    SetElem::Wildcard(inner) => {
+                        if !self.wildcards {
+                            return Err(
+                                "wildcard subpatterns not supported by this source".into()
+                            );
+                        }
+                        self.check_condition_label(inner)?;
+                        self.check_pattern(inner, false)?;
+                    }
+                    SetElem::Var(_) => {}
+                }
+            }
+            if let Some(rest) = &sp.rest {
+                if !rest.conditions.is_empty() && !self.rest_conditions {
+                    return Err("rest-variable conditions not supported by this source".into());
+                }
+                for c in &rest.conditions {
+                    self.check_condition_label(c)?;
+                    self.check_pattern(c, false)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A *condition* is a subpattern whose value is a constant (it filters).
+    /// Sources can refuse conditions on specific labels.
+    fn check_condition_label(&self, p: &Pattern) -> Result<(), String> {
+        let is_condition = matches!(&p.value, PatValue::Term(Term::Const(_)))
+            || matches!(&p.value, PatValue::Term(Term::Param(_)));
+        if !is_condition {
+            return Ok(());
+        }
+        if let Term::Const(v) = &p.label {
+            if let Some(sym) = v.as_str_sym() {
+                if self.unsupported_condition_labels.contains(&sym) {
+                    return Err(format!(
+                        "source cannot evaluate conditions on '{sym}'"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::parse_query;
+    use oem::sym;
+
+    #[test]
+    fn full_capabilities_accept_everything() {
+        let c = Capabilities::full();
+        let q = parse_query("X :- X:<V {* <year 3> | R:{<gpa 4>}}>@s").unwrap();
+        c.check_query(&q).unwrap();
+    }
+
+    #[test]
+    fn restricted_rejects_wildcards_and_label_vars() {
+        let c = Capabilities::restricted();
+        let wild = parse_query("X :- X:<p {* <year 3>}>@s").unwrap();
+        assert!(c.check_query(&wild).is_err());
+        let labelvar = parse_query("X :- X:<V {}>@s").unwrap();
+        assert!(c.check_query(&labelvar).is_err());
+        let nested_labelvar = parse_query("X :- X:<p {<L V>}>@s").unwrap();
+        assert!(c.check_query(&nested_labelvar).is_err());
+    }
+
+    #[test]
+    fn unsupported_condition_labels() {
+        // The paper's example: whois cannot evaluate the 'year' condition.
+        let c = Capabilities::full().without_condition_on(sym("year"));
+        let q = parse_query("X :- X:<person {<year 3>}>@whois").unwrap();
+        let err = c.check_query(&q).unwrap_err();
+        assert!(err.contains("year"), "{err}");
+        // Retrieving year values (no condition) is still fine.
+        let retrieve = parse_query("X :- X:<person {<year Y>}>@whois").unwrap();
+        c.check_query(&retrieve).unwrap();
+        // The condition hidden inside rest conditions is also caught (Qw!).
+        let qw = parse_query("X :- X:<person {<name N> | R:{<year 3>}}>@whois").unwrap();
+        assert!(c.check_query(&qw).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Generic MSL query evaluation over one object store.
+//!
+//! Both concrete wrappers reduce to this routine: match the query's tail
+//! patterns against (a materialized view of) the source, project the
+//! bindings onto the head variables, eliminate duplicates (§2 footnote 3),
+//! and construct one result object per surviving binding.
+
+use crate::api::{own_patterns, WrapperError};
+use engine::bindings::{dedup_bindings, Bindings};
+use engine::construct::Constructor;
+use engine::matcher::match_top_level;
+use msl::Rule;
+use oem::{ObjectStore, Symbol};
+
+/// Evaluate `q` against `store` and construct its head objects into a
+/// fresh result store (top-level). `name` is the answering source (used
+/// for `@source` validation and the result oid prefix).
+pub fn answer_msl_query(
+    name: Symbol,
+    store: &ObjectStore,
+    q: &Rule,
+) -> Result<ObjectStore, WrapperError> {
+    let patterns = own_patterns(name, q)?;
+
+    // Join the tail patterns left to right.
+    let mut states = vec![Bindings::new()];
+    for pat in patterns {
+        let mut next = Vec::new();
+        for b in &states {
+            next.extend(match_top_level(store, pat, b));
+        }
+        states = next;
+        if states.is_empty() {
+            break;
+        }
+    }
+
+    // Project onto the head variables, then eliminate duplicate bindings.
+    let mut head_vars = Vec::new();
+    q.head.collect_vars(&mut head_vars);
+    let projected: Vec<Bindings> = states.iter().map(|b| b.project(&head_vars)).collect();
+    let surviving = dedup_bindings(projected);
+
+    // Construct results.
+    let mut out = ObjectStore::with_oid_prefix(&format!("{name}_r"));
+    let mut ctor = Constructor::new(store);
+    for b in &surviving {
+        ctor.construct_head(&q.head, b, &mut out)
+            .map_err(|e| WrapperError::Construct(e.to_string()))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::parse_query;
+    use oem::parser::parse_store;
+    use oem::printer::compact;
+    use oem::sym;
+
+    #[test]
+    fn answers_and_dedups() {
+        let store = parse_store(
+            "<&p1, person, set, {<&n1, name, 'A'> <&d1, dept, 'CS'>}>
+             <&p2, person, set, {<&n2, name, 'A'> <&d2, dept, 'CS'>}>
+             <&p3, person, set, {<&n3, name, 'B'> <&d3, dept, 'EE'>}>",
+        )
+        .unwrap();
+        // Two persons named A produce ONE result (duplicate elimination on
+        // projected bindings).
+        let q = parse_query("<out {<who N>}> :- <person {<name N> <dept 'CS'>}>@src").unwrap();
+        let res = answer_msl_query(sym("src"), &store, &q).unwrap();
+        assert_eq!(res.top_level().len(), 1);
+        assert_eq!(
+            compact(&res, res.top_level()[0]),
+            "<out {<who 'A'>}>"
+        );
+    }
+
+    #[test]
+    fn empty_result_is_empty_store() {
+        let store = parse_store("<&p1, person, set, {<&n1, name, 'A'>}>").unwrap();
+        let q = parse_query("X :- X:<person {<name 'Z'>}>@src").unwrap();
+        let res = answer_msl_query(sym("src"), &store, &q).unwrap();
+        assert!(res.top_level().is_empty());
+    }
+}

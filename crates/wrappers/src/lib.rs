@@ -1,0 +1,32 @@
+//! # wrappers — sources and their OEM wrappers
+//!
+//! "Wrappers convert data from each source into a common model ... The
+//! wrappers also provide a common query language for extracting
+//! information" (§1, Figure 1.1). This crate provides:
+//!
+//! * [`api`] — the [`api::Wrapper`] trait every source implements: accept
+//!   an MSL query, return constructed OEM objects; advertise
+//!   [`capabilities::Capabilities`] and optional [`api::SourceStats`].
+//! * [`capabilities`] — which query features a source supports (§3.5's
+//!   "limited query capabilities of the underlying sources").
+//! * [`relational`] — wraps a [`minidb`] catalog: every row is exported as
+//!   a top-level OEM object labeled by its relation name (Figure 2.2),
+//!   with equality conditions pushed down to the relational engine.
+//! * [`semistructured`] — wraps a native [`oem::ObjectStore`] (the paper's
+//!   "whois" facility, Figure 2.3), evaluating full MSL patterns.
+//! * [`scenario`] — the paper's exact `cs` and `whois` sources plus the
+//!   MS1 specification text.
+//! * [`workload`] — synthetic source generators for tests and benchmarks.
+
+pub mod api;
+pub mod capabilities;
+pub mod eval;
+pub mod relational;
+pub mod scenario;
+pub mod semistructured;
+pub mod workload;
+
+pub use api::{SourceStats, Wrapper, WrapperError};
+pub use capabilities::Capabilities;
+pub use relational::RelationalWrapper;
+pub use semistructured::SemiStructuredWrapper;

@@ -1,0 +1,193 @@
+//! The semi-structured source wrapper.
+//!
+//! Wraps a native [`ObjectStore`] — irregular objects with no schema, like
+//! the paper's university "whois" facility (Figure 2.3). Evaluation is
+//! full MSL pattern matching, optionally restricted by a
+//! [`Capabilities`] profile (e.g. "cannot evaluate conditions on `year`",
+//! the §3.5 example).
+
+use crate::api::{SourceStats, Wrapper, WrapperError};
+use crate::capabilities::Capabilities;
+use crate::eval::answer_msl_query;
+use msl::Rule;
+use oem::{ObjectStore, Symbol};
+use std::collections::BTreeMap;
+
+/// A source holding OEM objects directly.
+pub struct SemiStructuredSource {
+    name: Symbol,
+    store: ObjectStore,
+    caps: Capabilities,
+    provide_stats: bool,
+}
+
+/// Alias used throughout docs/tests.
+pub type SemiStructuredWrapper = SemiStructuredSource;
+
+impl SemiStructuredSource {
+    /// A fully-capable source named `name` over `store`. By default it
+    /// provides **no** statistics — the paper treats that as the common
+    /// case for loosely structured facilities (§3.5).
+    pub fn new(name: &str, store: ObjectStore) -> SemiStructuredSource {
+        SemiStructuredSource {
+            name: Symbol::intern(name),
+            store,
+            caps: Capabilities::full(),
+            provide_stats: false,
+        }
+    }
+
+    /// Replace the capability profile.
+    pub fn with_capabilities(mut self, caps: Capabilities) -> SemiStructuredSource {
+        self.caps = caps;
+        self
+    }
+
+    /// Make the wrapper compute and expose statistics.
+    pub fn with_stats(mut self) -> SemiStructuredSource {
+        self.provide_stats = true;
+        self
+    }
+
+    /// Direct access to the underlying store (tests, experiments).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable access (schema-evolution demos add attributes at runtime).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    fn compute_stats(&self) -> SourceStats {
+        let mut label_counts: BTreeMap<Symbol, usize> = BTreeMap::new();
+        for &t in self.store.top_level() {
+            *label_counts.entry(self.store.get(t).label).or_insert(0) += 1;
+        }
+        // Distinct values per subobject label across top-level children.
+        let mut values: BTreeMap<Symbol, std::collections::HashSet<oem::Value>> = BTreeMap::new();
+        for &t in self.store.top_level() {
+            for &c in self.store.children(t) {
+                let obj = self.store.get(c);
+                if obj.value.is_atomic() {
+                    values.entry(obj.label).or_default().insert(obj.value.clone());
+                }
+            }
+        }
+        // Uniform assumption: an equality condition on label l keeps
+        // 1/distinct(l) of the objects.
+        let eq_selectivity = values
+            .into_iter()
+            .map(|(l, set)| (l, 1.0 / set.len().max(1) as f64))
+            .collect();
+        SourceStats {
+            top_level_count: self.store.top_level().len(),
+            label_counts,
+            eq_selectivity,
+        }
+    }
+}
+
+impl Wrapper for SemiStructuredSource {
+    fn name(&self) -> Symbol {
+        self.name
+    }
+
+    fn capabilities(&self) -> &Capabilities {
+        &self.caps
+    }
+
+    fn stats(&self) -> Option<SourceStats> {
+        if self.provide_stats {
+            Some(self.compute_stats())
+        } else {
+            None
+        }
+    }
+
+    fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError> {
+        self.caps
+            .check_query(q)
+            .map_err(WrapperError::Unsupported)?;
+        answer_msl_query(self.name, &self.store, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::parse_query;
+    use oem::parser::parse_store;
+    use oem::printer::compact;
+    use oem::sym;
+
+    fn whois() -> SemiStructuredSource {
+        let store = parse_store(
+            "<&p1, person, set, {&n1,&d1,&rel1,&elm1}>
+               <&n1, name, string, 'Joe Chung'>
+               <&d1, dept, string, 'CS'>
+               <&rel1, relation, string, 'employee'>
+               <&elm1, e_mail, string, 'chung@cs'>
+             <&p2, person, set, {&n2,&d2,&rel2,&y2}>
+               <&n2, name, string, 'Nick Naive'>
+               <&d2, dept, string, 'CS'>
+               <&rel2, relation, string, 'student'>
+               <&y2, year, integer, 3>",
+        )
+        .unwrap();
+        SemiStructuredSource::new("whois", store)
+    }
+
+    #[test]
+    fn answers_qw_style_queries() {
+        // Qw from §3.4 (with its rest-variable condition).
+        let w = whois();
+        let q = parse_query(
+            "<bind_for_whois {<bind_for_N N> <bind_for_R R> <bind_for_Rest1 Rest1>}> :- \
+             <person {<name N> <dept 'CS'> <relation R> | Rest1:{<year 3>}}>@whois",
+        )
+        .unwrap();
+        let res = w.query(&q).unwrap();
+        assert_eq!(res.top_level().len(), 1);
+        let top = res.top_level()[0];
+        let printed = compact(&res, top);
+        assert!(printed.contains("<bind_for_N 'Nick Naive'>"), "{printed}");
+        assert!(printed.contains("<bind_for_R 'student'>"), "{printed}");
+        assert!(printed.contains("<year 3>"), "{printed}");
+    }
+
+    #[test]
+    fn capability_restriction_rejects() {
+        let w = whois().with_capabilities(
+            Capabilities::full().without_condition_on(sym("year")),
+        );
+        let q = parse_query("X :- X:<person {<name N> | R:{<year 3>}}>@whois").unwrap();
+        let err = w.query(&q).unwrap_err();
+        assert!(matches!(err, WrapperError::Unsupported(_)));
+        // Without the year condition the source still answers.
+        let ok = parse_query("X :- X:<person {<name N>}>@whois").unwrap();
+        assert_eq!(w.query(&ok).unwrap().top_level().len(), 2);
+    }
+
+    #[test]
+    fn stats_disabled_by_default() {
+        let w = whois();
+        assert!(w.stats().is_none());
+        let w = whois().with_stats();
+        let s = w.stats().unwrap();
+        assert_eq!(s.top_level_count, 2);
+        assert_eq!(s.label_counts.get(&sym("person")), Some(&2));
+        // Two distinct names → selectivity 1/2.
+        assert!((s.selectivity(sym("name")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn object_variable_query_returns_whole_objects() {
+        let w = whois();
+        let q = parse_query("JC :- JC:<person {<name 'Joe Chung'>}>@whois").unwrap();
+        let res = w.query(&q).unwrap();
+        assert_eq!(res.top_level().len(), 1);
+        let printed = compact(&res, res.top_level()[0]);
+        assert!(printed.contains("<e_mail 'chung@cs'>"), "{printed}");
+    }
+}

@@ -1,0 +1,40 @@
+//! The LOREL front end (paper footnote 4): "an object-oriented extension
+//! to SQL ... oriented to the end-user." End users write
+//! `select`/`from`/`where`; the front end compiles to MSL and the MSI does
+//! the rest — the same mediation machinery behind a friendlier surface.
+//!
+//! Run with: `cargo run --example lorel_frontend`
+
+use medmaker::Mediator;
+use std::sync::Arc;
+use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let med = Mediator::new(
+        "med",
+        MS1,
+        vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+        medmaker::externals::standard_registry(),
+    )?;
+
+    let queries = [
+        "select * from cs_person P where P.name = 'Joe Chung'",
+        "select P.name, P.rel from cs_person P",
+        "select P.name from cs_person P where P.year >= 3",
+    ];
+    for q in queries {
+        println!("=== LOREL: {q}");
+        let rule = lorel::to_msl(q, "med")?;
+        println!("    MSL:   {}", msl::printer::rule(&rule));
+        let results = med.query_rule(&rule)?.results;
+        print!("{}", oem::printer::print_store(&results));
+        println!();
+    }
+
+    // Errors stay friendly.
+    match lorel::to_msl("select Z.name from cs_person P", "med") {
+        Err(e) => println!("=== a bad query reports: {e}"),
+        Ok(_) => unreachable!(),
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Recursive views (paper footnote 4: "MSL is more powerful than LOREL
+//! (e.g., MSL allows the specification of recursive views)").
+//!
+//! An org-chart source exports flat `reports` facts; a recursive mediator
+//! exposes the transitive `chain_of_command` view. View expansion cannot
+//! terminate on a recursive specification, so the MSI materializes the
+//! view to fixpoint (semi-naive style over OEM) and answers queries
+//! against the materialization.
+//!
+//! Run with: `cargo run --example recursive_view`
+
+use medmaker::Mediator;
+use oem::ObjectBuilder;
+use std::sync::Arc;
+use wrappers::SemiStructuredWrapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The org chart: president ← dean ← chair ← professor ← student.
+    let mut store = oem::ObjectStore::new();
+    for (who, boss) in [
+        ("dean", "president"),
+        ("chair", "dean"),
+        ("professor", "chair"),
+        ("student", "professor"),
+    ] {
+        ObjectBuilder::set("reports")
+            .atom("who", who)
+            .atom("to", boss)
+            .build_top(&mut store);
+    }
+    let org: Arc<dyn wrappers::Wrapper> = Arc::new(SemiStructuredWrapper::new("org", store));
+
+    let spec = "\
+<chain_of_command {<who W> <over B>}> :- <reports {<who W> <to B>}>@org
+<chain_of_command {<who W> <over B>}> :-
+    <reports {<who W> <to M>}>@org
+    AND <chain_of_command {<who M> <over B>}>@chain
+";
+    let med = Mediator::new("chain", spec, vec![org], medmaker::ExternalRegistry::new())?;
+
+    println!("=== everyone the president is over ===");
+    let res = med.query_text("X :- X:<chain_of_command {<over 'president'>}>@chain")?;
+    print!("{}", oem::printer::print_store(&res));
+
+    println!("\n=== everyone above the student ===");
+    let res = med.query_text("X :- X:<chain_of_command {<who 'student'>}>@chain")?;
+    print!("{}", oem::printer::print_store(&res));
+    println!("\n({} ancestors)", res.top_level().len());
+    Ok(())
+}

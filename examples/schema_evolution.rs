@@ -1,0 +1,93 @@
+//! Schema evolution (§2, "schema evolution"):
+//!
+//! "The format and contents of the sources may change over time, often
+//! without notification to the mediator implementor. ... if 'birthday' is
+//! included or dropped, it should be automatically included or dropped from
+//! the med view, without need to change the mediator specification."
+//!
+//! This example evolves *both* sources at runtime — the whois objects gain
+//! a `birthday` subobject, the relational database gains a whole new column
+//! — and shows the unchanged MS1 specification propagating both.
+//!
+//! Run with: `cargo run --example schema_evolution`
+
+use medmaker::Mediator;
+use minidb::{ColType, Schema, Table};
+use std::sync::Arc;
+use wrappers::scenario::{cs_catalog, whois_store, MS1};
+use wrappers::{RelationalWrapper, SemiStructuredWrapper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let registry = medmaker::externals::standard_registry();
+
+    // --- before evolution -------------------------------------------------
+    let med = Mediator::new(
+        "med",
+        MS1,
+        vec![
+            Arc::new(SemiStructuredWrapper::new("whois", whois_store())),
+            Arc::new(RelationalWrapper::new("cs", cs_catalog())),
+        ],
+        registry.clone(),
+    )?;
+    println!("=== before evolution ===");
+    let results = med.query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")?;
+    print!("{}", oem::printer::print_store(&results));
+
+    // --- evolve the whois source: add a birthday subobject ---------------
+    let mut evolved_whois = whois_store();
+    let p1 = evolved_whois.by_oid(oem::sym("p1")).expect("&p1 exists");
+    let bday = evolved_whois.atom("birthday", "1961-04-12");
+    evolved_whois.add_child(p1, bday)?;
+
+    // --- evolve the cs source: replace `employee` with a wider schema ----
+    let mut evolved_cs = minidb::Catalog::new();
+    let mut employee = Table::new(Schema::new(
+        "employee",
+        &[
+            ("first_name", ColType::Str),
+            ("last_name", ColType::Str),
+            ("title", ColType::Str),
+            ("reports_to", ColType::Str),
+            ("office", ColType::Str), // the new column
+        ],
+    )?);
+    employee.insert(vec![
+        "Joe".into(),
+        "Chung".into(),
+        "professor".into(),
+        "John Hennessy".into(),
+        "Gates 434".into(),
+    ])?;
+    evolved_cs.add_table(employee)?;
+    // student table unchanged.
+    let mut student = Table::new(Schema::new(
+        "student",
+        &[
+            ("first_name", ColType::Str),
+            ("last_name", ColType::Str),
+            ("year", ColType::Int),
+        ],
+    )?);
+    student.insert(vec!["Nick".into(), "Naive".into(), 3.into()])?;
+    evolved_cs.add_table(student)?;
+
+    // --- same MS1 text, evolved sources ----------------------------------
+    let med = Mediator::new(
+        "med",
+        MS1, // ← the specification did not change
+        vec![
+            Arc::new(SemiStructuredWrapper::new("whois", evolved_whois)),
+            Arc::new(RelationalWrapper::new("cs", evolved_cs)),
+        ],
+        registry,
+    )?;
+    println!("\n=== after evolution (same specification!) ===");
+    let results = med.query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")?;
+    print!("{}", oem::printer::print_store(&results));
+    println!(
+        "\nThe new 'birthday' and 'office' attributes flowed through Rest1/Rest2 \
+         with zero specification changes."
+    );
+    Ok(())
+}

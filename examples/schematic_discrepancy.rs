@@ -1,0 +1,58 @@
+//! Schematic discrepancy (§2): "Data in one database correspond to
+//! metadata of the other."
+//!
+//! The person's status is a *value* in whois (`<relation 'employee'>`) but
+//! *schema* in cs (the relation name `employee`). MSL resolves this by
+//! letting one variable `R` bind simultaneously to a value in whois and a
+//! label in cs: `<relation R>`@whois joins `<R {...}>`@cs.
+//!
+//! The example also demonstrates MSL's schema-retrieval power: querying
+//! which relations exist at the cs source by putting a variable in label
+//! position.
+//!
+//! Run with: `cargo run --example schematic_discrepancy`
+
+use medmaker::Mediator;
+use std::sync::Arc;
+use wrappers::scenario::{cs_wrapper, whois_wrapper};
+use wrappers::Wrapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cs = cs_wrapper();
+
+    // --- schema retrieval directly against the wrapper -------------------
+    // A variable in the top-level label position ranges over relations.
+    println!("=== what relations does cs export? ===");
+    let q = msl::parse_query("<relation {<name R>}> :- <R {}>@cs")?;
+    let res = cs.query(&q)?;
+    print!("{}", oem::printer::print_store(&res));
+
+    // And a variable in a subobject label position ranges over columns.
+    println!("\n=== what attributes do employee rows carry? ===");
+    let q = msl::parse_query("<attribute {<name A>}> :- <employee {<A V>}>@cs")?;
+    let res = cs.query(&q)?;
+    print!("{}", oem::printer::print_store(&res));
+
+    // --- the discrepancy bridge ------------------------------------------
+    // A mediator whose single variable R is data on one side, schema on the
+    // other. No decomp needed here: we key on last names for brevity.
+    let spec = "\
+<status_report {<who LN> <status R>}> :-
+    <person {<name N> <relation R>}>@whois
+    AND <R {<last_name LN>}>@cs
+    AND decomp(N, LN, FN)
+
+decomp(bound, free, free) by name_to_lnfn
+decomp(free, bound, bound) by lnfn_to_name
+";
+    let med = Mediator::new(
+        "med",
+        spec,
+        vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+        medmaker::externals::standard_registry(),
+    )?;
+    println!("\n=== status_report view (R bridges value <-> schema) ===");
+    let res = med.query_text("X :- X:<status_report {}>@med")?;
+    print!("{}", oem::printer::print_store(&res));
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Exploring sources with unknown structure (§2, "Other Features"):
+//! wildcards and label variables, plus capability restrictions (§3.5).
+//!
+//! "MSL provides the wildcard feature that allows searches for objects at
+//! any level in the object structure of the source, without need to specify
+//! the entire path to the desired object."
+//!
+//! Run with: `cargo run --example wildcard_explore`
+
+use std::collections::BTreeSet;
+use wrappers::workload::deep_store;
+use wrappers::{Capabilities, SemiStructuredWrapper, Wrapper, WrapperError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A source whose `year` attribute is buried 4 levels deep in nested
+    // group objects — and we do not know the path.
+    let store = deep_store(5, 4);
+    let src = SemiStructuredWrapper::new("deep", store);
+
+    // Without wildcards we would need the full path:
+    let q_path = msl::parse_query(
+        "<hit {<who N> <year Y>}> :- \
+         <person {<name N> <group {<group {<group {<group {<year Y>}>}>}>}>}>@deep",
+    )?;
+    let res = src.query(&q_path)?;
+    println!("=== full-path query: {} hits ===", res.top_level().len());
+
+    // With the wildcard, no path knowledge is needed:
+    let q_wild = msl::parse_query("<hit {<who N> <year Y>}> :- <person {<name N> * <year Y>}>@deep")?;
+    let res = src.query(&q_wild)?;
+    println!("=== wildcard query: {} hits ===", res.top_level().len());
+    print!("{}", oem::printer::print_store(&res));
+
+    // Label variables reveal the structure itself: which labels exist at
+    // any depth under a person?
+    let q_labels = msl::parse_query("<label {<is L>}> :- <person {* <L V>}>@deep")?;
+    let res = src.query(&q_labels)?;
+    let labels: BTreeSet<String> = res
+        .top_level()
+        .iter()
+        .map(|&t| oem::printer::compact(&res, t))
+        .collect();
+    println!("\n=== labels discovered at any depth ===");
+    for l in labels {
+        println!("  {l}");
+    }
+
+    // §3.5: "some sources may not support them or may support them in a
+    // restricted fashion". A capability-restricted clone refuses the same
+    // wildcard query; a client (or the mediator's planner) must compensate.
+    let restricted = SemiStructuredWrapper::new("deep2", deep_store(5, 4))
+        .with_capabilities(Capabilities::restricted());
+    match restricted.query(&msl::parse_query(
+        "<hit {<y Y>}> :- <person {* <year Y>}>@deep2",
+    )?) {
+        Err(WrapperError::Unsupported(msg)) => {
+            println!("\n=== restricted source refused the wildcard ===\n  reason: {msg}")
+        }
+        other => panic!("expected a capability refusal, got {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! # medmaker-suite
+//!
+//! Umbrella crate for the MedMaker reproduction. Re-exports every workspace
+//! crate so the examples and integration tests (and downstream users who
+//! want a single dependency) can reach the whole system through one path.
+//!
+//! * [`oem`] — the Object Exchange Model substrate.
+//! * [`msl`] — the Mediator Specification Language front end.
+//! * [`engine`] — pattern matching and unification.
+//! * [`minidb`] — the in-memory relational engine behind the `cs` wrapper.
+//! * [`wrappers`] — the wrapper framework and concrete sources.
+//! * [`medmaker`] — the Mediator Specification Interpreter itself.
+
+pub use engine;
+pub use medmaker;
+pub use minidb;
+pub use msl;
+pub use oem;
+pub use wrappers;

@@ -1,0 +1,81 @@
+//! LOREL front end against the paper's mediator: end-user SQL-style
+//! queries produce the same objects as their hand-written MSL equivalents.
+
+use medmaker::Mediator;
+use oem::printer::compact;
+use std::sync::Arc;
+use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+
+fn med() -> Mediator {
+    Mediator::new(
+        "med",
+        MS1,
+        vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+}
+
+fn run_lorel(m: &Mediator, src: &str) -> oem::ObjectStore {
+    let rule = lorel::to_msl(src, "med").unwrap();
+    m.query_rule(&rule).unwrap().results
+}
+
+#[test]
+fn select_star_lists_view() {
+    let m = med();
+    let res = run_lorel(&m, "select * from cs_person P");
+    assert_eq!(res.top_level().len(), 2);
+}
+
+#[test]
+fn q1_as_lorel() {
+    // The paper's Q1, end-user style.
+    let m = med();
+    let res = run_lorel(&m, "select * from cs_person P where P.name = 'Joe Chung'");
+    assert_eq!(res.top_level().len(), 1);
+    let printed = compact(&res, res.top_level()[0]);
+    assert!(printed.contains("<title 'professor'>"), "{printed}");
+    assert!(printed.contains("<e_mail 'chung@cs'>"), "{printed}");
+}
+
+#[test]
+fn projection_query() {
+    let m = med();
+    let res = run_lorel(&m, "select P.name, P.rel from cs_person P");
+    assert_eq!(res.top_level().len(), 2);
+    for &t in res.top_level() {
+        let p = compact(&res, t);
+        assert!(p.starts_with("<result {<name "), "{p}");
+        assert!(p.contains("<rel "), "{p}");
+    }
+}
+
+#[test]
+fn range_condition() {
+    // §3.3's year query, end-user style (with >= instead of =).
+    let m = med();
+    let res = run_lorel(&m, "select P.name from cs_person P where P.year >= 3");
+    assert_eq!(res.top_level().len(), 1);
+    assert!(compact(&res, res.top_level()[0]).contains("'Nick Naive'"));
+}
+
+#[test]
+fn lorel_matches_handwritten_msl() {
+    let m = med();
+    let via_lorel = run_lorel(&m, "select * from cs_person P where P.rel = 'student'");
+    let via_msl = m
+        .query_text("P :- P:<cs_person {<rel 'student'>}>@med")
+        .unwrap();
+    assert_eq!(via_lorel.top_level().len(), via_msl.top_level().len());
+    for (&a, &b) in via_lorel.top_level().iter().zip(via_msl.top_level()) {
+        assert!(oem::eq::struct_eq_cross(&via_lorel, a, &via_msl, b));
+    }
+}
+
+#[test]
+fn empty_answer() {
+    let m = med();
+    let res = run_lorel(&m, "select * from cs_person P where P.name = 'Nobody'");
+    assert!(res.top_level().is_empty());
+}

@@ -1,0 +1,358 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants:
+//!
+//! * OEM printer/parser round-trip;
+//! * structural equality is an equivalence relation consistent with
+//!   fingerprints; deep copies are structurally equal; dedup is idempotent;
+//! * MSL printer/parser round-trip over generated rules;
+//! * matcher invariants: openness (extra subobjects never remove
+//!   solutions) and the rest-variable partition property.
+
+use engine::bindings::{Bindings, BoundValue};
+use engine::matcher::match_top_level;
+use msl::{Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, TailItem, Term};
+use oem::{ObjectBuilder, ObjectStore, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+
+fn arb_label() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "person", "name", "dept", "year", "e_mail", "relation", "group", "title",
+    ])
+    .prop_map(|s| s.to_string())
+}
+
+fn arb_atom() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(|s| Value::str(&s)),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i32..1000).prop_map(|i| Value::real(i as f64 / 8.0)),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+/// A tree-shaped OEM builder of bounded depth/width.
+fn arb_builder() -> impl Strategy<Value = ObjectBuilder> {
+    let leaf = (arb_label(), arb_atom()).prop_map(|(l, v)| ObjectBuilder::atom_obj(l.as_str(), v));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_label(), prop::collection::vec(inner, 0..4)).prop_map(|(l, kids)| {
+            let mut b = ObjectBuilder::set(l.as_str());
+            for k in kids {
+                b = b.child(k);
+            }
+            b
+        })
+    })
+}
+
+fn arb_store() -> impl Strategy<Value = ObjectStore> {
+    prop::collection::vec(arb_builder(), 1..5).prop_map(|builders| {
+        let mut store = ObjectStore::new();
+        for b in builders {
+            b.build_top(&mut store);
+        }
+        store
+    })
+}
+
+// ---------------------------------------------------------------------
+// OEM properties
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn oem_print_parse_roundtrip(store in arb_store()) {
+        let text = oem::printer::print_store(&store);
+        let reparsed = oem::parser::parse_store(&text).unwrap();
+        prop_assert_eq!(store.top_level().len(), reparsed.top_level().len());
+        for (&a, &b) in store.top_level().iter().zip(reparsed.top_level()) {
+            prop_assert!(oem::eq::struct_eq_cross(&store, a, &reparsed, b));
+        }
+    }
+
+    #[test]
+    fn struct_eq_reflexive_and_fingerprint_consistent(store in arb_store()) {
+        for &t in store.top_level() {
+            prop_assert!(oem::eq::struct_eq(&store, t, t));
+        }
+        // Any two tops: equal fingerprints whenever structurally equal.
+        for &a in store.top_level() {
+            for &b in store.top_level() {
+                if oem::eq::struct_eq(&store, a, b) {
+                    prop_assert_eq!(
+                        oem::eq::fingerprint(&store, a),
+                        oem::eq::fingerprint(&store, b)
+                    );
+                    // Symmetry.
+                    prop_assert!(oem::eq::struct_eq(&store, b, a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_copy_is_structurally_equal(store in arb_store()) {
+        let mut dst = ObjectStore::with_oid_prefix("c");
+        let roots = oem::copy::copy_top_level(&store, &mut dst);
+        for (&orig, &copied) in store.top_level().iter().zip(&roots) {
+            prop_assert!(oem::eq::struct_eq_cross(&store, orig, &dst, copied));
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent_and_duplicate_free(store in arb_store()) {
+        let once = oem::eq::dedup_structural(&store, store.top_level());
+        let twice = oem::eq::dedup_structural(&store, &once);
+        prop_assert_eq!(once.clone(), twice);
+        for (i, &a) in once.iter().enumerate() {
+            for &b in &once[i + 1..] {
+                prop_assert!(!oem::eq::struct_eq(&store, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_terminate_and_cover(store in arb_store()) {
+        let reachable = oem::path::reachable_from_top(&store);
+        // Tree stores reach every object exactly once.
+        prop_assert_eq!(reachable.len(), store.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// MSL round-trip
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop::sample::select(vec!["N", "R", "Y", "Value1"]).prop_map(Term::var),
+        arb_atom().prop_map(Term::Const),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    let simple = (arb_label(), arb_term()).prop_map(|(l, t)| {
+        Pattern::lv(Term::str(&l), PatValue::Term(t))
+    });
+    simple.prop_recursive(2, 12, 3, |inner| {
+        (
+            arb_label(),
+            prop::collection::vec(inner.prop_map(SetElem::Pattern), 0..3),
+            prop::option::of(prop::sample::select(vec!["Rest", "Rest1"])),
+        )
+            .prop_map(|(l, elems, rest)| Pattern {
+                obj_var: None,
+                oid: None,
+                label: Term::str(&l),
+                typ: None,
+                value: PatValue::Set(SetPattern {
+                    elements: elems,
+                    rest: rest.map(|r| RestSpec::bare(oem::sym(r))),
+                }),
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn msl_print_parse_roundtrip(pat in arb_pattern(), ext in any::<bool>()) {
+        let mut vars = Vec::new();
+        pat.collect_vars(&mut vars);
+        let mut tail = vec![TailItem::Match {
+            pattern: {
+                let mut p = pat.clone();
+                p.obj_var = Some(oem::sym("X"));
+                p
+            },
+            source: Some(oem::sym("src")),
+        }];
+        if ext {
+            tail.push(TailItem::External {
+                name: oem::sym("ge"),
+                args: vec![Term::int(1), Term::int(2)],
+            });
+        }
+        let rule = Rule { head: Head::Var(oem::sym("X")), tail };
+        let printed = msl::printer::rule(&rule);
+        let reparsed = msl::parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        prop_assert_eq!(rule, reparsed, "printed: {}", printed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Matcher invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Open matching: adding an unrelated extra subobject to every matched
+    /// object never removes solutions.
+    #[test]
+    fn matching_is_open(names in prop::collection::vec("[a-z]{1,6}", 1..6)) {
+        let mut store = ObjectStore::new();
+        for n in &names {
+            ObjectBuilder::set("person").atom("name", n.as_str()).build_top(&mut store);
+        }
+        let q = msl::parse_query("X :- X:<person {<name N>}>@s").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else { unreachable!() };
+        let before = match_top_level(&store, pattern, &Bindings::new()).len();
+
+        // Evolve: every person gains an extra attribute.
+        let tops = store.top_level().to_vec();
+        for t in tops {
+            let extra = store.atom("extra", 1i64);
+            store.add_child(t, extra).unwrap();
+        }
+        let after = match_top_level(&store, pattern, &Bindings::new()).len();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Rest partition: |matched children| + |rest| == |children| for a
+    /// single-subpattern match, and the rest never contains the matched
+    /// child.
+    #[test]
+    fn rest_partition(extra in prop::collection::vec(("[a-z]{1,5}", -50i64..50), 0..5)) {
+        let mut store = ObjectStore::new();
+        let mut b = ObjectBuilder::set("person").atom("name", "target");
+        for (l, v) in &extra {
+            b = b.atom(l.as_str(), *v);
+        }
+        b.build_top(&mut store);
+
+        let q = msl::parse_query("X :- X:<person {<name N> | Rest}>@s").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else { unreachable!() };
+        let sols = match_top_level(&store, pattern, &Bindings::new());
+        // `name` can only match the single name subobject (labels of the
+        // extras are lowercase a-z but could coincidentally be "name" —
+        // allow >= 1 solutions, and check the invariant for each).
+        prop_assert!(!sols.is_empty());
+        let total_children = store.children(store.top_level()[0]).len();
+        for s in &sols {
+            let Some(BoundValue::ObjSet(rest)) = s.get(oem::sym("Rest")) else {
+                return Err(TestCaseError::fail("Rest not bound to a set"));
+            };
+            prop_assert_eq!(rest.len(), total_children - 1);
+        }
+    }
+
+    /// Duplicate elimination of solutions: matching a store whose objects
+    /// repeat yields deduplicated binding sets.
+    #[test]
+    fn solutions_deduplicated(n_copies in 1usize..5) {
+        let mut store = ObjectStore::new();
+        for _ in 0..n_copies {
+            ObjectBuilder::set("person").atom("name", "same").build_top(&mut store);
+        }
+        let q = msl::parse_query("X :- <person {<name N>}>@s").unwrap();
+        let TailItem::Match { pattern, .. } = &q.tail[0] else { unreachable!() };
+        let sols = match_top_level(&store, pattern, &Bindings::new());
+        // All copies bind N to the same value: one solution.
+        prop_assert_eq!(sols.len(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// LOREL front end
+
+fn arb_lorel_query() -> impl Strategy<Value = String> {
+    let label = prop::sample::select(vec!["cs_person", "book", "person"]);
+    let attr = prop::sample::select(vec!["name", "year", "rel", "title"]);
+    let op = prop::sample::select(vec!["=", "!=", "<", "<=", ">", ">="]);
+    let lit = prop_oneof![
+        (0i64..100).prop_map(|i| i.to_string()),
+        "[a-z]{1,6}".prop_map(|s| format!("'{s}'")),
+    ];
+    (
+        prop::collection::vec(attr.clone(), 1..3),
+        label,
+        prop::collection::vec((attr, op, lit), 0..3),
+    )
+        .prop_map(|(sels, label, conds)| {
+            let sel: Vec<String> = sels.iter().map(|a| format!("P.{a}")).collect();
+            let mut q = format!("select {} from {label} P", sel.join(", "));
+            if !conds.is_empty() {
+                let cs: Vec<String> = conds
+                    .iter()
+                    .map(|(a, o, l)| format!("P.{a} {o} {l}"))
+                    .collect();
+                q.push_str(&format!(" where {}", cs.join(" and ")));
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated LOREL query compiles to VALID MSL whose printed form
+    /// re-parses to the same rule.
+    #[test]
+    fn lorel_compiles_to_valid_roundtrippable_msl(q in arb_lorel_query()) {
+        let rule = lorel::to_msl(&q, "med")
+            .unwrap_or_else(|e| panic!("compile failed for {q}: {e}"));
+        msl::validate::validate_rule(&rule, &[])
+            .unwrap_or_else(|e| panic!("invalid MSL for {q}: {e}"));
+        let printed = msl::printer::rule(&rule);
+        let reparsed = msl::parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed for {q}: {e}\n{printed}"));
+        prop_assert_eq!(rule, reparsed);
+    }
+
+    /// Running a generated LOREL query against the paper mediator never
+    /// errors (empty results are fine).
+    #[test]
+    fn lorel_queries_execute(q in arb_lorel_query()) {
+        use std::sync::Arc;
+        use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+        let med = medmaker::Mediator::new(
+            "med",
+            MS1,
+            vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+            medmaker::externals::standard_registry(),
+        ).unwrap();
+        let rule = lorel::to_msl(&q, "med").unwrap();
+        let out = med.query_rule(&rule);
+        prop_assert!(out.is_ok(), "query {} failed: {:?}", q, out.err());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fuzz-shaped robustness: arbitrary input must error, never panic.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn msl_parser_never_panics(input in ".{0,120}") {
+        let _ = msl::parse_rule(&input);
+        let _ = msl::parse_spec(&input);
+    }
+
+    #[test]
+    fn oem_parser_never_panics(input in ".{0,120}") {
+        let _ = oem::parser::parse_store(&input);
+    }
+
+    #[test]
+    fn lorel_never_panics(input in ".{0,120}") {
+        let _ = lorel::to_msl(&input, "med");
+    }
+
+    /// Structured-ish garbage: random MSL-flavored token soup.
+    #[test]
+    fn msl_token_soup_never_panics(parts in prop::collection::vec(
+        prop::sample::select(vec![
+            "<", ">", "{", "}", ":-", "|", "@", "X", "name", "'v'", "3", "*",
+            "AND", "(", ")", ",", "$P", "Rest:",
+        ]),
+        0..30,
+    )) {
+        let input = parts.join(" ");
+        let _ = msl::parse_rule(&input);
+    }
+}

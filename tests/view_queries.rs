@@ -1,0 +1,141 @@
+//! Less-common query shapes against the mediator view: query rest
+//! variables, constructed heads with spliced definitions, schema queries,
+//! typed patterns, and error paths.
+
+use medmaker::{MedError, Mediator};
+use oem::printer::compact;
+use std::sync::Arc;
+use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+
+fn med() -> Mediator {
+    Mediator::new(
+        "med",
+        MS1,
+        vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+}
+
+/// A query rest variable gets a *definition*: the head elements the query
+/// did not mention (§3.2, item 2 lists "rest" variables explicitly).
+#[test]
+fn query_rest_variable_definition() {
+    let res = med()
+        .query_text("<summary {<who N> Rest}> :- <cs_person {<name N> | Rest}>@med")
+        .unwrap();
+    assert_eq!(res.top_level().len(), 2);
+    let joe = res
+        .top_level()
+        .iter()
+        .map(|&t| compact(&res, t))
+        .find(|p| p.contains("'Joe Chung'"))
+        .unwrap();
+    // Rest carried the rel subobject and both rests' contents.
+    assert!(joe.contains("<rel 'employee'>"), "{joe}");
+    assert!(joe.contains("<e_mail 'chung@cs'>"), "{joe}");
+    assert!(joe.contains("<title 'professor'>"), "{joe}");
+    assert!(joe.starts_with("<summary {<who 'Joe Chung'>"), "{joe}");
+}
+
+/// Constructed query heads re-shape the view (projection + renaming).
+#[test]
+fn constructed_head_reshapes() {
+    let res = med()
+        .query_text("<roster {<person N> <as R>}> :- <cs_person {<name N> <rel R>}>@med")
+        .unwrap();
+    assert_eq!(res.top_level().len(), 2);
+    for &t in res.top_level() {
+        let p = compact(&res, t);
+        assert!(p.starts_with("<roster {<person "), "{p}");
+    }
+}
+
+/// A value variable against the view's set value binds the whole subobject
+/// set (definition splicing).
+#[test]
+fn value_variable_gets_whole_set() {
+    let res = med()
+        .query_text("<wrap {<contents V>}> :- <cs_person V>@med")
+        .unwrap();
+    assert_eq!(res.top_level().len(), 2);
+    for &t in res.top_level() {
+        let p = compact(&res, t);
+        assert!(p.contains("<name "), "contents must be spliced: {p}");
+    }
+}
+
+/// Schema query: what top-level labels does the view export?
+#[test]
+fn view_schema_query() {
+    let res = med().query_text("<lbl {<is L>}> :- <L {}>@med").unwrap();
+    assert_eq!(res.top_level().len(), 1);
+    assert_eq!(
+        compact(&res, res.top_level()[0]),
+        "<lbl {<is 'cs_person'>}>"
+    );
+}
+
+/// Conditions can bind the same variable twice across the view.
+#[test]
+fn repeated_variable_join_within_view() {
+    // Persons whose name equals ... themselves (trivially all) — checks
+    // that repeated N in one condition does not break unification.
+    let res = med()
+        .query_text("<o {<n N>}> :- <cs_person {<name N>}>@med AND eq(N, N)")
+        .unwrap();
+    assert_eq!(res.top_level().len(), 2);
+}
+
+/// Invalid queries are rejected with MSL validation errors.
+#[test]
+fn invalid_queries_rejected() {
+    let m = med();
+    // Head var without defining occurrence.
+    assert!(matches!(
+        m.query_text("X :- <cs_person {<name X>}>@med"),
+        Err(MedError::Msl(_))
+    ));
+    // Unknown external predicate.
+    assert!(matches!(
+        m.query_text("X :- X:<cs_person {}>@med AND frob(X)"),
+        Err(MedError::Msl(_))
+    ));
+    // Syntax error.
+    assert!(matches!(m.query_text("X :-"), Err(MedError::Msl(_))));
+}
+
+/// Wildcards cannot be pushed through view expansion; the mediator rejects
+/// them as a source would (documented limitation).
+#[test]
+fn wildcard_against_view_is_unsupported() {
+    use wrappers::Wrapper;
+    let m = med();
+    assert!(!m.capabilities().wildcards);
+}
+
+/// Conditions on the type field of view subobjects.
+#[test]
+fn type_field_in_view_query() {
+    // year is an integer subobject: ask for subobjects typed integer.
+    let res = med()
+        .query_text("<o {<n N> <t T>}> :- <cs_person {<name N> <Oid year T 3>}>@med")
+        .unwrap();
+    assert_eq!(res.top_level().len(), 1);
+    let p = compact(&res, res.top_level()[0]);
+    assert!(p.contains("<t 'integer'>"), "{p}");
+}
+
+/// Results materialize at the client: mutating queries on the result store
+/// don't touch the sources (the view is virtual).
+#[test]
+fn view_is_virtual() {
+    let m = med();
+    let a = m.query_text("P :- P:<cs_person {}>@med").unwrap();
+    // "Delete" everything client-side.
+    let mut a = a;
+    a.set_top_level(Vec::new());
+    // The mediator still answers fresh.
+    let b = m.query_text("P :- P:<cs_person {}>@med").unwrap();
+    assert_eq!(b.top_level().len(), 2);
+}
