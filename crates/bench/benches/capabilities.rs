@@ -14,9 +14,8 @@ fn build(n: usize, restrict: bool) -> Mediator {
     let w = PersonWorkload::sized(n);
     let mut whois = SemiStructuredWrapper::new("whois", w.whois_store());
     if restrict {
-        whois = whois.with_capabilities(
-            Capabilities::full().without_condition_on(oem::sym("year")),
-        );
+        whois =
+            whois.with_capabilities(Capabilities::full().without_condition_on(oem::sym("year")));
     }
     Mediator::new(
         "med",

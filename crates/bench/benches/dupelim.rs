@@ -35,20 +35,16 @@ fn bench_dupelim(c: &mut Criterion) {
     for dup_factor in [1usize, 2, 4, 8] {
         for (label, dedup) in [("dedup_on", true), ("dedup_off", false)] {
             let med = build(n_logical, dup_factor, dedup);
-            group.bench_with_input(
-                BenchmarkId::new(label, dup_factor),
-                &dup_factor,
-                |b, _| {
-                    b.iter(|| {
-                        let res = med.query_text("P :- P:<unique_person {}>@m").unwrap();
-                        if dedup {
-                            assert_eq!(res.top_level().len(), n_logical);
-                        } else {
-                            assert!(res.top_level().len() >= n_logical);
-                        }
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, dup_factor), &dup_factor, |b, _| {
+                b.iter(|| {
+                    let res = med.query_text("P :- P:<unique_person {}>@m").unwrap();
+                    if dedup {
+                        assert_eq!(res.top_level().len(), n_logical);
+                    } else {
+                        assert!(res.top_level().len() >= n_logical);
+                    }
+                })
+            });
         }
     }
     group.finish();

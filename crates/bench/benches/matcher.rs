@@ -27,9 +27,7 @@ fn bench_matcher(c: &mut Criterion) {
             ..PersonWorkload::default()
         };
         let store = w.whois_store();
-        let pat = pattern_of(
-            "X :- <person {<name N> <dept 'CS'> <relation R> | Rest}>@whois",
-        );
+        let pat = pattern_of("X :- <person {<name N> <dept 'CS'> <relation R> | Rest}>@whois");
         group.bench_with_input(
             BenchmarkId::new("ms1_pattern_irregularity", irr_pct),
             &irr_pct,

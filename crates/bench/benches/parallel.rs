@@ -36,12 +36,16 @@ fn bench_parallel(c: &mut Criterion) {
     for (label, parallel) in [("sequential", false), ("parallel", true)] {
         let med = build(n, parallel);
         let expect = med.query_text(q).unwrap().top_level().len();
-        group.bench_with_input(BenchmarkId::new("multi_chain_year", label), &parallel, |b, _| {
-            b.iter(|| {
-                let res = med.query_text(q).unwrap();
-                assert_eq!(res.top_level().len(), expect);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("multi_chain_year", label),
+            &parallel,
+            |b, _| {
+                b.iter(|| {
+                    let res = med.query_text(q).unwrap();
+                    assert_eq!(res.top_level().len(), expect);
+                })
+            },
+        );
     }
     group.finish();
 }

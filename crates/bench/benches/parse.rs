@@ -9,9 +9,7 @@ fn bench_parse(c: &mut Criterion) {
     let mut group = c.benchmark_group("parse");
 
     group.throughput(Throughput::Bytes(MS1.len() as u64));
-    group.bench_function("msl_spec_ms1", |b| {
-        b.iter(|| msl::parse_spec(MS1).unwrap())
-    });
+    group.bench_function("msl_spec_ms1", |b| b.iter(|| msl::parse_spec(MS1).unwrap()));
 
     let q = "S :- S:<cs_person {<year 3> <name N> | R:{<gpa 4>}}>@med AND ge(N, 'A')";
     group.throughput(Throughput::Bytes(q.len() as u64));

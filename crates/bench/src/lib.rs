@@ -1,8 +1,8 @@
 //! Shared harness helpers for the figure-reproduction experiments and the
 //! Criterion benches.
 
-use medmaker::{ExternalRegistry, Mediator, MediatorOptions};
 use medmaker::planner::PlannerOptions;
+use medmaker::{ExternalRegistry, Mediator, MediatorOptions};
 use std::sync::Arc;
 use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
 use wrappers::workload::PersonWorkload;

@@ -143,11 +143,11 @@ fn ms1() {
 /// §2's worked bindings b_w1, b_w2 (whois) and b_c1 (cs).
 fn bindings() {
     let store = wrappers::scenario::whois_store();
-    let q = msl::parse_query(
-        "X :- <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois",
-    )
-    .unwrap();
-    let TailItem::Match { pattern, .. } = &q.tail[0] else { unreachable!() };
+    let q = msl::parse_query("X :- <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois")
+        .unwrap();
+    let TailItem::Match { pattern, .. } = &q.tail[0] else {
+        unreachable!()
+    };
     println!("matching the MS1 whois pattern against Figure 2.3:");
     for b in match_top_level(&store, pattern, &Bindings::new()) {
         println!("  {b}");
@@ -237,12 +237,7 @@ fn pushdown() {
     let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
     let program = med.expand(&q).unwrap();
     assert_eq!(program.len(), 2);
-    for (i, (r, note)) in program
-        .rules
-        .iter()
-        .zip(&program.unifier_notes)
-        .enumerate()
-    {
+    for (i, (r, note)) in program.rules.iter().zip(&program.unifier_notes).enumerate() {
         println!("τ{} : {note}", i + 1);
         println!("(Q{}) {}", i + 3, msl::printer::rule(r));
     }
@@ -268,7 +263,16 @@ fn fig36() {
     };
     let physical = plan(&program, &ctx).unwrap();
     println!("{}", explain::render_plan(&physical));
-    let outcome = execute(&physical, &srcs, &reg, &ExecOptions { trace: true, parallel: false }).unwrap();
+    let outcome = execute(
+        &physical,
+        &srcs,
+        &reg,
+        &ExecOptions {
+            trace: true,
+            parallel: false,
+        },
+    )
+    .unwrap();
     println!("{}", explain::render_execution(&physical, &outcome));
     println!(
         "[ok] query -> extract -> decomp -> parameterized query -> construct, \
@@ -357,8 +361,7 @@ fn recursion() {
 /// paper's own implementation lacked it — ours provides it).
 fn dupelim() {
     let store = wrappers::workload::duplicated_store(3, 4);
-    let src: Arc<dyn Wrapper> =
-        Arc::new(wrappers::SemiStructuredWrapper::new("dups", store));
+    let src: Arc<dyn Wrapper> = Arc::new(wrappers::SemiStructuredWrapper::new("dups", store));
     let med = Mediator::new(
         "m",
         "<unique_person {<name N>}> :- <person {<name N>}>@dups",
@@ -374,8 +377,8 @@ fn dupelim() {
 
 /// Capability restrictions (§3.5): whois cannot evaluate 'year'.
 fn capabilities() {
-    let restricted_whois = whois_wrapper()
-        .with_capabilities(Capabilities::full().without_condition_on(sym("year")));
+    let restricted_whois =
+        whois_wrapper().with_capabilities(Capabilities::full().without_condition_on(sym("year")));
     let med = Mediator::new(
         "med",
         MS1,
@@ -393,11 +396,7 @@ fn capabilities() {
     println!("result objects:");
     print!("{}", print_store(&outcome.results));
     assert_eq!(outcome.results.top_level().len(), 1);
-    let filter_used = outcome
-        .traces
-        .iter()
-        .flatten()
-        .any(|t| t.op == "filter");
+    let filter_used = outcome.traces.iter().flatten().any(|t| t.op == "filter");
     assert!(filter_used, "a client-side filter must appear in the trace");
     println!(
         "[ok] the year condition stayed in the mediator as a filter node; \

@@ -17,7 +17,10 @@ fn all_experiments_pass() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     // One [ok] per experiment (fig23 prints its correction note inline).
     let ok_count = stdout.matches("[ok]").count();
-    assert!(ok_count >= 18, "expected >= 18 [ok] markers, got {ok_count}");
+    assert!(
+        ok_count >= 18,
+        "expected >= 18 [ok] markers, got {ok_count}"
+    );
     // Spot-check headline artifacts.
     for frag in [
         "experiment: fig24",

@@ -44,12 +44,18 @@ pub struct Config {
     pub lorel: bool,
     /// One-shot query; absent = interactive session.
     pub query: Option<String>,
+    /// Run speclint on the specification instead of querying
+    /// (`medmaker lint SPEC`).
+    pub lint: bool,
+    /// Emit lint diagnostics as JSON (`--json`, lint mode only).
+    pub json: bool,
 }
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
                 [--minimal] [--no-dedup] [--explain] [QUERY]
+       medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
 
   --spec FILE       MSL mediator specification
   --name NAME       mediator name (default: med)
@@ -61,6 +67,11 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
   --explain         print the expansion + plan for QUERY instead of results
   --lorel           QUERY/session lines are LOREL (select/from/where), not MSL
   QUERY             a query; omit for an interactive session
+
+lint mode runs every speclint diagnostic pass over SPEC and exits with
+0 (clean), 1 (warnings) or 2 (errors / unreadable spec). Registering
+sources (--oem/--csv) additionally checks the rules against their
+declared capabilities; --json prints machine-readable diagnostics.
 ";
 
 /// Parse command-line arguments (no external crates).
@@ -69,7 +80,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
         name: "med".to_string(),
         ..Default::default()
     };
-    let mut it = args.into_iter();
+    let mut it = args.into_iter().peekable();
+    if it.peek().map(String::as_str) == Some("lint") {
+        it.next();
+        cfg.lint = true;
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--spec" => {
@@ -91,8 +106,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
             "--no-dedup" => cfg.no_dedup = true,
             "--explain" => cfg.explain = true,
             "--lorel" => cfg.lorel = true,
+            "--json" if cfg.lint => cfg.json = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             q if !q.starts_with("--") => {
+                // In lint mode the positional argument is the spec file.
+                if cfg.lint {
+                    if cfg.spec_path.is_some() {
+                        return Err("more than one spec file given".to_string());
+                    }
+                    cfg.spec_path = Some(PathBuf::from(q));
+                    continue;
+                }
                 if cfg.query.is_some() {
                     return Err("more than one query given".to_string());
                 }
@@ -102,7 +126,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
         }
     }
     if cfg.spec_path.is_none() {
-        return Err(format!("--spec is required\n{USAGE}"));
+        let what = if cfg.lint {
+            "lint needs a SPEC file"
+        } else {
+            "--spec is required"
+        };
+        return Err(format!("{what}\n{USAGE}"));
     }
     Ok(cfg)
 }
@@ -117,18 +146,14 @@ fn parse_named(v: &str, flag: &str) -> Result<(String, PathBuf), String> {
     Ok((name.to_string(), PathBuf::from(file)))
 }
 
-/// Load sources and build the mediator.
-pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
-    let spec_path = cfg.spec_path.as_ref().expect("validated by parse_args");
-    let spec_text = std::fs::read_to_string(spec_path)
-        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
-
+/// Load the `--oem` / `--csv` sources named on the command line.
+pub fn load_sources(cfg: &Config) -> Result<Vec<Arc<dyn Wrapper>>, String> {
     let mut sources: Vec<Arc<dyn Wrapper>> = Vec::new();
     for (name, file) in &cfg.oem_sources {
         let text = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-        let store = oem::parser::parse_store(&text)
-            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let store =
+            oem::parser::parse_store(&text).map_err(|e| format!("{}: {e}", file.display()))?;
         sources.push(Arc::new(SemiStructuredWrapper::new(name, store)));
     }
 
@@ -142,8 +167,8 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
             .file_stem()
             .and_then(|s| s.to_str())
             .ok_or_else(|| format!("bad csv file name {}", file.display()))?;
-        let table = minidb::load_csv(table_name, &text)
-            .map_err(|e| format!("{}: {e}", file.display()))?;
+        let table =
+            minidb::load_csv(table_name, &text).map_err(|e| format!("{}: {e}", file.display()))?;
         catalogs
             .entry(name.clone())
             .or_default()
@@ -153,6 +178,15 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
     for (name, catalog) in catalogs {
         sources.push(Arc::new(RelationalWrapper::new(&name, catalog)));
     }
+    Ok(sources)
+}
+
+/// Load sources and build the mediator.
+pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
+    let spec_path = cfg.spec_path.as_ref().expect("validated by parse_args");
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let sources = load_sources(cfg)?;
 
     let med = Mediator::new(
         &cfg.name,
@@ -173,6 +207,91 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         },
         ..Default::default()
     }))
+}
+
+/// Run `medmaker lint SPEC`: print every speclint diagnostic (human
+/// renderings, or a JSON array with `--json`) and return the process exit
+/// code — 0 clean, 1 warnings only, 2 errors. A specification that cannot
+/// be read or parsed is reported and also exits 2.
+pub fn run_lint(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
+    let spec_path = cfg.spec_path.as_ref().expect("validated by parse_args");
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let sources = load_sources(cfg)?;
+    let caps: BTreeMap<oem::Symbol, wrappers::Capabilities> = sources
+        .iter()
+        .map(|w| (w.name(), w.capabilities().clone()))
+        .collect();
+    let diags = match medmaker::lint::lint_text(&spec_text, &cfg.name, &caps) {
+        Ok((_, diags)) => diags,
+        Err(e) => {
+            // A specification that does not lex/parse cannot be linted.
+            if cfg.json {
+                let v = serde::Value::Object(vec![(
+                    "error".to_string(),
+                    serde::Value::Str(e.to_string()),
+                )]);
+                let text = serde_json::to_string(&v).map_err(|e| e.to_string())?;
+                writeln!(out, "{text}").map_err(|e| e.to_string())?;
+            } else {
+                writeln!(out, "{e}").map_err(|e| e.to_string())?;
+            }
+            return Ok(2);
+        }
+    };
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    if cfg.json {
+        let v = serde::Value::Array(diags.iter().map(|d| diag_json(d, &spec_text)).collect());
+        let text = serde_json::to_string_pretty(&v).map_err(|e| e.to_string())?;
+        writeln!(out, "{text}").map_err(|e| e.to_string())?;
+    } else {
+        for d in &diags {
+            writeln!(out, "{}", d.render(&spec_text)).map_err(|e| e.to_string())?;
+        }
+        writeln!(
+            out,
+            "{}: {errors} error(s), {warnings} warning(s)",
+            spec_path.display()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(if errors > 0 {
+        2
+    } else if warnings > 0 {
+        1
+    } else {
+        0
+    })
+}
+
+/// One diagnostic as a JSON object (`--json` output element).
+fn diag_json(d: &msl::Diagnostic, source: &str) -> serde::Value {
+    let (line, col) = msl::diag::line_col(source, d.span.start);
+    serde::Value::Object(vec![
+        ("code".to_string(), serde::Value::Str(d.code.to_string())),
+        (
+            "severity".to_string(),
+            serde::Value::Str(if d.is_error() { "error" } else { "warning" }.to_string()),
+        ),
+        ("message".to_string(), serde::Value::Str(d.message.clone())),
+        (
+            "help".to_string(),
+            match &d.help {
+                Some(h) => serde::Value::Str(h.clone()),
+                None => serde::Value::Null,
+            },
+        ),
+        (
+            "span".to_string(),
+            serde::Value::Object(vec![
+                ("start".to_string(), serde::Value::Int(d.span.start as i64)),
+                ("end".to_string(), serde::Value::Int(d.span.end as i64)),
+            ]),
+        ),
+        ("line".to_string(), serde::Value::Int(line as i64)),
+        ("col".to_string(), serde::Value::Int(col as i64)),
+    ])
 }
 
 /// Translate a LOREL query to MSL text for a mediator.
@@ -325,11 +444,7 @@ mod tests {
         let spec = dir.join("spec.msl");
         std::fs::write(&spec, "<v {<n N>}> :- <person {<name N>}>@src\n").unwrap();
         let oem_file = dir.join("src.oem");
-        std::fs::write(
-            &oem_file,
-            "<&p1, person, set, {<&n1, name, 'Ann'>}>\n",
-        )
-        .unwrap();
+        std::fs::write(&oem_file, "<&p1, person, set, {<&n1, name, 'Ann'>}>\n").unwrap();
         let cfg = parse_args(argv(&format!(
             "--spec {} --name m --oem src={}",
             spec.display(),
@@ -342,6 +457,139 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("'Ann'"), "{text}");
         assert!(text.contains(";; 1 object(s)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn temp_spec(tag: &str, text: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("medmaker-lint-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.msl");
+        std::fs::write(&spec, text).unwrap();
+        (dir, spec)
+    }
+
+    #[test]
+    fn lint_subcommand_parsed() {
+        let cfg = parse_args(argv("lint spec.msl --json --name m")).unwrap();
+        assert!(cfg.lint && cfg.json);
+        assert_eq!(cfg.spec_path.as_ref().unwrap().to_str(), Some("spec.msl"));
+        assert_eq!(cfg.name, "m");
+        // The spec file is required, and --json is lint-only.
+        assert!(parse_args(argv("lint")).is_err());
+        assert!(parse_args(argv("--spec s.msl --json")).is_err());
+    }
+
+    #[test]
+    fn lint_clean_spec_exits_zero() {
+        let (dir, spec) = temp_spec("clean", "<v {<n N>}> :- <person {<name N>}>@src\n");
+        let cfg = parse_args(argv(&format!("lint {}", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_ms1_is_clean() {
+        let (dir, spec) = temp_spec("ms1", wrappers::scenario::MS1);
+        let cfg = parse_args(argv(&format!("lint {}", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_renders_warnings_and_exits_one() {
+        // X is bound in the tail and never used again -> W102.
+        let (dir, spec) = temp_spec("warn", "<v {<n N>}> :- <person {<name N> <x X>}>@src\n");
+        let cfg = parse_args(argv(&format!("lint {}", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("warning[W102]"), "{text}");
+        assert!(text.contains("0 error(s), 1 warning(s)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_collects_multiple_defects_and_exits_two() {
+        // One unanswerable external (E005/E014 family) plus an unused
+        // variable: everything is reported in a single run.
+        let (dir, spec) = temp_spec(
+            "multi",
+            "<v {<n N> <l L>}> :- <person {<name N> <x X>}>@src AND conv(N, L)\n",
+        );
+        let cfg = parse_args(argv(&format!("lint {}", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("error[E005]"), "{text}");
+        assert!(text.contains("warning[W102]"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_json_round_trips_through_serde_json() {
+        let (dir, spec) = temp_spec("json", "<v {<n N>}> :- <person {<name N> <x X>}>@src\n");
+        let cfg = parse_args(argv(&format!("lint {} --json", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        assert_eq!(code, 1);
+        let text = String::from_utf8(out).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 1, "{text}");
+        let d = &items[0];
+        assert_eq!(d.get("code").unwrap().as_str(), Some("W102"));
+        assert_eq!(d.get("severity").unwrap().as_str(), Some("warning"));
+        assert!(d.get("message").unwrap().as_str().unwrap().contains("X"));
+        let span = d.get("span").unwrap();
+        let start = span.get("start").unwrap().as_i64().unwrap();
+        let end = span.get("end").unwrap().as_i64().unwrap();
+        assert!(start < end, "{text}");
+        assert_eq!(d.get("line").unwrap().as_i64(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_unparseable_spec_exits_two() {
+        let (dir, spec) = temp_spec("bad", "<<< not msl\n");
+        let cfg = parse_args(argv(&format!("lint {} --json", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        assert_eq!(code, 2);
+        let text = String::from_utf8(out).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        assert!(v.get("error").is_some(), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_checks_capabilities_of_registered_sources() {
+        // `src` is a semi-structured OEM source with full capabilities, so
+        // registering it keeps the spec clean; the capability passes run.
+        let dir = std::env::temp_dir().join(format!("medmaker-lint-caps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("spec.msl");
+        std::fs::write(&spec, "<v {<n N>}> :- <person {<name N>}>@src\n").unwrap();
+        let oem_file = dir.join("src.oem");
+        std::fs::write(&oem_file, "<&p1, person, set, {<&n1, name, 'Ann'>}>\n").unwrap();
+        let cfg = parse_args(argv(&format!(
+            "lint {} --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run_lint(&cfg, &mut out).unwrap();
+        assert_eq!(code, 0, "{}", String::from_utf8_lossy(&out));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,6 +11,21 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cfg.lint {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match medmaker_cli::run_lint(&cfg, &mut out) {
+            Ok(code) => {
+                let _ = out.flush();
+                std::process::exit(code);
+            }
+            Err(msg) => {
+                let _ = out.flush();
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     let med = match medmaker_cli::build_mediator(&cfg) {
         Ok(m) => m,
         Err(msg) => {

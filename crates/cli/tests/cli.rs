@@ -27,7 +27,11 @@ fn one_shot_query_reproduces_figure_2_4() {
         .arg("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     for frag in [
         "'Joe Chung'",
@@ -49,9 +53,16 @@ fn explain_mode_prints_plan() {
         .arg("S :- S:<cs_person {<year 3>}>@med")
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("Logical datamerge program (2 rules)"), "{stdout}");
+    assert!(
+        stdout.contains("Logical datamerge program (2 rules)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("[query]"), "{stdout}");
     assert!(stdout.contains("=== result objects ==="), "{stdout}");
     assert!(stdout.contains("'Nick Naive'"), "{stdout}");
@@ -107,7 +118,11 @@ fn lorel_flag_translates_and_runs() {
         .arg("select P.name from cs_person P where P.year >= 3")
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains(";; MSL:"), "{stdout}");
     assert!(stdout.contains("'Nick Naive'"), "{stdout}");

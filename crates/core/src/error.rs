@@ -24,6 +24,9 @@ pub enum MedError {
     /// An external predicate could not be evaluated (no callable
     /// implementation for the available bindings).
     External(String),
+    /// The specification failed mediator-level static analysis
+    /// (speclint): carries every error-level diagnostic.
+    Lint(Vec<msl::Diagnostic>),
     /// Result construction failed.
     Construct(String),
     /// The recursive fixpoint did not converge within the iteration bound.
@@ -37,11 +40,21 @@ impl fmt::Display for MedError {
             MedError::UnknownSource(s) => write!(f, "unknown source '{s}'"),
             MedError::Expansion(m) => write!(f, "view expansion failed: {m}"),
             MedError::RecursionDisabled(m) => {
-                write!(f, "specification is recursive ({m}) and recursion is disabled")
+                write!(
+                    f,
+                    "specification is recursive ({m}) and recursion is disabled"
+                )
             }
             MedError::Planning(m) => write!(f, "planning failed: {m}"),
             MedError::Wrapper(m) => write!(f, "wrapper error: {m}"),
             MedError::External(m) => write!(f, "external predicate error: {m}"),
+            MedError::Lint(diags) => {
+                let msgs: Vec<String> = diags
+                    .iter()
+                    .map(|d| format!("[{}] {}", d.code, d.message))
+                    .collect();
+                write!(f, "specification rejected by speclint: {}", msgs.join("; "))
+            }
             MedError::Construct(m) => write!(f, "construction error: {m}"),
             MedError::FixpointDiverged(n) => {
                 write!(f, "recursive view did not converge within {n} iterations")

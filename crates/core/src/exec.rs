@@ -276,7 +276,13 @@ fn exec_node(
             vars,
         } => {
             let extracted = run_and_extract(
-                *source, query, vars, memory, sources, observations, source_calls,
+                *source,
+                query,
+                vars,
+                memory,
+                sources,
+                observations,
+                source_calls,
             )?;
             // Cartesian with the (unit) input.
             let mut out = BindingTable::new(
@@ -380,15 +386,9 @@ fn exec_node(
                 for nb in registry.evaluate(*pred, args, &b)? {
                     let mut r = input.rows[i].clone();
                     for v in new_vars {
-                        r.push(
-                            nb.get(*v)
-                                .cloned()
-                                .ok_or_else(|| {
-                                    MedError::External(format!(
-                                        "{pred} did not bind {v} as planned"
-                                    ))
-                                })?,
-                        );
+                        r.push(nb.get(*v).cloned().ok_or_else(|| {
+                            MedError::External(format!("{pred} did not bind {v} as planned"))
+                        })?);
                     }
                     out.rows.push(r);
                 }
@@ -421,7 +421,13 @@ fn exec_node(
             join_vars,
         } => {
             let extracted = run_and_extract(
-                *source, query, vars, memory, sources, observations, source_calls,
+                *source,
+                query,
+                vars,
+                memory,
+                sources,
+                observations,
+                source_calls,
             )?;
             // Index inner rows by join key.
             let inner_key_idx: Vec<usize> = join_vars
@@ -434,8 +440,7 @@ fn exec_node(
                 .collect();
             let mut index: HashMap<Vec<BoundValue>, Vec<&Vec<BoundValue>>> = HashMap::new();
             for row in &extracted {
-                let key: Vec<BoundValue> =
-                    inner_key_idx.iter().map(|&i| row[i].clone()).collect();
+                let key: Vec<BoundValue> = inner_key_idx.iter().map(|&i| row[i].clone()).collect();
                 index.entry(key).or_default().push(row);
             }
             // Output: input columns + inner extraction minus join vars.
@@ -454,8 +459,7 @@ fn exec_node(
                 .collect::<Result<_>>()?;
             let mut out = BindingTable::new(out_cols);
             for row in &input.rows {
-                let key: Vec<BoundValue> =
-                    outer_key_idx.iter().map(|&i| row[i].clone()).collect();
+                let key: Vec<BoundValue> = outer_key_idx.iter().map(|&i| row[i].clone()).collect();
                 if let Some(matches) = index.get(&key) {
                     for inner in matches {
                         let mut r = row.clone();
@@ -587,7 +591,10 @@ mod tests {
             &plan,
             &srcs,
             &registry,
-            &ExecOptions { trace: true, parallel: false },
+            &ExecOptions {
+                trace: true,
+                parallel: false,
+            },
         )
         .unwrap()
     }
@@ -619,7 +626,10 @@ mod tests {
     #[test]
     fn year_query_returns_nick() {
         // §3.3's query: 3rd-year students known to both sources.
-        let out = run("S :- S:<cs_person {<year 3>}>@med", PlannerOptions::default());
+        let out = run(
+            "S :- S:<cs_person {<year 3>}>@med",
+            PlannerOptions::default(),
+        );
         assert_eq!(out.results.top_level().len(), 1);
         let printed = compact(&out.results, out.results.top_level()[0]);
         assert!(printed.contains("'Nick Naive'"), "{printed}");
@@ -648,12 +658,15 @@ mod tests {
         let pa = compact(&a.results, a.results.top_level()[0]);
         let pb = compact(&b.results, b.results.top_level()[0]);
         // Oids differ; structure must not.
-        assert!(oem::eq::struct_eq_cross(
-            &a.results,
-            a.results.top_level()[0],
-            &b.results,
-            b.results.top_level()[0]
-        ), "{pa} vs {pb}");
+        assert!(
+            oem::eq::struct_eq_cross(
+                &a.results,
+                a.results.top_level()[0],
+                &b.results,
+                b.results.top_level()[0]
+            ),
+            "{pa} vs {pb}"
+        );
     }
 
     #[test]
@@ -696,8 +709,6 @@ mod tests {
         assert!(out.source_calls[&sym("whois")] >= 1);
         assert!(out.source_calls[&sym("cs")] >= 1);
     }
-
-
 
     #[test]
     fn param_query_memoizes_repeated_tuples() {
@@ -799,8 +810,26 @@ mod tests {
             options: &options,
         };
         let physical = plan(&program, &ctx).unwrap();
-        let seq = execute(&physical, &srcs, &registry, &ExecOptions { trace: false, parallel: false }).unwrap();
-        let par = execute(&physical, &srcs, &registry, &ExecOptions { trace: false, parallel: true }).unwrap();
+        let seq = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                trace: false,
+                parallel: false,
+            },
+        )
+        .unwrap();
+        let par = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                trace: false,
+                parallel: true,
+            },
+        )
+        .unwrap();
         assert_eq!(seq.results.top_level().len(), par.results.top_level().len());
         for (&a, &b) in seq.results.top_level().iter().zip(par.results.top_level()) {
             assert!(oem::eq::struct_eq_cross(&seq.results, a, &par.results, b));

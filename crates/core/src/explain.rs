@@ -11,12 +11,7 @@ use std::fmt::Write;
 pub fn render_logical(program: &LogicalProgram) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Logical datamerge program ({} rules):", program.len());
-    for (i, (r, note)) in program
-        .rules
-        .iter()
-        .zip(&program.unifier_notes)
-        .enumerate()
-    {
+    for (i, (r, note)) in program.rules.iter().zip(&program.unifier_notes).enumerate() {
         let _ = writeln!(out, "  (R{}) {}", i + 1, msl::printer::rule(r));
         if !note.is_empty() {
             let _ = writeln!(out, "       unifier: {note}");
@@ -59,11 +54,7 @@ pub fn render_execution(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
                 let _ = writeln!(out, "  {line}");
             }
         }
-        let _ = writeln!(
-            out,
-            "[constructor] {}",
-            msl::printer::head(&rule.head)
-        );
+        let _ = writeln!(out, "[constructor] {}", msl::printer::head(&rule.head));
     }
     let _ = writeln!(out, "=== result objects ===");
     out.push_str(&oem::printer::print_store(&outcome.results));
@@ -89,8 +80,7 @@ fn summarize(node: &Node) -> String {
             )
         }
         Node::ExternalPred { pred, args, .. } => {
-            let rendered: Vec<String> =
-                args.iter().map(|a| msl::printer::term(a, true)).collect();
+            let rendered: Vec<String> = args.iter().map(|a| msl::printer::term(a, true)).collect();
             format!("{pred}({})", rendered.join(", "))
         }
         Node::RestFilter { var, condition } => {
@@ -125,7 +115,6 @@ mod tests {
     use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
     use wrappers::Wrapper;
 
-
     #[test]
     fn summaries_cover_every_node_kind() {
         use crate::graph::{ExtractVar, Node, VarKind};
@@ -135,7 +124,10 @@ mod tests {
             Node::Query {
                 source: sym("s"),
                 query: q.clone(),
-                vars: vec![ExtractVar { var: sym("V"), kind: VarKind::Scalar }],
+                vars: vec![ExtractVar {
+                    var: sym("V"),
+                    kind: VarKind::Scalar,
+                }],
             },
             Node::ParamQuery {
                 source: sym("s"),
@@ -158,7 +150,9 @@ mod tests {
                 vars: vec![],
                 join_vars: vec![sym("K")],
             },
-            Node::DupElim { vars: vec![sym("V")] },
+            Node::DupElim {
+                vars: vec![sym("V")],
+            },
         ];
         let rendered = render_plan(&crate::graph::PhysicalPlan {
             rules: vec![crate::graph::RulePlan {
@@ -212,7 +206,16 @@ mod tests {
         assert!(rendered.contains("[external pred]"), "{rendered}");
         assert!(rendered.contains("[constructor]"), "{rendered}");
 
-        let outcome = execute(&physical, &srcs, &registry, &ExecOptions { trace: true, parallel: false }).unwrap();
+        let outcome = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                trace: true,
+                parallel: false,
+            },
+        )
+        .unwrap();
         let walk = render_execution(&physical, &outcome);
         assert!(walk.contains("=== rule R1 ==="), "{walk}");
         assert!(walk.contains("rows out"), "{walk}");

@@ -324,9 +324,7 @@ mod tests {
     use oem::sym;
 
     fn bind(var: &str, v: Value) -> Bindings {
-        Bindings::new()
-            .bind(sym(var), BoundValue::Atom(v))
-            .unwrap()
+        Bindings::new().bind(sym(var), BoundValue::Atom(v)).unwrap()
     }
 
     #[test]
@@ -367,19 +365,16 @@ mod tests {
         // All three bound: check_name_lnfn is chosen (most bound positions)
         // and acts as a filter.
         let reg = standard_registry();
-        let args = [
-            Term::str("Joe Chung"),
-            Term::str("Chung"),
-            Term::str("Joe"),
-        ];
-        let out = reg.evaluate(sym("decomp"), &args, &Bindings::new()).unwrap();
+        let args = [Term::str("Joe Chung"), Term::str("Chung"), Term::str("Joe")];
+        let out = reg
+            .evaluate(sym("decomp"), &args, &Bindings::new())
+            .unwrap();
         assert_eq!(out.len(), 1);
-        let bad = [
-            Term::str("Joe Chung"),
-            Term::str("Chung"),
-            Term::str("Bob"),
-        ];
-        assert!(reg.evaluate(sym("decomp"), &bad, &Bindings::new()).unwrap().is_empty());
+        let bad = [Term::str("Joe Chung"), Term::str("Chung"), Term::str("Bob")];
+        assert!(reg
+            .evaluate(sym("decomp"), &bad, &Bindings::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -388,10 +383,15 @@ mod tests {
         // output must agree with the constant.
         let reg = standard_registry();
         let args = [Term::str("Joe Chung"), Term::var("LN"), Term::str("Joe")];
-        let out = reg.evaluate(sym("decomp"), &args, &Bindings::new()).unwrap();
+        let out = reg
+            .evaluate(sym("decomp"), &args, &Bindings::new())
+            .unwrap();
         assert_eq!(out.len(), 1);
         let args = [Term::str("Joe Chung"), Term::var("LN"), Term::str("Bob")];
-        assert!(reg.evaluate(sym("decomp"), &args, &Bindings::new()).unwrap().is_empty());
+        assert!(reg
+            .evaluate(sym("decomp"), &args, &Bindings::new())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -149,10 +149,7 @@ mod tests {
 
         let f = Node::RestFilter {
             var: sym("Rest1"),
-            condition: msl::Pattern::lv(
-                Term::str("year"),
-                msl::PatValue::Term(Term::int(3)),
-            ),
+            condition: msl::Pattern::lv(Term::str("year"), msl::PatValue::Term(Term::int(3))),
         };
         assert_eq!(f.op_name(), "filter");
         assert!(f.added_vars().is_empty());

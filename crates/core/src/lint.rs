@@ -1,0 +1,564 @@
+//! Mediator-level lints — speclint's second stage.
+//!
+//! [`msl::lint`] checks everything decidable from the specification text
+//! alone. This module adds the passes that need the mediator's context:
+//!
+//! * **Capability feasibility** (§3.5): each tail pattern is checked
+//!   against the registered source's declared [`Capabilities`]. Violations
+//!   the mediator can repair by keeping a client-side filter (conditions on
+//!   labels the source cannot evaluate — the paper's `year` example) are
+//!   warnings (`W201`); violations the planner would reject outright
+//!   (label variables, wildcards, rest-variable conditions at sources
+//!   without those features) are errors (`E202`).
+//! * **Redundant rules** (§3.2): rules that are duplicates up to variable
+//!   renaming (`W103`) or whose head is contained in an earlier rule's
+//!   head over an identical tail (`W104`), using the same containment test
+//!   the view expander applies to prune non-minimal unifiers.
+//!
+//! [`Mediator::new`](crate::Mediator::new) runs both stages, rejects
+//! error-level findings and keeps warnings; `medmaker lint` prints them.
+
+use engine::containment::contained_in;
+use engine::unify::Unifier;
+use msl::diag::{codes, Diagnostic, Span};
+use msl::{
+    Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, Spec, SpecSpans, TailItem, Term,
+};
+use oem::Symbol;
+use std::collections::BTreeMap;
+use wrappers::Capabilities;
+
+/// Run the full speclint battery: every [`msl::lint`] pass plus the
+/// mediator-level capability and redundancy passes. `mediator` is the
+/// mediator's own name (self-references in recursive specifications are
+/// answered by expansion, not by a source, so they are skipped);
+/// `caps` maps each registered source to its declared capabilities.
+/// Sources absent from the map are skipped — [`crate::Mediator::new`]
+/// rejects unknown sources before linting, and the standalone CLI may
+/// simply have no sources to check against.
+pub fn lint_spec_with_sources(
+    spec: &Spec,
+    spans: &SpecSpans,
+    mediator: Symbol,
+    caps: &BTreeMap<Symbol, Capabilities>,
+) -> Vec<Diagnostic> {
+    let mut out = msl::lint::lint_spec(spec, spans);
+    capability_lints(spec, spans, mediator, caps, &mut out);
+    redundancy_lints(spec, spans, &mut out);
+    msl::diag::sort(&mut out);
+    out
+}
+
+/// Parse and fully lint a specification text (what `medmaker lint` runs).
+/// Lexer/parser failures abort linting and are returned as `Err`.
+pub fn lint_text(
+    text: &str,
+    mediator: &str,
+    caps: &BTreeMap<Symbol, Capabilities>,
+) -> std::result::Result<(Spec, Vec<Diagnostic>), msl::MslError> {
+    let (spec, spans) = msl::parse_spec_spanned(text)?;
+    let diags = lint_spec_with_sources(&spec, &spans, Symbol::intern(mediator), caps);
+    Ok((spec, diags))
+}
+
+// ---------------------------------------------------------------------------
+// Capability feasibility (§3.5)
+// ---------------------------------------------------------------------------
+
+fn capability_lints(
+    spec: &Spec,
+    spans: &SpecSpans,
+    mediator: Symbol,
+    caps: &BTreeMap<Symbol, Capabilities>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (ri, rule) in spec.rules.iter().enumerate() {
+        for (ti, item) in rule.tail.iter().enumerate() {
+            let TailItem::Match {
+                pattern,
+                source: Some(src),
+            } = item
+            else {
+                continue;
+            };
+            if *src == mediator {
+                continue;
+            }
+            let Some(c) = caps.get(src) else { continue };
+            let span = spans.tail_item(ri, ti);
+            pattern_caps(pattern, c, *src, span, out);
+        }
+    }
+}
+
+/// Collect-all mirror of [`Capabilities::check_pattern`], with the
+/// planner's compensation semantics folded in: a condition the planner
+/// would strip into a client-side filter is a warning, anything that would
+/// survive stripping and still violate the declaration is an error.
+fn pattern_caps(p: &Pattern, c: &Capabilities, src: Symbol, span: Span, out: &mut Vec<Diagnostic>) {
+    if !c.label_variables {
+        if let Term::Var(v) = &p.label {
+            out.push(
+                Diagnostic::error(
+                    codes::CAPABILITY_UNANSWERABLE,
+                    span,
+                    format!(
+                        "source '{src}' does not support label variables; \
+                         the schema query on '{v}' cannot be answered"
+                    ),
+                )
+                .with_help("replace the label variable with a constant label"),
+            );
+        }
+    }
+    let PatValue::Set(sp) = &p.value else { return };
+    for e in &sp.elements {
+        match e {
+            SetElem::Pattern(inner) => {
+                condition_caps(inner, c, src, span, out);
+                pattern_caps(inner, c, src, span, out);
+            }
+            SetElem::Wildcard(inner) => {
+                if !c.wildcards {
+                    out.push(
+                        Diagnostic::error(
+                            codes::CAPABILITY_UNANSWERABLE,
+                            span,
+                            format!(
+                                "source '{src}' does not support wildcard \
+                                 (any-depth) subpatterns"
+                            ),
+                        )
+                        .with_help("anchor the subpattern at a fixed path"),
+                    );
+                }
+                condition_caps(inner, c, src, span, out);
+                pattern_caps(inner, c, src, span, out);
+            }
+            SetElem::Var(_) => {}
+        }
+    }
+    if let Some(rest) = &sp.rest {
+        rest_caps(rest, c, src, span, out);
+    }
+}
+
+fn rest_caps(
+    rest: &RestSpec,
+    c: &Capabilities,
+    src: Symbol,
+    span: Span,
+    out: &mut Vec<Diagnostic>,
+) {
+    for cond in &rest.conditions {
+        // A condition the source cannot evaluate by label gets stripped
+        // into a client-side filter (`ClientFilter::Rest`), so a source
+        // without rest-condition support never sees it.
+        if unsupported_condition_label(cond, c).is_some() {
+            condition_caps(cond, c, src, span, out);
+        } else if !c.rest_conditions {
+            out.push(
+                Diagnostic::error(
+                    codes::CAPABILITY_UNANSWERABLE,
+                    span,
+                    format!(
+                        "source '{src}' does not support conditions on rest \
+                         variables"
+                    ),
+                )
+                .with_help("move the condition into the explicit subpattern list"),
+            );
+        }
+        pattern_caps(cond, c, src, span, out);
+    }
+}
+
+/// `W201` for a condition (constant- or parameter-valued subpattern) on a
+/// label the source refuses to filter on: the planner strips it and the
+/// mediator compensates with a client-side filter, so the rule still works
+/// — just less efficiently than the spec author may expect.
+fn condition_caps(
+    p: &Pattern,
+    c: &Capabilities,
+    src: Symbol,
+    span: Span,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let Some(label) = unsupported_condition_label(p, c) {
+        out.push(
+            Diagnostic::warning(
+                codes::CAPABILITY_COMPENSATED,
+                span,
+                format!(
+                    "source '{src}' cannot evaluate conditions on '{label}'; \
+                     the mediator will fetch unfiltered objects and apply a \
+                     client-side filter"
+                ),
+            )
+            .with_help(
+                "expect a full retrieval from this source for every query \
+                 through this rule",
+            ),
+        );
+    }
+}
+
+/// If `p` is a condition whose label the source cannot filter on, the label.
+fn unsupported_condition_label(p: &Pattern, c: &Capabilities) -> Option<Symbol> {
+    let is_condition = matches!(&p.value, PatValue::Term(Term::Const(_) | Term::Param(_)));
+    if !is_condition {
+        return None;
+    }
+    let Term::Const(v) = &p.label else {
+        return None;
+    };
+    let sym = v.as_str_sym()?;
+    c.unsupported_condition_labels.contains(&sym).then_some(sym)
+}
+
+// ---------------------------------------------------------------------------
+// Redundant rules (§3.2 containment)
+// ---------------------------------------------------------------------------
+
+fn redundancy_lints(spec: &Spec, spans: &SpecSpans, out: &mut Vec<Diagnostic>) {
+    let canon: Vec<Rule> = spec.rules.iter().map(canonical).collect();
+    let u = Unifier::default();
+    // Each rule is reported at most once, against its first match.
+    let mut flagged = vec![false; canon.len()];
+    for i in 1..canon.len() {
+        for j in 0..i {
+            if flagged[i] {
+                break;
+            }
+            if canon[i] == canon[j] {
+                flagged[i] = true;
+                out.push(
+                    Diagnostic::warning(
+                        codes::DUPLICATE_RULE,
+                        spans.rule(i),
+                        format!(
+                            "rule is a duplicate of rule {} (identical up to \
+                             variable renaming)",
+                            j + 1
+                        ),
+                    )
+                    .with_help(
+                        "MSL semantics are set-oriented; the duplicate \
+                         contributes no additional objects",
+                    ),
+                );
+                continue;
+            }
+            if canon[i].tail != canon[j].tail {
+                continue;
+            }
+            let (Head::Pattern(hi), Head::Pattern(hj)) = (&canon[i].head, &canon[j].head) else {
+                continue;
+            };
+            // Identical tails bind identically; if one head's pattern is
+            // contained in the other's, the narrower rule is subsumed.
+            if contained_in(hi, hj, &u) && !flagged[i] {
+                flagged[i] = true;
+                out.push(subsumed(spans.rule(i), j + 1));
+            } else if contained_in(hj, hi, &u) && !flagged[j] {
+                flagged[j] = true;
+                out.push(subsumed(spans.rule(j), i + 1));
+            }
+        }
+    }
+}
+
+fn subsumed(span: Span, by_rule: usize) -> Diagnostic {
+    Diagnostic::warning(
+        codes::SUBSUMED_RULE,
+        span,
+        format!(
+            "rule is subsumed by rule {by_rule}: the tails are identical and \
+             this rule's head pattern is contained in that rule's head (§3.2)"
+        ),
+    )
+    .with_help("every query this rule helps answer is already answered by the subsuming rule")
+}
+
+/// Rename a rule's variables to a canonical sequence (`__c0`, `__c1`, ...)
+/// in order of first occurrence **in the tail** (range restriction
+/// guarantees every head variable also occurs in the tail, so tail order
+/// covers them all; head-first order would let two rules with identical
+/// tails but different heads canonicalize their shared tail differently).
+fn canonical(rule: &Rule) -> Rule {
+    let mut map: BTreeMap<Symbol, Symbol> = BTreeMap::new();
+    for v in rule.tail_variables().into_iter().chain(rule.variables()) {
+        let next = map.len();
+        map.entry(v)
+            .or_insert_with(|| Symbol::intern(&format!("__c{next}")));
+    }
+    map_rule(rule, &map)
+}
+
+fn map_sym(v: Symbol, m: &BTreeMap<Symbol, Symbol>) -> Symbol {
+    m.get(&v).copied().unwrap_or(v)
+}
+
+fn map_term(t: &Term, m: &BTreeMap<Symbol, Symbol>) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(map_sym(*v, m)),
+        Term::Func(f, args) => Term::Func(*f, args.iter().map(|a| map_term(a, m)).collect()),
+        Term::Const(_) | Term::Param(_) => t.clone(),
+    }
+}
+
+fn map_pattern(p: &Pattern, m: &BTreeMap<Symbol, Symbol>) -> Pattern {
+    Pattern {
+        obj_var: p.obj_var.map(|v| map_sym(v, m)),
+        oid: p.oid.as_ref().map(|t| map_term(t, m)),
+        label: map_term(&p.label, m),
+        typ: p.typ.as_ref().map(|t| map_term(t, m)),
+        value: match &p.value {
+            PatValue::Term(t) => PatValue::Term(map_term(t, m)),
+            PatValue::Set(sp) => PatValue::Set(SetPattern {
+                elements: sp
+                    .elements
+                    .iter()
+                    .map(|e| match e {
+                        SetElem::Pattern(p) => SetElem::Pattern(map_pattern(p, m)),
+                        SetElem::Wildcard(p) => SetElem::Wildcard(map_pattern(p, m)),
+                        SetElem::Var(v) => SetElem::Var(map_sym(*v, m)),
+                    })
+                    .collect(),
+                rest: sp.rest.as_ref().map(|r| RestSpec {
+                    var: map_sym(r.var, m),
+                    conditions: r.conditions.iter().map(|c| map_pattern(c, m)).collect(),
+                }),
+            }),
+        },
+    }
+}
+
+fn map_rule(rule: &Rule, m: &BTreeMap<Symbol, Symbol>) -> Rule {
+    Rule {
+        head: match &rule.head {
+            Head::Var(v) => Head::Var(map_sym(*v, m)),
+            Head::Pattern(p) => Head::Pattern(map_pattern(p, m)),
+        },
+        tail: rule
+            .tail
+            .iter()
+            .map(|t| match t {
+                TailItem::Match { pattern, source } => TailItem::Match {
+                    pattern: map_pattern(pattern, m),
+                    source: *source,
+                },
+                TailItem::External { name, args } => TailItem::External {
+                    name: *name,
+                    args: args.iter().map(|a| map_term(a, m)).collect(),
+                },
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::sym;
+
+    fn caps_for(src: &str, c: Capabilities) -> BTreeMap<Symbol, Capabilities> {
+        let mut m = BTreeMap::new();
+        m.insert(sym(src), c);
+        m
+    }
+
+    fn codes_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_spec_with_capable_source_has_no_diagnostics() {
+        let (_, diags) = lint_text(
+            "<v {<n N>}> :- <person {<name N>}>@src",
+            "med",
+            &caps_for("src", Capabilities::full()),
+        )
+        .unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unsupported_condition_label_is_compensated_warning() {
+        // The paper's whois/year example: answerable, but only by a
+        // client-side filter.
+        let (_, diags) = lint_text(
+            "<v {<n N>}> :- <person {<name N> <year 3>}>@whois",
+            "med",
+            &caps_for(
+                "whois",
+                Capabilities::full().without_condition_on(sym("year")),
+            ),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::CAPABILITY_COMPENSATED]);
+        let d = &diags[0];
+        assert!(!d.is_error());
+        assert!(d.message.contains("year"), "{}", d.message);
+        assert!(d.message.contains("client-side"), "{}", d.message);
+        assert!(!d.span.is_empty());
+    }
+
+    #[test]
+    fn condition_inside_rest_is_also_compensated() {
+        let (_, diags) = lint_text(
+            "<v {<n N> R}> :- <person {<name N> | R:{<year 3>}}>@whois",
+            "med",
+            &caps_for(
+                "whois",
+                Capabilities::full().without_condition_on(sym("year")),
+            ),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::CAPABILITY_COMPENSATED]);
+    }
+
+    #[test]
+    fn label_variable_at_incapable_source_is_error() {
+        let (_, diags) = lint_text(
+            "<v {<l L> <x X>}> :- <person {<L X>}>@whois",
+            "med",
+            &caps_for("whois", Capabilities::restricted()),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::CAPABILITY_UNANSWERABLE]);
+        assert!(diags[0].is_error());
+        assert!(
+            diags[0].message.contains("label variables"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn wildcard_at_incapable_source_is_error() {
+        let (_, diags) = lint_text(
+            "<v {<y Y>}> :- <p {* <year Y>}>@s",
+            "med",
+            &caps_for("s", Capabilities::restricted()),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::CAPABILITY_UNANSWERABLE]);
+        assert!(
+            diags[0].message.contains("wildcard"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn retrieval_rest_condition_without_support_is_error() {
+        let mut c = Capabilities::full();
+        c.rest_conditions = false;
+        // `<year Y>` inside the rest spec is a retrieval, not a strippable
+        // condition — the source would have to evaluate it.
+        let (_, diags) = lint_text(
+            "<v {<n N> <y Y> R}> :- <p {<n N> | R:{<year Y>}}>@s",
+            "med",
+            &caps_for("s", c),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::CAPABILITY_UNANSWERABLE]);
+        assert!(diags[0].message.contains("rest"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn strippable_rest_condition_without_support_is_only_a_warning() {
+        let mut c = Capabilities::full().without_condition_on(sym("year"));
+        c.rest_conditions = false;
+        // The year condition is stripped into a client-side filter before
+        // the source sees the query, so no error.
+        let (_, diags) = lint_text(
+            "<v {<n N> R}> :- <p {<n N> | R:{<year 3>}}>@s",
+            "med",
+            &caps_for("s", c),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::CAPABILITY_COMPENSATED]);
+    }
+
+    #[test]
+    fn self_references_and_unknown_sources_are_skipped() {
+        let (_, diags) = lint_text(
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+             AND <anc {<of Y> <is Z>}>@med",
+            "med",
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_rule_up_to_renaming_flagged() {
+        let (_, diags) = lint_text(
+            "<v {<n N>}> :- <person {<name N>}>@s\n\
+             <v {<n M>}> :- <person {<name M>}>@s",
+            "med",
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(codes_of(&diags), vec![codes::DUPLICATE_RULE]);
+        assert!(diags[0].message.contains("rule 1"), "{}", diags[0].message);
+        assert!(!diags[0].span.is_empty());
+    }
+
+    #[test]
+    fn subsumed_rule_flagged_whichever_order() {
+        // Second rule's head is strictly narrower over the same tail.
+        // (The narrow rule also earns a W102 for its now-unused `N`; this
+        // test only cares about the redundancy finding.)
+        fn subsumed_of(spec: &str) -> Vec<Diagnostic> {
+            let (_, diags) = lint_text(spec, "med", &BTreeMap::new()).unwrap();
+            diags
+                .into_iter()
+                .filter(|d| d.code == codes::SUBSUMED_RULE)
+                .collect()
+        }
+        let diags = subsumed_of(
+            "<v {<n N>}> :- <person {<name N>}>@s\n\
+             <v {<n 'Joe'>}> :- <person {<name N>}>@s",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("rule 1"), "{}", diags[0].message);
+
+        // Same spec, rules swapped: the narrower (now first) rule is the
+        // one reported, as subsumed by rule 2.
+        let diags = subsumed_of(
+            "<v {<n 'Joe'>}> :- <person {<name N>}>@s\n\
+             <v {<n N>}> :- <person {<name N>}>@s",
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("rule 2"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn different_tails_are_not_redundant() {
+        let (_, diags) = lint_text(
+            "<v {<n N>}> :- <person {<name N>}>@s\n\
+             <v {<n N>}> :- <employee {<name N>}>@s",
+            "med",
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn ms1_is_clean_under_scenario_capabilities() {
+        use wrappers::Wrapper as _;
+        let whois = wrappers::scenario::whois_wrapper();
+        let cs = wrappers::scenario::cs_wrapper();
+        let mut caps = BTreeMap::new();
+        caps.insert(sym("whois"), whois.capabilities().clone());
+        caps.insert(sym("cs"), cs.capabilities().clone());
+        let (_, diags) = lint_text(wrappers::scenario::MS1, "med", &caps).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -77,6 +77,7 @@ pub struct Mediator {
     options: MediatorOptions,
     stats: RwLock<StatsCache>,
     caps: Capabilities,
+    lint_warnings: Vec<msl::Diagnostic>,
 }
 
 impl Mediator {
@@ -101,6 +102,21 @@ impl Mediator {
                 return Err(MedError::UnknownSource(s.as_str()));
             }
         }
+        // speclint (§3.4, §3.5): every static-analysis pass, including the
+        // capability checks against the registered sources' declarations.
+        // Error-level findings mean some rule can never be answered —
+        // reject the specification outright; warnings are kept and exposed
+        // through [`Mediator::lint_warnings`].
+        let caps_by_source: std::collections::BTreeMap<Symbol, Capabilities> = map
+            .iter()
+            .map(|(n, w)| (*n, w.capabilities().clone()))
+            .collect();
+        let (_, mut diags) = crate::lint::lint_text(spec_text, name, &caps_by_source)?;
+        if diags.iter().any(|d| d.is_error()) {
+            diags.retain(|d| d.is_error());
+            return Err(MedError::Lint(diags));
+        }
+        let lint_warnings = diags;
         // Seed the statistics cache with whatever the wrappers offer.
         let mut stats = StatsCache::new();
         for (name, w) in &map {
@@ -120,7 +136,16 @@ impl Mediator {
             options: MediatorOptions::default(),
             stats: RwLock::new(stats),
             caps,
+            lint_warnings,
         })
+    }
+
+    /// Warning-level speclint findings recorded while building the
+    /// mediator (capability compensations, redundant rules, unused
+    /// variables, ...). Error-level findings reject construction with
+    /// [`MedError::Lint`].
+    pub fn lint_warnings(&self) -> &[msl::Diagnostic] {
+        &self.lint_warnings
     }
 
     /// Replace the option set.
@@ -190,8 +215,7 @@ impl Mediator {
     /// query against the materialization.
     fn query_recursive(&self, query: &Rule) -> Result<ExecOutcome> {
         let (view, _iters) = materialize_fixpoint(&self.spec, &self.sources, &self.registry)?;
-        let view_wrapper =
-            wrappers::SemiStructuredWrapper::new(&self.spec.name.as_str(), view);
+        let view_wrapper = wrappers::SemiStructuredWrapper::new(&self.spec.name.as_str(), view);
         let results = view_wrapper.query(query)?;
         Ok(ExecOutcome {
             results,
@@ -242,7 +266,10 @@ impl Mediator {
                 &physical,
                 &self.sources,
                 &self.registry,
-                &ExecOptions { trace: true, parallel: false },
+                &ExecOptions {
+                    trace: true,
+                    parallel: false,
+                },
             )?;
             let _ = writeln!(out);
             out.push_str(&crate::explain::render_execution(&physical, &outcome));
@@ -289,6 +316,67 @@ mod tests {
             standard_registry(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn paper_mediator_has_no_lint_warnings() {
+        assert!(paper_mediator().lint_warnings().is_empty());
+    }
+
+    #[test]
+    fn adornment_infeasible_spec_rejected_at_construction() {
+        // `decomp` only binds L,F from a bound N, but no tail pattern
+        // binds its first argument (§3.4).
+        let err = Mediator::new(
+            "med",
+            "<o {<f F>}> :- <p {<n N>}>@whois AND decomp(L, F)\n\
+             decomp(bound, free) by name_to_lnfn",
+            vec![Arc::new(whois_wrapper())],
+            standard_registry(),
+        )
+        .err()
+        .expect("infeasible spec must be rejected");
+        assert!(err.to_string().contains("never be evaluated"), "{err}");
+    }
+
+    #[test]
+    fn capability_unanswerable_spec_rejected_at_construction() {
+        // A wildcard pattern against a source that declares no wildcard
+        // support: the planner could never send this query anywhere.
+        let whois = whois_wrapper().with_capabilities(Capabilities::restricted());
+        let err = Mediator::new(
+            "med",
+            "<v {<y Y>}> :- <person {* <year Y>}>@whois",
+            vec![Arc::new(whois)],
+            standard_registry(),
+        )
+        .err()
+        .expect("unanswerable spec must be rejected");
+        let MedError::Lint(diags) = err else {
+            panic!("expected MedError::Lint, got {err}");
+        };
+        assert!(diags.iter().all(|d| d.is_error()));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, msl::diag::codes::CAPABILITY_UNANSWERABLE);
+    }
+
+    #[test]
+    fn compensated_conditions_surface_as_warnings() {
+        // §3.5's example: whois cannot filter on year, the mediator
+        // compensates — the mediator is built, with a recorded warning.
+        let whois = whois_wrapper()
+            .with_capabilities(Capabilities::full().without_condition_on(sym("year")));
+        let med = Mediator::new(
+            "med",
+            "<v {<n N>}> :- <person {<name N> <year 2>}>@whois",
+            vec![Arc::new(whois)],
+            standard_registry(),
+        )
+        .unwrap();
+        let warns = med.lint_warnings();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].code, msl::diag::codes::CAPABILITY_COMPENSATED);
+        assert!(warns[0].message.contains("year"), "{}", warns[0].message);
     }
 
     #[test]
@@ -349,7 +437,10 @@ mod tests {
             .iter()
             .map(|&t| compact(&results, t))
             .collect();
-        assert!(printed.iter().any(|p| p.contains("'Joe Chung'")), "{printed:?}");
+        assert!(
+            printed.iter().any(|p| p.contains("'Joe Chung'")),
+            "{printed:?}"
+        );
     }
 
     #[test]
@@ -374,7 +465,6 @@ mod tests {
         let results = med.query_text("X :- X:<anc {<of 'a'>}>@m").unwrap();
         assert_eq!(results.top_level().len(), 2); // a→b, a→c
     }
-
 
     #[test]
     fn recursion_can_be_disabled() {
@@ -412,9 +502,7 @@ mod tests {
         med.query_text("P :- P:<cs_person {}>@med").unwrap();
         // Wrapper-provided stats (cs) are still there, but no observations
         // accumulate for whois.
-        assert!(!med
-            .stats_snapshot()
-            .knows(sym("whois")));
+        assert!(!med.stats_snapshot().knows(sym("whois")));
     }
 
     #[test]

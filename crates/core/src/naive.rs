@@ -69,8 +69,7 @@ pub fn eval_rule(
                             }
                         }
                         SourceRef::Wrapper(w) => {
-                            let fetched =
-                                fetch_matching(w, &bound, &mut eval_store)?;
+                            let fetched = fetch_matching(w, &bound, &mut eval_store)?;
                             for root in fetched {
                                 for nb in engine::matcher::match_pattern(
                                     &eval_store,
@@ -141,11 +140,7 @@ fn fetch_matching(
         }],
     };
     let result = wrapper.query(&q)?;
-    Ok(copy::deep_copy_all(
-        &result,
-        result.top_level(),
-        eval_store,
-    ))
+    Ok(copy::deep_copy_all(&result, result.top_level(), eval_store))
 }
 
 /// The problem called out above: bindings produced against a
@@ -172,9 +167,8 @@ pub fn eval_rule_with_view(
     ));
     let mut all: HashMap<Symbol, Arc<dyn Wrapper>> = wrappers.clone();
     all.insert(view_name, view_wrapper);
-    let resolve = |name: Symbol| -> Option<SourceRef<'_>> {
-        all.get(&name).map(SourceRef::Wrapper)
-    };
+    let resolve =
+        |name: Symbol| -> Option<SourceRef<'_>> { all.get(&name).map(SourceRef::Wrapper) };
     eval_rule(rule, &resolve, registry, results)
 }
 
@@ -231,10 +225,7 @@ mod tests {
             .atom("is", "b")
             .build_top(&mut view);
 
-        let rule = parse_rule(
-            "<grand {<of X> <is Y>}> :- <anc {<of X> <is Y>}>@m",
-        )
-        .unwrap();
+        let rule = parse_rule("<grand {<of X> <is Y>}> :- <anc {<of X> <is Y>}>@m").unwrap();
         let wrappers = wrappers_map();
         let registry = standard_registry();
         let mut results = ObjectStore::new();

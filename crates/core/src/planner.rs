@@ -256,10 +256,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                 for a in args {
                     a.collect_vars(&mut vs);
                 }
-                let new_vars: Vec<Symbol> = vs
-                    .into_iter()
-                    .filter(|v| !bound.contains(v))
-                    .collect();
+                let new_vars: Vec<Symbol> = vs.into_iter().filter(|v| !bound.contains(v)).collect();
                 bound.extend(new_vars.iter().copied());
                 nodes.push(Node::ExternalPred {
                     pred: *pred,
@@ -318,10 +315,8 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
             let pr: Vec<&Pattern> = group.patterns.iter().collect();
             ctx.stats.estimate_group(group.source, &pr)
         } else {
-            crate::stats::StatsCache::new().estimate_group(
-                group.source,
-                &group.patterns.iter().collect::<Vec<_>>(),
-            )
+            crate::stats::StatsCache::new()
+                .estimate_group(group.source, &group.patterns.iter().collect::<Vec<_>>())
         };
 
         if gi == 0 {
@@ -385,8 +380,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                     }
                 }
                 inner_extract.sort_by_key(|e| e.var.as_str());
-                let query =
-                    build_source_query(group.source, &group.patterns, &inner_extract, &[]);
+                let query = build_source_query(group.source, &group.patterns, &inner_extract, &[]);
                 nodes.push(Node::HashJoin {
                     source: group.source,
                     query,
@@ -565,10 +559,7 @@ fn build_source_query(
     ));
 
     // Parameterize: replace bound vars with $param slots.
-    let subst: Subst = params
-        .iter()
-        .map(|v| (*v, Term::Param(*v)))
-        .collect();
+    let subst: Subst = params.iter().map(|v| (*v, Term::Param(*v))).collect();
     let tail = patterns
         .iter()
         .map(|p| TailItem::Match {
@@ -597,8 +588,7 @@ fn strip_conditions(
                 match e {
                     SetElem::Pattern(q) => {
                         let mut q2 = strip_conditions(q, should_strip, fresh, filters);
-                        if matches!(&q2.value, PatValue::Term(Term::Const(_)))
-                            && should_strip(&q2)
+                        if matches!(&q2.value, PatValue::Term(Term::Const(_))) && should_strip(&q2)
                         {
                             if let PatValue::Term(Term::Const(v)) = q2.value.clone() {
                                 *fresh += 1;
@@ -706,7 +696,13 @@ mod tests {
         assert!(qtext.contains("<dept 'CS'>"), "{qtext}");
 
         // The parameterized query carries $ slots for R, LN, FN.
-        let Node::ParamQuery { source, params, query, .. } = &plan.rules[0].nodes[2] else {
+        let Node::ParamQuery {
+            source,
+            params,
+            query,
+            ..
+        } = &plan.rules[0].nodes[2]
+        else {
             panic!()
         };
         assert_eq!(*source, sym("cs"));
@@ -756,7 +752,9 @@ mod tests {
         );
         let nodes = &plan.rules[0].nodes;
         // The whois query must no longer contain the 'CS' constant...
-        let Node::Query { query, .. } = &nodes[0] else { panic!() };
+        let Node::Query { query, .. } = &nodes[0] else {
+            panic!()
+        };
         let qtext = msl::printer::rule(query);
         assert!(!qtext.contains("'CS'"), "{qtext}");
         // ...and eq-filters appear client-side.
@@ -780,9 +778,8 @@ mod tests {
         srcs.insert(
             sym("whois"),
             Arc::new(
-                whois_wrapper().with_capabilities(
-                    Capabilities::full().without_condition_on(sym("year")),
-                ),
+                whois_wrapper()
+                    .with_capabilities(Capabilities::full().without_condition_on(sym("year"))),
             ),
         );
         srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
@@ -795,11 +792,9 @@ mod tests {
         };
         let plan = plan(&program, &ctx).unwrap();
         // One of the two rules (the push-into-Rest1 one) gets a RestFilter.
-        let has_rest_filter = plan
-            .rules
-            .iter()
-            .flat_map(|r| &r.nodes)
-            .any(|n| matches!(n, Node::RestFilter { var, .. } if var.as_str().starts_with("Rest1")));
+        let has_rest_filter = plan.rules.iter().flat_map(|r| &r.nodes).any(
+            |n| matches!(n, Node::RestFilter { var, .. } if var.as_str().starts_with("Rest1")),
+        );
         assert!(has_rest_filter, "{plan:?}");
         // And the whois query no longer carries the year condition.
         for r in &plan.rules {
@@ -812,7 +807,6 @@ mod tests {
             }
         }
     }
-
 
     #[test]
     fn scan_based_inner_prefers_hash_join() {
@@ -857,9 +851,9 @@ mod tests {
             panic!("expected a query first, got {nodes:?}")
         };
         assert_eq!(*source, sym("cs"), "small side goes outer");
-        let whois_hash_joined = nodes.iter().any(
-            |n| matches!(n, Node::HashJoin { source, .. } if *source == sym("whois")),
-        );
+        let whois_hash_joined = nodes
+            .iter()
+            .any(|n| matches!(n, Node::HashJoin { source, .. } if *source == sym("whois")));
         assert!(
             whois_hash_joined,
             "scan-based whois must be hash-joined, not bind-joined: {nodes:?}"
@@ -886,11 +880,7 @@ mod tests {
 
     #[test]
     fn unknown_source_is_an_error() {
-        let med = MediatorSpec::parse(
-            "med",
-            "<v {<a A>}> :- <p {<a A>}>@nowhere",
-        )
-        .unwrap();
+        let med = MediatorSpec::parse("med", "<v {<a A>}> :- <p {<a A>}>@nowhere").unwrap();
         let q = parse_query("X :- X:<v {}>@med").unwrap();
         let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
         let registry = standard_registry();

@@ -116,7 +116,6 @@ mod tests {
             .any(|p| p.contains("<of 'a'>") && p.contains("<is 'd'>")));
     }
 
-
     #[test]
     fn diverging_view_is_cut_off() {
         // Each round wraps the previous round's objects one level deeper —
@@ -125,10 +124,7 @@ mod tests {
         let mut s = ObjectStore::new();
         ObjectBuilder::set("seed").atom("v", 1i64).build_top(&mut s);
         let mut sources: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
-        sources.insert(
-            sym("src"),
-            Arc::new(SemiStructuredWrapper::new("src", s)),
-        );
+        sources.insert(sym("src"), Arc::new(SemiStructuredWrapper::new("src", s)));
         let spec = MediatorSpec::parse(
             "m",
             "<box {<v 1>}> :- <seed {<v V>}>@src\n\
@@ -136,18 +132,13 @@ mod tests {
         )
         .unwrap();
         let registry = standard_registry();
-        let err =
-            materialize_fixpoint_bounded(&spec, &sources, &registry, 8).unwrap_err();
+        let err = materialize_fixpoint_bounded(&spec, &sources, &registry, 8).unwrap_err();
         assert!(matches!(err, MedError::FixpointDiverged(8)), "{err}");
     }
 
     #[test]
     fn nonrecursive_spec_converges_in_two() {
-        let spec = MediatorSpec::parse(
-            "m",
-            "<pair {<of X>}> :- <parent {<of X>}>@src",
-        )
-        .unwrap();
+        let spec = MediatorSpec::parse("m", "<pair {<of X>}> :- <parent {<of X>}>@src").unwrap();
         let mut sources: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
         sources.insert(sym("src"), parent_source());
         let registry = standard_registry();

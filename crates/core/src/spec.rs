@@ -58,9 +58,9 @@ impl MediatorSpec {
     /// recursive views".)
     pub fn is_recursive(&self) -> bool {
         self.spec.rules.iter().any(|r| {
-            r.tail.iter().any(|t| {
-                matches!(t, TailItem::Match { source: Some(s), .. } if *s == self.name)
-            })
+            r.tail
+                .iter()
+                .any(|t| matches!(t, TailItem::Match { source: Some(s), .. } if *s == self.name))
         })
     }
 

@@ -68,8 +68,7 @@ impl StatsCache {
 
     /// Does the cache have real (non-default) information for a source?
     pub fn knows(&self, source: Symbol) -> bool {
-        self.provided.contains_key(&source)
-            || self.observed.keys().any(|(s, _)| *s == source)
+        self.provided.contains_key(&source) || self.observed.keys().any(|(s, _)| *s == source)
     }
 
     /// Estimate the result cardinality of matching `pattern` against
@@ -154,7 +153,10 @@ mod tests {
     #[test]
     fn defaults_when_unknown() {
         let c = StatsCache::new();
-        assert_eq!(c.base_count(sym("s"), Some(sym("person"))), DEFAULT_TOP_COUNT);
+        assert_eq!(
+            c.base_count(sym("s"), Some(sym("person"))),
+            DEFAULT_TOP_COUNT
+        );
         assert_eq!(c.selectivity(sym("s"), sym("name")), DEFAULT_EQ_SELECTIVITY);
         assert!(!c.knows(sym("s")));
     }
@@ -194,7 +196,6 @@ mod tests {
         c.record(sym("s"), Some(sym("person")), 20);
         assert_eq!(c.base_count(sym("s"), Some(sym("person"))), 15.0);
     }
-
 
     #[test]
     fn estimate_group_multiplies() {

@@ -88,11 +88,7 @@ impl BindingTable {
         let rows = self
             .rows
             .iter()
-            .map(|r| {
-                idx.iter()
-                    .filter_map(|i| i.map(|i| r[i].clone()))
-                    .collect()
-            })
+            .map(|r| idx.iter().filter_map(|i| i.map(|i| r[i].clone())).collect())
             .collect();
         BindingTable { cols, rows }
     }

@@ -342,17 +342,14 @@ mod tests {
         let printed = msl::printer::rule(&program.rules[0]);
         // Head: full cs_person structure with the name instantiated.
         assert!(
-            printed.starts_with(
-                "<cs_person {<name 'Joe Chung'> <rel R_r1> Rest1_r1 Rest2_r1}>"
-            ),
+            printed.starts_with("<cs_person {<name 'Joe Chung'> <rel R_r1> Rest1_r1 Rest2_r1}>"),
             "{printed}"
         );
         // Tail: whois + cs patterns and the decomp call, with N replaced.
         assert!(printed.contains(
             "<person {<name 'Joe Chung'> <dept 'CS'> <relation R_r1> | Rest1_r1}>@whois"
         ));
-        assert!(printed
-            .contains("<R_r1 {<first_name FN_r1> <last_name LN_r1> | Rest2_r1}>@cs"));
+        assert!(printed.contains("<R_r1 {<first_name FN_r1> <last_name LN_r1> | Rest2_r1}>@cs"));
         assert!(printed.contains("decomp('Joe Chung', LN_r1, FN_r1)"));
         // The unifier note matches θ1's shape.
         assert!(program.unifier_notes[0].contains("'Joe Chung'"));
@@ -437,7 +434,6 @@ mod tests {
             Err(MedError::Expansion(_))
         ));
     }
-
 
     #[test]
     fn pushed_conditions_merge_with_existing_rest_conditions() {

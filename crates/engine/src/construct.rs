@@ -119,9 +119,7 @@ impl<'a> Constructor<'a> {
             Some(Term::Const(Value::Str(s))) => Some(*s),
             Some(Term::Var(v)) => match b.get(*v) {
                 Some(BoundValue::Atom(Value::Str(s))) => Some(*s),
-                Some(other) => {
-                    return Err(ConstructError::NotAString(format!("{other:?}")))
-                }
+                Some(other) => return Err(ConstructError::NotAString(format!("{other:?}"))),
                 None => None, // unconstrained: generate
             },
             Some(Term::Param(p)) => return Err(ConstructError::UnresolvedParam(*p)),
@@ -178,8 +176,7 @@ impl<'a> Constructor<'a> {
                         .iter()
                         .any(|&c| c == k || oem::eq::struct_eq(dst, c, k));
                     if !duplicate {
-                        dst.add_child(existing, k)
-                            .expect("fusion target is a set");
+                        dst.add_child(existing, k).expect("fusion target is a set");
                     }
                 }
                 Ok(existing)
@@ -204,11 +201,8 @@ impl<'a> Constructor<'a> {
                 Term::Var(var) => match b.get(*var) {
                     Some(BoundValue::Atom(c)) => Ok(c.clone()),
                     Some(BoundValue::ObjSet(ids)) => {
-                        let kids: Vec<ObjId> = ids
-                            .clone()
-                            .iter()
-                            .map(|&i| self.copy_obj(i, dst))
-                            .collect();
+                        let kids: Vec<ObjId> =
+                            ids.clone().iter().map(|&i| self.copy_obj(i, dst)).collect();
                         Ok(Value::Set(kids))
                     }
                     Some(BoundValue::Obj(id)) => {
@@ -309,10 +303,7 @@ impl<'a> Constructor<'a> {
             Some(children) => {
                 let new = dst.insert_auto(obj.label, Value::Set(Vec::new()));
                 self.copy_map.insert(src_id, new);
-                let kids: Vec<ObjId> = children
-                    .iter()
-                    .map(|&c| self.copy_obj(c, dst))
-                    .collect();
+                let kids: Vec<ObjId> = children.iter().map(|&c| self.copy_obj(c, dst)).collect();
                 *dst.get_mut(new).value.as_set_mut().unwrap() = kids;
                 new
             }
@@ -357,7 +348,9 @@ mod tests {
 
         let mut dst = ObjectStore::with_oid_prefix("cp");
         let mut ctor = Constructor::new(&src);
-        let id = ctor.construct_head(&rule.head, &bindings[0], &mut dst).unwrap();
+        let id = ctor
+            .construct_head(&rule.head, &bindings[0], &mut dst)
+            .unwrap();
         assert_eq!(
             compact(&dst, id),
             "<cs_person {<name 'Joe Chung'> <rel 'employee'> <e_mail 'chung@cs'>}>"
@@ -376,7 +369,9 @@ mod tests {
         let bindings = match_top_level(&src, tail_pat, &Bindings::new());
         let mut dst = ObjectStore::new();
         let mut ctor = Constructor::new(&src);
-        let id = ctor.construct_head(&rule.head, &bindings[0], &mut dst).unwrap();
+        let id = ctor
+            .construct_head(&rule.head, &bindings[0], &mut dst)
+            .unwrap();
         assert!(oem::eq::struct_eq_cross(&src, src.top_level()[0], &dst, id));
     }
 
@@ -423,11 +418,17 @@ mod tests {
         let src = ObjectStore::new();
         let mut dst = ObjectStore::new();
         let mut ctor = Constructor::new(&src);
-        let h1 = match parse_rule("<k(N) a {<n N>}> :- <p {<n N>}>@s").unwrap().head {
+        let h1 = match parse_rule("<k(N) a {<n N>}> :- <p {<n N>}>@s")
+            .unwrap()
+            .head
+        {
             msl::Head::Pattern(p) => p,
             _ => panic!(),
         };
-        let h2 = match parse_rule("<k(N) b {<n N>}> :- <p {<n N>}>@s").unwrap().head {
+        let h2 = match parse_rule("<k(N) b {<n N>}> :- <p {<n N>}>@s")
+            .unwrap()
+            .head
+        {
             msl::Head::Pattern(p) => p,
             _ => panic!(),
         };
@@ -489,7 +490,9 @@ mod tests {
             msl::Head::Pattern(p) => p,
             _ => panic!(),
         };
-        let id = ctor.construct_pattern(&head, &Bindings::new(), &mut dst).unwrap();
+        let id = ctor
+            .construct_pattern(&head, &Bindings::new(), &mut dst)
+            .unwrap();
         assert_eq!(compact(&dst, id), "<out {<a 1> <b {<c 'x'>}>}>");
     }
 }

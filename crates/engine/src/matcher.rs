@@ -165,8 +165,7 @@ fn match_set(
                     .filter(|(i, _)| !consumed.contains(i))
                     .map(|(_, &c)| c)
                     .collect();
-                let Some(with_rest) = b.bind(rest.var, BoundValue::ObjSet(rest_ids.clone()))
-                else {
+                let Some(with_rest) = b.bind(rest.var, BoundValue::ObjSet(rest_ids.clone())) else {
                     continue 'state;
                 };
                 // Conditions pushed into the rest (§3.3): each must match
@@ -338,8 +337,7 @@ mod tests {
         let store = whois();
         let pat = tail_pattern("X :- <person {<L V>}>@whois");
         let sols = match_top_level(&store, &pat, &Bindings::new());
-        let labels: std::collections::HashSet<Value> =
-            sols.iter().map(|b| atom(b, "L")).collect();
+        let labels: std::collections::HashSet<Value> = sols.iter().map(|b| atom(b, "L")).collect();
         assert!(labels.contains(&Value::str("name")));
         assert!(labels.contains(&Value::str("e_mail")));
         assert!(labels.contains(&Value::str("year")));
@@ -421,10 +419,9 @@ mod tests {
 
     #[test]
     fn wildcard_matches_at_depth() {
-        let store = parse_store(
-            "<&p, person, set, {<&a, affil, set, {<&g, grp, set, {<&y, year, 3>}>}>}>",
-        )
-        .unwrap();
+        let store =
+            parse_store("<&p, person, set, {<&a, affil, set, {<&g, grp, set, {<&y, year, 3>}>}>}>")
+                .unwrap();
         // Direct pattern fails (year is 3 levels down) ...
         let direct = tail_pattern("X :- <person {<year 3>}>@s");
         assert!(match_top_level(&store, &direct, &Bindings::new()).is_empty());
@@ -449,10 +446,8 @@ mod tests {
 
     #[test]
     fn multiple_matches_enumerated() {
-        let store = parse_store(
-            "<&p, person, set, {<&c1, child, 'Ann'> <&c2, child, 'Bob'>}>",
-        )
-        .unwrap();
+        let store =
+            parse_store("<&p, person, set, {<&c1, child, 'Ann'> <&c2, child, 'Bob'>}>").unwrap();
         let pat = tail_pattern("X :- <person {<child C>}>@s");
         let sols = match_top_level(&store, &pat, &Bindings::new());
         assert_eq!(sols.len(), 2);
@@ -527,7 +522,10 @@ mod tests {
         let store = whois();
         let pat = tail_pattern("X :- <person {<name N>}>@whois");
         let base = Bindings::new()
-            .bind(Symbol::intern("N"), BoundValue::Atom(Value::str("Nick Naive")))
+            .bind(
+                Symbol::intern("N"),
+                BoundValue::Atom(Value::str("Nick Naive")),
+            )
             .unwrap();
         let sols = match_top_level(&store, &pat, &base);
         assert_eq!(sols.len(), 1);

@@ -187,7 +187,6 @@ pub fn has_params_pattern(p: &Pattern) -> bool {
         || value_has(&p.value)
 }
 
-
 /// Turn the atomic bindings of `b` into a substitution (object and set
 /// bindings have no term form and are skipped). Used to push already-bound
 /// variables into source queries as constants.

@@ -169,7 +169,7 @@ fn unify_pattern(q: &Pattern, h: &Pattern, st: St, mode: UnifyMode) -> Vec<St> {
         (None, _) => Some(st),
         (Some(qt), Some(ht)) => unify_terms(qt, ht, st),
         (Some(Term::Var(_)), None) => Some(st), // unconstrained generated oid
-        (Some(_), None) => None, // cannot constrain a generated oid with a constant
+        (Some(_), None) => None,                // cannot constrain a generated oid with a constant
     };
     let Some(st) = st else { return Vec::new() };
 
@@ -441,10 +441,7 @@ mod tests {
         let q = query_pattern("S :- S:<cs_person {<year 3>}>@med");
         let unifiers = unify_query_with_head(&q, &ms1_head(), UnifyMode::Minimal);
         assert_eq!(unifiers.len(), 2);
-        let targets: Vec<Symbol> = unifiers
-            .iter()
-            .map(|u| u.rest_conds[0].0)
-            .collect();
+        let targets: Vec<Symbol> = unifiers.iter().map(|u| u.rest_conds[0].0).collect();
         assert!(targets.contains(&sym("Rest1")));
         assert!(targets.contains(&sym("Rest2")));
         for u in &unifiers {
@@ -550,11 +547,9 @@ mod tests {
 
     #[test]
     fn nested_set_patterns_unify() {
-        let head = match parse_rule(
-            "<v {<addr {<city C>}>}> :- <s {<addr {<city C>}>}>@x",
-        )
-        .unwrap()
-        .head
+        let head = match parse_rule("<v {<addr {<city C>}>}> :- <s {<addr {<city C>}>}>@x")
+            .unwrap()
+            .head
         {
             Head::Pattern(p) => p,
             _ => panic!(),

@@ -49,11 +49,7 @@ impl Compiler {
                 )));
             }
             // MSL variables start uppercase; map the user's name.
-            let msl_var = Symbol::intern(&format!(
-                "{}{}",
-                var[..1].to_uppercase(),
-                &var[1..]
-            ));
+            let msl_var = Symbol::intern(&format!("{}{}", var[..1].to_uppercase(), &var[1..]));
             roots.insert(var.clone(), (label.clone(), msl_var, PathNode::default()));
             order.push(var.clone());
         }
@@ -260,9 +256,7 @@ fn node_elements(node: &PathNode) -> Result<Vec<SetElem>> {
                 (Some(v), Some(_)) => PatValue::Term(Term::Var(*v)), // extern filters
                 (None, None) => {
                     // A traversed-but-unused intermediate; existence check.
-                    PatValue::Term(Term::Var(Symbol::intern(&format!(
-                        "Vexists_{label}"
-                    ))))
+                    PatValue::Term(Term::Var(Symbol::intern(&format!("Vexists_{label}"))))
                 }
             }
         } else {
@@ -293,7 +287,10 @@ mod tests {
 
     #[test]
     fn star_query() {
-        assert_eq!(msl_of("select * from cs_person P"), "P :- P:<cs_person {}>@med");
+        assert_eq!(
+            msl_of("select * from cs_person P"),
+            "P :- P:<cs_person {}>@med"
+        );
     }
 
     #[test]
@@ -324,17 +321,12 @@ mod tests {
     #[test]
     fn nested_paths_nest_patterns() {
         let r = msl_of("select P.author.last from pub P where P.author.first = 'Joe'");
-        assert!(
-            r.contains("<author {<first 'Joe'> <last V1>}>"),
-            "{r}"
-        );
+        assert!(r.contains("<author {<first 'Joe'> <last V1>}>"), "{r}");
     }
 
     #[test]
     fn join_on_paths() {
-        let r = msl_of(
-            "select B.title, A.venue from book B, article A where B.title = A.title",
-        );
+        let r = msl_of("select B.title, A.venue from book B, article A where B.title = A.title");
         assert!(r.contains("B:<book {"), "{r}");
         assert!(r.contains("A:<article {"), "{r}");
         assert!(r.contains("eq("), "{r}");

@@ -48,15 +48,24 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '*' => {
-                out.push(Token { kind: Tok::Star, pos });
+                out.push(Token {
+                    kind: Tok::Star,
+                    pos,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: Tok::Comma, pos });
+                out.push(Token {
+                    kind: Tok::Comma,
+                    pos,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Token { kind: Tok::Dot, pos });
+                out.push(Token {
+                    kind: Tok::Dot,
+                    pos,
+                });
                 i += 1;
             }
             '=' => {
@@ -64,7 +73,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '!' if bytes.get(i + 1) == Some(&'=') => {
-                out.push(Token { kind: Tok::Neq, pos });
+                out.push(Token {
+                    kind: Tok::Neq,
+                    pos,
+                });
                 i += 2;
             }
             '<' => {
@@ -72,7 +84,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     out.push(Token { kind: Tok::Le, pos });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&'>') {
-                    out.push(Token { kind: Tok::Neq, pos });
+                    out.push(Token {
+                        kind: Tok::Neq,
+                        pos,
+                    });
                     i += 2;
                 } else {
                     out.push(Token { kind: Tok::Lt, pos });
@@ -129,7 +144,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { kind: Tok::Str(s), pos });
+                out.push(Token {
+                    kind: Tok::Str(s),
+                    pos,
+                });
             }
             _ if c.is_ascii_digit()
                 || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
@@ -220,7 +238,15 @@ mod tests {
     fn operators() {
         assert_eq!(
             kinds("= != < <= > >= <>"),
-            vec![Tok::Eq, Tok::Neq, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Neq]
+            vec![
+                Tok::Eq,
+                Tok::Neq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Neq
+            ]
         );
     }
 
@@ -244,7 +270,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("select -- hi\nP"), vec![Tok::Select, Tok::Ident("P".into())]);
+        assert_eq!(
+            kinds("select -- hi\nP"),
+            vec![Tok::Select, Tok::Ident("P".into())]
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod lexer;
 mod parse;
 
 pub use compile::compile;
-pub use parse::{parse, Comparison, CmpOp, Condition, LorelQuery, Path, Selection};
+pub use parse::{parse, CmpOp, Comparison, Condition, LorelQuery, Path, Selection};
 
 use std::fmt;
 
@@ -80,11 +80,7 @@ mod tests {
 
     #[test]
     fn end_to_end_compile() {
-        let rule = to_msl(
-            "select P.name from cs_person P where P.year = 3",
-            "med",
-        )
-        .unwrap();
+        let rule = to_msl("select P.name from cs_person P where P.year = 3", "med").unwrap();
         let printed = msl::printer::rule(&rule);
         assert!(printed.contains("<cs_person {"), "{printed}");
         assert!(printed.contains("<year 3>"), "{printed}");

@@ -236,7 +236,9 @@ mod tests {
              where P.rel = 'employee' and P.year >= 3",
         )
         .unwrap();
-        let Selection::Paths(paths) = &q.select else { panic!() };
+        let Selection::Paths(paths) = &q.select else {
+            panic!()
+        };
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].to_string(), "P.name");
         assert_eq!(q.conditions.len(), 2);
@@ -250,10 +252,7 @@ mod tests {
 
     #[test]
     fn join_query() {
-        let q = parse(
-            "select B.title from book B, article A where B.title = A.title",
-        )
-        .unwrap();
+        let q = parse("select B.title from book B, article A where B.title = A.title").unwrap();
         assert_eq!(q.from.len(), 2);
         assert_eq!(
             q.conditions[0].rhs,
@@ -267,8 +266,13 @@ mod tests {
     #[test]
     fn nested_paths() {
         let q = parse("select P.author.last from pub P").unwrap();
-        let Selection::Paths(paths) = &q.select else { panic!() };
-        assert_eq!(paths[0].steps, vec!["author".to_string(), "last".to_string()]);
+        let Selection::Paths(paths) = &q.select else {
+            panic!()
+        };
+        assert_eq!(
+            paths[0].steps,
+            vec!["author".to_string(), "last".to_string()]
+        );
     }
 
     #[test]

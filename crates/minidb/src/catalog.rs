@@ -82,14 +82,20 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert!(c.table("employee").is_ok());
         assert!(matches!(c.table("nope"), Err(DbError::NoSuchTable(_))));
-        assert_eq!(c.table_names().collect::<Vec<_>>(), vec!["employee", "student"]);
+        assert_eq!(
+            c.table_names().collect::<Vec<_>>(),
+            vec!["employee", "student"]
+        );
     }
 
     #[test]
     fn duplicate_table_rejected() {
         let mut c = Catalog::new();
         c.add_table(tiny("t")).unwrap();
-        assert!(matches!(c.add_table(tiny("t")), Err(DbError::DuplicateTable(_))));
+        assert!(matches!(
+            c.add_table(tiny("t")),
+            Err(DbError::DuplicateTable(_))
+        ));
     }
 
     #[test]

@@ -9,12 +9,27 @@ pub type Result<T> = std::result::Result<T, DbError>;
 /// Errors raised by schema/table/query operations.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum DbError {
-    DuplicateColumn { table: String, column: String },
+    DuplicateColumn {
+        table: String,
+        column: String,
+    },
     DuplicateTable(String),
     NoSuchTable(String),
-    NoSuchColumn { table: String, column: String },
-    ArityMismatch { table: String, expected: usize, found: usize },
-    TypeMismatch { table: String, column: String, expected: ColType, found: ColType },
+    NoSuchColumn {
+        table: String,
+        column: String,
+    },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        found: usize,
+    },
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: ColType,
+        found: ColType,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -28,10 +43,22 @@ impl fmt::Display for DbError {
             DbError::NoSuchColumn { table, column } => {
                 write!(f, "no column '{column}' in table '{table}'")
             }
-            DbError::ArityMismatch { table, expected, found } => {
-                write!(f, "table '{table}' expects {expected} values, found {found}")
+            DbError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "table '{table}' expects {expected} values, found {found}"
+                )
             }
-            DbError::TypeMismatch { table, column, expected, found } => write!(
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                found,
+            } => write!(
                 f,
                 "column '{table}.{column}' expects {expected}, found {found}"
             ),

@@ -145,7 +145,14 @@ mod tests {
     #[test]
     fn incomparable_fails_everything() {
         let ord = Datum::Null.compare(&Datum::Int(1));
-        for op in [CmpOp::Eq, CmpOp::Neq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Neq,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert!(!op.eval(ord));
         }
     }

@@ -43,8 +43,16 @@ pub fn select(table: &Table, pred: &Predicate) -> Result<Vec<usize>> {
     };
 
     let out = match best {
-        Some((_, candidates)) => candidates.iter().copied().filter(|&r| matches_row(r)).collect(),
-        None => table.iter().map(|(rid, _)| rid).filter(|&r| matches_row(r)).collect(),
+        Some((_, candidates)) => candidates
+            .iter()
+            .copied()
+            .filter(|&r| matches_row(r))
+            .collect(),
+        None => table
+            .iter()
+            .map(|(rid, _)| rid)
+            .filter(|&r| matches_row(r))
+            .collect(),
     };
     Ok(out)
 }
@@ -57,21 +65,22 @@ pub fn select_project(
     columns: Option<&[&str]>,
 ) -> Result<Vec<Vec<Datum>>> {
     let rids = select(table, pred)?;
-    let cols: Vec<usize> = match columns {
-        None => (0..table.schema().arity()).collect(),
-        Some(names) => {
-            let mut out = Vec::with_capacity(names.len());
-            for n in names {
-                out.push(table.schema().column_index(n).ok_or_else(|| {
-                    DbError::NoSuchColumn {
-                        table: table.schema().name().to_string(),
-                        column: n.to_string(),
-                    }
-                })?);
+    let cols: Vec<usize> =
+        match columns {
+            None => (0..table.schema().arity()).collect(),
+            Some(names) => {
+                let mut out = Vec::with_capacity(names.len());
+                for n in names {
+                    out.push(table.schema().column_index(n).ok_or_else(|| {
+                        DbError::NoSuchColumn {
+                            table: table.schema().name().to_string(),
+                            column: n.to_string(),
+                        }
+                    })?);
+                }
+                out
             }
-            out
-        }
-    };
+        };
     Ok(rids
         .into_iter()
         .map(|rid| {
@@ -101,9 +110,24 @@ mod tests {
         .unwrap();
         let mut t = Table::new(schema);
         t.insert_all([
-            vec!["Joe".into(), "Chung".into(), "professor".into(), "John Hennessy".into()],
-            vec!["Ann".into(), "Able".into(), "lecturer".into(), "Joe Chung".into()],
-            vec!["Bob".into(), "Busy".into(), "professor".into(), "John Hennessy".into()],
+            vec![
+                "Joe".into(),
+                "Chung".into(),
+                "professor".into(),
+                "John Hennessy".into(),
+            ],
+            vec![
+                "Ann".into(),
+                "Able".into(),
+                "lecturer".into(),
+                "Joe Chung".into(),
+            ],
+            vec![
+                "Bob".into(),
+                "Busy".into(),
+                "professor".into(),
+                "John Hennessy".into(),
+            ],
         ])
         .unwrap();
         t
@@ -112,7 +136,11 @@ mod tests {
     #[test]
     fn full_scan_select() {
         let t = employees();
-        let rids = select(&t, &Predicate::of(vec![Condition::eq("title", "professor")])).unwrap();
+        let rids = select(
+            &t,
+            &Predicate::of(vec![Condition::eq("title", "professor")]),
+        )
+        .unwrap();
         assert_eq!(rids, vec![0, 2]);
     }
 

@@ -25,10 +25,7 @@ impl Schema {
         }
         Ok(Schema {
             name: name.to_string(),
-            columns: columns
-                .iter()
-                .map(|(c, t)| (c.to_string(), *t))
-                .collect(),
+            columns: columns.iter().map(|(c, t)| (c.to_string(), *t)).collect(),
         })
     }
 

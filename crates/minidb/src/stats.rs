@@ -63,8 +63,7 @@ mod tests {
     use crate::types::{ColType, Datum};
 
     fn table() -> Table {
-        let schema =
-            Schema::new("s", &[("name", ColType::Str), ("year", ColType::Int)]).unwrap();
+        let schema = Schema::new("s", &[("name", ColType::Str), ("year", ColType::Int)]).unwrap();
         let mut t = Table::new(schema);
         for (n, y) in [("a", 1), ("b", 1), ("c", 2), ("d", 3), ("e", 3), ("f", 3)] {
             t.insert(vec![n.into(), (y as i64).into()]).unwrap();

@@ -119,9 +119,12 @@ mod tests {
         )
         .unwrap();
         let mut t = Table::new(schema);
-        t.insert(vec!["Nick".into(), "Naive".into(), 3.into()]).unwrap();
-        t.insert(vec!["Ann".into(), "Able".into(), 1.into()]).unwrap();
-        t.insert(vec!["Bob".into(), "Busy".into(), 3.into()]).unwrap();
+        t.insert(vec!["Nick".into(), "Naive".into(), 3.into()])
+            .unwrap();
+        t.insert(vec!["Ann".into(), "Able".into(), 1.into()])
+            .unwrap();
+        t.insert(vec!["Bob".into(), "Busy".into(), 3.into()])
+            .unwrap();
         t
     }
 
@@ -136,7 +139,9 @@ mod tests {
     #[test]
     fn type_errors_rejected() {
         let mut t = student_table();
-        assert!(t.insert(vec!["X".into(), "Y".into(), "three".into()]).is_err());
+        assert!(t
+            .insert(vec!["X".into(), "Y".into(), "three".into()])
+            .is_err());
         assert!(t.insert(vec!["X".into()]).is_err());
     }
 
@@ -155,7 +160,8 @@ mod tests {
     fn index_maintained_on_insert() {
         let mut t = student_table();
         t.create_index("year").unwrap();
-        t.insert(vec!["Col".into(), "Cool".into(), 3.into()]).unwrap();
+        t.insert(vec!["Col".into(), "Cool".into(), 3.into()])
+            .unwrap();
         let col = t.schema().column_index("year").unwrap();
         assert_eq!(t.index_lookup(col, &Datum::Int(3)).unwrap().len(), 3);
     }

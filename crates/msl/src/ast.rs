@@ -338,7 +338,6 @@ impl Spec {
     }
 }
 
-
 impl std::fmt::Display for Term {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&crate::printer::term(self, true))
@@ -392,10 +391,7 @@ mod tests {
             label: Term::var("L"),
             typ: None,
             value: PatValue::Set(SetPattern {
-                elements: vec![
-                    SetElem::Pattern(name_pattern()),
-                    SetElem::Var(sym("Rest1")),
-                ],
+                elements: vec![SetElem::Pattern(name_pattern()), SetElem::Var(sym("Rest1"))],
                 rest: Some(RestSpec {
                     var: sym("Rest2"),
                     conditions: vec![Pattern::lv(
@@ -409,7 +405,15 @@ mod tests {
         p.collect_vars(&mut vars);
         assert_eq!(
             vars,
-            vec![sym("X"), sym("K"), sym("L"), sym("N"), sym("Rest1"), sym("Rest2"), sym("Y")]
+            vec![
+                sym("X"),
+                sym("K"),
+                sym("L"),
+                sym("N"),
+                sym("Rest1"),
+                sym("Rest2"),
+                sym("Y")
+            ]
         );
     }
 
@@ -431,10 +435,7 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(
-            rule.variables(),
-            vec![sym("N"), sym("LN"), sym("FN")]
-        );
+        assert_eq!(rule.variables(), vec![sym("N"), sym("LN"), sym("FN")]);
         assert_eq!(rule.sources(), vec![sym("whois")]);
     }
 

@@ -7,14 +7,17 @@
 //! * `$N` produces a parameter token;
 //! * comments run from `//` to end of line.
 
+use crate::diag::Span;
 use crate::error::{MslError, Pos, Result};
 use oem::Value;
 
-/// One MSL token with its source position.
+/// One MSL token with its source position (line/column for error messages,
+/// byte-offset span for diagnostics).
 #[derive(Clone, PartialEq, Debug)]
 pub struct Token {
     pub kind: TokenKind,
     pub pos: Pos,
+    pub span: Span,
 }
 
 /// Token kinds.
@@ -111,11 +114,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
     let mut i = 0;
     let mut line = 1usize;
     let mut col = 1usize;
+    let mut byte = 0usize;
 
     macro_rules! bump {
         () => {{
             let c = chars[i];
             i += 1;
+            byte += c.len_utf8();
             if c == '\n' {
                 line += 1;
                 col = 1;
@@ -128,6 +133,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
 
     while i < chars.len() {
         let pos = Pos { line, col };
+        let start = byte;
         let c = chars[i];
         match c {
             _ if c.is_whitespace() => {
@@ -143,6 +149,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Lt,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '>' => {
@@ -150,6 +157,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Gt,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '{' => {
@@ -157,6 +165,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::LBrace,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '}' => {
@@ -164,6 +173,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::RBrace,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '(' => {
@@ -171,6 +181,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::LParen,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             ')' => {
@@ -178,6 +189,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::RParen,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '|' => {
@@ -185,6 +197,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Pipe,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             ',' => {
@@ -192,6 +205,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Comma,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '@' => {
@@ -199,6 +213,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::At,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '*' => {
@@ -206,6 +221,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Star,
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             ':' => {
@@ -215,11 +231,13 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     out.push(Token {
                         kind: TokenKind::Implies,
                         pos,
+                        span: Span { start, end: byte },
                     });
                 } else {
                     out.push(Token {
                         kind: TokenKind::Colon,
                         pos,
+                        span: Span { start, end: byte },
                     });
                 }
             }
@@ -235,6 +253,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Param(s),
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             '\'' => {
@@ -270,6 +289,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 out.push(Token {
                     kind: TokenKind::Str(s),
                     pos,
+                    span: Span { start, end: byte },
                 });
             }
             _ if c.is_ascii_digit()
@@ -284,10 +304,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     let d = chars[i];
                     if d.is_ascii_digit() {
                         s.push(bump!());
-                    } else if d == '.' && !is_real && chars.get(i + 1).is_some_and(|x| x.is_ascii_digit()) {
+                    } else if d == '.'
+                        && !is_real
+                        && chars.get(i + 1).is_some_and(|x| x.is_ascii_digit())
+                    {
                         is_real = true;
                         s.push(bump!());
-                    } else if (d == 'e' || d == 'E') && chars.get(i + 1).is_some_and(|x| x.is_ascii_digit() || *x == '-' || *x == '+') {
+                    } else if (d == 'e' || d == 'E')
+                        && chars
+                            .get(i + 1)
+                            .is_some_and(|x| x.is_ascii_digit() || *x == '-' || *x == '+')
+                    {
                         is_real = true;
                         s.push(bump!());
                         if matches!(chars.get(i), Some('-') | Some('+')) {
@@ -308,7 +335,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             .map_err(|_| MslError::lex(format!("bad integer '{s}'"), pos))?,
                     )
                 };
-                out.push(Token { kind, pos });
+                out.push(Token {
+                    kind,
+                    pos,
+                    span: Span { start, end: byte },
+                });
             }
             _ if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -328,10 +359,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 } else {
                     TokenKind::Ident(s)
                 };
-                out.push(Token { kind, pos });
+                out.push(Token {
+                    kind,
+                    pos,
+                    span: Span { start, end: byte },
+                });
             }
             other => {
-                return Err(MslError::lex(format!("unexpected character '{other}'"), pos));
+                return Err(MslError::lex(
+                    format!("unexpected character '{other}'"),
+                    pos,
+                ));
             }
         }
     }
@@ -429,7 +467,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("// hi\nperson"), vec![TokenKind::Ident("person".into())]);
+        assert_eq!(
+            kinds("// hi\nperson"),
+            vec![TokenKind::Ident("person".into())]
+        );
     }
 
     #[test]

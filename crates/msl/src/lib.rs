@@ -30,8 +30,10 @@
 //! [`rename`], [`error`].
 
 pub mod ast;
+pub mod diag;
 pub mod error;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod printer;
 pub mod rename;
@@ -41,5 +43,6 @@ pub use ast::{
     Adornment, ExternalDecl, Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, Spec,
     TailItem, Term,
 };
+pub use diag::{Diagnostic, Severity, Span};
 pub use error::{MslError, Result};
-pub use parser::{parse_query, parse_rule, parse_spec};
+pub use parser::{parse_query, parse_rule, parse_spec, parse_spec_spanned, RuleSpans, SpecSpans};

@@ -6,9 +6,64 @@
 //! object-id are dropped (`<label value>`).
 
 use crate::ast::*;
+use crate::diag::Span;
 use crate::error::{MslError, Pos, Result};
 use crate::lexer::{tokenize, Token, TokenKind};
 use oem::Symbol;
+
+/// Byte spans for one parsed rule, parallel to the [`Rule`] structure.
+///
+/// The AST itself stays span-free (rules are compared with `==` by the
+/// engine and round-trip tests); spans live in this side table, produced by
+/// [`parse_spec_spanned`] and consumed by the lint passes.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct RuleSpans {
+    /// The whole rule, head through last tail item.
+    pub whole: Span,
+    /// The head only.
+    pub head: Span,
+    /// One span per tail conjunct, in order.
+    pub tail: Vec<Span>,
+}
+
+/// Byte spans for a parsed specification, parallel to [`Spec`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SpecSpans {
+    /// One entry per `spec.rules[i]`.
+    pub rules: Vec<RuleSpans>,
+    /// One span per `spec.externals[i]` declaration line.
+    pub externals: Vec<Span>,
+}
+
+impl SpecSpans {
+    /// Span of rule `i`, or the empty span if unknown (e.g. a
+    /// programmatically built spec).
+    pub fn rule(&self, i: usize) -> Span {
+        self.rules.get(i).map(|r| r.whole).unwrap_or_default()
+    }
+
+    /// Span of tail conjunct `t` of rule `i`, falling back to the rule span.
+    pub fn tail_item(&self, i: usize, t: usize) -> Span {
+        self.rules
+            .get(i)
+            .and_then(|r| r.tail.get(t).copied())
+            .unwrap_or_else(|| self.rule(i))
+    }
+
+    /// Span of the head of rule `i`, falling back to the rule span.
+    pub fn head(&self, i: usize) -> Span {
+        self.rules
+            .get(i)
+            .map(|r| r.head)
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| self.rule(i))
+    }
+
+    /// Span of external declaration `i`.
+    pub fn external(&self, i: usize) -> Span {
+        self.externals.get(i).copied().unwrap_or_default()
+    }
+}
 
 /// Parse a full mediator specification (rules + external declarations).
 ///
@@ -21,16 +76,27 @@ use oem::Symbol;
 /// assert_eq!(spec.externals.len(), 1);
 /// ```
 pub fn parse_spec(input: &str) -> Result<Spec> {
+    parse_spec_spanned(input).map(|(spec, _)| spec)
+}
+
+/// Parse a specification and also return byte spans for every rule and
+/// declaration, for diagnostics (see [`crate::lint`]).
+pub fn parse_spec_spanned(input: &str) -> Result<(Spec, SpecSpans)> {
     let mut p = P::new(input)?;
     let mut spec = Spec::default();
+    let mut spans = SpecSpans::default();
     while !p.at_end() {
         if p.peek_is_ident_lparen() {
+            let start = p.i;
             spec.externals.push(p.external_decl()?);
+            spans.externals.push(p.span_from(start));
         } else {
-            spec.rules.push(p.rule()?);
+            let (rule, rule_spans) = p.rule_spanned()?;
+            spec.rules.push(rule);
+            spans.rules.push(rule_spans);
         }
     }
-    Ok(spec)
+    Ok((spec, spans))
 }
 
 /// Parse a single rule.
@@ -113,7 +179,11 @@ impl P {
             Ok(())
         } else {
             Err(MslError::parse(
-                format!("expected {}, found {}", kind.describe(), self.peek_describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_describe()
+                ),
                 self.pos(),
             ))
         }
@@ -122,6 +192,17 @@ impl P {
     fn peek_is_ident_lparen(&self) -> bool {
         matches!(self.peek(), Some(TokenKind::Ident(_)))
             && matches!(self.peek2(), Some(TokenKind::LParen))
+    }
+
+    /// Byte span covering tokens `start_tok .. self.i` (the tokens consumed
+    /// since position `start_tok`).
+    fn span_from(&self, start_tok: usize) -> Span {
+        if start_tok >= self.i || self.i == 0 {
+            return Span::default();
+        }
+        let start = self.toks[start_tok].span.start;
+        let end = self.toks[self.i - 1].span.end;
+        Span { start, end }
     }
 
     // `pred(bound, free, ...) by func`
@@ -147,7 +228,9 @@ impl P {
                     return Err(MslError::parse(
                         format!(
                             "expected 'bound' or 'free', found {}",
-                            other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                            other
+                                .map(|k| k.describe())
+                                .unwrap_or_else(|| "end of input".into())
                         ),
                         self.pos(),
                     ))
@@ -160,7 +243,10 @@ impl P {
         self.expect(TokenKind::RParen)?;
         self.expect(TokenKind::By)?;
         let Some(TokenKind::Ident(func)) = self.bump() else {
-            return Err(MslError::parse("expected function name after 'by'", self.pos()));
+            return Err(MslError::parse(
+                "expected function name after 'by'",
+                self.pos(),
+            ));
         };
         Ok(ExternalDecl {
             pred: Symbol::intern(&pred),
@@ -170,13 +256,33 @@ impl P {
     }
 
     fn rule(&mut self) -> Result<Rule> {
+        self.rule_spanned().map(|(rule, _)| rule)
+    }
+
+    fn rule_spanned(&mut self) -> Result<(Rule, RuleSpans)> {
+        let rule_start = self.i;
         let head = self.head()?;
+        let head_span = self.span_from(rule_start);
         self.expect(TokenKind::Implies)?;
-        let mut tail = vec![self.tail_item()?];
-        while self.eat(&TokenKind::And) {
+        let mut tail = Vec::new();
+        let mut tail_spans = Vec::new();
+        loop {
+            let item_start = self.i;
             tail.push(self.tail_item()?);
+            tail_spans.push(self.span_from(item_start));
+            if !self.eat(&TokenKind::And) {
+                break;
+            }
         }
-        Ok(Rule { head, tail })
+        let whole = self.span_from(rule_start);
+        Ok((
+            Rule { head, tail },
+            RuleSpans {
+                whole,
+                head: head_span,
+                tail: tail_spans,
+            },
+        ))
     }
 
     fn head(&mut self) -> Result<Head> {
@@ -226,7 +332,9 @@ impl P {
                     return Err(MslError::parse(
                         format!(
                             "expected source name after '@', found {}",
-                            other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                            other
+                                .map(|k| k.describe())
+                                .unwrap_or_else(|| "end of input".into())
                         ),
                         self.pos(),
                     ))
@@ -268,9 +376,7 @@ impl P {
                 Some(TokenKind::LBrace) => {
                     fields.push(Field::S(self.set_pattern()?));
                 }
-                None => {
-                    return Err(MslError::parse("unterminated pattern: expected '>'", start))
-                }
+                None => return Err(MslError::parse("unterminated pattern: expected '>'", start)),
                 _ => {
                     // Commas between fields are tolerated (the OEM data
                     // syntax uses them; MSL patterns in the paper do not).
@@ -401,7 +507,9 @@ impl P {
                     return Err(MslError::parse(
                         format!(
                             "unexpected {} in set pattern",
-                            other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                            other
+                                .map(|k| k.describe())
+                                .unwrap_or_else(|| "end of input".into())
                         ),
                         self.pos(),
                     ))
@@ -438,7 +546,9 @@ impl P {
             other => Err(MslError::parse(
                 format!(
                     "expected a term, found {}",
-                    other.map(|k| k.describe()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|k| k.describe())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
                 self.pos(),
             )),
@@ -598,10 +708,8 @@ decomp(bound, bound, bound) by check_name_lnfn
 
     #[test]
     fn parse_semantic_oid_head() {
-        let r = parse_rule(
-            "<person_id(N) cs_person {<name N>}> :- <person {<name N>}>@whois",
-        )
-        .unwrap();
+        let r =
+            parse_rule("<person_id(N) cs_person {<name N>}> :- <person {<name N>}>@whois").unwrap();
         let Head::Pattern(h) = &r.head else { panic!() };
         assert_eq!(
             h.oid,
@@ -640,10 +748,8 @@ decomp(bound, bound, bound) by check_name_lnfn
 
     #[test]
     fn multiple_rules_in_spec() {
-        let spec = parse_spec(
-            "<a {<x X>}> :- <b {<x X>}>@s1\n<a {<y Y>}> :- <c {<y Y>}>@s2",
-        )
-        .unwrap();
+        let spec =
+            parse_spec("<a {<x X>}> :- <b {<x X>}>@s1\n<a {<y Y>}> :- <c {<y Y>}>@s2").unwrap();
         assert_eq!(spec.rules.len(), 2);
     }
 

@@ -83,10 +83,7 @@ pub fn set_pattern(sp: &SetPattern) -> String {
 /// Render a tail item.
 pub fn tail_item(t: &TailItem) -> String {
     match t {
-        TailItem::Match {
-            pattern: p,
-            source,
-        } => match source {
+        TailItem::Match { pattern: p, source } => match source {
             Some(s) => format!("{}@{s}", pattern(p)),
             None => pattern(p),
         },

@@ -1,24 +1,16 @@
 //! Semantic validation of MSL rules and specifications.
 //!
-//! Checks performed:
-//! * **range restriction** — every variable used in a rule head must occur
-//!   in the tail (otherwise the head cannot be constructed from bindings);
-//! * **object variables** — a `X:` annotation in a head must have a
-//!   defining `X:` occurrence in the tail (§3.2, item 2: "there is a
-//!   definition for every object ... variable that appears in the query
-//!   head and also appears in the query tail preceding a ':'");
-//! * **external predicates** — consistent arity between uses and
-//!   declarations, declarations must have at least one implementation
-//!   line per predicate used (built-in comparisons are exempt);
-//! * **parameters** — `$X` parameters may appear only in tails (they are
-//!   slots filled by the datamerge engine, §3.4);
-//! * **semantic oids** — function terms may appear only in head oid
-//!   position.
+//! This module is now a thin compatibility wrapper over the collect-all
+//! lint engine in [`crate::lint`]: it runs the same passes and surfaces
+//! the **first error-level** diagnostic as an [`MslError::Validate`],
+//! preserving the historical fail-fast API and error messages. Callers
+//! that want every finding (with codes, severities and spans) should call
+//! [`crate::lint::lint_spec`] or [`crate::lint::lint_source`] directly.
 
 use crate::ast::*;
+use crate::diag::Diagnostic;
 use crate::error::{MslError, Result};
 use oem::Symbol;
-use std::collections::HashSet;
 
 /// Built-in comparison predicates, available without declaration.
 pub const BUILTIN_PREDICATES: &[(&str, usize)] = &[
@@ -37,240 +29,27 @@ pub fn is_builtin(name: Symbol) -> bool {
         .any(|(n, _)| Symbol::intern(n) == name)
 }
 
+fn first_error(diags: Vec<Diagnostic>) -> Result<()> {
+    match diags.into_iter().find(|d| d.is_error()) {
+        Some(d) => Err(MslError::Validate(d.message)),
+        None => Ok(()),
+    }
+}
+
 /// Validate a single rule against the (possibly empty) set of external
-/// declarations in scope.
+/// declarations in scope. Fails on the first error-level lint finding.
 pub fn validate_rule(rule: &Rule, externals: &[ExternalDecl]) -> Result<()> {
-    // Tail variables (all of them — matches and externals can both bind).
-    let tail_vars: HashSet<Symbol> = rule.tail_variables().into_iter().collect();
-
-    // Head variables must be bound by the tail.
-    let mut head_vars = Vec::new();
-    rule.head.collect_vars(&mut head_vars);
-    for v in &head_vars {
-        if !tail_vars.contains(v) {
-            return Err(MslError::Validate(format!(
-                "head variable {v} does not occur in the rule tail (range restriction)"
-            )));
-        }
-    }
-
-    // Object variables used as a whole head must be tail object variables.
-    if let Head::Var(v) = &rule.head {
-        let mut defined = false;
-        for t in &rule.tail {
-            if let TailItem::Match { pattern, .. } = t {
-                if pattern_defines_obj_var(pattern, *v) {
-                    defined = true;
-                    break;
-                }
-            }
-        }
-        if !defined {
-            return Err(MslError::Validate(format!(
-                "head object variable {v} has no defining '{v}:' occurrence in the tail"
-            )));
-        }
-    }
-
-    // External predicate arity checks.
-    for t in &rule.tail {
-        if let TailItem::External { name, args } = t {
-            if let Some((_, arity)) = BUILTIN_PREDICATES
-                .iter()
-                .find(|(n, _)| Symbol::intern(n) == *name)
-            {
-                if args.len() != *arity {
-                    return Err(MslError::Validate(format!(
-                        "built-in predicate {name} expects {arity} arguments, found {}",
-                        args.len()
-                    )));
-                }
-                continue;
-            }
-            let decls: Vec<&ExternalDecl> =
-                externals.iter().filter(|d| d.pred == *name).collect();
-            if decls.is_empty() {
-                return Err(MslError::Validate(format!(
-                    "external predicate {name} has no declaration"
-                )));
-            }
-            for d in decls {
-                if d.adornment.len() != args.len() {
-                    return Err(MslError::Validate(format!(
-                        "external predicate {name} used with {} arguments but declared \
-                         with {} ('{}' implementation)",
-                        args.len(),
-                        d.adornment.len(),
-                        d.func
-                    )));
-                }
-            }
-        }
-    }
-
-    // Parameters only in tails; function terms only in head oid position.
-    if let Head::Pattern(p) = &rule.head {
-        check_head_pattern(p, true)?;
-    }
-    for t in &rule.tail {
-        if let TailItem::Match { pattern, .. } = t {
-            check_tail_pattern(pattern)?;
-        }
-    }
-    Ok(())
+    first_error(crate::lint::lint_rule(rule, externals))
 }
 
-/// Validate a whole specification.
+/// Validate a whole specification. Fails on the first error-level lint
+/// finding; warnings (unused variables, unsatisfiable conditions, ...) are
+/// ignored here.
 pub fn validate_spec(spec: &Spec) -> Result<()> {
-    if spec.rules.is_empty() {
-        return Err(MslError::Validate(
-            "a mediator specification needs at least one rule".into(),
-        ));
-    }
-    for d in &spec.externals {
-        if d.adornment.is_empty() {
-            return Err(MslError::Validate(format!(
-                "external declaration for {} has an empty adornment",
-                d.pred
-            )));
-        }
-    }
-    // All declaration lines of one predicate must agree on arity.
-    for d in &spec.externals {
-        for other in spec.externals_for(d.pred) {
-            if other.adornment.len() != d.adornment.len() {
-                return Err(MslError::Validate(format!(
-                    "conflicting arities declared for external predicate {}",
-                    d.pred
-                )));
-            }
-        }
-    }
-    for r in &spec.rules {
-        validate_rule(r, &spec.externals)?;
-    }
-    Ok(())
-}
-
-fn pattern_defines_obj_var(p: &Pattern, v: Symbol) -> bool {
-    if p.obj_var == Some(v) {
-        return true;
-    }
-    if let PatValue::Set(sp) = &p.value {
-        for e in &sp.elements {
-            match e {
-                SetElem::Pattern(inner) | SetElem::Wildcard(inner) => {
-                    if pattern_defines_obj_var(inner, v) {
-                        return true;
-                    }
-                }
-                SetElem::Var(_) => {}
-            }
-        }
-        if let Some(rest) = &sp.rest {
-            for c in &rest.conditions {
-                if pattern_defines_obj_var(c, v) {
-                    return true;
-                }
-            }
-        }
-    }
-    false
-}
-
-fn check_head_pattern(p: &Pattern, is_root: bool) -> Result<()> {
-    // Function terms allowed only in oid position.
-    no_params_or_funcs(&p.label, "label")?;
-    if let Some(t) = &p.typ {
-        no_params_or_funcs(t, "type")?;
-    }
-    if let Some(oid) = &p.oid {
-        if let Term::Param(name) = oid {
-            return Err(MslError::Validate(format!(
-                "parameter ${name} cannot appear in a rule head"
-            )));
-        }
-        if matches!(oid, Term::Func(..)) && !is_root {
-            // Semantic oids on nested head objects are allowed too — they
-            // fuse subobjects. No error.
-        }
-    }
-    match &p.value {
-        PatValue::Term(t) => no_params_or_funcs(t, "value")?,
-        PatValue::Set(sp) => {
-            for e in &sp.elements {
-                match e {
-                    SetElem::Pattern(inner) => check_head_pattern(inner, false)?,
-                    SetElem::Wildcard(_) => {
-                        return Err(MslError::Validate(
-                            "wildcard subpatterns cannot appear in a rule head".into(),
-                        ))
-                    }
-                    SetElem::Var(_) => {}
-                }
-            }
-            if let Some(rest) = &sp.rest {
-                return Err(MslError::Validate(format!(
-                    "rest variable {} ('| {}') cannot appear in a rule head; \
-                     write the variable inside the braces to splice its contents",
-                    rest.var, rest.var
-                )));
-            }
-        }
-    }
-    Ok(())
-}
-
-fn check_tail_pattern(p: &Pattern) -> Result<()> {
-    if let Some(Term::Func(name, _)) = &p.oid {
-        return Err(MslError::Validate(format!(
-            "function term {name}(...) cannot appear in a tail pattern oid"
-        )));
-    }
-    no_funcs(&p.label, "label")?;
-    if let Some(t) = &p.typ {
-        no_funcs(t, "type")?;
-    }
-    match &p.value {
-        PatValue::Term(t) => no_funcs(t, "value")?,
-        PatValue::Set(sp) => {
-            for e in &sp.elements {
-                match e {
-                    SetElem::Pattern(inner) | SetElem::Wildcard(inner) => {
-                        check_tail_pattern(inner)?
-                    }
-                    SetElem::Var(_) => {}
-                }
-            }
-            if let Some(rest) = &sp.rest {
-                for c in &rest.conditions {
-                    check_tail_pattern(c)?;
-                }
-            }
-        }
-    }
-    Ok(())
-}
-
-fn no_params_or_funcs(t: &Term, what: &str) -> Result<()> {
-    match t {
-        Term::Param(name) => Err(MslError::Validate(format!(
-            "parameter ${name} cannot appear in a rule head {what}"
-        ))),
-        Term::Func(name, _) => Err(MslError::Validate(format!(
-            "function term {name}(...) can only appear in oid position"
-        ))),
-        _ => Ok(()),
-    }
-}
-
-fn no_funcs(t: &Term, what: &str) -> Result<()> {
-    match t {
-        Term::Func(name, _) => Err(MslError::Validate(format!(
-            "function term {name}(...) cannot appear in a tail pattern {what}"
-        ))),
-        _ => Ok(()),
-    }
+    first_error(crate::lint::lint_spec(
+        spec,
+        &crate::parser::SpecSpans::default(),
+    ))
 }
 
 #[cfg(test)]
@@ -382,6 +161,28 @@ mod tests {
         .unwrap();
         let msg = validate_spec(&spec).unwrap_err().to_string();
         assert!(msg.contains("conflicting"), "{msg}");
+    }
+
+    #[test]
+    fn builtin_shadowing_declaration_rejected() {
+        let spec = parse_spec(
+            "<o {<n N>}> :- <p {<n N>}>@s\n\
+             lt(bound, free) by my_lt",
+        )
+        .unwrap();
+        let msg = validate_spec(&spec).unwrap_err().to_string();
+        assert!(msg.contains("shadows"), "{msg}");
+    }
+
+    #[test]
+    fn adornment_infeasible_spec_rejected() {
+        let spec = parse_spec(
+            "<o {<f F>}> :- <p {<n N>}>@s AND decomp(L, F)\n\
+             decomp(bound, free) by f",
+        )
+        .unwrap();
+        let msg = validate_spec(&spec).unwrap_err().to_string();
+        assert!(msg.contains("never be evaluated"), "{msg}");
     }
 
     #[test]

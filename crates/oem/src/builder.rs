@@ -151,8 +151,12 @@ mod tests {
     #[test]
     fn explicit_oids_with_and_without_sigil() {
         let mut s = ObjectStore::new();
-        let a = ObjectBuilder::atom_obj("name", "Joe").oid("&n1").build(&mut s);
-        let b = ObjectBuilder::atom_obj("name", "Tom").oid("n2").build(&mut s);
+        let a = ObjectBuilder::atom_obj("name", "Joe")
+            .oid("&n1")
+            .build(&mut s);
+        let b = ObjectBuilder::atom_obj("name", "Tom")
+            .oid("n2")
+            .build(&mut s);
         assert_eq!(s.get(a).oid, sym("n1"));
         assert_eq!(s.get(b).oid, sym("n2"));
         assert_eq!(s.by_oid(sym("n1")), Some(a));
@@ -162,8 +166,14 @@ mod tests {
     fn shared_subobject_via_child_ref() {
         let mut s = ObjectStore::new();
         let addr = s.atom("address", "Gates 434");
-        let p1 = ObjectBuilder::set("person").atom("name", "A").child_ref(addr).build_top(&mut s);
-        let p2 = ObjectBuilder::set("person").atom("name", "B").child_ref(addr).build_top(&mut s);
+        let p1 = ObjectBuilder::set("person")
+            .atom("name", "A")
+            .child_ref(addr)
+            .build_top(&mut s);
+        let p2 = ObjectBuilder::set("person")
+            .atom("name", "B")
+            .child_ref(addr)
+            .build_top(&mut s);
         assert_eq!(s.children(p1)[1], s.children(p2)[1]);
     }
 

@@ -23,7 +23,10 @@ pub fn deep_copy(src: &ObjectStore, root: ObjId, dst: &mut ObjectStore) -> ObjId
 /// Copy several roots, preserving sharing *across* the roots too.
 pub fn deep_copy_all(src: &ObjectStore, roots: &[ObjId], dst: &mut ObjectStore) -> Vec<ObjId> {
     let mut map: HashMap<ObjId, ObjId> = HashMap::new();
-    roots.iter().map(|&r| copy_rec(src, r, dst, &mut map)).collect()
+    roots
+        .iter()
+        .map(|&r| copy_rec(src, r, dst, &mut map))
+        .collect()
 }
 
 /// Like [`deep_copy_all`], but also returns the old-id → new-id map, so
@@ -125,8 +128,12 @@ mod tests {
     #[test]
     fn copy_handles_cycles() {
         let mut src = ObjectStore::new();
-        let a = src.insert(sym("&a"), sym("node"), crate::Value::Set(vec![])).unwrap();
-        let b = src.insert(sym("&b"), sym("node"), crate::Value::Set(vec![a])).unwrap();
+        let a = src
+            .insert(sym("&a"), sym("node"), crate::Value::Set(vec![]))
+            .unwrap();
+        let b = src
+            .insert(sym("&b"), sym("node"), crate::Value::Set(vec![a]))
+            .unwrap();
         src.add_child(a, b).unwrap();
 
         let mut dst = ObjectStore::new();
@@ -139,9 +146,11 @@ mod tests {
     #[test]
     fn copy_regenerates_colliding_oids() {
         let mut src = ObjectStore::new();
-        src.insert(sym("&same"), sym("x"), crate::Value::Int(1)).unwrap();
+        src.insert(sym("&same"), sym("x"), crate::Value::Int(1))
+            .unwrap();
         let mut dst = ObjectStore::new();
-        dst.insert(sym("&same"), sym("y"), crate::Value::Int(2)).unwrap();
+        dst.insert(sym("&same"), sym("y"), crate::Value::Int(2))
+            .unwrap();
         let root = src.by_oid(sym("&same")).unwrap();
         let copied = deep_copy(&src, root, &mut dst);
         assert_ne!(dst.get(copied).oid, sym("&same"));

@@ -68,8 +68,10 @@ pub fn fingerprints_from(store: &ObjectStore, roots: &[ObjId]) -> HashMap<ObjId,
             }
         }
     }
-    let mut colors: HashMap<ObjId, u64> =
-        nodes.iter().map(|&id| (id, base_color(store, id))).collect();
+    let mut colors: HashMap<ObjId, u64> = nodes
+        .iter()
+        .map(|&id| (id, base_color(store, id)))
+        .collect();
     for _ in 0..ROUNDS {
         let mut next = HashMap::with_capacity(colors.len());
         for &id in &nodes {
@@ -336,14 +338,22 @@ mod tests {
         // Two 1-cycles are bisimilar; a 1-cycle and a 2-cycle of identical
         // nodes are also bisimilar under coinductive equality.
         let mut s = ObjectStore::new();
-        let a = s.insert(sym("&a"), sym("node"), crate::Value::Set(vec![])).unwrap();
+        let a = s
+            .insert(sym("&a"), sym("node"), crate::Value::Set(vec![]))
+            .unwrap();
         s.add_child(a, a).unwrap();
-        let b = s.insert(sym("&b"), sym("node"), crate::Value::Set(vec![])).unwrap();
+        let b = s
+            .insert(sym("&b"), sym("node"), crate::Value::Set(vec![]))
+            .unwrap();
         s.add_child(b, b).unwrap();
         assert!(struct_eq(&s, a, b));
 
-        let c = s.insert(sym("&c"), sym("node"), crate::Value::Set(vec![])).unwrap();
-        let d = s.insert(sym("&d"), sym("node"), crate::Value::Set(vec![c])).unwrap();
+        let c = s
+            .insert(sym("&c"), sym("node"), crate::Value::Set(vec![]))
+            .unwrap();
+        let d = s
+            .insert(sym("&d"), sym("node"), crate::Value::Set(vec![c]))
+            .unwrap();
         s.add_child(c, d).unwrap();
         assert!(struct_eq(&s, a, c));
     }

@@ -11,35 +11,95 @@ use crate::symbol::Symbol;
 use crate::value::Value;
 
 /// One exported object.
-#[derive(serde::Serialize, serde::Deserialize, Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JsonObject {
     pub oid: Symbol,
     pub label: Symbol,
     pub value: JsonValue,
 }
 
-/// An exported value.
-#[derive(serde::Serialize, serde::Deserialize, Clone, Debug, PartialEq)]
-#[serde(tag = "type", content = "v")]
+/// An exported value. Serialized in adjacently-tagged form,
+/// `{"type": <oem keyword>, "v": <payload>}`.
+#[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
-    #[serde(rename = "string")]
     Str(String),
-    #[serde(rename = "integer")]
     Int(i64),
-    #[serde(rename = "real")]
     Real(f64),
-    #[serde(rename = "boolean")]
     Bool(bool),
     /// Subobject references by oid.
-    #[serde(rename = "set")]
     Set(Vec<Symbol>),
 }
 
 /// A whole exported store.
-#[derive(serde::Serialize, serde::Deserialize, Clone, Debug, PartialEq, Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct JsonStore {
     pub objects: Vec<JsonObject>,
     pub top_level: Vec<Symbol>,
+}
+
+impl serde::Serialize for JsonObject {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("oid", self.oid.to_value()),
+            ("label", self.label.to_value()),
+            ("value", self.value.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for JsonObject {
+    fn from_value(v: &serde::Value) -> std::result::Result<JsonObject, serde::Error> {
+        Ok(JsonObject {
+            oid: serde::field(v, "oid")?,
+            label: serde::field(v, "label")?,
+            value: serde::field(v, "value")?,
+        })
+    }
+}
+
+impl serde::Serialize for JsonValue {
+    fn to_value(&self) -> serde::Value {
+        let (tag, payload) = match self {
+            JsonValue::Str(s) => ("string", s.to_value()),
+            JsonValue::Int(i) => ("integer", i.to_value()),
+            JsonValue::Real(x) => ("real", x.to_value()),
+            JsonValue::Bool(b) => ("boolean", b.to_value()),
+            JsonValue::Set(oids) => ("set", oids.to_value()),
+        };
+        serde::object([("type", tag.into()), ("v", payload)])
+    }
+}
+
+impl serde::Deserialize for JsonValue {
+    fn from_value(v: &serde::Value) -> std::result::Result<JsonValue, serde::Error> {
+        let tag: String = serde::field(v, "type")?;
+        Ok(match tag.as_str() {
+            "string" => JsonValue::Str(serde::field(v, "v")?),
+            "integer" => JsonValue::Int(serde::field(v, "v")?),
+            "real" => JsonValue::Real(serde::field(v, "v")?),
+            "boolean" => JsonValue::Bool(serde::field(v, "v")?),
+            "set" => JsonValue::Set(serde::field(v, "v")?),
+            other => return Err(serde::Error::custom(format!("unknown value tag '{other}'"))),
+        })
+    }
+}
+
+impl serde::Serialize for JsonStore {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("objects", self.objects.to_value()),
+            ("top_level", self.top_level.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for JsonStore {
+    fn from_value(v: &serde::Value) -> std::result::Result<JsonStore, serde::Error> {
+        Ok(JsonStore {
+            objects: serde::field(v, "objects")?,
+            top_level: serde::field(v, "top_level")?,
+        })
+    }
 }
 
 /// Export a store.
@@ -157,7 +217,9 @@ mod tests {
     fn cycles_roundtrip() {
         let mut s = ObjectStore::new();
         let a = s.insert(sym("a"), sym("node"), Value::Set(vec![])).unwrap();
-        let b = s.insert(sym("b"), sym("node"), Value::Set(vec![a])).unwrap();
+        let b = s
+            .insert(sym("b"), sym("node"), Value::Set(vec![a]))
+            .unwrap();
         s.add_child(a, b).unwrap();
         s.add_top(a);
         let imported = import(&export(&s)).unwrap();

@@ -117,10 +117,7 @@ fn link(entries: Vec<RawObject>, store: &mut ObjectStore) -> Result<Vec<ObjId>> 
                 if let Some(t) = obj.declared_type {
                     if t != OemType::Set {
                         return Err(OemError::Parse {
-                            msg: format!(
-                                "declared type '{}' but value is a set",
-                                t.keyword()
-                            ),
+                            msg: format!("declared type '{}' but value is a set", t.keyword()),
                             line: obj.line,
                             col: obj.col,
                         });
@@ -292,7 +289,8 @@ impl<'a> Parser<'a> {
         } else {
             self.err(format!(
                 "expected '{c}', found {}",
-                self.peek().map_or("end of input".to_string(), |x| format!("'{x}'"))
+                self.peek()
+                    .map_or("end of input".to_string(), |x| format!("'{x}'"))
             ))
         }
     }

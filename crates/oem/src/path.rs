@@ -197,8 +197,12 @@ mod tests {
         assert!(!has_cycle(&s, root));
 
         let mut c = ObjectStore::new();
-        let a = c.insert(sym("&a"), sym("node"), Value::Set(vec![])).unwrap();
-        let b = c.insert(sym("&b"), sym("node"), Value::Set(vec![a])).unwrap();
+        let a = c
+            .insert(sym("&a"), sym("node"), Value::Set(vec![]))
+            .unwrap();
+        let b = c
+            .insert(sym("&b"), sym("node"), Value::Set(vec![a]))
+            .unwrap();
         c.add_child(a, b).unwrap();
         assert!(has_cycle(&c, a));
         // Cycle-safe: must terminate.
@@ -269,7 +273,9 @@ mod gc_tests {
     #[test]
     fn gc_drops_garbage_keeps_structure() {
         let mut s = ObjectStore::new();
-        let keep = ObjectBuilder::set("person").atom("name", "A").build_top(&mut s);
+        let keep = ObjectBuilder::set("person")
+            .atom("name", "A")
+            .build_top(&mut s);
         let _garbage1 = s.atom("junk", 1i64);
         let _garbage2 = s.set("orphan", vec![]);
         assert_eq!(s.len(), 4);
@@ -288,8 +294,20 @@ mod gc_tests {
     #[test]
     fn gc_preserves_sharing_and_cycles() {
         let mut s = ObjectStore::new();
-        let a = s.insert(crate::sym("a"), crate::sym("node"), crate::Value::Set(vec![])).unwrap();
-        let b = s.insert(crate::sym("b"), crate::sym("node"), crate::Value::Set(vec![a])).unwrap();
+        let a = s
+            .insert(
+                crate::sym("a"),
+                crate::sym("node"),
+                crate::Value::Set(vec![]),
+            )
+            .unwrap();
+        let b = s
+            .insert(
+                crate::sym("b"),
+                crate::sym("node"),
+                crate::Value::Set(vec![a]),
+            )
+            .unwrap();
         s.add_child(a, b).unwrap();
         s.add_top(a);
         let g = gc(&s);

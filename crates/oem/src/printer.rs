@@ -122,7 +122,12 @@ mod tests {
         assert_eq!(reparsed.len(), s.len());
         assert_eq!(reparsed.top_level().len(), 1);
         let p = reparsed.top_level()[0];
-        assert!(crate::eq::struct_eq_cross(&s, s.top_level()[0], &reparsed, p));
+        assert!(crate::eq::struct_eq_cross(
+            &s,
+            s.top_level()[0],
+            &reparsed,
+            p
+        ));
     }
 
     #[test]

@@ -21,8 +21,22 @@ use std::fmt;
 /// `ObjId`s are only meaningful relative to the store that issued them;
 /// [`crate::copy::deep_copy`] translates between stores.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ObjId(u32);
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for ObjId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Int(self.0 as i64)
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for ObjId {
+    fn from_value(v: &serde::Value) -> std::result::Result<ObjId, serde::Error> {
+        let raw: u32 = serde::Deserialize::from_value(v)?;
+        Ok(ObjId(raw))
+    }
+}
 
 impl ObjId {
     /// Construct from a raw index. Intended for tests and serialization.
@@ -284,7 +298,9 @@ mod tests {
     #[test]
     fn insert_and_get() {
         let mut s = ObjectStore::new();
-        let id = s.insert(sym("&n1"), sym("name"), Value::str("Joe Chung")).unwrap();
+        let id = s
+            .insert(sym("&n1"), sym("name"), Value::str("Joe Chung"))
+            .unwrap();
         let obj = s.get(id);
         assert_eq!(obj.label, sym("name"));
         assert_eq!(obj.value, Value::str("Joe Chung"));
@@ -350,8 +366,12 @@ mod tests {
     fn cycles_are_representable() {
         // <&a, node, set, {&b}>  <&b, node, set, {&a}>
         let mut s = ObjectStore::new();
-        let a = s.insert(sym("&a"), sym("node"), Value::Set(vec![])).unwrap();
-        let b = s.insert(sym("&b"), sym("node"), Value::Set(vec![a])).unwrap();
+        let a = s
+            .insert(sym("&a"), sym("node"), Value::Set(vec![]))
+            .unwrap();
+        let b = s
+            .insert(sym("&b"), sym("node"), Value::Set(vec![a]))
+            .unwrap();
         s.add_child(a, b).unwrap();
         assert_eq!(s.children(a), &[b]);
         assert_eq!(s.children(b), &[a]);
@@ -362,7 +382,8 @@ mod tests {
     fn validate_catches_dangling() {
         let mut s = ObjectStore::new();
         let bogus = ObjId::from_raw(42);
-        s.insert(sym("&p"), sym("person"), Value::Set(vec![bogus])).unwrap();
+        s.insert(sym("&p"), sym("person"), Value::Set(vec![bogus]))
+            .unwrap();
         assert!(matches!(s.validate(), Err(OemError::DanglingRef { .. })));
     }
 

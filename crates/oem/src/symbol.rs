@@ -106,16 +106,18 @@ impl From<String> for Symbol {
 
 #[cfg(feature = "serde")]
 impl serde::Serialize for Symbol {
-    fn serialize<S: serde::Serializer>(&self, ser: S) -> std::result::Result<S::Ok, S::Error> {
-        self.with_str(|s| ser.serialize_str(s))
+    fn to_value(&self) -> serde::Value {
+        self.with_str(|s| serde::Value::from(s))
     }
 }
 
 #[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Symbol {
-    fn deserialize<D: serde::Deserializer<'de>>(de: D) -> std::result::Result<Symbol, D::Error> {
-        let s = String::deserialize(de)?;
-        Ok(Symbol::intern(&s))
+impl serde::Deserialize for Symbol {
+    fn from_value(v: &serde::Value) -> std::result::Result<Symbol, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected string symbol"))?;
+        Ok(Symbol::intern(s))
     }
 }
 

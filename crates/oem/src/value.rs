@@ -12,7 +12,6 @@ use std::fmt;
 /// The type tag of an OEM object, as written in the third field of the
 /// textual syntax: `<&12, department, string, 'CS'>`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OemType {
     /// `string`
     Str,
@@ -55,6 +54,24 @@ impl OemType {
 impl fmt::Display for OemType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.keyword())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for OemType {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::from(self.keyword())
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for OemType {
+    fn from_value(v: &serde::Value) -> std::result::Result<OemType, serde::Error> {
+        let kw = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected OEM type keyword"))?;
+        OemType::from_keyword(kw)
+            .ok_or_else(|| serde::Error::custom(format!("unknown OEM type keyword '{kw}'")))
     }
 }
 
@@ -201,7 +218,9 @@ impl Value {
     /// `true`). Panics on sets — callers render sets structurally.
     pub fn render_atomic(&self) -> String {
         match self {
-            Value::Str(s) => s.with_str(|v| format!("'{}'", v.replace('\\', "\\\\").replace('\'', "\\'"))),
+            Value::Str(s) => {
+                s.with_str(|v| format!("'{}'", v.replace('\\', "\\\\").replace('\'', "\\'")))
+            }
             Value::Int(i) => i.to_string(),
             Value::RealBits(b) => {
                 let x = f64::from_bits(*b);
@@ -274,7 +293,13 @@ mod tests {
 
     #[test]
     fn type_keywords_roundtrip() {
-        for t in [OemType::Str, OemType::Int, OemType::Real, OemType::Bool, OemType::Set] {
+        for t in [
+            OemType::Str,
+            OemType::Int,
+            OemType::Real,
+            OemType::Bool,
+            OemType::Set,
+        ] {
             assert_eq!(OemType::from_keyword(t.keyword()), Some(t));
         }
         assert_eq!(OemType::from_keyword("int"), Some(OemType::Int));

@@ -92,10 +92,7 @@ pub trait Wrapper: Send + Sync {
 
 /// Shared validation helper: extract this wrapper's match patterns from a
 /// query and reject foreign/unsupported shapes.
-pub fn own_patterns(
-    name: Symbol,
-    q: &Rule,
-) -> Result<Vec<&msl::Pattern>, WrapperError> {
+pub fn own_patterns(name: Symbol, q: &Rule) -> Result<Vec<&msl::Pattern>, WrapperError> {
     let mut out = Vec::new();
     for item in &q.tail {
         match item {

@@ -100,9 +100,7 @@ impl Capabilities {
                     }
                     SetElem::Wildcard(inner) => {
                         if !self.wildcards {
-                            return Err(
-                                "wildcard subpatterns not supported by this source".into()
-                            );
+                            return Err("wildcard subpatterns not supported by this source".into());
                         }
                         self.check_condition_label(inner)?;
                         self.check_pattern(inner, false)?;
@@ -134,9 +132,7 @@ impl Capabilities {
         if let Term::Const(v) = &p.label {
             if let Some(sym) = v.as_str_sym() {
                 if self.unsupported_condition_labels.contains(&sym) {
-                    return Err(format!(
-                        "source cannot evaluate conditions on '{sym}'"
-                    ));
+                    return Err(format!("source cannot evaluate conditions on '{sym}'"));
                 }
             }
         }

@@ -72,10 +72,7 @@ mod tests {
         let q = parse_query("<out {<who N>}> :- <person {<name N> <dept 'CS'>}>@src").unwrap();
         let res = answer_msl_query(sym("src"), &store, &q).unwrap();
         assert_eq!(res.top_level().len(), 1);
-        assert_eq!(
-            compact(&res, res.top_level()[0]),
-            "<out {<who 'A'>}>"
-        );
+        assert_eq!(compact(&res, res.top_level()[0]), "<out {<who 'A'>}>");
     }
 
     #[test]

@@ -218,8 +218,8 @@ impl Wrapper for RelationalWrapper {
                     continue;
                 };
                 let t = self.catalog.table(&table).expect("candidate exists");
-                let rids = minidb::select(t, &pred)
-                    .map_err(|e| WrapperError::BadQuery(e.to_string()))?;
+                let rids =
+                    minidb::select(t, &pred).map_err(|e| WrapperError::BadQuery(e.to_string()))?;
                 for rid in rids {
                     self.materialize_row(&table, rid, &mut view, &mut memo);
                 }
@@ -327,17 +327,14 @@ mod tests {
         )
         .unwrap();
         let res = w.query(&q).unwrap();
-        let printed: Vec<String> = res
-            .top_level()
-            .iter()
-            .map(|&t| compact(&res, t))
-            .collect();
+        let printed: Vec<String> = res.top_level().iter().map(|&t| compact(&res, t)).collect();
         assert_eq!(printed.len(), 2);
         assert!(printed.iter().any(|s| s.contains("<rel 'employee'>")
             && s.contains("<fn 'Joe'>")
             && s.contains("<ln 'Chung'>")));
-        assert!(printed.iter().any(|s| s.contains("<rel 'student'>")
-            && s.contains("<fn 'Nick'>")));
+        assert!(printed
+            .iter()
+            .any(|s| s.contains("<rel 'student'>") && s.contains("<fn 'Nick'>")));
     }
 
     #[test]
@@ -353,7 +350,10 @@ mod tests {
         assert_eq!(res.top_level().len(), 1);
         let printed = compact(&res, res.top_level()[0]);
         assert!(printed.contains("<title 'professor'>"), "{printed}");
-        assert!(printed.contains("<reports_to 'John Hennessy'>"), "{printed}");
+        assert!(
+            printed.contains("<reports_to 'John Hennessy'>"),
+            "{printed}"
+        );
         assert!(!printed.contains("first_name"), "{printed}");
     }
 
@@ -378,8 +378,7 @@ mod tests {
     fn nulls_become_absent_subobjects() {
         let mut catalog = Catalog::new();
         let mut t = Table::new(
-            Schema::new("person", &[("name", ColType::Str), ("email", ColType::Str)])
-                .unwrap(),
+            Schema::new("person", &[("name", ColType::Str), ("email", ColType::Str)]).unwrap(),
         );
         t.insert(vec!["A".into(), Datum::Null]).unwrap();
         t.insert(vec!["B".into(), "b@x".into()]).unwrap();
@@ -406,10 +405,7 @@ mod tests {
     fn wildcards_rejected() {
         let w = cs();
         let q = parse_query("X :- X:<employee {* <title T>}>@cs").unwrap();
-        assert!(matches!(
-            w.query(&q),
-            Err(WrapperError::Unsupported(_))
-        ));
+        assert!(matches!(w.query(&q), Err(WrapperError::Unsupported(_))));
     }
 
     #[test]
@@ -432,10 +428,7 @@ mod tests {
             .unwrap();
         catalog.add_table(t).unwrap();
         let w = RelationalWrapper::new("cs", catalog);
-        let q = parse_query(
-            "<out {Rest}> :- <employee {<first_name 'Joe'> | Rest}>@cs",
-        )
-        .unwrap();
+        let q = parse_query("<out {Rest}> :- <employee {<first_name 'Joe'> | Rest}>@cs").unwrap();
         let res = w.query(&q).unwrap();
         let printed = compact(&res, res.top_level()[0]);
         assert!(printed.contains("<birthday '1970-01-01'>"), "{printed}");

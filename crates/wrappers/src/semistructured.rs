@@ -70,7 +70,10 @@ impl SemiStructuredSource {
             for &c in self.store.children(t) {
                 let obj = self.store.get(c);
                 if obj.value.is_atomic() {
-                    values.entry(obj.label).or_default().insert(obj.value.clone());
+                    values
+                        .entry(obj.label)
+                        .or_default()
+                        .insert(obj.value.clone());
                 }
             }
         }
@@ -158,9 +161,7 @@ mod tests {
 
     #[test]
     fn capability_restriction_rejects() {
-        let w = whois().with_capabilities(
-            Capabilities::full().without_condition_on(sym("year")),
-        );
+        let w = whois().with_capabilities(Capabilities::full().without_condition_on(sym("year")));
         let q = parse_query("X :- X:<person {<name N> | R:{<year 3>}}>@whois").unwrap();
         let err = w.query(&q).unwrap_err();
         assert!(matches!(err, WrapperError::Unsupported(_)));

@@ -235,7 +235,6 @@ pub fn bibliography_sources(
     )
 }
 
-
 /// An electronic-mail source (the paper's §1 motivating example of
 /// semi-structured data: "objects have some well defined 'fields' such as
 /// the destination and source addresses, but there are others that vary

@@ -59,12 +59,7 @@ compose_lnf(bound, bound, free) by last_comma_first
         },
     );
 
-    let med = Mediator::new(
-        "bib",
-        spec,
-        vec![Arc::new(lib1), Arc::new(lib2)],
-        registry,
-    )?;
+    let med = Mediator::new("bib", spec, vec![Arc::new(lib1), Arc::new(lib2)], registry)?;
 
     println!("=== the unified publication view ===");
     let res = med.query_text("P :- P:<publication {}>@bib")?;

@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== full-path query: {} hits ===", res.top_level().len());
 
     // With the wildcard, no path knowledge is needed:
-    let q_wild = msl::parse_query("<hit {<who N> <year Y>}> :- <person {<name N> * <year Y>}>@deep")?;
+    let q_wild =
+        msl::parse_query("<hit {<who N> <year Y>}> :- <person {<name N> * <year Y>}>@deep")?;
     let res = src.query(&q_wild)?;
     println!("=== wildcard query: {} hits ===", res.top_level().len());
     print!("{}", oem::printer::print_store(&res));

@@ -7,13 +7,21 @@ use oem::{ObjectBuilder, ObjectStore, OemType, Value};
 #[test]
 fn oem_object_line_forms() {
     let mut s = ObjectStore::new();
-    let n = ObjectBuilder::atom_obj("name", "Joe").oid("&n1").build(&mut s);
-    let p = ObjectBuilder::set("person").oid("&p1").child_ref(n).build(&mut s);
+    let n = ObjectBuilder::atom_obj("name", "Joe")
+        .oid("&n1")
+        .build(&mut s);
+    let p = ObjectBuilder::set("person")
+        .oid("&p1")
+        .child_ref(n)
+        .build(&mut s);
     assert_eq!(
         oem::printer::object_line(&s, n),
         "<&n1, name, string, 'Joe'>"
     );
-    assert_eq!(oem::printer::object_line(&s, p), "<&p1, person, set, {&n1}>");
+    assert_eq!(
+        oem::printer::object_line(&s, p),
+        "<&p1, person, set, {&n1}>"
+    );
 }
 
 #[test]
@@ -79,14 +87,10 @@ fn json_roundtrip_of_query_results() {
 #[test]
 fn minidb_public_surface() {
     use minidb::{CmpOp, ColType, Condition, Predicate, Schema, Table, TableStats};
-    let mut t = Table::new(
-        Schema::new("s", &[("name", ColType::Str), ("year", ColType::Int)]).unwrap(),
-    );
-    t.insert_all([
-        vec!["a".into(), 1.into()],
-        vec!["b".into(), 2.into()],
-    ])
-    .unwrap();
+    let mut t =
+        Table::new(Schema::new("s", &[("name", ColType::Str), ("year", ColType::Int)]).unwrap());
+    t.insert_all([vec!["a".into(), 1.into()], vec!["b".into(), 2.into()]])
+        .unwrap();
     let stats = TableStats::compute(&t);
     assert_eq!(stats.row_count, 2);
     let pred = Predicate::of(vec![Condition::cmp("year", CmpOp::Ge, 2)]);
@@ -120,10 +124,7 @@ fn engine_bindings_display_and_projection() {
 
 #[test]
 fn msl_display_chain() {
-    let spec = msl::parse_spec(
-        "<v {<n N>}> :- <p {<n N>}>@s\nd(bound, free) by f",
-    )
-    .unwrap();
+    let spec = msl::parse_spec("<v {<n N>}> :- <p {<n N>}>@s\nd(bound, free) by f").unwrap();
     let text = spec.to_string();
     assert!(text.contains(":-"));
     assert!(text.contains("d(bound, free) by f"));

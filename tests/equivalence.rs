@@ -167,9 +167,8 @@ fn capability_restricted_source_same_answers() {
         MS1,
         vec![
             Arc::new(
-                whois_wrapper().with_capabilities(
-                    Capabilities::full().without_condition_on(oem::sym("year")),
-                ),
+                whois_wrapper()
+                    .with_capabilities(Capabilities::full().without_condition_on(oem::sym("year"))),
             ),
             Arc::new(cs_wrapper()),
         ],

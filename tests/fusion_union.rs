@@ -33,7 +33,9 @@ fn union_mediator() -> Mediator {
 
 #[test]
 fn union_view_fuses_per_person() {
-    let res = union_mediator().query_text("P :- P:<all_person {}>@m").unwrap();
+    let res = union_mediator()
+        .query_text("P :- P:<all_person {}>@m")
+        .unwrap();
     // Joe and Nick each appear in both sources → exactly 2 fused objects.
     assert_eq!(res.top_level().len(), 2);
     for &t in res.top_level() {

@@ -81,11 +81,7 @@ fn tau_rules_and_nick() {
 fn intersection_semantics() {
     let res = med().query_text("P :- P:<cs_person {}>@med").unwrap();
     assert_eq!(res.top_level().len(), 2);
-    let names: Vec<String> = res
-        .top_level()
-        .iter()
-        .map(|&t| compact(&res, t))
-        .collect();
+    let names: Vec<String> = res.top_level().iter().map(|&t| compact(&res, t)).collect();
     assert!(names.iter().any(|n| n.contains("'Joe Chung'")));
     assert!(names.iter().any(|n| n.contains("'Nick Naive'")));
 }
@@ -160,9 +156,7 @@ fn schema_evolution_attribute_dropped() {
 #[test]
 fn mixed_query() {
     let res = med()
-        .query_text(
-            "S :- S:<cs_person {<name N> <year Y>}>@med AND ge(Y, 3) AND lt(Y, 4)",
-        )
+        .query_text("S :- S:<cs_person {<name N> <year Y>}>@med AND ge(Y, 3) AND lt(Y, 4)")
         .unwrap();
     assert_eq!(res.top_level().len(), 1);
     assert!(compact(&res, res.top_level()[0]).contains("'Nick Naive'"));

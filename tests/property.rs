@@ -133,9 +133,8 @@ fn arb_term() -> impl Strategy<Value = Term> {
 }
 
 fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    let simple = (arb_label(), arb_term()).prop_map(|(l, t)| {
-        Pattern::lv(Term::str(&l), PatValue::Term(t))
-    });
+    let simple =
+        (arb_label(), arb_term()).prop_map(|(l, t)| Pattern::lv(Term::str(&l), PatValue::Term(t)));
     simple.prop_recursive(2, 12, 3, |inner| {
         (
             arb_label(),

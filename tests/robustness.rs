@@ -50,7 +50,10 @@ fn garbage_oem_never_panics() {
         "<&a, x, 'unterminated>",
         "<&a, x, 99999999999999999999999>",
     ] {
-        assert!(oem::parser::parse_store(bad).is_err(), "should reject: {bad}");
+        assert!(
+            oem::parser::parse_store(bad).is_err(),
+            "should reject: {bad}"
+        );
     }
 }
 
@@ -139,9 +142,7 @@ fn many_rules_spec() {
     // heads, not blow up on non-matching ones.
     let mut spec = String::new();
     for i in 0..50 {
-        spec.push_str(&format!(
-            "<view{i} {{<v V>}}> :- <src{i} {{<v V>}}>@s\n"
-        ));
+        spec.push_str(&format!("<view{i} {{<v V>}}> :- <src{i} {{<v V>}}>@s\n"));
     }
     let mut store = ObjectStore::new();
     for i in 0..50 {
@@ -208,8 +209,14 @@ fn conflicting_atomic_fusion_is_an_error() {
     // Two rules give the same semantic oid an atomic value that differs →
     // construction reports a fusion conflict instead of picking silently.
     let mut s = ObjectStore::new();
-    ObjectBuilder::set("fact").atom("k", "x").atom("v", 1i64).build_top(&mut s);
-    ObjectBuilder::set("fact").atom("k", "x").atom("v", 2i64).build_top(&mut s);
+    ObjectBuilder::set("fact")
+        .atom("k", "x")
+        .atom("v", 1i64)
+        .build_top(&mut s);
+    ObjectBuilder::set("fact")
+        .atom("k", "x")
+        .atom("v", 2i64)
+        .build_top(&mut s);
     let m = Mediator::new(
         "m",
         "<key(K) entry V> :- <fact {<k K> <v V>}>@src",

@@ -81,9 +81,9 @@ fn three_way_join_combines_all_sources() {
         "<name 'Joe Chung'>",
         "<rel 'employee'>",
         "<salary 120000>",
-        "<e_mail 'chung@cs'>",       // whois rest
-        "<title 'professor'>",       // cs rest
-        "<grade 'A'>",               // payroll rest
+        "<e_mail 'chung@cs'>", // whois rest
+        "<title 'professor'>", // cs rest
+        "<grade 'A'>",         // payroll rest
     ] {
         assert!(printed.contains(frag), "missing {frag} in {printed}");
     }
@@ -145,9 +145,7 @@ fn selection_on_third_source_prunes() {
 #[test]
 fn explain_renders_three_way_plan() {
     let med = build(PlannerOptions::default());
-    let text = med
-        .explain_text("X :- X:<full_person {}>@m", true)
-        .unwrap();
+    let text = med.explain_text("X :- X:<full_person {}>@m", true).unwrap();
     assert!(text.contains("Logical datamerge program"), "{text}");
     assert!(text.contains("@payroll"), "{text}");
     assert!(text.contains("=== result objects ==="), "{text}");

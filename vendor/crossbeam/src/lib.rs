@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal shims for its external dependencies (wired up
+//! via `[patch.crates-io]`). Only `crossbeam::thread::scope` is provided,
+//! implemented on top of `std::thread::scope`, with crossbeam's
+//! `Result`-returning signature and closure-taking `spawn`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Spawn scoped threads. Mirrors `crossbeam::thread::scope`: the result
+    /// is `Ok` unless the scope itself failed (the shim never fails — child
+    /// panics surface through [`ScopedJoinHandle::join`]).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    /// The scope handed to the closure; spawn borrows-checked threads on it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Placeholder for the nested-scope argument crossbeam passes to each
+    /// spawned closure. Nested spawning is not supported by the shim.
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope { _private: () })),
+            }
+        }
+    }
+
+    /// Join handle matching crossbeam's: `join` returns `Err` with the
+    /// panic payload if the thread panicked.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join() {
+        let data = vec![1, 2, 3];
+        let sum: i32 = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&n| scope.spawn(move |_| n * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn panic_surfaces_through_join() {
+        let r = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,624 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal shims for its external dependencies (wired up
+//! via `[patch.crates-io]`). This shim keeps proptest's authoring surface —
+//! `proptest! { fn t(x in strategy) { ... } }`, `Strategy::prop_map` /
+//! `prop_recursive`, `prop_oneof!`, regex-like string strategies, range
+//! strategies, `prop::{collection, option, sample}` — but replaces the
+//! engine: each test runs `ProptestConfig::cases` deterministic random
+//! cases (seeded from the test's module path and case index) with **no
+//! shrinking**. A failing case panics with the case number so it can be
+//! reproduced by re-running the test.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------
+// Deterministic generator
+
+pub mod test_runner {
+    /// splitmix64, seeded from a test name + case index.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------
+// Strategies
+
+/// A generator of random values. Unlike real proptest there is no value
+/// tree and no shrinking: a strategy just produces a value per case.
+pub trait Strategy {
+    type Value;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| s.gen_value(rng))
+    }
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::from_fn(move |rng| f(s.gen_value(rng)))
+    }
+
+    /// Recursive structures: `f` receives the strategy for the previous
+    /// depth level and builds the next one. `levels` bounds the nesting
+    /// depth; the size/branch hints of real proptest are accepted and
+    /// ignored. Each level keeps a chance of stopping at a leaf so depth
+    /// varies across cases.
+    fn prop_recursive<S2, F>(
+        self,
+        levels: u32,
+        _size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..levels {
+            let nested = f(current).boxed();
+            let leaf = base.clone();
+            current = BoxedStrategy::from_fn(move |rng| {
+                if rng.below(4) == 0 {
+                    leaf.gen_value(rng)
+                } else {
+                    nested.gen_value(rng)
+                }
+            });
+        }
+        current
+    }
+}
+
+/// Type-erased strategy (the result of every combinator here).
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Weighted-less union of same-valued strategies (backs `prop_oneof!`).
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::from_fn(move |rng| {
+        let i = rng.below(arms.len() as u64) as usize;
+        arms[i].gen_value(rng)
+    })
+}
+
+// Integer / float ranges.
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let offset = rng.below(span);
+                ((self.start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(i32 => i64, u32 => u64, i64 => i128, u64 => u128, usize => u128, u8 => u64, i8 => i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// Tuples of strategies.
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+// Regex-like string strategies: `"[a-z]{1,8}"`, `".{0,120}"`, literals.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// One repeated unit of a string pattern.
+enum PatSegment {
+    /// Any char except newline (`.`), drawn mostly from printable ASCII.
+    Any(u32, u32),
+    /// A `[...]` class as inclusive char ranges.
+    Class(Vec<(char, char)>, u32, u32),
+    /// A literal character.
+    Lit(char),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for seg in parse_pattern(pattern) {
+        match seg {
+            PatSegment::Lit(c) => out.push(c),
+            PatSegment::Any(min, max) => {
+                for _ in 0..sample_count(rng, min, max) {
+                    out.push(random_any_char(rng));
+                }
+            }
+            PatSegment::Class(ranges, min, max) => {
+                for _ in 0..sample_count(rng, min, max) {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let code = lo as u32 + rng.below(span as u64) as u32;
+                    out.push(char::from_u32(code).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn sample_count(rng: &mut TestRng, min: u32, max: u32) -> u32 {
+    min + rng.below((max - min + 1) as u64) as u32
+}
+
+fn random_any_char(rng: &mut TestRng) -> char {
+    // Mostly printable ASCII, with occasional exotic code points to keep
+    // fuzz-shaped tests honest. Never '\n' (regex `.` excludes it).
+    const EXOTIC: &[char] = &['é', 'λ', '中', '😀', '\u{7f}', '\t', '\u{a0}', 'ß'];
+    if rng.below(10) == 0 {
+        EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+    } else {
+        char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatSegment> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut segments = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '.' => {
+                i += 1;
+                Some(PatSegment::Any(1, 1))
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                if ranges.is_empty() {
+                    ranges.push(('a', 'z'));
+                }
+                Some(PatSegment::Class(ranges, 1, 1))
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Some(PatSegment::Lit(chars[i - 1]))
+            }
+            c => {
+                i += 1;
+                Some(PatSegment::Lit(c))
+            }
+        };
+        let Some(mut unit) = unit else { continue };
+        // Optional {m}/{m,n} repetition suffix.
+        if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}');
+            if let Some(rel) = close {
+                let body: String = chars[i + 1..i + rel].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().unwrap_or(0),
+                        b.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                unit = match unit {
+                    PatSegment::Any(..) => PatSegment::Any(min, max.max(min)),
+                    PatSegment::Class(r, ..) => PatSegment::Class(r, min, max.max(min)),
+                    PatSegment::Lit(c) => PatSegment::Class(vec![(c, c)], min, max.max(min)),
+                };
+                i += rel + 1;
+            }
+        }
+        segments.push(unit);
+    }
+    segments
+}
+
+// ---------------------------------------------------------------------
+// `any`
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::from_fn(|rng| rng.below(2) == 1)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy::from_fn(|rng| rng.next_u64() as $t)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, i8, i16, i32, i64, usize);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------------------
+// prop::{collection, option, sample}
+
+pub mod collection {
+    use super::{BoxedStrategy, Strategy};
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S>(element: S, size: std::ops::Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BoxedStrategy::from_fn(move |rng| {
+            let span = (size.end - size.start) as u64;
+            let n = size.start + rng.below(span) as usize;
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    use super::{BoxedStrategy, Strategy};
+
+    /// `Some` from the inner strategy about three-quarters of the time.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.gen_value(rng))
+            }
+        })
+    }
+}
+
+pub mod sample {
+    use super::BoxedStrategy;
+
+    /// Uniform choice among the given items.
+    pub fn select<T: Clone + 'static>(items: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        BoxedStrategy::from_fn(move |rng| items[rng.below(items.len() as u64) as usize].clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Test-case plumbing
+
+/// Why a test case failed (no rejection machinery in the shim).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+
+/// `proptest! { ... }`: expands each `fn name(arg in strategy, ...) {}`
+/// into a plain test that runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr)
+      $( $(#[$attr:meta])*
+         fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::gen_value(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("proptest case {case}/{} failed: {e}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left, right, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::union(vec![$( $crate::Strategy::boxed($arm) ),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn names() -> BoxedStrategy<String> {
+        prop::sample::select(vec!["ann", "bob"]).prop_map(|s| s.to_string())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(n in -10i64..10, m in 1usize..4) {
+            prop_assert!((-10..10).contains(&n));
+            prop_assert!((1..4).contains(&m));
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z]{1,8}", free in ".{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8, "bad: {s:?}");
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            prop_assert!(free.chars().count() <= 20);
+            prop_assert!(!free.contains('\n'));
+        }
+
+        #[test]
+        fn combinators_compose(v in prop::collection::vec((names(), 0i64..5), 1..4),
+                               opt in prop::option::of(any::<bool>())) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            for (name, n) in &v {
+                prop_assert!(name == "ann" || name == "bob");
+                prop_assert!((0..5).contains(n));
+            }
+            let _ = opt;
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::for_case("recursive", 0);
+        for _ in 0..50 {
+            let t = strat.gen_value(&mut rng);
+            assert!(depth(&t) <= 5, "too deep: {t:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![0i64..1, 10i64..11, 20i64..21];
+        let mut rng = crate::test_runner::TestRng::for_case("oneof", 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.gen_value(&mut rng));
+        }
+        assert_eq!(seen, [0i64, 10, 20].into_iter().collect());
+    }
+}
