@@ -3,26 +3,33 @@
 //! "The datamerge engine executes the graph in a bottom-up fashion":
 //! source results are placed in the mediator's memory, binding tables flow
 //! from node to node, and the constructor creates the final result objects.
-//! With tracing enabled, every node records the table it emitted — that is
-//! how the Figure 3.6 walkthrough is regenerated.
+//! Every node records a [`crate::metrics::NodeMetrics`] while it runs —
+//! rows in/out, source round-trips, timing — into a per-query
+//! [`QueryTrace`]; with [`ExecOptions::trace`] enabled the emitted binding
+//! tables are additionally rendered, which is how the Figure 3.6
+//! walkthrough is regenerated.
 
 use crate::error::{MedError, Result};
 use crate::externals::ExternalRegistry;
 use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
+use crate::metrics::{NodeMetrics, NodeTrace, Observation, QueryTrace, RuleTrace};
 use crate::table::BindingTable;
 use engine::bindings::{Bindings, BoundValue};
 use engine::construct::Constructor;
 use engine::subst::fill_params_rule;
 use msl::{Rule, TailItem, Term};
 use oem::{copy, ObjectStore, Symbol, Value};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 use wrappers::Wrapper;
 
 /// Execution options.
 #[derive(Clone, Debug, Default)]
 pub struct ExecOptions {
-    /// Record per-node traces (query texts + emitted tables).
+    /// Render the binding table every node emits into its trace entry
+    /// (Figure 3.6's rectangles). Counters and timings are collected
+    /// regardless — only the table rendering is costly enough to gate.
     pub trace: bool,
     /// Execute the per-rule chains on separate threads (crossbeam scoped).
     /// The chains of a logical program are independent until construction,
@@ -32,40 +39,31 @@ pub struct ExecOptions {
     pub parallel: bool,
 }
 
-/// One node's trace entry.
-#[derive(Clone, Debug)]
-pub struct NodeTrace {
-    pub op: String,
-    pub detail: String,
-    pub rows_out: usize,
-    /// The emitted binding table, rendered in Figure 3.6 style (empty when
-    /// tracing is off).
-    pub table: String,
-}
-
 /// Execution result.
 pub struct ExecOutcome {
     /// Constructed result objects (top-level).
     pub results: ObjectStore,
     /// The mediator's working memory (source results live here).
     pub memory: ObjectStore,
-    /// Per-rule, per-node traces.
-    pub traces: Vec<Vec<NodeTrace>>,
-    /// (source, top-level label, observed result count) — feed these back
-    /// into the statistics cache (§3.5).
-    pub observations: Vec<(Symbol, Option<Symbol>, usize)>,
-    /// Number of queries sent to each source (bind-join vs hash-join cost
-    /// accounting in the experiments).
-    pub source_calls: HashMap<Symbol, usize>,
+    /// Everything the execution recorded: per-rule node traces, statistics
+    /// observations (§3.5), per-source call counts, result totals.
+    pub trace: QueryTrace,
+}
+
+/// Per-node counters threaded through [`exec_node`] while it runs.
+#[derive(Default)]
+struct NodeCounters {
+    source_calls: usize,
+    bindings_produced: usize,
 }
 
 /// Everything one chain produced (its memory is private until merged).
 struct ChainOutcome {
     table: BindingTable,
     memory: ObjectStore,
-    trace: Vec<NodeTrace>,
-    observations: Vec<(Symbol, Option<Symbol>, usize)>,
-    source_calls: HashMap<Symbol, usize>,
+    trace: RuleTrace,
+    observations: Vec<Observation>,
+    source_calls: BTreeMap<Symbol, usize>,
 }
 
 /// Execute one rule chain bottom-up with its own working memory.
@@ -75,12 +73,16 @@ fn run_chain(
     registry: &ExternalRegistry,
     trace_on: bool,
 ) -> Result<ChainOutcome> {
+    let chain_start = Instant::now();
     let mut memory = ObjectStore::with_oid_prefix("x");
     let mut table = BindingTable::unit();
-    let mut trace = Vec::new();
+    let mut nodes = Vec::with_capacity(rule_plan.nodes.len());
     let mut observations = Vec::new();
-    let mut source_calls: HashMap<Symbol, usize> = HashMap::new();
-    for node in &rule_plan.nodes {
+    let mut source_calls: BTreeMap<Symbol, usize> = BTreeMap::new();
+    for (i, node) in rule_plan.nodes.iter().enumerate() {
+        let rows_in = table.len();
+        let mut counters = NodeCounters::default();
+        let node_start = Instant::now();
         table = exec_node(
             node,
             table,
@@ -89,15 +91,31 @@ fn run_chain(
             registry,
             &mut observations,
             &mut source_calls,
+            &mut counters,
         )?;
-        if trace_on {
-            trace.push(NodeTrace {
-                op: node.op_name().to_string(),
-                detail: node_detail(node),
+        let wall_ns = node_start.elapsed().as_nanos() as u64;
+        nodes.push(NodeTrace {
+            op: node.op_name().to_string(),
+            detail: node_detail(node),
+            metrics: NodeMetrics {
+                rows_in,
                 rows_out: table.len(),
-                table: table.render(&memory),
-            });
-        }
+                bindings_produced: counters.bindings_produced,
+                source_calls: counters.source_calls,
+                dedup_hits: if matches!(node, Node::DupElim { .. }) {
+                    rows_in.saturating_sub(table.len())
+                } else {
+                    0
+                },
+                wall_ns,
+                est_rows: rule_plan.estimates.get(i).copied().unwrap_or(0.0),
+            },
+            table: if trace_on {
+                table.render(&memory)
+            } else {
+                String::new()
+            },
+        });
         if table.is_empty() {
             break; // nothing can come out of this chain
         }
@@ -105,7 +123,11 @@ fn run_chain(
     Ok(ChainOutcome {
         table,
         memory,
-        trace,
+        trace: RuleTrace {
+            nodes,
+            constructed: 0, // filled in during the construction phase
+            wall_ns: chain_start.elapsed().as_nanos() as u64,
+        },
         observations,
         source_calls,
     })
@@ -135,6 +157,7 @@ pub fn execute(
     registry: &ExternalRegistry,
     opts: &ExecOptions,
 ) -> Result<ExecOutcome> {
+    let exec_start = Instant::now();
     // Phase 1: run every rule chain (optionally in parallel — chains are
     // independent; "the datamerge engine executes the graph in a bottom-up
     // fashion" per chain).
@@ -163,9 +186,7 @@ pub fn execute(
     // Phase 2: merge chain memories into the mediator's memory, remapping
     // the tables' object references.
     let mut memory = ObjectStore::with_oid_prefix("x");
-    let mut traces = Vec::new();
-    let mut observations = Vec::new();
-    let mut source_calls: HashMap<Symbol, usize> = HashMap::new();
+    let mut trace = QueryTrace::default();
     let mut final_tables: Vec<(BindingTable, &RulePlan)> = Vec::new();
     for (chain, rule_plan) in chains.into_iter().zip(&plan.rules) {
         let mut chain = chain?;
@@ -194,10 +215,10 @@ pub fn execute(
         }
         let (_, map) = copy::deep_copy_all_with_map(&chain.memory, &roots, &mut memory);
         remap_table(&mut chain.table, &map);
-        traces.push(chain.trace);
-        observations.extend(chain.observations);
+        trace.rules.push(chain.trace);
+        trace.observations.extend(chain.observations);
         for (s, n) in chain.source_calls {
-            *source_calls.entry(s).or_insert(0) += n;
+            *trace.source_calls.entry(s).or_insert(0) += n;
         }
         final_tables.push((chain.table, rule_plan));
     }
@@ -207,27 +228,30 @@ pub fn execute(
     let mut results = ObjectStore::with_oid_prefix("cp");
     {
         let mut ctor = Constructor::new(&memory);
-        for (table, rule_plan) in &final_tables {
+        for (ri, (table, rule_plan)) in final_tables.iter().enumerate() {
             for i in 0..table.len() {
                 let b = table.row_bindings(i);
                 ctor.construct_head(&rule_plan.head, &b, &mut results)?;
             }
+            trace.rules[ri].constructed = table.len();
         }
     }
 
     // MSL duplicate elimination across rule outputs.
     if plan.dedup_results {
         let tops = results.top_level().to_vec();
+        let before = tops.len();
         let unique = oem::eq::dedup_structural(&results, &tops);
+        trace.result_dedup_removed = before - unique.len();
         results.set_top_level(unique);
     }
+    trace.result_count = results.top_level().len();
+    trace.wall_ns = exec_start.elapsed().as_nanos() as u64;
 
     Ok(ExecOutcome {
         results,
         memory,
-        traces,
-        observations,
-        source_calls,
+        trace,
     })
 }
 
@@ -266,8 +290,9 @@ fn exec_node(
     memory: &mut ObjectStore,
     sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
     registry: &ExternalRegistry,
-    observations: &mut Vec<(Symbol, Option<Symbol>, usize)>,
-    source_calls: &mut HashMap<Symbol, usize>,
+    observations: &mut Vec<Observation>,
+    source_calls: &mut BTreeMap<Symbol, usize>,
+    counters: &mut NodeCounters,
 ) -> Result<BindingTable> {
     match node {
         Node::Query {
@@ -283,6 +308,7 @@ fn exec_node(
                 sources,
                 observations,
                 source_calls,
+                counters,
             )?;
             // Cartesian with the (unit) input.
             let mut out = BindingTable::new(
@@ -355,6 +381,7 @@ fn exec_node(
                             sources,
                             observations,
                             source_calls,
+                            counters,
                         )?;
                         memo.insert(key.clone(), e.clone());
                         e
@@ -393,6 +420,9 @@ fn exec_node(
                     out.rows.push(r);
                 }
             }
+            if !new_vars.is_empty() {
+                counters.bindings_produced += out.len();
+            }
             Ok(out)
         }
         Node::RestFilter { var, condition } => {
@@ -428,6 +458,7 @@ fn exec_node(
                 sources,
                 observations,
                 source_calls,
+                counters,
             )?;
             // Index inner rows by join key.
             let inner_key_idx: Vec<usize> = join_vars
@@ -488,13 +519,15 @@ fn run_and_extract(
     vars: &[ExtractVar],
     memory: &mut ObjectStore,
     sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
-    observations: &mut Vec<(Symbol, Option<Symbol>, usize)>,
-    source_calls: &mut HashMap<Symbol, usize>,
+    observations: &mut Vec<Observation>,
+    source_calls: &mut BTreeMap<Symbol, usize>,
+    counters: &mut NodeCounters,
 ) -> Result<Vec<Vec<BoundValue>>> {
     let wrapper = sources
         .get(&source)
         .ok_or_else(|| MedError::UnknownSource(source.as_str()))?;
     *source_calls.entry(source).or_insert(0) += 1;
+    counters.source_calls += 1;
     let result = wrapper.query(query)?;
 
     // Record an observation keyed by the first tail pattern's label.
@@ -505,9 +538,14 @@ fn run_and_extract(
         },
         _ => None,
     });
-    observations.push((source, label, result.top_level().len()));
+    observations.push(Observation {
+        source,
+        label,
+        count: result.top_level().len(),
+    });
 
     let roots = copy::deep_copy_all(&result, result.top_level(), memory);
+    counters.bindings_produced += roots.len();
     let mut rows = Vec::with_capacity(roots.len());
     for root in roots {
         rows.push(extract_row(memory, root, vars)?);
@@ -689,7 +727,7 @@ mod tests {
             "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
             PlannerOptions::default(),
         );
-        let trace = &out.traces[0];
+        let trace = &out.trace.rules[0].nodes;
         assert!(trace.iter().any(|t| t.op == "query"));
         let qtrace = trace.iter().find(|t| t.op == "query").unwrap();
         assert!(qtrace.detail.contains("@whois"), "{}", qtrace.detail);
@@ -703,11 +741,47 @@ mod tests {
             PlannerOptions::default(),
         );
         assert!(out
+            .trace
             .observations
             .iter()
-            .any(|(s, l, _)| *s == sym("whois") && *l == Some(sym("person"))));
-        assert!(out.source_calls[&sym("whois")] >= 1);
-        assert!(out.source_calls[&sym("cs")] >= 1);
+            .any(|o| o.source == sym("whois") && o.label == Some(sym("person"))));
+        assert!(out.trace.calls(sym("whois")) >= 1);
+        assert!(out.trace.calls(sym("cs")) >= 1);
+    }
+
+    #[test]
+    fn node_metrics_collected_even_without_table_tracing() {
+        // Counters/timings are unconditional; only the rendered tables are
+        // gated behind ExecOptions::trace.
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let srcs = sources();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let out = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
+        assert!(!out.trace.rules.is_empty());
+        // The outer whois query: 1 row in (unit), 1 Joe Chung row out, one
+        // source round-trip, a positive estimate from the optimizer.
+        let first = &out.trace.rules[0].nodes[0];
+        assert_eq!(first.op, "query");
+        assert_eq!(first.metrics.rows_in, 1);
+        assert_eq!(first.metrics.rows_out, 1);
+        assert_eq!(first.metrics.source_calls, 1);
+        assert_eq!(first.metrics.bindings_produced, 1);
+        assert!(first.metrics.est_rows > 0.0, "{:?}", first.metrics);
+        // Per-node call counters agree with the per-source totals.
+        let node_total: usize = out.trace.nodes().map(|t| t.metrics.source_calls).sum();
+        assert_eq!(node_total, out.trace.total_source_calls());
+        assert_eq!(out.trace.result_count, out.results.top_level().len());
     }
 
     #[test]
@@ -748,7 +822,12 @@ mod tests {
         let physical = plan(&program, &ctx).unwrap();
         let out = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
         // 4 identical outer tuples → 1 memoized cs call (plus none other).
-        assert_eq!(out.source_calls[&sym("cs")], 1, "{:?}", out.source_calls);
+        assert_eq!(
+            out.trace.calls(sym("cs")),
+            1,
+            "{:?}",
+            out.trace.source_calls
+        );
         // All four duplicates collapse to one result object.
         assert_eq!(out.results.top_level().len(), 1);
     }
@@ -775,7 +854,9 @@ mod tests {
         };
         let physical = plan(&program, &ctx).unwrap();
         let quiet = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
-        assert!(quiet.traces.iter().all(|t| t.is_empty()));
+        assert!(quiet.trace.nodes().all(|t| t.table.is_empty()));
+        // ...but the metrics are still there.
+        assert!(quiet.trace.nodes().any(|t| t.metrics.rows_out > 0));
         let _ = out;
     }
 
@@ -835,7 +916,7 @@ mod tests {
             assert!(oem::eq::struct_eq_cross(&seq.results, a, &par.results, b));
         }
         // Source-call accounting merges across chains in both modes.
-        assert_eq!(seq.source_calls, par.source_calls);
+        assert_eq!(seq.trace.source_calls, par.trace.source_calls);
     }
 
     #[test]
@@ -846,6 +927,6 @@ mod tests {
         );
         assert!(out.results.top_level().is_empty());
         // cs should never be contacted: the whois result was empty.
-        assert_eq!(out.source_calls.get(&sym("cs")), None);
+        assert_eq!(out.trace.calls(sym("cs")), 0);
     }
 }

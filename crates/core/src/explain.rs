@@ -45,11 +45,11 @@ pub fn render_plan(plan: &PhysicalPlan) -> String {
 /// rectangles of Figure 3.6.
 pub fn render_execution(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
     let mut out = String::new();
-    for (i, (rule, trace)) in plan.rules.iter().zip(&outcome.traces).enumerate() {
+    for (i, (rule, trace)) in plan.rules.iter().zip(&outcome.trace.rules).enumerate() {
         let _ = writeln!(out, "=== rule R{} ===", i + 1);
-        for t in trace {
+        for t in &trace.nodes {
             let _ = writeln!(out, "[{}] {}", t.op, t.detail);
-            let _ = writeln!(out, "  rows out: {}", t.rows_out);
+            let _ = writeln!(out, "  rows out: {}", t.metrics.rows_out);
             for line in t.table.lines() {
                 let _ = writeln!(out, "  {line}");
             }
@@ -58,6 +58,69 @@ pub fn render_execution(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
     }
     let _ = writeln!(out, "=== result objects ===");
     out.push_str(&oem::printer::print_store(&outcome.results));
+    out
+}
+
+/// Render the executed plan EXPLAIN ANALYZE-style: every node annotated
+/// with its observed row counts, the optimizer's estimate (and the drift
+/// between the two), source round-trips, bindings produced, dedup hits,
+/// and per-node wall time, followed by mediator-level totals.
+pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
+    use crate::metrics::format_ns;
+    let trace = &outcome.trace;
+    let mut out = String::new();
+    if !trace.query.is_empty() {
+        let _ = writeln!(out, "EXPLAIN ANALYZE  {}", trace.query);
+    }
+    for (i, (rule, rt)) in plan.rules.iter().zip(&trace.rules).enumerate() {
+        let _ = writeln!(out, "=== rule R{} ({}) ===", i + 1, format_ns(rt.wall_ns));
+        for t in &rt.nodes {
+            let m = &t.metrics;
+            let _ = writeln!(out, "[{}] {}", t.op, t.detail);
+            let mut line = format!("  rows: {} in -> {} out", m.rows_in, m.rows_out);
+            if m.est_rows > 0.0 {
+                line.push_str(&format!("  (est {:.1}", m.est_rows));
+                match m.drift() {
+                    Some(d) => line.push_str(&format!(", drift {d:.2}x)")),
+                    None => line.push(')'),
+                }
+            }
+            let _ = writeln!(out, "{line}");
+            let mut extras: Vec<String> = Vec::new();
+            if m.source_calls > 0 {
+                extras.push(format!("source calls: {}", m.source_calls));
+            }
+            if m.bindings_produced > 0 {
+                extras.push(format!("bindings: {}", m.bindings_produced));
+            }
+            if m.dedup_hits > 0 {
+                extras.push(format!("dedup hits: {}", m.dedup_hits));
+            }
+            extras.push(format!("time: {}", format_ns(m.wall_ns)));
+            let _ = writeln!(out, "  {}", extras.join("   "));
+        }
+        let _ = writeln!(
+            out,
+            "[constructor] {}  -> {} object(s)",
+            msl::printer::head(&rule.head),
+            rt.constructed
+        );
+    }
+    let _ = writeln!(out, "=== totals ===");
+    let _ = writeln!(
+        out,
+        "result objects: {} (dedup removed {})",
+        trace.result_count, trace.result_dedup_removed
+    );
+    if !trace.source_calls.is_empty() {
+        let calls: Vec<String> = trace
+            .source_calls
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        let _ = writeln!(out, "source calls: {}", calls.join(" "));
+    }
+    let _ = writeln!(out, "wall time: {}", format_ns(trace.wall_ns));
     out
 }
 
@@ -157,6 +220,7 @@ mod tests {
         let rendered = render_plan(&crate::graph::PhysicalPlan {
             rules: vec![crate::graph::RulePlan {
                 nodes: nodes.to_vec(),
+                estimates: Vec::new(),
                 head: msl::Head::Var(sym("X")),
             }],
             dedup_results: true,
@@ -221,5 +285,40 @@ mod tests {
         assert!(walk.contains("rows out"), "{walk}");
         assert!(walk.contains("'Nick Naive'"), "{walk}");
         assert!(walk.contains("=== result objects ==="), "{walk}");
+    }
+
+    #[test]
+    fn analyze_annotates_every_node_with_metrics() {
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let mut srcs: HashMap<oem::Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("whois"), Arc::new(whois_wrapper()));
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let outcome = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
+        let report = render_analyze(&physical, &outcome);
+        // One "rows: N in -> M out" annotation per executed node.
+        let annotated = report.matches("rows: ").count();
+        let executed: usize = outcome.trace.rules.iter().map(|r| r.nodes.len()).sum();
+        assert_eq!(annotated, executed, "{report}");
+        // Estimates from the planner appear with drift where observed > 0.
+        assert!(report.contains("(est "), "{report}");
+        assert!(report.contains("drift "), "{report}");
+        // Per-node and total accounting are rendered.
+        assert!(report.contains("source calls: "), "{report}");
+        assert!(report.contains("time: "), "{report}");
+        assert!(report.contains("=== totals ==="), "{report}");
+        assert!(report.contains("wall time: "), "{report}");
+        assert!(report.contains("result objects: "), "{report}");
     }
 }

@@ -25,9 +25,13 @@ pub type ExtFn = Arc<dyn Fn(&[Value]) -> Vec<Vec<Value>> + Send + Sync>;
 /// One registered implementation.
 #[derive(Clone)]
 pub struct ExternalImpl {
+    /// The predicate name this implementation answers.
     pub pred: Symbol,
+    /// The declared function name (`by <func>` in the specification).
     pub func: Symbol,
+    /// Which argument positions must be bound / are produced.
     pub adornment: Vec<Adornment>,
+    /// The implementation itself.
     pub f: ExtFn,
 }
 

@@ -25,7 +25,9 @@ pub enum VarKind {
 /// A variable extracted from source results.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ExtractVar {
+    /// The variable's name.
     pub var: Symbol,
+    /// How its binding is recovered from the carrier subobject.
     pub kind: VarKind,
 }
 
@@ -38,31 +40,46 @@ pub enum Node {
     /// (the extraction pattern `epw` is implied by the `bind_for_*` head
     /// the planner generated).
     Query {
+        /// The source the query is sent to.
         source: Symbol,
+        /// The `bind_for_*`-headed source query (§3.4's Qw shape).
         query: Rule,
+        /// Variables extracted from each result object.
         vars: Vec<ExtractVar>,
     },
     /// For each input row, instantiate `$param` slots from the row and send
     /// the query; extend the row with the extracted `vars` (the paper's
     /// *parameterized query* node, e.g. `Qcs`).
     ParamQuery {
+        /// The source the per-row queries are sent to.
         source: Symbol,
+        /// The source query with `$param` slots (§3.4's Qcs shape).
         query: Rule,
+        /// Table columns substituted into the `$param` slots.
         params: Vec<Symbol>,
+        /// Variables extracted from each result object.
         vars: Vec<ExtractVar>,
     },
     /// Invoke an external predicate per row (the paper's *external pred*
     /// node). `new_vars` are the variables it may bind; with none, the node
     /// is a pure filter.
     ExternalPred {
+        /// The predicate's name.
         pred: Symbol,
+        /// Its arguments (variables or constants).
         args: Vec<Term>,
+        /// Variables the call may bind (empty for a pure filter).
         new_vars: Vec<Symbol>,
     },
     /// Client-side filter: keep rows where the object-set in `var` has a
     /// member matching `condition` — used when a source cannot evaluate a
     /// condition itself (§3.5, the whois/year example).
-    RestFilter { var: Symbol, condition: Pattern },
+    RestFilter {
+        /// The rest variable holding the object-set to probe.
+        var: Symbol,
+        /// The condition some member must match.
+        condition: Pattern,
+    },
     /// Fetch the source group once, then hash-join it with the incoming
     /// table on `join_vars` (the fetch-and-join alternative to a bind
     /// join). Join keys compare [`engine::BoundValue`]s: atomic values
@@ -72,14 +89,21 @@ pub enum Node {
     /// object fusion via semantic oids is the mechanism for identifying
     /// objects across sources).
     HashJoin {
+        /// The source whose whole group is fetched once.
         source: Symbol,
+        /// The unparameterized fetch query.
         query: Rule,
+        /// Variables extracted from each fetched object.
         vars: Vec<ExtractVar>,
+        /// The equi-join key columns.
         join_vars: Vec<Symbol>,
     },
     /// Project onto `vars` and eliminate duplicate rows (MSL's duplicate
     /// elimination, §2 footnote 3 / footnote 9).
-    DupElim { vars: Vec<Symbol> },
+    DupElim {
+        /// The projection columns (the rule's head variables).
+        vars: Vec<Symbol>,
+    },
 }
 
 impl Node {
@@ -111,7 +135,14 @@ impl Node {
 /// constructor.
 #[derive(Clone, Debug)]
 pub struct RulePlan {
+    /// The chain's operators, in bottom-up execution order.
     pub nodes: Vec<Node>,
+    /// The optimizer's estimated *output* cardinality (rows) per node,
+    /// parallel to `nodes`. Filter and dup-elim nodes carry the running
+    /// estimate of the group they follow (the planner's cost model does
+    /// not discount them). `EXPLAIN ANALYZE` renders these next to the
+    /// observed row counts so estimate-vs-actual drift is visible.
+    pub estimates: Vec<f64>,
     /// The constructor node's pattern `cp(...)` (§3.4).
     pub head: Head,
 }
@@ -120,6 +151,7 @@ pub struct RulePlan {
 /// and (optionally) structurally deduplicated.
 #[derive(Clone, Debug, Default)]
 pub struct PhysicalPlan {
+    /// One chain per logical datamerge rule.
     pub rules: Vec<RulePlan>,
     /// Apply final structural duplicate elimination across rule outputs.
     pub dedup_results: bool,

@@ -22,6 +22,13 @@
 //! as in Figure 1.1. [`recursion`] adds fixpoint evaluation for recursive
 //! views (footnote 4), and [`externals`] hosts the external-predicate
 //! function registry (§2).
+//!
+//! Execution is observable end to end: every run produces a
+//! [`metrics::QueryTrace`] of per-node counters and timings ([`metrics`]),
+//! rendered by [`explain::render_analyze`] (EXPLAIN ANALYZE) and fed back
+//! into the learned statistics of [`stats`] (§3.5).
+
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod exec;
@@ -31,6 +38,7 @@ pub mod graph;
 pub mod lint;
 pub mod logical;
 pub mod mediator;
+pub mod metrics;
 pub mod naive;
 pub mod planner;
 pub mod recursion;

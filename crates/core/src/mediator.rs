@@ -25,6 +25,7 @@ use wrappers::{Capabilities, SourceStats, Wrapper, WrapperError};
 /// Mediator-level options.
 #[derive(Clone, Debug)]
 pub struct MediatorOptions {
+    /// Options forwarded to the cost-based optimizer.
     pub planner: PlannerOptions,
     /// Unifier enumeration mode. `Exhaustive` (default) is complete;
     /// `Minimal` reproduces the paper's worked expansions.
@@ -188,7 +189,7 @@ impl Mediator {
             };
             plan(&program, &ctx)?
         };
-        let outcome = execute(
+        let mut outcome = execute(
             &physical,
             &self.sources,
             &self.registry,
@@ -197,11 +198,9 @@ impl Mediator {
                 parallel: self.options.parallel,
             },
         )?;
+        outcome.trace.query = msl::printer::rule(query);
         if self.options.learn_stats {
-            let mut stats = self.stats.write();
-            for (src, label, count) in &outcome.observations {
-                stats.record(*src, *label, *count);
-            }
+            self.stats.write().record_trace(&outcome.trace);
         }
         Ok(outcome)
     }
@@ -217,12 +216,15 @@ impl Mediator {
         let (view, _iters) = materialize_fixpoint(&self.spec, &self.sources, &self.registry)?;
         let view_wrapper = wrappers::SemiStructuredWrapper::new(&self.spec.name.as_str(), view);
         let results = view_wrapper.query(query)?;
+        let trace = crate::metrics::QueryTrace {
+            query: msl::printer::rule(query),
+            result_count: results.top_level().len(),
+            ..Default::default()
+        };
         Ok(ExecOutcome {
             results,
             memory: ObjectStore::new(),
-            traces: Vec::new(),
-            observations: Vec::new(),
-            source_calls: HashMap::new(),
+            trace,
         })
     }
 
@@ -275,6 +277,67 @@ impl Mediator {
             out.push_str(&crate::explain::render_execution(&physical, &outcome));
         }
         Ok(out)
+    }
+
+    /// EXPLAIN ANALYZE: execute the query and render the physical plan with
+    /// observed per-node cardinalities, timings and source round-trips next
+    /// to the optimizer's estimates. Returns the rendered report together
+    /// with the raw [`crate::metrics::QueryTrace`] (for JSON export).
+    ///
+    /// Like [`Mediator::query_rule`], a run with `learn_stats` on feeds the
+    /// trace's observations back into the statistics cache.
+    pub fn explain_analyze(&self, text: &str) -> Result<(String, crate::metrics::QueryTrace)> {
+        let query = msl::parse_query(text)?;
+        msl::validate::validate_rule(&query, &self.spec.spec.externals)?;
+        if self.spec.is_recursive() {
+            let outcome = self.query_rule(&query)?;
+            let report = format!(
+                "specification of '{}' is recursive: evaluated by fixpoint \
+                 materialization, no per-node datamerge metrics\n\
+                 result objects: {}\n",
+                self.spec.name, outcome.trace.result_count
+            );
+            return Ok((report, outcome.trace));
+        }
+        let program = self.expand(&query)?;
+        let physical = {
+            let stats = self.stats.read();
+            let ctx = PlanContext {
+                sources: &self.sources,
+                registry: &self.registry,
+                stats: &stats,
+                options: &self.options.planner,
+            };
+            plan(&program, &ctx)?
+        };
+        let mut outcome = execute(
+            &physical,
+            &self.sources,
+            &self.registry,
+            &ExecOptions {
+                trace: false,
+                parallel: self.options.parallel,
+            },
+        )?;
+        outcome.trace.query = msl::printer::rule(&query);
+        if self.options.learn_stats {
+            self.stats.write().record_trace(&outcome.trace);
+        }
+        let report = crate::explain::render_analyze(&physical, &outcome);
+        Ok((report, outcome.trace))
+    }
+
+    /// Snapshot of every source wrapper's own counters (queries received,
+    /// objects exported, capability rejections), for wrappers that are
+    /// instrumented. Sorted by source name for stable output.
+    pub fn wrapper_metrics(&self) -> Vec<(Symbol, wrappers::WrapperMetrics)> {
+        let mut out: Vec<(Symbol, wrappers::WrapperMetrics)> = self
+            .sources
+            .iter()
+            .filter_map(|(name, w)| w.metrics().map(|m| (*name, m)))
+            .collect();
+        out.sort_by_key(|(n, _)| n.as_str());
+        out
     }
 }
 
@@ -523,8 +586,69 @@ mod tests {
         });
         let q = msl::parse_query("P :- P:<cs_person {}>@med").unwrap();
         let out = med.query_rule(&q).unwrap();
-        assert!(out.traces.iter().any(|t| !t.is_empty()));
-        assert!(out.traces.iter().flatten().all(|t| !t.table.is_empty()));
+        assert!(out.trace.rules.iter().any(|r| !r.nodes.is_empty()));
+        assert!(out.trace.nodes().all(|t| !t.table.is_empty()));
+        assert_eq!(out.trace.query, msl::printer::rule(&q));
+    }
+
+    #[test]
+    fn ewma_updates_exactly_once_per_query() {
+        // Minimal mode expands the year-3 query into exactly the paper's
+        // two rules, both with cs outer and whois inner. Sequential
+        // execution observes cs: [2, 1] and whois (per bind-join call):
+        // [0, 1, 1]. One record_trace per query gives EWMA chains
+        //   cs    2 → 2.0,  1 → 1.5
+        //   whois 0 → 0.0,  1 → 0.5,  1 → 0.75
+        // A mediator that recorded the trace twice would replay the blend
+        // and land on cs = 1.25, whois = 0.84375 instead.
+        let med = paper_mediator().with_options(MediatorOptions {
+            unify_mode: UnifyMode::Minimal,
+            ..Default::default()
+        });
+        med.query_text("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let snap = med.stats_snapshot();
+        assert_eq!(
+            snap.base_count(sym("cs"), None),
+            1.5,
+            "trace must be recorded exactly once"
+        );
+        assert_eq!(
+            snap.base_count(sym("whois"), Some(sym("person"))),
+            0.75,
+            "trace must be recorded exactly once"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_and_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let med = paper_mediator();
+        let (report, trace) = med
+            .explain_analyze("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        assert!(report.contains("EXPLAIN ANALYZE"), "{report}");
+        assert!(report.contains("rows: "), "{report}");
+        assert!(report.contains("=== totals ==="), "{report}");
+        assert_eq!(trace.result_count, 1);
+        // The trace survives a JSON round trip unchanged.
+        let json = serde_json::to_string_pretty(&trace.to_value()).unwrap();
+        let back =
+            crate::metrics::QueryTrace::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn wrapper_metrics_accumulate_across_queries() {
+        let med = paper_mediator();
+        med.query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        let metrics = med.wrapper_metrics();
+        assert_eq!(metrics.len(), 2, "{metrics:?}");
+        for (name, m) in &metrics {
+            assert!(m.queries_received >= 1, "{name}: {m:?}");
+            assert!(m.objects_exported >= 1, "{name}: {m:?}");
+            assert_eq!(m.capability_rejections, 0, "{name}: {m:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! Per-query execution telemetry for the datamerge engine.
+//!
+//! The paper sketches a feedback loop in §3.5: the MSI "tries to build its
+//! own statistics database that is based on results of previous queries".
+//! Closing that loop requires seeing what a query actually did — so every
+//! datamerge node records a [`NodeMetrics`] while it runs, the chains are
+//! collected into [`RuleTrace`]s, and the whole execution into one
+//! [`QueryTrace`]. The trace is what `EXPLAIN ANALYZE` renders (observed
+//! cardinalities next to the optimizer's estimates), what `--trace-json`
+//! exports, and what [`crate::stats::StatsCache::record_trace`] learns
+//! cardinalities from.
+//!
+//! Counters are collected unconditionally — they are cheap (integer adds
+//! plus one `Instant` pair per node). Only the rendered binding tables
+//! (the Figure 3.6 rectangles) are gated behind
+//! [`crate::exec::ExecOptions::trace`], because rendering copies the table
+//! contents into strings.
+//!
+//! The JSON schema (see DESIGN.md §6 for the worked example) follows the
+//! `oem::json` conventions: hand-written [`serde::Serialize`] /
+//! [`serde::Deserialize`] impls over the vendored value model, so a trace
+//! round-trips through `serde_json` without derives.
+
+use oem::Symbol;
+use std::collections::BTreeMap;
+
+/// Counters one datamerge node records during execution.
+///
+/// | counter             | unit  | emitted by                              |
+/// |---------------------|-------|-----------------------------------------|
+/// | `rows_in`           | rows  | every node                              |
+/// | `rows_out`          | rows  | every node                              |
+/// | `bindings_produced` | rows  | query, param. query, hash join, ext. pred |
+/// | `source_calls`      | calls | query, param. query, hash join          |
+/// | `dedup_hits`        | rows  | dup elim                                |
+/// | `wall_ns`           | ns    | every node                              |
+/// | `est_rows`          | rows  | every node (from the optimizer)         |
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeMetrics {
+    /// Rows in the binding table flowing *into* the node.
+    pub rows_in: usize,
+    /// Rows in the binding table the node emitted.
+    pub rows_out: usize,
+    /// Binding rows extracted from source results or produced by external
+    /// predicates. Zero for pure filters; for a parameterized query,
+    /// memoized parameter tuples produce no new bindings.
+    pub bindings_produced: usize,
+    /// Source round-trips this node performed (bind-join vs hash-join cost
+    /// accounting).
+    pub source_calls: usize,
+    /// Rows removed by duplicate elimination (dup-elim nodes only).
+    pub dedup_hits: usize,
+    /// Wall-clock time spent executing the node, in nanoseconds.
+    pub wall_ns: u64,
+    /// The optimizer's estimated output cardinality for this node, in rows
+    /// (what `EXPLAIN ANALYZE` prints next to `rows_out` as drift).
+    pub est_rows: f64,
+}
+
+impl NodeMetrics {
+    /// Observed-over-estimated cardinality: > 1 means the optimizer
+    /// underestimated, < 1 overestimated. `None` when no estimate exists.
+    pub fn drift(&self) -> Option<f64> {
+        if self.est_rows > 0.0 {
+            Some(self.rows_out as f64 / self.est_rows)
+        } else {
+            None
+        }
+    }
+}
+
+/// One node's trace entry: identity, counters, and (when table tracing is
+/// on) the emitted binding table rendered in Figure 3.6 style.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeTrace {
+    /// Operator name (`query`, `parameterized query`, `external pred`,
+    /// `filter`, `hash join`, `dup elim`).
+    pub op: String,
+    /// Human-readable operator summary (source, query text, predicate...).
+    pub detail: String,
+    /// The counters recorded while the node ran.
+    pub metrics: NodeMetrics,
+    /// The emitted binding table, rendered; empty unless
+    /// [`crate::exec::ExecOptions::trace`] was set.
+    pub table: String,
+}
+
+/// The trace of one rule chain (one Figure 3.6 column), bottom-up.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RuleTrace {
+    /// Per-node entries in execution order.
+    pub nodes: Vec<NodeTrace>,
+    /// Result objects the constructor built from this chain's final table.
+    pub constructed: usize,
+    /// Wall-clock time of the whole chain, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// One observed source-query cardinality — the §3.5 feedback signal
+/// consumed by [`crate::stats::StatsCache::record_trace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Observation {
+    /// The source the query was sent to.
+    pub source: Symbol,
+    /// The first tail pattern's top-level label (`None` = label variable).
+    pub label: Option<Symbol>,
+    /// Top-level objects in the source's answer.
+    pub count: usize,
+}
+
+/// Everything one query execution recorded: per-rule node traces,
+/// statistics observations, per-source call counts, and result totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryTrace {
+    /// The query text (filled in by [`crate::Mediator::query_rule`];
+    /// empty when the engine is driven directly).
+    pub query: String,
+    /// One trace per rule chain, in plan order.
+    pub rules: Vec<RuleTrace>,
+    /// Observed source cardinalities, in execution order.
+    pub observations: Vec<Observation>,
+    /// Total queries sent to each source across all chains.
+    pub source_calls: BTreeMap<Symbol, usize>,
+    /// Top-level result objects after construction and result dedup.
+    pub result_count: usize,
+    /// Top-level objects removed by final structural dedup across rules.
+    pub result_dedup_removed: usize,
+    /// Wall-clock time of the whole execution, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl QueryTrace {
+    /// All node traces across every rule, in execution order.
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeTrace> {
+        self.rules.iter().flat_map(|r| r.nodes.iter())
+    }
+
+    /// Queries sent to `source` (0 when it was never contacted).
+    pub fn calls(&self, source: Symbol) -> usize {
+        self.source_calls.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Total queries sent to all sources.
+    pub fn total_source_calls(&self) -> usize {
+        self.source_calls.values().sum()
+    }
+}
+
+/// Render a nanosecond count the way `EXPLAIN ANALYZE` prints timings.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+// ---- JSON (serde) impls — the QueryTrace schema of DESIGN.md §6 ---------
+
+impl serde::Serialize for NodeMetrics {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("rows_in", self.rows_in.to_value()),
+            ("rows_out", self.rows_out.to_value()),
+            ("bindings_produced", self.bindings_produced.to_value()),
+            ("source_calls", self.source_calls.to_value()),
+            ("dedup_hits", self.dedup_hits.to_value()),
+            ("wall_ns", self.wall_ns.to_value()),
+            ("est_rows", self.est_rows.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for NodeMetrics {
+    fn from_value(v: &serde::Value) -> std::result::Result<NodeMetrics, serde::Error> {
+        Ok(NodeMetrics {
+            rows_in: serde::field(v, "rows_in")?,
+            rows_out: serde::field(v, "rows_out")?,
+            bindings_produced: serde::field(v, "bindings_produced")?,
+            source_calls: serde::field(v, "source_calls")?,
+            dedup_hits: serde::field(v, "dedup_hits")?,
+            wall_ns: serde::field(v, "wall_ns")?,
+            est_rows: serde::field(v, "est_rows")?,
+        })
+    }
+}
+
+impl serde::Serialize for NodeTrace {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("op", self.op.to_value()),
+            ("detail", self.detail.to_value()),
+            ("metrics", self.metrics.to_value()),
+            ("table", self.table.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for NodeTrace {
+    fn from_value(v: &serde::Value) -> std::result::Result<NodeTrace, serde::Error> {
+        Ok(NodeTrace {
+            op: serde::field(v, "op")?,
+            detail: serde::field(v, "detail")?,
+            metrics: serde::field(v, "metrics")?,
+            table: serde::field(v, "table")?,
+        })
+    }
+}
+
+impl serde::Serialize for RuleTrace {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("nodes", self.nodes.to_value()),
+            ("constructed", self.constructed.to_value()),
+            ("wall_ns", self.wall_ns.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for RuleTrace {
+    fn from_value(v: &serde::Value) -> std::result::Result<RuleTrace, serde::Error> {
+        Ok(RuleTrace {
+            nodes: serde::field(v, "nodes")?,
+            constructed: serde::field(v, "constructed")?,
+            wall_ns: serde::field(v, "wall_ns")?,
+        })
+    }
+}
+
+impl serde::Serialize for Observation {
+    fn to_value(&self) -> serde::Value {
+        serde::object([
+            ("source", self.source.to_value()),
+            ("label", self.label.to_value()),
+            ("count", self.count.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Observation {
+    fn from_value(v: &serde::Value) -> std::result::Result<Observation, serde::Error> {
+        Ok(Observation {
+            source: serde::field(v, "source")?,
+            label: serde::field(v, "label")?,
+            count: serde::field(v, "count")?,
+        })
+    }
+}
+
+impl serde::Serialize for QueryTrace {
+    fn to_value(&self) -> serde::Value {
+        // source_calls as a JSON object keyed by source name; BTreeMap
+        // iteration keeps the key order deterministic.
+        let calls = serde::Value::Object(
+            self.source_calls
+                .iter()
+                .map(|(s, n)| (s.as_str(), n.to_value()))
+                .collect(),
+        );
+        serde::object([
+            ("query", self.query.to_value()),
+            ("rules", self.rules.to_value()),
+            ("observations", self.observations.to_value()),
+            ("source_calls", calls),
+            ("result_count", self.result_count.to_value()),
+            ("result_dedup_removed", self.result_dedup_removed.to_value()),
+            ("wall_ns", self.wall_ns.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for QueryTrace {
+    fn from_value(v: &serde::Value) -> std::result::Result<QueryTrace, serde::Error> {
+        let calls_v = v
+            .get("source_calls")
+            .ok_or_else(|| serde::Error::custom("missing field `source_calls`"))?;
+        let serde::Value::Object(pairs) = calls_v else {
+            return Err(serde::Error::custom("`source_calls` must be an object"));
+        };
+        let mut source_calls = BTreeMap::new();
+        for (k, n) in pairs {
+            source_calls.insert(Symbol::intern(k), usize::from_value(n)?);
+        }
+        Ok(QueryTrace {
+            query: serde::field(v, "query")?,
+            rules: serde::field(v, "rules")?,
+            observations: serde::field(v, "observations")?,
+            source_calls,
+            result_count: serde::field(v, "result_count")?,
+            result_dedup_removed: serde::field(v, "result_dedup_removed")?,
+            wall_ns: serde::field(v, "wall_ns")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::sym;
+    use serde::{Deserialize, Serialize};
+
+    fn sample() -> QueryTrace {
+        QueryTrace {
+            query: "S :- S:<cs_person {<year 3>}>@med".to_string(),
+            rules: vec![RuleTrace {
+                nodes: vec![NodeTrace {
+                    op: "query".to_string(),
+                    detail: "@whois: ...".to_string(),
+                    metrics: NodeMetrics {
+                        rows_in: 1,
+                        rows_out: 2,
+                        bindings_produced: 2,
+                        source_calls: 1,
+                        dedup_hits: 0,
+                        wall_ns: 12_345,
+                        est_rows: 10.0,
+                    },
+                    table: "| 1 | 'Joe Chung' |".to_string(),
+                }],
+                constructed: 2,
+                wall_ns: 20_000,
+            }],
+            observations: vec![
+                Observation {
+                    source: sym("whois"),
+                    label: Some(sym("person")),
+                    count: 2,
+                },
+                Observation {
+                    source: sym("cs"),
+                    label: None,
+                    count: 3,
+                },
+            ],
+            source_calls: [(sym("whois"), 1), (sym("cs"), 2)].into_iter().collect(),
+            result_count: 1,
+            result_dedup_removed: 1,
+            wall_ns: 99_000,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let trace = sample();
+        let text = serde_json::to_string_pretty(&trace).unwrap();
+        let parsed: QueryTrace = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, trace);
+        // The schema names of DESIGN.md §6 are all present.
+        for key in [
+            "\"query\"",
+            "\"rules\"",
+            "\"nodes\"",
+            "\"metrics\"",
+            "\"rows_in\"",
+            "\"rows_out\"",
+            "\"bindings_produced\"",
+            "\"source_calls\"",
+            "\"dedup_hits\"",
+            "\"wall_ns\"",
+            "\"est_rows\"",
+            "\"observations\"",
+            "\"result_count\"",
+            "\"result_dedup_removed\"",
+        ] {
+            assert!(text.contains(key), "missing {key} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn none_label_round_trips_as_null() {
+        let trace = sample();
+        let text = serde_json::to_string(&trace.observations[1].to_value()).unwrap();
+        assert!(text.contains("\"label\":null"), "{text}");
+        let parsed = Observation::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed.label, None);
+    }
+
+    #[test]
+    fn accessors() {
+        let trace = sample();
+        assert_eq!(trace.nodes().count(), 1);
+        assert_eq!(trace.calls(sym("cs")), 2);
+        assert_eq!(trace.calls(sym("nowhere")), 0);
+        assert_eq!(trace.total_source_calls(), 3);
+        let m = &trace.rules[0].nodes[0].metrics;
+        assert!((m.drift().unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(NodeMetrics::default().drift(), None);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(950), "950ns");
+        assert_eq!(format_ns(1_500), "1.5µs");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(3_200_000_000), "3.20s");
+    }
+}

@@ -26,7 +26,9 @@ use wrappers::Wrapper;
 /// Where a tail item's objects come from: a wrapper, or a materialized
 /// store (the view under fixpoint construction).
 pub enum SourceRef<'a> {
+    /// A live source wrapper.
     Wrapper(&'a Arc<dyn Wrapper>),
+    /// An already-materialized store.
     Store(&'a ObjectStore),
 }
 

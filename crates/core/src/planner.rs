@@ -59,9 +59,13 @@ impl Default for PlannerOptions {
 
 /// Everything the planner consults.
 pub struct PlanContext<'a> {
+    /// The registered source wrappers, by name.
     pub sources: &'a HashMap<Symbol, Arc<dyn Wrapper>>,
+    /// External predicate implementations (for placement feasibility).
     pub registry: &'a ExternalRegistry,
+    /// Cardinality statistics (provided + learned, §3.5).
     pub stats: &'a StatsCache,
+    /// Planner knobs.
     pub options: &'a PlannerOptions,
 }
 
@@ -237,12 +241,18 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
     }
 
     // ---- build the chain ---------------------------------------------------
+    // `estimates` stays parallel to `nodes`: every push into one is paired
+    // with a push into the other, so EXPLAIN ANALYZE can line the cost
+    // model's guess up against what actually flowed through each node.
     let mut nodes: Vec<Node> = Vec::new();
+    let mut estimates: Vec<f64> = Vec::new();
     let mut bound: HashSet<Symbol> = HashSet::new();
     let mut placed_ext = vec![false; externals.len()];
     let mut running_est: f64 = 1.0;
 
     let place_externals = |nodes: &mut Vec<Node>,
+                           estimates: &mut Vec<f64>,
+                           cur_est: f64,
                            bound: &mut HashSet<Symbol>,
                            placed: &mut Vec<bool>,
                            ctx: &PlanContext| {
@@ -263,6 +273,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                     args: args.clone(),
                     new_vars,
                 });
+                estimates.push(cur_est);
                 placed[i] = true;
                 progressed = true;
             }
@@ -390,6 +401,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
             }
             running_est = running_est.min(est).max(1.0);
         }
+        estimates.push(running_est);
         bound.extend(extract.iter().map(|e| e.var));
         bound.extend(param_vars.iter().copied());
 
@@ -406,13 +418,28 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                     condition: condition.clone(),
                 }),
             }
+            estimates.push(running_est);
         }
 
-        place_externals(&mut nodes, &mut bound, &mut placed_ext, ctx);
+        place_externals(
+            &mut nodes,
+            &mut estimates,
+            running_est,
+            &mut bound,
+            &mut placed_ext,
+            ctx,
+        );
     }
 
     // Last chance for stragglers (e.g. all-bound checks).
-    place_externals(&mut nodes, &mut bound, &mut placed_ext, ctx);
+    place_externals(
+        &mut nodes,
+        &mut estimates,
+        running_est,
+        &mut bound,
+        &mut placed_ext,
+        ctx,
+    );
     if let Some(i) = placed_ext.iter().position(|p| !p) {
         return Err(MedError::Planning(format!(
             "external predicate {} is not callable in any placement \
@@ -427,10 +454,12 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
         let mut seen = HashSet::new();
         hv.retain(|v| seen.insert(*v));
         nodes.push(Node::DupElim { vars: hv });
+        estimates.push(running_est);
     }
 
     Ok(RulePlan {
         nodes,
+        estimates,
         head: rule.head.clone(),
     })
 }

@@ -46,6 +46,16 @@ impl StatsCache {
         *e = EWMA * count as f64 + (1.0 - EWMA) * *e;
     }
 
+    /// Fold every source observation of an executed query's trace into the
+    /// EWMA tables — the §3.5 feedback loop. The mediator calls this once
+    /// per executed query, so each `Observation` carried by the trace
+    /// contributes exactly one [`StatsCache::record`].
+    pub fn record_trace(&mut self, trace: &crate::metrics::QueryTrace) {
+        for o in &trace.observations {
+            self.record(o.source, o.label, o.count);
+        }
+    }
+
     /// Estimated number of top-level objects matching a bare label at a
     /// source.
     pub fn base_count(&self, source: Symbol, label: Option<Symbol>) -> f64 {
@@ -195,6 +205,37 @@ mod tests {
         // EWMA blends subsequent observations.
         c.record(sym("s"), Some(sym("person")), 20);
         assert_eq!(c.base_count(sym("s"), Some(sym("person"))), 15.0);
+    }
+
+    #[test]
+    fn record_trace_feeds_every_observation() {
+        use crate::metrics::{Observation, QueryTrace};
+        let mut c = StatsCache::new();
+        let trace = QueryTrace {
+            observations: vec![
+                Observation {
+                    source: sym("s"),
+                    label: Some(sym("person")),
+                    count: 10,
+                },
+                Observation {
+                    source: sym("s"),
+                    label: Some(sym("person")),
+                    count: 20,
+                },
+                Observation {
+                    source: sym("t"),
+                    label: None,
+                    count: 4,
+                },
+            ],
+            ..Default::default()
+        };
+        c.record_trace(&trace);
+        // Two observations of the same key blend via EWMA: 10 then 20 → 15.
+        assert_eq!(c.base_count(sym("s"), Some(sym("person"))), 15.0);
+        assert_eq!(c.base_count(sym("t"), None), 4.0);
+        assert!(c.knows(sym("t")));
     }
 
     #[test]

@@ -12,7 +12,9 @@ use std::fmt::Write;
 /// A table of variable bindings.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct BindingTable {
+    /// Column names (one per variable).
     pub cols: Vec<Symbol>,
+    /// Rows of bound values, parallel to `cols`.
     pub rows: Vec<Vec<BoundValue>>,
 }
 

@@ -84,6 +84,12 @@ pub trait Wrapper: Send + Sync {
         None
     }
 
+    /// A snapshot of this wrapper's own traffic counters (see
+    /// [`crate::metrics`]). `None` for uninstrumented wrappers.
+    fn metrics(&self) -> Option<crate::metrics::WrapperMetrics> {
+        None
+    }
+
     /// Answer an MSL query. Tail `Match` items must refer to this source
     /// (their `@source` annotation equal to `self.name()` or absent);
     /// external predicates are not evaluated by wrappers.

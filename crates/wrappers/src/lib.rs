@@ -9,6 +9,9 @@
 //!   [`capabilities::Capabilities`] and optional [`api::SourceStats`].
 //! * [`capabilities`] — which query features a source supports (§3.5's
 //!   "limited query capabilities of the underlying sources").
+//! * [`metrics`] — wrapper-side instrumentation: per-wrapper counters
+//!   (queries received, objects exported, capability rejections) exposed
+//!   through [`api::Wrapper::metrics`].
 //! * [`relational`] — wraps a [`minidb`] catalog: every row is exported as
 //!   a top-level OEM object labeled by its relation name (Figure 2.2),
 //!   with equality conditions pushed down to the relational engine.
@@ -21,6 +24,7 @@
 pub mod api;
 pub mod capabilities;
 pub mod eval;
+pub mod metrics;
 pub mod relational;
 pub mod scenario;
 pub mod semistructured;
@@ -28,5 +32,6 @@ pub mod workload;
 
 pub use api::{SourceStats, Wrapper, WrapperError};
 pub use capabilities::Capabilities;
+pub use metrics::{WrapperCounters, WrapperMetrics};
 pub use relational::RelationalWrapper;
 pub use semistructured::SemiStructuredWrapper;

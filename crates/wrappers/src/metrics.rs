@@ -1,0 +1,110 @@
+//! Wrapper-side instrumentation.
+//!
+//! The datamerge engine's [`medmaker` metrics] count traffic from the
+//! mediator's point of view; the counters here are the *wrapper's* own
+//! tally, visible even when a wrapper is shared between mediators or
+//! queried directly. Instrumented wrappers hold a [`WrapperCounters`] and
+//! bump it inside `query()`; [`crate::Wrapper::metrics`] exposes a
+//! [`WrapperMetrics`] snapshot.
+//!
+//! Counters (all monotone, in events since construction):
+//!
+//! | counter                 | unit    | bumped when                        |
+//! |-------------------------|---------|------------------------------------|
+//! | `queries_received`      | queries | a query arrives, before any checks |
+//! | `objects_exported`      | objects | per top-level result object        |
+//! | `capability_rejections` | queries | the query fails the capability check (§3.5) |
+//!
+//! [`medmaker` metrics]: ../medmaker/metrics/index.html
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Live, thread-safe counters a wrapper bumps while answering queries
+/// (`query()` takes `&self`, so these are atomics).
+#[derive(Debug, Default)]
+pub struct WrapperCounters {
+    queries_received: AtomicUsize,
+    objects_exported: AtomicUsize,
+    capability_rejections: AtomicUsize,
+}
+
+impl WrapperCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> WrapperCounters {
+        WrapperCounters::default()
+    }
+
+    /// A query arrived (count it before validation, so rejected queries
+    /// are received queries too).
+    pub fn query_received(&self) {
+        self.queries_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` top-level result objects left the wrapper.
+    pub fn objects_exported(&self, n: usize) {
+        self.objects_exported.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The capability check turned the query away (§3.5).
+    pub fn capability_rejected(&self) {
+        self.capability_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> WrapperMetrics {
+        WrapperMetrics {
+            queries_received: self.queries_received.load(Ordering::Relaxed),
+            objects_exported: self.objects_exported.load(Ordering::Relaxed),
+            capability_rejections: self.capability_rejections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of a wrapper's counters (plain data, returned by
+/// [`crate::Wrapper::metrics`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WrapperMetrics {
+    /// Queries this wrapper has received (including rejected ones).
+    pub queries_received: usize,
+    /// Top-level OEM objects exported in query results.
+    pub objects_exported: usize,
+    /// Queries refused by the capability check.
+    pub capability_rejections: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = WrapperCounters::new();
+        assert_eq!(c.snapshot(), WrapperMetrics::default());
+        c.query_received();
+        c.query_received();
+        c.objects_exported(5);
+        c.capability_rejected();
+        let m = c.snapshot();
+        assert_eq!(m.queries_received, 2);
+        assert_eq!(m.objects_exported, 5);
+        assert_eq!(m.capability_rejections, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = WrapperCounters::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        c.query_received();
+                        c.objects_exported(2);
+                    }
+                });
+            }
+        });
+        let m = c.snapshot();
+        assert_eq!(m.queries_received, 400);
+        assert_eq!(m.objects_exported, 800);
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::api::{own_patterns, SourceStats, Wrapper, WrapperError};
 use crate::capabilities::Capabilities;
+use crate::metrics::{WrapperCounters, WrapperMetrics};
 use engine::bindings::{dedup_bindings, Bindings};
 use engine::construct::Constructor;
 use engine::matcher::match_top_level;
@@ -33,6 +34,7 @@ pub struct RelationalWrapper {
     name: Symbol,
     catalog: Catalog,
     caps: Capabilities,
+    counters: WrapperCounters,
 }
 
 impl RelationalWrapper {
@@ -49,6 +51,7 @@ impl RelationalWrapper {
             name: Symbol::intern(name),
             catalog,
             caps,
+            counters: WrapperCounters::new(),
         }
     }
 
@@ -203,10 +206,16 @@ impl Wrapper for RelationalWrapper {
         })
     }
 
+    fn metrics(&self) -> Option<WrapperMetrics> {
+        Some(self.counters.snapshot())
+    }
+
     fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError> {
-        self.caps
-            .check_query(q)
-            .map_err(WrapperError::Unsupported)?;
+        self.counters.query_received();
+        if let Err(e) = self.caps.check_query(q) {
+            self.counters.capability_rejected();
+            return Err(WrapperError::Unsupported(e));
+        }
         let patterns = own_patterns(self.name, q)?;
 
         // Materialize, per tail pattern, only rows surviving pushdown.
@@ -249,6 +258,7 @@ impl Wrapper for RelationalWrapper {
             ctor.construct_head(&q.head, b, &mut out)
                 .map_err(|e| WrapperError::Construct(e.to_string()))?;
         }
+        self.counters.objects_exported(out.top_level().len());
         Ok(out)
     }
 }
@@ -406,6 +416,19 @@ mod tests {
         let w = cs();
         let q = parse_query("X :- X:<employee {* <title T>}>@cs").unwrap();
         assert!(matches!(w.query(&q), Err(WrapperError::Unsupported(_))));
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        let w = cs();
+        let q = parse_query("X :- X:<employee {}>@cs").unwrap();
+        w.query(&q).unwrap();
+        let rejected = parse_query("X :- X:<employee {* <title T>}>@cs").unwrap();
+        w.query(&rejected).unwrap_err();
+        let m = w.metrics().unwrap();
+        assert_eq!(m.queries_received, 2);
+        assert_eq!(m.objects_exported, 1);
+        assert_eq!(m.capability_rejections, 1);
     }
 
     #[test]

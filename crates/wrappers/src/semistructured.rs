@@ -9,6 +9,7 @@
 use crate::api::{SourceStats, Wrapper, WrapperError};
 use crate::capabilities::Capabilities;
 use crate::eval::answer_msl_query;
+use crate::metrics::{WrapperCounters, WrapperMetrics};
 use msl::Rule;
 use oem::{ObjectStore, Symbol};
 use std::collections::BTreeMap;
@@ -19,6 +20,7 @@ pub struct SemiStructuredSource {
     store: ObjectStore,
     caps: Capabilities,
     provide_stats: bool,
+    counters: WrapperCounters,
 }
 
 /// Alias used throughout docs/tests.
@@ -34,6 +36,7 @@ impl SemiStructuredSource {
             store,
             caps: Capabilities::full(),
             provide_stats: false,
+            counters: WrapperCounters::new(),
         }
     }
 
@@ -108,11 +111,19 @@ impl Wrapper for SemiStructuredSource {
         }
     }
 
+    fn metrics(&self) -> Option<WrapperMetrics> {
+        Some(self.counters.snapshot())
+    }
+
     fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError> {
-        self.caps
-            .check_query(q)
-            .map_err(WrapperError::Unsupported)?;
-        answer_msl_query(self.name, &self.store, q)
+        self.counters.query_received();
+        if let Err(e) = self.caps.check_query(q) {
+            self.counters.capability_rejected();
+            return Err(WrapperError::Unsupported(e));
+        }
+        let result = answer_msl_query(self.name, &self.store, q)?;
+        self.counters.objects_exported(result.top_level().len());
+        Ok(result)
     }
 }
 
@@ -180,6 +191,23 @@ mod tests {
         assert_eq!(s.label_counts.get(&sym("person")), Some(&2));
         // Two distinct names → selectivity 1/2.
         assert!((s.selectivity(sym("name")) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metrics_count_queries_exports_and_rejections() {
+        let w = whois().with_capabilities(Capabilities::full().without_condition_on(sym("year")));
+        let ok = parse_query("X :- X:<person {<name N>}>@whois").unwrap();
+        let bad = parse_query("X :- X:<person {<name N> | R:{<year 3>}}>@whois").unwrap();
+        assert_eq!(
+            w.metrics().unwrap(),
+            crate::metrics::WrapperMetrics::default()
+        );
+        w.query(&ok).unwrap();
+        w.query(&bad).unwrap_err();
+        let m = w.metrics().unwrap();
+        assert_eq!(m.queries_received, 2);
+        assert_eq!(m.objects_exported, 2); // the ok query matched 2 people
+        assert_eq!(m.capability_rejections, 1);
     }
 
     #[test]

@@ -193,6 +193,86 @@ fn mediator_stacks_as_source() {
     assert_eq!(res.top_level().len(), 2);
 }
 
+/// The instrumented Figure 3.6 run (`experiments analyze`): per-node
+/// observed row counts for the Q1 chain. The outer cs fetch finds both
+/// people; decomp plus the name condition narrow to Joe Chung; the
+/// parameterized whois query and duplicate elimination each pass the
+/// single surviving row to the constructor.
+#[test]
+fn analyze_q1_per_node_row_counts() {
+    let med = med_minimal();
+    let (report, trace) = med
+        .explain_analyze("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+        .unwrap();
+    assert_eq!(trace.rules.len(), 1);
+    let nodes = &trace.rules[0].nodes;
+    let observed: Vec<(&str, usize, usize)> = nodes
+        .iter()
+        .map(|n| (n.op.as_str(), n.metrics.rows_in, n.metrics.rows_out))
+        .collect();
+    assert_eq!(
+        observed,
+        vec![
+            ("query", 1, 2),
+            ("external pred", 2, 1),
+            ("parameterized query", 1, 1),
+            ("dup elim", 1, 1),
+        ],
+        "{report}"
+    );
+    // One round-trip per source, timing on every node, one result object.
+    assert_eq!(trace.calls(sym("cs")), 1);
+    assert_eq!(trace.calls(sym("whois")), 1);
+    assert_eq!(trace.rules[0].constructed, 1);
+    assert_eq!(trace.result_count, 1);
+    assert!(report.contains("rows: 1 in -> 2 out"), "{report}");
+    assert!(report.contains("=== totals ==="), "{report}");
+}
+
+/// The τ1/τ2 pushdown chains of the year query, node by node: τ1 keeps the
+/// year condition in the whois query (paper's Q3 shape, both per-tuple
+/// probes filtered down to Nick), τ2 pushes it into cs's student table
+/// (Q4 shape, one row end to end).
+#[test]
+fn analyze_tau_chains_per_node_row_counts() {
+    let med = med_minimal();
+    let (_, trace) = med
+        .explain_analyze("S :- S:<cs_person {<year 3>}>@med")
+        .unwrap();
+    assert_eq!(trace.rules.len(), 2);
+    let rows = |ri: usize| -> Vec<(usize, usize)> {
+        trace.rules[ri]
+            .nodes
+            .iter()
+            .map(|n| (n.metrics.rows_in, n.metrics.rows_out))
+            .collect()
+    };
+    // τ1: cs fetch (2 people) → decomp → 2 whois probes with the year
+    // condition pushed, only Nick's succeeds → dedup.
+    assert_eq!(rows(0), vec![(1, 2), (2, 2), (2, 1), (1, 1)], "{trace:?}");
+    // τ2: year pushed into cs (1 student row) → decomp → whois probe → dedup.
+    assert_eq!(rows(1), vec![(1, 1), (1, 1), (1, 1), (1, 1)], "{trace:?}");
+    // The whois parameterized query of τ1 memoizes nothing here: two
+    // distinct name/relation tuples mean two source round-trips.
+    assert_eq!(trace.rules[0].nodes[2].metrics.source_calls, 2);
+    assert_eq!(trace.result_count, 1);
+}
+
+/// A trace produced through the mediator survives the JSON export format
+/// unchanged (the `--trace-json` path).
+#[test]
+fn query_trace_json_round_trip() {
+    use serde::{Deserialize, Serialize};
+    let med = med_minimal();
+    let (_, trace) = med
+        .explain_analyze("S :- S:<cs_person {<year 3>}>@med")
+        .unwrap();
+    let json = serde_json::to_string_pretty(&trace.to_value()).unwrap();
+    let back =
+        medmaker::metrics::QueryTrace::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+    assert_eq!(back, trace);
+}
+
 /// Querying the mediator twice gives structurally identical results
 /// (determinism).
 #[test]
