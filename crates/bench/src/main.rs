@@ -5,7 +5,7 @@
 //! Usage: `cargo run -p medmaker-bench --bin experiments -- <id|all>`
 //! where `<id>` is one of: architecture fig22 fig23 ms1 bindings fig24
 //! pipeline theta1 pushdown fig36 schema_query wildcard fusion recursion
-//! dupelim capabilities stats analyze lorel
+//! dupelim capabilities stats analyze lorel faults
 
 use engine::bindings::Bindings;
 use engine::matcher::match_top_level;
@@ -47,6 +47,7 @@ fn main() {
         ("stats", stats),
         ("analyze", analyze),
         ("lorel", lorel_frontend),
+        ("faults", faults),
     ];
     let mut ran = false;
     for (name, f) in &experiments {
@@ -271,6 +272,7 @@ fn fig36() {
         &ExecOptions {
             trace: true,
             parallel: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -457,4 +459,102 @@ fn analyze() {
         );
     }
     println!("[ok] every node annotated with observed cardinality and timing");
+}
+
+/// Fault tolerance: the Figure 3.6 scenario re-run with the whois source
+/// down. Fail mode reports the dead source as an error; `--partial` mode
+/// degrades — rule chains that need whois are dropped and the cs-side
+/// answer still comes back, annotated incomplete. A third run shows the
+/// retry policy riding out a flaky source (all on virtual time: no sleeps).
+fn faults() {
+    use medmaker::{FaultOptions, OnSourceFailure, RetryPolicy};
+    use wrappers::fault::{FaultInjectingWrapper, FaultPlan};
+
+    // The fusion union view (one rule per source) is where degradation is
+    // visible: with whois dead, the cs rule alone still answers.
+    let union_spec = "\
+<person_id(N) all_person {<name N> <src 'whois'> Rest}> :-
+    <person {<name N> | Rest}>@whois
+<person_id(N) all_person {<name N> <src 'cs'> <first FN> <last LN> Rest2}> :-
+    <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN)
+
+decomp(bound, free, free) by name_to_lnfn
+decomp(free, bound, bound) by lnfn_to_name
+";
+    let build = |plan: FaultPlan, fault: FaultOptions| {
+        let whois: Arc<dyn Wrapper> =
+            Arc::new(FaultInjectingWrapper::new(Arc::new(whois_wrapper()), plan));
+        Mediator::new(
+            "m",
+            union_spec,
+            vec![whois, Arc::new(cs_wrapper())],
+            registry(),
+        )
+        .unwrap()
+        .with_options(MediatorOptions {
+            trace: true,
+            fault,
+            ..Default::default()
+        })
+    };
+    let q = msl::parse_query("P :- P:<all_person {}>@m").unwrap();
+
+    println!("whois down, fail mode (the default): the query fails closed");
+    let med = build(FaultPlan::always_down(), FaultOptions::default());
+    let err = med.query_rule(&q).err().expect("dead source must error");
+    println!("  error: {err}");
+    assert!(matches!(err, medmaker::MedError::SourceUnavailable { .. }));
+
+    println!("whois down, --partial: the cs side of the union still answers");
+    let med = build(
+        FaultPlan::always_down(),
+        FaultOptions {
+            on_source_failure: OnSourceFailure::Partial,
+            ..Default::default()
+        },
+    );
+    let outcome = med.query_rule(&q).unwrap();
+    print!("{}", print_store(&outcome.results));
+    assert_eq!(
+        outcome.results.top_level().len(),
+        2,
+        "Joe and Nick from cs alone"
+    );
+    let printed = print_store(&outcome.results);
+    assert!(printed.contains("'cs'"), "cs contributions survive");
+    assert!(!printed.contains("'whois'"), "no whois contribution");
+    let c = &outcome.trace.completeness;
+    assert!(!c.is_complete());
+    assert!(c.sources_failed.contains_key(&sym("whois")));
+    println!(
+        "  completeness: PARTIAL — failed: {:?}, {} chain(s) dropped",
+        c.sources_failed.keys().collect::<Vec<_>>(),
+        c.skipped_chains.len()
+    );
+
+    println!("whois flaky (first 2 calls fail), --retries 3: full answer returns");
+    let clock = Arc::new(wrappers::fault::VirtualClock::new());
+    let med = build(
+        FaultPlan::none().fail_first(2),
+        FaultOptions {
+            retry: RetryPolicy::retries(3),
+            ..Default::default()
+        }
+        .on_virtual_time(clock),
+    );
+    let outcome = med.query_rule(&q).unwrap();
+    assert_eq!(outcome.results.top_level().len(), 2, "fused answer is back");
+    assert!(outcome.trace.completeness.is_complete());
+    assert_eq!(outcome.trace.retries_for(sym("whois")), 2);
+    println!(
+        "  retries: whois={}, failed attempts: whois={} (virtual time, no sleeping)",
+        outcome.trace.retries_for(sym("whois")),
+        outcome.trace.failures_for(sym("whois"))
+    );
+    println!(
+        "[ok] fail mode surfaces the dead source; --partial degrades to the \
+         cs-only answer with the trace naming what's missing; bounded retry \
+         rides out transient faults"
+    );
 }

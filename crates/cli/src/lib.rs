@@ -57,12 +57,19 @@ pub struct Config {
     /// Write the QueryTrace as JSON to this path (`--trace-json PATH`,
     /// explain mode only; implies `--analyze`).
     pub trace_json: Option<PathBuf>,
+    /// Retry each failing source call up to N more times (`--retries N`).
+    pub retries: Option<usize>,
+    /// Per-source deadline in milliseconds (`--source-deadline-ms MS`).
+    pub source_deadline_ms: Option<u64>,
+    /// Degrade instead of failing when a source is down (`--partial`).
+    pub partial: bool,
 }
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
-                [--minimal] [--no-dedup] [--explain] [QUERY]
+                [--minimal] [--no-dedup] [--explain]
+                [--retries N] [--source-deadline-ms MS] [--partial] [QUERY]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
 
@@ -78,6 +85,14 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
   --analyze         (explain mode) EXPLAIN ANALYZE: annotate the executed
                     plan with observed rows, estimate drift and timings
   --trace-json PATH (explain mode) write the QueryTrace as JSON to PATH
+  --retries N       retry a failing source call up to N more times
+                    (exponential backoff; default: 0, fail on first error)
+  --source-deadline-ms MS
+                    discard any source answer that took longer than MS
+                    milliseconds (counts as a source failure)
+  --partial         when a source stays down, drop only the rule chains
+                    that need it and return the rest (annotated PARTIAL)
+                    instead of failing the whole query
   QUERY             a query; omit for an interactive session
 
 lint mode runs every speclint diagnostic pass over SPEC and exits with
@@ -125,6 +140,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
             }
             "--minimal" => cfg.minimal = true,
             "--no-dedup" => cfg.no_dedup = true,
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a number argument")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--retries expects a number, got '{v}'"))?;
+                cfg.retries = Some(n);
+            }
+            "--source-deadline-ms" => {
+                let v = it
+                    .next()
+                    .ok_or("--source-deadline-ms needs a number argument")?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--source-deadline-ms expects a number, got '{v}'"))?;
+                cfg.source_deadline_ms = Some(ms);
+            }
+            "--partial" => cfg.partial = true,
             "--explain" => cfg.explain = true,
             "--lorel" => cfg.lorel = true,
             "--json" if cfg.lint => cfg.json = true,
@@ -225,6 +257,19 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         medmaker::externals::standard_registry(),
     )
     .map_err(|e| e.to_string())?;
+    let fault = medmaker::FaultOptions {
+        retry: match cfg.retries {
+            Some(n) => medmaker::RetryPolicy::retries(n),
+            None => Default::default(),
+        },
+        source_deadline_ms: cfg.source_deadline_ms,
+        on_source_failure: if cfg.partial {
+            medmaker::OnSourceFailure::Partial
+        } else {
+            medmaker::OnSourceFailure::Fail
+        },
+        ..Default::default()
+    };
     Ok(med.with_options(MediatorOptions {
         planner: PlannerOptions {
             dedup: !cfg.no_dedup,
@@ -235,6 +280,7 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         } else {
             engine::unify::UnifyMode::Exhaustive
         },
+        fault,
         ..Default::default()
     }))
 }
@@ -391,9 +437,26 @@ pub fn run_query(
         write!(out, "{text}").map_err(|e| e.to_string())?;
         return Ok(());
     }
-    let results = med.query_text(query).map_err(|e| e.to_string())?;
-    write!(out, "{}", oem::printer::print_store(&results)).map_err(|e| e.to_string())?;
+    let rule = msl::parse_query(query).map_err(|e| e.to_string())?;
+    let outcome = med.query_rule(&rule).map_err(|e| e.to_string())?;
+    let results = &outcome.results;
+    write!(out, "{}", oem::printer::print_store(results)).map_err(|e| e.to_string())?;
     writeln!(out, ";; {} object(s)", results.top_level().len()).map_err(|e| e.to_string())?;
+    let completeness = &outcome.trace.completeness;
+    if !completeness.is_complete() {
+        let failed: Vec<String> = completeness
+            .sources_failed
+            .iter()
+            .map(|(s, why)| format!("{s} ({why})"))
+            .collect();
+        writeln!(
+            out,
+            ";; PARTIAL: failed sources: {}; {} chain(s) dropped",
+            failed.join(", "),
+            completeness.skipped_chains.len()
+        )
+        .map_err(|e| e.to_string())?;
+    }
     Ok(())
 }
 
@@ -490,6 +553,27 @@ mod tests {
     }
 
     #[test]
+    fn parse_fault_tolerance_flags() {
+        let cfg = parse_args(argv(
+            "--spec med.msl --retries 3 --source-deadline-ms 250 --partial QUERY",
+        ))
+        .unwrap();
+        assert_eq!(cfg.retries, Some(3));
+        assert_eq!(cfg.source_deadline_ms, Some(250));
+        assert!(cfg.partial);
+        // Defaults: fail-fast, no retry, no deadline.
+        let cfg = parse_args(argv("--spec med.msl QUERY")).unwrap();
+        assert_eq!(cfg.retries, None);
+        assert_eq!(cfg.source_deadline_ms, None);
+        assert!(!cfg.partial);
+        // Both numeric flags validate their argument.
+        assert!(parse_args(argv("--spec s.msl --retries many")).is_err());
+        assert!(parse_args(argv("--spec s.msl --retries")).is_err());
+        assert!(parse_args(argv("--spec s.msl --source-deadline-ms soon")).is_err());
+        assert!(parse_args(argv("--spec s.msl --source-deadline-ms")).is_err());
+    }
+
+    #[test]
     fn parse_errors() {
         assert!(parse_args(argv("--oem whois=w.oem")).is_err()); // no --spec
         assert!(parse_args(argv("--spec s.msl --oem broken")).is_err());
@@ -520,6 +604,39 @@ mod tests {
         assert!(text.contains("'Ann'"), "{text}");
         assert!(text.contains(";; 1 object(s)"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_query_prints_partial_notice_when_a_source_is_down() {
+        use wrappers::fault::{FaultInjectingWrapper, FaultPlan};
+        let spec = "<v {<n N> <from 'up'>}> :- <person {<name N>}>@up\n\
+                    <v {<n N> <from 'down'>}> :- <person {<name N>}>@down\n";
+        let store = oem::parser::parse_store("<&p1, person, set, {<&n1, name, 'Ann'>}>").unwrap();
+        let up: Arc<dyn Wrapper> = Arc::new(SemiStructuredWrapper::new("up", store.clone()));
+        let down: Arc<dyn Wrapper> = Arc::new(FaultInjectingWrapper::new(
+            Arc::new(SemiStructuredWrapper::new("down", store)),
+            FaultPlan::always_down(),
+        ));
+        let med = Mediator::new(
+            "m",
+            spec,
+            vec![up, down],
+            medmaker::externals::standard_registry(),
+        )
+        .unwrap()
+        .with_options(MediatorOptions {
+            fault: medmaker::FaultOptions {
+                on_source_failure: medmaker::OnSourceFailure::Partial,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut out = Vec::new();
+        run_query(&med, "X :- X:<v {}>@m", false, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("'Ann'"), "{text}");
+        assert!(text.contains(";; PARTIAL: failed sources: down"), "{text}");
+        assert!(text.contains("chain(s) dropped"), "{text}");
     }
 
     fn temp_spec(tag: &str, text: &str) -> (std::path::PathBuf, std::path::PathBuf) {

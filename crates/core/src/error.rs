@@ -31,6 +31,18 @@ pub enum MedError {
     Construct(String),
     /// The recursive fixpoint did not converge within the iteration bound.
     FixpointDiverged(usize),
+    /// A source stayed failed after the retry policy was exhausted (or its
+    /// circuit breaker was open). In `OnSourceFailure::Fail` mode this
+    /// aborts the query; in `Partial` mode it is caught per chain.
+    SourceUnavailable {
+        /// The failed source's name.
+        source: String,
+        /// The last transient error observed.
+        reason: String,
+    },
+    /// A rule chain's worker thread panicked (parallel mode). Carries the
+    /// panic payload when it was a string.
+    ChainPanic(String),
 }
 
 impl fmt::Display for MedError {
@@ -59,6 +71,10 @@ impl fmt::Display for MedError {
             MedError::FixpointDiverged(n) => {
                 write!(f, "recursive view did not converge within {n} iterations")
             }
+            MedError::SourceUnavailable { source, reason } => {
+                write!(f, "source '{source}' unavailable: {reason}")
+            }
+            MedError::ChainPanic(m) => write!(f, "chain thread panicked: {m}"),
         }
     }
 }
@@ -94,5 +110,13 @@ mod tests {
         let e: MedError = wrappers::WrapperError::Unsupported("year".into()).into();
         assert!(e.to_string().contains("year"));
         assert!(MedError::FixpointDiverged(100).to_string().contains("100"));
+        let e = MedError::SourceUnavailable {
+            source: "whois".into(),
+            reason: "connection refused".into(),
+        };
+        assert!(e.to_string().contains("whois"), "{e}");
+        assert!(e.to_string().contains("connection refused"), "{e}");
+        let e = MedError::ChainPanic("boom".into());
+        assert!(e.to_string().contains("boom"), "{e}");
     }
 }

@@ -13,16 +13,18 @@ use crate::error::{MedError, Result};
 use crate::externals::ExternalRegistry;
 use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
 use crate::metrics::{NodeMetrics, NodeTrace, Observation, QueryTrace, RuleTrace};
+use crate::retry::{CircuitBreaker, FaultOptions, OnSourceFailure, Sleeper, ThreadSleeper};
 use crate::table::BindingTable;
 use engine::bindings::{Bindings, BoundValue};
 use engine::construct::Constructor;
 use engine::subst::fill_params_rule;
 use msl::{Rule, TailItem, Term};
 use oem::{copy, ObjectStore, Symbol, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
-use wrappers::Wrapper;
+use wrappers::fault::{Clock, SystemClock};
+use wrappers::{Wrapper, WrapperError};
 
 /// Execution options.
 #[derive(Clone, Debug, Default)]
@@ -37,6 +39,44 @@ pub struct ExecOptions {
     /// before the (sequential) construction phase, preserving cross-rule
     /// semantic-oid fusion.
     pub parallel: bool,
+    /// What to do when a source misbehaves: retry policy, per-source
+    /// deadline, circuit breaker, and the Fail/Partial degradation mode.
+    pub fault: FaultOptions,
+}
+
+/// Per-execution fault machinery, shared by every chain (the circuit
+/// breaker must see failures across parallel chains).
+struct FaultRuntime {
+    opts: FaultOptions,
+    circuit: CircuitBreaker,
+    sleeper: Arc<dyn Sleeper>,
+    clock: Arc<dyn Clock>,
+}
+
+impl FaultRuntime {
+    fn new(opts: &FaultOptions) -> FaultRuntime {
+        FaultRuntime {
+            opts: opts.clone(),
+            circuit: CircuitBreaker::new(opts.circuit_threshold),
+            sleeper: opts
+                .sleeper
+                .clone()
+                .unwrap_or_else(|| Arc::new(ThreadSleeper)),
+            clock: opts
+                .clock
+                .clone()
+                .unwrap_or_else(|| Arc::new(SystemClock::new())),
+        }
+    }
+}
+
+/// Everything one chain shares with its environment: sources, externals,
+/// fault machinery, tracing flag.
+struct ChainCtx<'a> {
+    sources: &'a HashMap<Symbol, Arc<dyn Wrapper>>,
+    registry: &'a ExternalRegistry,
+    fault: &'a FaultRuntime,
+    trace_on: bool,
 }
 
 /// Execution result.
@@ -57,42 +97,52 @@ struct NodeCounters {
     bindings_produced: usize,
 }
 
+/// Per-chain fault and feedback accounting, merged into the
+/// [`QueryTrace`] even when the chain itself fails (the retry counters of
+/// a chain that exhausted its policy are part of the evidence).
+#[derive(Default)]
+struct ChainStats {
+    observations: Vec<Observation>,
+    source_calls: BTreeMap<Symbol, usize>,
+    retries: BTreeMap<Symbol, usize>,
+    failures: BTreeMap<Symbol, usize>,
+    sources_ok: BTreeSet<Symbol>,
+}
+
 /// Everything one chain produced (its memory is private until merged).
 struct ChainOutcome {
     table: BindingTable,
     memory: ObjectStore,
     trace: RuleTrace,
-    observations: Vec<Observation>,
-    source_calls: BTreeMap<Symbol, usize>,
+    stats: ChainStats,
+    /// `Some` when a source stayed failed and the chain was abandoned —
+    /// Partial mode drops just this chain, Fail mode aborts the query.
+    failed: Option<MedError>,
 }
 
 /// Execute one rule chain bottom-up with its own working memory.
-fn run_chain(
-    rule_plan: &RulePlan,
-    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
-    registry: &ExternalRegistry,
-    trace_on: bool,
-) -> Result<ChainOutcome> {
+fn run_chain(rule_plan: &RulePlan, ctx: &ChainCtx<'_>) -> Result<ChainOutcome> {
     let chain_start = Instant::now();
     let mut memory = ObjectStore::with_oid_prefix("x");
     let mut table = BindingTable::unit();
     let mut nodes = Vec::with_capacity(rule_plan.nodes.len());
-    let mut observations = Vec::new();
-    let mut source_calls: BTreeMap<Symbol, usize> = BTreeMap::new();
+    let mut stats = ChainStats::default();
+    let mut failed = None;
     for (i, node) in rule_plan.nodes.iter().enumerate() {
         let rows_in = table.len();
         let mut counters = NodeCounters::default();
         let node_start = Instant::now();
-        table = exec_node(
-            node,
-            table,
-            &mut memory,
-            sources,
-            registry,
-            &mut observations,
-            &mut source_calls,
-            &mut counters,
-        )?;
+        table = match exec_node(node, table, &mut memory, ctx, &mut stats, &mut counters) {
+            Ok(t) => t,
+            Err(e @ MedError::SourceUnavailable { .. }) => {
+                // The chain is dead: record why and emit no rows. The
+                // caller decides whether that fails the query (Fail) or
+                // just drops this chain (Partial).
+                failed = Some(e);
+                BindingTable::new(Vec::new())
+            }
+            Err(e) => return Err(e),
+        };
         let wall_ns = node_start.elapsed().as_nanos() as u64;
         nodes.push(NodeTrace {
             op: node.op_name().to_string(),
@@ -110,7 +160,7 @@ fn run_chain(
                 wall_ns,
                 est_rows: rule_plan.estimates.get(i).copied().unwrap_or(0.0),
             },
-            table: if trace_on {
+            table: if ctx.trace_on {
                 table.render(&memory)
             } else {
                 String::new()
@@ -127,9 +177,10 @@ fn run_chain(
             nodes,
             constructed: 0, // filled in during the construction phase
             wall_ns: chain_start.elapsed().as_nanos() as u64,
+            error: failed.as_ref().map(|e| e.to_string()),
         },
-        observations,
-        source_calls,
+        stats,
+        failed,
     })
 }
 
@@ -158,38 +209,96 @@ pub fn execute(
     opts: &ExecOptions,
 ) -> Result<ExecOutcome> {
     let exec_start = Instant::now();
+    let fault = FaultRuntime::new(&opts.fault);
+    let ctx = ChainCtx {
+        sources,
+        registry,
+        fault: &fault,
+        trace_on: opts.trace,
+    };
     // Phase 1: run every rule chain (optionally in parallel — chains are
     // independent; "the datamerge engine executes the graph in a bottom-up
     // fashion" per chain).
     let chains: Vec<Result<ChainOutcome>> = if opts.parallel && plan.rules.len() > 1 {
         crossbeam::thread::scope(|scope| {
+            let ctx = &ctx;
             let handles: Vec<_> = plan
                 .rules
                 .iter()
-                .map(|rule_plan| {
-                    scope.spawn(move |_| run_chain(rule_plan, sources, registry, opts.trace))
-                })
+                .map(|rule_plan| scope.spawn(move |_| run_chain(rule_plan, ctx)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("chain thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    // A panicking chain must not abort the whole process:
+                    // surface the payload as a MedError instead.
+                    // NB: deref the Box first — coercing `&Box<dyn Any>`
+                    // would downcast against the box, not the payload.
+                    Err(payload) => Err(MedError::ChainPanic(panic_message(&*payload))),
+                })
                 .collect()
         })
         .expect("crossbeam scope")
     } else {
         plan.rules
             .iter()
-            .map(|rule_plan| run_chain(rule_plan, sources, registry, opts.trace))
+            .map(|rule_plan| run_chain(rule_plan, &ctx))
             .collect()
     };
 
     // Phase 2: merge chain memories into the mediator's memory, remapping
-    // the tables' object references.
+    // the tables' object references. A failed chain aborts the query in
+    // Fail mode; in Partial mode it is dropped and recorded in the
+    // trace's completeness section.
+    let partial = opts.fault.on_source_failure == OnSourceFailure::Partial;
     let mut memory = ObjectStore::with_oid_prefix("x");
     let mut trace = QueryTrace::default();
-    let mut final_tables: Vec<(BindingTable, &RulePlan)> = Vec::new();
-    for (chain, rule_plan) in chains.into_iter().zip(&plan.rules) {
-        let mut chain = chain?;
+    let mut sources_ok: BTreeSet<Symbol> = BTreeSet::new();
+    // (final table, its rule plan, its index in trace.rules)
+    let mut final_tables: Vec<(BindingTable, &RulePlan, usize)> = Vec::new();
+    for (idx, (chain, rule_plan)) in chains.into_iter().zip(&plan.rules).enumerate() {
+        let mut chain = match chain {
+            Ok(chain) => chain,
+            Err(e @ MedError::ChainPanic(_)) if partial => {
+                trace.rules.push(RuleTrace {
+                    error: Some(e.to_string()),
+                    ..RuleTrace::default()
+                });
+                trace.completeness.skipped_chains.push(idx);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        // Fault accounting merges even for chains that failed — the
+        // retries a dead source consumed are part of the evidence.
+        trace
+            .observations
+            .extend(std::mem::take(&mut chain.stats.observations));
+        for (s, n) in std::mem::take(&mut chain.stats.source_calls) {
+            *trace.source_calls.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.retries) {
+            *trace.retries.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.failures) {
+            *trace.failures.entry(s).or_insert(0) += n;
+        }
+        sources_ok.extend(std::mem::take(&mut chain.stats.sources_ok));
+        if let Some(err) = chain.failed {
+            if !partial {
+                return Err(err);
+            }
+            if let MedError::SourceUnavailable { source, reason } = &err {
+                trace
+                    .completeness
+                    .sources_failed
+                    .insert(Symbol::intern(source), reason.clone());
+            }
+            trace.completeness.skipped_chains.push(idx);
+            trace.rules.push(chain.trace);
+            continue;
+        }
         // Only the objects the final table references (and their
         // descendants) survive into the merged memory.
         let mut roots: Vec<oem::ObjId> = Vec::new();
@@ -216,24 +325,26 @@ pub fn execute(
         let (_, map) = copy::deep_copy_all_with_map(&chain.memory, &roots, &mut memory);
         remap_table(&mut chain.table, &map);
         trace.rules.push(chain.trace);
-        trace.observations.extend(chain.observations);
-        for (s, n) in chain.source_calls {
-            *trace.source_calls.entry(s).or_insert(0) += n;
-        }
-        final_tables.push((chain.table, rule_plan));
+        final_tables.push((chain.table, rule_plan, trace.rules.len() - 1));
     }
+    trace.completeness.sources_ok = sources_ok
+        .into_iter()
+        .filter(|s| !trace.completeness.sources_failed.contains_key(s))
+        .collect();
 
     // Phase 3: construction — one constructor for the whole plan, so
-    // semantic oids fuse across rules.
+    // semantic oids fuse across rules. `ti` addresses the chain's entry in
+    // trace.rules, which is NOT the positional index when Partial mode
+    // skipped chains.
     let mut results = ObjectStore::with_oid_prefix("cp");
     {
         let mut ctor = Constructor::new(&memory);
-        for (ri, (table, rule_plan)) in final_tables.iter().enumerate() {
+        for (table, rule_plan, ti) in &final_tables {
             for i in 0..table.len() {
                 let b = table.row_bindings(i);
                 ctor.construct_head(&rule_plan.head, &b, &mut results)?;
             }
-            trace.rules[ri].constructed = table.len();
+            trace.rules[*ti].constructed = table.len();
         }
     }
 
@@ -253,6 +364,17 @@ pub fn execute(
         memory,
         trace,
     })
+}
+
+/// Render a panic payload (from a joined chain thread) as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn node_detail(node: &Node) -> String {
@@ -283,15 +405,12 @@ fn node_detail(node: &Node) -> String {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn exec_node(
     node: &Node,
     input: BindingTable,
     memory: &mut ObjectStore,
-    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
-    registry: &ExternalRegistry,
-    observations: &mut Vec<Observation>,
-    source_calls: &mut BTreeMap<Symbol, usize>,
+    ctx: &ChainCtx<'_>,
+    stats: &mut ChainStats,
     counters: &mut NodeCounters,
 ) -> Result<BindingTable> {
     match node {
@@ -300,16 +419,7 @@ fn exec_node(
             query,
             vars,
         } => {
-            let extracted = run_and_extract(
-                *source,
-                query,
-                vars,
-                memory,
-                sources,
-                observations,
-                source_calls,
-                counters,
-            )?;
+            let extracted = run_and_extract(*source, query, vars, memory, ctx, stats, counters)?;
             // Cartesian with the (unit) input.
             let mut out = BindingTable::new(
                 input
@@ -373,16 +483,8 @@ fn exec_node(
                     Some(e) => e.clone(),
                     None => {
                         let filled = fill_params_rule(query, &pmap);
-                        let e = run_and_extract(
-                            *source,
-                            &filled,
-                            vars,
-                            memory,
-                            sources,
-                            observations,
-                            source_calls,
-                            counters,
-                        )?;
+                        let e =
+                            run_and_extract(*source, &filled, vars, memory, ctx, stats, counters)?;
                         memo.insert(key.clone(), e.clone());
                         e
                     }
@@ -410,7 +512,7 @@ fn exec_node(
             );
             for i in 0..input.len() {
                 let b = input.row_bindings(i);
-                for nb in registry.evaluate(*pred, args, &b)? {
+                for nb in ctx.registry.evaluate(*pred, args, &b)? {
                     let mut r = input.rows[i].clone();
                     for v in new_vars {
                         r.push(nb.get(*v).cloned().ok_or_else(|| {
@@ -450,16 +552,7 @@ fn exec_node(
             vars,
             join_vars,
         } => {
-            let extracted = run_and_extract(
-                *source,
-                query,
-                vars,
-                memory,
-                sources,
-                observations,
-                source_calls,
-                counters,
-            )?;
+            let extracted = run_and_extract(*source, query, vars, memory, ctx, stats, counters)?;
             // Index inner rows by join key.
             let inner_key_idx: Vec<usize> = join_vars
                 .iter()
@@ -509,26 +602,93 @@ fn exec_node(
     }
 }
 
+/// One source call under the fault policy: circuit-breaker check, bounded
+/// retries with exponential backoff on transient errors, and a per-call
+/// deadline measured on the injectable clock. Retry/failure counts land in
+/// `stats`; an exhausted policy (or open circuit) becomes
+/// [`MedError::SourceUnavailable`].
+fn query_with_retry(
+    wrapper: &Arc<dyn Wrapper>,
+    source: Symbol,
+    query: &Rule,
+    ctx: &ChainCtx<'_>,
+    stats: &mut ChainStats,
+) -> Result<ObjectStore> {
+    let rt = ctx.fault;
+    if rt.circuit.is_open(source) {
+        return Err(MedError::SourceUnavailable {
+            source: source.as_str(),
+            reason: format!(
+                "circuit open after {} consecutive failures",
+                rt.opts.circuit_threshold
+            ),
+        });
+    }
+    let max_attempts = rt.opts.retry.max_attempts.max(1);
+    let mut last_err: Option<WrapperError> = None;
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            rt.sleeper.sleep_ms(rt.opts.retry.backoff_ms(attempt - 1));
+            *stats.retries.entry(source).or_insert(0) += 1;
+        }
+        let started = rt.clock.now_ms();
+        let mut outcome = wrapper.query(query);
+        if let Some(deadline) = rt.opts.source_deadline_ms {
+            let elapsed = rt.clock.now_ms().saturating_sub(started);
+            if outcome.is_ok() && elapsed > deadline {
+                // The source did answer, but too late: a mediator serving
+                // interactive queries treats the answer as missed.
+                outcome = Err(WrapperError::Timeout(format!(
+                    "{elapsed}ms > {deadline}ms deadline"
+                )));
+            }
+        }
+        match outcome {
+            Ok(result) => {
+                rt.circuit.record_success(source);
+                stats.sources_ok.insert(source);
+                return Ok(result);
+            }
+            Err(e) if e.is_transient() => {
+                *stats.failures.entry(source).or_insert(0) += 1;
+                let opened = rt.circuit.record_failure(source);
+                last_err = Some(e);
+                if opened {
+                    break; // no point retrying a tripped source
+                }
+            }
+            // Permanent errors (unsupported, malformed, construction) are
+            // not retried: the same query would fail the same way.
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Err(MedError::SourceUnavailable {
+        source: source.as_str(),
+        reason: last_err
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "no attempts permitted".to_string()),
+    })
+}
+
 /// Send a query to a source, copy the results into the mediator's memory
 /// (§3.4: "the result of Qw is placed in the mediator's memory"), and
 /// extract the `bind_for_*` variables from each result object.
-#[allow(clippy::too_many_arguments)]
 fn run_and_extract(
     source: Symbol,
     query: &Rule,
     vars: &[ExtractVar],
     memory: &mut ObjectStore,
-    sources: &HashMap<Symbol, Arc<dyn Wrapper>>,
-    observations: &mut Vec<Observation>,
-    source_calls: &mut BTreeMap<Symbol, usize>,
+    ctx: &ChainCtx<'_>,
+    stats: &mut ChainStats,
     counters: &mut NodeCounters,
 ) -> Result<Vec<Vec<BoundValue>>> {
-    let wrapper = sources
+    let wrapper = ctx
+        .sources
         .get(&source)
         .ok_or_else(|| MedError::UnknownSource(source.as_str()))?;
-    *source_calls.entry(source).or_insert(0) += 1;
+    *stats.source_calls.entry(source).or_insert(0) += 1;
     counters.source_calls += 1;
-    let result = wrapper.query(query)?;
+    let result = query_with_retry(wrapper, source, query, ctx, stats)?;
 
     // Record an observation keyed by the first tail pattern's label.
     let label = query.tail.iter().find_map(|t| match t {
@@ -538,7 +698,7 @@ fn run_and_extract(
         },
         _ => None,
     });
-    observations.push(Observation {
+    stats.observations.push(Observation {
         source,
         label,
         count: result.top_level().len(),
@@ -632,6 +792,7 @@ mod tests {
             &ExecOptions {
                 trace: true,
                 parallel: false,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -898,6 +1059,7 @@ mod tests {
             &ExecOptions {
                 trace: false,
                 parallel: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -908,6 +1070,7 @@ mod tests {
             &ExecOptions {
                 trace: false,
                 parallel: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -928,5 +1091,263 @@ mod tests {
         assert!(out.results.top_level().is_empty());
         // cs should never be contacted: the whois result was empty.
         assert_eq!(out.trace.calls(sym("cs")), 0);
+    }
+
+    // ---- fault tolerance -------------------------------------------------
+
+    use crate::retry::{OnSourceFailure, RetryPolicy};
+    use wrappers::{Capabilities, FaultInjectingWrapper, FaultPlan};
+
+    /// A wrapper that panics on every query — the regression fixture for
+    /// the parallel-mode `.expect("chain thread panicked")` bug.
+    struct PanickingWrapper {
+        caps: Capabilities,
+    }
+
+    impl Wrapper for PanickingWrapper {
+        fn name(&self) -> Symbol {
+            sym("whois")
+        }
+        fn capabilities(&self) -> &Capabilities {
+            &self.caps
+        }
+        fn query(&self, _q: &Rule) -> std::result::Result<ObjectStore, wrappers::WrapperError> {
+            panic!("wrapper exploded")
+        }
+    }
+
+    fn planned(query: &str, srcs: &HashMap<Symbol, Arc<dyn Wrapper>>) -> PhysicalPlan {
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query(query).unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        plan(&program, &ctx).unwrap()
+    }
+
+    fn faulty_sources(
+        plan: FaultPlan,
+    ) -> (
+        HashMap<Symbol, Arc<dyn Wrapper>>,
+        Arc<FaultInjectingWrapper>,
+    ) {
+        let whois = Arc::new(FaultInjectingWrapper::new(Arc::new(whois_wrapper()), plan));
+        let mut m: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        m.insert(sym("whois"), whois.clone());
+        m.insert(sym("cs"), Arc::new(cs_wrapper()));
+        (m, whois)
+    }
+
+    #[test]
+    fn panicking_chain_is_an_error_not_an_abort() {
+        // Before the fix, a panicking chain thread took the whole process
+        // down through `.expect("chain thread panicked")`.
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(
+            sym("whois"),
+            Arc::new(PanickingWrapper {
+                caps: Capabilities::full(),
+            }),
+        );
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        // The year query expands to two chains — the parallel path runs.
+        let physical = planned("S :- S:<cs_person {<year 3>}>@med", &srcs);
+        assert!(physical.rules.len() > 1, "need the parallel path");
+        let registry = standard_registry();
+        let err = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .err()
+        .expect("panicking chain must fail the query");
+        let MedError::ChainPanic(msg) = err else {
+            panic!("expected ChainPanic, got {err}");
+        };
+        assert!(msg.contains("wrapper exploded"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_chain_in_partial_mode_drops_the_chain() {
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(
+            sym("whois"),
+            Arc::new(PanickingWrapper {
+                caps: Capabilities::full(),
+            }),
+        );
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let physical = planned("S :- S:<cs_person {<year 3>}>@med", &srcs);
+        let registry = standard_registry();
+        let out = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                parallel: true,
+                fault: crate::retry::FaultOptions {
+                    on_source_failure: OnSourceFailure::Partial,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Every chain needs whois, so the degraded answer is empty — but
+        // the query did not error, and the trace says what was dropped.
+        assert!(out.results.top_level().is_empty());
+        assert!(!out.trace.completeness.is_complete());
+        assert_eq!(
+            out.trace.completeness.skipped_chains.len(),
+            physical.rules.len()
+        );
+        // Plan/trace alignment survives the skipped chains.
+        assert_eq!(out.trace.rules.len(), physical.rules.len());
+        assert!(out.trace.rules.iter().all(|r| r.error.is_some()));
+    }
+
+    #[test]
+    fn retry_recovers_a_flaky_source_and_counts_attempts() {
+        // whois fails its first 2 calls, then recovers; 2 retries allowed.
+        let (srcs, whois) = faulty_sources(FaultPlan::none().fail_first(2));
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let out = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                fault: crate::retry::FaultOptions {
+                    retry: RetryPolicy::retries(2),
+                    sleeper: Some(Arc::new(crate::retry::VirtualSleeper(Arc::new(
+                        wrappers::VirtualClock::new(),
+                    )))),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The answer is the normal Q1 answer — retries were invisible to
+        // the result, visible in the trace.
+        assert_eq!(out.results.top_level().len(), 1);
+        assert_eq!(out.trace.retries_for(sym("whois")), 2);
+        assert_eq!(out.trace.failures_for(sym("whois")), 2);
+        assert_eq!(out.trace.retries_for(sym("cs")), 0);
+        assert_eq!(whois.calls_seen(), 3, "2 failures + 1 success");
+        assert!(out.trace.completeness.is_complete());
+        // The fault injector's own counter agrees with the plan.
+        assert_eq!(whois.metrics().unwrap().faults_injected, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_the_query_in_fail_mode() {
+        let (srcs, whois) = faulty_sources(FaultPlan::always_down());
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let err = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                fault: crate::retry::FaultOptions {
+                    retry: RetryPolicy::retries(2),
+                    sleeper: Some(Arc::new(crate::retry::VirtualSleeper(Arc::new(
+                        wrappers::VirtualClock::new(),
+                    )))),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .err()
+        .expect("dead source must fail the query in Fail mode");
+        let MedError::SourceUnavailable { source, reason } = err else {
+            panic!("expected SourceUnavailable, got {err}");
+        };
+        assert_eq!(source, "whois");
+        assert!(reason.contains("unavailable"), "{reason}");
+        assert_eq!(whois.calls_seen(), 3, "1 try + 2 retries");
+    }
+
+    #[test]
+    fn deadline_discards_a_too_slow_answer() {
+        // whois answers, but 80 virtual ms late against a 50ms deadline.
+        let clock = Arc::new(wrappers::VirtualClock::new());
+        let whois = Arc::new(
+            FaultInjectingWrapper::new(Arc::new(whois_wrapper()), FaultPlan::none().latency_ms(80))
+                .with_virtual_clock(Arc::clone(&clock)),
+        );
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("whois"), whois);
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let out = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                fault: crate::retry::FaultOptions {
+                    source_deadline_ms: Some(50),
+                    on_source_failure: OnSourceFailure::Partial,
+                    ..Default::default()
+                }
+                .on_virtual_time(clock),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.results.top_level().is_empty());
+        let why = out
+            .trace
+            .completeness
+            .sources_failed
+            .get(&sym("whois"))
+            .expect("whois must be recorded as failed");
+        assert!(why.contains("deadline"), "{why}");
+        assert_eq!(out.trace.failures_for(sym("whois")), 1);
+    }
+
+    #[test]
+    fn circuit_breaker_stops_hammering_a_dead_source() {
+        let (srcs, whois) = faulty_sources(FaultPlan::always_down());
+        // Two chains, each would try whois; threshold 2 trips during the
+        // first chain's retries, the second chain short-circuits.
+        let physical = planned("S :- S:<cs_person {<year 3>}>@med", &srcs);
+        let registry = standard_registry();
+        let out = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                fault: crate::retry::FaultOptions {
+                    retry: RetryPolicy::retries(5),
+                    circuit_threshold: 2,
+                    on_source_failure: OnSourceFailure::Partial,
+                    sleeper: Some(Arc::new(crate::retry::VirtualSleeper(Arc::new(
+                        wrappers::VirtualClock::new(),
+                    )))),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // The breaker capped the damage: 2 attempts, not 6 per chain.
+        assert_eq!(whois.calls_seen(), 2, "circuit must open after 2");
+        assert_eq!(out.trace.failures_for(sym("whois")), 2);
+        assert!(!out.trace.completeness.is_complete());
     }
 }

@@ -74,6 +74,9 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
     }
     for (i, (rule, rt)) in plan.rules.iter().zip(&trace.rules).enumerate() {
         let _ = writeln!(out, "=== rule R{} ({}) ===", i + 1, format_ns(rt.wall_ns));
+        if let Some(err) = &rt.error {
+            let _ = writeln!(out, "[chain dropped] {err}");
+        }
         for t in &rt.nodes {
             let m = &t.metrics;
             let _ = writeln!(out, "[{}] {}", t.op, t.detail);
@@ -119,6 +122,51 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             .map(|(s, n)| format!("{s}={n}"))
             .collect();
         let _ = writeln!(out, "source calls: {}", calls.join(" "));
+    }
+    if !trace.retries.is_empty() {
+        let retries: Vec<String> = trace
+            .retries
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        let _ = writeln!(out, "retries: {}", retries.join(" "));
+    }
+    if !trace.failures.is_empty() {
+        let failures: Vec<String> = trace
+            .failures
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        let _ = writeln!(out, "failed attempts: {}", failures.join(" "));
+    }
+    let c = &trace.completeness;
+    if c.is_complete() {
+        let _ = writeln!(out, "completeness: complete");
+    } else {
+        let failed: Vec<String> = c
+            .sources_failed
+            .iter()
+            .map(|(s, why)| format!("{s} ({why})"))
+            .collect();
+        let skipped: Vec<String> = c
+            .skipped_chains
+            .iter()
+            .map(|i| format!("R{}", i + 1))
+            .collect();
+        let _ = writeln!(
+            out,
+            "completeness: PARTIAL — failed sources: {}; dropped chains: {}",
+            if failed.is_empty() {
+                "none".to_string()
+            } else {
+                failed.join(", ")
+            },
+            if skipped.is_empty() {
+                "none".to_string()
+            } else {
+                skipped.join(", ")
+            },
+        );
     }
     let _ = writeln!(out, "wall time: {}", format_ns(trace.wall_ns));
     out
@@ -277,6 +325,7 @@ mod tests {
             &ExecOptions {
                 trace: true,
                 parallel: false,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -320,5 +369,55 @@ mod tests {
         assert!(report.contains("=== totals ==="), "{report}");
         assert!(report.contains("wall time: "), "{report}");
         assert!(report.contains("result objects: "), "{report}");
+        // A clean run is reported complete, with no retry/failure lines.
+        assert!(report.contains("completeness: complete"), "{report}");
+        assert!(!report.contains("retries: "), "{report}");
+        assert!(!report.contains("failed attempts: "), "{report}");
+    }
+
+    #[test]
+    fn analyze_renders_partial_run_with_failed_source() {
+        use crate::retry::{FaultOptions, OnSourceFailure};
+        use wrappers::{FaultInjectingWrapper, FaultPlan};
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let mut srcs: HashMap<oem::Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(
+            sym("whois"),
+            Arc::new(FaultInjectingWrapper::new(
+                Arc::new(whois_wrapper()),
+                FaultPlan::always_down(),
+            )),
+        );
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let outcome = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                fault: FaultOptions {
+                    on_source_failure: OnSourceFailure::Partial,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = render_analyze(&physical, &outcome);
+        assert!(report.contains("completeness: PARTIAL"), "{report}");
+        assert!(report.contains("whois"), "{report}");
+        assert!(report.contains("[chain dropped]"), "{report}");
+        assert!(report.contains("failed attempts: whois="), "{report}");
     }
 }

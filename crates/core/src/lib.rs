@@ -27,6 +27,12 @@
 //! [`metrics::QueryTrace`] of per-node counters and timings ([`metrics`]),
 //! rendered by [`explain::render_analyze`] (EXPLAIN ANALYZE) and fed back
 //! into the learned statistics of [`stats`] (§3.5).
+//!
+//! Execution is also fault-tolerant: source calls run under a retry /
+//! deadline / circuit-breaker policy ([`retry`]), and in
+//! [`retry::OnSourceFailure::Partial`] mode a dead source drops only the
+//! rule chains that need it — the answer degrades instead of failing
+//! closed, with the trace's `completeness` section naming what's missing.
 
 #![warn(missing_docs)]
 
@@ -42,6 +48,7 @@ pub mod metrics;
 pub mod naive;
 pub mod planner;
 pub mod recursion;
+pub mod retry;
 pub mod spec;
 pub mod stats;
 pub mod table;
@@ -50,4 +57,5 @@ pub mod veao;
 pub use error::{MedError, Result};
 pub use externals::ExternalRegistry;
 pub use mediator::{Mediator, MediatorOptions};
+pub use retry::{FaultOptions, OnSourceFailure, RetryPolicy};
 pub use spec::MediatorSpec;

@@ -38,6 +38,9 @@ pub struct MediatorOptions {
     pub parallel: bool,
     /// Learn statistics from observed query results (§3.5).
     pub learn_stats: bool,
+    /// Fault policy applied to every source call: retries, deadlines,
+    /// circuit breaking, and Fail/Partial degradation.
+    pub fault: crate::retry::FaultOptions,
 }
 
 impl Default for MediatorOptions {
@@ -49,6 +52,7 @@ impl Default for MediatorOptions {
             trace: false,
             parallel: false,
             learn_stats: true,
+            fault: crate::retry::FaultOptions::default(),
         }
     }
 }
@@ -196,6 +200,7 @@ impl Mediator {
             &ExecOptions {
                 trace: self.options.trace,
                 parallel: self.options.parallel,
+                fault: self.options.fault.clone(),
             },
         )?;
         outcome.trace.query = msl::printer::rule(query);
@@ -271,6 +276,7 @@ impl Mediator {
                 &ExecOptions {
                     trace: true,
                     parallel: false,
+                    fault: self.options.fault.clone(),
                 },
             )?;
             let _ = writeln!(out);
@@ -317,6 +323,7 @@ impl Mediator {
             &ExecOptions {
                 trace: false,
                 parallel: self.options.parallel,
+                fault: self.options.fault.clone(),
             },
         )?;
         outcome.trace.query = msl::printer::rule(&query);
@@ -357,9 +364,12 @@ impl Wrapper for Mediator {
     fn query(&self, q: &Rule) -> std::result::Result<ObjectStore, WrapperError> {
         // Queries arriving from an upper mediator name this mediator as
         // their source; our own pipeline expects that too, so pass through.
-        self.query_rule(q)
-            .map(|o| o.results)
-            .map_err(|e| WrapperError::BadQuery(e.to_string()))
+        // A dead downstream source stays transient through the stack: the
+        // upper mediator's own retry/Partial policy can act on it.
+        self.query_rule(q).map(|o| o.results).map_err(|e| match e {
+            MedError::SourceUnavailable { .. } => WrapperError::Unavailable(e.to_string()),
+            other => WrapperError::BadQuery(other.to_string()),
+        })
     }
 }
 

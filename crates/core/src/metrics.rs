@@ -94,6 +94,30 @@ pub struct RuleTrace {
     pub constructed: usize,
     /// Wall-clock time of the whole chain, in nanoseconds.
     pub wall_ns: u64,
+    /// Why this chain produced nothing, when it failed and Partial mode
+    /// dropped it (`None` for chains that ran to completion).
+    pub error: Option<String>,
+}
+
+/// Which sources answered and which chains survived — the trace section
+/// that distinguishes a complete answer from a degraded one. Only
+/// meaningful under `OnSourceFailure::Partial`; in `Fail` mode a source
+/// failure aborts the query before any trace is returned.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Completeness {
+    /// Sources that answered at least one query successfully.
+    pub sources_ok: Vec<Symbol>,
+    /// Sources that stayed failed, with the last error observed.
+    pub sources_failed: BTreeMap<Symbol, String>,
+    /// Plan indices of the rule chains dropped because of failed sources.
+    pub skipped_chains: Vec<usize>,
+}
+
+impl Completeness {
+    /// Whether the answer is complete: no source failed, no chain dropped.
+    pub fn is_complete(&self) -> bool {
+        self.sources_failed.is_empty() && self.skipped_chains.is_empty()
+    }
 }
 
 /// One observed source-query cardinality — the §3.5 feedback signal
@@ -121,6 +145,15 @@ pub struct QueryTrace {
     pub observations: Vec<Observation>,
     /// Total queries sent to each source across all chains.
     pub source_calls: BTreeMap<Symbol, usize>,
+    /// Retries performed per source (re-attempts beyond each call's first
+    /// try, summed across all chains). Empty when nothing was retried.
+    pub retries: BTreeMap<Symbol, usize>,
+    /// Failed attempts per source (transient errors observed, including
+    /// the ones later retries recovered from). Empty when nothing failed.
+    pub failures: BTreeMap<Symbol, usize>,
+    /// Which sources answered and which chains were dropped (Partial
+    /// mode); `Completeness::default()` — trivially complete — otherwise.
+    pub completeness: Completeness,
     /// Top-level result objects after construction and result dedup.
     pub result_count: usize,
     /// Top-level objects removed by final structural dedup across rules.
@@ -143,6 +176,16 @@ impl QueryTrace {
     /// Total queries sent to all sources.
     pub fn total_source_calls(&self) -> usize {
         self.source_calls.values().sum()
+    }
+
+    /// Retries performed against `source` (0 when never retried).
+    pub fn retries_for(&self, source: Symbol) -> usize {
+        self.retries.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Failed attempts observed against `source` (0 when it never failed).
+    pub fn failures_for(&self, source: Symbol) -> usize {
+        self.failures.get(&source).copied().unwrap_or(0)
     }
 }
 
@@ -217,6 +260,7 @@ impl serde::Serialize for RuleTrace {
             ("nodes", self.nodes.to_value()),
             ("constructed", self.constructed.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
+            ("error", self.error.to_value()),
         ])
     }
 }
@@ -227,6 +271,48 @@ impl serde::Deserialize for RuleTrace {
             nodes: serde::field(v, "nodes")?,
             constructed: serde::field(v, "constructed")?,
             wall_ns: serde::field(v, "wall_ns")?,
+            // Absent in traces exported before the fault-tolerance layer.
+            error: match v.get("error") {
+                Some(e) => Option::<String>::from_value(e)?,
+                None => None,
+            },
+        })
+    }
+}
+
+impl serde::Serialize for Completeness {
+    fn to_value(&self) -> serde::Value {
+        let failed = serde::Value::Object(
+            self.sources_failed
+                .iter()
+                .map(|(s, msg)| (s.as_str(), msg.to_value()))
+                .collect(),
+        );
+        serde::object([
+            ("complete", self.is_complete().to_value()),
+            ("sources_ok", self.sources_ok.to_value()),
+            ("sources_failed", failed),
+            ("skipped_chains", self.skipped_chains.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Completeness {
+    fn from_value(v: &serde::Value) -> std::result::Result<Completeness, serde::Error> {
+        let failed_v = v
+            .get("sources_failed")
+            .ok_or_else(|| serde::Error::custom("missing field `sources_failed`"))?;
+        let serde::Value::Object(pairs) = failed_v else {
+            return Err(serde::Error::custom("`sources_failed` must be an object"));
+        };
+        let mut sources_failed = BTreeMap::new();
+        for (k, msg) in pairs {
+            sources_failed.insert(Symbol::intern(k), String::from_value(msg)?);
+        }
+        Ok(Completeness {
+            sources_ok: serde::field(v, "sources_ok")?,
+            sources_failed,
+            skipped_chains: serde::field(v, "skipped_chains")?,
         })
     }
 }
@@ -251,21 +337,53 @@ impl serde::Deserialize for Observation {
     }
 }
 
+/// Serialize a per-source counter map as a JSON object keyed by source
+/// name; BTreeMap iteration keeps the key order deterministic.
+fn counter_map_to_value(map: &BTreeMap<Symbol, usize>) -> serde::Value {
+    serde::Value::Object(
+        map.iter()
+            .map(|(s, n)| (s.as_str(), serde::Serialize::to_value(n)))
+            .collect(),
+    )
+}
+
+/// The inverse of [`counter_map_to_value`], for the named field of `v`.
+/// A missing field reads as empty (traces exported before the
+/// fault-tolerance layer lack `retries`/`failures`).
+fn counter_map_field(
+    v: &serde::Value,
+    name: &str,
+    required: bool,
+) -> std::result::Result<BTreeMap<Symbol, usize>, serde::Error> {
+    let Some(field_v) = v.get(name) else {
+        if required {
+            return Err(serde::Error::custom(format!("missing field `{name}`")));
+        }
+        return Ok(BTreeMap::new());
+    };
+    let serde::Value::Object(pairs) = field_v else {
+        return Err(serde::Error::custom(format!("`{name}` must be an object")));
+    };
+    let mut map = BTreeMap::new();
+    for (k, n) in pairs {
+        map.insert(
+            Symbol::intern(k),
+            <usize as serde::Deserialize>::from_value(n)?,
+        );
+    }
+    Ok(map)
+}
+
 impl serde::Serialize for QueryTrace {
     fn to_value(&self) -> serde::Value {
-        // source_calls as a JSON object keyed by source name; BTreeMap
-        // iteration keeps the key order deterministic.
-        let calls = serde::Value::Object(
-            self.source_calls
-                .iter()
-                .map(|(s, n)| (s.as_str(), n.to_value()))
-                .collect(),
-        );
         serde::object([
             ("query", self.query.to_value()),
             ("rules", self.rules.to_value()),
             ("observations", self.observations.to_value()),
-            ("source_calls", calls),
+            ("source_calls", counter_map_to_value(&self.source_calls)),
+            ("retries", counter_map_to_value(&self.retries)),
+            ("failures", counter_map_to_value(&self.failures)),
+            ("completeness", self.completeness.to_value()),
             ("result_count", self.result_count.to_value()),
             ("result_dedup_removed", self.result_dedup_removed.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
@@ -275,21 +393,17 @@ impl serde::Serialize for QueryTrace {
 
 impl serde::Deserialize for QueryTrace {
     fn from_value(v: &serde::Value) -> std::result::Result<QueryTrace, serde::Error> {
-        let calls_v = v
-            .get("source_calls")
-            .ok_or_else(|| serde::Error::custom("missing field `source_calls`"))?;
-        let serde::Value::Object(pairs) = calls_v else {
-            return Err(serde::Error::custom("`source_calls` must be an object"));
-        };
-        let mut source_calls = BTreeMap::new();
-        for (k, n) in pairs {
-            source_calls.insert(Symbol::intern(k), usize::from_value(n)?);
-        }
         Ok(QueryTrace {
             query: serde::field(v, "query")?,
             rules: serde::field(v, "rules")?,
             observations: serde::field(v, "observations")?,
-            source_calls,
+            source_calls: counter_map_field(v, "source_calls", true)?,
+            retries: counter_map_field(v, "retries", false)?,
+            failures: counter_map_field(v, "failures", false)?,
+            completeness: match v.get("completeness") {
+                Some(c) => Completeness::from_value(c)?,
+                None => Completeness::default(),
+            },
             result_count: serde::field(v, "result_count")?,
             result_dedup_removed: serde::field(v, "result_dedup_removed")?,
             wall_ns: serde::field(v, "wall_ns")?,
@@ -323,6 +437,7 @@ mod tests {
                 }],
                 constructed: 2,
                 wall_ns: 20_000,
+                error: None,
             }],
             observations: vec![
                 Observation {
@@ -337,6 +452,13 @@ mod tests {
                 },
             ],
             source_calls: [(sym("whois"), 1), (sym("cs"), 2)].into_iter().collect(),
+            retries: [(sym("whois"), 2)].into_iter().collect(),
+            failures: [(sym("whois"), 2)].into_iter().collect(),
+            completeness: Completeness {
+                sources_ok: vec![sym("cs"), sym("whois")],
+                sources_failed: BTreeMap::new(),
+                skipped_chains: Vec::new(),
+            },
             result_count: 1,
             result_dedup_removed: 1,
             wall_ns: 99_000,
@@ -365,9 +487,54 @@ mod tests {
             "\"observations\"",
             "\"result_count\"",
             "\"result_dedup_removed\"",
+            "\"retries\"",
+            "\"failures\"",
+            "\"completeness\"",
+            "\"sources_ok\"",
+            "\"sources_failed\"",
+            "\"skipped_chains\"",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn old_traces_without_fault_fields_still_parse() {
+        // A trace exported before the fault-tolerance layer lacks
+        // `retries`/`failures`/`completeness` and per-rule `error`.
+        let mut trace = sample();
+        trace.retries.clear();
+        trace.failures.clear();
+        trace.completeness = Completeness::default();
+        let mut v = trace.to_value();
+        if let serde::Value::Object(pairs) = &mut v {
+            pairs.retain(|(k, _)| !matches!(&**k, "retries" | "failures" | "completeness"));
+        }
+        let parsed = QueryTrace::from_value(&v).unwrap();
+        assert_eq!(parsed, trace);
+        assert!(parsed.completeness.is_complete());
+    }
+
+    #[test]
+    fn degraded_completeness_round_trips() {
+        let mut trace = sample();
+        trace.completeness = Completeness {
+            sources_ok: vec![sym("cs")],
+            sources_failed: [(sym("whois"), "source unavailable: down".to_string())]
+                .into_iter()
+                .collect(),
+            skipped_chains: vec![0],
+        };
+        trace.rules[0].error = Some("source 'whois' unavailable: down".to_string());
+        assert!(!trace.completeness.is_complete());
+        let text = serde_json::to_string(&trace).unwrap();
+        assert!(text.contains("\"complete\":false"), "{text}");
+        let parsed: QueryTrace = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.retries_for(sym("whois")), 2);
+        assert_eq!(parsed.failures_for(sym("whois")), 2);
+        assert_eq!(parsed.retries_for(sym("cs")), 0);
+        assert_eq!(parsed.failures_for(sym("cs")), 0);
     }
 
     #[test]

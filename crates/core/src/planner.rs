@@ -177,19 +177,24 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
             ctx.options.use_stats && ctx.stats.knows(a.source),
             ctx.options.use_stats && ctx.stats.knows(b.source),
         );
+        // NaN estimates (degenerate statistics, e.g. 0.0/0.0 selectivity)
+        // must not compare as Equal: that would make the join order depend
+        // on input position. Unknown ⇒ last, same as a missing estimate,
+        // keeping the ordering total and deterministic.
+        let sanitize = |est: f64| if est.is_nan() { f64::MAX } else { est };
         let est_a = if ka {
-            ctx.stats.estimate_group(a.source, &pa)
+            sanitize(ctx.stats.estimate_group(a.source, &pa))
         } else {
             f64::MAX
         };
         let est_b = if kb {
-            ctx.stats.estimate_group(b.source, &pb)
+            sanitize(ctx.stats.estimate_group(b.source, &pb))
         } else {
             f64::MAX
         };
         est_a
             .partial_cmp(&est_b)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .expect("estimates are NaN-free after sanitize")
             .then(conds_b.cmp(&conds_a))
     });
 
@@ -740,6 +745,60 @@ mod tests {
         ps.sort();
         assert_eq!(ps.len(), 3, "{ps:?} in {qtext}");
         assert!(qtext.contains("$"), "{qtext}");
+    }
+
+    #[test]
+    fn nan_producing_stats_keep_join_order_deterministic() {
+        // A wrapper computing selectivity as 0.0/0.0 hands the optimizer a
+        // NaN. The join-order comparator must stay total (NaN ⇒ f64::MAX,
+        // unknown sorts last) — planning must neither panic nor depend on
+        // the input position of the groups.
+        use wrappers::SourceStats;
+        let mut stats = StatsCache::new();
+        for src in ["whois", "cs"] {
+            stats.provide(
+                sym(src),
+                SourceStats {
+                    top_level_count: 5,
+                    label_counts: [(sym("person"), 5), (sym("R"), 5)].into_iter().collect(),
+                    eq_selectivity: [
+                        (sym("name"), f64::NAN),
+                        (sym("dept"), f64::NAN),
+                        (sym("relation"), f64::NAN),
+                    ]
+                    .into_iter()
+                    .collect(),
+                },
+            );
+        }
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let srcs = sources();
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let order = |p: &PhysicalPlan| -> Vec<String> {
+            p.rules[0]
+                .nodes
+                .iter()
+                .filter_map(|n| match n {
+                    Node::Query { source, .. }
+                    | Node::ParamQuery { source, .. }
+                    | Node::HashJoin { source, .. } => Some(source.as_str()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let first = order(&plan(&program, &ctx).unwrap());
+        for _ in 0..10 {
+            assert_eq!(order(&plan(&program, &ctx).unwrap()), first);
+        }
     }
 
     #[test]

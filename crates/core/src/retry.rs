@@ -1,0 +1,296 @@
+//! Retry policy, backoff, deadlines and the per-source circuit breaker.
+//!
+//! The paper's MSI assumes every wrapped source answers every query; §3.5
+//! concedes they are autonomous. This module makes the executor's failure
+//! semantics explicit. A source call that fails *transiently*
+//! ([`wrappers::WrapperError::is_transient`]) is retried under a
+//! [`RetryPolicy`] — bounded attempts, exponential backoff — and measured
+//! against an optional per-source deadline. A source that keeps failing
+//! trips a [`CircuitBreaker`] so later nodes (and parallel chains) stop
+//! hammering it. What happens when the policy is exhausted is decided by
+//! [`OnSourceFailure`]: `Fail` (default) aborts the query with
+//! [`crate::MedError::SourceUnavailable`]; `Partial` drops only the rule
+//! chains that needed the dead source and annotates the
+//! [`crate::metrics::QueryTrace`] as incomplete.
+//!
+//! Time and sleeping are injectable ([`wrappers::fault::Clock`],
+//! [`Sleeper`]) so the whole fault matrix runs on virtual time — tests
+//! never sleep.
+
+use oem::Symbol;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use wrappers::fault::Clock;
+
+/// How the backoff waits between attempts. Production uses
+/// [`ThreadSleeper`]; tests use [`VirtualSleeper`] over the shared
+/// [`wrappers::fault::VirtualClock`], which advances time without
+/// sleeping.
+pub trait Sleeper: Send + Sync {
+    /// Wait `ms` milliseconds (really or virtually).
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// Real sleeping via [`std::thread::sleep`].
+#[derive(Debug, Default)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep_ms(&self, ms: u64) {
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
+
+/// A sleeper that advances a [`wrappers::fault::VirtualClock`] instead of
+/// blocking — backoff becomes observable, instant time travel.
+#[derive(Debug)]
+pub struct VirtualSleeper(pub Arc<wrappers::fault::VirtualClock>);
+
+impl Sleeper for VirtualSleeper {
+    fn sleep_ms(&self, ms: u64) {
+        self.0.advance(ms);
+    }
+}
+
+/// Bounded-retry policy with exponential backoff, applied to every
+/// transient source failure at query / parameterized-query / hash-join
+/// nodes.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per source call (1 = no retries).
+    pub max_attempts: usize,
+    /// Backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Multiplier applied per further retry (exponential backoff).
+    pub backoff_multiplier: u32,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// No retries — the pre-fault-tolerance behaviour (fail fast).
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 25,
+            backoff_multiplier: 2,
+            backoff_cap_ms: 5_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` re-attempts after the first try.
+    pub fn retries(retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..Default::default()
+        }
+    }
+
+    /// The backoff before the `retry_index`-th retry (0-based):
+    /// `base * multiplier^retry_index`, capped.
+    pub fn backoff_ms(&self, retry_index: usize) -> u64 {
+        let factor = (self.backoff_multiplier as u64)
+            .checked_pow(retry_index.min(32) as u32)
+            .unwrap_or(u64::MAX);
+        self.backoff_base_ms
+            .saturating_mul(factor)
+            .min(self.backoff_cap_ms)
+    }
+}
+
+/// What the executor does when a source stays failed after the retry
+/// policy is exhausted (or its circuit is open).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OnSourceFailure {
+    /// Abort the whole query with [`crate::MedError::SourceUnavailable`].
+    #[default]
+    Fail,
+    /// Drop only the rule chains that needed the failed source; answer
+    /// from the surviving chains and annotate the trace's `completeness`
+    /// section (degrade gracefully instead of failing closed).
+    Partial,
+}
+
+/// Per-source circuit breaker: after `threshold` *consecutive* transient
+/// failures, the circuit opens and further calls to that source
+/// short-circuit without touching the wrapper. One success resets the
+/// count. Shared across nodes and parallel chains of one execution.
+pub struct CircuitBreaker {
+    threshold: usize,
+    consecutive: Mutex<BTreeMap<Symbol, usize>>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures
+    /// (`0` disables it — the circuit never opens).
+    pub fn new(threshold: usize) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold,
+            consecutive: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether calls to `source` currently short-circuit.
+    pub fn is_open(&self, source: Symbol) -> bool {
+        self.threshold > 0
+            && self
+                .consecutive
+                .lock()
+                .get(&source)
+                .is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Record a transient failure; returns `true` if the circuit for
+    /// `source` is now open.
+    pub fn record_failure(&self, source: Symbol) -> bool {
+        let mut map = self.consecutive.lock();
+        let n = map.entry(source).or_insert(0);
+        *n += 1;
+        self.threshold > 0 && *n >= self.threshold
+    }
+
+    /// Record a success: the consecutive-failure count resets.
+    pub fn record_success(&self, source: Symbol) {
+        self.consecutive.lock().remove(&source);
+    }
+
+    /// Sources whose circuit is currently open, sorted by name.
+    pub fn open_sources(&self) -> Vec<Symbol> {
+        if self.threshold == 0 {
+            return Vec::new();
+        }
+        self.consecutive
+            .lock()
+            .iter()
+            .filter(|(_, &n)| n >= self.threshold)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+}
+
+/// Everything the executor consults when a source misbehaves. Carried in
+/// [`crate::exec::ExecOptions`] and [`crate::MediatorOptions`].
+#[derive(Clone, Default)]
+pub struct FaultOptions {
+    /// Retry policy for transient source failures.
+    pub retry: RetryPolicy,
+    /// Per-source-call deadline in milliseconds. A call that takes longer
+    /// counts as a [`wrappers::WrapperError::Timeout`] — even if it
+    /// eventually answered, its (stale) answer is discarded.
+    pub source_deadline_ms: Option<u64>,
+    /// Fail closed or degrade to a partial answer.
+    pub on_source_failure: OnSourceFailure,
+    /// Consecutive transient failures before a source's circuit opens
+    /// (`0` disables the breaker).
+    pub circuit_threshold: usize,
+    /// Injectable backoff sleeper; `None` = [`ThreadSleeper`].
+    pub sleeper: Option<Arc<dyn Sleeper>>,
+    /// Injectable clock for deadline measurement; `None` =
+    /// [`wrappers::fault::SystemClock`].
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl fmt::Debug for FaultOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultOptions")
+            .field("retry", &self.retry)
+            .field("source_deadline_ms", &self.source_deadline_ms)
+            .field("on_source_failure", &self.on_source_failure)
+            .field("circuit_threshold", &self.circuit_threshold)
+            .field("sleeper", &self.sleeper.as_ref().map(|_| "<injected>"))
+            .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .finish()
+    }
+}
+
+impl FaultOptions {
+    /// Run every chain on the given virtual clock: deadlines are measured
+    /// on it and backoffs advance it — nothing ever sleeps. Share the same
+    /// clock with the fault injectors.
+    pub fn on_virtual_time(mut self, clock: Arc<wrappers::fault::VirtualClock>) -> FaultOptions {
+        self.sleeper = Some(Arc::new(VirtualSleeper(Arc::clone(&clock))));
+        self.clock = Some(clock);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::sym;
+    use wrappers::fault::VirtualClock;
+
+    #[test]
+    fn default_policy_fails_fast() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(RetryPolicy::retries(3).max_attempts, 4);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base_ms: 25,
+            backoff_multiplier: 2,
+            backoff_cap_ms: 150,
+        };
+        assert_eq!(p.backoff_ms(0), 25);
+        assert_eq!(p.backoff_ms(1), 50);
+        assert_eq!(p.backoff_ms(2), 100);
+        assert_eq!(p.backoff_ms(3), 150, "capped");
+        assert_eq!(p.backoff_ms(60), 150, "huge exponents saturate at cap");
+    }
+
+    #[test]
+    fn circuit_opens_after_threshold_and_resets_on_success() {
+        let cb = CircuitBreaker::new(3);
+        let s = sym("whois");
+        assert!(!cb.is_open(s));
+        assert!(!cb.record_failure(s));
+        assert!(!cb.record_failure(s));
+        assert!(cb.record_failure(s), "third consecutive failure opens");
+        assert!(cb.is_open(s));
+        assert_eq!(cb.open_sources(), vec![s]);
+        cb.record_success(s);
+        assert!(!cb.is_open(s));
+        assert!(cb.open_sources().is_empty());
+    }
+
+    #[test]
+    fn disabled_circuit_never_opens() {
+        let cb = CircuitBreaker::new(0);
+        let s = sym("cs");
+        for _ in 0..100 {
+            assert!(!cb.record_failure(s));
+        }
+        assert!(!cb.is_open(s));
+        assert!(cb.open_sources().is_empty());
+    }
+
+    #[test]
+    fn virtual_sleeper_advances_clock_only() {
+        let clock = Arc::new(VirtualClock::new());
+        let sleeper = VirtualSleeper(Arc::clone(&clock));
+        let wall = std::time::Instant::now();
+        sleeper.sleep_ms(10_000);
+        assert_eq!(clock.now_ms(), 10_000);
+        assert!(wall.elapsed().as_millis() < 1_000, "no real sleeping");
+    }
+
+    #[test]
+    fn fault_options_debug_and_virtual_time() {
+        let clock = Arc::new(VirtualClock::new());
+        let opts = FaultOptions::default().on_virtual_time(Arc::clone(&clock));
+        let shown = format!("{opts:?}");
+        assert!(shown.contains("<injected>"), "{shown}");
+        opts.sleeper.unwrap().sleep_ms(5);
+        assert_eq!(opts.clock.unwrap().now_ms(), 5);
+    }
+}

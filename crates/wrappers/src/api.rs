@@ -13,6 +13,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors a wrapper can raise.
+///
+/// The paper's §3.5 concedes that sources are autonomous: some refuse
+/// query features ([`WrapperError::Unsupported`]), and — in any deployment
+/// beyond the paper's demo — some are intermittently unreachable or slow.
+/// The *transient* variants ([`WrapperError::Unavailable`],
+/// [`WrapperError::Timeout`]) tell the mediator that retrying may succeed;
+/// the datamerge engine's retry policy acts only on those (see
+/// [`WrapperError::is_transient`]).
 #[derive(Clone, PartialEq, Debug)]
 pub enum WrapperError {
     /// The query uses a feature this source does not support (§3.5). The
@@ -24,6 +32,24 @@ pub enum WrapperError {
     BadQuery(String),
     /// Construction of result objects failed.
     Construct(String),
+    /// The source is unreachable (down, refusing connections). Transient:
+    /// a later attempt may succeed.
+    Unavailable(String),
+    /// The source did not answer within its deadline. Transient: a later
+    /// attempt may succeed.
+    Timeout(String),
+}
+
+impl WrapperError {
+    /// Whether the failure is transient — i.e. retrying the same query
+    /// against the same source may succeed. Permanent errors (unsupported
+    /// features, malformed queries, construction bugs) never are.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            WrapperError::Unavailable(_) | WrapperError::Timeout(_)
+        )
+    }
 }
 
 impl fmt::Display for WrapperError {
@@ -32,6 +58,8 @@ impl fmt::Display for WrapperError {
             WrapperError::Unsupported(msg) => write!(f, "unsupported by source: {msg}"),
             WrapperError::BadQuery(msg) => write!(f, "bad wrapper query: {msg}"),
             WrapperError::Construct(msg) => write!(f, "result construction failed: {msg}"),
+            WrapperError::Unavailable(msg) => write!(f, "source unavailable: {msg}"),
+            WrapperError::Timeout(msg) => write!(f, "source timed out: {msg}"),
         }
     }
 }
@@ -149,6 +177,19 @@ mod tests {
     fn own_patterns_rejects_externals() {
         let q = parse_query("X :- X:<p {<n N>}>@s AND ge(N, 3)").unwrap();
         assert!(own_patterns(sym("s"), &q).is_err());
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(WrapperError::Unavailable("down".into()).is_transient());
+        assert!(WrapperError::Timeout("slow".into()).is_transient());
+        assert!(!WrapperError::Unsupported("year".into()).is_transient());
+        assert!(!WrapperError::BadQuery("x".into()).is_transient());
+        assert!(!WrapperError::Construct("x".into()).is_transient());
+        let shown = WrapperError::Unavailable("whois down".into()).to_string();
+        assert!(shown.contains("unavailable"), "{shown}");
+        let shown = WrapperError::Timeout("80ms > 50ms".into()).to_string();
+        assert!(shown.contains("timed out"), "{shown}");
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!   [`capabilities::Capabilities`] and optional [`api::SourceStats`].
 //! * [`capabilities`] — which query features a source supports (§3.5's
 //!   "limited query capabilities of the underlying sources").
+//! * [`fault`] — fault injection: [`fault::FaultInjectingWrapper`]
+//!   decorates any wrapper with a deterministic [`fault::FaultPlan`]
+//!   (fail-first-N, fail-every-Kth, seeded flakiness, injected latency),
+//!   plus the [`fault::Clock`] abstraction that lets latency and deadlines
+//!   run on virtual time in tests.
 //! * [`metrics`] — wrapper-side instrumentation: per-wrapper counters
 //!   (queries received, objects exported, capability rejections) exposed
 //!   through [`api::Wrapper::metrics`].
@@ -24,6 +29,7 @@
 pub mod api;
 pub mod capabilities;
 pub mod eval;
+pub mod fault;
 pub mod metrics;
 pub mod relational;
 pub mod scenario;
@@ -32,6 +38,7 @@ pub mod workload;
 
 pub use api::{SourceStats, Wrapper, WrapperError};
 pub use capabilities::Capabilities;
+pub use fault::{Clock, FaultInjectingWrapper, FaultKind, FaultPlan, SystemClock, VirtualClock};
 pub use metrics::{WrapperCounters, WrapperMetrics};
 pub use relational::RelationalWrapper;
 pub use semistructured::SemiStructuredWrapper;

@@ -14,6 +14,7 @@
 //! | `queries_received`      | queries | a query arrives, before any checks |
 //! | `objects_exported`      | objects | per top-level result object        |
 //! | `capability_rejections` | queries | the query fails the capability check (§3.5) |
+//! | `faults_injected`       | queries | a fault-injection decorator failed the query on purpose |
 //!
 //! [`medmaker` metrics]: ../medmaker/metrics/index.html
 
@@ -26,6 +27,7 @@ pub struct WrapperCounters {
     queries_received: AtomicUsize,
     objects_exported: AtomicUsize,
     capability_rejections: AtomicUsize,
+    faults_injected: AtomicUsize,
 }
 
 impl WrapperCounters {
@@ -50,12 +52,19 @@ impl WrapperCounters {
         self.capability_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A fault-injection decorator (see [`crate::fault`]) turned the
+    /// query into a deliberate failure.
+    pub fn fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> WrapperMetrics {
         WrapperMetrics {
             queries_received: self.queries_received.load(Ordering::Relaxed),
             objects_exported: self.objects_exported.load(Ordering::Relaxed),
             capability_rejections: self.capability_rejections.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -70,6 +79,9 @@ pub struct WrapperMetrics {
     pub objects_exported: usize,
     /// Queries refused by the capability check.
     pub capability_rejections: usize,
+    /// Queries deliberately failed by a fault-injection decorator
+    /// ([`crate::fault::FaultInjectingWrapper`]).
+    pub faults_injected: usize,
 }
 
 #[cfg(test)]
@@ -84,10 +96,13 @@ mod tests {
         c.query_received();
         c.objects_exported(5);
         c.capability_rejected();
+        c.fault_injected();
+        c.fault_injected();
         let m = c.snapshot();
         assert_eq!(m.queries_received, 2);
         assert_eq!(m.objects_exported, 5);
         assert_eq!(m.capability_rejections, 1);
+        assert_eq!(m.faults_injected, 2);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Fault-tolerant mediation: fault injection, retry policy, and
+//! partial-result degradation.
+//!
+//! Wraps the paper's whois source in a [`FaultInjectingWrapper`] with a
+//! deterministic, seeded fault plan and runs the union (fusion) view four
+//! ways:
+//!
+//! 1. whois down, default fail-closed mode — the query errors cleanly;
+//! 2. whois down, `Partial` mode — the cs rule chain still answers and
+//!    the trace's completeness section names what is missing;
+//! 3. whois flaky (first two calls fail), bounded retry — the full fused
+//!    answer returns and the retry counters match the fault plan;
+//! 4. whois slow past the per-source deadline — the late answer is
+//!    discarded and counted as a failure.
+//!
+//! Everything runs on virtual time (injected clock + sleeper), so the
+//! example is instant and deterministic; CI executes it to keep the
+//! README's `--partial` walkthrough honest.
+//!
+//! Run with: `cargo run --example fault_injection`
+
+use medmaker::{FaultOptions, Mediator, MediatorOptions, OnSourceFailure, RetryPolicy};
+use oem::sym;
+use std::sync::Arc;
+use wrappers::fault::{FaultInjectingWrapper, FaultPlan, VirtualClock};
+use wrappers::scenario::{cs_wrapper, whois_wrapper};
+use wrappers::Wrapper;
+
+/// The fusion union view from §2 "Other Features": one rule per source,
+/// fused by the semantic oid `person_id(N)`. Because each source has its
+/// own rule, losing one source degrades the answer instead of emptying it.
+const UNION_SPEC: &str = "\
+<person_id(N) all_person {<name N> <src 'whois'> Rest}> :-
+    <person {<name N> | Rest}>@whois
+<person_id(N) all_person {<name N> <src 'cs'> <first FN> <last LN> Rest2}> :-
+    <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN)
+
+decomp(bound, free, free) by name_to_lnfn
+decomp(free, bound, bound) by lnfn_to_name
+";
+
+fn mediator(
+    plan: FaultPlan,
+    fault: FaultOptions,
+    clock: Option<Arc<VirtualClock>>,
+) -> Result<(Mediator, Arc<FaultInjectingWrapper>), Box<dyn std::error::Error>> {
+    let mut faulty = FaultInjectingWrapper::new(Arc::new(whois_wrapper()), plan);
+    if let Some(c) = clock {
+        faulty = faulty.with_virtual_clock(c);
+    }
+    let faulty = Arc::new(faulty);
+    let med = Mediator::new(
+        "m",
+        UNION_SPEC,
+        vec![faulty.clone() as Arc<dyn Wrapper>, Arc::new(cs_wrapper())],
+        medmaker::externals::standard_registry(),
+    )?
+    .with_options(MediatorOptions {
+        trace: true,
+        fault,
+        ..Default::default()
+    });
+    Ok((med, faulty))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let q = msl::parse_query("P :- P:<all_person {}>@m")?;
+
+    // 1. Fail mode (the default): a dead source fails the whole query —
+    //    with a typed error, never a panic or a silently wrong answer.
+    let (med, _) = mediator(FaultPlan::always_down(), FaultOptions::default(), None)?;
+    let err = med.query_rule(&q).err().expect("dead source must error");
+    println!("[fail mode]    {err}");
+    assert!(matches!(err, medmaker::MedError::SourceUnavailable { .. }));
+
+    // 2. Partial mode: only the chains that need whois are dropped. The
+    //    cs-side contributions of the union still come back, and the trace
+    //    records exactly which source failed and which chains were skipped.
+    let (med, whois) = mediator(
+        FaultPlan::always_down(),
+        FaultOptions {
+            on_source_failure: OnSourceFailure::Partial,
+            ..Default::default()
+        },
+        None,
+    )?;
+    let outcome = med.query_rule(&q)?;
+    let c = &outcome.trace.completeness;
+    println!(
+        "[partial mode] {} object(s) from the surviving chains; \
+         failed sources: {:?}; {} chain(s) dropped",
+        outcome.results.top_level().len(),
+        c.sources_failed.keys().collect::<Vec<_>>(),
+        c.skipped_chains.len()
+    );
+    assert_eq!(outcome.results.top_level().len(), 2, "cs-only Joe and Nick");
+    assert!(!c.is_complete());
+    assert!(c.sources_failed.contains_key(&sym("whois")));
+    assert_eq!(whois.metrics().unwrap().faults_injected, 1);
+
+    // 3. Bounded retry over a flaky source. The first two whois calls fail,
+    //    the third succeeds; with three retries allowed the fused answer is
+    //    complete again. Backoff sleeps happen on the injected virtual
+    //    sleeper, so no real time passes.
+    let clock = Arc::new(VirtualClock::new());
+    let (med, whois) = mediator(
+        FaultPlan::none().fail_first(2),
+        FaultOptions {
+            retry: RetryPolicy::retries(3),
+            ..Default::default()
+        }
+        .on_virtual_time(clock.clone()),
+        Some(clock),
+    )?;
+    let outcome = med.query_rule(&q)?;
+    println!(
+        "[retry]        complete again: {} object(s); retries: whois={}, \
+         failed attempts: whois={}, faults injected: {}",
+        outcome.results.top_level().len(),
+        outcome.trace.retries_for(sym("whois")),
+        outcome.trace.failures_for(sym("whois")),
+        whois.metrics().unwrap().faults_injected,
+    );
+    assert_eq!(outcome.results.top_level().len(), 2);
+    assert!(outcome.trace.completeness.is_complete());
+    assert_eq!(outcome.trace.retries_for(sym("whois")), 2);
+    assert_eq!(outcome.trace.failures_for(sym("whois")), 2);
+    assert_eq!(whois.calls_seen(), 3);
+
+    // 4. Deadlines: a source that answers, but too late, counts as failed.
+    //    The injected 80ms latency only advances the virtual clock.
+    let clock = Arc::new(VirtualClock::new());
+    let (med, _) = mediator(
+        FaultPlan::none().latency_ms(80),
+        FaultOptions {
+            source_deadline_ms: Some(50),
+            on_source_failure: OnSourceFailure::Partial,
+            ..Default::default()
+        }
+        .on_virtual_time(clock.clone()),
+        Some(clock),
+    )?;
+    let outcome = med.query_rule(&q)?;
+    let c = &outcome.trace.completeness;
+    println!(
+        "[deadline]     whois over its 50ms deadline: {:?}",
+        c.sources_failed.get(&sym("whois"))
+    );
+    assert!(!c.is_complete());
+    assert!(c.sources_failed[&sym("whois")].contains("deadline"));
+
+    println!("fault injection, retry, deadline and degradation all verified");
+    Ok(())
+}

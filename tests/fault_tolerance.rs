@@ -1,0 +1,384 @@
+//! The fault matrix: {cs down, whois down, whois flaky-then-recovers,
+//! slow source past its deadline} × {retry on/off} × {Fail/Partial},
+//! asserting result sets, completeness annotations, and retry counters
+//! against the seeded fault plans exactly. Every scenario runs on virtual
+//! time (injected clock + sleeper) — the whole suite finishes without a
+//! single real sleep, and every fault plan is deterministic.
+
+use medmaker::exec::ExecOutcome;
+use medmaker::{FaultOptions, MedError, Mediator, MediatorOptions, OnSourceFailure, RetryPolicy};
+use oem::sym;
+use std::sync::Arc;
+use wrappers::fault::{FaultInjectingWrapper, FaultPlan, VirtualClock};
+use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+use wrappers::Wrapper;
+
+/// The fusion union view: one rule per source, fused by the semantic oid
+/// `person_id(N)`. Losing one source degrades the answer (the other rule
+/// still fires); this is where Partial mode is visible as a non-empty,
+/// incomplete result.
+const UNION_SPEC: &str = "\
+<person_id(N) all_person {<name N> <src 'whois'> Rest}> :-
+    <person {<name N> | Rest}>@whois
+<person_id(N) all_person {<name N> <src 'cs'> <first FN> <last LN> Rest2}> :-
+    <R {<first_name FN> <last_name LN> | Rest2}>@cs
+    AND decomp(N, LN, FN)
+
+decomp(bound, free, free) by name_to_lnfn
+decomp(free, bound, bound) by lnfn_to_name
+";
+
+/// A test fixture: both paper sources behind fault injectors on a shared
+/// virtual clock, queried through the full `Mediator` pipeline (so the
+/// `MediatorOptions::fault` plumbing is what's under test).
+struct Rig {
+    med: Mediator,
+    whois: Arc<FaultInjectingWrapper>,
+    cs: Arc<FaultInjectingWrapper>,
+}
+
+fn rig(spec: &str, whois_plan: FaultPlan, cs_plan: FaultPlan, fault: FaultOptions) -> Rig {
+    let clock = Arc::new(VirtualClock::new());
+    let whois = Arc::new(
+        FaultInjectingWrapper::new(Arc::new(whois_wrapper()), whois_plan)
+            .with_virtual_clock(clock.clone()),
+    );
+    let cs = Arc::new(
+        FaultInjectingWrapper::new(Arc::new(cs_wrapper()), cs_plan)
+            .with_virtual_clock(clock.clone()),
+    );
+    let med = Mediator::new(
+        "m",
+        spec,
+        vec![
+            whois.clone() as Arc<dyn Wrapper>,
+            cs.clone() as Arc<dyn Wrapper>,
+        ],
+        medmaker::externals::standard_registry(),
+    )
+    .expect("spec parses")
+    .with_options(MediatorOptions {
+        trace: true,
+        fault: fault.on_virtual_time(clock),
+        ..Default::default()
+    });
+    Rig { med, whois, cs }
+}
+
+fn union_query(r: &Rig) -> medmaker::Result<ExecOutcome> {
+    let q = msl::parse_query("P :- P:<all_person {}>@m").unwrap();
+    r.med.query_rule(&q)
+}
+
+fn partial() -> FaultOptions {
+    FaultOptions {
+        on_source_failure: OnSourceFailure::Partial,
+        ..Default::default()
+    }
+}
+
+/// Names of the top-level result objects' `src` children, to tell whois
+/// contributions from cs contributions.
+fn srcs_in(results: &oem::ObjectStore) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for &t in results.top_level() {
+        let printed = oem::printer::compact(results, t);
+        if printed.contains("<src 'whois'>") {
+            out.push("whois".to_string());
+        }
+        if printed.contains("<src 'cs'>") {
+            out.push("cs".to_string());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+// ---- whois down ---------------------------------------------------------
+
+#[test]
+fn whois_down_fail_mode_errors_without_retrying() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::always_down(),
+        FaultPlan::none(),
+        FaultOptions::default(),
+    );
+    let err = union_query(&r).err().expect("must fail closed");
+    match err {
+        MedError::SourceUnavailable { source, .. } => assert_eq!(source, "whois"),
+        other => panic!("expected SourceUnavailable, got {other}"),
+    }
+    // Retry is off: exactly one call reached the source.
+    assert_eq!(r.whois.calls_seen(), 1);
+    assert_eq!(r.whois.metrics().unwrap().faults_injected, 1);
+}
+
+#[test]
+fn whois_down_fail_mode_retries_then_errors() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::always_down(),
+        FaultPlan::none(),
+        FaultOptions {
+            retry: RetryPolicy::retries(2),
+            ..Default::default()
+        },
+    );
+    let err = union_query(&r).err().expect("must still fail closed");
+    assert!(matches!(err, MedError::SourceUnavailable { .. }));
+    // 1 initial attempt + 2 retries, all faulted, matching the plan.
+    assert_eq!(r.whois.calls_seen(), 3);
+    assert_eq!(r.whois.metrics().unwrap().faults_injected, 3);
+}
+
+#[test]
+fn whois_down_partial_mode_returns_the_cs_side() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::always_down(),
+        FaultPlan::none(),
+        partial(),
+    );
+    let outcome = union_query(&r).expect("partial mode degrades, not fails");
+    assert_eq!(outcome.results.top_level().len(), 2, "cs-only Joe and Nick");
+    assert_eq!(srcs_in(&outcome.results), ["cs"]);
+    let c = &outcome.trace.completeness;
+    assert!(!c.is_complete());
+    assert!(c.sources_failed.contains_key(&sym("whois")));
+    assert!(!c.sources_failed.contains_key(&sym("cs")));
+    assert_eq!(c.skipped_chains.len(), 1, "only the whois chain dropped");
+    assert!(c.sources_ok.contains(&sym("cs")));
+}
+
+#[test]
+fn whois_down_partial_mode_with_retries_counts_every_attempt() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::always_down(),
+        FaultPlan::none(),
+        FaultOptions {
+            retry: RetryPolicy::retries(2),
+            on_source_failure: OnSourceFailure::Partial,
+            ..Default::default()
+        },
+    );
+    let outcome = union_query(&r).expect("partial mode degrades, not fails");
+    assert_eq!(outcome.results.top_level().len(), 2);
+    // The failed chain's counters still land in the trace: 2 re-attempts,
+    // 3 transient failures observed — exactly the seeded plan.
+    assert_eq!(outcome.trace.retries_for(sym("whois")), 2);
+    assert_eq!(outcome.trace.failures_for(sym("whois")), 3);
+    assert_eq!(r.whois.calls_seen(), 3);
+}
+
+// ---- cs down (the matrix is symmetric in the source) --------------------
+
+#[test]
+fn cs_down_fail_mode_errors() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none(),
+        FaultPlan::always_down(),
+        FaultOptions::default(),
+    );
+    let err = union_query(&r).err().expect("must fail closed");
+    match err {
+        MedError::SourceUnavailable { source, .. } => assert_eq!(source, "cs"),
+        other => panic!("expected SourceUnavailable, got {other}"),
+    }
+    assert_eq!(r.cs.calls_seen(), 1);
+    assert_eq!(r.cs.metrics().unwrap().faults_injected, 1);
+}
+
+#[test]
+fn cs_down_partial_mode_returns_the_whois_side() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none(),
+        FaultPlan::always_down(),
+        partial(),
+    );
+    let outcome = union_query(&r).expect("partial mode degrades, not fails");
+    assert_eq!(outcome.results.top_level().len(), 2, "whois-only Joe, Nick");
+    assert_eq!(srcs_in(&outcome.results), ["whois"]);
+    let c = &outcome.trace.completeness;
+    assert!(!c.is_complete());
+    assert!(c.sources_failed.contains_key(&sym("cs")));
+    assert!(c.sources_ok.contains(&sym("whois")));
+}
+
+// ---- flaky-then-recovers ------------------------------------------------
+
+#[test]
+fn flaky_whois_recovers_under_retry_in_both_modes() {
+    for fault in [
+        FaultOptions {
+            retry: RetryPolicy::retries(2),
+            ..Default::default()
+        },
+        FaultOptions {
+            retry: RetryPolicy::retries(2),
+            on_source_failure: OnSourceFailure::Partial,
+            ..Default::default()
+        },
+    ] {
+        let r = rig(
+            UNION_SPEC,
+            FaultPlan::none().fail_first(2),
+            FaultPlan::none(),
+            fault,
+        );
+        let outcome = union_query(&r).expect("third attempt succeeds");
+        assert_eq!(outcome.results.top_level().len(), 2);
+        // Both sources contributed: the objects fused.
+        assert_eq!(srcs_in(&outcome.results), ["cs", "whois"]);
+        assert!(outcome.trace.completeness.is_complete());
+        // Counters match the plan: 2 injected faults, 2 re-attempts, the
+        // 3rd call went through.
+        assert_eq!(outcome.trace.retries_for(sym("whois")), 2);
+        assert_eq!(outcome.trace.failures_for(sym("whois")), 2);
+        assert_eq!(outcome.trace.retries_for(sym("cs")), 0);
+        assert_eq!(r.whois.calls_seen(), 3);
+        assert_eq!(r.whois.metrics().unwrap().faults_injected, 2);
+    }
+}
+
+#[test]
+fn flaky_whois_without_retry_fails_or_degrades() {
+    // Retry off, Fail mode: the first injected fault ends the query.
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none().fail_first(2),
+        FaultPlan::none(),
+        FaultOptions::default(),
+    );
+    assert!(union_query(&r).is_err());
+    assert_eq!(r.whois.calls_seen(), 1);
+
+    // Retry off, Partial mode: the whois chain is dropped on its single
+    // failed attempt; no second call is ever made.
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none().fail_first(2),
+        FaultPlan::none(),
+        partial(),
+    );
+    let outcome = union_query(&r).expect("degrades");
+    assert_eq!(srcs_in(&outcome.results), ["cs"]);
+    assert_eq!(outcome.trace.retries_for(sym("whois")), 0);
+    assert_eq!(outcome.trace.failures_for(sym("whois")), 1);
+    assert_eq!(r.whois.calls_seen(), 1);
+}
+
+// ---- slow source past its deadline --------------------------------------
+
+#[test]
+fn slow_whois_past_deadline_is_discarded_in_partial_mode() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none().latency_ms(80),
+        FaultPlan::none(),
+        FaultOptions {
+            source_deadline_ms: Some(50),
+            on_source_failure: OnSourceFailure::Partial,
+            ..Default::default()
+        },
+    );
+    let outcome = union_query(&r).expect("degrades");
+    assert_eq!(srcs_in(&outcome.results), ["cs"]);
+    let c = &outcome.trace.completeness;
+    assert!(!c.is_complete());
+    assert!(c.sources_failed[&sym("whois")].contains("deadline"));
+    assert_eq!(outcome.trace.failures_for(sym("whois")), 1);
+}
+
+#[test]
+fn slow_whois_past_deadline_fails_in_fail_mode_even_with_retry() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none().latency_ms(80),
+        FaultPlan::none(),
+        FaultOptions {
+            retry: RetryPolicy::retries(1),
+            source_deadline_ms: Some(50),
+            ..Default::default()
+        },
+    );
+    let err = union_query(&r).err().expect("every attempt is too slow");
+    match &err {
+        MedError::SourceUnavailable { source, reason } => {
+            assert_eq!(source, "whois");
+            assert!(reason.contains("deadline"), "{reason}");
+        }
+        other => panic!("expected SourceUnavailable, got {other}"),
+    }
+    // The timeout is transient, so the retry budget was spent: 2 attempts.
+    assert_eq!(r.whois.calls_seen(), 2);
+}
+
+#[test]
+fn slow_source_within_deadline_is_unaffected() {
+    let r = rig(
+        UNION_SPEC,
+        FaultPlan::none().latency_ms(20),
+        FaultPlan::none(),
+        FaultOptions {
+            source_deadline_ms: Some(50),
+            ..Default::default()
+        },
+    );
+    let outcome = union_query(&r).expect("20ms < 50ms deadline");
+    assert_eq!(outcome.results.top_level().len(), 2);
+    assert!(outcome.trace.completeness.is_complete());
+    assert_eq!(outcome.trace.failures_for(sym("whois")), 0);
+}
+
+// ---- MS1: every chain needs both sources --------------------------------
+
+#[test]
+fn ms1_with_whois_down_partial_is_empty_but_not_an_error() {
+    // In MS1 every cs_person chain joins whois with cs, so losing whois in
+    // Partial mode legitimately drops every chain: the answer is empty but
+    // the query does NOT error — and the trace says why it is empty.
+    let r = rig(MS1, FaultPlan::always_down(), FaultPlan::none(), partial());
+    let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@m").unwrap();
+    let outcome = r.med.query_rule(&q).expect("empty, not an error");
+    assert_eq!(outcome.results.top_level().len(), 0);
+    let c = &outcome.trace.completeness;
+    assert!(!c.is_complete());
+    assert!(c.sources_failed.contains_key(&sym("whois")));
+    assert_eq!(
+        c.skipped_chains.len(),
+        outcome.trace.rules.len(),
+        "every chain needed whois"
+    );
+    // Fail mode on the same rig setup errors instead.
+    let r = rig(
+        MS1,
+        FaultPlan::always_down(),
+        FaultPlan::none(),
+        FaultOptions::default(),
+    );
+    assert!(r.med.query_rule(&q).is_err());
+}
+
+// ---- deterministic seeded flakiness -------------------------------------
+
+#[test]
+fn seeded_flaky_plan_is_reproducible_across_runs() {
+    // The same seed must produce the same fault sequence, so two identical
+    // runs agree call for call — the whole matrix stays deterministic.
+    let plan_a = FaultPlan::none().flaky(0.5, 42);
+    let plan_b = FaultPlan::none().flaky(0.5, 42);
+    let seq_a: Vec<bool> = (0..32).map(|i| plan_a.injects_fault(i)).collect();
+    let seq_b: Vec<bool> = (0..32).map(|i| plan_b.injects_fault(i)).collect();
+    assert_eq!(seq_a, seq_b);
+    assert!(seq_a.iter().any(|&f| f), "p=0.5 over 32 calls injects some");
+    assert!(!seq_a.iter().all(|&f| f), "...but not all");
+    // A different seed gives a different sequence.
+    let plan_c = FaultPlan::none().flaky(0.5, 43);
+    let seq_c: Vec<bool> = (0..32).map(|i| plan_c.injects_fault(i)).collect();
+    assert_ne!(seq_a, seq_c);
+}
