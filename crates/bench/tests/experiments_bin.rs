@@ -18,8 +18,8 @@ fn all_experiments_pass() {
     // One [ok] per experiment (fig23 prints its correction note inline).
     let ok_count = stdout.matches("[ok]").count();
     assert!(
-        ok_count >= 18,
-        "expected >= 18 [ok] markers, got {ok_count}"
+        ok_count >= 19,
+        "expected >= 19 [ok] markers, got {ok_count}"
     );
     // Spot-check headline artifacts.
     for frag in [
@@ -27,6 +27,7 @@ fn all_experiments_pass() {
         "experiment: theta1",
         "experiment: fig36",
         "experiment: lorel",
+        "experiment: cache",
         "'Joe Chung'",
         "'Nick Naive'",
     ] {

@@ -63,13 +63,24 @@ pub struct Config {
     pub source_deadline_ms: Option<u64>,
     /// Degrade instead of failing when a source is down (`--partial`).
     pub partial: bool,
+    /// Enable the source-answer cache (`--cache`).
+    pub cache: bool,
+    /// Cache capacity in entries per source (`--cache-capacity N`).
+    pub cache_capacity: Option<usize>,
+    /// Cache entry time-to-live in milliseconds (`--cache-ttl-ms MS`).
+    pub cache_ttl_ms: Option<u64>,
+    /// Serve cached answers even while the source is down
+    /// (`--cache-stale-ok`).
+    pub cache_stale_ok: bool,
 }
 
 /// Usage text.
 pub const USAGE: &str = "\
 usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
                 [--minimal] [--no-dedup] [--explain]
-                [--retries N] [--source-deadline-ms MS] [--partial] [QUERY]
+                [--retries N] [--source-deadline-ms MS] [--partial]
+                [--cache] [--cache-capacity N] [--cache-ttl-ms MS]
+                [--cache-stale-ok] [QUERY]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
 
@@ -93,6 +104,13 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
   --partial         when a source stays down, drop only the rule chains
                     that need it and return the rest (annotated PARTIAL)
                     instead of failing the whole query
+  --cache           cache source answers and reuse them across queries
+                    (exact-match and containment-aware; default: off)
+  --cache-capacity N
+                    keep at most N cached answers per source (default: 64)
+  --cache-ttl-ms MS expire cached answers after MS milliseconds
+  --cache-stale-ok  keep serving cached answers for a source that is
+                    currently failing (default: refetch and degrade)
   QUERY             a query; omit for an interactive session
 
 lint mode runs every speclint diagnostic pass over SPEC and exits with
@@ -157,6 +175,24 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
                 cfg.source_deadline_ms = Some(ms);
             }
             "--partial" => cfg.partial = true,
+            "--cache" => cfg.cache = true,
+            "--cache-capacity" => {
+                let v = it
+                    .next()
+                    .ok_or("--cache-capacity needs a number argument")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--cache-capacity expects a number, got '{v}'"))?;
+                cfg.cache_capacity = Some(n);
+            }
+            "--cache-ttl-ms" => {
+                let v = it.next().ok_or("--cache-ttl-ms needs a number argument")?;
+                let ms = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--cache-ttl-ms expects a number, got '{v}'"))?;
+                cfg.cache_ttl_ms = Some(ms);
+            }
+            "--cache-stale-ok" => cfg.cache_stale_ok = true,
             "--explain" => cfg.explain = true,
             "--lorel" => cfg.lorel = true,
             "--json" if cfg.lint => cfg.json = true,
@@ -270,6 +306,13 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         },
         ..Default::default()
     };
+    let cache = medmaker::CacheOptions {
+        enabled: cfg.cache,
+        capacity: cfg.cache_capacity.unwrap_or(64),
+        ttl_ms: cfg.cache_ttl_ms,
+        stale_ok: cfg.cache_stale_ok,
+        ..Default::default()
+    };
     Ok(med.with_options(MediatorOptions {
         planner: PlannerOptions {
             dedup: !cfg.no_dedup,
@@ -281,6 +324,7 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
             engine::unify::UnifyMode::Exhaustive
         },
         fault,
+        cache,
         ..Default::default()
     }))
 }
@@ -571,6 +615,29 @@ mod tests {
         assert!(parse_args(argv("--spec s.msl --retries")).is_err());
         assert!(parse_args(argv("--spec s.msl --source-deadline-ms soon")).is_err());
         assert!(parse_args(argv("--spec s.msl --source-deadline-ms")).is_err());
+    }
+
+    #[test]
+    fn parse_cache_flags() {
+        let cfg = parse_args(argv(
+            "--spec med.msl --cache --cache-capacity 8 --cache-ttl-ms 5000 --cache-stale-ok QUERY",
+        ))
+        .unwrap();
+        assert!(cfg.cache);
+        assert_eq!(cfg.cache_capacity, Some(8));
+        assert_eq!(cfg.cache_ttl_ms, Some(5000));
+        assert!(cfg.cache_stale_ok);
+        // Default: cache off — every query pays its round-trips.
+        let cfg = parse_args(argv("--spec med.msl QUERY")).unwrap();
+        assert!(!cfg.cache);
+        assert_eq!(cfg.cache_capacity, None);
+        assert_eq!(cfg.cache_ttl_ms, None);
+        assert!(!cfg.cache_stale_ok);
+        // Numeric flags validate their argument.
+        assert!(parse_args(argv("--spec s.msl --cache-capacity lots")).is_err());
+        assert!(parse_args(argv("--spec s.msl --cache-capacity")).is_err());
+        assert!(parse_args(argv("--spec s.msl --cache-ttl-ms forever")).is_err());
+        assert!(parse_args(argv("--spec s.msl --cache-ttl-ms")).is_err());
     }
 
     #[test]

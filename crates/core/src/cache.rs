@@ -1,0 +1,1288 @@
+//! Source-answer cache: containment-aware reuse of wrapper answers.
+//!
+//! Every mediator query used to re-fetch from the wrapped sources cold,
+//! even though MedMaker's MSI design (§3.4–3.6) makes source round-trips
+//! the dominant cost of both the fetch-and-join and parameterized-query
+//! strategies. The [`AnswerCache`] keeps the wrapper's exported
+//! `ObjectStore` answer for every source query the executor sends, keyed
+//! by a *canonicalized* form of the query (variable names normalized,
+//! conditions sorted), and serves repeats without touching the source.
+//!
+//! Lookup goes beyond exact repetition: a **containment probe** (§3.2's
+//! query-containment notion, see [`engine::containment`]) finds a cached
+//! query that is *more general* than the incoming one — same shape, but
+//! with a variable where the new query pins a constant, or without a rest
+//! condition the new query adds. The cached answer is then filtered
+//! locally, `wrappers/eval.rs`-style, against the extra constants and
+//! conditions instead of paying a round-trip.
+//!
+//! Keys are computed over the *post-capability-strip* node queries (the
+//! planner already removed conditions the source cannot evaluate), so the
+//! cache never conflates what the source was actually asked with what the
+//! mediator filters afterwards.
+//!
+//! Soundness rule: a probe that meets *any* structural surprise — a
+//! pinned variable the cached query never exported, a rest condition
+//! whose carrier is missing, mismatched extraction kinds — rejects the
+//! entry and falls back to a miss. A containment false-positive can never
+//! serve a wrong answer; the worst case is a redundant round-trip.
+//!
+//! Fault interaction: once the executor reports a source failed
+//! ([`AnswerCache::mark_failed`]), cached answers for that source are
+//! *not* served (the cache must not mask an outage behind stale data)
+//! unless [`CacheOptions::stale_ok`] opts into stale serving. A later
+//! success ([`AnswerCache::mark_ok`]) lifts the embargo.
+
+use crate::graph::{ExtractVar, VarKind};
+use engine::bindings::{Bindings, BoundValue};
+use engine::matcher::{atomic_eq, match_pattern};
+use msl::{Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, TailItem, Term};
+use oem::{copy, ObjectStore, Symbol, Value};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use wrappers::fault::{Clock, SystemClock};
+
+/// Configuration of the source-answer cache. Carried in
+/// [`crate::MediatorOptions`]; disabled by default so a mediator without
+/// `--cache` behaves exactly like the seed (every query pays its
+/// round-trips, statistics learn from every call).
+#[derive(Clone)]
+pub struct CacheOptions {
+    /// Master switch; `false` (default) keeps the cache completely out of
+    /// the execution path.
+    pub enabled: bool,
+    /// Maximum cached answers per source shard; the oldest entry is
+    /// evicted when a shard overflows.
+    pub capacity: usize,
+    /// Time-to-live per entry in milliseconds, measured on [`Self::clock`];
+    /// `None` means entries never expire.
+    pub ttl_ms: Option<u64>,
+    /// Serve cached answers even for a source currently marked failed
+    /// (the `--cache-stale-ok` escape hatch). Default `false`: a failed
+    /// source's entries are embargoed until it answers again.
+    pub stale_ok: bool,
+    /// Sources excluded from caching (always fetched live).
+    pub disabled_sources: BTreeSet<Symbol>,
+    /// Injectable clock for TTL measurement; `None` =
+    /// [`wrappers::fault::SystemClock`]. Share a
+    /// [`wrappers::fault::VirtualClock`] with [`crate::retry::FaultOptions`]
+    /// to run expiry on virtual time in tests.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl Default for CacheOptions {
+    fn default() -> CacheOptions {
+        CacheOptions {
+            enabled: false,
+            capacity: 64,
+            ttl_ms: None,
+            stale_ok: false,
+            disabled_sources: BTreeSet::new(),
+            clock: None,
+        }
+    }
+}
+
+impl CacheOptions {
+    /// An enabled cache with the default capacity and no TTL.
+    pub fn enabled() -> CacheOptions {
+        CacheOptions {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+impl fmt::Debug for CacheOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheOptions")
+            .field("enabled", &self.enabled)
+            .field("capacity", &self.capacity)
+            .field("ttl_ms", &self.ttl_ms)
+            .field("stale_ok", &self.stale_ok)
+            .field("disabled_sources", &self.disabled_sources)
+            .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .finish()
+    }
+}
+
+/// How a lookup was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheHit {
+    /// The canonicalized query matched a cached key exactly.
+    Exact,
+    /// A more general cached query contained the new one; the cached
+    /// answer was filtered locally.
+    Containment,
+}
+
+/// A snapshot of the cache's lifetime counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheCounters {
+    /// Exact-key lookup hits.
+    pub hits: usize,
+    /// Containment-probe hits (served by filtering a broader answer).
+    pub containment_hits: usize,
+    /// Lookups that had to fall through to the source.
+    pub misses: usize,
+    /// Entries removed by capacity pressure, TTL expiry or invalidation.
+    pub evictions: usize,
+    /// Approximate bytes held across all shards (printed-form size).
+    pub bytes_cached: usize,
+    /// Entries currently cached across all shards.
+    pub entries: usize,
+}
+
+/// One cached source answer.
+struct Entry {
+    /// Canonical key — the printed canonicalized query.
+    key: String,
+    /// The original (post-strip) source query, for containment probes.
+    query: Rule,
+    /// The variables the cached answer's `bind_for_*` carriers export.
+    extract: Vec<ExtractVar>,
+    /// The wrapper's exported answer, as returned.
+    answer: Arc<ObjectStore>,
+    /// Insertion time on the cache clock, for TTL expiry.
+    inserted_ms: u64,
+    /// Approximate size of the answer (printed form), for accounting.
+    size_bytes: usize,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Per-source shards, each a FIFO of entries (oldest first).
+    shards: BTreeMap<Symbol, Vec<Entry>>,
+    /// Sources currently embargoed after an observed failure.
+    failed: BTreeSet<Symbol>,
+    hits: usize,
+    containment_hits: usize,
+    misses: usize,
+    evictions: usize,
+    bytes_cached: usize,
+}
+
+/// The mediator-level source-answer cache. One instance lives on a
+/// [`crate::Mediator`] and persists across queries; the executor shares
+/// it across parallel chains behind this struct's internal lock (the same
+/// pattern as [`crate::retry::CircuitBreaker`]).
+pub struct AnswerCache {
+    opts: CacheOptions,
+    clock: Arc<dyn Clock>,
+    inner: Mutex<CacheInner>,
+}
+
+impl fmt::Debug for AnswerCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.counters();
+        f.debug_struct("AnswerCache")
+            .field("opts", &self.opts)
+            .field("counters", &c)
+            .finish()
+    }
+}
+
+impl AnswerCache {
+    /// Build a cache from options. The clock defaults to
+    /// [`wrappers::fault::SystemClock`] when not injected.
+    pub fn new(opts: CacheOptions) -> AnswerCache {
+        let clock = opts
+            .clock
+            .clone()
+            .unwrap_or_else(|| Arc::new(SystemClock::new()));
+        AnswerCache {
+            opts,
+            clock,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Whether the cache participates in calls to `source`.
+    pub fn enabled_for(&self, source: Symbol) -> bool {
+        self.opts.enabled && !self.opts.disabled_sources.contains(&source)
+    }
+
+    /// Look up an answer for `query` against `source`. On a hit, the
+    /// needed `bind_for_*` carriers are deep-copied into `memory` and
+    /// returned as binding rows ready for the executor's table — exactly
+    /// what extraction from a live answer would have produced.
+    pub fn lookup(
+        &self,
+        source: Symbol,
+        query: &Rule,
+        vars: &[ExtractVar],
+        memory: &mut ObjectStore,
+    ) -> Option<(Vec<Vec<BoundValue>>, CacheHit)> {
+        if !self.enabled_for(source) {
+            return None;
+        }
+        let key = canonical_key(query);
+        let now = self.clock.now_ms();
+        let mut inner = self.inner.lock();
+        if inner.failed.contains(&source) && !self.opts.stale_ok {
+            // An observed outage embargoes the shard: serving would mask
+            // the failure behind data of unknown staleness.
+            inner.misses += 1;
+            return None;
+        }
+        self.expire(&mut inner, source, now);
+        let Some(shard) = inner.shards.get(&source) else {
+            inner.misses += 1;
+            return None;
+        };
+        // Exact keys first (newest first), then containment probes.
+        let exact_then_rest = shard
+            .iter()
+            .rev()
+            .filter(|e| e.key == key)
+            .chain(shard.iter().rev().filter(|e| e.key != key));
+        for entry in exact_then_rest {
+            let Some(m) = specialize_match_rule(query, &entry.query) else {
+                continue;
+            };
+            let Some(rows) = serve(entry, &m, vars, memory) else {
+                continue;
+            };
+            let kind = if entry.key == key {
+                CacheHit::Exact
+            } else {
+                CacheHit::Containment
+            };
+            match kind {
+                CacheHit::Exact => inner.hits += 1,
+                CacheHit::Containment => inner.containment_hits += 1,
+            }
+            return Some((rows, kind));
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Cache a freshly fetched answer. Replaces an existing entry with the
+    /// same canonical key; evicts the shard's oldest entry past capacity.
+    pub fn insert(&self, source: Symbol, query: &Rule, vars: &[ExtractVar], answer: &ObjectStore) {
+        if !self.enabled_for(source) || self.opts.capacity == 0 {
+            return;
+        }
+        let key = canonical_key(query);
+        let size_bytes = oem::printer::print_store(answer).len();
+        let entry = Entry {
+            key,
+            query: query.clone(),
+            extract: vars.to_vec(),
+            answer: Arc::new(answer.clone()),
+            inserted_ms: self.clock.now_ms(),
+            size_bytes,
+        };
+        let mut inner = self.inner.lock();
+        let shard = inner.shards.entry(source).or_default();
+        let mut freed = 0;
+        if let Some(pos) = shard.iter().position(|e| e.key == entry.key) {
+            freed += shard.remove(pos).size_bytes;
+        }
+        shard.push(entry);
+        let mut evicted = 0;
+        while shard.len() > self.opts.capacity {
+            freed += shard.remove(0).size_bytes;
+            evicted += 1;
+        }
+        inner.bytes_cached = inner.bytes_cached + size_bytes - freed;
+        inner.evictions += evicted;
+    }
+
+    /// Record that `source` failed its fault policy: its cached answers
+    /// are embargoed until [`AnswerCache::mark_ok`] (unless
+    /// [`CacheOptions::stale_ok`]).
+    pub fn mark_failed(&self, source: Symbol) {
+        self.inner.lock().failed.insert(source);
+    }
+
+    /// Record that `source` answered successfully, lifting any embargo.
+    pub fn mark_ok(&self, source: Symbol) {
+        self.inner.lock().failed.remove(&source);
+    }
+
+    /// Drop every cached answer for `source` (counted as evictions) and
+    /// lift any failure embargo. The explicit invalidation hook behind
+    /// [`crate::Mediator::invalidate_source`].
+    pub fn invalidate_source(&self, source: Symbol) {
+        let mut inner = self.inner.lock();
+        if let Some(shard) = inner.shards.remove(&source) {
+            inner.evictions += shard.len();
+            inner.bytes_cached -= shard.iter().map(|e| e.size_bytes).sum::<usize>();
+        }
+        inner.failed.remove(&source);
+    }
+
+    /// Snapshot the lifetime counters.
+    pub fn counters(&self) -> CacheCounters {
+        let inner = self.inner.lock();
+        CacheCounters {
+            hits: inner.hits,
+            containment_hits: inner.containment_hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            bytes_cached: inner.bytes_cached,
+            entries: inner.shards.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Entries currently cached for `source` (tests and diagnostics).
+    pub fn entry_count(&self, source: Symbol) -> usize {
+        self.inner.lock().shards.get(&source).map_or(0, |s| s.len())
+    }
+
+    /// Drop the expired entries of one shard (TTL), counting evictions.
+    fn expire(&self, inner: &mut CacheInner, source: Symbol, now: u64) {
+        let Some(ttl) = self.opts.ttl_ms else {
+            return;
+        };
+        let Some(shard) = inner.shards.get_mut(&source) else {
+            return;
+        };
+        let before = shard.len();
+        let mut freed = 0;
+        shard.retain(|e| {
+            let live = now.saturating_sub(e.inserted_ms) <= ttl;
+            if !live {
+                freed += e.size_bytes;
+            }
+            live
+        });
+        inner.evictions += before - shard.len();
+        inner.bytes_cached -= freed;
+    }
+}
+
+// ---- canonicalization ---------------------------------------------------
+
+/// The cache key of a source query: conditions sorted structurally and
+/// every variable renamed positionally, then printed. Two source queries
+/// that differ only in variable names or condition order share a key.
+pub fn canonical_key(query: &Rule) -> String {
+    msl::printer::rule(&canonical_rule(query))
+}
+
+/// The canonicalized form behind [`canonical_key`].
+fn canonical_rule(query: &Rule) -> Rule {
+    let vars: HashSet<Symbol> = query.variables().into_iter().collect();
+    let mut rule = query.clone();
+    // Pass 1: sort set elements / rest conditions / tail items by their
+    // variable-masked printed form, bottom-up, so condition order cannot
+    // influence the key (renaming below is positional over this order).
+    sort_head(&mut rule.head, &vars);
+    for t in &mut rule.tail {
+        sort_tail_item(t, &vars);
+    }
+    rule.tail
+        .sort_by_cached_key(|t| masked_print_tail(t, &vars));
+    // Pass 2: rename every variable (and the `bind_for_<var>` carrier
+    // labels that embed one) to CV0, CV1, ... in traversal order.
+    let mut namer = Namer {
+        vars,
+        map: HashMap::new(),
+    };
+    rename_head(&mut rule.head, &mut namer);
+    for t in &mut rule.tail {
+        rename_tail_item(t, &mut namer);
+    }
+    rule
+}
+
+struct Namer {
+    vars: HashSet<Symbol>,
+    map: HashMap<Symbol, Symbol>,
+}
+
+impl Namer {
+    fn rename(&mut self, v: Symbol) -> Symbol {
+        let next = self.map.len();
+        *self
+            .map
+            .entry(v)
+            .or_insert_with(|| Symbol::intern(&format!("CV{next}")))
+    }
+}
+
+/// Rewrite a `bind_for_<var>` carrier-label constant through `f` when its
+/// suffix is one of the rule's variables. The planner embeds extraction
+/// variable names in these labels, so key normalization must follow them.
+fn map_bind_for(
+    value: &Value,
+    vars: &HashSet<Symbol>,
+    f: &mut impl FnMut(Symbol) -> Symbol,
+) -> Option<Value> {
+    let Value::Str(s) = value else { return None };
+    let text = s.as_str();
+    let suffix = text.strip_prefix("bind_for_")?;
+    let sym = Symbol::intern(suffix);
+    if !vars.contains(&sym) {
+        return None;
+    }
+    Some(Value::str(&format!("bind_for_{}", f(sym))))
+}
+
+fn sort_head(head: &mut Head, vars: &HashSet<Symbol>) {
+    if let Head::Pattern(p) = head {
+        sort_pattern(p, vars);
+    }
+}
+
+fn sort_tail_item(t: &mut TailItem, vars: &HashSet<Symbol>) {
+    if let TailItem::Match { pattern, .. } = t {
+        sort_pattern(pattern, vars);
+    }
+}
+
+fn sort_pattern(p: &mut Pattern, vars: &HashSet<Symbol>) {
+    if let PatValue::Set(sp) = &mut p.value {
+        for e in &mut sp.elements {
+            if let SetElem::Pattern(q) | SetElem::Wildcard(q) = e {
+                sort_pattern(q, vars);
+            }
+        }
+        sp.elements
+            .sort_by_cached_key(|e| masked_print_elem(e, vars));
+        if let Some(r) = &mut sp.rest {
+            for c in &mut r.conditions {
+                sort_pattern(c, vars);
+            }
+            r.conditions
+                .sort_by_cached_key(|c| masked_print_pattern(c, vars));
+        }
+    }
+}
+
+fn masked_print_pattern(p: &Pattern, vars: &HashSet<Symbol>) -> String {
+    let mut mask = |_: Symbol| Symbol::intern("MASKED");
+    msl::printer::pattern(&map_pattern(p, vars, &mut mask))
+}
+
+fn masked_print_elem(e: &SetElem, vars: &HashSet<Symbol>) -> String {
+    match e {
+        SetElem::Pattern(p) => format!("p:{}", masked_print_pattern(p, vars)),
+        SetElem::Wildcard(p) => format!("w:{}", masked_print_pattern(p, vars)),
+        SetElem::Var(_) => "v:".to_string(),
+    }
+}
+
+fn masked_print_tail(t: &TailItem, vars: &HashSet<Symbol>) -> String {
+    let mut mask = |_: Symbol| Symbol::intern("MASKED");
+    match t {
+        TailItem::Match { pattern, source } => format!(
+            "m:{}@{}",
+            msl::printer::pattern(&map_pattern(pattern, vars, &mut mask)),
+            source.map(|s| s.as_str().to_string()).unwrap_or_default()
+        ),
+        TailItem::External { name, args } => {
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| msl::printer::term(&map_term(a, vars, &mut mask), true))
+                .collect();
+            format!("e:{name}({})", args.join(","))
+        }
+    }
+}
+
+fn map_term(t: &Term, vars: &HashSet<Symbol>, f: &mut impl FnMut(Symbol) -> Symbol) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(f(*v)),
+        Term::Const(v) => match map_bind_for(v, vars, f) {
+            Some(mapped) => Term::Const(mapped),
+            None => t.clone(),
+        },
+        Term::Param(p) => Term::Param(*p),
+        Term::Func(name, args) => {
+            Term::Func(*name, args.iter().map(|a| map_term(a, vars, f)).collect())
+        }
+    }
+}
+
+fn map_pattern(
+    p: &Pattern,
+    vars: &HashSet<Symbol>,
+    f: &mut impl FnMut(Symbol) -> Symbol,
+) -> Pattern {
+    Pattern {
+        obj_var: p.obj_var.map(&mut *f),
+        oid: p.oid.as_ref().map(|t| map_term(t, vars, f)),
+        label: map_term(&p.label, vars, f),
+        typ: p.typ.as_ref().map(|t| map_term(t, vars, f)),
+        value: match &p.value {
+            PatValue::Term(t) => PatValue::Term(map_term(t, vars, f)),
+            PatValue::Set(sp) => PatValue::Set(SetPattern {
+                elements: sp
+                    .elements
+                    .iter()
+                    .map(|e| match e {
+                        SetElem::Pattern(q) => SetElem::Pattern(map_pattern(q, vars, f)),
+                        SetElem::Wildcard(q) => SetElem::Wildcard(map_pattern(q, vars, f)),
+                        SetElem::Var(v) => SetElem::Var(f(*v)),
+                    })
+                    .collect(),
+                rest: sp.rest.as_ref().map(|r| RestSpec {
+                    var: f(r.var),
+                    conditions: r
+                        .conditions
+                        .iter()
+                        .map(|c| map_pattern(c, vars, f))
+                        .collect(),
+                }),
+            }),
+        },
+    }
+}
+
+fn rename_term(t: &mut Term, namer: &mut Namer) {
+    let vars = namer.vars.clone();
+    *t = map_term(t, &vars, &mut |v| namer.rename(v));
+}
+
+fn rename_pattern(p: &mut Pattern, namer: &mut Namer) {
+    let vars = namer.vars.clone();
+    *p = map_pattern(p, &vars, &mut |v| namer.rename(v));
+}
+
+fn rename_head(head: &mut Head, namer: &mut Namer) {
+    match head {
+        Head::Var(v) => *v = namer.rename(*v),
+        Head::Pattern(p) => rename_pattern(p, namer),
+    }
+}
+
+fn rename_tail_item(t: &mut TailItem, namer: &mut Namer) {
+    match t {
+        TailItem::Match { pattern, .. } => rename_pattern(pattern, namer),
+        TailItem::External { args, .. } => {
+            for a in args {
+                rename_term(a, namer);
+            }
+        }
+    }
+}
+
+// ---- containment probe --------------------------------------------------
+
+/// How a cached (more general) query maps onto a new (more specific) one.
+#[derive(Clone, Default)]
+struct Mapping {
+    /// Cached variable → new-query variable (bijective).
+    rho: HashMap<Symbol, Symbol>,
+    /// Inverse of `rho`, enforcing injectivity.
+    rho_inv: HashMap<Symbol, Symbol>,
+    /// Cached variable → constant the new query pins it to.
+    sigma: HashMap<Symbol, Value>,
+    /// Rest conditions the new query adds under a cached rest variable:
+    /// the carrier set must contain a member matching each of these.
+    extra_rest: Vec<(Symbol, Pattern)>,
+}
+
+impl Mapping {
+    fn bind_var(&mut self, cached: Symbol, new: Symbol) -> bool {
+        if self.sigma.contains_key(&cached) {
+            return false;
+        }
+        match (self.rho.get(&cached), self.rho_inv.get(&new)) {
+            (Some(&n), Some(&c)) => n == new && c == cached,
+            (None, None) => {
+                self.rho.insert(cached, new);
+                self.rho_inv.insert(new, cached);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn bind_const(&mut self, cached: Symbol, value: &Value) -> bool {
+        if self.rho.contains_key(&cached) {
+            return false;
+        }
+        match self.sigma.get(&cached) {
+            Some(existing) => atomic_eq(existing, value),
+            None => {
+                self.sigma.insert(cached, value.clone());
+                true
+            }
+        }
+    }
+}
+
+/// Does the cached query contain the new one, and how? `None` when the
+/// probe cannot *prove* containment (the sound default).
+fn specialize_match_rule(new: &Rule, cached: &Rule) -> Option<Mapping> {
+    if new.tail.len() != cached.tail.len() {
+        return None;
+    }
+    let mut m = Mapping::default();
+    // Tails are matched pairwise in order: the planner emits source-query
+    // tails deterministically, and the probe only needs to catch the
+    // common specialization cases — order permutations across tail items
+    // simply miss.
+    for (tn, tc) in new.tail.iter().zip(&cached.tail) {
+        match (tn, tc) {
+            (
+                TailItem::Match {
+                    pattern: pn,
+                    source: sn,
+                },
+                TailItem::Match {
+                    pattern: pc,
+                    source: sc,
+                },
+            ) => {
+                if sn != sc || !specialize_pattern(pn, pc, &mut m) {
+                    return None;
+                }
+            }
+            // Source queries carry no external predicates; anything else
+            // is out of scope for the probe.
+            _ => return None,
+        }
+    }
+    Some(m)
+}
+
+/// Match a new pattern against a cached (candidate-general) one,
+/// extending `m`. True iff every object matching `pn` also matches `pc`
+/// under the recorded variable specializations.
+fn specialize_pattern(pn: &Pattern, pc: &Pattern, m: &mut Mapping) -> bool {
+    match (pn.obj_var, pc.obj_var) {
+        (None, None) => {}
+        (Some(vn), Some(vc)) => {
+            if !m.bind_var(vc, vn) {
+                return false;
+            }
+        }
+        _ => return false,
+    }
+    match (&pn.oid, &pc.oid) {
+        (None, None) => {}
+        (Some(tn), Some(tc)) => {
+            if !specialize_term(tn, tc, m) {
+                return false;
+            }
+        }
+        _ => return false,
+    }
+    if !specialize_term(&pn.label, &pc.label, m) {
+        return false;
+    }
+    match (&pn.typ, &pc.typ) {
+        (None, None) => {}
+        (Some(tn), Some(tc)) => {
+            if !specialize_term(tn, tc, m) {
+                return false;
+            }
+        }
+        _ => return false,
+    }
+    match (&pn.value, &pc.value) {
+        (PatValue::Term(tn), PatValue::Term(tc)) => specialize_term(tn, tc, m),
+        (PatValue::Set(sn), PatValue::Set(sc)) => specialize_set(sn, sc, m),
+        _ => false,
+    }
+}
+
+fn specialize_term(tn: &Term, tc: &Term, m: &mut Mapping) -> bool {
+    match (tn, tc) {
+        (Term::Var(vn), Term::Var(vc)) => m.bind_var(*vc, *vn),
+        (Term::Const(k), Term::Var(vc)) => m.bind_const(*vc, k),
+        (Term::Const(a), Term::Const(b)) => atomic_eq(a, b),
+        (Term::Param(a), Term::Param(b)) => a == b,
+        (Term::Func(fa, aa), Term::Func(fb, ab)) => {
+            fa == fb
+                && aa.len() == ab.len()
+                && aa.iter().zip(ab).all(|(x, y)| specialize_term(x, y, m))
+        }
+        // A cached constant cannot cover a new variable (§3.2: a constant
+        // only covers an equal constant).
+        _ => false,
+    }
+}
+
+/// Set patterns: every cached element must generalize a distinct new
+/// element, and vice versa (a perfect matching, found by backtracking —
+/// the sets are tiny). Leftover *rest conditions* of the new query are
+/// legal: they become local filters over the cached rest carrier.
+fn specialize_set(sn: &SetPattern, sc: &SetPattern, m: &mut Mapping) -> bool {
+    if sn.elements.len() != sc.elements.len() {
+        return false;
+    }
+    if !match_elements(&sn.elements, &sc.elements, m) {
+        return false;
+    }
+    match (&sn.rest, &sc.rest) {
+        (None, None) => true,
+        // Cached rest with no conditions does not restrict the answer; a
+        // new query without the rest variable asks for the same objects.
+        (None, Some(rc)) => rc.conditions.is_empty(),
+        (Some(_), None) => false,
+        (Some(rn), Some(rc)) => {
+            if !m.bind_var(rc.var, rn.var) {
+                return false;
+            }
+            // Each cached condition must generalize a distinct new one;
+            // unmatched new conditions become local rest filters.
+            let mut used = vec![false; rn.conditions.len()];
+            if !match_conditions(&rc.conditions, &rn.conditions, &mut used, 0, m) {
+                return false;
+            }
+            for (i, cond) in rn.conditions.iter().enumerate() {
+                if !used[i] {
+                    m.extra_rest.push((rc.var, cond.clone()));
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Backtracking perfect matching of new elements onto cached elements.
+fn match_elements(new: &[SetElem], cached: &[SetElem], m: &mut Mapping) -> bool {
+    fn go(
+        i: usize,
+        new: &[SetElem],
+        cached: &[SetElem],
+        used: &mut [bool],
+        m: &mut Mapping,
+    ) -> bool {
+        if i == cached.len() {
+            return true;
+        }
+        for (j, en) in new.iter().enumerate() {
+            if used[j] {
+                continue;
+            }
+            let snapshot = m.clone();
+            let ok = match (en, &cached[i]) {
+                (SetElem::Pattern(pn), SetElem::Pattern(pc)) => specialize_pattern(pn, pc, m),
+                (SetElem::Wildcard(pn), SetElem::Wildcard(pc)) => specialize_pattern(pn, pc, m),
+                (SetElem::Var(vn), SetElem::Var(vc)) => m.bind_var(*vc, *vn),
+                _ => false,
+            };
+            if ok {
+                used[j] = true;
+                if go(i + 1, new, cached, used, m) {
+                    return true;
+                }
+                used[j] = false;
+            }
+            *m = snapshot;
+        }
+        false
+    }
+    let mut used = vec![false; new.len()];
+    go(0, new, cached, &mut used, m)
+}
+
+/// Backtracking match of cached rest conditions onto distinct new ones,
+/// marking which new conditions were consumed.
+fn match_conditions(
+    cached: &[Pattern],
+    new: &[Pattern],
+    used: &mut [bool],
+    i: usize,
+    m: &mut Mapping,
+) -> bool {
+    if i == cached.len() {
+        return true;
+    }
+    for (j, cn) in new.iter().enumerate() {
+        if used[j] {
+            continue;
+        }
+        let snapshot = m.clone();
+        if specialize_pattern(cn, &cached[i], m) {
+            used[j] = true;
+            if match_conditions(cached, new, used, i + 1, m) {
+                return true;
+            }
+            used[j] = false;
+        }
+        *m = snapshot;
+    }
+    false
+}
+
+// ---- serving ------------------------------------------------------------
+
+/// Filter a cached answer through the mapping and extract binding rows
+/// for the new query's variables, deep-copying the surviving carriers
+/// into the chain's memory. `None` on any structural surprise — the
+/// caller treats that as "this entry cannot serve the query".
+fn serve(
+    entry: &Entry,
+    m: &Mapping,
+    vars: &[ExtractVar],
+    memory: &mut ObjectStore,
+) -> Option<Vec<Vec<BoundValue>>> {
+    // Every variable the new query extracts must map onto one the cached
+    // answer exported, with the same kind.
+    let mut carrier_for: Vec<(Symbol, VarKind)> = Vec::with_capacity(vars.len());
+    for v in vars {
+        let cached_var = *m.rho_inv.get(&v.var)?;
+        let cached_kind = entry
+            .extract
+            .iter()
+            .find(|e| e.var == cached_var)
+            .map(|e| e.kind)?;
+        if cached_kind != v.kind {
+            return None;
+        }
+        carrier_for.push((cached_var, v.kind));
+    }
+    // Every pinned variable and rest-filter variable must have a carrier.
+    for pinned in m.sigma.keys() {
+        entry.extract.iter().find(|e| e.var == *pinned)?;
+    }
+    for (rest_var, _) in &m.extra_rest {
+        entry.extract.iter().find(|e| e.var == *rest_var)?;
+    }
+    let answer = &*entry.answer;
+    let mut rows = Vec::new();
+    for &top in answer.top_level() {
+        // σ filter: the carrier for a pinned variable must hold exactly
+        // the pinned constant.
+        let mut keep = true;
+        for (pinned, value) in &m.sigma {
+            let carrier = find_carrier(answer, top, *pinned)?;
+            match &answer.get(carrier).value {
+                Value::Set(_) => return None, // non-atomic pin: cannot filter
+                atomic => {
+                    if !atomic_eq(atomic, value) {
+                        keep = false;
+                        break;
+                    }
+                }
+            }
+        }
+        // Rest filters: some member of the carrier set must match each
+        // extra condition (`wrappers/eval.rs`-style tail matching, the
+        // same semantics as the executor's RestFilter node).
+        if keep {
+            for (rest_var, cond) in &m.extra_rest {
+                let carrier = find_carrier(answer, top, *rest_var)?;
+                let Value::Set(ids) = &answer.get(carrier).value else {
+                    return None;
+                };
+                let matches = ids
+                    .iter()
+                    .any(|&id| !match_pattern(answer, id, cond, &Bindings::new()).is_empty());
+                if !matches {
+                    keep = false;
+                    break;
+                }
+            }
+        }
+        if !keep {
+            continue;
+        }
+        let mut row = Vec::with_capacity(vars.len());
+        for (cached_var, kind) in &carrier_for {
+            let carrier = find_carrier(answer, top, *cached_var)?;
+            let value = match (&answer.get(carrier).value, kind) {
+                (Value::Set(kids), VarKind::Object) => {
+                    let first = *kids.first()?;
+                    BoundValue::Obj(copy::deep_copy(answer, first, memory))
+                }
+                (Value::Set(kids), VarKind::Scalar) => BoundValue::ObjSet(
+                    kids.iter()
+                        .map(|&k| copy::deep_copy(answer, k, memory))
+                        .collect(),
+                ),
+                (atomic, _) => BoundValue::Atom(atomic.clone()),
+            };
+            row.push(value);
+        }
+        rows.push(row);
+    }
+    Some(rows)
+}
+
+/// The `bind_for_<var>` carrier child of a top-level answer object.
+fn find_carrier(store: &ObjectStore, top: oem::ObjId, var: Symbol) -> Option<oem::ObjId> {
+    let label = Symbol::intern(&format!("bind_for_{var}"));
+    store
+        .children(top)
+        .iter()
+        .copied()
+        .find(|&c| store.get(c).label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::parse_rule;
+    use oem::sym;
+    use wrappers::fault::VirtualClock;
+
+    fn q(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    /// The shape the planner's `build_source_query` emits for a whois
+    /// fetch extracting `name` (scalar) and the rest set.
+    fn whois_query(name_var: &str, rest_var: &str) -> Rule {
+        q(&format!(
+            "<bind_for_whois {{<bind_for_{name_var} {name_var}> <bind_for_{rest_var} {{{rest_var}}}>}}> :- \
+             <person {{<name {name_var}> <dept 'CS'> | {rest_var}}}>@whois"
+        ))
+    }
+
+    fn whois_answer(names: &[(&str, &[(&str, &str)])]) -> ObjectStore {
+        // One bind_for_whois object per person: an atomic name carrier
+        // and a set carrier holding the rest subobjects.
+        let mut s = ObjectStore::with_oid_prefix("whois_r");
+        for (name, rest) in names {
+            let name_c = s.atom("bind_for_N", *name);
+            let rest_kids: Vec<oem::ObjId> = rest.iter().map(|(l, v)| s.atom(*l, *v)).collect();
+            let rest_c = s.set("bind_for_Rest1", rest_kids);
+            let top = s.set("bind_for_whois", vec![name_c, rest_c]);
+            s.add_top(top);
+        }
+        s
+    }
+
+    fn extract_nr() -> Vec<ExtractVar> {
+        vec![
+            ExtractVar {
+                var: sym("N"),
+                kind: VarKind::Scalar,
+            },
+            ExtractVar {
+                var: sym("Rest1"),
+                kind: VarKind::Scalar,
+            },
+        ]
+    }
+
+    #[test]
+    fn canonical_key_normalizes_renaming_and_order() {
+        let a = q("<bind_for_whois {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois");
+        let b = q("<bind_for_whois {<bind_for_X X>}> :- <person {<dept 'CS'> <name X>}>@whois");
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_different_constants() {
+        let a = q("<b {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois");
+        let b = q("<b {<bind_for_N N>}> :- <person {<name N> <dept 'EE'>}>@whois");
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_tracks_carrier_labels() {
+        // Same tail, but extracting different variables → different keys.
+        let a = q("<b {<bind_for_N N>}> :- <person {<name N> <year Y>}>@whois");
+        let b = q("<b {<bind_for_Y Y>}> :- <person {<name N> <year Y>}>@whois");
+        assert_ne!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn exact_hit_serves_identical_rows_under_renamed_vars() {
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[
+            ("Joe Chung", &[("relation", "employee")]),
+            ("Nick Naive", &[("relation", "student")]),
+        ]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+
+        // The same logical query with renamed variables.
+        let renamed = q("<bind_for_whois {<bind_for_X X> <bind_for_R2 {R2}>}> :- \
+             <person {<name X> <dept 'CS'> | R2}>@whois");
+        let vars = vec![
+            ExtractVar {
+                var: sym("X"),
+                kind: VarKind::Scalar,
+            },
+            ExtractVar {
+                var: sym("R2"),
+                kind: VarKind::Scalar,
+            },
+        ];
+        let mut memory = ObjectStore::new();
+        let (rows, kind) = cache
+            .lookup(sym("whois"), &renamed, &vars, &mut memory)
+            .expect("exact hit");
+        assert_eq!(kind, CacheHit::Exact);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Joe Chung")));
+        let c = cache.counters();
+        assert_eq!((c.hits, c.containment_hits, c.misses), (1, 0, 0));
+    }
+
+    #[test]
+    fn containment_hit_filters_by_pinned_constant() {
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[
+            ("Joe Chung", &[("relation", "employee")]),
+            ("Nick Naive", &[("relation", "student")]),
+        ]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+
+        // Narrower query: the name is pinned to a constant.
+        let narrow = q("<bind_for_whois {<bind_for_Rest1 {Rest1}>}> :- \
+             <person {<name 'Joe Chung'> <dept 'CS'> | Rest1}>@whois");
+        let vars = vec![ExtractVar {
+            var: sym("Rest1"),
+            kind: VarKind::Scalar,
+        }];
+        let mut memory = ObjectStore::new();
+        let (rows, kind) = cache
+            .lookup(sym("whois"), &narrow, &vars, &mut memory)
+            .expect("containment hit");
+        assert_eq!(kind, CacheHit::Containment);
+        assert_eq!(rows.len(), 1, "only Joe survives the filter");
+        let BoundValue::ObjSet(ids) = &rows[0][0] else {
+            panic!("rest carrier must be a set");
+        };
+        assert_eq!(ids.len(), 1);
+        assert_eq!(memory.get(ids[0]).label, sym("relation"));
+    }
+
+    #[test]
+    fn containment_hit_filters_by_extra_rest_condition() {
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[
+            ("Joe Chung", &[("relation", "employee")]),
+            ("Nick Naive", &[("relation", "student")]),
+        ]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+
+        // Narrower query: a condition pushed into the rest variable.
+        let narrow = q(
+            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+             <person {<name N> <dept 'CS'> | Rest1:{<relation 'student'>}}>@whois",
+        );
+        let mut memory = ObjectStore::new();
+        let (rows, kind) = cache
+            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+            .expect("containment hit");
+        assert_eq!(kind, CacheHit::Containment);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Nick Naive")));
+    }
+
+    #[test]
+    fn broader_query_never_served_from_narrower_entry() {
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        // Cache the NARROW query (name pinned)...
+        let narrow = q("<bind_for_whois {<bind_for_Rest1 {Rest1}>}> :- \
+             <person {<name 'Joe Chung'> <dept 'CS'> | Rest1}>@whois");
+        let vars = vec![ExtractVar {
+            var: sym("Rest1"),
+            kind: VarKind::Scalar,
+        }];
+        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+        cache.insert(sym("whois"), &narrow, &vars, &answer);
+        // ... and probe with the broad one: must miss (a constant does
+        // not cover a variable).
+        let mut memory = ObjectStore::new();
+        assert!(cache
+            .lookup(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &mut memory
+            )
+            .is_none());
+        assert_eq!(cache.counters().misses, 1);
+    }
+
+    #[test]
+    fn extra_tail_pattern_is_not_containment() {
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        // A second tail pattern the cached query never had: no reuse.
+        let two_tails = q("<bind_for_whois {<bind_for_N N>}> :- \
+             <person {<name N> <dept 'CS'> | Rest1}>@whois AND <dept {<head N>}>@whois");
+        let vars = vec![ExtractVar {
+            var: sym("N"),
+            kind: VarKind::Scalar,
+        }];
+        let mut memory = ObjectStore::new();
+        assert!(cache
+            .lookup(sym("whois"), &two_tails, &vars, &mut memory)
+            .is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts() {
+        let cache = AnswerCache::new(CacheOptions {
+            enabled: true,
+            capacity: 2,
+            ..Default::default()
+        });
+        let answer = whois_answer(&[("Joe Chung", &[])]);
+        for dept in ["'A'", "'B'", "'C'"] {
+            let query = q(&format!(
+                "<b {{<bind_for_N N>}}> :- <person {{<name N> <dept {dept}>}}>@whois"
+            ));
+            cache.insert(
+                sym("whois"),
+                &query,
+                &[ExtractVar {
+                    var: sym("N"),
+                    kind: VarKind::Scalar,
+                }],
+                &answer,
+            );
+        }
+        let c = cache.counters();
+        assert_eq!(c.entries, 2);
+        assert_eq!(c.evictions, 1);
+        assert!(c.bytes_cached > 0);
+        assert_eq!(cache.entry_count(sym("whois")), 2);
+    }
+
+    #[test]
+    fn ttl_expires_on_the_virtual_clock() {
+        let clock = Arc::new(VirtualClock::new());
+        let cache = AnswerCache::new(CacheOptions {
+            enabled: true,
+            ttl_ms: Some(100),
+            clock: Some(clock.clone()),
+            ..Default::default()
+        });
+        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        let mut memory = ObjectStore::new();
+        assert!(cache
+            .lookup(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &mut memory
+            )
+            .is_some());
+        clock.advance(101);
+        assert!(
+            cache
+                .lookup(
+                    sym("whois"),
+                    &whois_query("N", "Rest1"),
+                    &extract_nr(),
+                    &mut memory
+                )
+                .is_none(),
+            "entry must expire after the TTL"
+        );
+        let c = cache.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.entries, 0);
+        assert_eq!(c.bytes_cached, 0);
+    }
+
+    #[test]
+    fn failed_source_embargoes_entries_unless_stale_ok() {
+        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+        for stale_ok in [false, true] {
+            let cache = AnswerCache::new(CacheOptions {
+                enabled: true,
+                stale_ok,
+                ..Default::default()
+            });
+            cache.insert(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &answer,
+            );
+            cache.mark_failed(sym("whois"));
+            let mut memory = ObjectStore::new();
+            let served = cache
+                .lookup(
+                    sym("whois"),
+                    &whois_query("N", "Rest1"),
+                    &extract_nr(),
+                    &mut memory,
+                )
+                .is_some();
+            assert_eq!(served, stale_ok, "stale_ok={stale_ok}");
+            // Recovery lifts the embargo either way.
+            cache.mark_ok(sym("whois"));
+            assert!(cache
+                .lookup(
+                    sym("whois"),
+                    &whois_query("N", "Rest1"),
+                    &extract_nr(),
+                    &mut memory
+                )
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn invalidate_source_drops_the_shard() {
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[("Joe Chung", &[])]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        assert_eq!(cache.entry_count(sym("whois")), 1);
+        cache.invalidate_source(sym("whois"));
+        assert_eq!(cache.entry_count(sym("whois")), 0);
+        let c = cache.counters();
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.bytes_cached, 0);
+        let mut memory = ObjectStore::new();
+        assert!(cache
+            .lookup(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &mut memory
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn disabled_sources_are_never_cached() {
+        let cache = AnswerCache::new(CacheOptions {
+            enabled: true,
+            disabled_sources: [sym("whois")].into_iter().collect(),
+            ..Default::default()
+        });
+        assert!(!cache.enabled_for(sym("whois")));
+        assert!(cache.enabled_for(sym("cs")));
+        let answer = whois_answer(&[("Joe Chung", &[])]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        assert_eq!(cache.entry_count(sym("whois")), 0);
+    }
+}

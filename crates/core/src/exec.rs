@@ -9,6 +9,7 @@
 //! tables are additionally rendered, which is how the Figure 3.6
 //! walkthrough is regenerated.
 
+use crate::cache::{AnswerCache, CacheHit};
 use crate::error::{MedError, Result};
 use crate::externals::ExternalRegistry;
 use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
@@ -42,6 +43,10 @@ pub struct ExecOptions {
     /// What to do when a source misbehaves: retry policy, per-source
     /// deadline, circuit breaker, and the Fail/Partial degradation mode.
     pub fault: FaultOptions,
+    /// The mediator's source-answer cache, when enabled. Shared across
+    /// parallel chains (and across queries — the [`crate::Mediator`] owns
+    /// it) behind the cache's internal lock.
+    pub cache: Option<Arc<AnswerCache>>,
 }
 
 /// Per-execution fault machinery, shared by every chain (the circuit
@@ -70,12 +75,22 @@ impl FaultRuntime {
     }
 }
 
+/// Key of the per-execution shared parameterized-query memo: source,
+/// printed unfilled query, bound parameter tuple.
+type ParamKey = (Symbol, String, Vec<Value>);
+
 /// Everything one chain shares with its environment: sources, externals,
-/// fault machinery, tracing flag.
+/// fault machinery, shared memo/cache, tracing flag.
 struct ChainCtx<'a> {
     sources: &'a HashMap<Symbol, Arc<dyn Wrapper>>,
     registry: &'a ExternalRegistry,
     fault: &'a FaultRuntime,
+    /// Parameterized-query answers shared across every chain of this
+    /// execution (same lock pattern as the circuit breaker): parallel
+    /// chains sending the same bound tuple to the same source pay one
+    /// round-trip, not one each.
+    param_memo: &'a parking_lot::Mutex<HashMap<ParamKey, Arc<ObjectStore>>>,
+    cache: Option<&'a AnswerCache>,
     trace_on: bool,
 }
 
@@ -95,6 +110,9 @@ pub struct ExecOutcome {
 struct NodeCounters {
     source_calls: usize,
     bindings_produced: usize,
+    cache_hits: usize,
+    containment_hits: usize,
+    cache_misses: usize,
 }
 
 /// Per-chain fault and feedback accounting, merged into the
@@ -107,6 +125,9 @@ struct ChainStats {
     retries: BTreeMap<Symbol, usize>,
     failures: BTreeMap<Symbol, usize>,
     sources_ok: BTreeSet<Symbol>,
+    cache_hits: BTreeMap<Symbol, usize>,
+    containment_hits: BTreeMap<Symbol, usize>,
+    cache_misses: BTreeMap<Symbol, usize>,
 }
 
 /// Everything one chain produced (its memory is private until merged).
@@ -159,6 +180,9 @@ fn run_chain(rule_plan: &RulePlan, ctx: &ChainCtx<'_>) -> Result<ChainOutcome> {
                 },
                 wall_ns,
                 est_rows: rule_plan.estimates.get(i).copied().unwrap_or(0.0),
+                cache_hits: counters.cache_hits,
+                containment_hits: counters.containment_hits,
+                cache_misses: counters.cache_misses,
             },
             table: if ctx.trace_on {
                 table.render(&memory)
@@ -210,10 +234,13 @@ pub fn execute(
 ) -> Result<ExecOutcome> {
     let exec_start = Instant::now();
     let fault = FaultRuntime::new(&opts.fault);
+    let param_memo = parking_lot::Mutex::new(HashMap::new());
     let ctx = ChainCtx {
         sources,
         registry,
         fault: &fault,
+        param_memo: &param_memo,
+        cache: opts.cache.as_deref(),
         trace_on: opts.trace,
     };
     // Phase 1: run every rule chain (optionally in parallel — chains are
@@ -283,6 +310,15 @@ pub fn execute(
         }
         for (s, n) in std::mem::take(&mut chain.stats.failures) {
             *trace.failures.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.cache_hits) {
+            *trace.cache_hits.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.containment_hits) {
+            *trace.containment_hits.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.cache_misses) {
+            *trace.cache_misses.entry(s).or_insert(0) += n;
         }
         sources_ok.extend(std::mem::take(&mut chain.stats.sources_ok));
         if let Some(err) = chain.failed {
@@ -358,6 +394,11 @@ pub fn execute(
     }
     trace.result_count = results.top_level().len();
     trace.wall_ns = exec_start.elapsed().as_nanos() as u64;
+    if let Some(cache) = &opts.cache {
+        let c = cache.counters();
+        trace.bytes_cached = c.bytes_cached as u64;
+        trace.cache_evictions = c.evictions;
+    }
 
     Ok(ExecOutcome {
         results,
@@ -419,7 +460,8 @@ fn exec_node(
             query,
             vars,
         } => {
-            let extracted = run_and_extract(*source, query, vars, memory, ctx, stats, counters)?;
+            let extracted =
+                run_and_extract(*source, query, vars, memory, ctx, stats, counters, None)?;
             // Cartesian with the (unit) input.
             let mut out = BindingTable::new(
                 input
@@ -483,8 +525,17 @@ fn exec_node(
                     Some(e) => e.clone(),
                     None => {
                         let filled = fill_params_rule(query, &pmap);
-                        let e =
-                            run_and_extract(*source, &filled, vars, memory, ctx, stats, counters)?;
+                        let shared = (*source, msl::printer::rule(query), key.clone());
+                        let e = run_and_extract(
+                            *source,
+                            &filled,
+                            vars,
+                            memory,
+                            ctx,
+                            stats,
+                            counters,
+                            Some(shared),
+                        )?;
                         memo.insert(key.clone(), e.clone());
                         e
                     }
@@ -552,7 +603,8 @@ fn exec_node(
             vars,
             join_vars,
         } => {
-            let extracted = run_and_extract(*source, query, vars, memory, ctx, stats, counters)?;
+            let extracted =
+                run_and_extract(*source, query, vars, memory, ctx, stats, counters, None)?;
             // Index inner rows by join key.
             let inner_key_idx: Vec<usize> = join_vars
                 .iter()
@@ -672,7 +724,12 @@ fn query_with_retry(
 
 /// Send a query to a source, copy the results into the mediator's memory
 /// (§3.4: "the result of Qw is placed in the mediator's memory"), and
-/// extract the `bind_for_*` variables from each result object.
+/// extract the `bind_for_*` variables from each result object. The
+/// answer cache (when enabled) intercepts the round-trip: a hit serves
+/// the cached answer straight into `memory`, skipping both the source
+/// call and the §3.5 statistics observation — learned statistics must
+/// reflect what sources actually returned, not cache traffic.
+#[allow(clippy::too_many_arguments)]
 fn run_and_extract(
     source: Symbol,
     query: &Rule,
@@ -681,14 +738,81 @@ fn run_and_extract(
     ctx: &ChainCtx<'_>,
     stats: &mut ChainStats,
     counters: &mut NodeCounters,
+    shared_key: Option<ParamKey>,
 ) -> Result<Vec<Vec<BoundValue>>> {
+    if let Some(cache) = ctx.cache.filter(|c| c.enabled_for(source)) {
+        if let Some((rows, kind)) = cache.lookup(source, query, vars, memory) {
+            match kind {
+                CacheHit::Exact => {
+                    counters.cache_hits += 1;
+                    *stats.cache_hits.entry(source).or_insert(0) += 1;
+                }
+                CacheHit::Containment => {
+                    counters.containment_hits += 1;
+                    *stats.containment_hits.entry(source).or_insert(0) += 1;
+                }
+            }
+            counters.bindings_produced += rows.len();
+            return Ok(rows);
+        }
+        counters.cache_misses += 1;
+        *stats.cache_misses.entry(source).or_insert(0) += 1;
+    }
+    // Parameterized queries consult the per-execution shared memo: a
+    // sibling chain may already have fetched this exact tuple. The lock
+    // is held across the fetch so concurrent chains resolve the same
+    // tuple with exactly one round-trip.
+    if let Some(skey) = shared_key {
+        let mut memo = ctx.param_memo.lock();
+        if let Some(store) = memo.get(&skey) {
+            let store = Arc::clone(store);
+            drop(memo);
+            return extract_rows(&store, vars, memory, counters);
+        }
+        let result = Arc::new(fetch_store(source, query, vars, ctx, stats, counters)?);
+        memo.insert(skey, Arc::clone(&result));
+        drop(memo);
+        return extract_rows(&result, vars, memory, counters);
+    }
+    let result = fetch_store(source, query, vars, ctx, stats, counters)?;
+    extract_rows(&result, vars, memory, counters)
+}
+
+/// The actual round-trip: call the source under the fault policy, record
+/// the §3.5 observation, and (on success) populate the answer cache.
+/// Failures mark the source in the cache so stale answers are embargoed.
+fn fetch_store(
+    source: Symbol,
+    query: &Rule,
+    vars: &[ExtractVar],
+    ctx: &ChainCtx<'_>,
+    stats: &mut ChainStats,
+    counters: &mut NodeCounters,
+) -> Result<ObjectStore> {
     let wrapper = ctx
         .sources
         .get(&source)
         .ok_or_else(|| MedError::UnknownSource(source.as_str()))?;
     *stats.source_calls.entry(source).or_insert(0) += 1;
     counters.source_calls += 1;
-    let result = query_with_retry(wrapper, source, query, ctx, stats)?;
+    let result = match query_with_retry(wrapper, source, query, ctx, stats) {
+        Ok(result) => {
+            // Only an answer that survived retries AND its deadline gets
+            // cached: `query_with_retry` converts a too-late Ok into a
+            // Timeout before it can reach this point.
+            if let Some(cache) = ctx.cache {
+                cache.mark_ok(source);
+                cache.insert(source, query, vars, &result);
+            }
+            result
+        }
+        Err(e) => {
+            if let Some(cache) = ctx.cache {
+                cache.mark_failed(source);
+            }
+            return Err(e);
+        }
+    };
 
     // Record an observation keyed by the first tail pattern's label.
     let label = query.tail.iter().find_map(|t| match t {
@@ -703,8 +827,18 @@ fn run_and_extract(
         label,
         count: result.top_level().len(),
     });
+    Ok(result)
+}
 
-    let roots = copy::deep_copy_all(&result, result.top_level(), memory);
+/// Copy a source answer into the chain's memory and pull the binding rows
+/// out of its `bind_for_*` objects.
+fn extract_rows(
+    result: &ObjectStore,
+    vars: &[ExtractVar],
+    memory: &mut ObjectStore,
+    counters: &mut NodeCounters,
+) -> Result<Vec<Vec<BoundValue>>> {
+    let roots = copy::deep_copy_all(result, result.top_level(), memory);
     counters.bindings_produced += roots.len();
     let mut rows = Vec::with_capacity(roots.len());
     for root in roots {
@@ -1318,6 +1452,275 @@ mod tests {
             .expect("whois must be recorded as failed");
         assert!(why.contains("deadline"), "{why}");
         assert_eq!(out.trace.failures_for(sym("whois")), 1);
+    }
+
+    // ---- answer cache ----------------------------------------------------
+
+    use crate::cache::{AnswerCache, CacheOptions};
+
+    fn cache_opts(cache: &Arc<AnswerCache>) -> ExecOptions {
+        ExecOptions {
+            cache: Some(Arc::clone(cache)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn repeat_query_is_served_entirely_from_cache() {
+        let srcs = sources();
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
+        let cold = execute(&physical, &srcs, &registry, &cache_opts(&cache)).unwrap();
+        assert!(cold.trace.total_source_calls() > 0);
+        assert_eq!(cold.trace.total_cache_hits(), 0);
+        assert_eq!(
+            cold.trace.total_cache_misses(),
+            cold.trace.total_source_calls()
+        );
+        let warm = execute(&physical, &srcs, &registry, &cache_opts(&cache)).unwrap();
+        // Iteration 2: every source query answered from the cache.
+        assert_eq!(
+            warm.trace.total_source_calls(),
+            0,
+            "{:?}",
+            warm.trace.source_calls
+        );
+        assert_eq!(
+            warm.trace.total_cache_hits(),
+            cold.trace.total_source_calls()
+        );
+        // ...and the answer is structurally identical.
+        assert_eq!(
+            cold.results.top_level().len(),
+            warm.results.top_level().len()
+        );
+        for (&a, &b) in cold
+            .results
+            .top_level()
+            .iter()
+            .zip(warm.results.top_level())
+        {
+            assert!(oem::eq::struct_eq_cross(&cold.results, a, &warm.results, b));
+        }
+    }
+
+    #[test]
+    fn containment_probe_serves_narrow_query_from_broad_answer() {
+        let srcs = sources();
+        let registry = standard_registry();
+        let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
+        // Warm with the whole view: whois answers the broad (unpinned)
+        // person query.
+        let broad = planned("P :- P:<cs_person {}>@med", &srcs);
+        execute(&broad, &srcs, &registry, &cache_opts(&cache)).unwrap();
+        // The Joe Chung query's whois source query pins the name — the
+        // broad cached answer contains it; no whois round-trip.
+        let narrow = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let out = execute(&narrow, &srcs, &registry, &cache_opts(&cache)).unwrap();
+        assert_eq!(
+            out.trace.calls(sym("whois")),
+            0,
+            "{:?}",
+            out.trace.source_calls
+        );
+        assert!(
+            out.trace
+                .containment_hits
+                .get(&sym("whois"))
+                .copied()
+                .unwrap_or(0)
+                >= 1,
+            "{:?}",
+            out.trace.containment_hits
+        );
+        // The filtered answer is exactly the direct answer.
+        let direct = execute(&narrow, &srcs, &registry, &ExecOptions::default()).unwrap();
+        assert_eq!(
+            out.results.top_level().len(),
+            direct.results.top_level().len()
+        );
+        for (&a, &b) in out
+            .results
+            .top_level()
+            .iter()
+            .zip(direct.results.top_level())
+        {
+            assert!(oem::eq::struct_eq_cross(
+                &out.results,
+                a,
+                &direct.results,
+                b
+            ));
+        }
+    }
+
+    #[test]
+    fn cache_off_run_reports_no_cache_counters() {
+        let srcs = sources();
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let out = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
+        assert!(out.trace.cache_hits.is_empty());
+        assert!(out.trace.containment_hits.is_empty());
+        assert!(out.trace.cache_misses.is_empty());
+        assert_eq!(out.trace.bytes_cached, 0);
+        assert!(out.trace.nodes().all(|t| t.metrics.cache_misses == 0));
+    }
+
+    #[test]
+    fn flaky_source_populates_cache_exactly_once() {
+        // whois fails twice, then answers: the retried success must land
+        // in the cache exactly once, and the next execution serves it.
+        let (srcs, whois) = faulty_sources(FaultPlan::none().fail_first(2));
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
+        let opts = ExecOptions {
+            fault: crate::retry::FaultOptions {
+                retry: RetryPolicy::retries(2),
+                sleeper: Some(Arc::new(crate::retry::VirtualSleeper(Arc::new(
+                    wrappers::VirtualClock::new(),
+                )))),
+                ..Default::default()
+            },
+            cache: Some(Arc::clone(&cache)),
+            ..Default::default()
+        };
+        let out = execute(&physical, &srcs, &registry, &opts).unwrap();
+        assert_eq!(out.results.top_level().len(), 1);
+        assert_eq!(whois.calls_seen(), 3, "2 failures + 1 success");
+        assert_eq!(cache.entry_count(sym("whois")), 1, "exactly one entry");
+        let warm = execute(&physical, &srcs, &registry, &opts).unwrap();
+        assert_eq!(warm.results.top_level().len(), 1);
+        assert_eq!(whois.calls_seen(), 3, "second run must not touch whois");
+    }
+
+    #[test]
+    fn deadline_failed_answer_is_never_cached() {
+        // whois answers 80 virtual ms late against a 50ms deadline: the
+        // answer is discarded AND must not be cached for later queries.
+        let clock = Arc::new(wrappers::VirtualClock::new());
+        let whois = Arc::new(
+            FaultInjectingWrapper::new(Arc::new(whois_wrapper()), FaultPlan::none().latency_ms(80))
+                .with_virtual_clock(Arc::clone(&clock)),
+        );
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("whois"), whois);
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
+        let out = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                fault: crate::retry::FaultOptions {
+                    source_deadline_ms: Some(50),
+                    on_source_failure: OnSourceFailure::Partial,
+                    ..Default::default()
+                }
+                .on_virtual_time(clock),
+                cache: Some(Arc::clone(&cache)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(out.results.top_level().is_empty());
+        assert_eq!(
+            cache.entry_count(sym("whois")),
+            0,
+            "late answer must not be cached"
+        );
+    }
+
+    #[test]
+    fn cached_answers_embargoed_while_source_is_down() {
+        // Warm the cache while whois is healthy, then take it down: the
+        // cache must NOT mask the outage (no --cache-stale-ok).
+        let (srcs, whois) = faulty_sources(FaultPlan::none().fail_every(2));
+        let physical = planned("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med", &srcs);
+        let registry = standard_registry();
+        let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
+        // Call 1 succeeds (fail_every(2) fails calls 2, 4, ...): cached.
+        let opts = ExecOptions {
+            fault: crate::retry::FaultOptions {
+                on_source_failure: OnSourceFailure::Partial,
+                ..Default::default()
+            },
+            cache: Some(Arc::clone(&cache)),
+            ..Default::default()
+        };
+        let ok = execute(&physical, &srcs, &registry, &opts).unwrap();
+        assert_eq!(ok.results.top_level().len(), 1);
+        assert_eq!(cache.entry_count(sym("whois")), 1);
+        // Simulate the outage being observed: once the executor sees the
+        // failure, cached whois answers are embargoed...
+        cache.mark_failed(sym("whois"));
+        let down = execute(&physical, &srcs, &registry, &opts).unwrap();
+        // ...so the query went back to the source (which failed — call 2),
+        // and the chain degraded instead of serving stale data.
+        assert!(down.results.top_level().is_empty());
+        assert!(whois.calls_seen() >= 2);
+        // A stale-ok cache serves through the outage instead.
+        let stale = Arc::new(AnswerCache::new(CacheOptions {
+            enabled: true,
+            stale_ok: true,
+            ..Default::default()
+        }));
+        let warm_opts = ExecOptions {
+            cache: Some(Arc::clone(&stale)),
+            ..opts.clone()
+        };
+        let ok2 = execute(&physical, &srcs, &registry, &warm_opts).unwrap();
+        assert_eq!(ok2.results.top_level().len(), 1);
+        stale.mark_failed(sym("whois"));
+        let served = execute(&physical, &srcs, &registry, &warm_opts).unwrap();
+        assert_eq!(
+            served.results.top_level().len(),
+            1,
+            "stale_ok serves through outage"
+        );
+    }
+
+    #[test]
+    fn shared_param_memo_dedups_across_chains() {
+        // Two chains (year-3 query, Minimal mode) that both bind-join into
+        // cs: identical bound tuples are fetched once per execution, even
+        // in parallel mode — the shared memo extends the per-chain one.
+        let srcs = sources();
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let options = PlannerOptions {
+            prefer_bind_join: Some(true),
+            ..Default::default()
+        };
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let seq = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
+        let par = execute(
+            &physical,
+            &srcs,
+            &registry,
+            &ExecOptions {
+                parallel: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Sequential and parallel must agree call-for-call: the memo is
+        // shared per-execution, not per-thread.
+        assert_eq!(seq.trace.source_calls, par.trace.source_calls);
+        assert_eq!(seq.results.top_level().len(), par.results.top_level().len());
     }
 
     #[test]

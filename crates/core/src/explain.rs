@@ -99,6 +99,15 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             if m.dedup_hits > 0 {
                 extras.push(format!("dedup hits: {}", m.dedup_hits));
             }
+            if m.cache_hits > 0 {
+                extras.push(format!("cache hits: {}", m.cache_hits));
+            }
+            if m.containment_hits > 0 {
+                extras.push(format!("containment hits: {}", m.containment_hits));
+            }
+            if m.cache_misses > 0 {
+                extras.push(format!("cache misses: {}", m.cache_misses));
+            }
             extras.push(format!("time: {}", format_ns(m.wall_ns)));
             let _ = writeln!(out, "  {}", extras.join("   "));
         }
@@ -122,6 +131,37 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             .map(|(s, n)| format!("{s}={n}"))
             .collect();
         let _ = writeln!(out, "source calls: {}", calls.join(" "));
+    }
+    if !trace.cache_hits.is_empty() {
+        let hits: Vec<String> = trace
+            .cache_hits
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        let _ = writeln!(out, "cache hits: {}", hits.join(" "));
+    }
+    if !trace.containment_hits.is_empty() {
+        let hits: Vec<String> = trace
+            .containment_hits
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        let _ = writeln!(out, "containment hits: {}", hits.join(" "));
+    }
+    if !trace.cache_misses.is_empty() {
+        let misses: Vec<String> = trace
+            .cache_misses
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect();
+        let _ = writeln!(out, "cache misses: {}", misses.join(" "));
+    }
+    if trace.bytes_cached > 0 || trace.cache_evictions > 0 {
+        let _ = writeln!(
+            out,
+            "cache: {} bytes held, {} evictions",
+            trace.bytes_cached, trace.cache_evictions
+        );
     }
     if !trace.retries.is_empty() {
         let retries: Vec<String> = trace
@@ -369,10 +409,48 @@ mod tests {
         assert!(report.contains("=== totals ==="), "{report}");
         assert!(report.contains("wall time: "), "{report}");
         assert!(report.contains("result objects: "), "{report}");
-        // A clean run is reported complete, with no retry/failure lines.
+        // A clean run is reported complete, with no retry/failure lines —
+        // and with the cache off, no cache lines either.
         assert!(report.contains("completeness: complete"), "{report}");
         assert!(!report.contains("retries: "), "{report}");
         assert!(!report.contains("failed attempts: "), "{report}");
+        assert!(!report.contains("cache"), "{report}");
+    }
+
+    #[test]
+    fn analyze_renders_cache_counters_when_cache_is_on() {
+        use crate::cache::{AnswerCache, CacheOptions};
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let mut srcs: HashMap<oem::Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("whois"), Arc::new(whois_wrapper()));
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
+        let opts = ExecOptions {
+            cache: Some(Arc::clone(&cache)),
+            ..Default::default()
+        };
+        // First run warms the cache (all misses)...
+        let cold = execute(&physical, &srcs, &registry, &opts).unwrap();
+        let cold_report = render_analyze(&physical, &cold);
+        assert!(cold_report.contains("cache misses: "), "{cold_report}");
+        // ...the second run is served from it.
+        let warm = execute(&physical, &srcs, &registry, &opts).unwrap();
+        let report = render_analyze(&physical, &warm);
+        assert!(report.contains("cache hits: "), "{report}");
+        assert!(report.contains("bytes held"), "{report}");
+        assert_eq!(warm.trace.total_source_calls(), 0, "{report}");
     }
 
     #[test]

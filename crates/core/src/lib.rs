@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod exec;
 pub mod explain;
@@ -54,6 +55,7 @@ pub mod stats;
 pub mod table;
 pub mod veao;
 
+pub use cache::{AnswerCache, CacheCounters, CacheHit, CacheOptions};
 pub use error::{MedError, Result};
 pub use externals::ExternalRegistry;
 pub use mediator::{Mediator, MediatorOptions};

@@ -5,6 +5,7 @@
 //! serve as sources of other mediators — stacking exactly as in the
 //! TSIMMIS architecture of Figure 1.1.
 
+use crate::cache::{AnswerCache, CacheCounters, CacheOptions};
 use crate::error::{MedError, Result};
 use crate::exec::{execute, ExecOptions, ExecOutcome};
 use crate::externals::ExternalRegistry;
@@ -41,6 +42,10 @@ pub struct MediatorOptions {
     /// Fault policy applied to every source call: retries, deadlines,
     /// circuit breaking, and Fail/Partial degradation.
     pub fault: crate::retry::FaultOptions,
+    /// Source-answer cache configuration. Disabled by default: without
+    /// `--cache` every query pays its round-trips, exactly as before the
+    /// cache existed.
+    pub cache: CacheOptions,
 }
 
 impl Default for MediatorOptions {
@@ -53,6 +58,7 @@ impl Default for MediatorOptions {
             parallel: false,
             learn_stats: true,
             fault: crate::retry::FaultOptions::default(),
+            cache: CacheOptions::default(),
         }
     }
 }
@@ -83,6 +89,10 @@ pub struct Mediator {
     stats: RwLock<StatsCache>,
     caps: Capabilities,
     lint_warnings: Vec<msl::Diagnostic>,
+    /// The source-answer cache. Persists across queries (that is the
+    /// point); rebuilt by [`Mediator::with_options`] so a reconfigured
+    /// cache starts cold.
+    cache: Arc<AnswerCache>,
 }
 
 impl Mediator {
@@ -134,14 +144,17 @@ impl Mediator {
         // pushed through view expansion soundly — see veao docs).
         let mut caps = Capabilities::full();
         caps.wildcards = false;
+        let options = MediatorOptions::default();
+        let cache = Arc::new(AnswerCache::new(options.cache.clone()));
         Ok(Mediator {
             spec,
             sources: map,
             registry,
-            options: MediatorOptions::default(),
+            options,
             stats: RwLock::new(stats),
             caps,
             lint_warnings,
+            cache,
         })
     }
 
@@ -153,10 +166,34 @@ impl Mediator {
         &self.lint_warnings
     }
 
-    /// Replace the option set.
+    /// Replace the option set. The answer cache is rebuilt from the new
+    /// [`MediatorOptions::cache`] configuration, starting cold.
     pub fn with_options(mut self, options: MediatorOptions) -> Mediator {
+        self.cache = Arc::new(AnswerCache::new(options.cache.clone()));
         self.options = options;
         self
+    }
+
+    /// Drop every cached source answer for `source` — the explicit
+    /// invalidation hook for when a source is known to have changed.
+    pub fn invalidate_source(&self, source: Symbol) {
+        self.cache.invalidate_source(source);
+    }
+
+    /// Snapshot of the answer cache's lifetime counters (hits, misses,
+    /// evictions, bytes). All zeros while the cache is disabled.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// The cache handle handed to the executor: `Some` only when caching
+    /// is enabled, so a disabled cache stays entirely off the query path.
+    fn exec_cache(&self) -> Option<Arc<AnswerCache>> {
+        if self.options.cache.enabled {
+            Some(Arc::clone(&self.cache))
+        } else {
+            None
+        }
     }
 
     /// The mediator's specification.
@@ -201,6 +238,7 @@ impl Mediator {
                 trace: self.options.trace,
                 parallel: self.options.parallel,
                 fault: self.options.fault.clone(),
+                cache: self.exec_cache(),
             },
         )?;
         outcome.trace.query = msl::printer::rule(query);
@@ -277,6 +315,7 @@ impl Mediator {
                     trace: true,
                     parallel: false,
                     fault: self.options.fault.clone(),
+                    cache: self.exec_cache(),
                 },
             )?;
             let _ = writeln!(out);
@@ -324,6 +363,7 @@ impl Mediator {
                 trace: false,
                 parallel: self.options.parallel,
                 fault: self.options.fault.clone(),
+                cache: self.exec_cache(),
             },
         )?;
         outcome.trace.query = msl::printer::rule(&query);
@@ -667,5 +707,119 @@ mod tests {
         assert!(!med.stats_snapshot().knows(sym("whois")));
         med.query_text("P :- P:<cs_person {}>@med").unwrap();
         assert!(med.stats_snapshot().knows(sym("whois")));
+    }
+
+    // ---- answer cache ----------------------------------------------------
+
+    fn cache_test_options(cache: CacheOptions) -> MediatorOptions {
+        // learn_stats off keeps the plan identical across iterations so
+        // round-trip counts compare cleanly.
+        MediatorOptions {
+            learn_stats: false,
+            cache,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cache_off_is_exactly_seed_behavior() {
+        // Guard for the default path: with the cache disabled, repeated
+        // queries pay identical round-trips and produce byte-identical
+        // answers — exactly the pre-cache behavior.
+        let q = "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med";
+        let off = paper_mediator().with_options(cache_test_options(CacheOptions::default()));
+        let a = off.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        let b = off.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        assert_eq!(a.trace.source_calls, b.trace.source_calls);
+        assert!(a.trace.total_source_calls() > 0);
+        assert_eq!(
+            oem::printer::print_store(&a.results),
+            oem::printer::print_store(&b.results)
+        );
+        assert_eq!(off.cache_counters().hits + off.cache_counters().misses, 0);
+    }
+
+    #[test]
+    fn cache_on_and_off_agree_and_warm_runs_skip_sources() {
+        let q = "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med";
+        let off = paper_mediator().with_options(cache_test_options(CacheOptions::default()));
+        let on = paper_mediator().with_options(cache_test_options(CacheOptions::enabled()));
+        let baseline = off.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        let cold = on.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        // Iteration 1: the cache may already dedup duplicate source
+        // queries across Exhaustive-mode chains, but never adds calls —
+        // and the answer bytes are identical either way.
+        assert!(
+            cold.trace.total_source_calls() <= baseline.trace.total_source_calls(),
+            "on={:?} off={:?}",
+            cold.trace.source_calls,
+            baseline.trace.source_calls
+        );
+        assert_eq!(
+            oem::printer::print_store(&baseline.results),
+            oem::printer::print_store(&cold.results)
+        );
+        // Iteration 2 is answered entirely from the cache, same bytes.
+        let warm = on.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        assert_eq!(
+            warm.trace.total_source_calls(),
+            0,
+            "{:?}",
+            warm.trace.source_calls
+        );
+        assert_eq!(
+            oem::printer::print_store(&baseline.results),
+            oem::printer::print_store(&warm.results)
+        );
+        let c = on.cache_counters();
+        assert!(c.hits >= 1, "{c:?}");
+    }
+
+    #[test]
+    fn invalidate_source_forces_refetch() {
+        let q = "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med";
+        let med = paper_mediator().with_options(cache_test_options(CacheOptions::enabled()));
+        med.query_text(q).unwrap();
+        let warm = med.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        assert_eq!(warm.trace.total_source_calls(), 0);
+        // Drop whois: the next query must go back to that source (and
+        // only that source — the cs answer is still cached).
+        med.invalidate_source(sym("whois"));
+        let after = med.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        assert!(
+            after.trace.calls(sym("whois")) > 0,
+            "{:?}",
+            after.trace.source_calls
+        );
+        assert_eq!(
+            after.trace.calls(sym("cs")),
+            0,
+            "{:?}",
+            after.trace.source_calls
+        );
+    }
+
+    #[test]
+    fn cached_hits_do_not_feed_stats_learning() {
+        // §3.5 learning must see only real source traffic: a cache hit
+        // carries no fresh observation.
+        let q = "P :- P:<cs_person {}>@med";
+        let med = paper_mediator().with_options(MediatorOptions {
+            cache: CacheOptions::enabled(),
+            ..Default::default()
+        });
+        // Two warm-up runs: the first learns statistics, which can change
+        // the second run's plan (and issue genuinely new source queries).
+        med.query_text(q).unwrap();
+        med.query_text(q).unwrap();
+        let learned = format!("{:?}", med.stats_snapshot());
+        let served = med.query_rule(&msl::parse_query(q).unwrap()).unwrap();
+        assert_eq!(
+            served.trace.total_source_calls(),
+            0,
+            "{:?}",
+            served.trace.source_calls
+        );
+        assert_eq!(learned, format!("{:?}", med.stats_snapshot()));
     }
 }

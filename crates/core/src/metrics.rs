@@ -35,6 +35,9 @@ use std::collections::BTreeMap;
 /// | `dedup_hits`        | rows  | dup elim                                |
 /// | `wall_ns`           | ns    | every node                              |
 /// | `est_rows`          | rows  | every node (from the optimizer)         |
+/// | `cache_hits`        | hits  | query, param. query, hash join (cache on) |
+/// | `containment_hits`  | hits  | query, param. query, hash join (cache on) |
+/// | `cache_misses`      | calls | query, param. query, hash join (cache on) |
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NodeMetrics {
     /// Rows in the binding table flowing *into* the node.
@@ -55,6 +58,15 @@ pub struct NodeMetrics {
     /// The optimizer's estimated output cardinality for this node, in rows
     /// (what `EXPLAIN ANALYZE` prints next to `rows_out` as drift).
     pub est_rows: f64,
+    /// Source queries this node served from the answer cache by exact
+    /// canonical-key match (zero when the cache is off).
+    pub cache_hits: usize,
+    /// Source queries served by filtering a broader cached answer through
+    /// the containment probe (zero when the cache is off).
+    pub containment_hits: usize,
+    /// Source queries that consulted the answer cache and fell through to
+    /// a round-trip (zero when the cache is off).
+    pub cache_misses: usize,
 }
 
 impl NodeMetrics {
@@ -154,6 +166,20 @@ pub struct QueryTrace {
     /// Which sources answered and which chains were dropped (Partial
     /// mode); `Completeness::default()` — trivially complete — otherwise.
     pub completeness: Completeness,
+    /// Exact answer-cache hits per source. Empty when the cache is off.
+    pub cache_hits: BTreeMap<Symbol, usize>,
+    /// Containment-probe cache hits per source. Empty when the cache is
+    /// off.
+    pub containment_hits: BTreeMap<Symbol, usize>,
+    /// Answer-cache misses per source (lookups that paid a round-trip).
+    /// Empty when the cache is off.
+    pub cache_misses: BTreeMap<Symbol, usize>,
+    /// Approximate bytes held by the answer cache after this query
+    /// (printed-form size of the cached answers; 0 when the cache is off).
+    pub bytes_cached: u64,
+    /// Answer-cache entries evicted so far (capacity, TTL or explicit
+    /// invalidation) over the owning cache's lifetime.
+    pub cache_evictions: usize,
     /// Top-level result objects after construction and result dedup.
     pub result_count: usize,
     /// Top-level objects removed by final structural dedup across rules.
@@ -187,6 +213,22 @@ impl QueryTrace {
     pub fn failures_for(&self, source: Symbol) -> usize {
         self.failures.get(&source).copied().unwrap_or(0)
     }
+
+    /// Answer-cache hits (exact + containment) for `source`.
+    pub fn cache_hits_for(&self, source: Symbol) -> usize {
+        self.cache_hits.get(&source).copied().unwrap_or(0)
+            + self.containment_hits.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Total answer-cache hits across all sources (exact + containment).
+    pub fn total_cache_hits(&self) -> usize {
+        self.cache_hits.values().sum::<usize>() + self.containment_hits.values().sum::<usize>()
+    }
+
+    /// Total answer-cache misses across all sources.
+    pub fn total_cache_misses(&self) -> usize {
+        self.cache_misses.values().sum()
+    }
 }
 
 /// Render a nanosecond count the way `EXPLAIN ANALYZE` prints timings.
@@ -214,7 +256,19 @@ impl serde::Serialize for NodeMetrics {
             ("dedup_hits", self.dedup_hits.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
             ("est_rows", self.est_rows.to_value()),
+            ("cache_hits", self.cache_hits.to_value()),
+            ("containment_hits", self.containment_hits.to_value()),
+            ("cache_misses", self.cache_misses.to_value()),
         ])
+    }
+}
+
+/// Read an optional numeric field, defaulting when absent (traces
+/// exported before the field existed must still parse).
+fn optional_count(v: &serde::Value, name: &str) -> std::result::Result<usize, serde::Error> {
+    match v.get(name) {
+        Some(n) => <usize as serde::Deserialize>::from_value(n),
+        None => Ok(0),
     }
 }
 
@@ -228,6 +282,10 @@ impl serde::Deserialize for NodeMetrics {
             dedup_hits: serde::field(v, "dedup_hits")?,
             wall_ns: serde::field(v, "wall_ns")?,
             est_rows: serde::field(v, "est_rows")?,
+            // Absent in traces exported before the answer cache.
+            cache_hits: optional_count(v, "cache_hits")?,
+            containment_hits: optional_count(v, "containment_hits")?,
+            cache_misses: optional_count(v, "cache_misses")?,
         })
     }
 }
@@ -384,6 +442,14 @@ impl serde::Serialize for QueryTrace {
             ("retries", counter_map_to_value(&self.retries)),
             ("failures", counter_map_to_value(&self.failures)),
             ("completeness", self.completeness.to_value()),
+            ("cache_hits", counter_map_to_value(&self.cache_hits)),
+            (
+                "containment_hits",
+                counter_map_to_value(&self.containment_hits),
+            ),
+            ("cache_misses", counter_map_to_value(&self.cache_misses)),
+            ("bytes_cached", self.bytes_cached.to_value()),
+            ("cache_evictions", self.cache_evictions.to_value()),
             ("result_count", self.result_count.to_value()),
             ("result_dedup_removed", self.result_dedup_removed.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
@@ -404,6 +470,15 @@ impl serde::Deserialize for QueryTrace {
                 Some(c) => Completeness::from_value(c)?,
                 None => Completeness::default(),
             },
+            // Absent in traces exported before the answer cache.
+            cache_hits: counter_map_field(v, "cache_hits", false)?,
+            containment_hits: counter_map_field(v, "containment_hits", false)?,
+            cache_misses: counter_map_field(v, "cache_misses", false)?,
+            bytes_cached: match v.get("bytes_cached") {
+                Some(n) => <u64 as serde::Deserialize>::from_value(n)?,
+                None => 0,
+            },
+            cache_evictions: optional_count(v, "cache_evictions")?,
             result_count: serde::field(v, "result_count")?,
             result_dedup_removed: serde::field(v, "result_dedup_removed")?,
             wall_ns: serde::field(v, "wall_ns")?,
@@ -432,6 +507,9 @@ mod tests {
                         dedup_hits: 0,
                         wall_ns: 12_345,
                         est_rows: 10.0,
+                        cache_hits: 1,
+                        containment_hits: 1,
+                        cache_misses: 1,
                     },
                     table: "| 1 | 'Joe Chung' |".to_string(),
                 }],
@@ -459,6 +537,11 @@ mod tests {
                 sources_failed: BTreeMap::new(),
                 skipped_chains: Vec::new(),
             },
+            cache_hits: [(sym("cs"), 1)].into_iter().collect(),
+            containment_hits: [(sym("whois"), 1)].into_iter().collect(),
+            cache_misses: [(sym("whois"), 1), (sym("cs"), 1)].into_iter().collect(),
+            bytes_cached: 512,
+            cache_evictions: 1,
             result_count: 1,
             result_dedup_removed: 1,
             wall_ns: 99_000,
@@ -493,6 +576,11 @@ mod tests {
             "\"sources_ok\"",
             "\"sources_failed\"",
             "\"skipped_chains\"",
+            "\"cache_hits\"",
+            "\"containment_hits\"",
+            "\"cache_misses\"",
+            "\"bytes_cached\"",
+            "\"cache_evictions\"",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
@@ -513,6 +601,63 @@ mod tests {
         let parsed = QueryTrace::from_value(&v).unwrap();
         assert_eq!(parsed, trace);
         assert!(parsed.completeness.is_complete());
+    }
+
+    #[test]
+    fn old_traces_without_cache_fields_still_parse() {
+        // A trace exported before the answer cache lacks the cache counter
+        // maps and the per-node cache counters.
+        let mut trace = sample();
+        trace.cache_hits.clear();
+        trace.containment_hits.clear();
+        trace.cache_misses.clear();
+        trace.bytes_cached = 0;
+        trace.cache_evictions = 0;
+        let m = &mut trace.rules[0].nodes[0].metrics;
+        m.cache_hits = 0;
+        m.containment_hits = 0;
+        m.cache_misses = 0;
+        let mut v = trace.to_value();
+        let drop_cache_keys = |v: &mut serde::Value| {
+            if let serde::Value::Object(pairs) = v {
+                pairs.retain(|(k, _)| {
+                    !matches!(
+                        &**k,
+                        "cache_hits"
+                            | "containment_hits"
+                            | "cache_misses"
+                            | "bytes_cached"
+                            | "cache_evictions"
+                    )
+                });
+            }
+        };
+        drop_cache_keys(&mut v);
+        fn field_mut<'a>(v: &'a mut serde::Value, name: &str) -> &'a mut serde::Value {
+            let serde::Value::Object(pairs) = v else {
+                panic!("expected object");
+            };
+            &mut pairs
+                .iter_mut()
+                .find(|(k, _)| k == name)
+                .expect("field present in sample trace")
+                .1
+        }
+        fn elems_mut(v: &mut serde::Value) -> &mut Vec<serde::Value> {
+            let serde::Value::Array(items) = v else {
+                panic!("expected array");
+            };
+            items
+        }
+        for rule in elems_mut(field_mut(&mut v, "rules")) {
+            for node in elems_mut(field_mut(rule, "nodes")) {
+                drop_cache_keys(field_mut(node, "metrics"));
+            }
+        }
+        let parsed = QueryTrace::from_value(&v).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.total_cache_hits(), 0);
+        assert_eq!(parsed.total_cache_misses(), 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod types;
 pub use catalog::Catalog;
 pub use csv::load_csv;
 pub use error::{DbError, Result};
-pub use pred::{CmpOp, Condition, Predicate};
+pub use pred::{CmpOp, Condition, InCondition, Predicate};
 pub use query::{select, select_project};
 pub use schema::Schema;
 pub use stats::TableStats;

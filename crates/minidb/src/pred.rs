@@ -92,10 +92,41 @@ impl fmt::Display for Condition {
     }
 }
 
+/// A membership condition `column IN (v1, v2, ...)`. An empty value list
+/// matches nothing, like SQL's `IN ()` would.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InCondition {
+    pub column: String,
+    pub values: Vec<Datum>,
+}
+
+impl InCondition {
+    /// Shorthand constructor.
+    pub fn of(column: &str, values: impl IntoIterator<Item = impl Into<Datum>>) -> InCondition {
+        InCondition {
+            column: column.to_string(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Does `datum` equal any of the listed values?
+    pub fn matches(&self, datum: &Datum) -> bool {
+        self.values.iter().any(|v| CmpOp::Eq.eval(datum.compare(v)))
+    }
+}
+
+impl fmt::Display for InCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+        write!(f, "{} IN ({})", self.column, parts.join(", "))
+    }
+}
+
 /// A conjunction of conditions (possibly empty = always true).
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Predicate {
     pub conditions: Vec<Condition>,
+    pub in_conditions: Vec<InCondition>,
 }
 
 impl Predicate {
@@ -106,7 +137,10 @@ impl Predicate {
 
     /// A predicate from conditions.
     pub fn of(conditions: Vec<Condition>) -> Predicate {
-        Predicate { conditions }
+        Predicate {
+            conditions,
+            in_conditions: Vec::new(),
+        }
     }
 
     /// Add a condition.
@@ -114,14 +148,25 @@ impl Predicate {
         self.conditions.push(c);
         self
     }
+
+    /// Add a membership condition.
+    pub fn and_in(mut self, c: InCondition) -> Predicate {
+        self.in_conditions.push(c);
+        self
+    }
 }
 
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.conditions.is_empty() {
+        if self.conditions.is_empty() && self.in_conditions.is_empty() {
             return f.write_str("TRUE");
         }
-        let parts: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+        let parts: Vec<String> = self
+            .conditions
+            .iter()
+            .map(|c| c.to_string())
+            .chain(self.in_conditions.iter().map(|c| c.to_string()))
+            .collect();
         f.write_str(&parts.join(" AND "))
     }
 }
@@ -170,5 +215,20 @@ mod tests {
             .and(Condition::cmp("year", CmpOp::Ge, 3));
         assert_eq!(p.to_string(), "last_name = 'Chung' AND year >= 3");
         assert_eq!(Predicate::all().to_string(), "TRUE");
+    }
+
+    #[test]
+    fn in_condition_matches_and_displays() {
+        let c = InCondition::of("last_name", ["Chung", "Able"]);
+        assert!(c.matches(&Datum::str("Able")));
+        assert!(!c.matches(&Datum::str("Busy")));
+        // NULL is never IN anything, matching the SQL treatment.
+        assert!(!c.matches(&Datum::Null));
+        assert_eq!(c.to_string(), "last_name IN ('Chung', 'Able')");
+        let p = Predicate::of(vec![Condition::eq("title", "professor")]).and_in(c);
+        assert_eq!(
+            p.to_string(),
+            "title = 'professor' AND last_name IN ('Chung', 'Able')"
+        );
     }
 }

@@ -1,26 +1,30 @@
 //! Selection and projection with index-aware access paths.
 
 use crate::error::{DbError, Result};
-use crate::pred::{CmpOp, Predicate};
+use crate::pred::{CmpOp, InCondition, Predicate};
 use crate::table::Table;
 use crate::types::Datum;
 
 /// Evaluate `SELECT * FROM table WHERE pred`, returning row ids.
 ///
 /// Access path: if some equality condition has a hash index, probe the
-/// most selective such index and post-filter; otherwise scan.
+/// most selective such index and post-filter. An indexed `IN` condition
+/// is batch-probed — one lookup per listed value, candidate lists
+/// unioned — and competes with the equality probes on candidate count.
+/// Otherwise scan.
 pub fn select(table: &Table, pred: &Predicate) -> Result<Vec<usize>> {
     // Resolve column names up front (and error on unknown columns).
     let mut resolved: Vec<(usize, CmpOp, &Datum)> = Vec::with_capacity(pred.conditions.len());
     for c in &pred.conditions {
-        let col = table
-            .schema()
-            .column_index(&c.column)
-            .ok_or_else(|| DbError::NoSuchColumn {
-                table: table.schema().name().to_string(),
-                column: c.column.clone(),
-            })?;
-        resolved.push((col, c.op, &c.value));
+        resolved.push((resolve_column(table, &c.column)?, c.op, &c.value));
+    }
+    let mut resolved_in: Vec<(usize, &InCondition)> = Vec::with_capacity(pred.in_conditions.len());
+    for c in &pred.in_conditions {
+        resolved_in.push((resolve_column(table, &c.column)?, c));
+    }
+    // `col IN ()` matches nothing; short-circuit after column validation.
+    if resolved_in.iter().any(|(_, c)| c.values.is_empty()) {
+        return Ok(Vec::new());
     }
 
     // Choose the best indexed equality condition (fewest candidate rows).
@@ -34,20 +38,46 @@ pub fn select(table: &Table, pred: &Predicate) -> Result<Vec<usize>> {
             }
         }
     }
+    // Batch-probe indexed IN conditions: the union of the per-value
+    // candidate lists, deduplicated, in ascending rid order.
+    let mut best_in: Option<Vec<usize>> = None;
+    for (col, c) in &resolved_in {
+        let mut union: Vec<usize> = Vec::new();
+        let mut probed = true;
+        for value in &c.values {
+            match table.index_lookup(*col, value) {
+                Some(rids) => union.extend_from_slice(rids),
+                None => {
+                    probed = false;
+                    break;
+                }
+            }
+        }
+        if probed {
+            union.sort_unstable();
+            union.dedup();
+            if best_in.as_ref().is_none_or(|b| union.len() < b.len()) {
+                best_in = Some(union);
+            }
+        }
+    }
 
     let matches_row = |rid: usize| -> bool {
         let row = table.row(rid);
         resolved
             .iter()
             .all(|(col, op, value)| op.eval(row[*col].compare(value)))
+            && resolved_in.iter().all(|(col, c)| c.matches(&row[*col]))
     };
 
-    let out = match best {
-        Some((_, candidates)) => candidates
-            .iter()
-            .copied()
-            .filter(|&r| matches_row(r))
-            .collect(),
+    // Pick the narrower candidate set; post-filter re-checks everything.
+    let candidates: Option<Vec<usize>> = match (best, best_in) {
+        (Some((_, eq)), Some(inn)) if inn.len() < eq.len() => Some(inn),
+        (Some((_, eq)), _) => Some(eq.to_vec()),
+        (None, inn) => inn,
+    };
+    let out = match candidates {
+        Some(candidates) => candidates.into_iter().filter(|&r| matches_row(r)).collect(),
         None => table
             .iter()
             .map(|(rid, _)| rid)
@@ -55,6 +85,16 @@ pub fn select(table: &Table, pred: &Predicate) -> Result<Vec<usize>> {
             .collect(),
     };
     Ok(out)
+}
+
+fn resolve_column(table: &Table, column: &str) -> Result<usize> {
+    table
+        .schema()
+        .column_index(column)
+        .ok_or_else(|| DbError::NoSuchColumn {
+            table: table.schema().name().to_string(),
+            column: column.to_string(),
+        })
 }
 
 /// Evaluate `SELECT cols FROM table WHERE pred`. `columns = None` selects
@@ -215,5 +255,53 @@ mod tests {
         let t = employees();
         let rids = select(&t, &Predicate::of(vec![Condition::eq("title", 3)])).unwrap();
         assert!(rids.is_empty());
+    }
+
+    #[test]
+    fn in_predicate_scan() {
+        let t = employees();
+        let pred = Predicate::all().and_in(InCondition::of("last_name", ["Chung", "Busy"]));
+        assert_eq!(select(&t, &pred).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn in_predicate_batch_probes_the_index() {
+        let mut t = employees();
+        let pred = Predicate::all().and_in(InCondition::of("last_name", ["Busy", "Chung", "Nope"]));
+        let scan = select(&t, &pred).unwrap();
+        t.create_index("last_name").unwrap();
+        let indexed = select(&t, &pred).unwrap();
+        // Same rows, ascending rid order, despite the probe order.
+        assert_eq!(scan, indexed);
+        assert_eq!(indexed, vec![0, 2]);
+    }
+
+    #[test]
+    fn in_predicate_combines_with_equality_conditions() {
+        let mut t = employees();
+        t.create_index("title").unwrap();
+        t.create_index("last_name").unwrap();
+        let pred = Predicate::of(vec![Condition::eq("title", "professor")])
+            .and_in(InCondition::of("last_name", ["Able", "Busy"]));
+        // The IN probe (1 candidate) is narrower than the title probe (2).
+        assert_eq!(select(&t, &pred).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn in_predicate_dedups_repeated_values() {
+        let mut t = employees();
+        t.create_index("title").unwrap();
+        let pred = Predicate::all().and_in(InCondition::of("title", ["professor", "professor"]));
+        assert_eq!(select(&t, &pred).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_in_list_matches_nothing() {
+        let t = employees();
+        let pred = Predicate::all().and_in(InCondition::of("title", Vec::<&str>::new()));
+        assert!(select(&t, &pred).unwrap().is_empty());
+        // ...but an unknown column still errors, even with an empty list.
+        let bad = Predicate::all().and_in(InCondition::of("nope", Vec::<&str>::new()));
+        assert!(select(&t, &bad).is_err());
     }
 }
