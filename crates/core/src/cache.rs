@@ -23,7 +23,9 @@
 //!
 //! Soundness rule: a probe that meets *any* structural surprise — a
 //! pinned variable the cached query never exported, a rest condition
-//! whose carrier is missing, mismatched extraction kinds — rejects the
+//! whose carrier is missing, a rest condition referencing a variable the
+//! query binds elsewhere (local filtering cannot thread bindings the way
+//! the live matcher does), mismatched extraction kinds — rejects the
 //! entry and falls back to a miss. A containment false-positive can never
 //! serve a wrong answer; the worst case is a redundant round-trip.
 //!
@@ -641,7 +643,100 @@ fn specialize_match_rule(new: &Rule, cached: &Rule) -> Option<Mapping> {
             _ => return None,
         }
     }
+    if !extra_rest_vars_are_local(&m, new) {
+        return None;
+    }
     Some(m)
+}
+
+/// `serve()` evaluates each extra rest condition independently with empty
+/// bindings, so a condition variable is only constrained *within* that
+/// condition (`match_pattern` threads bindings inside one pattern). The
+/// live matcher instead threads bindings across all elements and
+/// conditions of the query: a variable the query binds elsewhere — in a
+/// set element, the head, or another rest condition — would constrain the
+/// condition there but not here, and the hit could return a superset of
+/// the correct answer. Containment is therefore rejected unless every
+/// variable of every extra condition occurs *only* inside that condition.
+fn extra_rest_vars_are_local(m: &Mapping, new: &Rule) -> bool {
+    if m.extra_rest.is_empty() {
+        return true;
+    }
+    let mut rule_counts: HashMap<Symbol, usize> = HashMap::new();
+    count_vars_head(&new.head, &mut rule_counts);
+    for t in &new.tail {
+        count_vars_tail(t, &mut rule_counts);
+    }
+    for (_, cond) in &m.extra_rest {
+        let mut cond_counts: HashMap<Symbol, usize> = HashMap::new();
+        count_vars_pattern(cond, &mut cond_counts);
+        for (v, n) in &cond_counts {
+            if rule_counts.get(v) != Some(n) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn count_vars_term(t: &Term, counts: &mut HashMap<Symbol, usize>) {
+    match t {
+        Term::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+        Term::Const(_) | Term::Param(_) => {}
+        Term::Func(_, args) => {
+            for a in args {
+                count_vars_term(a, counts);
+            }
+        }
+    }
+}
+
+fn count_vars_pattern(p: &Pattern, counts: &mut HashMap<Symbol, usize>) {
+    if let Some(v) = p.obj_var {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    if let Some(t) = &p.oid {
+        count_vars_term(t, counts);
+    }
+    count_vars_term(&p.label, counts);
+    if let Some(t) = &p.typ {
+        count_vars_term(t, counts);
+    }
+    match &p.value {
+        PatValue::Term(t) => count_vars_term(t, counts),
+        PatValue::Set(sp) => {
+            for e in &sp.elements {
+                match e {
+                    SetElem::Pattern(q) | SetElem::Wildcard(q) => count_vars_pattern(q, counts),
+                    SetElem::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+                }
+            }
+            if let Some(r) = &sp.rest {
+                *counts.entry(r.var).or_insert(0) += 1;
+                for c in &r.conditions {
+                    count_vars_pattern(c, counts);
+                }
+            }
+        }
+    }
+}
+
+fn count_vars_head(head: &Head, counts: &mut HashMap<Symbol, usize>) {
+    match head {
+        Head::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+        Head::Pattern(p) => count_vars_pattern(p, counts),
+    }
+}
+
+fn count_vars_tail(t: &TailItem, counts: &mut HashMap<Symbol, usize>) {
+    match t {
+        TailItem::Match { pattern, .. } => count_vars_pattern(pattern, counts),
+        TailItem::External { args, .. } => {
+            for a in args {
+                count_vars_term(a, counts);
+            }
+        }
+    }
 }
 
 /// Match a new pattern against a cached (candidate-general) one,
@@ -808,10 +903,27 @@ fn match_conditions(
 
 // ---- serving ------------------------------------------------------------
 
+/// What pass 1 of [`serve`] resolved for one extraction slot of one
+/// surviving row; pass 2 turns it into a [`BoundValue`] infallibly.
+enum Extraction {
+    /// Object-kind carrier: the (validated non-empty) set's first member.
+    Obj(oem::ObjId),
+    /// Scalar-kind set carrier: every member.
+    Set(Vec<oem::ObjId>),
+    /// Atomic carrier value.
+    Atom(Value),
+}
+
 /// Filter a cached answer through the mapping and extract binding rows
 /// for the new query's variables, deep-copying the surviving carriers
 /// into the chain's memory. `None` on any structural surprise — the
 /// caller treats that as "this entry cannot serve the query".
+///
+/// Two passes: every row is filtered and validated *before* anything is
+/// copied, so a structural surprise in a late row cannot leave earlier
+/// rows' objects orphaned in the chain's memory. (A bail-out here sends
+/// the query to the live path, where e.g. an empty Object-kind carrier
+/// raises the same hard error it always did.)
 fn serve(
     entry: &Entry,
     m: &Mapping,
@@ -841,7 +953,8 @@ fn serve(
         entry.extract.iter().find(|e| e.var == *rest_var)?;
     }
     let answer = &*entry.answer;
-    let mut rows = Vec::new();
+    // Pass 1: filter and validate, touching nothing but the cached answer.
+    let mut kept: Vec<Vec<Extraction>> = Vec::new();
     for &top in answer.top_level() {
         // σ filter: the carrier for a pinned variable must hold exactly
         // the pinned constant.
@@ -860,7 +973,8 @@ fn serve(
         }
         // Rest filters: some member of the carrier set must match each
         // extra condition (`wrappers/eval.rs`-style tail matching, the
-        // same semantics as the executor's RestFilter node).
+        // same semantics as the executor's RestFilter node; sound under
+        // empty bindings because the probe rejected non-local variables).
         if keep {
             for (rest_var, cond) in &m.extra_rest {
                 let carrier = find_carrier(answer, top, *rest_var)?;
@@ -879,25 +993,35 @@ fn serve(
         if !keep {
             continue;
         }
-        let mut row = Vec::with_capacity(vars.len());
+        let mut row = Vec::with_capacity(carrier_for.len());
         for (cached_var, kind) in &carrier_for {
             let carrier = find_carrier(answer, top, *cached_var)?;
-            let value = match (&answer.get(carrier).value, kind) {
-                (Value::Set(kids), VarKind::Object) => {
-                    let first = *kids.first()?;
-                    BoundValue::Obj(copy::deep_copy(answer, first, memory))
-                }
-                (Value::Set(kids), VarKind::Scalar) => BoundValue::ObjSet(
-                    kids.iter()
-                        .map(|&k| copy::deep_copy(answer, k, memory))
-                        .collect(),
-                ),
-                (atomic, _) => BoundValue::Atom(atomic.clone()),
+            let extraction = match (&answer.get(carrier).value, kind) {
+                (Value::Set(kids), VarKind::Object) => Extraction::Obj(*kids.first()?),
+                (Value::Set(kids), VarKind::Scalar) => Extraction::Set(kids.clone()),
+                (atomic, _) => Extraction::Atom(atomic.clone()),
             };
-            row.push(value);
+            row.push(extraction);
         }
-        rows.push(row);
+        kept.push(row);
     }
+    // Pass 2: every row validated — now copy into the chain's memory.
+    let rows = kept
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|e| match e {
+                    Extraction::Obj(id) => BoundValue::Obj(copy::deep_copy(answer, id, memory)),
+                    Extraction::Set(kids) => BoundValue::ObjSet(
+                        kids.iter()
+                            .map(|&k| copy::deep_copy(answer, k, memory))
+                            .collect(),
+                    ),
+                    Extraction::Atom(v) => BoundValue::Atom(v),
+                })
+                .collect()
+        })
+        .collect();
     Some(rows)
 }
 
@@ -1078,6 +1202,89 @@ mod tests {
         assert_eq!(kind, CacheHit::Containment);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Nick Naive")));
+    }
+
+    #[test]
+    fn rest_condition_sharing_a_query_variable_is_not_served() {
+        // <person {<name N> ... | R:{<boss N>}}>: the condition's N is the
+        // same variable the query binds to the name. Serving from the
+        // broad entry would filter each row by "rest has *any* boss"
+        // instead of "rest has a boss equal to this row's name" — a
+        // superset. The probe must reject, not serve wrongly.
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[
+            ("Joe Chung", &[("boss", "John Hennessy")]),
+            ("John Hennessy", &[("boss", "John Hennessy")]),
+        ]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        let narrow = q(
+            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+             <person {<name N> <dept 'CS'> | Rest1:{<boss N>}}>@whois",
+        );
+        let mut memory = ObjectStore::new();
+        assert!(
+            cache
+                .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+                .is_none(),
+            "a shared-variable rest condition must miss, never serve a superset"
+        );
+        assert_eq!(cache.counters().misses, 1);
+    }
+
+    #[test]
+    fn rest_conditions_sharing_a_variable_are_not_served() {
+        // Two extra conditions sharing X: the live matcher requires the
+        // SAME X to satisfy both; independent filtering would accept a
+        // row where different members satisfy each. Must reject.
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[("Joe Chung", &[("proj", "tsimmis"), ("backup", "lore")])]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        let narrow = q(
+            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+             <person {<name N> <dept 'CS'> | Rest1:{<proj X> <backup X>}}>@whois",
+        );
+        let mut memory = ObjectStore::new();
+        assert!(cache
+            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+            .is_none());
+    }
+
+    #[test]
+    fn rest_condition_with_local_variable_is_served() {
+        // A condition variable used nowhere else binds freely row-by-row
+        // in the live matcher too, so local filtering is sound.
+        let cache = AnswerCache::new(CacheOptions::enabled());
+        let answer = whois_answer(&[
+            ("Joe Chung", &[("relation", "employee")]),
+            ("Terry Torres", &[("office", "B1")]),
+        ]);
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        let narrow = q(
+            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+             <person {<name N> <dept 'CS'> | Rest1:{<relation R>}}>@whois",
+        );
+        let mut memory = ObjectStore::new();
+        let (rows, kind) = cache
+            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+            .expect("a purely local condition variable is servable");
+        assert_eq!(kind, CacheHit::Containment);
+        assert_eq!(rows.len(), 1, "only Joe has a relation member");
+        assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Joe Chung")));
     }
 
     #[test]

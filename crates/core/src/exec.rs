@@ -79,6 +79,13 @@ impl FaultRuntime {
 /// printed unfilled query, bound parameter tuple.
 type ParamKey = (Symbol, String, Vec<Value>);
 
+/// One memo slot per parameter tuple. The slot's own lock is held across
+/// the fetch — chains racing on the *same* tuple block and then reuse the
+/// one answer — while the map lock is released before any I/O, so
+/// distinct tuples and distinct sources fetch concurrently. A failed
+/// fetch leaves the slot empty; the next chain to need the tuple retries.
+type ParamSlot = Arc<parking_lot::Mutex<Option<Arc<ObjectStore>>>>;
+
 /// Everything one chain shares with its environment: sources, externals,
 /// fault machinery, shared memo/cache, tracing flag.
 struct ChainCtx<'a> {
@@ -88,8 +95,9 @@ struct ChainCtx<'a> {
     /// Parameterized-query answers shared across every chain of this
     /// execution (same lock pattern as the circuit breaker): parallel
     /// chains sending the same bound tuple to the same source pay one
-    /// round-trip, not one each.
-    param_memo: &'a parking_lot::Mutex<HashMap<ParamKey, Arc<ObjectStore>>>,
+    /// round-trip, not one each. The map lock only guards slot creation;
+    /// the per-tuple [`ParamSlot`] locks are what serialize a fetch.
+    param_memo: &'a parking_lot::Mutex<HashMap<ParamKey, ParamSlot>>,
     cache: Option<&'a AnswerCache>,
     trace_on: bool,
 }
@@ -755,23 +763,25 @@ fn run_and_extract(
             counters.bindings_produced += rows.len();
             return Ok(rows);
         }
-        counters.cache_misses += 1;
-        *stats.cache_misses.entry(source).or_insert(0) += 1;
     }
     // Parameterized queries consult the per-execution shared memo: a
-    // sibling chain may already have fetched this exact tuple. The lock
-    // is held across the fetch so concurrent chains resolve the same
-    // tuple with exactly one round-trip.
+    // sibling chain may already have fetched this exact tuple. Only the
+    // tuple's own slot lock is held across the fetch — chains after the
+    // same tuple wait for the one round-trip; everything else proceeds.
     if let Some(skey) = shared_key {
-        let mut memo = ctx.param_memo.lock();
-        if let Some(store) = memo.get(&skey) {
+        let slot = {
+            let mut memo = ctx.param_memo.lock();
+            Arc::clone(memo.entry(skey).or_default())
+        };
+        let mut filled = slot.lock();
+        if let Some(store) = filled.as_ref() {
             let store = Arc::clone(store);
-            drop(memo);
+            drop(filled);
             return extract_rows(&store, vars, memory, counters);
         }
         let result = Arc::new(fetch_store(source, query, vars, ctx, stats, counters)?);
-        memo.insert(skey, Arc::clone(&result));
-        drop(memo);
+        *filled = Some(Arc::clone(&result));
+        drop(filled);
         return extract_rows(&result, vars, memory, counters);
     }
     let result = fetch_store(source, query, vars, ctx, stats, counters)?;
@@ -795,6 +805,13 @@ fn fetch_store(
         .ok_or_else(|| MedError::UnknownSource(source.as_str()))?;
     *stats.source_calls.entry(source).or_insert(0) += 1;
     counters.source_calls += 1;
+    // A cache miss is an actual round-trip, counted here rather than at
+    // lookup time: a shared-memo hit pays no fetch and must not inflate
+    // the trace's miss counters.
+    if ctx.cache.is_some_and(|c| c.enabled_for(source)) {
+        counters.cache_misses += 1;
+        *stats.cache_misses.entry(source).or_insert(0) += 1;
+    }
     let result = match query_with_retry(wrapper, source, query, ctx, stats) {
         Ok(result) => {
             // Only an answer that survived retries AND its deadline gets
