@@ -263,6 +263,7 @@ fn fig36() {
         registry: &reg,
         stats: &stats,
         options: &options,
+        analysis: None,
     };
     let physical = plan(&program, &ctx).unwrap();
     println!("{}", explain::render_plan(&physical));

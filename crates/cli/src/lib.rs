@@ -47,7 +47,10 @@ pub struct Config {
     /// Run speclint on the specification instead of querying
     /// (`medmaker lint SPEC`).
     pub lint: bool,
-    /// Emit lint diagnostics as JSON (`--json`, lint mode only).
+    /// Run the whole-spec dataflow analysis on the specification instead
+    /// of querying (`medmaker check SPEC`).
+    pub check: bool,
+    /// Emit diagnostics as JSON (`--json`, lint/check modes only).
     pub json: bool,
     /// Explain subcommand (`medmaker explain --spec FILE ... QUERY`).
     pub explain_cmd: bool,
@@ -82,6 +85,7 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
                 [--cache] [--cache-capacity N] [--cache-ttl-ms MS]
                 [--cache-stale-ok] [QUERY]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
+       medmaker check SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
 
   --spec FILE       MSL mediator specification
@@ -118,6 +122,15 @@ lint mode runs every speclint diagnostic pass over SPEC and exits with
 sources (--oem/--csv) additionally checks the rules against their
 declared capabilities; --json prints machine-readable diagnostics.
 
+check mode runs lint plus the whole-spec dataflow analysis (specflow):
+interprocedural type inference over the view dependency graph against the
+registered sources' schema summaries, dead-view liveness, and per-view
+answerability matrices derived from the sources' capabilities. It prints
+every finding (type-mismatched joins E301, unanswerable views E302,
+unknown labels W301, dead views W302, plus all lint codes) followed by
+the inferred answerability of each view, and exits 0/1/2 like lint.
+--json prints one object with \"diagnostics\" and \"views\" arrays.
+
 explain mode prints the view expansion, the physical datamerge plan and a
 traced run of QUERY. With --analyze the run is rendered EXPLAIN
 ANALYZE-style: every node annotated with observed rows-in/rows-out next to
@@ -135,6 +148,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
     if it.peek().map(String::as_str) == Some("lint") {
         it.next();
         cfg.lint = true;
+    } else if it.peek().map(String::as_str) == Some("check") {
+        it.next();
+        cfg.check = true;
     } else if it.peek().map(String::as_str) == Some("explain") {
         it.next();
         cfg.explain_cmd = true;
@@ -195,7 +211,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
             "--cache-stale-ok" => cfg.cache_stale_ok = true,
             "--explain" => cfg.explain = true,
             "--lorel" => cfg.lorel = true,
-            "--json" if cfg.lint => cfg.json = true,
+            "--json" if cfg.lint || cfg.check => cfg.json = true,
             "--analyze" if cfg.explain_cmd => cfg.analyze = true,
             "--trace-json" if cfg.explain_cmd => {
                 let v = it.next().ok_or("--trace-json needs a PATH argument")?;
@@ -204,8 +220,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             q if !q.starts_with("--") => {
-                // In lint mode the positional argument is the spec file.
-                if cfg.lint {
+                // In lint/check mode the positional argument is the spec
+                // file.
+                if cfg.lint || cfg.check {
                     if cfg.spec_path.is_some() {
                         return Err("more than one spec file given".to_string());
                     }
@@ -223,6 +240,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
     if cfg.spec_path.is_none() {
         let what = if cfg.lint {
             "lint needs a SPEC file"
+        } else if cfg.check {
+            "check needs a SPEC file"
         } else {
             "--spec is required"
         };
@@ -412,6 +431,122 @@ fn diag_json(d: &msl::Diagnostic, source: &str) -> serde::Value {
         ("line".to_string(), serde::Value::Int(line as i64)),
         ("col".to_string(), serde::Value::Int(col as i64)),
     ])
+}
+
+/// Run `medmaker check SPEC`: lint plus the whole-spec dataflow analysis
+/// ([`medmaker::analysis`]). Prints every diagnostic and the per-view
+/// answerability summary (or one JSON object with `--json`), and returns
+/// the process exit code — 0 clean, 1 warnings only, 2 errors. A
+/// specification that cannot be read or parsed is reported and exits 2.
+pub fn run_check(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
+    let spec_path = cfg.spec_path.as_ref().expect("validated by parse_args");
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    let sources = load_sources(cfg)?;
+    let infos: BTreeMap<oem::Symbol, medmaker::SourceInfo> = sources
+        .iter()
+        .map(|w| (w.name(), medmaker::SourceInfo::of_wrapper(w.as_ref())))
+        .collect();
+    let (_, diags, analysis) = match medmaker::analysis::check_text(&spec_text, &cfg.name, &infos) {
+        Ok(r) => r,
+        Err(e) => {
+            // A specification that does not lex/parse cannot be analyzed.
+            if cfg.json {
+                let v = serde::Value::Object(vec![(
+                    "error".to_string(),
+                    serde::Value::Str(e.to_string()),
+                )]);
+                let text = serde_json::to_string(&v).map_err(|e| e.to_string())?;
+                writeln!(out, "{text}").map_err(|e| e.to_string())?;
+            } else {
+                writeln!(out, "{e}").map_err(|e| e.to_string())?;
+            }
+            return Ok(2);
+        }
+    };
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+    // One row per view, sorted by name for stable output (Symbol's own
+    // order is interning order).
+    let mut views: Vec<(String, &medmaker::AnswerMatrix)> = analysis
+        .matrices
+        .iter()
+        .map(|(v, m)| (v.as_str(), m))
+        .collect();
+    views.sort_by(|a, b| a.0.cmp(&b.0));
+    if cfg.json {
+        let view_values = views
+            .iter()
+            .map(|(name, m)| {
+                serde::Value::Object(vec![
+                    ("view".to_string(), serde::Value::Str(name.clone())),
+                    (
+                        "attributes".to_string(),
+                        serde::Value::Array(
+                            m.attributes()
+                                .iter()
+                                .map(|a| serde::Value::Str(a.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "answerable".to_string(),
+                        serde::Value::Array(
+                            m.feasible_adornments()
+                                .into_iter()
+                                .map(serde::Value::Str)
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "dead".to_string(),
+                        serde::Value::Bool(analysis.dead_views.iter().any(|d| d.as_str() == *name)),
+                    ),
+                ])
+            })
+            .collect();
+        let v = serde::Value::Object(vec![
+            (
+                "diagnostics".to_string(),
+                serde::Value::Array(diags.iter().map(|d| diag_json(d, &spec_text)).collect()),
+            ),
+            ("views".to_string(), serde::Value::Array(view_values)),
+        ]);
+        let text = serde_json::to_string_pretty(&v).map_err(|e| e.to_string())?;
+        writeln!(out, "{text}").map_err(|e| e.to_string())?;
+    } else {
+        for d in &diags {
+            writeln!(out, "{}", d.render(&spec_text)).map_err(|e| e.to_string())?;
+        }
+        for (name, m) in &views {
+            let attrs: Vec<String> = m.attributes().iter().map(|a| a.as_str()).collect();
+            let dead = analysis.dead_views.iter().any(|d| d.as_str() == *name);
+            let status = if dead {
+                "dead (never derives an object)".to_string()
+            } else if m.is_empty() {
+                "unanswerable".to_string()
+            } else if m.attributes().is_empty() {
+                "answerable".to_string()
+            } else {
+                format!("answerable for {}", m.feasible_adornments().join(", "))
+            };
+            writeln!(out, "view '{name}' ({}): {status}", attrs.join(", "))
+                .map_err(|e| e.to_string())?;
+        }
+        writeln!(
+            out,
+            "{}: {errors} error(s), {warnings} warning(s)",
+            spec_path.display()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(if errors > 0 {
+        2
+    } else if warnings > 0 {
+        1
+    } else {
+        0
+    })
 }
 
 /// Run `medmaker explain ... QUERY`: print the expansion + plan + traced
@@ -860,6 +995,135 @@ mod tests {
         let end = span.get("end").unwrap().as_i64().unwrap();
         assert!(start < end, "{text}");
         assert_eq!(d.get("line").unwrap().as_i64(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_subcommand_parsed() {
+        let cfg = parse_args(argv("check spec.msl --json --name m")).unwrap();
+        assert!(cfg.check && cfg.json && !cfg.lint);
+        assert_eq!(cfg.spec_path.as_ref().unwrap().to_str(), Some("spec.msl"));
+        assert_eq!(cfg.name, "m");
+        // The spec file is required, and --json needs lint or check mode.
+        assert!(parse_args(argv("check")).is_err());
+    }
+
+    fn temp_oem_source(dir: &std::path::Path) -> std::path::PathBuf {
+        let oem_file = dir.join("src.oem");
+        std::fs::write(&oem_file, "<&p1, person, set, {<&n1, name, 'Ann'>}>\n").unwrap();
+        oem_file
+    }
+
+    #[test]
+    fn check_clean_spec_exits_zero_and_prints_matrix() {
+        let (dir, spec) = temp_spec("check-clean", "<v {<n N>}> :- <person {<name N>}>@src\n");
+        let oem_file = temp_oem_source(&dir);
+        let cfg = parse_args(argv(&format!(
+            "check {} --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run_check(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("view 'v' (n): answerable for f, b"), "{text}");
+        assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_flags_unknown_label_with_did_you_mean() {
+        // `nmae` is a typo for `name`, which the source's summary knows.
+        let (dir, spec) = temp_spec("check-w301", "<v {<n N>}> :- <person {<nmae N>}>@src\n");
+        let oem_file = temp_oem_source(&dir);
+        let cfg = parse_args(argv(&format!(
+            "check {} --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run_check(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("warning[W301]"), "{text}");
+        assert!(text.contains("did you mean 'name'"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_flags_impossible_constant_as_error() {
+        // `name` holds strings in the source; matching the integer 5
+        // against it is provably empty.
+        let (dir, spec) = temp_spec(
+            "check-e301",
+            "<v {<n N>}> :- <person {<name 5> <name N>}>@src\n",
+        );
+        let oem_file = temp_oem_source(&dir);
+        let cfg = parse_args(argv(&format!(
+            "check {} --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run_check(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 2, "{text}");
+        assert!(text.contains("error[E301]"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_json_has_diagnostics_and_views() {
+        let (dir, spec) = temp_spec("check-json", "<v {<n N>}> :- <person {<nmae N>}>@src\n");
+        let oem_file = temp_oem_source(&dir);
+        let cfg = parse_args(argv(&format!(
+            "check {} --json --oem src={}",
+            spec.display(),
+            oem_file.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run_check(&cfg, &mut out).unwrap();
+        assert_eq!(code, 1);
+        let text = String::from_utf8(out).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        let diags = v.get("diagnostics").unwrap().as_array().unwrap();
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.get("code").unwrap().as_str() == Some("W301")),
+            "{text}"
+        );
+        let views = v.get("views").unwrap().as_array().unwrap();
+        assert_eq!(views.len(), 1, "{text}");
+        assert_eq!(views[0].get("view").unwrap().as_str(), Some("v"));
+        assert_eq!(views[0].get("dead").unwrap().as_bool(), Some(false));
+        assert!(
+            !views[0]
+                .get("answerable")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .is_empty(),
+            "{text}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_unparseable_spec_exits_two() {
+        let (dir, spec) = temp_spec("check-bad", "<<< not msl\n");
+        let cfg = parse_args(argv(&format!("check {} --json", spec.display()))).unwrap();
+        let mut out = Vec::new();
+        let code = run_check(&cfg, &mut out).unwrap();
+        assert_eq!(code, 2);
+        let text = String::from_utf8(out).unwrap();
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        assert!(v.get("error").is_some(), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

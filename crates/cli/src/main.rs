@@ -26,6 +26,21 @@ fn main() {
             }
         }
     }
+    if cfg.check {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match medmaker_cli::run_check(&cfg, &mut out) {
+            Ok(code) => {
+                let _ = out.flush();
+                std::process::exit(code);
+            }
+            Err(msg) => {
+                let _ = out.flush();
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
     if cfg.explain_cmd {
         let stdout = std::io::stdout();
         let mut out = stdout.lock();

@@ -90,6 +90,53 @@ fn repl_round_trip() {
 }
 
 #[test]
+fn check_demo_spec_is_clean() {
+    let demo = demo_dir();
+    let out = Command::new(env!("CARGO_BIN_EXE_medmaker"))
+        .arg("check")
+        .arg(demo.join("med.msl"))
+        .arg("--oem")
+        .arg(format!("whois={}", demo.join("whois.oem").display()))
+        .arg("--csv")
+        .arg(format!("cs={}", demo.join("employee.csv").display()))
+        .arg("--csv")
+        .arg(format!("cs={}", demo.join("student.csv").display()))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+    assert!(stdout.contains("view 'cs_person'"), "{stdout}");
+    assert!(stdout.contains("answerable for"), "{stdout}");
+}
+
+#[test]
+fn check_broken_spec_exits_two_with_json_findings() {
+    let dir = std::env::temp_dir().join(format!("medmaker-check-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("bad.msl");
+    // `name` holds strings in whois.oem; matching 5 is provably empty.
+    std::fs::write(&spec, "<v {<n N>}> :- <person {<name 5> <name N>}>@whois\n").unwrap();
+    let demo = demo_dir();
+    let out = Command::new(env!("CARGO_BIN_EXE_medmaker"))
+        .arg("check")
+        .arg(&spec)
+        .arg("--json")
+        .arg("--oem")
+        .arg(format!("whois={}", demo.join("whois.oem").display()))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"E301\""), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let out = Command::new(env!("CARGO_BIN_EXE_medmaker"))
         .arg("--frobnicate")

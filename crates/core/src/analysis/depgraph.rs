@@ -1,0 +1,314 @@
+//! The view dependency graph and its SCC condensation.
+//!
+//! Nodes are the mediator's views (constant head labels); an edge `v → w`
+//! means some rule defining `v` references `<w ...>@mediator` in its tail.
+//! Recursive specifications produce cycles; Tarjan's algorithm condenses
+//! them into strongly connected components, and the inference pass
+//! processes SCCs in dependency order (callees first), iterating to
+//! fixpoint within each component.
+//!
+//! The same graph answers **derivational liveness** (`W302`): a rule can
+//! derive objects only if every internal view it references can; a view is
+//! live iff at least one of its rules can. The least fixpoint of that
+//! definition leaves exactly the views that are underivable — references
+//! to views no rule defines, and recursion with no base case — dead.
+
+use msl::diag::{codes, Diagnostic};
+use msl::{Head, Rule, Spec, SpecSpans, TailItem, Term};
+use oem::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One internal (self-)reference in a rule tail.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViewRef {
+    /// `<w ...>@mediator` with a constant label: references view `w`.
+    Named(Symbol),
+    /// A label variable: may reference any view (schema query).
+    Any,
+}
+
+/// The view dependency graph of one specification.
+pub struct ViewGraph {
+    /// View label → indices of its defining rules.
+    pub views: BTreeMap<Symbol, Vec<usize>>,
+    /// Per rule, its internal references.
+    pub refs: Vec<Vec<ViewRef>>,
+    /// SCCs of the view graph in reverse topological order (callees before
+    /// callers) — the processing order for inference.
+    pub sccs: Vec<Vec<Symbol>>,
+}
+
+/// The view a rule defines: the constant label of its head pattern.
+/// `Head::Var` re-export rules and label-variable heads define no named
+/// view and are skipped by the per-view passes.
+pub fn view_label(rule: &Rule) -> Option<Symbol> {
+    match &rule.head {
+        Head::Pattern(p) => match &p.label {
+            Term::Const(v) => v.as_str_sym(),
+            _ => None,
+        },
+        Head::Var(_) => None,
+    }
+}
+
+/// The internal references of one rule: tail matches annotated with the
+/// mediator's own name.
+pub fn internal_refs(rule: &Rule, mediator: Symbol) -> Vec<ViewRef> {
+    let mut out = Vec::new();
+    for item in &rule.tail {
+        let TailItem::Match {
+            pattern,
+            source: Some(s),
+        } = item
+        else {
+            continue;
+        };
+        if *s != mediator {
+            continue;
+        }
+        match &pattern.label {
+            Term::Const(v) => {
+                if let Some(l) = v.as_str_sym() {
+                    out.push(ViewRef::Named(l));
+                }
+            }
+            _ => out.push(ViewRef::Any),
+        }
+    }
+    out
+}
+
+impl ViewGraph {
+    /// Build the graph and condense it.
+    pub fn build(spec: &Spec, mediator: Symbol) -> ViewGraph {
+        let mut views: BTreeMap<Symbol, Vec<usize>> = BTreeMap::new();
+        let mut refs = Vec::with_capacity(spec.rules.len());
+        for (ri, rule) in spec.rules.iter().enumerate() {
+            if let Some(v) = view_label(rule) {
+                views.entry(v).or_default().push(ri);
+            }
+            refs.push(internal_refs(rule, mediator));
+        }
+        // Edges v → w for every Named reference (Any references every
+        // view, conservatively).
+        let nodes: Vec<Symbol> = views.keys().copied().collect();
+        let mut edges: BTreeMap<Symbol, BTreeSet<Symbol>> = BTreeMap::new();
+        for (&v, rules) in &views {
+            let out = edges.entry(v).or_default();
+            for &ri in rules {
+                for r in &refs[ri] {
+                    match r {
+                        ViewRef::Named(w) if views.contains_key(w) => {
+                            out.insert(*w);
+                        }
+                        ViewRef::Named(_) => {}
+                        ViewRef::Any => out.extend(nodes.iter().copied()),
+                    }
+                }
+            }
+        }
+        let sccs = tarjan(&nodes, &edges);
+        ViewGraph { views, refs, sccs }
+    }
+
+    /// Derivational liveness: report every dead view (`W302`) and return
+    /// the set. A rule is live iff each internal reference targets a live
+    /// view (label-variable references are conservatively assumed
+    /// satisfiable); a view is live iff some defining rule is live.
+    pub fn dead_views(
+        &self,
+        spec: &Spec,
+        spans: &SpecSpans,
+        out: &mut Vec<Diagnostic>,
+    ) -> BTreeSet<Symbol> {
+        let mut live: BTreeSet<Symbol> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for (&v, rules) in &self.views {
+                if live.contains(&v) {
+                    continue;
+                }
+                let derivable = rules.iter().any(|&ri| {
+                    self.refs[ri].iter().all(|r| match r {
+                        ViewRef::Named(w) => live.contains(w),
+                        ViewRef::Any => true,
+                    })
+                });
+                if derivable {
+                    live.insert(v);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let dead: BTreeSet<Symbol> = self
+            .views
+            .keys()
+            .copied()
+            .filter(|v| !live.contains(v))
+            .collect();
+        for &v in &dead {
+            let rules = &self.views[&v];
+            let first = rules[0];
+            // Name one underivable reference to guide the fix: an
+            // undefined view if any rule has one, else the recursion.
+            let undefined = rules.iter().find_map(|&ri| {
+                self.refs[ri].iter().find_map(|r| match r {
+                    ViewRef::Named(w) if !self.views.contains_key(w) => Some(*w),
+                    _ => None,
+                })
+            });
+            let help = match undefined {
+                Some(w) => format!("it references internal view '{w}', which no rule defines"),
+                None => "its recursion has no base case: every defining rule \
+                         depends on an underivable view"
+                    .to_string(),
+            };
+            out.push(
+                Diagnostic::warning(
+                    codes::DEAD_VIEW,
+                    spans.rule(first),
+                    format!("view '{v}' can never produce objects"),
+                )
+                .with_help(help),
+            );
+        }
+        let _ = spec;
+        dead
+    }
+}
+
+/// Tarjan's strongly-connected-components algorithm, emitting SCCs in
+/// reverse topological order — exactly the order the inference fixpoint
+/// wants (callees first). Recursion depth is bounded by the number of
+/// views, which is small.
+fn tarjan(nodes: &[Symbol], edges: &BTreeMap<Symbol, BTreeSet<Symbol>>) -> Vec<Vec<Symbol>> {
+    struct State<'a> {
+        edges: &'a BTreeMap<Symbol, BTreeSet<Symbol>>,
+        index: BTreeMap<Symbol, usize>,
+        lowlink: BTreeMap<Symbol, usize>,
+        on_stack: BTreeSet<Symbol>,
+        stack: Vec<Symbol>,
+        next: usize,
+        sccs: Vec<Vec<Symbol>>,
+    }
+    fn visit(st: &mut State<'_>, v: Symbol) {
+        st.index.insert(v, st.next);
+        st.lowlink.insert(v, st.next);
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack.insert(v);
+        let succs: Vec<Symbol> = st
+            .edges
+            .get(&v)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for w in succs {
+            if !st.index.contains_key(&w) {
+                visit(st, w);
+                let low = st.lowlink[&v].min(st.lowlink[&w]);
+                st.lowlink.insert(v, low);
+            } else if st.on_stack.contains(&w) {
+                let low = st.lowlink[&v].min(st.index[&w]);
+                st.lowlink.insert(v, low);
+            }
+        }
+        if st.lowlink[&v] == st.index[&v] {
+            let mut comp = Vec::new();
+            while let Some(w) = st.stack.pop() {
+                st.on_stack.remove(&w);
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            st.sccs.push(comp);
+        }
+    }
+    let mut st = State {
+        edges,
+        index: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+    for &n in nodes {
+        if !st.index.contains_key(&n) {
+            visit(&mut st, n);
+        }
+    }
+    st.sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::sym;
+
+    fn graph(text: &str) -> (Spec, SpecSpans, ViewGraph) {
+        let (spec, spans) = msl::parse_spec_spanned(text).unwrap();
+        let g = ViewGraph::build(&spec, sym("med"));
+        (spec, spans, g)
+    }
+
+    #[test]
+    fn sccs_in_dependency_order() {
+        let (_, _, g) = graph(
+            "<a {<x X>}> :- <b {<x X>}>@med\n\
+             <b {<x X>}> :- <s {<x X>}>@src\n",
+        );
+        assert_eq!(g.sccs, vec![vec![sym("b")], vec![sym("a")]]);
+    }
+
+    #[test]
+    fn recursion_forms_one_component() {
+        let (_, _, g) = graph(
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+              AND <anc {<of Y> <is Z>}>@med\n",
+        );
+        assert_eq!(g.sccs.len(), 1);
+        assert_eq!(g.sccs[0], vec![sym("anc")]);
+    }
+
+    #[test]
+    fn dead_view_undefined_reference() {
+        let (spec, spans, g) = graph(
+            "<live {<n N>}> :- <person {<name N>}>@src\n\
+             <deadv {<n N>}> :- <ghost {<n N>}>@med\n",
+        );
+        let mut diags = Vec::new();
+        let dead = g.dead_views(&spec, &spans, &mut diags);
+        assert_eq!(dead, [sym("deadv")].into_iter().collect());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::DEAD_VIEW);
+        assert!(diags[0].help.as_deref().unwrap().contains("ghost"));
+    }
+
+    #[test]
+    fn recursion_without_base_case_is_dead() {
+        let (spec, spans, g) = graph("<anc {<x X>}> :- <anc {<x X>}>@med\n");
+        let mut diags = Vec::new();
+        let dead = g.dead_views(&spec, &spans, &mut diags);
+        assert_eq!(dead, [sym("anc")].into_iter().collect());
+        assert!(diags[0].message.contains("anc"));
+        assert!(diags[0].help.as_deref().unwrap().contains("base case"));
+    }
+
+    #[test]
+    fn recursion_with_base_case_is_live() {
+        let (spec, spans, g) = graph(
+            "<anc {<of X> <is Y>}> :- <parent {<of X> <is Y>}>@src\n\
+             <anc {<of X> <is Z>}> :- <parent {<of X> <is Y>}>@src \
+              AND <anc {<of Y> <is Z>}>@med\n",
+        );
+        let mut diags = Vec::new();
+        let dead = g.dead_views(&spec, &spans, &mut diags);
+        assert!(dead.is_empty(), "{dead:?}");
+        assert!(diags.is_empty());
+    }
+}

@@ -1,0 +1,643 @@
+//! Type/shape inference over rule bodies (specflow passes 2 and 3a).
+//!
+//! Walks every tail pattern against the referenced source's
+//! [`SchemaSummary`] (or, for self-references, the referenced view's
+//! inferred schema), recording a typed *occurrence* for every variable
+//! position. From the occurrences:
+//!
+//! * a rule's **variable types** are the meet of each variable's
+//!   occurrence types — a meet of `⊥` means two occurrences can never bind
+//!   the same value, i.e. the join is provably empty (`E301`);
+//! * the **view schema** of a rule's head is built by substituting the
+//!   inferred variable types into the head pattern, then joining the
+//!   contributions of all rules defining the view (fixpoint over the SCC
+//!   DAG for recursive specifications);
+//! * conditions and subpatterns on labels that a *closed* summary does not
+//!   contain can never match (`W301`, with a did-you-mean hint), and
+//!   constants whose type is incompatible with the label's value type are
+//!   provably-empty conditions (`E301`).
+
+use super::depgraph::ViewGraph;
+use super::SourceInfo;
+use msl::diag::{codes, Diagnostic, Span};
+use msl::{Head, PatValue, Pattern, Rule, SetElem, Spec, SpecSpans, TailItem, Term};
+use oem::Symbol;
+use std::collections::BTreeMap;
+use wrappers::{LabelSummary, ValueType};
+
+/// Maximum nesting depth of inferred view schemas (prevents unbounded
+/// growth for recursive specifications that nest on every unfolding).
+const SCHEMA_DEPTH_CAP: usize = 6;
+
+/// Maximum pattern nesting depth the walker follows.
+const WALK_DEPTH_CAP: usize = 8;
+
+/// Fixpoint iteration cap per SCC (belt and braces — the depth cap already
+/// bounds the lattice height).
+const FIXPOINT_CAP: usize = 16;
+
+/// One typed occurrence of a variable in a rule tail.
+#[derive(Clone, Debug)]
+struct Occurrence {
+    var: Symbol,
+    ty: ValueType,
+    /// Where the type came from, for E301 messages — e.g. "value of
+    /// 'year' at source 'cs'".
+    what: String,
+}
+
+/// Walks rule tails against summaries, collecting occurrences and
+/// (optionally) label/constant diagnostics.
+struct Walker<'a> {
+    sources: &'a BTreeMap<Symbol, SourceInfo>,
+    views: &'a BTreeMap<Symbol, LabelSummary>,
+    mediator: Symbol,
+    occurrences: Vec<Occurrence>,
+    diags: Option<&'a mut Vec<Diagnostic>>,
+    span: Span,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        sources: &'a BTreeMap<Symbol, SourceInfo>,
+        views: &'a BTreeMap<Symbol, LabelSummary>,
+        mediator: Symbol,
+        diags: Option<&'a mut Vec<Diagnostic>>,
+    ) -> Walker<'a> {
+        Walker {
+            sources,
+            views,
+            mediator,
+            occurrences: Vec::new(),
+            diags,
+            span: Span::default(),
+        }
+    }
+
+    fn occ(&mut self, var: Symbol, ty: ValueType, what: String) {
+        if ty != ValueType::Top {
+            self.occurrences.push(Occurrence { var, ty, what });
+        }
+    }
+
+    fn push_diag(&mut self, d: Diagnostic) {
+        if let Some(out) = self.diags.as_deref_mut() {
+            out.push(d);
+        }
+    }
+
+    fn walk_rule(&mut self, rule: &Rule, spans: Option<(&SpecSpans, usize)>) {
+        for (ti, item) in rule.tail.iter().enumerate() {
+            let TailItem::Match { pattern, source } = item else {
+                continue;
+            };
+            self.span = spans.map(|(s, ri)| s.tail_item(ri, ti)).unwrap_or_default();
+            // Resolve the "parent" context the top-level pattern is matched
+            // in: a pseudo-object whose children are the source's top-level
+            // labels (or the mediator's views, for self-references).
+            let (src_desc, parent) = match source {
+                None => (String::new(), None),
+                Some(s) if *s == self.mediator => (
+                    format!("this mediator ('{s}')"),
+                    Some(LabelSummary {
+                        value_type: ValueType::Object,
+                        children: self.views.clone(),
+                        // Whether all views are known is the dead-view
+                        // pass's business; here absence proves nothing.
+                        open: true,
+                    }),
+                ),
+                Some(s) => match self.sources.get(s).and_then(|i| i.summary.clone()) {
+                    Some(sum) => (
+                        format!("source '{s}'"),
+                        Some(LabelSummary {
+                            value_type: ValueType::Object,
+                            children: sum.labels,
+                            open: sum.open,
+                        }),
+                    ),
+                    None => (format!("source '{s}'"), None),
+                },
+            };
+            self.walk_pattern(pattern, parent.as_ref(), &src_desc, true, WALK_DEPTH_CAP);
+        }
+    }
+
+    /// Walk one pattern whose enclosing object is described by `parent`
+    /// (`None` when nothing is known about the context).
+    fn walk_pattern(
+        &mut self,
+        p: &Pattern,
+        parent: Option<&LabelSummary>,
+        src: &str,
+        top: bool,
+        depth: usize,
+    ) {
+        if depth == 0 {
+            return;
+        }
+        // The label position: resolve this pattern's own context from the
+        // parent's children, diagnosing labels a closed parent lacks.
+        let ctx: Option<LabelSummary> = match &p.label {
+            Term::Const(v) => match v.as_str_sym() {
+                Some(l) => match parent {
+                    Some(par) => match par.children.get(&l) {
+                        Some(ls) => Some(ls.clone()),
+                        None => {
+                            if !par.open {
+                                self.unknown_label(l, par, src, top);
+                            }
+                            None
+                        }
+                    },
+                    None => None,
+                },
+                None => None,
+            },
+            Term::Var(v) => {
+                self.occ(*v, ValueType::Str, format!("label position at {src}"));
+                // A label variable ranges over every known sibling label.
+                parent.map(|par| {
+                    let mut merged = LabelSummary::bottom();
+                    merged.open = par.open;
+                    for ls in par.children.values() {
+                        merged = join_label(merged, ls);
+                    }
+                    merged
+                })
+            }
+            Term::Param(_) | Term::Func(..) => None,
+        };
+        let ctx = ctx.filter(|c| c.value_type != ValueType::Bottom);
+
+        if let Some(v) = p.obj_var {
+            if let Some(c) = &ctx {
+                self.occ(v, c.value_type, format!("object matched at {src}"));
+            }
+        }
+        if let Some(Term::Var(v)) = &p.oid {
+            self.occ(*v, ValueType::Oid, format!("oid position at {src}"));
+        }
+
+        let label_desc = match &p.label {
+            Term::Const(v) => v
+                .as_str_sym()
+                .map(|l| format!("'{l}'"))
+                .unwrap_or_else(|| "this label".to_string()),
+            _ => "this label".to_string(),
+        };
+
+        match &p.value {
+            PatValue::Term(Term::Var(v)) => {
+                if let Some(c) = &ctx {
+                    self.occ(*v, c.value_type, format!("value of {label_desc} at {src}"));
+                }
+            }
+            PatValue::Term(Term::Const(c)) => {
+                if let Some(cx) = &ctx {
+                    let vt = ValueType::of_value(c);
+                    if !vt.compatible(cx.value_type) {
+                        let d = Diagnostic::error(
+                            codes::TYPE_MISMATCH,
+                            self.span,
+                            format!(
+                                "condition on {label_desc} compares a constant of type \
+                                 {vt}, but {src} holds {} values there — it can never match",
+                                cx.value_type
+                            ),
+                        );
+                        self.push_diag(d);
+                    }
+                }
+            }
+            PatValue::Term(_) => {}
+            PatValue::Set(sp) => {
+                if let Some(cx) = &ctx {
+                    if !ValueType::Object.compatible(cx.value_type) {
+                        let d = Diagnostic::error(
+                            codes::TYPE_MISMATCH,
+                            self.span,
+                            format!(
+                                "pattern expects subobjects under {label_desc}, but {src} \
+                                 holds atomic {} values there — it can never match",
+                                cx.value_type
+                            ),
+                        );
+                        self.push_diag(d);
+                    }
+                }
+                let inner_parent = ctx.as_ref();
+                for e in &sp.elements {
+                    match e {
+                        SetElem::Pattern(inner) => {
+                            self.walk_pattern(inner, inner_parent, src, false, depth - 1);
+                        }
+                        // Wildcards match at any depth: no schema claims.
+                        SetElem::Wildcard(inner) => {
+                            self.walk_pattern(inner, None, src, false, depth - 1);
+                        }
+                        SetElem::Var(_) => {}
+                    }
+                }
+                if let Some(rest) = &sp.rest {
+                    for cond in &rest.conditions {
+                        self.walk_pattern(cond, inner_parent, src, false, depth - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn unknown_label(&mut self, l: Symbol, parent: &LabelSummary, src: &str, top: bool) {
+        let message = if top {
+            format!("{src} produces no top-level object labeled '{l}'")
+        } else {
+            format!("{src} produces no subobject labeled '{l}' here")
+        };
+        let mut d = Diagnostic::warning(codes::UNKNOWN_LABEL, self.span, message);
+        if let Some(best) = did_you_mean(&l.as_str(), parent.children.keys().map(|k| k.as_str())) {
+            d = d.with_help(format!("did you mean '{best}'?"));
+        }
+        self.push_diag(d);
+    }
+}
+
+/// The inferred type of each variable: the meet of its occurrence types.
+fn var_types(occurrences: &[Occurrence]) -> BTreeMap<Symbol, ValueType> {
+    let mut out = BTreeMap::new();
+    for o in occurrences {
+        let t = out.entry(o.var).or_insert(ValueType::Top);
+        *t = t.meet(o.ty);
+    }
+    out
+}
+
+/// The first pair of occurrences of one variable whose types are
+/// incompatible, if any.
+fn first_conflict(occurrences: &[Occurrence]) -> Option<(Occurrence, Occurrence)> {
+    let mut running: BTreeMap<Symbol, (ValueType, &Occurrence)> = BTreeMap::new();
+    for o in occurrences {
+        match running.get(&o.var) {
+            None => {
+                running.insert(o.var, (o.ty, o));
+            }
+            Some(&(ty, prev)) => {
+                let met = ty.meet(o.ty);
+                if met == ValueType::Bottom {
+                    return Some((prev.clone(), o.clone()));
+                }
+                // Remember the occurrence that narrowed the type, so the
+                // eventual conflict names the informative pair.
+                let witness = if met == ty { prev } else { o };
+                running.insert(o.var, (met, witness));
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// View-schema inference (pass 2)
+// ---------------------------------------------------------------------------
+
+/// Infer a schema for every view by fixpoint over the SCC DAG.
+pub fn infer_view_schemas(
+    spec: &Spec,
+    mediator: Symbol,
+    sources: &BTreeMap<Symbol, SourceInfo>,
+    graph: &ViewGraph,
+) -> BTreeMap<Symbol, LabelSummary> {
+    let mut schemas: BTreeMap<Symbol, LabelSummary> = BTreeMap::new();
+    for scc in &graph.sccs {
+        for _ in 0..FIXPOINT_CAP {
+            let mut changed = false;
+            for &v in scc {
+                let mut joined = LabelSummary::bottom();
+                for &ri in &graph.views[&v] {
+                    let rule = &spec.rules[ri];
+                    let mut w = Walker::new(sources, &schemas, mediator, None);
+                    w.walk_rule(rule, None);
+                    let types = var_types(&w.occurrences);
+                    if let Head::Pattern(p) = &rule.head {
+                        let contrib = head_value_summary(p, &types);
+                        joined = join_label(joined, &contrib);
+                    }
+                }
+                truncate(&mut joined, SCHEMA_DEPTH_CAP);
+                if schemas.get(&v) != Some(&joined) {
+                    schemas.insert(v, joined);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    schemas
+}
+
+/// The summary of the object a head pattern constructs, with inferred
+/// variable types substituted in.
+fn head_value_summary(p: &Pattern, types: &BTreeMap<Symbol, ValueType>) -> LabelSummary {
+    match &p.value {
+        PatValue::Term(Term::Var(v)) => {
+            LabelSummary::atomic(types.get(v).copied().unwrap_or(ValueType::Top))
+        }
+        PatValue::Term(Term::Const(c)) => LabelSummary::atomic(ValueType::of_value(c)),
+        PatValue::Term(_) => LabelSummary::atomic(ValueType::Top),
+        PatValue::Set(sp) => {
+            let mut out = LabelSummary::object(BTreeMap::new());
+            for e in &sp.elements {
+                match e {
+                    SetElem::Pattern(inner) | SetElem::Wildcard(inner) => match &inner.label {
+                        Term::Const(v) => match v.as_str_sym() {
+                            Some(l) => {
+                                let child = head_value_summary(inner, types);
+                                let merged = match out.children.remove(&l) {
+                                    Some(prev) => join_label(prev, &child),
+                                    None => child,
+                                };
+                                out.children.insert(l, merged);
+                            }
+                            None => out.open = true,
+                        },
+                        // A label variable or spliced set variable may add
+                        // arbitrary labels: the constructed object is open.
+                        _ => out.open = true,
+                    },
+                    SetElem::Var(_) => out.open = true,
+                }
+            }
+            if sp.rest.is_some() {
+                out.open = true;
+            }
+            out
+        }
+    }
+}
+
+/// Pointwise join of two label summaries (union of children, join of value
+/// types, or of openness).
+pub fn join_label(mut a: LabelSummary, b: &LabelSummary) -> LabelSummary {
+    a.value_type = a.value_type.join(b.value_type);
+    a.open |= b.open;
+    for (l, cb) in &b.children {
+        let merged = match a.children.remove(l) {
+            Some(ca) => join_label(ca, cb),
+            None => cb.clone(),
+        };
+        a.children.insert(*l, merged);
+    }
+    a
+}
+
+/// Cap a summary's nesting depth, marking truncated levels open.
+fn truncate(s: &mut LabelSummary, depth: usize) {
+    if depth == 0 {
+        if !s.children.is_empty() {
+            s.children.clear();
+            s.open = true;
+        }
+        return;
+    }
+    for c in s.children.values_mut() {
+        truncate(c, depth - 1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-rule diagnostics (pass 3a)
+// ---------------------------------------------------------------------------
+
+/// Emit `W301`/`E301` diagnostics for every rule: unknown labels,
+/// provably-empty conditions, and type-mismatched join variables.
+pub fn rule_diagnostics(
+    spec: &Spec,
+    spans: &SpecSpans,
+    mediator: Symbol,
+    sources: &BTreeMap<Symbol, SourceInfo>,
+    view_schemas: &BTreeMap<Symbol, LabelSummary>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (ri, rule) in spec.rules.iter().enumerate() {
+        let mut diags = Vec::new();
+        let mut w = Walker::new(sources, view_schemas, mediator, Some(&mut diags));
+        w.walk_rule(rule, Some((spans, ri)));
+        let occurrences = std::mem::take(&mut w.occurrences);
+        out.append(&mut diags);
+        if let Some((a, b)) = first_conflict(&occurrences) {
+            out.push(
+                Diagnostic::error(
+                    codes::TYPE_MISMATCH,
+                    spans.rule(ri),
+                    format!(
+                        "join variable '{}' has incompatible types: {} ({}) and {} ({})",
+                        a.var, a.ty, a.what, b.ty, b.what
+                    ),
+                )
+                .with_help(
+                    "the two occurrences can never bind the same value, so this \
+                     rule never produces results",
+                ),
+            );
+        }
+    }
+}
+
+/// Planner-facing variant: does this (logical, post-expansion) rule have a
+/// provable type conflict against the source summaries? Returns the reason.
+pub fn rule_type_conflict(
+    rule: &Rule,
+    mediator: Symbol,
+    sources: &BTreeMap<Symbol, SourceInfo>,
+) -> Option<String> {
+    let empty_views = BTreeMap::new();
+    let mut diags = Vec::new();
+    let mut w = Walker::new(sources, &empty_views, mediator, Some(&mut diags));
+    w.walk_rule(rule, None);
+    let occurrences = std::mem::take(&mut w.occurrences);
+    if let Some(d) = diags.iter().find(|d| d.is_error()) {
+        return Some(d.message.clone());
+    }
+    first_conflict(&occurrences).map(|(a, b)| {
+        format!(
+            "join variable '{}' has incompatible types: {} ({}) and {} ({})",
+            a.var, a.ty, a.what, b.ty, b.what
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Did-you-mean
+// ---------------------------------------------------------------------------
+
+/// The closest candidate within an edit-distance budget of `target`
+/// (at most 1 for short names, 2 for longer ones).
+pub fn did_you_mean(target: &str, candidates: impl Iterator<Item = String>) -> Option<String> {
+    let budget = if target.chars().count() <= 4 { 1 } else { 2 };
+    candidates
+        .filter_map(|c| {
+            let d = levenshtein(target, &c);
+            (d > 0 && d <= budget).then_some((d, c))
+        })
+        .min()
+        .map(|(_, c)| c)
+}
+
+/// Optimal-string-alignment edit distance over characters: insert, delete,
+/// substitute, and transpose adjacent characters each cost 1 (typos like
+/// `nmae` → `name` are distance 1).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut rows: Vec<Vec<usize>> = vec![(0..=b.len()).collect()];
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let mut d = (rows[i][j] + usize::from(ca != cb))
+                .min(rows[i][j + 1] + 1)
+                .min(row[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                d = d.min(rows[i - 1][j - 1] + 1);
+            }
+            row.push(d);
+        }
+        rows.push(row);
+    }
+    rows[a.len()][b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::sym;
+
+    fn scenario_sources() -> BTreeMap<Symbol, SourceInfo> {
+        let whois = wrappers::scenario::whois_wrapper();
+        let cs = wrappers::scenario::cs_wrapper();
+        [
+            (sym("whois"), SourceInfo::of_wrapper(&whois)),
+            (sym("cs"), SourceInfo::of_wrapper(&cs)),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn analyze(text: &str) -> (Vec<Diagnostic>, BTreeMap<Symbol, LabelSummary>) {
+        let (spec, spans) = msl::parse_spec_spanned(text).unwrap();
+        let sources = scenario_sources();
+        let graph = ViewGraph::build(&spec, sym("med"));
+        let schemas = infer_view_schemas(&spec, sym("med"), &sources, &graph);
+        let mut diags = Vec::new();
+        rule_diagnostics(&spec, &spans, sym("med"), &sources, &schemas, &mut diags);
+        (diags, schemas)
+    }
+
+    #[test]
+    fn ms1_is_clean_and_typed() {
+        let (diags, schemas) = analyze(wrappers::scenario::MS1);
+        assert!(diags.is_empty(), "{diags:?}");
+        let cs_person = schemas.get(&sym("cs_person")).unwrap();
+        assert_eq!(cs_person.value_type, ValueType::Object);
+        assert!(cs_person.open, "Rest splices make the view open");
+        assert_eq!(
+            cs_person.children.get(&sym("name")).unwrap().value_type,
+            ValueType::Str
+        );
+        assert_eq!(
+            cs_person.children.get(&sym("rel")).unwrap().value_type,
+            ValueType::Str
+        );
+    }
+
+    #[test]
+    fn type_mismatched_join_is_e301() {
+        // year is an integer at both sources; name/first_name are strings.
+        let (diags, _) = analyze(
+            "<v {<a A>}> :- <person {<name A>}>@whois \
+              AND <student {<year A>}>@cs\n",
+        );
+        let e: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::TYPE_MISMATCH)
+            .collect();
+        assert_eq!(e.len(), 1, "{diags:?}");
+        assert!(e[0].message.contains("'A'"), "{}", e[0].message);
+        assert!(e[0].message.contains("string") && e[0].message.contains("integer"));
+    }
+
+    #[test]
+    fn impossible_constant_condition_is_e301() {
+        let (diags, _) = analyze("<v {<n N>}> :- <student {<year 'three'> <first_name N>}>@cs\n");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == codes::TYPE_MISMATCH && d.message.contains("never match")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_label_gets_did_you_mean() {
+        let (diags, _) = analyze("<v {<n N>}> :- <person {<nmae N>}>@whois\n");
+        let w: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == codes::UNKNOWN_LABEL)
+            .collect();
+        assert_eq!(w.len(), 1, "{diags:?}");
+        assert!(
+            w[0].help.as_deref().unwrap().contains("'name'"),
+            "{:?}",
+            w[0]
+        );
+    }
+
+    #[test]
+    fn unknown_top_level_label_flagged() {
+        let (diags, _) = analyze("<v {<n N>}> :- <persom {<name N>}>@whois\n");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == codes::UNKNOWN_LABEL && d.message.contains("top-level")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn label_variables_and_open_summaries_make_no_claims() {
+        // R ranges over cs tables; first_name exists in both — no W301.
+        let (diags, _) =
+            analyze("<v {<f F>}> :- <R {<first_name F>}>@cs AND <person {<relation R>}>@whois\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn view_schema_flows_through_self_reference() {
+        let (diags, schemas) = analyze(
+            "<base {<y Y>}> :- <student {<year Y>}>@cs\n\
+             <top {<z Z>}> :- <base {<y Z>}>@med\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(
+            schemas.get(&sym("top")).unwrap().children[&sym("z")].value_type,
+            ValueType::Int
+        );
+    }
+
+    #[test]
+    fn did_you_mean_budget() {
+        let cands = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            did_you_mean("nmae", cands(&["name", "dept"]).into_iter()),
+            Some("name".to_string())
+        );
+        assert_eq!(
+            did_you_mean("zzz", cands(&["name", "dept"]).into_iter()),
+            None
+        );
+        // Exact matches are not suggestions.
+        assert_eq!(did_you_mean("name", cands(&["name"]).into_iter()), None);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+}

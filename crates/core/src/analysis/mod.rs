@@ -1,0 +1,162 @@
+//! specflow — whole-spec dataflow and type analysis.
+//!
+//! The paper's central claim is that mediators are *declarative
+//! specifications*; this module takes that literally and analyzes a full
+//! MSL spec **as a program** before any source is contacted. Where
+//! [`crate::lint`] checks each rule in isolation, specflow works
+//! interprocedurally over the **view dependency graph** (head view →
+//! views/sources referenced in tails, SCC-condensed for recursion) in four
+//! cooperating passes:
+//!
+//! 1. **Schema summaries** ([`wrappers::summary`]): each registered source
+//!    exports a shape summary — known labels plus a value type per label
+//!    from the lattice `⊥ < int/real/string/bool/oid/object < ⊤` — derived
+//!    from relational catalogs or semi-structured store contents.
+//! 2. **Type/shape inference** (`infer`): summaries are propagated
+//!    through rule bodies into view heads by fixpoint over the SCC DAG,
+//!    yielding an inferred [`wrappers::LabelSummary`] for every view.
+//! 3. **Cross-rule diagnostics**: type-mismatched join variables whose
+//!    occurrences have meet `⊥` (`E301` — the join is provably empty),
+//!    conditions/patterns on labels no source produces (`W301`, with a
+//!    did-you-mean edit-distance hint), dead views that can never derive
+//!    an object (`W302`), and statically unanswerable views whose
+//!    answerability matrix is empty (`E302`).
+//! 4. **Planner integration** (`answer`): the planner consults
+//!    [`SpecAnalysis::rule_infeasible`] to prune provably-empty or
+//!    capability-infeasible chains before execution.
+//!
+//! The per-view **answerability matrix** records which bound/free
+//! adornments of a view's attributes are feasible given the sources'
+//! declared [`Capabilities`] — in particular their
+//! `required_condition_labels` (form-based sources that refuse to
+//! enumerate, after Békés & Szeredi's binding-pattern restrictions).
+//!
+//! Run it via `medmaker check SPEC`, or automatically inside
+//! [`crate::Mediator::new`] (switched by `MediatorOptions::analysis`).
+
+mod answer;
+mod depgraph;
+mod infer;
+
+pub use answer::AnswerMatrix;
+
+use msl::diag::Diagnostic;
+use msl::{Spec, SpecSpans};
+use oem::Symbol;
+use std::collections::{BTreeMap, BTreeSet};
+use wrappers::{Capabilities, LabelSummary, SchemaSummary, Wrapper};
+
+/// What the analysis knows about one registered source: its declared
+/// capabilities and (optionally) its shape summary.
+#[derive(Clone, Debug)]
+pub struct SourceInfo {
+    /// The source's declared capabilities.
+    pub caps: Capabilities,
+    /// The source's shape summary, if it exports one.
+    pub summary: Option<SchemaSummary>,
+}
+
+impl SourceInfo {
+    /// Extract capabilities and summary from a wrapper.
+    pub fn of_wrapper(w: &dyn Wrapper) -> SourceInfo {
+        SourceInfo {
+            caps: w.capabilities().clone(),
+            summary: w.schema_summary(),
+        }
+    }
+}
+
+/// The result of analyzing a whole specification: inferred view schemas,
+/// liveness, and per-view answerability matrices. The planner keeps one of
+/// these around to prune infeasible chains.
+#[derive(Clone, Debug)]
+pub struct SpecAnalysis {
+    /// The mediator's own name (self-references in rule tails).
+    pub mediator: Symbol,
+    /// Inferred schema for every view (head label), from pass 2.
+    pub view_schemas: BTreeMap<Symbol, LabelSummary>,
+    /// Views that can never derive an object (pass 3's `W302`).
+    pub dead_views: BTreeSet<Symbol>,
+    /// Per-view answerability matrices (pass 3's `E302` when empty).
+    pub matrices: BTreeMap<Symbol, AnswerMatrix>,
+    /// What we know about each registered source.
+    sources: BTreeMap<Symbol, SourceInfo>,
+}
+
+impl SpecAnalysis {
+    /// What the analysis knows about source `s`.
+    pub fn source(&self, s: Symbol) -> Option<&SourceInfo> {
+        self.sources.get(&s)
+    }
+
+    /// If this (logical, post-expansion) rule provably produces nothing —
+    /// a type conflict against the source summaries, or a source whose
+    /// required conditions no evaluation order can satisfy — the reason.
+    /// The planner prunes such chains.
+    pub fn rule_infeasible(&self, rule: &msl::Rule) -> Option<String> {
+        if let Some(reason) = infer::rule_type_conflict(rule, self.mediator, &self.sources) {
+            return Some(reason);
+        }
+        answer::rule_unsatisfiable(rule, self.mediator, &self.sources)
+    }
+}
+
+/// Run the full specflow analysis. Returns the analysis result plus its
+/// diagnostics (unsorted; callers merge them with the lint findings and
+/// call [`msl::diag::sort`]).
+pub fn analyze_spec(
+    spec: &Spec,
+    spans: &SpecSpans,
+    mediator: Symbol,
+    sources: &BTreeMap<Symbol, SourceInfo>,
+) -> (SpecAnalysis, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+
+    // Pass 1+2: propagate source summaries through the SCC-condensed view
+    // dependency graph to infer every view's schema.
+    let graph = depgraph::ViewGraph::build(spec, mediator);
+    let view_schemas = infer::infer_view_schemas(spec, mediator, sources, &graph);
+
+    // Pass 3a: per-rule type and label diagnostics against summaries and
+    // the inferred view schemas.
+    infer::rule_diagnostics(spec, spans, mediator, sources, &view_schemas, &mut diags);
+
+    // Pass 3b: derivational liveness — dead views.
+    let dead_views = graph.dead_views(spec, spans, &mut diags);
+
+    // Pass 3c: answerability matrices per view.
+    let matrices = answer::view_matrices(spec, spans, mediator, sources, &graph, &mut diags);
+
+    (
+        SpecAnalysis {
+            mediator,
+            view_schemas,
+            dead_views,
+            matrices,
+            sources: sources.clone(),
+        },
+        diags,
+    )
+}
+
+/// Parse, lint **and** analyze a specification text — what `medmaker
+/// check` runs. The diagnostics are the union of every lint pass and every
+/// analysis pass, sorted for presentation. Lexer/parser failures abort and
+/// are returned as `Err`.
+pub fn check_text(
+    text: &str,
+    mediator: &str,
+    sources: &BTreeMap<Symbol, SourceInfo>,
+) -> Result<(Spec, Vec<Diagnostic>, SpecAnalysis), msl::MslError> {
+    let (spec, spans) = msl::parse_spec_spanned(text)?;
+    let med = Symbol::intern(mediator);
+    let caps: BTreeMap<Symbol, Capabilities> = sources
+        .iter()
+        .map(|(s, info)| (*s, info.caps.clone()))
+        .collect();
+    let mut diags = crate::lint::lint_spec_with_sources(&spec, &spans, med, &caps);
+    let (analysis, mut more) = analyze_spec(&spec, &spans, med, sources);
+    diags.append(&mut more);
+    msl::diag::sort(&mut diags);
+    Ok((spec, diags, analysis))
+}

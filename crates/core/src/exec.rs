@@ -934,6 +934,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let plan = plan(&program, &ctx).unwrap();
         execute(
@@ -1077,6 +1078,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let out = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
@@ -1130,6 +1132,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let out = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
@@ -1163,6 +1166,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let quiet = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
@@ -1201,6 +1205,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let seq = execute(
@@ -1279,6 +1284,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         plan(&program, &ctx).unwrap()
     }
@@ -1721,6 +1727,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let seq = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();

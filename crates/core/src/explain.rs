@@ -312,6 +312,7 @@ mod tests {
                 head: msl::Head::Var(sym("X")),
             }],
             dedup_results: true,
+            pruned: Vec::new(),
         });
         for frag in [
             "[query]",
@@ -351,6 +352,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let rendered = render_plan(&physical);
@@ -392,6 +394,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let outcome = execute(&physical, &srcs, &registry, &ExecOptions::default()).unwrap();
@@ -434,6 +437,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let cache = Arc::new(AnswerCache::new(CacheOptions::enabled()));
@@ -477,6 +481,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let physical = plan(&program, &ctx).unwrap();
         let outcome = execute(

@@ -155,6 +155,9 @@ pub struct PhysicalPlan {
     pub rules: Vec<RulePlan>,
     /// Apply final structural duplicate elimination across rule outputs.
     pub dedup_results: bool,
+    /// Chains the planner pruned because static analysis proved them empty
+    /// or capability-infeasible — one reason per pruned logical rule.
+    pub pruned: Vec<String>,
 }
 
 impl PhysicalPlan {

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod cache;
 pub mod error;
 pub mod exec;
@@ -55,6 +56,7 @@ pub mod stats;
 pub mod table;
 pub mod veao;
 
+pub use analysis::{AnswerMatrix, SourceInfo, SpecAnalysis};
 pub use cache::{AnswerCache, CacheCounters, CacheHit, CacheOptions};
 pub use error::{MedError, Result};
 pub use externals::ExternalRegistry;

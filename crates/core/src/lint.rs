@@ -86,134 +86,68 @@ fn capability_lints(
             }
             let Some(c) = caps.get(src) else { continue };
             let span = spans.tail_item(ri, ti);
-            pattern_caps(pattern, c, *src, span, out);
-        }
-    }
-}
-
-/// Collect-all mirror of [`Capabilities::check_pattern`], with the
-/// planner's compensation semantics folded in: a condition the planner
-/// would strip into a client-side filter is a warning, anything that would
-/// survive stripping and still violate the declaration is an error.
-fn pattern_caps(p: &Pattern, c: &Capabilities, src: Symbol, span: Span, out: &mut Vec<Diagnostic>) {
-    if !c.label_variables {
-        if let Term::Var(v) = &p.label {
-            out.push(
-                Diagnostic::error(
-                    codes::CAPABILITY_UNANSWERABLE,
-                    span,
-                    format!(
-                        "source '{src}' does not support label variables; \
-                         the schema query on '{v}' cannot be answered"
-                    ),
-                )
-                .with_help("replace the label variable with a constant label"),
-            );
-        }
-    }
-    let PatValue::Set(sp) = &p.value else { return };
-    for e in &sp.elements {
-        match e {
-            SetElem::Pattern(inner) => {
-                condition_caps(inner, c, src, span, out);
-                pattern_caps(inner, c, src, span, out);
-            }
-            SetElem::Wildcard(inner) => {
-                if !c.wildcards {
-                    out.push(
-                        Diagnostic::error(
-                            codes::CAPABILITY_UNANSWERABLE,
-                            span,
-                            format!(
-                                "source '{src}' does not support wildcard \
-                                 (any-depth) subpatterns"
-                            ),
-                        )
-                        .with_help("anchor the subpattern at a fixed path"),
-                    );
+            for v in c.pattern_violations(pattern, true) {
+                if let Some(d) = violation_diag(&v, *src, span) {
+                    out.push(d);
                 }
-                condition_caps(inner, c, src, span, out);
-                pattern_caps(inner, c, src, span, out);
             }
-            SetElem::Var(_) => {}
         }
-    }
-    if let Some(rest) = &sp.rest {
-        rest_caps(rest, c, src, span, out);
     }
 }
 
-fn rest_caps(
-    rest: &RestSpec,
-    c: &Capabilities,
-    src: Symbol,
-    span: Span,
-    out: &mut Vec<Diagnostic>,
-) {
-    for cond in &rest.conditions {
-        // A condition the source cannot evaluate by label gets stripped
-        // into a client-side filter (`ClientFilter::Rest`), so a source
-        // without rest-condition support never sees it.
-        if unsupported_condition_label(cond, c).is_some() {
-            condition_caps(cond, c, src, span, out);
-        } else if !c.rest_conditions {
-            out.push(
-                Diagnostic::error(
-                    codes::CAPABILITY_UNANSWERABLE,
-                    span,
-                    format!(
-                        "source '{src}' does not support conditions on rest \
-                         variables"
-                    ),
-                )
-                .with_help("move the condition into the explicit subpattern list"),
-            );
-        }
-        pattern_caps(cond, c, src, span, out);
-    }
-}
-
-/// `W201` for a condition (constant- or parameter-valued subpattern) on a
-/// label the source refuses to filter on: the planner strips it and the
-/// mediator compensates with a client-side filter, so the rule still works
-/// — just less efficiently than the spec author may expect.
-fn condition_caps(
-    p: &Pattern,
-    c: &Capabilities,
-    src: Symbol,
-    span: Span,
-    out: &mut Vec<Diagnostic>,
-) {
-    if let Some(label) = unsupported_condition_label(p, c) {
-        out.push(
-            Diagnostic::warning(
-                codes::CAPABILITY_COMPENSATED,
-                span,
-                format!(
-                    "source '{src}' cannot evaluate conditions on '{label}'; \
-                     the mediator will fetch unfiltered objects and apply a \
-                     client-side filter"
-                ),
-            )
-            .with_help(
-                "expect a full retrieval from this source for every query \
-                 through this rule",
+/// Render one structured [`CapViolation`] as a lint finding, with the
+/// planner's compensation semantics folded in: a condition the planner
+/// would strip into a client-side filter ([`CapViolation::compensable`])
+/// is a warning (`W201`); anything that would survive stripping and still
+/// violate the declaration is an error (`E202`). Missing *required*
+/// conditions are not reported per pattern — the planner can often satisfy
+/// them with a bind join, so the answerability analysis (`E302`) owns that
+/// judgement at the view level.
+fn violation_diag(v: &wrappers::CapViolation, src: Symbol, span: Span) -> Option<Diagnostic> {
+    use wrappers::CapViolation;
+    Some(match v {
+        CapViolation::ConditionLabel { label } => Diagnostic::warning(
+            codes::CAPABILITY_COMPENSATED,
+            span,
+            format!(
+                "source '{src}' cannot evaluate conditions on '{label}'; \
+                 the mediator will fetch unfiltered objects and apply a \
+                 client-side filter"
             ),
-        );
-    }
-}
-
-/// If `p` is a condition whose label the source cannot filter on, the label.
-fn unsupported_condition_label(p: &Pattern, c: &Capabilities) -> Option<Symbol> {
-    let is_condition = matches!(&p.value, PatValue::Term(Term::Const(_) | Term::Param(_)));
-    if !is_condition {
-        return None;
-    }
-    let Term::Const(v) = &p.label else {
-        return None;
-    };
-    let sym = v.as_str_sym()?;
-    c.unsupported_condition_labels.contains(&sym).then_some(sym)
+        )
+        .with_help(
+            "expect a full retrieval from this source for every query \
+             through this rule",
+        ),
+        CapViolation::LabelVariable { var } => Diagnostic::error(
+            codes::CAPABILITY_UNANSWERABLE,
+            span,
+            format!(
+                "source '{src}' does not support label variables; \
+                 the schema query on '{var}' cannot be answered"
+            ),
+        )
+        .with_help("replace the label variable with a constant label"),
+        CapViolation::Wildcard => Diagnostic::error(
+            codes::CAPABILITY_UNANSWERABLE,
+            span,
+            format!(
+                "source '{src}' does not support wildcard \
+                 (any-depth) subpatterns"
+            ),
+        )
+        .with_help("anchor the subpattern at a fixed path"),
+        CapViolation::RestConditions => Diagnostic::error(
+            codes::CAPABILITY_UNANSWERABLE,
+            span,
+            format!(
+                "source '{src}' does not support conditions on rest \
+                 variables"
+            ),
+        )
+        .with_help("move the condition into the explicit subpattern list"),
+        CapViolation::MissingRequiredCondition { .. } => return None,
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,12 @@ pub struct MediatorOptions {
     /// `--cache` every query pays its round-trips, exactly as before the
     /// cache existed.
     pub cache: CacheOptions,
+    /// Run the whole-spec dataflow analysis ([`crate::analysis`]) at
+    /// construction. Error-level findings (`E301`/`E302`) reject the
+    /// specification like lint errors; warnings join
+    /// [`Mediator::lint_warnings`], and the result feeds the planner's
+    /// infeasible-chain pruning. On by default.
+    pub analysis: bool,
 }
 
 impl Default for MediatorOptions {
@@ -59,6 +65,7 @@ impl Default for MediatorOptions {
             learn_stats: true,
             fault: crate::retry::FaultOptions::default(),
             cache: CacheOptions::default(),
+            analysis: true,
         }
     }
 }
@@ -89,6 +96,10 @@ pub struct Mediator {
     stats: RwLock<StatsCache>,
     caps: Capabilities,
     lint_warnings: Vec<msl::Diagnostic>,
+    /// Whole-spec analysis result ([`crate::analysis`]), computed at
+    /// construction when [`MediatorOptions::analysis`] is on. The planner
+    /// consults it to prune provably-empty chains.
+    analysis: Option<crate::analysis::SpecAnalysis>,
     /// The source-answer cache. Persists across queries (that is the
     /// point); rebuilt by [`Mediator::with_options`] so a reconfigured
     /// cache starts cold.
@@ -103,6 +114,26 @@ impl Mediator {
         spec_text: &str,
         sources: Vec<Arc<dyn Wrapper>>,
         registry: ExternalRegistry,
+    ) -> Result<Mediator> {
+        Mediator::new_with_options(
+            name,
+            spec_text,
+            sources,
+            registry,
+            MediatorOptions::default(),
+        )
+    }
+
+    /// Like [`Mediator::new`], but with an explicit option set — in
+    /// particular [`MediatorOptions::analysis`], which must be decided
+    /// before construction because the analysis runs (and can reject the
+    /// specification) while the mediator is built.
+    pub fn new_with_options(
+        name: &str,
+        spec_text: &str,
+        sources: Vec<Arc<dyn Wrapper>>,
+        registry: ExternalRegistry,
+        options: MediatorOptions,
     ) -> Result<Mediator> {
         let spec = MediatorSpec::parse(name, spec_text)?;
         spec.check_registry(&registry)?;
@@ -131,7 +162,31 @@ impl Mediator {
             diags.retain(|d| d.is_error());
             return Err(MedError::Lint(diags));
         }
-        let lint_warnings = diags;
+        let mut lint_warnings = diags;
+        // specflow (the whole-spec dataflow analysis): interprocedural type
+        // inference and answerability over the view dependency graph.
+        // Error-level findings mean a provably-empty join (`E301`) or a
+        // statically unanswerable view (`E302`) — rejected like lint
+        // errors; warnings join the lint warnings.
+        let analysis = if options.analysis {
+            let (parsed, spans) = msl::parse_spec_spanned(spec_text)?;
+            let infos: std::collections::BTreeMap<Symbol, crate::analysis::SourceInfo> = map
+                .iter()
+                .map(|(n, w)| (*n, crate::analysis::SourceInfo::of_wrapper(w.as_ref())))
+                .collect();
+            let (analysis, mut adiags) =
+                crate::analysis::analyze_spec(&parsed, &spans, spec.name, &infos);
+            if adiags.iter().any(|d| d.is_error()) {
+                adiags.retain(|d| d.is_error());
+                msl::diag::sort(&mut adiags);
+                return Err(MedError::Lint(adiags));
+            }
+            lint_warnings.append(&mut adiags);
+            msl::diag::sort(&mut lint_warnings);
+            Some(analysis)
+        } else {
+            None
+        };
         // Seed the statistics cache with whatever the wrappers offer.
         let mut stats = StatsCache::new();
         for (name, w) in &map {
@@ -144,7 +199,6 @@ impl Mediator {
         // pushed through view expansion soundly — see veao docs).
         let mut caps = Capabilities::full();
         caps.wildcards = false;
-        let options = MediatorOptions::default();
         let cache = Arc::new(AnswerCache::new(options.cache.clone()));
         Ok(Mediator {
             spec,
@@ -154,6 +208,7 @@ impl Mediator {
             stats: RwLock::new(stats),
             caps,
             lint_warnings,
+            analysis,
             cache,
         })
     }
@@ -170,8 +225,20 @@ impl Mediator {
     /// [`MediatorOptions::cache`] configuration, starting cold.
     pub fn with_options(mut self, options: MediatorOptions) -> Mediator {
         self.cache = Arc::new(AnswerCache::new(options.cache.clone()));
+        if !options.analysis {
+            // The analysis can only be *disabled* after construction: it
+            // runs while the mediator is built (use
+            // [`Mediator::new_with_options`] to skip it up front).
+            self.analysis = None;
+        }
         self.options = options;
         self
+    }
+
+    /// The whole-spec analysis result, when [`MediatorOptions::analysis`]
+    /// is on (the default).
+    pub fn analysis(&self) -> Option<&crate::analysis::SpecAnalysis> {
+        self.analysis.as_ref()
     }
 
     /// Drop every cached source answer for `source` — the explicit
@@ -227,6 +294,7 @@ impl Mediator {
                 registry: &self.registry,
                 stats: &stats,
                 options: &self.options.planner,
+                analysis: self.analysis.as_ref(),
             };
             plan(&program, &ctx)?
         };
@@ -301,6 +369,7 @@ impl Mediator {
                 registry: &self.registry,
                 stats: &stats,
                 options: &self.options.planner,
+                analysis: self.analysis.as_ref(),
             };
             plan(&program, &ctx)?
         };
@@ -352,6 +421,7 @@ impl Mediator {
                 registry: &self.registry,
                 stats: &stats,
                 options: &self.options.planner,
+                analysis: self.analysis.as_ref(),
             };
             plan(&program, &ctx)?
         };

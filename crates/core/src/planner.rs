@@ -44,6 +44,12 @@ pub struct PlannerOptions {
     /// Use statistics for join ordering; otherwise use only the
     /// most-conditions-first heuristic.
     pub use_stats: bool,
+    /// Prune chains [`crate::analysis::SpecAnalysis::rule_infeasible`]
+    /// proves empty (type-mismatched joins, unsatisfiable required
+    /// conditions) instead of executing them. Requires
+    /// [`PlanContext::analysis`]; pruning never changes answers, only
+    /// skips provably-empty work.
+    pub prune_infeasible: bool,
 }
 
 impl Default for PlannerOptions {
@@ -53,6 +59,7 @@ impl Default for PlannerOptions {
             prefer_bind_join: None,
             dedup: true,
             use_stats: true,
+            prune_infeasible: true,
         }
     }
 }
@@ -67,23 +74,42 @@ pub struct PlanContext<'a> {
     pub stats: &'a StatsCache,
     /// Planner knobs.
     pub options: &'a PlannerOptions,
+    /// The whole-spec analysis, when the mediator ran one — enables
+    /// infeasible-chain pruning.
+    pub analysis: Option<&'a crate::analysis::SpecAnalysis>,
 }
 
-/// Plan a whole logical program.
+/// Plan a whole logical program. When an analysis is available and
+/// [`PlannerOptions::prune_infeasible`] is on, chains the analysis proves
+/// empty are dropped up front (recorded in [`PhysicalPlan::pruned`]).
 pub fn plan(program: &LogicalProgram, ctx: &PlanContext) -> Result<PhysicalPlan> {
     let mut rules = Vec::with_capacity(program.rules.len());
+    let mut pruned = Vec::new();
     for rule in &program.rules {
+        if ctx.options.prune_infeasible {
+            if let Some(analysis) = ctx.analysis {
+                if let Some(reason) = analysis.rule_infeasible(rule) {
+                    pruned.push(reason);
+                    continue;
+                }
+            }
+        }
         rules.push(plan_rule(rule, ctx)?);
     }
     Ok(PhysicalPlan {
         rules,
         dedup_results: ctx.options.dedup,
+        pruned,
     })
 }
 
 struct Group {
     source: Symbol,
     patterns: Vec<Pattern>,
+    /// Required condition labels no pattern satisfies on its own — the
+    /// planner must order this group after one that binds the condition
+    /// variable and reach it by bind join ($param fills the condition).
+    missing_required: Vec<Symbol>,
 }
 
 /// A condition stripped out of a source query, to be applied client-side.
@@ -115,6 +141,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                     None => groups.push(Group {
                         source: *src,
                         patterns: vec![pattern.clone()],
+                        missing_required: Vec::new(),
                     }),
                 }
             }
@@ -151,24 +178,53 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                 )
             })
             .collect();
-        // After stripping, the source must accept what remains.
+        // After stripping, the source must accept what remains. A missing
+        // *required* condition is not fatal here: the planner can still
+        // satisfy it by bind join (a `$param` fills the condition), so it
+        // is recorded and resolved during join ordering instead.
+        let mut missing_required: Vec<Symbol> = Vec::new();
         for p in &patterns {
-            caps.check_pattern(p, true)
-                .map_err(|e| MedError::Planning(format!("source '{}': {e}", g.source)))?;
+            for v in caps.pattern_violations(p, true) {
+                match v {
+                    wrappers::CapViolation::MissingRequiredCondition { label } => {
+                        if !missing_required.contains(&label) {
+                            missing_required.push(label);
+                        }
+                    }
+                    other => {
+                        return Err(MedError::Planning(format!(
+                            "source '{}': {other}",
+                            g.source
+                        )))
+                    }
+                }
+            }
         }
         processed.push((
             Group {
                 source: g.source,
                 patterns,
+                missing_required,
             },
             filters,
         ));
     }
 
     // ---- join order ------------------------------------------------------
-    // Ascending estimated cardinality; most-conditions-first as the
-    // tie-breaker and as the whole story when statistics are unavailable.
+    // Groups whose source demands a condition no pattern supplies must run
+    // after a group that binds the condition variable, so they sort last.
+    // Within each class: ascending estimated cardinality, with
+    // most-conditions-first as the tie-breaker and as the whole story when
+    // statistics are unavailable.
     processed.sort_by(|(a, _), (b, _)| {
+        let class = a
+            .missing_required
+            .is_empty()
+            .cmp(&b.missing_required.is_empty())
+            .reverse();
+        if class != std::cmp::Ordering::Equal {
+            return class;
+        }
         let pa: Vec<&Pattern> = a.patterns.iter().collect();
         let pb: Vec<&Pattern> = b.patterns.iter().collect();
         let conds_a = condition_count(&pa);
@@ -335,6 +391,37 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                 .estimate_group(group.source, &group.patterns.iter().collect::<Vec<_>>())
         };
 
+        // A group with unmet required conditions (a form-based source's
+        // mandatory field) is only evaluable as a bind join whose `$param`
+        // slots fill those conditions — verify the params cover them.
+        let forced_bind = !group.missing_required.is_empty();
+        if forced_bind {
+            let fillable = caps.parameterized
+                && group.missing_required.iter().all(|&label| {
+                    group.patterns.iter().any(|p| {
+                        let PatValue::Set(sp) = &p.value else {
+                            return false;
+                        };
+                        sp.elements.iter().any(|e| match e {
+                            SetElem::Pattern(c) | SetElem::Wildcard(c) => {
+                                matches!(&c.label, Term::Const(v)
+                                    if v.as_str_sym() == Some(label))
+                                    && matches!(&c.value, PatValue::Term(Term::Var(v))
+                                        if param_vars.contains(v))
+                            }
+                            SetElem::Var(_) => false,
+                        })
+                    })
+                });
+            if !fillable {
+                return Err(MedError::Planning(format!(
+                    "source '{}' requires a bound condition on '{}', and no \
+                     evaluation order can supply one",
+                    group.source, group.missing_required[0]
+                )));
+            }
+        }
+
         if gi == 0 {
             let query = build_source_query(group.source, &group.patterns, &extract, &[]);
             nodes.push(Node::Query {
@@ -344,23 +431,24 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
             });
             running_est = est;
         } else {
-            let use_bind = !param_vars.is_empty()
-                && caps.parameterized
-                && match ctx.options.prefer_bind_join {
-                    Some(b) => b,
-                    // Bind join sends one source query per outer tuple. If
-                    // the source answers parameterized lookups cheaply
-                    // (indexed), compare cardinalities; if every call is a
-                    // scan, bind joins only pay off for tiny outers (the
-                    // per-call cost signal of §3.5).
-                    None => {
-                        if caps.parameterized_cheap {
-                            running_est <= est
-                        } else {
-                            running_est <= 8.0
+            let use_bind = forced_bind
+                || !param_vars.is_empty()
+                    && caps.parameterized
+                    && match ctx.options.prefer_bind_join {
+                        Some(b) => b,
+                        // Bind join sends one source query per outer tuple. If
+                        // the source answers parameterized lookups cheaply
+                        // (indexed), compare cardinalities; if every call is a
+                        // scan, bind joins only pay off for tiny outers (the
+                        // per-call cost signal of §3.5).
+                        None => {
+                            if caps.parameterized_cheap {
+                                running_est <= est
+                            } else {
+                                running_est <= 8.0
+                            }
                         }
-                    }
-                };
+                    };
             if use_bind {
                 let query =
                     build_source_query(group.source, &group.patterns, &extract, &param_vars);
@@ -699,6 +787,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         plan(&program, &ctx).unwrap()
     }
@@ -782,6 +871,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let order = |p: &PhysicalPlan| -> Vec<String> {
             p.rules[0]
@@ -877,6 +967,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let plan = plan(&program, &ctx).unwrap();
         // One of the two rules (the push-into-Rest1 one) gets a RestFilter.
@@ -932,6 +1023,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         let plan = plan(&program, &ctx).unwrap();
         let nodes = &plan.rules[0].nodes;
@@ -980,6 +1072,7 @@ mod tests {
             registry: &registry,
             stats: &stats,
             options: &options,
+            analysis: None,
         };
         assert!(matches!(
             plan(&program, &ctx),

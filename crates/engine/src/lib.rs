@@ -18,6 +18,8 @@
 //! (substitution application), [`containment`] (the containment check that
 //! justifies each unifier).
 
+#![warn(missing_docs)]
+
 pub mod bindings;
 pub mod construct;
 pub mod containment;

@@ -44,6 +44,12 @@ impl Schema {
         self.columns.iter().map(|(c, _)| c.as_str())
     }
 
+    /// `(column name, type)` pairs in order — the schema's full shape, for
+    /// exporting catalog summaries to the mediator's static analysis.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, ColType)> {
+        self.columns.iter().map(|(c, t)| (c.as_str(), *t))
+    }
+
     /// The index of a column.
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.columns.iter().position(|(c, _)| c == name)

@@ -145,6 +145,7 @@ impl PatValue {
 /// A set pattern `{elem elem ... | Rest}`.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct SetPattern {
+    /// The explicit member patterns before `|`.
     pub elements: Vec<SetElem>,
     /// The rest variable after `|`, if any.
     pub rest: Option<RestSpec>,
@@ -195,7 +196,9 @@ impl SetElem {
 /// conditions into rest variables, §3.3).
 #[derive(Clone, PartialEq, Debug)]
 pub struct RestSpec {
+    /// The rest variable binding the remaining subobjects.
     pub var: Symbol,
+    /// Conditions some member of the rest must satisfy.
     pub conditions: Vec<Pattern>,
 }
 
@@ -215,12 +218,19 @@ pub enum TailItem {
     /// Match a pattern against a source (or against the top-level result
     /// when `source` is `None`): `<person {...}>@whois`.
     Match {
+        /// The pattern to match.
         pattern: Pattern,
+        /// The source it is matched against, from the `@source` annotation.
         source: Option<Symbol>,
     },
     /// An external predicate atom `decomp(N, LN, FN)` — includes the
     /// built-in comparison predicates `eq/neq/lt/le/gt/ge`.
-    External { name: Symbol, args: Vec<Term> },
+    External {
+        /// The predicate name.
+        name: Symbol,
+        /// Its argument terms.
+        args: Vec<Term>,
+    },
 }
 
 impl TailItem {
@@ -242,7 +252,9 @@ impl TailItem {
 /// pattern.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Head {
+    /// A bare object variable: the rule exports matched objects verbatim.
     Var(Symbol),
+    /// A construction pattern building new objects.
     Pattern(Pattern),
 }
 
@@ -260,7 +272,9 @@ impl Head {
 /// "we use MSL as our query language").
 #[derive(Clone, PartialEq, Debug)]
 pub struct Rule {
+    /// What the rule constructs.
     pub head: Head,
+    /// The conjuncts that must hold.
     pub tail: Vec<TailItem>,
 }
 
@@ -312,22 +326,29 @@ impl Rule {
 /// returning the other two).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Adornment {
+    /// The argument must be bound when the predicate is called.
     Bound,
+    /// The argument may be free; the call binds it.
     Free,
 }
 
 /// One declaration line `decomp(bound, free, free) by name_to_lnfn`.
 #[derive(Clone, PartialEq, Debug)]
 pub struct ExternalDecl {
+    /// The predicate the declaration is for.
     pub pred: Symbol,
+    /// Bound/free pattern per argument position.
     pub adornment: Vec<Adornment>,
+    /// The host function implementing this adornment.
     pub func: Symbol,
 }
 
 /// A full mediator specification: rules plus external declarations.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Spec {
+    /// The mediator's rules.
     pub rules: Vec<Rule>,
+    /// External-predicate declarations.
     pub externals: Vec<ExternalDecl>,
 }
 

@@ -16,11 +16,14 @@ use std::fmt;
 /// A half-open byte range `[start, end)` into the source text.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Span {
+    /// First byte covered by the span.
     pub start: usize,
+    /// One past the last byte covered by the span.
     pub end: usize,
 }
 
 impl Span {
+    /// The span `[start, end)`.
     pub fn new(start: usize, end: usize) -> Span {
         Span { start, end }
     }
@@ -63,16 +66,19 @@ impl fmt::Display for Severity {
 pub struct Diagnostic {
     /// Stable machine-readable code, e.g. `"E014"`. See [`codes`].
     pub code: &'static str,
+    /// Whether the finding blocks mediator construction.
     pub severity: Severity,
     /// Byte range in the source this finding points at. The default span
     /// means "whole spec" (e.g. for an empty specification).
     pub span: Span,
+    /// Human-readable description of the finding.
     pub message: String,
     /// An optional suggestion for fixing the problem.
     pub help: Option<String>,
 }
 
 impl Diagnostic {
+    /// An error-severity finding.
     pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             code,
@@ -83,6 +89,7 @@ impl Diagnostic {
         }
     }
 
+    /// A warning-severity finding.
     pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
         Diagnostic {
             code,
@@ -93,11 +100,13 @@ impl Diagnostic {
         }
     }
 
+    /// Attach a fix suggestion.
     pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
         self.help = Some(help.into());
         self
     }
 
+    /// Is this an error-severity finding?
     pub fn is_error(&self) -> bool {
         self.severity == Severity::Error
     }
@@ -247,6 +256,21 @@ pub mod codes {
     /// Source cannot evaluate a condition; the mediator compensates by
     /// post-filtering (§3.5).
     pub const CAPABILITY_COMPENSATED: &str = "W201";
+    /// A join variable has incompatible inferred types across its
+    /// occurrences (meet = ⊥), so the join is provably empty (specflow).
+    pub const TYPE_MISMATCH: &str = "E301";
+    /// No bound/free adornment of an exported view is feasible given the
+    /// registered source capabilities: the view's answerability matrix is
+    /// empty (specflow).
+    pub const UNANSWERABLE_VIEW: &str = "E302";
+    /// A condition or pattern names a label no source schema produces
+    /// (specflow; the help carries a did-you-mean hint when a close label
+    /// exists).
+    pub const UNKNOWN_LABEL: &str = "W301";
+    /// A view has no possible derivation: every defining rule references an
+    /// internal view that is itself underivable — undefined, or recursive
+    /// with no base case (specflow).
+    pub const DEAD_VIEW: &str = "W302";
 }
 
 #[cfg(test)]

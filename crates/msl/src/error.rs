@@ -8,7 +8,9 @@ pub type Result<T> = std::result::Result<T, MslError>;
 /// A source position (1-based line and column).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Pos {
+    /// 1-based line number.
     pub line: usize,
+    /// 1-based column number (counting characters).
     pub col: usize,
 }
 
@@ -22,9 +24,19 @@ impl fmt::Display for Pos {
 #[derive(Clone, PartialEq, Debug)]
 pub enum MslError {
     /// Lexical error.
-    Lex { msg: String, pos: Pos },
+    Lex {
+        /// What went wrong.
+        msg: String,
+        /// Where it went wrong.
+        pos: Pos,
+    },
     /// Syntax error.
-    Parse { msg: String, pos: Pos },
+    Parse {
+        /// What went wrong.
+        msg: String,
+        /// Where it went wrong.
+        pos: Pos,
+    },
     /// Semantic validation error (range restriction, arity mismatch, ...).
     Validate(String),
 }

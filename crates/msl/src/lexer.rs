@@ -15,8 +15,11 @@ use oem::Value;
 /// byte-offset span for diagnostics).
 #[derive(Clone, PartialEq, Debug)]
 pub struct Token {
+    /// What kind of token this is.
     pub kind: TokenKind,
+    /// Line/column position for error messages.
     pub pos: Pos,
+    /// Byte-offset span for diagnostics.
     pub span: Span,
 }
 

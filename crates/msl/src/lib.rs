@@ -29,6 +29,8 @@
 //! Modules: [`ast`], [`lexer`], [`parser`], [`printer`], [`validate`],
 //! [`rename`], [`error`].
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod diag;
 pub mod error;

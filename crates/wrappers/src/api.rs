@@ -118,6 +118,14 @@ pub trait Wrapper: Send + Sync {
         None
     }
 
+    /// A shape summary of this source's exported objects (labels and value
+    /// types), for the mediator's whole-spec static analysis. `None` for
+    /// sources whose shape is unknown — the analysis then assumes nothing
+    /// about them.
+    fn schema_summary(&self) -> Option<crate::summary::SchemaSummary> {
+        None
+    }
+
     /// Answer an MSL query. Tail `Match` items must refer to this source
     /// (their `@source` annotation equal to `self.name()` or absent);
     /// external predicates are not evaluated by wrappers.

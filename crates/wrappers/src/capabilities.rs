@@ -8,10 +8,15 @@
 //! unsupported conditions on its own side (a client-side filter), the
 //! resolution sketched in the capabilities-based-rewriting companion paper
 //! \[PGH\].
+//!
+//! Checks report **all** violations of a query as structured
+//! [`CapViolation`] values (not just the first), so the mediator's lint
+//! can surface every capability problem in one pass.
 
 use msl::{PatValue, Pattern, Rule, SetElem, TailItem, Term};
 use oem::Symbol;
 use std::collections::BTreeSet;
+use std::fmt;
 
 /// What query features a source supports.
 #[derive(Clone, PartialEq, Debug)]
@@ -26,6 +31,13 @@ pub struct Capabilities {
     /// condition (value constants or bound variables). Conditions on these
     /// labels must stay in the mediator.
     pub unsupported_condition_labels: BTreeSet<Symbol>,
+    /// Subobject labels on which every query **must** carry a condition
+    /// (a constant or `$param` value). Models form-based facilities that
+    /// refuse to enumerate their contents — e.g. a whois front-end whose
+    /// form requires a name to search for (the binding-pattern
+    /// restrictions of Békés & Szeredi's integration system). Empty for
+    /// ordinary sources.
+    pub required_condition_labels: BTreeSet<Symbol>,
     /// Accepts parameterized (per-tuple) queries from the datamerge
     /// engine's parameterized-query node?
     pub parameterized: bool,
@@ -34,6 +46,70 @@ pub struct Capabilities {
     /// signal §3.5 says wrappers rarely provide: a bind join into a
     /// scan-based source costs a full scan per outer tuple.
     pub parameterized_cheap: bool,
+}
+
+/// One violation of a source's declared capabilities, found in a query.
+///
+/// [`CapViolation::compensable`] distinguishes violations the mediator can
+/// repair by stripping the condition into a client-side filter (§3.5's
+/// `year` example) from those that make the pattern unanswerable outright.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CapViolation {
+    /// A variable in a label position at a source without label-variable
+    /// (schema query) support.
+    LabelVariable {
+        /// The offending label variable.
+        var: Symbol,
+    },
+    /// A wildcard (any-depth) subpattern at a source without wildcard
+    /// support.
+    Wildcard,
+    /// A condition attached to a rest variable at a source that cannot
+    /// evaluate rest conditions.
+    RestConditions,
+    /// A condition (constant- or parameter-valued subpattern) on a label
+    /// the source refuses to filter on. Compensable: the planner strips
+    /// the condition and the mediator post-filters.
+    ConditionLabel {
+        /// The label the source cannot filter on.
+        label: Symbol,
+    },
+    /// The query carries no condition on a label the source requires one
+    /// on (a form-based source's mandatory input field).
+    MissingRequiredCondition {
+        /// The label that must be bound.
+        label: Symbol,
+    },
+}
+
+impl CapViolation {
+    /// Can the mediator repair this violation with a client-side filter?
+    pub fn compensable(&self) -> bool {
+        matches!(self, CapViolation::ConditionLabel { .. })
+    }
+}
+
+impl fmt::Display for CapViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapViolation::LabelVariable { var } => write!(
+                f,
+                "label variables not supported by this source (schema query on '{var}')"
+            ),
+            CapViolation::Wildcard => {
+                f.write_str("wildcard subpatterns not supported by this source")
+            }
+            CapViolation::RestConditions => {
+                f.write_str("rest-variable conditions not supported by this source")
+            }
+            CapViolation::ConditionLabel { label } => {
+                write!(f, "source cannot evaluate conditions on '{label}'")
+            }
+            CapViolation::MissingRequiredCondition { label } => {
+                write!(f, "source requires a bound condition on '{label}'")
+            }
+        }
+    }
 }
 
 impl Default for Capabilities {
@@ -50,6 +126,7 @@ impl Capabilities {
             wildcards: true,
             rest_conditions: true,
             unsupported_condition_labels: BTreeSet::new(),
+            required_condition_labels: BTreeSet::new(),
             parameterized: true,
             parameterized_cheap: false,
         }
@@ -63,6 +140,7 @@ impl Capabilities {
             wildcards: false,
             rest_conditions: true,
             unsupported_condition_labels: BTreeSet::new(),
+            required_condition_labels: BTreeSet::new(),
             parameterized: true,
             parameterized_cheap: false,
         }
@@ -74,69 +152,145 @@ impl Capabilities {
         self
     }
 
-    /// Check a whole query. `Err(reason)` names the first violation.
-    pub fn check_query(&self, q: &Rule) -> Result<(), String> {
+    /// Require every query to carry a condition on `label` (a mandatory
+    /// form field).
+    pub fn with_required_condition_on(mut self, label: Symbol) -> Capabilities {
+        self.required_condition_labels.insert(label);
+        self
+    }
+
+    /// All capability violations in a whole query, in pattern order.
+    pub fn query_violations(&self, q: &Rule) -> Vec<CapViolation> {
+        let mut out = Vec::new();
         for item in &q.tail {
             if let TailItem::Match { pattern, .. } = item {
-                self.check_pattern(pattern, true)?;
+                self.collect_pattern(pattern, true, &mut out);
             }
         }
-        Ok(())
+        out
+    }
+
+    /// All capability violations in one pattern. `top` marks a top-level
+    /// pattern, where required-condition labels are enforced.
+    pub fn pattern_violations(&self, p: &Pattern, top: bool) -> Vec<CapViolation> {
+        let mut out = Vec::new();
+        self.collect_pattern(p, top, &mut out);
+        out
+    }
+
+    /// Check a whole query. `Err(reasons)` lists **every** violation,
+    /// separated by `"; "`.
+    pub fn check_query(&self, q: &Rule) -> Result<(), String> {
+        render_violations(self.query_violations(q))
     }
 
     /// Check one pattern (recursively). `top` marks the top-level pattern,
     /// whose label is the "relation" position — label variables there are
     /// judged by the same switch.
-    pub fn check_pattern(&self, p: &Pattern, _top: bool) -> Result<(), String> {
-        if !self.label_variables && matches!(p.label, Term::Var(_)) {
-            return Err("label variables not supported by this source".into());
+    pub fn check_pattern(&self, p: &Pattern, top: bool) -> Result<(), String> {
+        render_violations(self.pattern_violations(p, top))
+    }
+
+    fn collect_pattern(&self, p: &Pattern, top: bool, out: &mut Vec<CapViolation>) {
+        if !self.label_variables {
+            if let Term::Var(v) = &p.label {
+                out.push(CapViolation::LabelVariable { var: *v });
+            }
         }
         if let PatValue::Set(sp) = &p.value {
             for e in &sp.elements {
                 match e {
                     SetElem::Pattern(inner) => {
-                        self.check_condition_label(inner)?;
-                        self.check_pattern(inner, false)?;
+                        self.collect_condition_label(inner, out);
+                        self.collect_pattern(inner, false, out);
                     }
                     SetElem::Wildcard(inner) => {
                         if !self.wildcards {
-                            return Err("wildcard subpatterns not supported by this source".into());
+                            out.push(CapViolation::Wildcard);
                         }
-                        self.check_condition_label(inner)?;
-                        self.check_pattern(inner, false)?;
+                        self.collect_condition_label(inner, out);
+                        self.collect_pattern(inner, false, out);
                     }
                     SetElem::Var(_) => {}
                 }
             }
             if let Some(rest) = &sp.rest {
-                if !rest.conditions.is_empty() && !self.rest_conditions {
-                    return Err("rest-variable conditions not supported by this source".into());
-                }
                 for c in &rest.conditions {
-                    self.check_condition_label(c)?;
-                    self.check_pattern(c, false)?;
+                    // A condition the source cannot evaluate by label gets
+                    // stripped into a client-side filter before the source
+                    // ever sees it, so report only the (compensable)
+                    // condition-label violation for it.
+                    if let Some(label) = self.unsupported_condition_label(c) {
+                        out.push(CapViolation::ConditionLabel { label });
+                    } else if !self.rest_conditions {
+                        out.push(CapViolation::RestConditions);
+                    }
+                    self.collect_pattern(c, false, out);
                 }
             }
         }
-        Ok(())
+        if top {
+            for &label in &self.required_condition_labels {
+                if !pattern_has_condition_on(p, label) {
+                    out.push(CapViolation::MissingRequiredCondition { label });
+                }
+            }
+        }
     }
 
-    /// A *condition* is a subpattern whose value is a constant (it filters).
-    /// Sources can refuse conditions on specific labels.
-    fn check_condition_label(&self, p: &Pattern) -> Result<(), String> {
-        let is_condition = matches!(&p.value, PatValue::Term(Term::Const(_)))
-            || matches!(&p.value, PatValue::Term(Term::Param(_)));
-        if !is_condition {
-            return Ok(());
+    /// A *condition* is a subpattern whose value is a constant or `$param`
+    /// (it filters). Sources can refuse conditions on specific labels.
+    fn collect_condition_label(&self, p: &Pattern, out: &mut Vec<CapViolation>) {
+        if let Some(label) = self.unsupported_condition_label(p) {
+            out.push(CapViolation::ConditionLabel { label });
         }
-        if let Term::Const(v) = &p.label {
-            if let Some(sym) = v.as_str_sym() {
-                if self.unsupported_condition_labels.contains(&sym) {
-                    return Err(format!("source cannot evaluate conditions on '{sym}'"));
-                }
-            }
-        }
+    }
+
+    /// If `p` is a condition whose label this source cannot filter on, the
+    /// label.
+    fn unsupported_condition_label(&self, p: &Pattern) -> Option<Symbol> {
+        condition_label(p).filter(|sym| self.unsupported_condition_labels.contains(sym))
+    }
+}
+
+/// If `p` is a condition (constant- or parameter-valued subpattern) with a
+/// constant label, that label.
+pub fn condition_label(p: &Pattern) -> Option<Symbol> {
+    let is_condition = matches!(&p.value, PatValue::Term(Term::Const(_) | Term::Param(_)));
+    if !is_condition {
+        return None;
+    }
+    let Term::Const(v) = &p.label else {
+        return None;
+    };
+    v.as_str_sym()
+}
+
+/// Does the top-level pattern `p` carry a condition on `label`, either as
+/// an explicit subpattern or as a rest condition?
+pub fn pattern_has_condition_on(p: &Pattern, label: Symbol) -> bool {
+    let PatValue::Set(sp) = &p.value else {
+        return false;
+    };
+    let elem_conditions = sp.elements.iter().filter_map(|e| match e {
+        SetElem::Pattern(inner) | SetElem::Wildcard(inner) => Some(inner),
+        SetElem::Var(_) => None,
+    });
+    let rest_conditions = sp.rest.iter().flat_map(|r| r.conditions.iter());
+    elem_conditions
+        .chain(rest_conditions)
+        .any(|c| condition_label(c) == Some(label))
+}
+
+fn render_violations(violations: Vec<CapViolation>) -> Result<(), String> {
+    if violations.is_empty() {
         Ok(())
+    } else {
+        Err(violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("; "))
     }
 }
 
@@ -151,6 +305,7 @@ mod tests {
         let c = Capabilities::full();
         let q = parse_query("X :- X:<V {* <year 3> | R:{<gpa 4>}}>@s").unwrap();
         c.check_query(&q).unwrap();
+        assert!(c.query_violations(&q).is_empty());
     }
 
     #[test]
@@ -177,5 +332,69 @@ mod tests {
         // The condition hidden inside rest conditions is also caught (Qw!).
         let qw = parse_query("X :- X:<person {<name N> | R:{<year 3>}}>@whois").unwrap();
         assert!(c.check_query(&qw).is_err());
+    }
+
+    #[test]
+    fn all_violations_are_collected_not_just_the_first() {
+        let c = Capabilities::restricted().without_condition_on(sym("year"));
+        let q = parse_query("X :- X:<V {<L W> <year 3> | R:{<gpa 4>}}>@s").unwrap();
+        let vs = c.query_violations(&q);
+        assert_eq!(
+            vs,
+            vec![
+                CapViolation::LabelVariable { var: sym("V") },
+                CapViolation::LabelVariable { var: sym("L") },
+                CapViolation::ConditionLabel { label: sym("year") },
+            ],
+            "{vs:?}"
+        );
+        // restricted() still supports rest conditions, so <gpa 4> is fine.
+        let err = c.check_query(&q).unwrap_err();
+        assert!(
+            err.contains("'V'") && err.contains("'L'") && err.contains("year"),
+            "{err}"
+        );
+        assert!(vs[2].compensable() && !vs[0].compensable());
+    }
+
+    #[test]
+    fn strippable_rest_condition_is_only_a_condition_label_violation() {
+        // Without rest-condition support, a rest condition the planner
+        // would strip anyway (unsupported label) reports as compensable.
+        let mut c = Capabilities::full().without_condition_on(sym("year"));
+        c.rest_conditions = false;
+        let q = parse_query("X :- X:<person {<name N> | R:{<year 3> <gpa 4>}}>@s").unwrap();
+        let vs = c.query_violations(&q);
+        assert_eq!(
+            vs,
+            vec![
+                CapViolation::ConditionLabel { label: sym("year") },
+                CapViolation::RestConditions,
+            ]
+        );
+    }
+
+    #[test]
+    fn required_condition_labels() {
+        let c = Capabilities::restricted().with_required_condition_on(sym("name"));
+        // Enumerating the form-based source without a name is refused...
+        let enumerate = parse_query("X :- X:<person {<dept 'CS'>}>@whois").unwrap();
+        let err = c.check_query(&enumerate).unwrap_err();
+        assert!(
+            err.contains("requires a bound condition on 'name'"),
+            "{err}"
+        );
+        // ...a constant condition satisfies it...
+        let by_const = parse_query("X :- X:<person {<name 'Joe Chung'>}>@whois").unwrap();
+        c.check_query(&by_const).unwrap();
+        // ...and so does a $param slot (bind-join parameterization) or a
+        // rest condition.
+        let by_param = parse_query("X :- X:<person {<name $n>}>@whois").unwrap();
+        c.check_query(&by_param).unwrap();
+        let by_rest = parse_query("X :- X:<person {<dept D> | R:{<name 'Joe'>}}>@whois").unwrap();
+        c.check_query(&by_rest).unwrap();
+        // A free variable on the label does not count as a condition.
+        let free = parse_query("X :- X:<person {<name N>}>@whois").unwrap();
+        assert!(c.check_query(&free).is_err());
     }
 }

@@ -267,6 +267,10 @@ impl Wrapper for FaultInjectingWrapper {
         Some(self.counters.snapshot())
     }
 
+    fn schema_summary(&self) -> Option<crate::summary::SchemaSummary> {
+        self.inner.schema_summary()
+    }
+
     fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError> {
         let call_index = self.calls.fetch_add(1, Ordering::Relaxed);
         self.counters.query_received();

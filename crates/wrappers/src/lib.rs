@@ -24,7 +24,12 @@
 //!   "whois" facility, Figure 2.3), evaluating full MSL patterns.
 //! * [`scenario`] — the paper's exact `cs` and `whois` sources plus the
 //!   MS1 specification text.
+//! * [`summary`] — per-source shape summaries ([`summary::SchemaSummary`])
+//!   exported through [`api::Wrapper::schema_summary`] for the mediator's
+//!   whole-spec static analysis (specflow).
 //! * [`workload`] — synthetic source generators for tests and benchmarks.
+
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod capabilities;
@@ -34,11 +39,13 @@ pub mod metrics;
 pub mod relational;
 pub mod scenario;
 pub mod semistructured;
+pub mod summary;
 pub mod workload;
 
 pub use api::{SourceStats, Wrapper, WrapperError};
-pub use capabilities::Capabilities;
+pub use capabilities::{CapViolation, Capabilities};
 pub use fault::{Clock, FaultInjectingWrapper, FaultKind, FaultPlan, SystemClock, VirtualClock};
 pub use metrics::{WrapperCounters, WrapperMetrics};
 pub use relational::RelationalWrapper;
 pub use semistructured::SemiStructuredWrapper;
+pub use summary::{LabelSummary, SchemaSummary, ValueType};

@@ -210,6 +210,10 @@ impl Wrapper for RelationalWrapper {
         Some(self.counters.snapshot())
     }
 
+    fn schema_summary(&self) -> Option<crate::summary::SchemaSummary> {
+        Some(crate::summary::SchemaSummary::from_catalog(&self.catalog))
+    }
+
     fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError> {
         self.counters.query_received();
         if let Err(e) = self.caps.check_query(q) {

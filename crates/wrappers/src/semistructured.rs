@@ -115,6 +115,10 @@ impl Wrapper for SemiStructuredSource {
         Some(self.counters.snapshot())
     }
 
+    fn schema_summary(&self) -> Option<crate::summary::SchemaSummary> {
+        Some(crate::summary::SchemaSummary::from_store(&self.store))
+    }
+
     fn query(&self, q: &Rule) -> Result<ObjectStore, WrapperError> {
         self.counters.query_received();
         if let Err(e) = self.caps.check_query(q) {

@@ -1,0 +1,308 @@
+//! Per-source shape summaries for whole-spec static analysis (specflow).
+//!
+//! A [`SchemaSummary`] describes the *shape* of the objects a source
+//! exports: which top-level labels exist, which subobject labels each can
+//! contain, and a value type per label drawn from a small flat lattice
+//! `⊥ < int/real/string/bool/oid/object < ⊤`. Relational wrappers derive
+//! summaries from their [`minidb::Catalog`] schemas (exact and closed);
+//! semi-structured wrappers derive them from the current store contents
+//! (exact for the data seen now). The mediator's analysis passes propagate
+//! these summaries through MSL rule bodies to infer view schemas, detect
+//! provably-empty joins and flag conditions on labels no source produces.
+
+use minidb::{Catalog, ColType};
+use oem::{ObjId, ObjectStore, Symbol, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Depth to which [`SchemaSummary::from_store`] explores nested sets.
+/// Beyond it the summary marks the level [`LabelSummary::open`], which the
+/// analysis treats as "anything may be below here".
+const STORE_DEPTH_CAP: usize = 6;
+
+/// The value-type lattice: `⊥` below the incomparable atomic/object types,
+/// `⊤` above them.
+///
+/// `join` is used when *building* summaries (a label holding both a string
+/// and an integer across objects summarizes to `⊤` — semi-structured
+/// irregularity, §2 of the paper); `meet` is used when *checking* joins (two
+/// occurrences of one variable with meet `⊥` can never bind the same value).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueType {
+    /// No possible value (empty).
+    Bottom,
+    /// An atomic integer.
+    Int,
+    /// An atomic real.
+    Real,
+    /// An atomic string.
+    Str,
+    /// An atomic boolean.
+    Bool,
+    /// An object identity (oid position).
+    Oid,
+    /// A set of subobjects.
+    Object,
+    /// Any value at all.
+    Top,
+}
+
+impl ValueType {
+    /// Least upper bound.
+    pub fn join(self, other: ValueType) -> ValueType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (ValueType::Bottom, b) => b,
+            (a, ValueType::Bottom) => a,
+            _ => ValueType::Top,
+        }
+    }
+
+    /// Greatest lower bound.
+    pub fn meet(self, other: ValueType) -> ValueType {
+        match (self, other) {
+            (a, b) if a == b => a,
+            (ValueType::Top, b) => b,
+            (a, ValueType::Top) => a,
+            _ => ValueType::Bottom,
+        }
+    }
+
+    /// Can a single value inhabit both types? (`meet ≠ ⊥`.)
+    pub fn compatible(self, other: ValueType) -> bool {
+        self.meet(other) != ValueType::Bottom
+    }
+
+    /// The type of a concrete OEM value.
+    pub fn of_value(v: &Value) -> ValueType {
+        match v {
+            Value::Str(_) => ValueType::Str,
+            Value::Int(_) => ValueType::Int,
+            Value::RealBits(_) => ValueType::Real,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Set(_) => ValueType::Object,
+        }
+    }
+
+    /// The type of a relational column.
+    pub fn of_coltype(t: ColType) -> ValueType {
+        match t {
+            ColType::Str => ValueType::Str,
+            ColType::Int => ValueType::Int,
+            ColType::Real => ValueType::Real,
+            ColType::Bool => ValueType::Bool,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ValueType::Bottom => "none",
+            ValueType::Int => "integer",
+            ValueType::Real => "real",
+            ValueType::Str => "string",
+            ValueType::Bool => "boolean",
+            ValueType::Oid => "oid",
+            ValueType::Object => "object",
+            ValueType::Top => "any",
+        })
+    }
+}
+
+/// What is known about the objects carrying one label.
+#[derive(Clone, PartialEq, Debug)]
+pub struct LabelSummary {
+    /// Join of the value types seen (or declared) under this label.
+    pub value_type: ValueType,
+    /// Known subobject labels, for set-valued objects.
+    pub children: BTreeMap<Symbol, LabelSummary>,
+    /// When `true`, `children` may be incomplete (depth cap reached, or the
+    /// shape is not fully known); absence of a label then proves nothing.
+    pub open: bool,
+}
+
+impl LabelSummary {
+    /// A leaf summary for an atomic type.
+    pub fn atomic(t: ValueType) -> LabelSummary {
+        LabelSummary {
+            value_type: t,
+            children: BTreeMap::new(),
+            open: false,
+        }
+    }
+
+    /// The empty (bottom) summary, ready to be joined into.
+    pub fn bottom() -> LabelSummary {
+        LabelSummary::atomic(ValueType::Bottom)
+    }
+
+    /// A set-valued summary with the given known children, closed.
+    pub fn object(children: BTreeMap<Symbol, LabelSummary>) -> LabelSummary {
+        LabelSummary {
+            value_type: ValueType::Object,
+            children,
+            open: false,
+        }
+    }
+}
+
+/// Shape summary of one source: its known top-level labels.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct SchemaSummary {
+    /// Top-level label → summary of the objects carrying it.
+    pub labels: BTreeMap<Symbol, LabelSummary>,
+    /// When `true`, `labels` may be incomplete and absence proves nothing.
+    pub open: bool,
+}
+
+impl SchemaSummary {
+    /// The summary of a relational catalog: one top-level (set-valued)
+    /// label per table, one atomic child per column. Exact and closed —
+    /// relational sources export precisely their schema.
+    pub fn from_catalog(catalog: &Catalog) -> SchemaSummary {
+        let mut labels = BTreeMap::new();
+        for table in catalog.tables() {
+            let schema = table.schema();
+            let children = schema
+                .columns()
+                .map(|(name, ty)| {
+                    (
+                        Symbol::intern(name),
+                        LabelSummary::atomic(ValueType::of_coltype(ty)),
+                    )
+                })
+                .collect();
+            labels.insert(
+                Symbol::intern(schema.name()),
+                LabelSummary::object(children),
+            );
+        }
+        SchemaSummary {
+            labels,
+            open: false,
+        }
+    }
+
+    /// The summary of a semi-structured store's current contents: every
+    /// top-level object contributes its label, value type and (recursively,
+    /// to a depth cap) its subobject labels. Closed with respect to the
+    /// data the source holds *now* — except that a store that is empty
+    /// right now summarizes as *open* (its future shape is unknown, so
+    /// absence proves nothing).
+    pub fn from_store(store: &ObjectStore) -> SchemaSummary {
+        let mut labels = BTreeMap::new();
+        for &t in store.top_level() {
+            add_object(&mut labels, store, t, STORE_DEPTH_CAP);
+        }
+        SchemaSummary {
+            open: labels.is_empty(),
+            labels,
+        }
+    }
+
+    /// The summary for `label`, if known.
+    pub fn label(&self, label: Symbol) -> Option<&LabelSummary> {
+        self.labels.get(&label)
+    }
+}
+
+fn add_object(
+    map: &mut BTreeMap<Symbol, LabelSummary>,
+    store: &ObjectStore,
+    id: ObjId,
+    depth: usize,
+) {
+    let obj = store.get(id);
+    let entry = map.entry(obj.label).or_insert_with(LabelSummary::bottom);
+    entry.value_type = entry.value_type.join(ValueType::of_value(&obj.value));
+    if matches!(obj.value, Value::Set(_)) {
+        if depth == 0 {
+            entry.open = true;
+        } else {
+            for &c in store.children(id) {
+                add_object(&mut entry.children, store, c, depth - 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oem::parser::parse_store;
+    use oem::sym;
+
+    #[test]
+    fn lattice_laws() {
+        use ValueType::*;
+        assert_eq!(Int.join(Int), Int);
+        assert_eq!(Int.join(Str), Top);
+        assert_eq!(Bottom.join(Real), Real);
+        assert_eq!(Int.meet(Int), Int);
+        assert_eq!(Int.meet(Str), Bottom);
+        assert_eq!(Top.meet(Oid), Oid);
+        assert!(Int.compatible(Top));
+        assert!(!Int.compatible(Str));
+        assert_eq!(Object.to_string(), "object");
+    }
+
+    #[test]
+    fn catalog_summary_is_exact_and_closed() {
+        let summary = SchemaSummary::from_catalog(&crate::scenario::cs_catalog());
+        assert!(!summary.open);
+        let student = summary.label(sym("student")).unwrap();
+        assert_eq!(student.value_type, ValueType::Object);
+        assert!(!student.open);
+        assert_eq!(
+            student.children.get(&sym("year")).unwrap().value_type,
+            ValueType::Int
+        );
+        assert_eq!(
+            student.children.get(&sym("last_name")).unwrap().value_type,
+            ValueType::Str
+        );
+        assert!(!student.children.contains_key(&sym("title")));
+        let employee = summary.label(sym("employee")).unwrap();
+        assert_eq!(employee.children.len(), 4);
+    }
+
+    #[test]
+    fn store_summary_joins_irregular_values() {
+        let store = parse_store(
+            "<&p1, person, set, {&n1,&y1}>
+               <&n1, name, string, 'Joe'>
+               <&y1, year, integer, 3>
+             <&p2, person, set, {&n2,&y2}>
+               <&n2, name, string, 'Nick'>
+               <&y2, year, string, 'senior'>",
+        )
+        .unwrap();
+        let summary = SchemaSummary::from_store(&store);
+        let person = summary.label(sym("person")).unwrap();
+        assert_eq!(person.value_type, ValueType::Object);
+        let name = person.children.get(&sym("name")).unwrap();
+        assert_eq!(name.value_type, ValueType::Str);
+        // Irregular: year is integer in one object, string in another.
+        let year = person.children.get(&sym("year")).unwrap();
+        assert_eq!(year.value_type, ValueType::Top);
+        assert!(summary.label(sym("robot")).is_none());
+    }
+
+    #[test]
+    fn whois_scenario_summary() {
+        let summary = SchemaSummary::from_store(crate::scenario::whois_wrapper().store());
+        let person = summary.label(sym("person")).unwrap();
+        for label in ["name", "dept", "relation", "e_mail"] {
+            assert_eq!(
+                person.children.get(&sym(label)).unwrap().value_type,
+                ValueType::Str,
+                "{label}"
+            );
+        }
+        assert_eq!(
+            person.children.get(&sym("year")).unwrap().value_type,
+            ValueType::Int
+        );
+    }
+}

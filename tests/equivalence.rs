@@ -63,6 +63,7 @@ fn options_matrix() -> Vec<MediatorOptions> {
                             prefer_bind_join: bind,
                             dedup: true,
                             use_stats,
+                            ..Default::default()
                         },
                         unify_mode,
                         ..Default::default()

@@ -1,0 +1,127 @@
+//! Planner-integrated answerability: the optimizer prunes rule chains the
+//! whole-spec analysis proves empty, the pruned chain count is pinned, and
+//! the answers are byte-identical with pruning on and off (only provably
+//! empty chains are ever dropped).
+
+use medmaker::planner::{plan, PlanContext, PlannerOptions};
+use medmaker::stats::StatsCache;
+use medmaker::{Mediator, MediatorOptions};
+use std::collections::HashMap;
+use std::sync::Arc;
+use wrappers::{SemiStructuredWrapper, Wrapper};
+
+/// Two sources whose `item.val` types disagree: `nums` holds integers,
+/// `words` holds strings. Each view rule alone is clean; only a query
+/// constant can make one of the expanded chains provably empty.
+const SPEC: &str = "\
+<v {<x X> <from F>}> :- <item {<val X>}>@nums AND <tag {<of F>}>@nums
+<v {<x X> <from F>}> :- <item {<val X>}>@words AND <tag {<of F>}>@words
+";
+
+fn source(name: &str, oem_text: &str) -> Arc<dyn Wrapper> {
+    let store = oem::parser::parse_store(oem_text).unwrap();
+    Arc::new(SemiStructuredWrapper::new(name, store))
+}
+
+fn sources() -> Vec<Arc<dyn Wrapper>> {
+    vec![
+        source(
+            "nums",
+            "<&i1, item, set, {<&v1, val, 7>}>\n\
+             <&t1, tag, set, {<&o1, of, 'nums'>}>\n",
+        ),
+        source(
+            "words",
+            "<&i2, item, set, {<&v2, val, 'seven'>}>\n\
+             <&t2, tag, set, {<&o2, of, 'words'>}>\n",
+        ),
+    ]
+}
+
+fn mediator(prune: bool) -> Mediator {
+    Mediator::new(
+        "med",
+        SPEC,
+        sources(),
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+    .with_options(MediatorOptions {
+        planner: PlannerOptions {
+            prune_infeasible: prune,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+}
+
+/// The query's constant `'seven'` conflicts with `nums`'s integer `val`
+/// summary once expanded into the first chain.
+const QUERY: &str = "A :- A:<v {<x 'seven'>}>@med";
+
+#[test]
+fn planner_prunes_exactly_the_provably_empty_chain() {
+    let med = mediator(true);
+    let query = msl::parse_query(QUERY).unwrap();
+    let program = med.expand(&query).unwrap();
+    assert_eq!(program.rules.len(), 2, "both view rules expand");
+
+    let source_map: HashMap<oem::Symbol, Arc<dyn Wrapper>> =
+        sources().into_iter().map(|w| (w.name(), w)).collect();
+    let registry = medmaker::externals::standard_registry();
+    let stats = StatsCache::new();
+
+    // With the analysis wired in, exactly the nums-chain is pruned.
+    let ctx = PlanContext {
+        sources: &source_map,
+        registry: &registry,
+        stats: &stats,
+        options: &PlannerOptions::default(),
+        analysis: med.analysis(),
+    };
+    let physical = plan(&program, &ctx).unwrap();
+    assert_eq!(physical.pruned.len(), 1, "{:?}", physical.pruned);
+    assert_eq!(physical.rules.len(), 1);
+    assert!(
+        physical.pruned[0].contains("nums") || physical.pruned[0].contains("val"),
+        "{:?}",
+        physical.pruned
+    );
+
+    // With pruning off, both chains survive.
+    let no_prune = PlannerOptions {
+        prune_infeasible: false,
+        ..Default::default()
+    };
+    let ctx = PlanContext {
+        sources: &source_map,
+        registry: &registry,
+        stats: &stats,
+        options: &no_prune,
+        analysis: med.analysis(),
+    };
+    let physical = plan(&program, &ctx).unwrap();
+    assert!(physical.pruned.is_empty());
+    assert_eq!(physical.rules.len(), 2);
+}
+
+#[test]
+fn answers_are_byte_identical_with_pruning_on_and_off() {
+    let with = mediator(true).query_text(QUERY).unwrap();
+    let without = mediator(false).query_text(QUERY).unwrap();
+    let render = |s: &oem::ObjectStore| oem::printer::print_store(s);
+    assert_eq!(render(&with), render(&without));
+    // And the surviving chain actually answers: one object from `words`.
+    assert_eq!(with.top_level().len(), 1);
+    assert!(render(&with).contains("'seven'"));
+    assert!(render(&with).contains("'words'"));
+}
+
+#[test]
+fn unconstrained_query_prunes_nothing() {
+    let med = mediator(true);
+    let all = med.query_text("A :- A:<v {}>@med").unwrap();
+    // Both chains are feasible without the conflicting constant: both
+    // sources answer.
+    assert_eq!(all.top_level().len(), 2);
+}

@@ -110,6 +110,7 @@ fn three_way_strategies_agree() {
                     pushdown,
                     use_stats,
                     dedup: true,
+                    ..Default::default()
                 });
                 let res = med.query_text("X :- X:<full_person {}>@m").unwrap();
                 assert_eq!(
