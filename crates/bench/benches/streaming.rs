@@ -1,0 +1,68 @@
+//! Streaming vs. materializing chain execution: the pull-based batched
+//! pipeline (ExecOptions::streaming) against the materialize-everything
+//! oracle on a scaled §2 person workload. Answers are byte-identical by
+//! construction (tests/streaming_equivalence.rs); this bench tracks what
+//! the restructuring costs or saves in end-to-end wall time at several
+//! batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use medmaker::{Mediator, MediatorOptions};
+use std::sync::Arc;
+use wrappers::scenario::MS1;
+use wrappers::workload::PersonWorkload;
+
+fn build(n: usize, streaming: bool, batch_size: usize) -> Mediator {
+    let (whois, cs) = PersonWorkload::sized(n).build();
+    Mediator::new(
+        "med",
+        MS1,
+        vec![Arc::new(whois), Arc::new(cs)],
+        medmaker::externals::standard_registry(),
+    )
+    .unwrap()
+    .with_options(MediatorOptions {
+        streaming,
+        batch_size,
+        learn_stats: false, // keep plans stable across iterations
+        ..Default::default()
+    })
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+    let n = 600usize;
+    // An open scan (whole view) and a selective year query: the scan is
+    // extraction-heavy, the year query filter-heavy.
+    for q in [
+        "P :- P:<cs_person {}>@med",
+        "S :- S:<cs_person {<year 3>}>@med",
+    ] {
+        let label = if q.contains("year") { "year" } else { "scan" };
+        let oracle = build(n, false, 1024);
+        let expect = oracle.query_text(q).unwrap().top_level().len();
+        group.bench_with_input(BenchmarkId::new(label, "materialized"), &(), |b, _| {
+            b.iter(|| {
+                let res = oracle.query_text(q).unwrap();
+                assert_eq!(res.top_level().len(), expect);
+            })
+        });
+        for batch in [64usize, 1024] {
+            let med = build(n, true, batch);
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("streaming_b{batch}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let res = med.query_text(q).unwrap();
+                        assert_eq!(res.top_level().len(), expect);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

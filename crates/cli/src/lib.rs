@@ -75,6 +75,11 @@ pub struct Config {
     /// Serve cached answers even while the source is down
     /// (`--cache-stale-ok`).
     pub cache_stale_ok: bool,
+    /// Use the materializing executor instead of streaming batches
+    /// (`--materialize`).
+    pub materialize: bool,
+    /// Rows per streamed batch (`--batch-size N`).
+    pub batch_size: Option<usize>,
 }
 
 /// Usage text.
@@ -83,7 +88,7 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
                 [--minimal] [--no-dedup] [--explain]
                 [--retries N] [--source-deadline-ms MS] [--partial]
                 [--cache] [--cache-capacity N] [--cache-ttl-ms MS]
-                [--cache-stale-ok] [QUERY]
+                [--cache-stale-ok] [--materialize] [--batch-size N] [QUERY]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker check SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
@@ -115,6 +120,9 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
   --cache-ttl-ms MS expire cached answers after MS milliseconds
   --cache-stale-ok  keep serving cached answers for a source that is
                     currently failing (default: refetch and degrade)
+  --materialize     run the materializing executor (full table per node)
+                    instead of streaming bounded batches
+  --batch-size N    rows per streamed batch (default: 1024)
   QUERY             a query; omit for an interactive session
 
 lint mode runs every speclint diagnostic pass over SPEC and exits with
@@ -209,6 +217,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
                 cfg.cache_ttl_ms = Some(ms);
             }
             "--cache-stale-ok" => cfg.cache_stale_ok = true,
+            "--materialize" => cfg.materialize = true,
+            "--batch-size" => {
+                let v = it.next().ok_or("--batch-size needs a number argument")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--batch-size expects a number, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--batch-size must be at least 1".to_string());
+                }
+                cfg.batch_size = Some(n);
+            }
             "--explain" => cfg.explain = true,
             "--lorel" => cfg.lorel = true,
             "--json" if cfg.lint || cfg.check => cfg.json = true,
@@ -332,6 +351,7 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         stale_ok: cfg.cache_stale_ok,
         ..Default::default()
     };
+    let defaults = MediatorOptions::default();
     Ok(med.with_options(MediatorOptions {
         planner: PlannerOptions {
             dedup: !cfg.no_dedup,
@@ -344,7 +364,9 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         },
         fault,
         cache,
-        ..Default::default()
+        streaming: !cfg.materialize && defaults.streaming,
+        batch_size: cfg.batch_size.unwrap_or(defaults.batch_size),
+        ..defaults
     }))
 }
 
@@ -773,6 +795,21 @@ mod tests {
         assert!(parse_args(argv("--spec s.msl --cache-capacity")).is_err());
         assert!(parse_args(argv("--spec s.msl --cache-ttl-ms forever")).is_err());
         assert!(parse_args(argv("--spec s.msl --cache-ttl-ms")).is_err());
+    }
+
+    #[test]
+    fn parse_streaming_flags() {
+        let cfg = parse_args(argv("--spec med.msl --materialize --batch-size 128 QUERY")).unwrap();
+        assert!(cfg.materialize);
+        assert_eq!(cfg.batch_size, Some(128));
+        // Defaults: streaming executor, default batch size.
+        let cfg = parse_args(argv("--spec med.msl QUERY")).unwrap();
+        assert!(!cfg.materialize);
+        assert_eq!(cfg.batch_size, None);
+        // The batch size validates its argument and rejects zero.
+        assert!(parse_args(argv("--spec s.msl --batch-size tiny")).is_err());
+        assert!(parse_args(argv("--spec s.msl --batch-size 0")).is_err());
+        assert!(parse_args(argv("--spec s.msl --batch-size")).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use wrappers::fault::{Clock, SystemClock};
 use wrappers::{Wrapper, WrapperError};
 
 /// Execution options.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ExecOptions {
     /// Render the binding table every node emits into its trace entry
     /// (Figure 3.6's rectangles). Counters and timings are collected
@@ -47,6 +47,28 @@ pub struct ExecOptions {
     /// parallel chains (and across queries — the [`crate::Mediator`] owns
     /// it) behind the cache's internal lock.
     pub cache: Option<Arc<AnswerCache>>,
+    /// Run each chain as a pull-based pipeline of bounded binding batches
+    /// instead of materializing a full table at every node. Set-oriented
+    /// MSL semantics are order-insensitive (§3.2), so both modes produce
+    /// identical answers; streaming bounds per-node resident rows at
+    /// `batch_size` and surfaces first answers before slow sources finish.
+    /// The materializing path is kept as a differential-testing oracle.
+    pub streaming: bool,
+    /// Upper bound on rows per streamed batch. Clamped to at least 1.
+    pub batch_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            trace: false,
+            parallel: false,
+            fault: FaultOptions::default(),
+            cache: None,
+            streaming: cfg!(feature = "streaming"),
+            batch_size: 1024,
+        }
+    }
 }
 
 /// Per-execution fault machinery, shared by every chain (the circuit
@@ -191,6 +213,9 @@ fn run_chain(rule_plan: &RulePlan, ctx: &ChainCtx<'_>) -> Result<ChainOutcome> {
                 cache_hits: counters.cache_hits,
                 containment_hits: counters.containment_hits,
                 cache_misses: counters.cache_misses,
+                // Materializing execution holds the whole emitted table.
+                peak_batch_rows: table.len(),
+                peak_bytes_resident: table.approx_bytes(),
             },
             table: if ctx.trace_on {
                 table.render(&memory)
@@ -233,6 +258,937 @@ fn remap_table(table: &mut BindingTable, map: &HashMap<oem::ObjId, oem::ObjId>) 
     }
 }
 
+// ---- streaming execution (pull-based bounded batches) -------------------
+//
+// The §3.2 semantics are set-oriented and order-insensitive, so a chain
+// can be run as a pull pipeline of bounded binding batches instead of
+// materializing a full table at every node: scan/query ops yield batches
+// as extraction proceeds, match/join/construct ops consume and emit
+// incrementally, and only genuine pipeline breakers accumulate (the
+// dup-elim seen-set, a hash join's build side, the final answer sink).
+// Both modes produce byte-identical answers — the merge phase re-copies
+// the final tables' roots into fresh memory, so per-chain object arrival
+// order is invisible to the result.
+
+/// A batch of binding rows flowing between streaming ops. Ops never emit
+/// empty batches; a `None` pull result means permanently exhausted.
+type Batch = Vec<Vec<BoundValue>>;
+
+/// Extracted rows for one parameter tuple, shared between the memo table
+/// and the cursor currently crossing them.
+type MemoRows = std::rc::Rc<Vec<Vec<BoundValue>>>;
+
+/// Progress counters one streaming op accumulates across pulls.
+#[derive(Default)]
+struct OpMeter {
+    rows_in: usize,
+    rows_out: usize,
+    counters: NodeCounters,
+    /// Inclusive wall time: every nanosecond spent inside this op's pull,
+    /// including time spent pulling upstream. The chain is linear and only
+    /// the next op pulls this one, so the trace recovers each op's
+    /// exclusive time as `inclusive[i] - inclusive[i-1]`.
+    wall_ns_inclusive: u64,
+    peak_batch_rows: usize,
+    peak_bytes_resident: u64,
+    /// Incrementally rendered output rows (trace mode only); the header is
+    /// prepended at trace build, so the concatenation equals a one-shot
+    /// [`BindingTable::render`].
+    rendered: String,
+}
+
+/// A partially-extracted source answer: rows already pulled out, plus the
+/// not-yet-copied remainder of the wrapper's result store.
+struct ExtSource {
+    ext: Vec<Vec<BoundValue>>,
+    /// `Some` while top-level results remain: the result store, the cursor
+    /// into its top level, and the persistent old-id → new-id map (chunked
+    /// copies through one map equal a one-shot `deep_copy_all`).
+    rest: Option<(Arc<ObjectStore>, usize, HashMap<oem::ObjId, oem::ObjId>)>,
+}
+
+impl ExtSource {
+    fn from_rows(rows: Vec<Vec<BoundValue>>) -> ExtSource {
+        ExtSource {
+            ext: rows,
+            rest: None,
+        }
+    }
+
+    fn from_store(store: Arc<ObjectStore>) -> ExtSource {
+        ExtSource {
+            ext: Vec::new(),
+            rest: Some((store, 0, HashMap::new())),
+        }
+    }
+
+    fn fully_extracted(&self) -> bool {
+        self.rest.is_none()
+    }
+
+    /// Copy up to `n` more result objects into the chain memory and append
+    /// their binding rows to `ext`.
+    fn extract_more(
+        &mut self,
+        vars: &[ExtractVar],
+        memory: &mut ObjectStore,
+        counters: &mut NodeCounters,
+        n: usize,
+    ) -> Result<()> {
+        let Some((store, cursor, map)) = &mut self.rest else {
+            return Ok(());
+        };
+        let top = store.top_level();
+        let end = (*cursor + n.max(1)).min(top.len());
+        let roots = copy::deep_copy_all_into(store, &top[*cursor..end], memory, map);
+        counters.bindings_produced += roots.len();
+        for root in roots {
+            self.ext.push(extract_row(memory, root, vars)?);
+        }
+        *cursor = end;
+        if *cursor >= top.len() {
+            self.rest = None;
+        }
+        Ok(())
+    }
+}
+
+/// The streaming analogue of [`run_and_extract`] for non-parameterized
+/// queries: resolve a source query to an [`ExtSource`]. Cache hits arrive
+/// fully extracted; a fresh round-trip keeps the result store so rows are
+/// extracted chunk by chunk as downstream ops pull.
+fn open_ext_source(
+    source: Symbol,
+    query: &Rule,
+    vars: &[ExtractVar],
+    memory: &mut ObjectStore,
+    ctx: &ChainCtx<'_>,
+    stats: &mut ChainStats,
+    counters: &mut NodeCounters,
+) -> Result<ExtSource> {
+    if let Some(cache) = ctx.cache.filter(|c| c.enabled_for(source)) {
+        if let Some((rows, kind)) = cache.lookup(source, query, vars, memory) {
+            match kind {
+                CacheHit::Exact => {
+                    counters.cache_hits += 1;
+                    *stats.cache_hits.entry(source).or_insert(0) += 1;
+                }
+                CacheHit::Containment => {
+                    counters.containment_hits += 1;
+                    *stats.containment_hits.entry(source).or_insert(0) += 1;
+                }
+            }
+            counters.bindings_produced += rows.len();
+            return Ok(ExtSource::from_rows(rows));
+        }
+    }
+    let result = fetch_store(source, query, vars, ctx, stats, counters)?;
+    Ok(ExtSource::from_store(Arc::new(result)))
+}
+
+/// The inner-side state a streaming hash join builds on first input.
+struct JoinBuild {
+    /// Join key → indices into `rows`, in extraction order.
+    index: HashMap<Vec<BoundValue>, Vec<usize>>,
+    rows: Vec<Vec<BoundValue>>,
+    outer_key_idx: Vec<usize>,
+}
+
+/// Per-node streaming state. Lifetimes borrow the plan.
+enum OpKind<'p> {
+    /// The unit table as a stream: one empty row, once.
+    Unit { emitted: bool },
+    Query {
+        source: Symbol,
+        query: &'p Rule,
+        vars: &'p [ExtractVar],
+        /// `None` until the first non-empty input batch — an empty
+        /// upstream never pays the round-trip.
+        src: Option<ExtSource>,
+        /// Input rows waiting to be crossed with the extraction.
+        pending: std::collections::VecDeque<Vec<BoundValue>>,
+        /// The input row currently being crossed, with its cursor into
+        /// the extracted rows.
+        cur: Option<(Vec<BoundValue>, usize)>,
+    },
+    ParamQuery {
+        source: Symbol,
+        query: &'p Rule,
+        params: &'p [Symbol],
+        vars: &'p [ExtractVar],
+        /// Per-chain tuple memo; `Rc` so repeated tuples share one
+        /// extraction (the cross-chain memo lives in [`ChainCtx`]).
+        memo: HashMap<Vec<Value>, MemoRows>,
+        pending: std::collections::VecDeque<Vec<BoundValue>>,
+        cur: Option<(Vec<BoundValue>, MemoRows, usize)>,
+        /// Parameter column positions, resolved on the first row (the
+        /// materializing path errors at node execution, not plan build).
+        param_idx: Option<Vec<usize>>,
+    },
+    External {
+        pred: Symbol,
+        args: &'p [Term],
+        new_vars: &'p [Symbol],
+    },
+    RestFilter {
+        var: Symbol,
+        condition: &'p msl::Pattern,
+        /// Column of `var`, resolved on the first non-empty batch.
+        idx: Option<usize>,
+        /// Compiled flat condition when the pattern is a constant
+        /// label/value pair — the whole batch then runs through the
+        /// columnar equality kernel instead of per-row matching.
+        flat: Option<engine::batch::FlatCond>,
+    },
+    HashJoin {
+        source: Symbol,
+        query: &'p Rule,
+        vars: &'p [ExtractVar],
+        join_vars: &'p [Symbol],
+        inner_key_idx: Vec<usize>,
+        keep_inner: Vec<usize>,
+        /// `None` until the first non-empty input batch.
+        build: Option<JoinBuild>,
+    },
+    DupElim {
+        /// Projection column positions (vars ∩ input columns, vars order).
+        proj: Vec<usize>,
+        /// Pipeline breaker: rows ever emitted, for first-occurrence dedup
+        /// across batches.
+        seen: std::collections::HashSet<Vec<BoundValue>>,
+    },
+}
+
+/// One op in a streaming chain pipeline. `ops[0]` is the synthetic unit
+/// source; `ops[k]` executes `rule_plan.nodes[k - 1]`.
+struct OpState<'p> {
+    in_cols: Vec<Symbol>,
+    out_cols: Vec<Symbol>,
+    meter: OpMeter,
+    /// Output rows produced beyond the batch cap, drained by later pulls.
+    carry: std::collections::VecDeque<Vec<BoundValue>>,
+    /// The op returned `None`; every later pull is terminal.
+    exhausted: bool,
+    /// Upstream returned `None`.
+    upstream_done: bool,
+    kind: OpKind<'p>,
+}
+
+/// Everything the pulls of one chain share.
+struct StreamEnv<'a, 'b> {
+    memory: &'a mut ObjectStore,
+    ctx: &'a ChainCtx<'b>,
+    stats: &'a mut ChainStats,
+    batch: usize,
+    /// Index of the op whose source went unavailable, with the error. The
+    /// chain is dead: the driver stops pulling and discards all rows,
+    /// exactly like the materializing path's empty failed table.
+    failed: Option<(usize, MedError)>,
+}
+
+/// Build the op pipeline for one rule plan (columns derived exactly as the
+/// materializing [`exec_node`] derives them).
+fn build_ops(rule_plan: &RulePlan) -> Vec<OpState<'_>> {
+    let mut ops: Vec<OpState<'_>> = Vec::with_capacity(rule_plan.nodes.len() + 1);
+    ops.push(OpState {
+        in_cols: Vec::new(),
+        out_cols: Vec::new(),
+        meter: OpMeter::default(),
+        carry: std::collections::VecDeque::new(),
+        exhausted: false,
+        upstream_done: false,
+        kind: OpKind::Unit { emitted: false },
+    });
+    for node in &rule_plan.nodes {
+        let in_cols = ops.last().expect("unit op present").out_cols.clone();
+        let (out_cols, kind): (Vec<Symbol>, OpKind<'_>) = match node {
+            Node::Query {
+                source,
+                query,
+                vars,
+            } => (
+                in_cols
+                    .iter()
+                    .copied()
+                    .chain(vars.iter().map(|v| v.var))
+                    .collect(),
+                OpKind::Query {
+                    source: *source,
+                    query,
+                    vars,
+                    src: None,
+                    pending: std::collections::VecDeque::new(),
+                    cur: None,
+                },
+            ),
+            Node::ParamQuery {
+                source,
+                query,
+                params,
+                vars,
+            } => (
+                in_cols
+                    .iter()
+                    .copied()
+                    .chain(vars.iter().map(|v| v.var))
+                    .collect(),
+                OpKind::ParamQuery {
+                    source: *source,
+                    query,
+                    params,
+                    vars,
+                    memo: HashMap::new(),
+                    pending: std::collections::VecDeque::new(),
+                    cur: None,
+                    param_idx: None,
+                },
+            ),
+            Node::ExternalPred {
+                pred,
+                args,
+                new_vars,
+            } => (
+                in_cols
+                    .iter()
+                    .copied()
+                    .chain(new_vars.iter().copied())
+                    .collect(),
+                OpKind::External {
+                    pred: *pred,
+                    args,
+                    new_vars,
+                },
+            ),
+            Node::RestFilter { var, condition } => (
+                in_cols.clone(),
+                OpKind::RestFilter {
+                    var: *var,
+                    condition,
+                    idx: None,
+                    flat: engine::batch::FlatCond::compile(condition),
+                },
+            ),
+            Node::HashJoin {
+                source,
+                query,
+                vars,
+                join_vars,
+            } => {
+                let inner_key_idx: Vec<usize> = join_vars
+                    .iter()
+                    .map(|v| {
+                        vars.iter()
+                            .position(|e| e.var == *v)
+                            .expect("planner included join vars in extraction")
+                    })
+                    .collect();
+                let keep_inner: Vec<usize> = (0..vars.len())
+                    .filter(|i| !inner_key_idx.contains(i))
+                    .collect();
+                (
+                    in_cols
+                        .iter()
+                        .copied()
+                        .chain(keep_inner.iter().map(|&i| vars[i].var))
+                        .collect(),
+                    OpKind::HashJoin {
+                        source: *source,
+                        query,
+                        vars,
+                        join_vars,
+                        inner_key_idx,
+                        keep_inner,
+                        build: None,
+                    },
+                )
+            }
+            Node::DupElim { vars } => {
+                let proj: Vec<usize> = vars
+                    .iter()
+                    .filter_map(|v| in_cols.iter().position(|c| c == v))
+                    .collect();
+                let out_cols: Vec<Symbol> = vars
+                    .iter()
+                    .filter(|v| in_cols.contains(v))
+                    .copied()
+                    .collect();
+                (
+                    out_cols,
+                    OpKind::DupElim {
+                        proj,
+                        seen: std::collections::HashSet::new(),
+                    },
+                )
+            }
+        };
+        ops.push(OpState {
+            in_cols,
+            out_cols,
+            meter: OpMeter::default(),
+            carry: std::collections::VecDeque::new(),
+            exhausted: false,
+            upstream_done: false,
+            kind,
+        });
+    }
+    ops
+}
+
+/// Pull the next batch from `ops[i]`, with per-op bookkeeping (inclusive
+/// wall time, rows out, peak residency, incremental table rendering).
+fn pull(ops: &mut [OpState<'_>], i: usize, env: &mut StreamEnv<'_, '_>) -> Result<Option<Batch>> {
+    let start = Instant::now();
+    let out = pull_inner(ops, i, env);
+    let op = &mut ops[i];
+    op.meter.wall_ns_inclusive += start.elapsed().as_nanos() as u64;
+    if let Ok(Some(batch)) = &out {
+        op.meter.rows_out += batch.len();
+        op.meter.peak_batch_rows = op.meter.peak_batch_rows.max(batch.len());
+        op.meter.peak_bytes_resident = op
+            .meter
+            .peak_bytes_resident
+            .max(crate::table::approx_batch_bytes(batch));
+        if env.ctx.trace_on {
+            op.meter
+                .rendered
+                .push_str(&crate::table::render_rows(batch, env.memory));
+        }
+    }
+    out
+}
+
+fn pull_inner(
+    ops: &mut [OpState<'_>],
+    i: usize,
+    env: &mut StreamEnv<'_, '_>,
+) -> Result<Option<Batch>> {
+    if ops[i].exhausted {
+        return Ok(None);
+    }
+    let cap = env.batch.max(1);
+    // Drain overflow from an earlier pull before producing anything new.
+    if !ops[i].carry.is_empty() {
+        let n = ops[i].carry.len().min(cap);
+        return Ok(Some(ops[i].carry.drain(..n).collect()));
+    }
+    let (head, tail) = ops.split_at_mut(i);
+    let op = &mut tail[0];
+    let out: Option<Batch> = match &mut op.kind {
+        OpKind::Unit { emitted } => {
+            if *emitted {
+                None
+            } else {
+                *emitted = true;
+                Some(vec![Vec::new()])
+            }
+        }
+        OpKind::Query {
+            source,
+            query,
+            vars,
+            src,
+            pending,
+            cur,
+        } => {
+            let mut out: Batch = Vec::new();
+            'fill: while out.len() < cap {
+                if cur.is_none() {
+                    match pending.pop_front() {
+                        Some(row) => *cur = Some((row, 0)),
+                        None => {
+                            if op.upstream_done {
+                                break 'fill;
+                            }
+                            match pull(head, i - 1, env)? {
+                                Some(batch) => {
+                                    op.meter.rows_in += batch.len();
+                                    pending.extend(batch);
+                                }
+                                None => op.upstream_done = true,
+                            }
+                            continue 'fill;
+                        }
+                    }
+                }
+                if src.is_none() {
+                    match open_ext_source(
+                        *source,
+                        query,
+                        vars,
+                        env.memory,
+                        env.ctx,
+                        env.stats,
+                        &mut op.meter.counters,
+                    ) {
+                        Ok(s) => *src = Some(s),
+                        Err(e @ MedError::SourceUnavailable { .. }) => {
+                            env.failed = Some((i, e));
+                            break 'fill;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                let s = src.as_mut().expect("source opened above");
+                let (row, idx) = cur.as_mut().expect("current row ensured above");
+                while *idx >= s.ext.len() && !s.fully_extracted() {
+                    s.extract_more(vars, env.memory, &mut op.meter.counters, cap)?;
+                }
+                if *idx >= s.ext.len() {
+                    *cur = None; // row fully crossed with the extraction
+                    continue 'fill;
+                }
+                while *idx < s.ext.len() && out.len() < cap {
+                    let mut r = row.clone();
+                    r.extend(s.ext[*idx].iter().cloned());
+                    out.push(r);
+                    *idx += 1;
+                }
+            }
+            if env.failed.is_some() || out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        OpKind::ParamQuery {
+            source,
+            query,
+            params,
+            vars,
+            memo,
+            pending,
+            cur,
+            param_idx,
+        } => {
+            let mut out: Batch = Vec::new();
+            'fill: while out.len() < cap {
+                if cur.is_none() {
+                    let Some(row) = pending.pop_front() else {
+                        if op.upstream_done {
+                            break 'fill;
+                        }
+                        match pull(head, i - 1, env)? {
+                            Some(batch) => {
+                                op.meter.rows_in += batch.len();
+                                pending.extend(batch);
+                            }
+                            None => op.upstream_done = true,
+                        }
+                        continue 'fill;
+                    };
+                    if param_idx.is_none() {
+                        let idx: Vec<usize> = params
+                            .iter()
+                            .map(|p| {
+                                op.in_cols.iter().position(|c| c == p).ok_or_else(|| {
+                                    MedError::Planning(format!("parameter {p} missing from table"))
+                                })
+                            })
+                            .collect::<Result<_>>()?;
+                        *param_idx = Some(idx);
+                    }
+                    let idxs = param_idx.as_ref().expect("resolved above");
+                    let mut key = Vec::with_capacity(params.len());
+                    let mut pmap: HashMap<Symbol, Value> = HashMap::new();
+                    let mut ok = true;
+                    for (p, &ci) in params.iter().zip(idxs) {
+                        match &row[ci] {
+                            BoundValue::Atom(v) => {
+                                key.push(v.clone());
+                                pmap.insert(*p, v.clone());
+                            }
+                            _ => {
+                                // Non-atomic parameter: this row cannot
+                                // parameterize the query; it yields nothing.
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue 'fill;
+                    }
+                    let ext = match memo.get(&key) {
+                        Some(e) => std::rc::Rc::clone(e),
+                        None => {
+                            let filled = fill_params_rule(query, &pmap);
+                            let shared = (*source, msl::printer::rule(query), key.clone());
+                            let e = match run_and_extract(
+                                *source,
+                                &filled,
+                                vars,
+                                env.memory,
+                                env.ctx,
+                                env.stats,
+                                &mut op.meter.counters,
+                                Some(shared),
+                            ) {
+                                Ok(e) => std::rc::Rc::new(e),
+                                Err(e @ MedError::SourceUnavailable { .. }) => {
+                                    env.failed = Some((i, e));
+                                    break 'fill;
+                                }
+                                Err(e) => return Err(e),
+                            };
+                            memo.insert(key, std::rc::Rc::clone(&e));
+                            e
+                        }
+                    };
+                    *cur = Some((row, ext, 0));
+                }
+                let (row, ext, idx) = cur.as_mut().expect("current row ensured above");
+                if *idx >= ext.len() {
+                    *cur = None;
+                    continue 'fill;
+                }
+                while *idx < ext.len() && out.len() < cap {
+                    let mut r = row.clone();
+                    r.extend(ext[*idx].iter().cloned());
+                    out.push(r);
+                    *idx += 1;
+                }
+            }
+            if env.failed.is_some() || out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        OpKind::External {
+            pred,
+            args,
+            new_vars,
+        } => {
+            let mut out: Batch = Vec::new();
+            while out.is_empty() {
+                if op.upstream_done {
+                    break;
+                }
+                match pull(head, i - 1, env)? {
+                    None => op.upstream_done = true,
+                    Some(batch) => {
+                        op.meter.rows_in += batch.len();
+                        let mut produced = 0usize;
+                        for row in &batch {
+                            let b = crate::table::bindings_for_row(&op.in_cols, row);
+                            for nb in env.ctx.registry.evaluate(*pred, args, &b)? {
+                                let mut r = row.clone();
+                                for v in new_vars.iter() {
+                                    r.push(nb.get(*v).cloned().ok_or_else(|| {
+                                        MedError::External(format!(
+                                            "{pred} did not bind {v} as planned"
+                                        ))
+                                    })?);
+                                }
+                                if out.len() < cap {
+                                    out.push(r);
+                                } else {
+                                    op.carry.push_back(r);
+                                }
+                                produced += 1;
+                            }
+                        }
+                        if !new_vars.is_empty() {
+                            op.meter.counters.bindings_produced += produced;
+                        }
+                    }
+                }
+            }
+            if out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        OpKind::RestFilter {
+            var,
+            condition,
+            idx,
+            flat,
+        } => {
+            let mut out: Batch = Vec::new();
+            while out.is_empty() {
+                if op.upstream_done {
+                    break;
+                }
+                match pull(head, i - 1, env)? {
+                    None => op.upstream_done = true,
+                    Some(batch) => {
+                        op.meter.rows_in += batch.len();
+                        let ci = match *idx {
+                            Some(ci) => ci,
+                            None => {
+                                let ci =
+                                    op.in_cols.iter().position(|c| c == var).ok_or_else(|| {
+                                        MedError::Planning(format!(
+                                            "filter variable {var} missing from table"
+                                        ))
+                                    })?;
+                                *idx = Some(ci);
+                                ci
+                            }
+                        };
+                        match flat {
+                            Some(f) => {
+                                // Vectorized: one condition across the whole
+                                // batch over columnar member views. Rows whose
+                                // cell is not an object set keep no members
+                                // and therefore drop — same as the per-row
+                                // path skipping them.
+                                let sets: Vec<&[oem::ObjId]> = batch
+                                    .iter()
+                                    .map(|row| row[ci].as_obj_set().unwrap_or(&[]))
+                                    .collect();
+                                let keep = f.filter_batch(env.memory, &sets);
+                                for (row, k) in batch.iter().zip(keep) {
+                                    if k {
+                                        out.push(row.clone());
+                                    }
+                                }
+                            }
+                            None => {
+                                for row in &batch {
+                                    let BoundValue::ObjSet(ids) = &row[ci] else {
+                                        continue;
+                                    };
+                                    let passes = ids.iter().any(|&id| {
+                                        !engine::matcher::match_pattern(
+                                            env.memory,
+                                            id,
+                                            condition,
+                                            &Bindings::new(),
+                                        )
+                                        .is_empty()
+                                    });
+                                    if passes {
+                                        out.push(row.clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        OpKind::HashJoin {
+            source,
+            query,
+            vars,
+            join_vars,
+            inner_key_idx,
+            keep_inner,
+            build,
+        } => {
+            let mut out: Batch = Vec::new();
+            'fill: while out.is_empty() {
+                if op.upstream_done {
+                    break;
+                }
+                match pull(head, i - 1, env)? {
+                    None => op.upstream_done = true,
+                    Some(batch) => {
+                        op.meter.rows_in += batch.len();
+                        if build.is_none() {
+                            // First non-empty input: fetch and index the
+                            // whole inner side — the probe needs all of it,
+                            // so the build side is a pipeline breaker.
+                            let extracted = match run_and_extract(
+                                *source,
+                                query,
+                                vars,
+                                env.memory,
+                                env.ctx,
+                                env.stats,
+                                &mut op.meter.counters,
+                                None,
+                            ) {
+                                Ok(e) => e,
+                                Err(e @ MedError::SourceUnavailable { .. }) => {
+                                    env.failed = Some((i, e));
+                                    break 'fill;
+                                }
+                                Err(e) => return Err(e),
+                            };
+                            let mut index: HashMap<Vec<BoundValue>, Vec<usize>> = HashMap::new();
+                            for (ri, row) in extracted.iter().enumerate() {
+                                let key: Vec<BoundValue> =
+                                    inner_key_idx.iter().map(|&k| row[k].clone()).collect();
+                                index.entry(key).or_default().push(ri);
+                            }
+                            let outer_key_idx: Vec<usize> = join_vars
+                                .iter()
+                                .map(|v| {
+                                    op.in_cols.iter().position(|c| c == v).ok_or_else(|| {
+                                        MedError::Planning(format!(
+                                            "join variable {v} missing from table"
+                                        ))
+                                    })
+                                })
+                                .collect::<Result<_>>()?;
+                            *build = Some(JoinBuild {
+                                index,
+                                rows: extracted,
+                                outer_key_idx,
+                            });
+                        }
+                        let jb = build.as_ref().expect("build side indexed above");
+                        for row in &batch {
+                            let key: Vec<BoundValue> =
+                                jb.outer_key_idx.iter().map(|&k| row[k].clone()).collect();
+                            if let Some(matches) = jb.index.get(&key) {
+                                for &ri in matches {
+                                    let mut r = row.clone();
+                                    r.extend(keep_inner.iter().map(|&k| jb.rows[ri][k].clone()));
+                                    if out.len() < cap {
+                                        out.push(r);
+                                    } else {
+                                        op.carry.push_back(r);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if env.failed.is_some() || out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        OpKind::DupElim { proj, seen } => {
+            let mut out: Batch = Vec::new();
+            while out.is_empty() {
+                if op.upstream_done {
+                    break;
+                }
+                match pull(head, i - 1, env)? {
+                    None => op.upstream_done = true,
+                    Some(batch) => {
+                        op.meter.rows_in += batch.len();
+                        for row in &batch {
+                            let projected: Vec<BoundValue> =
+                                proj.iter().map(|&k| row[k].clone()).collect();
+                            if seen.insert(projected.clone()) {
+                                out.push(projected);
+                            }
+                        }
+                    }
+                }
+            }
+            if out.is_empty() {
+                None
+            } else {
+                Some(out)
+            }
+        }
+    };
+    if out.is_none() && op.carry.is_empty() {
+        op.exhausted = true;
+    }
+    Ok(out)
+}
+
+/// Execute one rule chain as a pull-based pipeline of bounded batches.
+///
+/// `emit` receives each final batch as it surfaces, taking ownership — the
+/// returned outcome's table carries the final columns but no rows; the
+/// caller reattaches what it accumulated. On a mid-chain source failure
+/// the caller must discard everything emitted (a failed chain yields no
+/// rows, exactly like the materializing path's empty table).
+fn run_chain_streaming(
+    rule_plan: &RulePlan,
+    ctx: &ChainCtx<'_>,
+    batch_size: usize,
+    emit: &mut dyn FnMut(Batch),
+) -> Result<ChainOutcome> {
+    let chain_start = Instant::now();
+    let mut memory = ObjectStore::with_oid_prefix("x");
+    let mut stats = ChainStats::default();
+    let mut ops = build_ops(rule_plan);
+    let last = ops.len() - 1;
+    let failed;
+    {
+        let mut env = StreamEnv {
+            memory: &mut memory,
+            ctx,
+            stats: &mut stats,
+            batch: batch_size.max(1),
+            failed: None,
+        };
+        while let Some(batch) = pull(&mut ops, last, &mut env)? {
+            emit(batch);
+            if env.failed.is_some() {
+                break;
+            }
+        }
+        failed = env.failed.take();
+    }
+    let failed_idx = failed.as_ref().map(|(i, _)| *i);
+    let failed_err = failed.map(|(_, e)| e);
+    let mut nodes = Vec::with_capacity(rule_plan.nodes.len());
+    let mut prev_incl = ops[0].meter.wall_ns_inclusive;
+    for (k, op) in ops.iter_mut().enumerate().skip(1) {
+        let node = &rule_plan.nodes[k - 1];
+        let excl = op.meter.wall_ns_inclusive.saturating_sub(prev_incl);
+        prev_incl = op.meter.wall_ns_inclusive;
+        nodes.push(NodeTrace {
+            op: node.op_name().to_string(),
+            detail: node_detail(node),
+            metrics: NodeMetrics {
+                rows_in: op.meter.rows_in,
+                rows_out: op.meter.rows_out,
+                bindings_produced: op.meter.counters.bindings_produced,
+                source_calls: op.meter.counters.source_calls,
+                dedup_hits: if matches!(node, Node::DupElim { .. }) {
+                    op.meter.rows_in.saturating_sub(op.meter.rows_out)
+                } else {
+                    0
+                },
+                wall_ns: excl,
+                est_rows: rule_plan.estimates.get(k - 1).copied().unwrap_or(0.0),
+                cache_hits: op.meter.counters.cache_hits,
+                containment_hits: op.meter.counters.containment_hits,
+                cache_misses: op.meter.counters.cache_misses,
+                peak_batch_rows: op.meter.peak_batch_rows,
+                peak_bytes_resident: op.meter.peak_bytes_resident,
+            },
+            table: if ctx.trace_on {
+                format!(
+                    "{}{}",
+                    crate::table::render_header(&op.out_cols),
+                    std::mem::take(&mut op.meter.rendered)
+                )
+            } else {
+                String::new()
+            },
+        });
+        // Mirror the materializing break: nothing flows past the first op
+        // that emitted no rows, and the trace stops there too.
+        if op.meter.rows_out == 0 || failed_idx == Some(k) {
+            break;
+        }
+    }
+    let final_cols = ops[last].out_cols.clone();
+    Ok(ChainOutcome {
+        table: BindingTable::new(final_cols),
+        memory,
+        trace: RuleTrace {
+            nodes,
+            constructed: 0, // filled in during the construction phase
+            wall_ns: chain_start.elapsed().as_nanos() as u64,
+            error: failed_err.as_ref().map(|e| e.to_string()),
+        },
+        stats,
+        failed: failed_err,
+    })
+}
+
 /// Execute a physical plan.
 pub fn execute(
     plan: &PhysicalPlan,
@@ -253,8 +1209,105 @@ pub fn execute(
     };
     // Phase 1: run every rule chain (optionally in parallel — chains are
     // independent; "the datamerge engine executes the graph in a bottom-up
-    // fashion" per chain).
-    let chains: Vec<Result<ChainOutcome>> = if opts.parallel && plan.rules.len() > 1 {
+    // fashion" per chain). Streaming chains surface their first batches
+    // while slower chains (or slower sources within a chain) are still
+    // running; the time-to-first-answer is recorded off the emit path.
+    let mut first_rows_ns: u64 = 0;
+    let chains: Vec<Result<ChainOutcome>> = if opts.streaming {
+        if opts.parallel && plan.rules.len() > 1 {
+            // Every chain streams its batches into one bounded channel; the
+            // sink (this thread) accumulates rows per chain, so first
+            // answers surface before slow sources finish rather than after
+            // a whole-table join at the end of each thread.
+            let n = plan.rules.len();
+            let batch_size = opts.batch_size;
+            let (results, rows_acc, firsts) = crossbeam::thread::scope(|scope| {
+                let ctx = &ctx;
+                let (tx, rx) = crossbeam::channel::bounded::<(usize, Batch)>(n.max(2) * 2);
+                let handles: Vec<_> = plan
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, rule_plan)| {
+                        let tx = tx.clone();
+                        scope.spawn(move |_| {
+                            let mut emit = |batch: Batch| {
+                                // A hung-up receiver only means the scope is
+                                // unwinding; dropping the batch is fine.
+                                let _ = tx.send((ci, batch));
+                            };
+                            run_chain_streaming(rule_plan, ctx, batch_size, &mut emit)
+                        })
+                    })
+                    .collect();
+                drop(tx);
+                let mut rows_acc: Vec<Vec<Vec<BoundValue>>> = vec![Vec::new(); n];
+                let mut firsts: Vec<u64> = vec![0; n];
+                for (ci, batch) in rx.iter() {
+                    if firsts[ci] == 0 && !batch.is_empty() {
+                        firsts[ci] = exec_start.elapsed().as_nanos() as u64;
+                    }
+                    rows_acc[ci].extend(batch);
+                }
+                let results: Vec<Result<ChainOutcome>> = handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(outcome) => outcome,
+                        // A panicking chain must not abort the whole
+                        // process: surface the payload as a MedError.
+                        // NB: deref the Box first — coercing `&Box<dyn Any>`
+                        // would downcast against the box, not the payload.
+                        Err(payload) => Err(MedError::ChainPanic(panic_message(&*payload))),
+                    })
+                    .collect();
+                (results, rows_acc, firsts)
+            })
+            .expect("crossbeam scope");
+            results
+                .into_iter()
+                .zip(rows_acc)
+                .zip(firsts)
+                .map(|((res, rows), first)| {
+                    let mut outcome = res?;
+                    // A failed chain yields no rows (and no first-answer
+                    // credit): everything it streamed is discarded, exactly
+                    // like the materializing path's empty failed table.
+                    if outcome.failed.is_none() {
+                        outcome.table.rows = rows;
+                        if first > 0 && (first_rows_ns == 0 || first < first_rows_ns) {
+                            first_rows_ns = first;
+                        }
+                    }
+                    Ok(outcome)
+                })
+                .collect()
+        } else {
+            plan.rules
+                .iter()
+                .map(|rule_plan| {
+                    let mut rows: Vec<Vec<BoundValue>> = Vec::new();
+                    let mut first: u64 = 0;
+                    let res = {
+                        let mut emit = |batch: Batch| {
+                            if first == 0 && !batch.is_empty() {
+                                first = exec_start.elapsed().as_nanos() as u64;
+                            }
+                            rows.extend(batch);
+                        };
+                        run_chain_streaming(rule_plan, &ctx, opts.batch_size, &mut emit)
+                    };
+                    let mut outcome = res?;
+                    if outcome.failed.is_none() {
+                        outcome.table.rows = rows;
+                        if first > 0 && (first_rows_ns == 0 || first < first_rows_ns) {
+                            first_rows_ns = first;
+                        }
+                    }
+                    Ok(outcome)
+                })
+                .collect()
+        }
+    } else if opts.parallel && plan.rules.len() > 1 {
         crossbeam::thread::scope(|scope| {
             let ctx = &ctx;
             let handles: Vec<_> = plan
@@ -368,6 +1421,12 @@ pub fn execute(
         }
         let (_, map) = copy::deep_copy_all_with_map(&chain.memory, &roots, &mut memory);
         remap_table(&mut chain.table, &map);
+        // Materializing fallback for the time-to-first-answer: the first
+        // rows only exist once the chain's whole table lands here. (A
+        // streaming run already recorded the earlier emission time above.)
+        if first_rows_ns == 0 && !chain.table.rows.is_empty() {
+            first_rows_ns = exec_start.elapsed().as_nanos() as u64;
+        }
         trace.rules.push(chain.trace);
         final_tables.push((chain.table, rule_plan, trace.rules.len() - 1));
     }
@@ -402,6 +1461,16 @@ pub fn execute(
     }
     trace.result_count = results.top_level().len();
     trace.wall_ns = exec_start.elapsed().as_nanos() as u64;
+    trace.first_rows_ns = first_rows_ns;
+    let (mut peak_rows, mut peak_bytes) = (0usize, 0u64);
+    for rule in &trace.rules {
+        for node in &rule.nodes {
+            peak_rows = peak_rows.max(node.metrics.peak_batch_rows);
+            peak_bytes = peak_bytes.max(node.metrics.peak_bytes_resident);
+        }
+    }
+    trace.peak_batch_rows = peak_rows;
+    trace.peak_bytes_resident = peak_bytes;
     if let Some(cache) = &opts.cache {
         let c = cache.counters();
         trace.bytes_cached = c.bytes_cached as u64;

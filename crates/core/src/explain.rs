@@ -208,6 +208,17 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             },
         );
     }
+    // Memory/latency profile of the execution: the largest batch (streaming)
+    // or table (materializing) any node held, and the time at which the
+    // first answer rows surfaced.
+    let _ = writeln!(
+        out,
+        "peak resident: {} rows / ~{} bytes",
+        trace.peak_batch_rows, trace.peak_bytes_resident
+    );
+    if trace.first_rows_ns > 0 {
+        let _ = writeln!(out, "first answer: {}", format_ns(trace.first_rows_ns));
+    }
     let _ = writeln!(out, "wall time: {}", format_ns(trace.wall_ns));
     out
 }
@@ -412,6 +423,10 @@ mod tests {
         assert!(report.contains("=== totals ==="), "{report}");
         assert!(report.contains("wall time: "), "{report}");
         assert!(report.contains("result objects: "), "{report}");
+        // Residency/latency profile: peak always renders; the first-answer
+        // line appears because this query produced rows.
+        assert!(report.contains("peak resident: "), "{report}");
+        assert!(report.contains("first answer: "), "{report}");
         // A clean run is reported complete, with no retry/failure lines —
         // and with the cache off, no cache lines either.
         assert!(report.contains("completeness: complete"), "{report}");

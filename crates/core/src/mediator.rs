@@ -52,6 +52,12 @@ pub struct MediatorOptions {
     /// [`Mediator::lint_warnings`], and the result feeds the planner's
     /// infeasible-chain pruning. On by default.
     pub analysis: bool,
+    /// Execute chains as pull-based pipelines of bounded binding batches
+    /// ([`ExecOptions::streaming`]). Defaults to the `streaming` cargo
+    /// feature's presence; turn off to use the materializing oracle path.
+    pub streaming: bool,
+    /// Rows per streamed batch ([`ExecOptions::batch_size`]).
+    pub batch_size: usize,
 }
 
 impl Default for MediatorOptions {
@@ -66,6 +72,8 @@ impl Default for MediatorOptions {
             fault: crate::retry::FaultOptions::default(),
             cache: CacheOptions::default(),
             analysis: true,
+            streaming: ExecOptions::default().streaming,
+            batch_size: ExecOptions::default().batch_size,
         }
     }
 }
@@ -307,6 +315,8 @@ impl Mediator {
                 parallel: self.options.parallel,
                 fault: self.options.fault.clone(),
                 cache: self.exec_cache(),
+                streaming: self.options.streaming,
+                batch_size: self.options.batch_size,
             },
         )?;
         outcome.trace.query = msl::printer::rule(query);
@@ -385,6 +395,8 @@ impl Mediator {
                     parallel: false,
                     fault: self.options.fault.clone(),
                     cache: self.exec_cache(),
+                    streaming: self.options.streaming,
+                    batch_size: self.options.batch_size,
                 },
             )?;
             let _ = writeln!(out);
@@ -434,6 +446,8 @@ impl Mediator {
                 parallel: self.options.parallel,
                 fault: self.options.fault.clone(),
                 cache: self.exec_cache(),
+                streaming: self.options.streaming,
+                batch_size: self.options.batch_size,
             },
         )?;
         outcome.trace.query = msl::printer::rule(&query);

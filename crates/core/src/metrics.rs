@@ -38,6 +38,8 @@ use std::collections::BTreeMap;
 /// | `cache_hits`        | hits  | query, param. query, hash join (cache on) |
 /// | `containment_hits`  | hits  | query, param. query, hash join (cache on) |
 /// | `cache_misses`      | calls | query, param. query, hash join (cache on) |
+/// | `peak_batch_rows`   | rows  | every node                              |
+/// | `peak_bytes_resident` | bytes | every node                            |
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NodeMetrics {
     /// Rows in the binding table flowing *into* the node.
@@ -67,6 +69,14 @@ pub struct NodeMetrics {
     /// Source queries that consulted the answer cache and fell through to
     /// a round-trip (zero when the cache is off).
     pub cache_misses: usize,
+    /// Largest binding batch the node held at once: under streaming
+    /// execution the biggest batch it emitted (bounded by
+    /// [`crate::exec::ExecOptions::batch_size`]); under materializing
+    /// execution the full emitted table's row count.
+    pub peak_batch_rows: usize,
+    /// Approximate bytes of the largest resident batch (same resolution as
+    /// `peak_batch_rows`; see `crate::table::approx_row_bytes`).
+    pub peak_bytes_resident: u64,
 }
 
 impl NodeMetrics {
@@ -186,6 +196,17 @@ pub struct QueryTrace {
     pub result_dedup_removed: usize,
     /// Wall-clock time of the whole execution, in nanoseconds.
     pub wall_ns: u64,
+    /// Nanoseconds from execution start until the first answer rows
+    /// surfaced at the merge sink (time-to-first-answer). Under streaming
+    /// execution that is the first non-empty batch emitted by a chain that
+    /// ultimately succeeded; under materializing execution, the merge of
+    /// the first non-empty final table. 0 when no rows were produced.
+    pub first_rows_ns: u64,
+    /// Largest binding batch any node held at once, across all chains
+    /// (max over the per-node `peak_batch_rows`).
+    pub peak_batch_rows: usize,
+    /// Approximate bytes of the largest resident batch across all chains.
+    pub peak_bytes_resident: u64,
 }
 
 impl QueryTrace {
@@ -259,6 +280,8 @@ impl serde::Serialize for NodeMetrics {
             ("cache_hits", self.cache_hits.to_value()),
             ("containment_hits", self.containment_hits.to_value()),
             ("cache_misses", self.cache_misses.to_value()),
+            ("peak_batch_rows", self.peak_batch_rows.to_value()),
+            ("peak_bytes_resident", self.peak_bytes_resident.to_value()),
         ])
     }
 }
@@ -268,6 +291,14 @@ impl serde::Serialize for NodeMetrics {
 fn optional_count(v: &serde::Value, name: &str) -> std::result::Result<usize, serde::Error> {
     match v.get(name) {
         Some(n) => <usize as serde::Deserialize>::from_value(n),
+        None => Ok(0),
+    }
+}
+
+/// [`optional_count`] for `u64` fields.
+fn optional_u64(v: &serde::Value, name: &str) -> std::result::Result<u64, serde::Error> {
+    match v.get(name) {
+        Some(n) => <u64 as serde::Deserialize>::from_value(n),
         None => Ok(0),
     }
 }
@@ -286,6 +317,9 @@ impl serde::Deserialize for NodeMetrics {
             cache_hits: optional_count(v, "cache_hits")?,
             containment_hits: optional_count(v, "containment_hits")?,
             cache_misses: optional_count(v, "cache_misses")?,
+            // Absent in traces exported before streaming execution.
+            peak_batch_rows: optional_count(v, "peak_batch_rows")?,
+            peak_bytes_resident: optional_u64(v, "peak_bytes_resident")?,
         })
     }
 }
@@ -453,6 +487,9 @@ impl serde::Serialize for QueryTrace {
             ("result_count", self.result_count.to_value()),
             ("result_dedup_removed", self.result_dedup_removed.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
+            ("first_rows_ns", self.first_rows_ns.to_value()),
+            ("peak_batch_rows", self.peak_batch_rows.to_value()),
+            ("peak_bytes_resident", self.peak_bytes_resident.to_value()),
         ])
     }
 }
@@ -482,6 +519,10 @@ impl serde::Deserialize for QueryTrace {
             result_count: serde::field(v, "result_count")?,
             result_dedup_removed: serde::field(v, "result_dedup_removed")?,
             wall_ns: serde::field(v, "wall_ns")?,
+            // Absent in traces exported before streaming execution.
+            first_rows_ns: optional_u64(v, "first_rows_ns")?,
+            peak_batch_rows: optional_count(v, "peak_batch_rows")?,
+            peak_bytes_resident: optional_u64(v, "peak_bytes_resident")?,
         })
     }
 }
@@ -510,6 +551,8 @@ mod tests {
                         cache_hits: 1,
                         containment_hits: 1,
                         cache_misses: 1,
+                        peak_batch_rows: 2,
+                        peak_bytes_resident: 48,
                     },
                     table: "| 1 | 'Joe Chung' |".to_string(),
                 }],
@@ -545,6 +588,9 @@ mod tests {
             result_count: 1,
             result_dedup_removed: 1,
             wall_ns: 99_000,
+            first_rows_ns: 42_000,
+            peak_batch_rows: 2,
+            peak_bytes_resident: 48,
         }
     }
 
@@ -581,9 +627,59 @@ mod tests {
             "\"cache_misses\"",
             "\"bytes_cached\"",
             "\"cache_evictions\"",
+            "\"first_rows_ns\"",
+            "\"peak_batch_rows\"",
+            "\"peak_bytes_resident\"",
         ] {
             assert!(text.contains(key), "missing {key} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn old_traces_without_streaming_fields_still_parse() {
+        // A trace exported before streaming execution lacks the
+        // time-to-first-answer and peak-residency fields everywhere.
+        let mut trace = sample();
+        trace.first_rows_ns = 0;
+        trace.peak_batch_rows = 0;
+        trace.peak_bytes_resident = 0;
+        let m = &mut trace.rules[0].nodes[0].metrics;
+        m.peak_batch_rows = 0;
+        m.peak_bytes_resident = 0;
+        let mut v = trace.to_value();
+        let drop_streaming_keys = |v: &mut serde::Value| {
+            if let serde::Value::Object(pairs) = v {
+                pairs.retain(|(k, _)| {
+                    !matches!(
+                        &**k,
+                        "first_rows_ns" | "peak_batch_rows" | "peak_bytes_resident"
+                    )
+                });
+            }
+        };
+        drop_streaming_keys(&mut v);
+        if let serde::Value::Object(pairs) = &mut v {
+            let rules = &mut pairs.iter_mut().find(|(k, _)| k == "rules").unwrap().1;
+            if let serde::Value::Array(rules) = rules {
+                for rule in rules {
+                    if let serde::Value::Object(rp) = rule {
+                        let nodes = &mut rp.iter_mut().find(|(k, _)| k == "nodes").unwrap().1;
+                        if let serde::Value::Array(nodes) = nodes {
+                            for node in nodes {
+                                if let serde::Value::Object(np) = node {
+                                    let metrics =
+                                        &mut np.iter_mut().find(|(k, _)| k == "metrics").unwrap().1;
+                                    drop_streaming_keys(metrics);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = QueryTrace::from_value(&v).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.first_rows_ns, 0);
     }
 
     #[test]

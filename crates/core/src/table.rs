@@ -53,13 +53,7 @@ impl BindingTable {
 
     /// Convert a row to a [`Bindings`] environment.
     pub fn row_bindings(&self, i: usize) -> Bindings {
-        let mut b = Bindings::new();
-        for (c, v) in self.cols.iter().zip(&self.rows[i]) {
-            b = b
-                .bind(*c, v.clone())
-                .expect("table rows are internally consistent");
-        }
-        b
+        bindings_for_row(&self.cols, &self.rows[i])
     }
 
     /// Append a row from a bindings environment (missing variables are an
@@ -107,15 +101,65 @@ impl BindingTable {
     /// names, then one line per tuple. Object values render as their oid in
     /// `store`; sets render their member oids.
     pub fn render(&self, store: &ObjectStore) -> String {
-        let mut out = String::new();
-        let header: Vec<String> = self.cols.iter().map(|c| c.as_str()).collect();
-        let _ = writeln!(out, "| {} |", header.join(" | "));
-        for row in &self.rows {
-            let cells: Vec<String> = row.iter().map(|v| render_value(v, store)).collect();
-            let _ = writeln!(out, "| {} |", cells.join(" | "));
-        }
+        let mut out = render_header(&self.cols);
+        out.push_str(&render_rows(&self.rows, store));
         out
     }
+
+    /// Rough resident size of the table's rows — see [`approx_batch_bytes`].
+    pub fn approx_bytes(&self) -> u64 {
+        approx_batch_bytes(&self.rows)
+    }
+}
+
+/// Build a [`Bindings`] environment from parallel column/row slices — the
+/// row-at-a-time form of [`BindingTable::row_bindings`] for callers that
+/// hold batches of rows rather than a whole table.
+pub fn bindings_for_row(cols: &[Symbol], row: &[BoundValue]) -> Bindings {
+    let mut b = Bindings::new();
+    for (c, v) in cols.iter().zip(row) {
+        b = b
+            .bind(*c, v.clone())
+            .expect("table rows are internally consistent");
+    }
+    b
+}
+
+/// Render just the header line of [`BindingTable::render`]'s format.
+pub fn render_header(cols: &[Symbol]) -> String {
+    let header: Vec<String> = cols.iter().map(|c| c.as_str()).collect();
+    format!("| {} |\n", header.join(" | "))
+}
+
+/// Render rows (no header) in [`BindingTable::render`]'s format. The
+/// streaming executor appends each emitted batch to a node's table render
+/// as it flows past; the concatenation equals a one-shot `render`.
+pub fn render_rows(rows: &[Vec<BoundValue>], store: &ObjectStore) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| render_value(v, store)).collect();
+        let _ = writeln!(out, "| {} |", cells.join(" | "));
+    }
+    out
+}
+
+/// Rough resident size of one row in bytes: atoms count their inline
+/// `Value` footprint, object references a machine word, object sets their
+/// id vector. Deliberately cheap — used for the `peak_bytes_resident`
+/// metric, not for allocation decisions.
+pub fn approx_row_bytes(row: &[BoundValue]) -> u64 {
+    row.iter()
+        .map(|v| match v {
+            BoundValue::Atom(_) => 24,
+            BoundValue::Obj(_) => 8,
+            BoundValue::ObjSet(ids) => 24 + 8 * ids.len() as u64,
+        })
+        .sum()
+}
+
+/// Rough resident size of a batch of rows, in bytes.
+pub fn approx_batch_bytes(rows: &[Vec<BoundValue>]) -> u64 {
+    rows.iter().map(|r| approx_row_bytes(r)).sum()
 }
 
 fn render_value(v: &BoundValue, store: &ObjectStore) -> String {

@@ -136,6 +136,22 @@ impl Bindings {
         }
     }
 
+    /// In-place variant of [`Bindings::bind`]: extend `self` with
+    /// `var = value`, returning `false` (and leaving `self` unchanged) if
+    /// `var` is already bound to a different value. Lets hot matcher loops
+    /// clone a base binding once and extend it field by field instead of
+    /// cloning the whole map per field.
+    pub fn bind_mut(&mut self, var: Symbol, value: BoundValue) -> bool {
+        let value = value.normalized();
+        match self.map.get(&var) {
+            Some(existing) => *existing == value,
+            None => {
+                self.map.insert(var, value);
+                true
+            }
+        }
+    }
+
     /// Merge two bindings, failing if they disagree on a common variable.
     /// This is the binding-match step of §2: a whois binding matches a cs
     /// binding if they agree on the shared variables.

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bindings;
 pub mod construct;
 pub mod containment;
@@ -27,6 +28,7 @@ pub mod matcher;
 pub mod subst;
 pub mod unify;
 
+pub use batch::FlatCond;
 pub use bindings::{Bindings, BoundValue};
 pub use construct::{ConstructError, Constructor};
 pub use matcher::{match_pattern, match_tail_patterns, match_top_level};

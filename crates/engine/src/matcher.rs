@@ -28,38 +28,55 @@ pub fn match_pattern(
 ) -> Vec<Bindings> {
     let obj = store.get(id);
 
-    // Object variable: X:<...> binds X to the object itself.
+    // Constant-field pre-checks reject before any allocation — the
+    // overwhelmingly common outcome when scanning a candidate set is a
+    // label mismatch, which must not cost a clone of the base bindings.
+    if let Term::Const(c) = &pat.label {
+        if !atomic_eq(c, &Value::Str(obj.label)) {
+            return Vec::new();
+        }
+    }
+    if let Some(Term::Const(c)) = &pat.oid {
+        if !atomic_eq(c, &Value::Str(obj.oid)) {
+            return Vec::new();
+        }
+    }
+    if let PatValue::Term(Term::Const(c)) = &pat.value {
+        if !atomic_eq(c, &obj.value) {
+            return Vec::new();
+        }
+    }
+
+    // One clone of the base; every field below extends it in place.
     let mut b = base.clone();
+
+    // Object variable: X:<...> binds X to the object itself.
     if let Some(ov) = pat.obj_var {
-        match b.bind(ov, BoundValue::Obj(id)) {
-            Some(next) => b = next,
-            None => return Vec::new(),
+        if !b.bind_mut(ov, BoundValue::Obj(id)) {
+            return Vec::new();
         }
     }
 
     // Oid field: variables bind to the oid as a string value; constants
     // must equal it.
     if let Some(oid_term) = &pat.oid {
-        match unify_term_value(oid_term, &Value::Str(obj.oid), &b) {
-            Some(next) => b = next,
-            None => return Vec::new(),
+        if !unify_term_value(oid_term, &Value::Str(obj.oid), &mut b) {
+            return Vec::new();
         }
     }
 
     // Label field: labels are matched as string values so that the same
     // variable can bind a label here and a value elsewhere (schematic
     // discrepancy, §2).
-    match unify_term_value(&pat.label, &Value::Str(obj.label), &b) {
-        Some(next) => b = next,
-        None => return Vec::new(),
+    if !unify_term_value(&pat.label, &Value::Str(obj.label), &mut b) {
+        return Vec::new();
     }
 
     // Type field.
     if let Some(typ_term) = &pat.typ {
         let tv = Value::str(obj.oem_type().keyword());
-        match unify_term_value(typ_term, &tv, &b) {
-            Some(next) => b = next,
-            None => return Vec::new(),
+        if !unify_term_value(typ_term, &tv, &mut b) {
+            return Vec::new();
         }
     }
 
@@ -68,17 +85,23 @@ pub fn match_pattern(
         (PatValue::Term(t), Value::Set(children)) => {
             // A variable in value position binds the set of subobjects.
             match t {
-                Term::Var(v) => match b.bind(*v, BoundValue::ObjSet(children.clone())) {
-                    Some(next) => vec![next],
-                    None => Vec::new(),
-                },
+                Term::Var(v) => {
+                    if b.bind_mut(*v, BoundValue::ObjSet(children.clone())) {
+                        vec![b]
+                    } else {
+                        Vec::new()
+                    }
+                }
                 _ => Vec::new(),
             }
         }
-        (PatValue::Term(t), atomic) => match unify_term_value(t, atomic, &b) {
-            Some(next) => vec![next],
-            None => Vec::new(),
-        },
+        (PatValue::Term(t), atomic) => {
+            if unify_term_value(t, atomic, &mut b) {
+                vec![b]
+            } else {
+                Vec::new()
+            }
+        }
         (PatValue::Set(sp), Value::Set(children)) => match_set(store, id, children, sp, &b),
         (PatValue::Set(_), _) => Vec::new(),
     }
@@ -172,6 +195,17 @@ fn match_set(
                 // some member of the rest set.
                 let mut cond_states = vec![with_rest];
                 for cond in &rest.conditions {
+                    // Var-free flat conditions bind nothing, so they
+                    // collapse to a membership test: the state either
+                    // survives unchanged or dies. (The recursive path
+                    // would yield one identical state per witness; callers
+                    // deduplicate, so only the multiplicity differs.)
+                    if let Some(flat) = crate::batch::FlatCond::compile(cond) {
+                        if rest_ids.iter().any(|&rid| flat.matches(store, rid)) {
+                            continue;
+                        }
+                        continue 'state;
+                    }
                     let mut next = Vec::new();
                     for cb in &cond_states {
                         for &rid in &rest_ids {
@@ -190,30 +224,20 @@ fn match_set(
     out
 }
 
-/// Unify a term with an atomic OEM value under existing bindings.
-fn unify_term_value(term: &Term, value: &Value, b: &Bindings) -> Option<Bindings> {
+/// Unify a term with an atomic OEM value, extending `b` in place. Returns
+/// `false` (bindings possibly left partially extended — callers discard on
+/// failure) when the term cannot unify.
+fn unify_term_value(term: &Term, value: &Value, b: &mut Bindings) -> bool {
     match term {
-        Term::Const(c) => {
-            if atomic_eq(c, value) {
-                Some(b.clone())
-            } else {
-                None
-            }
-        }
+        Term::Const(c) => atomic_eq(c, value),
         Term::Var(v) => match b.get(*v) {
-            Some(BoundValue::Atom(existing)) => {
-                if atomic_eq(existing, value) {
-                    Some(b.clone())
-                } else {
-                    None
-                }
-            }
-            Some(_) => None,
-            None => b.bind(*v, BoundValue::Atom(value.clone())),
+            Some(BoundValue::Atom(existing)) => atomic_eq(existing, value),
+            Some(_) => false,
+            None => b.bind_mut(*v, BoundValue::Atom(value.clone())),
         },
         // Parameters must be substituted before matching; function terms
         // never match data.
-        Term::Param(_) | Term::Func(..) => None,
+        Term::Param(_) | Term::Func(..) => false,
     }
 }
 

@@ -12,6 +12,9 @@ pub type Subst = HashMap<Symbol, Term>;
 
 /// Apply a substitution to a term. Unmapped variables stay variables.
 pub fn subst_term(t: &Term, s: &Subst) -> Term {
+    if s.is_empty() {
+        return t.clone();
+    }
     match t {
         Term::Var(v) => match s.get(v) {
             Some(mapped) => subst_term(mapped, s),
@@ -24,6 +27,11 @@ pub fn subst_term(t: &Term, s: &Subst) -> Term {
 
 /// Apply a substitution to a pattern.
 pub fn subst_pattern(p: &Pattern, s: &Subst) -> Pattern {
+    // The unifier applies plenty of empty substitutions (rules without
+    // shared variables); skip the recursive rebuild for those.
+    if s.is_empty() {
+        return p.clone();
+    }
     Pattern {
         obj_var: p.obj_var,
         oid: p.oid.as_ref().map(|t| subst_term(t, s)),
@@ -62,6 +70,9 @@ pub fn subst_set_pattern(sp: &SetPattern, s: &Subst) -> SetPattern {
 
 /// Apply a substitution to a whole rule.
 pub fn subst_rule(r: &Rule, s: &Subst) -> Rule {
+    if s.is_empty() {
+        return r.clone();
+    }
     Rule {
         head: match &r.head {
             Head::Var(v) => Head::Var(*v),
@@ -136,6 +147,9 @@ pub fn fill_params_pattern(p: &Pattern, params: &HashMap<Symbol, Value>) -> Patt
 
 /// Fill parameters throughout a rule.
 pub fn fill_params_rule(r: &Rule, params: &HashMap<Symbol, Value>) -> Rule {
+    if params.is_empty() {
+        return r.clone();
+    }
     Rule {
         head: match &r.head {
             Head::Var(v) => Head::Var(*v),
@@ -191,7 +205,7 @@ pub fn has_params_pattern(p: &Pattern) -> bool {
 /// bindings have no term form and are skipped). Used to push already-bound
 /// variables into source queries as constants.
 pub fn bindings_to_subst(b: &crate::bindings::Bindings) -> Subst {
-    let mut s = Subst::new();
+    let mut s = Subst::with_capacity(b.len());
     for (var, val) in b.iter() {
         if let crate::bindings::BoundValue::Atom(v) = val {
             s.insert(var, Term::Const(v.clone()));

@@ -2,9 +2,10 @@
 //!
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors minimal shims for its external dependencies (wired up
-//! via `[patch.crates-io]`). Only `crossbeam::thread::scope` is provided,
-//! implemented on top of `std::thread::scope`, with crossbeam's
-//! `Result`-returning signature and closure-taking `spawn`.
+//! via `[patch.crates-io]`). `crossbeam::thread::scope` is implemented on
+//! top of `std::thread::scope` (with crossbeam's `Result`-returning
+//! signature and closure-taking `spawn`), and `crossbeam::channel` provides
+//! a bounded MPSC channel over `std::sync::mpsc::sync_channel`.
 
 pub mod thread {
     use std::any::Any;
@@ -55,6 +56,72 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Bounded multi-producer single-consumer channel.
+    //!
+    //! Mirrors the subset of `crossbeam::channel` the workspace uses: a
+    //! `bounded` constructor, a `Clone`-able `Sender`, and a `Receiver`
+    //! whose iterator ends once every sender has been dropped. Backed by
+    //! `std::sync::mpsc::sync_channel`, which provides exactly those
+    //! semantics (rendezvous excluded — capacity must be ≥ 1).
+
+    use std::sync::mpsc;
+
+    /// Create a bounded channel with room for `cap` in-flight messages.
+    /// `send` blocks while the channel is full, giving backpressure.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Sending half; clone one per producer thread.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue. `Err` means the
+        /// receiver is gone; the message is returned to the caller.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half; iterate to drain until all senders hang up.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next message; `Err` once the channel is empty and
+        /// every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator over messages; ends at hang-up.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// The receiver disconnected before the message could be delivered.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// All senders disconnected and the channel is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -79,5 +146,37 @@ mod tests {
         })
         .unwrap();
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure_and_ends_on_hangup() {
+        let (tx, rx) = super::channel::bounded::<usize>(2);
+        let tx2 = tx.clone();
+        let got: Vec<usize> = super::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            scope.spawn(move |_| {
+                for i in 10..20 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            // Both senders are moved into the threads; once they finish and
+            // drop, the iterator terminates.
+            let mut v: Vec<usize> = rx.iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .unwrap();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = super::channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(7).is_err());
     }
 }
