@@ -1,6 +1,8 @@
 //! Shared harness helpers for the figure-reproduction experiments and the
 //! Criterion benches.
 
+#![warn(missing_docs)]
+
 use medmaker::planner::PlannerOptions;
 use medmaker::{ExternalRegistry, Mediator, MediatorOptions};
 use std::sync::Arc;

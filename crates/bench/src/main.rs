@@ -5,7 +5,7 @@
 //! Usage: `cargo run -p medmaker-bench --bin experiments -- <id|all>`
 //! where `<id>` is one of: architecture fig22 fig23 ms1 bindings fig24
 //! pipeline theta1 pushdown fig36 schema_query wildcard fusion recursion
-//! dupelim capabilities stats analyze lorel faults cache streaming
+//! dupelim capabilities stats analyze lorel faults cache streaming serve
 
 use engine::bindings::Bindings;
 use engine::matcher::match_top_level;
@@ -50,6 +50,7 @@ fn main() {
         ("faults", faults),
         ("cache", cache),
         ("streaming", streaming),
+        ("serve", serve),
     ];
     let mut ran = false;
     for (name, f) in &experiments {
@@ -846,5 +847,153 @@ fn streaming() {
         "[ok] first answer {speedup:.1}x sooner under streaming; peak resident \
          {} rows vs {} materialized, byte-identical answers",
         stream.trace.peak_batch_rows, mat.trace.peak_batch_rows
+    );
+}
+
+/// The resident server vs per-process mediation: the Fig 3.6 workload
+/// repeated x10. A one-shot CLI run pays spec parse + lint + analysis +
+/// a cold cache on every query; `medmaker serve` pays them once, so
+/// iterations 2..N are served from the resident answer cache with zero
+/// source round-trips — over a real loopback socket, full wire protocol
+/// included. Emits `BENCH_serve.json`.
+fn serve() {
+    use medmaker::CacheOptions;
+    use medmaker_server::{Server, ServerOptions};
+    use serde::Value;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    const N: usize = 10;
+    const Q: &str = "S :- S:<cs_person {<year 3>}>@med";
+    let opts = || MediatorOptions {
+        learn_stats: false,
+        unify_mode: UnifyMode::Minimal,
+        cache: CacheOptions::enabled(),
+        ..Default::default()
+    };
+
+    // Per-process baseline: a fresh mediator per query, the way one-shot
+    // CLI runs work. Every iteration repeats construction and the cold
+    // round-trips.
+    let q = msl::parse_query(Q).unwrap();
+    let mut oneshot_ms = Vec::new();
+    let mut oneshot_calls = Vec::new();
+    let mut expected = String::new();
+    for _ in 0..N {
+        let t = Instant::now();
+        let med = paper_mediator_with(opts());
+        let out = med.query_rule(&q).unwrap();
+        oneshot_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        oneshot_calls.push(out.trace.total_source_calls());
+        expected = print_store(&out.results);
+    }
+
+    // Resident server: one mediator behind `medmaker serve`, queried over
+    // a real loopback connection with the HTTP wire protocol.
+    let t = Instant::now();
+    let handle = Server::start(
+        Arc::new(paper_mediator_with(opts())),
+        ServerOptions::default(),
+    )
+    .unwrap();
+    let startup_ms = t.elapsed().as_secs_f64() * 1e3;
+    let body = format!("{{\"query\": \"{Q}\"}}");
+    let request = format!(
+        "POST /query HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut serve_ms = Vec::new();
+    for i in 0..N {
+        let t = Instant::now();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        serve_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(reply.starts_with("HTTP/1.1 200"), "iteration {i}: {reply}");
+        // The served bytes must match the one-shot runs exactly.
+        let body = reply.split_once("\r\n\r\n").unwrap().1;
+        let v: Value = serde_json::from_str(body.trim()).unwrap();
+        let answer = v.get("answer").and_then(|a| a.as_str()).unwrap();
+        assert_eq!(answer, expected, "iteration {i}: resident answer drifted");
+    }
+    let service = Arc::clone(handle.service());
+    let executions = service.metrics().executions();
+    // Every request after the first is answered from the resident cache:
+    // N requests, but cold source traffic only once.
+    let cache = service.mediator().cache_counters();
+    handle.shutdown();
+
+    let total_oneshot: usize = oneshot_calls.iter().sum();
+    let sum = |v: &[f64]| v.iter().sum::<f64>();
+    println!(
+        "one-shot: {total_oneshot} source round-trips, {:.1} ms total",
+        sum(&oneshot_ms)
+    );
+    println!(
+        "resident: {executions} executions, {} cache hits, {:.1} ms total over \
+         the wire (+{startup_ms:.1} ms one-time startup)",
+        cache.hits,
+        sum(&serve_ms)
+    );
+    assert_eq!(
+        executions as usize, N,
+        "every request executes (sequential arrivals never coalesce)"
+    );
+    assert!(
+        cache.hits as usize >= N - 1,
+        "iterations 2..N must be served from the resident cache: {} hits",
+        cache.hits
+    );
+    assert!(
+        total_oneshot >= N * oneshot_calls[0],
+        "every one-shot run pays cold round-trips"
+    );
+
+    let report = Value::Object(vec![
+        ("bench".to_string(), Value::Str("serve".to_string())),
+        ("workload".to_string(), Value::Str(Q.to_string())),
+        ("iterations".to_string(), Value::Int(N as i64)),
+        (
+            "oneshot_round_trips".to_string(),
+            Value::Array(
+                oneshot_calls
+                    .iter()
+                    .map(|&c| Value::Int(c as i64))
+                    .collect(),
+            ),
+        ),
+        (
+            "oneshot_ms".to_string(),
+            Value::Array(oneshot_ms.iter().map(|&m| Value::Float(m)).collect()),
+        ),
+        (
+            "serve_ms".to_string(),
+            Value::Array(serve_ms.iter().map(|&m| Value::Float(m)).collect()),
+        ),
+        ("serve_startup_ms".to_string(), Value::Float(startup_ms)),
+        (
+            "resident_cache_hits".to_string(),
+            Value::Int(cache.hits as i64),
+        ),
+        (
+            "oneshot_total_ms".to_string(),
+            Value::Float(sum(&oneshot_ms)),
+        ),
+        ("serve_total_ms".to_string(), Value::Float(sum(&serve_ms))),
+        (
+            "speedup".to_string(),
+            Value::Float(sum(&oneshot_ms) / sum(&serve_ms).max(1e-9)),
+        ),
+        ("answers_identical".to_string(), Value::Bool(true)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write("BENCH_serve.json", &json).unwrap();
+    println!("wrote BENCH_serve.json");
+    println!(
+        "[ok] resident serve amortizes startup and source round-trips: \
+         {total_oneshot} one-shot round-trips vs cold-once resident ({} cache hits)",
+        cache.hits
     );
 }

@@ -15,6 +15,8 @@
 //! commands. Repeating `--csv NAME=file` with the same NAME adds tables to
 //! one relational source (one catalog per source name).
 
+#![warn(missing_docs)]
+
 use medmaker::planner::PlannerOptions;
 use medmaker::{Mediator, MediatorOptions};
 use std::collections::BTreeMap;
@@ -80,6 +82,16 @@ pub struct Config {
     pub materialize: bool,
     /// Rows per streamed batch (`--batch-size N`).
     pub batch_size: Option<usize>,
+    /// Serve subcommand: run the resident mediator daemon
+    /// (`medmaker serve --spec FILE ...`).
+    pub serve: bool,
+    /// Bind address for serve mode (`--addr HOST:PORT`,
+    /// default `127.0.0.1:7070`; port 0 picks a free port).
+    pub addr: Option<String>,
+    /// Concurrent query executions in serve mode (`--workers N`).
+    pub workers: Option<usize>,
+    /// Admission queue length in serve mode (`--queue N`).
+    pub queue: Option<usize>,
 }
 
 /// Usage text.
@@ -92,6 +104,8 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker check SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
+       medmaker serve --spec FILE [--addr HOST:PORT] [--workers N] [--queue N]
+                [source/option flags]
 
   --spec FILE       MSL mediator specification
   --name NAME       mediator name (default: med)
@@ -139,6 +153,16 @@ unknown labels W301, dead views W302, plus all lint codes) followed by
 the inferred answerability of each view, and exits 0/1/2 like lint.
 --json prints one object with \"diagnostics\" and \"views\" arrays.
 
+serve mode keeps one mediator resident and answers queries concurrently
+over TCP — hand-rolled HTTP/1.1 (POST /query with a JSON body,
+GET /metrics, GET /healthz) and a newline-delimited line protocol share
+the one port (the first line of each connection is sniffed). --addr binds
+HOST:PORT (default 127.0.0.1:7070; port 0 picks a free port), --workers
+bounds concurrent query executions (default 4), --queue bounds requests
+waiting for a worker (default 64); requests beyond workers+queue are shed
+with 503/BUSY. SIGINT/SIGTERM shut down gracefully, draining in-flight
+queries. Wire formats: DESIGN.md §11; operations: docs/OPERATIONS.md.
+
 explain mode prints the view expansion, the physical datamerge plan and a
 traced run of QUERY. With --analyze the run is rendered EXPLAIN
 ANALYZE-style: every node annotated with observed rows-in/rows-out next to
@@ -162,6 +186,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
     } else if it.peek().map(String::as_str) == Some("explain") {
         it.next();
         cfg.explain_cmd = true;
+    } else if it.peek().map(String::as_str) == Some("serve") {
+        it.next();
+        cfg.serve = true;
     }
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -228,6 +255,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
                 }
                 cfg.batch_size = Some(n);
             }
+            "--addr" if cfg.serve => {
+                cfg.addr = Some(it.next().ok_or("--addr needs a HOST:PORT argument")?);
+            }
+            "--workers" if cfg.serve => {
+                let v = it.next().ok_or("--workers needs a number argument")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--workers expects a number, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                cfg.workers = Some(n);
+            }
+            "--queue" if cfg.serve => {
+                let v = it.next().ok_or("--queue needs a number argument")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--queue expects a number, got '{v}'"))?;
+                cfg.queue = Some(n);
+            }
             "--explain" => cfg.explain = true,
             "--lorel" => cfg.lorel = true,
             "--json" if cfg.lint || cfg.check => cfg.json = true,
@@ -268,6 +315,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
     }
     if cfg.explain_cmd && cfg.query.is_none() {
         return Err(format!("explain needs a QUERY argument\n{USAGE}"));
+    }
+    if cfg.serve && cfg.query.is_some() {
+        return Err(format!(
+            "serve takes no QUERY argument (clients send queries over TCP)\n{USAGE}"
+        ));
     }
     Ok(cfg)
 }
@@ -603,6 +655,35 @@ pub fn run_explain(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Run `medmaker serve`: build the mediator, keep it resident, and answer
+/// queries over TCP until SIGINT/SIGTERM (wire formats in DESIGN.md §11,
+/// operations in docs/OPERATIONS.md). Prints the bound address on startup
+/// so scripts binding port 0 can discover the port. Returns the process
+/// exit code.
+pub fn run_serve(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
+    let med = build_mediator(cfg)?;
+    let options = medmaker_server::ServerOptions {
+        addr: cfg
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        workers: cfg.workers.unwrap_or(4),
+        queue: cfg.queue.unwrap_or(64),
+        ..Default::default()
+    };
+    let handle = medmaker_server::Server::start(Arc::new(med), options)?;
+    writeln!(out, "medmaker serve: listening on {}", handle.addr()).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    medmaker_server::signal::install();
+    while !medmaker_server::signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    writeln!(out, "medmaker serve: shutting down").map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    handle.shutdown();
+    Ok(0)
+}
+
 /// Translate a LOREL query to MSL text for a mediator.
 pub fn lorel_to_msl_text(med: &Mediator, query: &str) -> Result<String, String> {
     let rule = lorel::to_msl(query, &med.spec().name.as_str()).map_err(|e| e.to_string())?;
@@ -810,6 +891,30 @@ mod tests {
         assert!(parse_args(argv("--spec s.msl --batch-size tiny")).is_err());
         assert!(parse_args(argv("--spec s.msl --batch-size 0")).is_err());
         assert!(parse_args(argv("--spec s.msl --batch-size")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let cfg = parse_args(argv(
+            "serve --spec med.msl --addr 0.0.0.0:7070 --workers 8 --queue 16 --cache --partial",
+        ))
+        .unwrap();
+        assert!(cfg.serve);
+        assert_eq!(cfg.addr.as_deref(), Some("0.0.0.0:7070"));
+        assert_eq!(cfg.workers, Some(8));
+        assert_eq!(cfg.queue, Some(16));
+        // Standing mediator flags still apply to the resident mediator.
+        assert!(cfg.cache && cfg.partial);
+        // Defaults: all None (run_serve fills in 127.0.0.1:7070, 4, 64).
+        let cfg = parse_args(argv("serve --spec med.msl")).unwrap();
+        assert!(cfg.serve);
+        assert!(cfg.addr.is_none() && cfg.workers.is_none() && cfg.queue.is_none());
+        // serve takes no positional query; serve-only flags need serve.
+        assert!(parse_args(argv("serve --spec med.msl QUERY")).is_err());
+        assert!(parse_args(argv("--spec med.msl --addr 1.2.3.4:1 QUERY")).is_err());
+        assert!(parse_args(argv("serve --spec s.msl --workers 0")).is_err());
+        assert!(parse_args(argv("serve --spec s.msl --workers many")).is_err());
+        assert!(parse_args(argv("serve --spec s.msl --queue")).is_err());
     }
 
     #[test]

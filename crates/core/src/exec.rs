@@ -9,7 +9,7 @@
 //! tables are additionally rendered, which is how the Figure 3.6
 //! walkthrough is regenerated.
 
-use crate::cache::{AnswerCache, CacheHit};
+use crate::cache::{AnswerCache, CacheHit, ParamMemo, ParamMemoKey};
 use crate::error::{MedError, Result};
 use crate::externals::ExternalRegistry;
 use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
@@ -56,6 +56,11 @@ pub struct ExecOptions {
     pub streaming: bool,
     /// Upper bound on rows per streamed batch. Clamped to at least 1.
     pub batch_size: usize,
+    /// The mediator's shared parameterized-query memo, when caching is
+    /// enabled ([`crate::Mediator`] owns it alongside the answer cache).
+    /// `None` makes the execution build its own ephemeral memo — the
+    /// historical per-query scope.
+    pub param_memo: Option<Arc<ParamMemo>>,
 }
 
 impl Default for ExecOptions {
@@ -67,6 +72,7 @@ impl Default for ExecOptions {
             cache: None,
             streaming: cfg!(feature = "streaming"),
             batch_size: 1024,
+            param_memo: None,
         }
     }
 }
@@ -97,17 +103,6 @@ impl FaultRuntime {
     }
 }
 
-/// Key of the per-execution shared parameterized-query memo: source,
-/// printed unfilled query, bound parameter tuple.
-type ParamKey = (Symbol, String, Vec<Value>);
-
-/// One memo slot per parameter tuple. The slot's own lock is held across
-/// the fetch — chains racing on the *same* tuple block and then reuse the
-/// one answer — while the map lock is released before any I/O, so
-/// distinct tuples and distinct sources fetch concurrently. A failed
-/// fetch leaves the slot empty; the next chain to need the tuple retries.
-type ParamSlot = Arc<parking_lot::Mutex<Option<Arc<ObjectStore>>>>;
-
 /// Everything one chain shares with its environment: sources, externals,
 /// fault machinery, shared memo/cache, tracing flag.
 struct ChainCtx<'a> {
@@ -117,9 +112,10 @@ struct ChainCtx<'a> {
     /// Parameterized-query answers shared across every chain of this
     /// execution (same lock pattern as the circuit breaker): parallel
     /// chains sending the same bound tuple to the same source pay one
-    /// round-trip, not one each. The map lock only guards slot creation;
-    /// the per-tuple [`ParamSlot`] locks are what serialize a fetch.
-    param_memo: &'a parking_lot::Mutex<HashMap<ParamKey, ParamSlot>>,
+    /// round-trip, not one each. When [`ExecOptions::param_memo`] carries
+    /// the mediator's shared memo, the sharing extends across whole
+    /// queries — see [`ParamMemo`] for the scoping rules.
+    param_memo: &'a ParamMemo,
     cache: Option<&'a AnswerCache>,
     trace_on: bool,
 }
@@ -1198,12 +1194,23 @@ pub fn execute(
 ) -> Result<ExecOutcome> {
     let exec_start = Instant::now();
     let fault = FaultRuntime::new(&opts.fault);
-    let param_memo = parking_lot::Mutex::new(HashMap::new());
+    // Cache counters are process-wide and monotone; snapshot now so the
+    // trace can report this query's eviction *delta* rather than the
+    // cache's lifetime total (a resident mediator serves many queries).
+    let evictions_before = opts.cache.as_ref().map(|c| c.counters().evictions);
+    let local_memo;
+    let param_memo: &ParamMemo = match &opts.param_memo {
+        Some(m) => m.as_ref(),
+        None => {
+            local_memo = ParamMemo::ephemeral();
+            &local_memo
+        }
+    };
     let ctx = ChainCtx {
         sources,
         registry,
         fault: &fault,
-        param_memo: &param_memo,
+        param_memo,
         cache: opts.cache.as_deref(),
         trace_on: opts.trace,
     };
@@ -1473,8 +1480,14 @@ pub fn execute(
     trace.peak_bytes_resident = peak_bytes;
     if let Some(cache) = &opts.cache {
         let c = cache.counters();
+        // `bytes_cached` is a process-wide gauge (bytes the shared cache
+        // holds right now); `cache_evictions` is this query's delta, so
+        // per-request traces do not re-report lifetime totals under a
+        // resident mediator.
         trace.bytes_cached = c.bytes_cached as u64;
-        trace.cache_evictions = c.evictions;
+        trace.cache_evictions = c
+            .evictions
+            .saturating_sub(evictions_before.unwrap_or(c.evictions));
     }
 
     Ok(ExecOutcome {
@@ -1815,7 +1828,7 @@ fn run_and_extract(
     ctx: &ChainCtx<'_>,
     stats: &mut ChainStats,
     counters: &mut NodeCounters,
-    shared_key: Option<ParamKey>,
+    shared_key: Option<ParamMemoKey>,
 ) -> Result<Vec<Vec<BoundValue>>> {
     if let Some(cache) = ctx.cache.filter(|c| c.enabled_for(source)) {
         if let Some((rows, kind)) = cache.lookup(source, query, vars, memory) {
@@ -1833,23 +1846,30 @@ fn run_and_extract(
             return Ok(rows);
         }
     }
-    // Parameterized queries consult the per-execution shared memo: a
-    // sibling chain may already have fetched this exact tuple. Only the
-    // tuple's own slot lock is held across the fetch — chains after the
-    // same tuple wait for the one round-trip; everything else proceeds.
+    // Parameterized queries consult the shared memo: a sibling chain (or,
+    // with the mediator's shared memo, a concurrent query) may already
+    // have fetched this exact tuple. Only the tuple's own slot lock is
+    // held across the fetch — executions after the same tuple wait for
+    // the one round-trip; everything else proceeds. A cross-query memo
+    // follows the cache's freshness rules: expired entries refetch, and
+    // an embargoed source is always refetched so a shared memo cannot
+    // mask an outage behind data of unknown staleness.
     if let Some(skey) = shared_key {
-        let slot = {
-            let mut memo = ctx.param_memo.lock();
-            Arc::clone(memo.entry(skey).or_default())
-        };
+        let slot = ctx.param_memo.slot(&skey);
         let mut filled = slot.lock();
-        if let Some(store) = filled.as_ref() {
-            let store = Arc::clone(store);
-            drop(filled);
-            return extract_rows(&store, vars, memory, counters);
+        let embargoed = ctx.param_memo.is_shared()
+            && ctx
+                .cache
+                .is_some_and(|c| c.enabled_for(source) && c.embargoed(source));
+        if !embargoed {
+            if let Some(state) = filled.as_ref().filter(|s| ctx.param_memo.live(s)) {
+                let store = Arc::clone(&state.answer);
+                drop(filled);
+                return extract_rows(&store, vars, memory, counters);
+            }
         }
         let result = Arc::new(fetch_store(source, query, vars, ctx, stats, counters)?);
-        *filled = Some(Arc::clone(&result));
+        *filled = Some(ctx.param_memo.state(Arc::clone(&result)));
         drop(filled);
         return extract_rows(&result, vars, memory, counters);
     }

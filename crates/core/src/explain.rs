@@ -156,10 +156,14 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             .collect();
         let _ = writeln!(out, "cache misses: {}", misses.join(" "));
     }
+    // The byte figure is a process-wide gauge (what the shared cache
+    // holds after this query); evictions are this query's own delta.
+    // Labeled apart so a resident mediator's reports don't read as if
+    // one request cached everything — see DESIGN.md §10.
     if trace.bytes_cached > 0 || trace.cache_evictions > 0 {
         let _ = writeln!(
             out,
-            "cache: {} bytes held, {} evictions",
+            "cache: {} bytes held (process-wide), {} evictions (this query)",
             trace.bytes_cached, trace.cache_evictions
         );
     }

@@ -60,6 +60,6 @@ pub use analysis::{AnswerMatrix, SourceInfo, SpecAnalysis};
 pub use cache::{AnswerCache, CacheCounters, CacheHit, CacheOptions};
 pub use error::{MedError, Result};
 pub use externals::ExternalRegistry;
-pub use mediator::{Mediator, MediatorOptions};
+pub use mediator::{Mediator, MediatorOptions, QueryLimits};
 pub use retry::{FaultOptions, OnSourceFailure, RetryPolicy};
 pub use spec::MediatorSpec;

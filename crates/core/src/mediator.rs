@@ -5,7 +5,7 @@
 //! serve as sources of other mediators — stacking exactly as in the
 //! TSIMMIS architecture of Figure 1.1.
 
-use crate::cache::{AnswerCache, CacheCounters, CacheOptions};
+use crate::cache::{AnswerCache, CacheCounters, CacheOptions, ParamMemo};
 use crate::error::{MedError, Result};
 use crate::exec::{execute, ExecOptions, ExecOutcome};
 use crate::externals::ExternalRegistry;
@@ -13,12 +13,11 @@ use crate::logical::LogicalProgram;
 use crate::planner::{plan, PlanContext, PlannerOptions};
 use crate::recursion::materialize_fixpoint;
 use crate::spec::MediatorSpec;
-use crate::stats::StatsCache;
+use crate::stats::{SharedStats, StatsCache};
 use crate::veao::expand;
 use engine::unify::UnifyMode;
 use msl::Rule;
 use oem::{ObjectStore, Symbol};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use wrappers::{Capabilities, SourceStats, Wrapper, WrapperError};
@@ -58,6 +57,45 @@ pub struct MediatorOptions {
     pub streaming: bool,
     /// Rows per streamed batch ([`ExecOptions::batch_size`]).
     pub batch_size: usize,
+}
+
+/// Per-query resource limits, applied on top of a mediator's standing
+/// [`MediatorOptions`] by [`Mediator::query_rule_with`]. `None` fields
+/// inherit the mediator's configuration. The serving layer uses these to
+/// cap what any single request may cost a shared mediator; see
+/// DESIGN.md §10.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Per-source-call deadline in milliseconds, mapped onto
+    /// [`crate::retry::FaultOptions::source_deadline_ms`] for this query
+    /// only. When the mediator already has a standing deadline, the
+    /// tighter of the two applies. This bounds each source round-trip,
+    /// not the whole query: a query of `k` source calls can take up to
+    /// `k × deadline_ms` before its slowest call trips.
+    pub deadline_ms: Option<u64>,
+    /// Cap on top-level answer objects returned to the client. Enforced
+    /// where answers are rendered (the server truncates the printed
+    /// answer and marks it truncated) — execution itself is not cut
+    /// short, so a capped answer is a prefix of the full one. Carried
+    /// here so the cap participates in coalescing identity.
+    pub max_rows: Option<usize>,
+    /// Rows per streamed batch for this query only
+    /// ([`ExecOptions::batch_size`]); bounds the query's peak resident
+    /// rows under streaming execution.
+    pub batch_size: Option<usize>,
+}
+
+impl QueryLimits {
+    /// A stable fingerprint of the limit set, appended to the canonical
+    /// query key ([`crate::cache::canonical_key`]) when coalescing
+    /// in-flight requests: two textually-identical queries carrying
+    /// different limits must not share one execution.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "d={:?};r={:?};b={:?}",
+            self.deadline_ms, self.max_rows, self.batch_size
+        )
+    }
 }
 
 impl Default for MediatorOptions {
@@ -101,7 +139,7 @@ pub struct Mediator {
     sources: HashMap<Symbol, Arc<dyn Wrapper>>,
     registry: ExternalRegistry,
     options: MediatorOptions,
-    stats: RwLock<StatsCache>,
+    stats: SharedStats,
     caps: Capabilities,
     lint_warnings: Vec<msl::Diagnostic>,
     /// Whole-spec analysis result ([`crate::analysis`]), computed at
@@ -112,6 +150,14 @@ pub struct Mediator {
     /// point); rebuilt by [`Mediator::with_options`] so a reconfigured
     /// cache starts cold.
     cache: Arc<AnswerCache>,
+    /// Cross-query memo for parameterized source calls (bind joins).
+    /// Handed to the executor only while the cache is enabled — with the
+    /// cache off, every execution falls back to its own ephemeral memo
+    /// and repeated queries pay their round-trips exactly as before.
+    /// Follows the cache's TTL and failed-source embargo; cleared by
+    /// [`Mediator::invalidate_source`] and rebuilt (cold) by
+    /// [`Mediator::with_options`].
+    param_memo: Arc<ParamMemo>,
 }
 
 impl Mediator {
@@ -208,16 +254,18 @@ impl Mediator {
         let mut caps = Capabilities::full();
         caps.wildcards = false;
         let cache = Arc::new(AnswerCache::new(options.cache.clone()));
+        let param_memo = Arc::new(ParamMemo::shared(&options.cache));
         Ok(Mediator {
             spec,
             sources: map,
             registry,
             options,
-            stats: RwLock::new(stats),
+            stats: SharedStats::new(stats),
             caps,
             lint_warnings,
             analysis,
             cache,
+            param_memo,
         })
     }
 
@@ -229,10 +277,12 @@ impl Mediator {
         &self.lint_warnings
     }
 
-    /// Replace the option set. The answer cache is rebuilt from the new
+    /// Replace the option set. The answer cache and the cross-query
+    /// parameterized-call memo are rebuilt from the new
     /// [`MediatorOptions::cache`] configuration, starting cold.
     pub fn with_options(mut self, options: MediatorOptions) -> Mediator {
         self.cache = Arc::new(AnswerCache::new(options.cache.clone()));
+        self.param_memo = Arc::new(ParamMemo::shared(&options.cache));
         if !options.analysis {
             // The analysis can only be *disabled* after construction: it
             // runs while the mediator is built (use
@@ -251,8 +301,11 @@ impl Mediator {
 
     /// Drop every cached source answer for `source` — the explicit
     /// invalidation hook for when a source is known to have changed.
+    /// Clears both the answer cache and the cross-query parameterized
+    /// memo, so the next query pays fresh round-trips to that source.
     pub fn invalidate_source(&self, source: Symbol) {
         self.cache.invalidate_source(source);
+        self.param_memo.invalidate_source(source);
     }
 
     /// Snapshot of the answer cache's lifetime counters (hits, misses,
@@ -271,6 +324,31 @@ impl Mediator {
         }
     }
 
+    /// The cross-query memo handed to the executor: `Some` only when the
+    /// cache is enabled. With the cache off the executor uses a
+    /// per-execution ephemeral memo, preserving exact seed behavior.
+    fn exec_param_memo(&self) -> Option<Arc<ParamMemo>> {
+        if self.options.cache.enabled {
+            Some(Arc::clone(&self.param_memo))
+        } else {
+            None
+        }
+    }
+
+    /// Entries currently held by the cross-query parameterized-call
+    /// memo. Process-wide, like [`Mediator::cache_counters`].
+    pub fn param_memo_len(&self) -> usize {
+        self.param_memo.len()
+    }
+
+    /// Lifetime count of statistics observations folded into the learned
+    /// EWMA tables (§3.5), across every query this mediator has served.
+    /// One executed query can contribute several per-source
+    /// observations; cache hits contribute none. Serves `/metrics`.
+    pub fn stats_observations(&self) -> u64 {
+        self.stats.observations()
+    }
+
     /// The mediator's specification.
     pub fn spec(&self) -> &MediatorSpec {
         &self.spec
@@ -285,6 +363,17 @@ impl Mediator {
     /// Run a parsed query, returning the full execution outcome (results,
     /// traces, observations).
     pub fn query_rule(&self, query: &Rule) -> Result<ExecOutcome> {
+        self.query_rule_with(query, &QueryLimits::default())
+    }
+
+    /// Like [`Mediator::query_rule`], with per-query resource limits
+    /// layered over the mediator's standing options. This is the serving
+    /// layer's entry point: many threads call it concurrently against
+    /// one resident mediator (`&self`), sharing the answer cache, the
+    /// parameterized-call memo, learned statistics, and circuit
+    /// breakers. `max_rows` is carried but not enforced here — see
+    /// [`QueryLimits::max_rows`].
+    pub fn query_rule_with(&self, query: &Rule, limits: &QueryLimits) -> Result<ExecOutcome> {
         msl::validate::validate_rule(query, &self.spec.spec.externals)?;
 
         if self.spec.is_recursive() {
@@ -294,6 +383,13 @@ impl Mediator {
             return self.query_recursive(query);
         }
 
+        let mut fault = self.options.fault.clone();
+        if let Some(d) = limits.deadline_ms {
+            fault.source_deadline_ms = Some(match fault.source_deadline_ms {
+                Some(standing) => standing.min(d),
+                None => d,
+            });
+        }
         let program = self.expand(query)?;
         let physical = {
             let stats = self.stats.read();
@@ -313,15 +409,16 @@ impl Mediator {
             &ExecOptions {
                 trace: self.options.trace,
                 parallel: self.options.parallel,
-                fault: self.options.fault.clone(),
+                fault,
                 cache: self.exec_cache(),
+                param_memo: self.exec_param_memo(),
                 streaming: self.options.streaming,
-                batch_size: self.options.batch_size,
+                batch_size: limits.batch_size.unwrap_or(self.options.batch_size),
             },
         )?;
         outcome.trace.query = msl::printer::rule(query);
         if self.options.learn_stats {
-            self.stats.write().record_trace(&outcome.trace);
+            self.stats.record_trace(&outcome.trace);
         }
         Ok(outcome)
     }
@@ -351,7 +448,7 @@ impl Mediator {
 
     /// A snapshot of the learned statistics (experiments).
     pub fn stats_snapshot(&self) -> StatsCache {
-        self.stats.read().clone()
+        self.stats.snapshot()
     }
 
     /// Full EXPLAIN: render the logical datamerge program, the physical
@@ -395,6 +492,7 @@ impl Mediator {
                     parallel: false,
                     fault: self.options.fault.clone(),
                     cache: self.exec_cache(),
+                    param_memo: self.exec_param_memo(),
                     streaming: self.options.streaming,
                     batch_size: self.options.batch_size,
                 },
@@ -446,13 +544,14 @@ impl Mediator {
                 parallel: self.options.parallel,
                 fault: self.options.fault.clone(),
                 cache: self.exec_cache(),
+                param_memo: self.exec_param_memo(),
                 streaming: self.options.streaming,
                 batch_size: self.options.batch_size,
             },
         )?;
         outcome.trace.query = msl::printer::rule(&query);
         if self.options.learn_stats {
-            self.stats.write().record_trace(&outcome.trace);
+            self.stats.record_trace(&outcome.trace);
         }
         let report = crate::explain::render_analyze(&physical, &outcome);
         Ok((report, outcome.trace))
@@ -881,6 +980,86 @@ mod tests {
             "{:?}",
             after.trace.source_calls
         );
+    }
+
+    #[test]
+    fn param_memo_shared_across_queries_and_cleared_by_invalidation() {
+        // The bind-join memo outlives a single execution when the cache
+        // is on: a later query reuses the whois answers fetched for the
+        // same parameter tuples. Explicit invalidation must clear it, or
+        // it would serve data the caller just declared stale.
+        let med = paper_mediator().with_options(cache_test_options(CacheOptions::enabled()));
+        assert_eq!(med.param_memo_len(), 0);
+        med.query_text("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let after_first = med.param_memo_len();
+        assert!(after_first > 0, "bind joins must populate the shared memo");
+        med.invalidate_source(sym("whois"));
+        assert!(
+            med.param_memo_len() < after_first,
+            "invalidation must drop the source's memo entries"
+        );
+    }
+
+    #[test]
+    fn param_memo_unused_while_cache_disabled() {
+        // Cache off = exact seed behavior: executions use their own
+        // ephemeral memo and nothing accumulates on the mediator.
+        let med = paper_mediator().with_options(cache_test_options(CacheOptions::default()));
+        med.query_text("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        assert_eq!(med.param_memo_len(), 0);
+    }
+
+    #[test]
+    fn query_limits_preserve_answers_and_fingerprints_differ() {
+        let q = "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med";
+        let med = paper_mediator();
+        let rule = msl::parse_query(q).unwrap();
+        let base = med.query_rule(&rule).unwrap();
+        let limited = med
+            .query_rule_with(
+                &rule,
+                &QueryLimits {
+                    deadline_ms: Some(5_000),
+                    max_rows: Some(10),
+                    batch_size: Some(1),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            oem::printer::print_store(&base.results),
+            oem::printer::print_store(&limited.results)
+        );
+        // Different limits must not coalesce to one execution: the
+        // fingerprint distinguishes them.
+        assert_ne!(
+            QueryLimits::default().fingerprint(),
+            QueryLimits {
+                max_rows: Some(10),
+                ..Default::default()
+            }
+            .fingerprint()
+        );
+    }
+
+    #[test]
+    fn stats_observations_count_queries_not_cache_hits() {
+        let med = paper_mediator().with_options(MediatorOptions {
+            cache: CacheOptions::enabled(),
+            ..Default::default()
+        });
+        assert_eq!(med.stats_observations(), 0);
+        // Two warm-ups: the first learns statistics, which can change the
+        // second run's plan (and issue genuinely new source queries).
+        med.query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        med.query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        let warmed = med.stats_observations();
+        assert!(warmed > 0, "real source traffic must be observed");
+        // A fully-cached run carries no fresh observations.
+        med.query_text("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+            .unwrap();
+        assert_eq!(med.stats_observations(), warmed);
     }
 
     #[test]

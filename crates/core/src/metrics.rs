@@ -185,10 +185,14 @@ pub struct QueryTrace {
     /// Empty when the cache is off.
     pub cache_misses: BTreeMap<Symbol, usize>,
     /// Approximate bytes held by the answer cache after this query
-    /// (printed-form size of the cached answers; 0 when the cache is off).
+    /// (printed-form size of the cached answers; 0 when the cache is
+    /// off). A **process-wide gauge**, not attributable to this query:
+    /// under a shared mediator it reflects every query served so far.
     pub bytes_cached: u64,
-    /// Answer-cache entries evicted so far (capacity, TTL or explicit
-    /// invalidation) over the owning cache's lifetime.
+    /// Answer-cache entries evicted **during this query** (capacity, TTL
+    /// or explicit invalidation). A per-request delta — summing it over
+    /// requests gives the cache's lifetime eviction count, so a shared
+    /// mediator's metrics never double-count.
     pub cache_evictions: usize,
     /// Top-level result objects after construction and result dedup.
     pub result_count: usize,

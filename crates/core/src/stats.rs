@@ -9,7 +9,9 @@
 
 use msl::{PatValue, Pattern, SetElem, Term};
 use oem::Symbol;
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use wrappers::SourceStats;
 
 /// Default guesses when nothing is known.
@@ -103,6 +105,59 @@ impl StatsCache {
             .iter()
             .map(|p| self.estimate_pattern(source, p))
             .product()
+    }
+}
+
+/// Concurrency-safe owner of the mediator's learned statistics.
+///
+/// The EWMA observation feed (§3.5) was the last piece of per-query state
+/// that mutated through a bare lock at the [`crate::mediator::Mediator`]
+/// call sites; a resident server folds traces from many threads at once,
+/// so the lock discipline and the lifetime observation counter live here
+/// instead. Planning takes the read side ([`SharedStats::read`]); each
+/// executed query folds its trace exactly once through
+/// [`SharedStats::record_trace`], which also bumps a process-wide counter
+/// the server exposes on `/metrics`.
+#[derive(Debug, Default)]
+pub struct SharedStats {
+    inner: RwLock<StatsCache>,
+    /// Lifetime count of observations folded in — not queries: one query
+    /// can carry several per-source observations.
+    observations: AtomicU64,
+}
+
+impl SharedStats {
+    /// Wrap a seeded cache (wrapper-provided statistics installed).
+    pub fn new(seed: StatsCache) -> SharedStats {
+        SharedStats {
+            inner: RwLock::new(seed),
+            observations: AtomicU64::new(0),
+        }
+    }
+
+    /// Read access for planning. Concurrent queries plan under shared
+    /// read locks; only trace folding takes the write side, briefly.
+    pub fn read(&self) -> RwLockReadGuard<'_, StatsCache> {
+        self.inner.read()
+    }
+
+    /// Fold one executed query's trace into the EWMA tables (the §3.5
+    /// feedback loop) and count its observations. Call exactly once per
+    /// executed query.
+    pub fn record_trace(&self, trace: &crate::metrics::QueryTrace) {
+        self.observations
+            .fetch_add(trace.observations.len() as u64, Ordering::Relaxed);
+        self.inner.write().record_trace(trace);
+    }
+
+    /// Clone of the current cache (experiments, snapshots).
+    pub fn snapshot(&self) -> StatsCache {
+        self.inner.read().clone()
+    }
+
+    /// Lifetime count of observations folded in across all queries.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
     }
 }
 

@@ -30,6 +30,8 @@
 //! * multi-variable `from` clauses produce joins — a path-to-path equality
 //!   (`P.name = Q.author`) unifies the two retrieval variables.
 
+#![warn(missing_docs)]
+
 mod compile;
 mod lexer;
 mod parse;
@@ -43,9 +45,19 @@ use std::fmt;
 #[derive(Clone, PartialEq, Debug)]
 pub enum LorelError {
     /// Lexical error with position.
-    Lex { msg: String, pos: usize },
+    Lex {
+        /// What went wrong.
+        msg: String,
+        /// Byte offset into the query text.
+        pos: usize,
+    },
     /// Syntax error.
-    Parse { msg: String, pos: usize },
+    Parse {
+        /// What went wrong.
+        msg: String,
+        /// Byte offset into the query text.
+        pos: usize,
+    },
     /// A query that parses but cannot be compiled (unknown variable,
     /// `select *` with several `from` variables, ...).
     Compile(String),

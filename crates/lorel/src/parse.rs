@@ -7,7 +7,9 @@ use oem::Value;
 /// A path expression `X.a.b` (steps may be empty: the bare variable `X`).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Path {
+    /// The from-clause variable the path starts at.
     pub var: String,
+    /// Label steps taken from the variable (empty for the bare variable).
     pub steps: Vec<String>,
 }
 
@@ -33,11 +35,17 @@ pub enum Selection {
 /// A comparison operator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `!=`
     Neq,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -58,24 +66,31 @@ impl CmpOp {
 /// The right-hand side of a comparison.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Comparison {
+    /// A constant (`where X.year = 3`).
     Literal(Value),
+    /// Another path (`where X.name = Y.name` — a join condition).
     Path(Path),
 }
 
 /// One `where` conjunct.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Condition {
+    /// Left-hand path.
     pub lhs: Path,
+    /// The comparison operator.
     pub op: CmpOp,
+    /// Right-hand side: a constant or another path.
     pub rhs: Comparison,
 }
 
 /// A parsed LOREL query.
 #[derive(Clone, PartialEq, Debug)]
 pub struct LorelQuery {
+    /// The select list.
     pub select: Selection,
     /// `(view label, variable)` pairs from the `from` clause.
     pub from: Vec<(String, String)>,
+    /// The `where` conjuncts (empty when there is no `where` clause).
     pub conditions: Vec<Condition>,
 }
 

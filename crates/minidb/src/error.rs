@@ -9,25 +9,42 @@ pub type Result<T> = std::result::Result<T, DbError>;
 /// Errors raised by schema/table/query operations.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum DbError {
+    /// A schema declares the same column name twice.
     DuplicateColumn {
+        /// Table being defined.
         table: String,
+        /// The repeated column name.
         column: String,
     },
+    /// A catalog already holds a table with this name.
     DuplicateTable(String),
+    /// A query names a table the catalog does not have.
     NoSuchTable(String),
+    /// A query names a column the table does not have.
     NoSuchColumn {
+        /// Table that was searched.
         table: String,
+        /// The unknown column name.
         column: String,
     },
+    /// An inserted row has the wrong number of values.
     ArityMismatch {
+        /// Table being inserted into.
         table: String,
+        /// Columns the schema declares.
         expected: usize,
+        /// Values the row supplied.
         found: usize,
     },
+    /// An inserted value does not match the column's declared type.
     TypeMismatch {
+        /// Table being inserted into.
         table: String,
+        /// The mistyped column.
         column: String,
+        /// The column's declared type.
         expected: ColType,
+        /// The type of the supplied value.
         found: ColType,
     },
 }

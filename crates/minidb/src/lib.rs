@@ -18,6 +18,8 @@
 //! * [`catalog`] — a named collection of tables (one database).
 //! * [`stats`] — row counts and per-column distinct estimates.
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod csv;
 pub mod error;

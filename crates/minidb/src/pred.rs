@@ -7,11 +7,17 @@ use std::fmt;
 /// A comparison operator.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
+    /// Equal (`=`).
     Eq,
+    /// Not equal (`<>`).
     Neq,
+    /// Less than (`<`).
     Lt,
+    /// Less than or equal (`<=`).
     Le,
+    /// Greater than (`>`).
     Gt,
+    /// Greater than or equal (`>=`).
     Ge,
 }
 
@@ -61,8 +67,11 @@ impl fmt::Display for CmpOp {
 /// One condition `column θ value`.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Condition {
+    /// Column the condition tests.
     pub column: String,
+    /// The comparison operator θ.
     pub op: CmpOp,
+    /// The constant compared against.
     pub value: Datum,
 }
 
@@ -96,7 +105,9 @@ impl fmt::Display for Condition {
 /// matches nothing, like SQL's `IN ()` would.
 #[derive(Clone, PartialEq, Debug)]
 pub struct InCondition {
+    /// Column the condition tests.
     pub column: String,
+    /// The accepted values.
     pub values: Vec<Datum>,
 }
 
@@ -125,7 +136,9 @@ impl fmt::Display for InCondition {
 /// A conjunction of conditions (possibly empty = always true).
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Predicate {
+    /// Single-value comparisons, ANDed together.
     pub conditions: Vec<Condition>,
+    /// Membership conditions, ANDed with the comparisons.
     pub in_conditions: Vec<InCondition>,
 }
 

@@ -12,7 +12,9 @@ use std::collections::HashSet;
 /// Row count and per-column distinct-value counts for one table.
 #[derive(Clone, PartialEq, Debug)]
 pub struct TableStats {
+    /// Table name.
     pub table: String,
+    /// Total rows in the table.
     pub row_count: usize,
     /// Distinct non-null values per column, in schema order.
     pub distinct: Vec<usize>,

@@ -6,9 +6,13 @@ use std::fmt;
 /// The type of a relational column.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ColType {
+    /// UTF-8 string.
     Str,
+    /// 64-bit signed integer.
     Int,
+    /// 64-bit float (stored as raw bits in [`Datum::RealBits`]).
     Real,
+    /// Boolean.
     Bool,
 }
 
@@ -30,10 +34,15 @@ impl fmt::Display for ColType {
 /// which is exactly how OEM represents irregularity.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Datum {
+    /// A string value.
     Str(String),
+    /// An integer value.
     Int(i64),
+    /// A real value as its IEEE-754 bit pattern (see the type docs).
     RealBits(u64),
+    /// A boolean value.
     Bool(bool),
+    /// A missing value.
     Null,
 }
 

@@ -13,13 +13,21 @@ pub enum OemError {
     /// `add_child` was called on an atomic object.
     NotASet(String),
     /// A set value references an object id that does not exist.
-    DanglingRef { parent: String, child: u32 },
+    DanglingRef {
+        /// Oid of the referencing set object.
+        parent: String,
+        /// The arena index that resolved to nothing.
+        child: u32,
+    },
     /// The oid index disagrees with the arena (internal corruption).
     CorruptOidIndex(String),
     /// Textual syntax error: message plus 1-based line/column.
     Parse {
+        /// What went wrong.
         msg: String,
+        /// 1-based line of the error.
         line: usize,
+        /// 1-based column of the error.
         col: usize,
     },
     /// An oid was referenced in a set literal but never defined.

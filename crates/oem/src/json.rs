@@ -13,8 +13,11 @@ use crate::value::Value;
 /// One exported object.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JsonObject {
+    /// The object id.
     pub oid: Symbol,
+    /// The object's label.
     pub label: Symbol,
+    /// The object's value.
     pub value: JsonValue,
 }
 
@@ -22,9 +25,13 @@ pub struct JsonObject {
 /// `{"type": <oem keyword>, "v": <payload>}`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JsonValue {
+    /// A string atom.
     Str(String),
+    /// An integer atom.
     Int(i64),
+    /// A real atom.
     Real(f64),
+    /// A boolean atom.
     Bool(bool),
     /// Subobject references by oid.
     Set(Vec<Symbol>),
@@ -33,7 +40,9 @@ pub enum JsonValue {
 /// A whole exported store.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct JsonStore {
+    /// Every exported object, subobjects included.
     pub objects: Vec<JsonObject>,
+    /// Oids of the store's top-level objects, in answer order.
     pub top_level: Vec<Symbol>,
 }
 

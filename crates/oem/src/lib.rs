@@ -43,6 +43,8 @@
 //! * [`eq`] — structural (oid-insensitive) equality and fingerprints, used
 //!   for duplicate elimination per MSL semantics.
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod copy;
 pub mod eq;

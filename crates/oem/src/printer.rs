@@ -20,6 +20,19 @@ pub fn print_store(store: &ObjectStore) -> String {
     out
 }
 
+/// Render at most `max` top-level structures — the serving layer's row
+/// cap. The output is byte-identical to a prefix of [`print_store`]: the
+/// shared printed-set walks the same objects in the same order, so a
+/// capped answer is literally a prefix of the full one.
+pub fn print_store_limit(store: &ObjectStore, max: usize) -> String {
+    let mut out = String::new();
+    let mut printed: HashSet<ObjId> = HashSet::new();
+    for &t in store.top_level().iter().take(max) {
+        print_rec(store, t, 0, &mut printed, &mut out);
+    }
+    out
+}
+
 /// Render one structure rooted at `id`.
 pub fn print_object(store: &ObjectStore, id: ObjId) -> String {
     let mut out = String::new();

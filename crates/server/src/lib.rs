@@ -1,0 +1,502 @@
+//! # medmaker-server — the resident mediator query service
+//!
+//! `medmaker serve` keeps one [`medmaker::Mediator`] alive and answers
+//! many queries concurrently over TCP, so the answer cache, learned
+//! statistics, circuit breakers, and the parameterized-call memo amortize
+//! across queries instead of dying with each process. The wire protocols
+//! and operational behavior are specified in DESIGN.md §11 and
+//! docs/OPERATIONS.md; in short:
+//!
+//! * **HTTP/1.1** (hand-rolled, [`http`]): `POST /query` with a JSON
+//!   body, `GET /metrics`, `GET /healthz`.
+//! * **Line protocol** ([`proto`]): one MSL query per line, answers
+//!   terminated by a `.` line. Both protocols share one port — the first
+//!   line of each connection is sniffed.
+//! * **Admission control + coalescing** ([`service`]): bounded
+//!   concurrent executions, bounded wait queue, 503/`BUSY` sheds beyond
+//!   that, and identical in-flight queries share one execution.
+//!
+//! ```no_run
+//! use medmaker::{Mediator, QueryLimits};
+//! use medmaker_server::{Server, ServerOptions};
+//! use std::sync::Arc;
+//! use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+//!
+//! let med = Mediator::new(
+//!     "med",
+//!     MS1,
+//!     vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+//!     medmaker::externals::standard_registry(),
+//! ).unwrap();
+//! let handle = Server::start(Arc::new(med), ServerOptions::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! // ... handle.shutdown() on SIGTERM ...
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod metrics;
+pub mod proto;
+pub mod service;
+pub mod signal;
+
+pub use service::{QueryReply, QueryService, ReplyStatus};
+
+use medmaker::{Mediator, QueryLimits};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How the daemon listens and admits work.
+#[derive(Clone, Debug)]
+pub struct ServerOptions {
+    /// Bind address; port 0 picks a free port (default `127.0.0.1:0`).
+    pub addr: String,
+    /// Concurrent query executions (default 4).
+    pub workers: usize,
+    /// Requests allowed to wait for a worker before sheds begin
+    /// (default 64).
+    pub queue: usize,
+    /// Open connections beyond which new ones are refused with 503
+    /// (default 256).
+    pub max_connections: usize,
+    /// Limits applied to requests that don't carry their own.
+    pub default_limits: QueryLimits,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 64,
+            max_connections: 256,
+            default_limits: QueryLimits::default(),
+        }
+    }
+}
+
+/// The daemon. [`Server::start`] binds, spawns the acceptor, and returns
+/// a [`ServerHandle`] for address lookup and shutdown.
+pub struct Server;
+
+/// A running server: inspect its address and service, shut it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<QueryService>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `options.addr` and serve `mediator` until
+    /// [`ServerHandle::shutdown`]. Connection handling runs on one thread
+    /// per connection; query execution concurrency is bounded by the
+    /// admission gate, not by connection count.
+    pub fn start(mediator: Arc<Mediator>, options: ServerOptions) -> Result<ServerHandle, String> {
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", options.addr))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("no local address: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+        let service = Arc::new(QueryService::new(
+            mediator,
+            options.workers,
+            options.queue,
+            options.default_limits.clone(),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let acceptor = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let active = Arc::clone(&active);
+            let max_connections = options.max_connections;
+            thread::spawn(move || accept_loop(listener, service, stop, active, max_connections))
+        };
+        Ok(ServerHandle {
+            addr,
+            service,
+            stop,
+            active,
+            acceptor: Some(acceptor),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service — metrics and the resident mediator.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Graceful shutdown: stop accepting, then wait up to ~2 s for open
+    /// connections to finish their current request. In-flight queries
+    /// complete; idle connections are abandoned to their read timeout.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for _ in 0..200 {
+            if self.active.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    stop: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_connections: usize,
+) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                if active.load(Ordering::SeqCst) >= max_connections {
+                    let _ = http::write_response(
+                        &mut stream,
+                        503,
+                        "text/plain",
+                        b"too many connections\n",
+                        &[("Retry-After", "1")],
+                    );
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                let active = Arc::clone(&active);
+                thread::spawn(move || {
+                    let _ = handle_connection(stream, &service, &stop);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Serve one connection: sniff the first line, then speak HTTP (one
+/// exchange, `Connection: close`) or the line protocol (many queries)
+/// accordingly.
+fn handle_connection(
+    stream: TcpStream,
+    service: &QueryService,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle read timeout: drop the connection once shutdown is
+                // requested, otherwise keep waiting for the next query.
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let first = line.trim_end_matches(['\r', '\n']).to_string();
+        if http::is_request_line(&first) {
+            handle_http(&first, &mut reader, &mut writer, service)?;
+            break; // every HTTP response closes the connection
+        }
+        if first.is_empty() {
+            continue;
+        }
+        let reply = service.run(&first, &QueryLimits::default());
+        proto::write_reply(&mut writer, &reply)?;
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Route one HTTP exchange.
+fn handle_http(
+    first_line: &str,
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+    service: &QueryService,
+) -> std::io::Result<()> {
+    let request = match http::read_request(first_line, reader) {
+        Ok(r) => r,
+        Err(e) => {
+            return http::write_response(
+                writer,
+                400,
+                "text/plain",
+                format!("{e}\n").as_bytes(),
+                &[],
+            );
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => http::write_response(writer, 200, "text/plain", b"ok\n", &[]),
+        ("GET", "/metrics") => {
+            let body = serde_json::to_string_pretty(&service.metrics_snapshot())
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            http::write_response(
+                writer,
+                200,
+                "application/json",
+                format!("{body}\n").as_bytes(),
+                &[],
+            )
+        }
+        ("POST", "/query") => {
+            let (query, limits) = match parse_query_body(&request.body) {
+                Ok(p) => p,
+                Err(e) => {
+                    let body = format!("{{\"status\":\"bad_query\",\"error\":{}}}\n", json_str(&e));
+                    return http::write_response(
+                        writer,
+                        400,
+                        "application/json",
+                        body.as_bytes(),
+                        &[],
+                    );
+                }
+            };
+            let reply = service.run(&query, &limits);
+            let status = match reply.status {
+                ReplyStatus::Ok => 200,
+                ReplyStatus::BadQuery => 400,
+                ReplyStatus::Failed => 500,
+                ReplyStatus::Shed => 503,
+            };
+            let body = serde_json::to_string_pretty(&reply_value(&reply))
+                .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"));
+            let retry: &[(&str, &str)] = if status == 503 {
+                &[("Retry-After", "1")]
+            } else {
+                &[]
+            };
+            http::write_response(
+                writer,
+                status,
+                "application/json",
+                format!("{body}\n").as_bytes(),
+                retry,
+            )
+        }
+        ("POST" | "GET", _) => http::write_response(writer, 404, "text/plain", b"not found\n", &[]),
+        _ => http::write_response(writer, 405, "text/plain", b"method not allowed\n", &[]),
+    }
+}
+
+/// Parse the `POST /query` JSON body:
+/// `{"query": "...", "deadline_ms"?: n, "max_rows"?: n, "batch_size"?: n}`.
+fn parse_query_body(body: &[u8]) -> Result<(String, QueryLimits), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let query = v
+        .get("query")
+        .and_then(|q| q.as_str())
+        .ok_or("missing string field 'query'")?
+        .to_string();
+    let uint = |field: &str| -> Result<Option<u64>, String> {
+        match v.get(field) {
+            None | Some(serde::Value::Null) => Ok(None),
+            Some(x) => x
+                .as_i64()
+                .filter(|n| *n >= 0)
+                .map(|n| Some(n as u64))
+                .ok_or_else(|| format!("field '{field}' must be a non-negative integer")),
+        }
+    };
+    let limits = QueryLimits {
+        deadline_ms: uint("deadline_ms")?,
+        max_rows: uint("max_rows")?.map(|n| n as usize),
+        batch_size: match uint("batch_size")? {
+            Some(0) => return Err("field 'batch_size' must be at least 1".to_string()),
+            other => other.map(|n| n as usize),
+        },
+    };
+    Ok((query, limits))
+}
+
+/// The JSON document for one reply (the HTTP response body).
+fn reply_value(reply: &QueryReply) -> serde::Value {
+    let opt_str = |s: &Option<String>| match s {
+        Some(s) => serde::Value::Str(s.clone()),
+        None => serde::Value::Null,
+    };
+    serde::Value::Object(vec![
+        (
+            "status".to_string(),
+            serde::Value::Str(reply.status.token().to_string()),
+        ),
+        (
+            "objects".to_string(),
+            serde::Value::Int(reply.objects as i64),
+        ),
+        (
+            "total_objects".to_string(),
+            serde::Value::Int(reply.total_objects as i64),
+        ),
+        ("truncated".to_string(), serde::Value::Bool(reply.truncated)),
+        ("partial".to_string(), opt_str(&reply.partial)),
+        ("coalesced".to_string(), serde::Value::Bool(reply.coalesced)),
+        (
+            "elapsed_ms".to_string(),
+            serde::Value::Int(reply.elapsed_ms as i64),
+        ),
+        (
+            "answer".to_string(),
+            serde::Value::Str(reply.answer.clone()),
+        ),
+        ("error".to_string(), opt_str(&reply.error)),
+    ])
+}
+
+/// JSON-escape a string (for hand-built error bodies).
+fn json_str(s: &str) -> String {
+    serde_json::to_string(&serde::Value::Str(s.to_string()))
+        .unwrap_or_else(|_| "\"error\"".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+
+    fn start_paper_server() -> ServerHandle {
+        let med = Mediator::new(
+            "med",
+            MS1,
+            vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+            medmaker::externals::standard_registry(),
+        )
+        .unwrap();
+        Server::start(Arc::new(med), ServerOptions::default()).unwrap()
+    }
+
+    fn http_roundtrip(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let h = start_paper_server();
+        let res = http_roundtrip(h.addr(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(res.starts_with("HTTP/1.1 200 OK"), "{res}");
+        assert!(res.ends_with("ok\n"), "{res}");
+        let res = http_roundtrip(h.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(res.contains("\"queries_total\""), "{res}");
+        assert!(res.contains("\"stats_observations\""), "{res}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn http_query_executes_and_unknown_path_404s() {
+        let h = start_paper_server();
+        let body = r#"{"query": "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med"}"#;
+        let req = format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let res = http_roundtrip(h.addr(), &req);
+        assert!(res.starts_with("HTTP/1.1 200 OK"), "{res}");
+        assert!(res.contains("\"status\": \"ok\""), "{res}");
+        assert!(res.contains("Joe Chung"), "{res}");
+        let res = http_roundtrip(h.addr(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(res.starts_with("HTTP/1.1 404"), "{res}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn line_protocol_answers_many_queries_per_connection() {
+        let h = start_paper_server();
+        let mut s = TcpStream::connect(h.addr()).unwrap();
+        s.write_all(b"P :- P:<cs_person {}>@med\nnot msl\n")
+            .unwrap();
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        let mut head = String::new();
+        reader.read_line(&mut head).unwrap();
+        assert_eq!(head, "OK 2 2\n");
+        let mut body_lines = 0;
+        loop {
+            let mut l = String::new();
+            reader.read_line(&mut l).unwrap();
+            if l == ".\n" {
+                break;
+            }
+            body_lines += 1;
+        }
+        assert!(body_lines > 0);
+        let mut err = String::new();
+        reader.read_line(&mut err).unwrap();
+        assert!(err.starts_with("ERR "), "{err}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn bad_json_body_is_a_400() {
+        let h = start_paper_server();
+        let body = "not json";
+        let req = format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let res = http_roundtrip(h.addr(), &req);
+        assert!(res.starts_with("HTTP/1.1 400"), "{res}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn parse_query_body_reads_limits() {
+        let (q, limits) = parse_query_body(
+            br#"{"query": "X :- X:<v {}>@m", "deadline_ms": 100, "max_rows": 5, "batch_size": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(q, "X :- X:<v {}>@m");
+        assert_eq!(limits.deadline_ms, Some(100));
+        assert_eq!(limits.max_rows, Some(5));
+        assert_eq!(limits.batch_size, Some(2));
+        assert!(parse_query_body(b"{}").is_err());
+        assert!(parse_query_body(br#"{"query": "q", "batch_size": 0}"#).is_err());
+        assert!(parse_query_body(br#"{"query": "q", "max_rows": -1}"#).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Server-wide metrics, served on `GET /metrics`.
+//!
+//! Two strictly separated scopes (the per-request vs process-wide split
+//! of DESIGN.md §11):
+//!
+//! * **Request-scoped counters** fold once per reply — every requester
+//!   counts, including coalesced followers and shed requests.
+//! * **Execution-scoped counters** fold once per leader execution from
+//!   the query's [`medmaker::metrics::QueryTrace`] — real source
+//!   traffic, never multiplied by coalescing. Eviction counts use the
+//!   trace's per-request delta, so their sum equals the cache's lifetime
+//!   total.
+//!
+//! Process-wide **gauges** (cache bytes/hit counters, learned-statistics
+//! observations, memo entries) are not accumulated here at all: the
+//! snapshot reads them live off the [`medmaker::Mediator`].
+
+use crate::service::{QueryReply, ReplyStatus};
+use medmaker::Mediator;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by every connection thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    queries_total: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_bad: AtomicU64,
+    queries_failed: AtomicU64,
+    queries_shed: AtomicU64,
+    queries_coalesced: AtomicU64,
+    objects_returned: AtomicU64,
+    truncated_replies: AtomicU64,
+    partial_replies: AtomicU64,
+    elapsed_ms_total: AtomicU64,
+    executions: AtomicU64,
+    source_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    containment_hits: AtomicU64,
+    retries: AtomicU64,
+    cache_evictions: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fold one reply's request-scoped counters (called for every
+    /// requester — leaders, followers, sheds, parse failures).
+    pub fn record_reply(&self, reply: &QueryReply) {
+        self.queries_total.fetch_add(1, Ordering::Relaxed);
+        let bucket = match reply.status {
+            ReplyStatus::Ok => &self.queries_ok,
+            ReplyStatus::BadQuery => &self.queries_bad,
+            ReplyStatus::Failed => &self.queries_failed,
+            ReplyStatus::Shed => &self.queries_shed,
+        };
+        bucket.fetch_add(1, Ordering::Relaxed);
+        if reply.coalesced {
+            self.queries_coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        if reply.truncated {
+            self.truncated_replies.fetch_add(1, Ordering::Relaxed);
+        }
+        if reply.partial.is_some() {
+            self.partial_replies.fetch_add(1, Ordering::Relaxed);
+        }
+        self.objects_returned
+            .fetch_add(reply.objects as u64, Ordering::Relaxed);
+        self.elapsed_ms_total
+            .fetch_add(reply.elapsed_ms, Ordering::Relaxed);
+    }
+
+    /// Fold one execution's trace totals (called once per leader; cache
+    /// evictions are the trace's per-request delta).
+    pub fn record_trace(&self, trace: &medmaker::metrics::QueryTrace) {
+        self.executions.fetch_add(1, Ordering::Relaxed);
+        self.source_calls
+            .fetch_add(trace.total_source_calls() as u64, Ordering::Relaxed);
+        self.cache_hits.fetch_add(
+            trace.cache_hits.values().map(|n| *n as u64).sum(),
+            Ordering::Relaxed,
+        );
+        self.containment_hits.fetch_add(
+            trace.containment_hits.values().map(|n| *n as u64).sum(),
+            Ordering::Relaxed,
+        );
+        self.retries.fetch_add(
+            trace.retries.values().map(|n| *n as u64).sum(),
+            Ordering::Relaxed,
+        );
+        self.cache_evictions
+            .fetch_add(trace.cache_evictions as u64, Ordering::Relaxed);
+    }
+
+    /// Executions run so far (excludes coalesced followers and sheds).
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by admission control so far.
+    pub fn shed(&self) -> u64 {
+        self.queries_shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered by coalescing onto another execution so far.
+    pub fn coalesced(&self) -> u64 {
+        self.queries_coalesced.load(Ordering::Relaxed)
+    }
+
+    /// The `/metrics` document: `server` (accumulated per-request and
+    /// per-execution counters) and `mediator` (live process-wide gauges).
+    pub fn snapshot(&self, mediator: &Mediator, uptime_ms: u64) -> serde::Value {
+        let n = |a: &AtomicU64| serde::Value::Int(a.load(Ordering::Relaxed) as i64);
+        let cache = mediator.cache_counters();
+        serde::Value::Object(vec![
+            ("uptime_ms".to_string(), serde::Value::Int(uptime_ms as i64)),
+            (
+                "server".to_string(),
+                serde::Value::Object(vec![
+                    ("queries_total".to_string(), n(&self.queries_total)),
+                    ("queries_ok".to_string(), n(&self.queries_ok)),
+                    ("queries_bad_query".to_string(), n(&self.queries_bad)),
+                    ("queries_failed".to_string(), n(&self.queries_failed)),
+                    ("queries_shed".to_string(), n(&self.queries_shed)),
+                    ("queries_coalesced".to_string(), n(&self.queries_coalesced)),
+                    ("objects_returned".to_string(), n(&self.objects_returned)),
+                    ("truncated_replies".to_string(), n(&self.truncated_replies)),
+                    ("partial_replies".to_string(), n(&self.partial_replies)),
+                    ("elapsed_ms_total".to_string(), n(&self.elapsed_ms_total)),
+                    ("executions".to_string(), n(&self.executions)),
+                    ("source_calls".to_string(), n(&self.source_calls)),
+                    ("cache_hits".to_string(), n(&self.cache_hits)),
+                    ("containment_hits".to_string(), n(&self.containment_hits)),
+                    ("retries".to_string(), n(&self.retries)),
+                    ("cache_evictions".to_string(), n(&self.cache_evictions)),
+                ]),
+            ),
+            (
+                "mediator".to_string(),
+                serde::Value::Object(vec![
+                    (
+                        "cache_hits".to_string(),
+                        serde::Value::Int(cache.hits as i64),
+                    ),
+                    (
+                        "cache_misses".to_string(),
+                        serde::Value::Int(cache.misses as i64),
+                    ),
+                    (
+                        "cache_evictions".to_string(),
+                        serde::Value::Int(cache.evictions as i64),
+                    ),
+                    (
+                        "cache_bytes".to_string(),
+                        serde::Value::Int(cache.bytes_cached as i64),
+                    ),
+                    (
+                        "stats_observations".to_string(),
+                        serde::Value::Int(mediator.stats_observations() as i64),
+                    ),
+                    (
+                        "param_memo_entries".to_string(),
+                        serde::Value::Int(mediator.param_memo_len() as i64),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,47 @@
+//! Cooperative SIGINT/SIGTERM handling for graceful shutdown.
+//!
+//! The handler only flips a process-global [`AtomicBool`]; the serve loop
+//! polls [`requested`] and drains (docs/OPERATIONS.md "Stopping"). On
+//! non-Unix targets [`install`] is a no-op and shutdown relies on
+//! [`request`] being called programmatically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    pub extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// Install handlers for SIGINT and SIGTERM that request shutdown.
+/// Safe to call more than once; a no-op off Unix.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        unix::signal(unix::SIGINT, unix::on_signal as extern "C" fn(i32) as usize);
+        unix::signal(
+            unix::SIGTERM,
+            unix::on_signal as extern "C" fn(i32) as usize,
+        );
+    }
+}
+
+/// Has shutdown been requested (by a signal or [`request`])?
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Request shutdown programmatically — same effect as SIGTERM.
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}

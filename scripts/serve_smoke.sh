@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Smoke test for `medmaker serve` (CI "Serve smoke" step; run it locally
+# the same way): start the daemon on a free port against the demo
+# mediator, drive one query over each wire protocol plus /healthz and
+# /metrics, then check that SIGTERM shuts it down gracefully (exit 0,
+# drained). Needs only bash + a built `medmaker` binary; the HTTP client
+# is a raw bash /dev/tcp exchange, so no curl dependency.
+set -euo pipefail
+
+BIN="${MEDMAKER_BIN:-target/debug/medmaker}"
+LOG="$(mktemp)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$BIN" serve --spec demo/med.msl \
+  --oem whois=demo/whois.oem \
+  --csv cs=demo/employee.csv --csv cs=demo/student.csv \
+  --addr 127.0.0.1:0 --workers 2 --queue 8 --cache >"$LOG" &
+SERVER_PID=$!
+
+# The daemon prints "medmaker serve: listening on HOST:PORT" once bound;
+# port 0 means the port is only knowable from that line.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^medmaker serve: listening on //p' "$LOG" | head -n1)"
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died:"; cat "$LOG"; exit 1; }
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "server never reported its address"; cat "$LOG"; exit 1; }
+HOST="${ADDR%:*}"
+PORT="${ADDR##*:}"
+echo "server at $HOST:$PORT"
+
+# One HTTP exchange over /dev/tcp: send the request, read to EOF (the
+# server always closes after responding).
+http() {
+  local request=$1
+  exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf '%b' "$request" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+fail() { echo "FAIL: $1"; echo "--- response ---"; echo "$2"; exit 1; }
+
+RES="$(http 'GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n')"
+echo "$RES" | grep -q "200 OK" || fail "/healthz not 200" "$RES"
+
+BODY='{"query": "JC :- JC:<cs_person {<name '"'"'Joe Chung'"'"'>}>@med"}'
+RES="$(http "POST /query HTTP/1.1\r\nHost: smoke\r\nContent-Length: ${#BODY}\r\n\r\n$BODY")"
+echo "$RES" | grep -q "200 OK" || fail "/query not 200" "$RES"
+echo "$RES" | grep -q '"status": "ok"' || fail "/query status not ok" "$RES"
+echo "$RES" | grep -q "Joe Chung" || fail "/query answer missing Joe Chung" "$RES"
+
+# Same query over the line protocol: OK header, answer block, '.' end.
+RES="$(exec 3<>"/dev/tcp/$HOST/$PORT"
+  printf "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med\n" >&3
+  while IFS= read -r line <&3; do
+    echo "$line"
+    [ "$line" = "." ] && break
+  done
+  exec 3<&- 3>&-)"
+echo "$RES" | head -n1 | grep -q "^OK 1 1" || fail "line protocol header" "$RES"
+echo "$RES" | grep -q "Joe Chung" || fail "line protocol answer" "$RES"
+
+RES="$(http 'GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n')"
+echo "$RES" | grep -q '"queries_total": 2' || fail "/metrics queries_total != 2" "$RES"
+echo "$RES" | grep -q '"queries_ok": 2' || fail "/metrics queries_ok != 2" "$RES"
+
+# Graceful shutdown: SIGTERM must drain and exit 0 promptly.
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: server still running 10s after SIGTERM"
+  kill -9 "$SERVER_PID"
+  exit 1
+fi
+wait "$SERVER_PID" && CODE=0 || CODE=$?
+[ "$CODE" -eq 0 ] || { echo "FAIL: server exited $CODE after SIGTERM"; cat "$LOG"; exit 1; }
+grep -q "shutting down" "$LOG" || { echo "FAIL: no shutdown notice"; cat "$LOG"; exit 1; }
+
+echo "serve smoke: OK"

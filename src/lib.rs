@@ -11,6 +11,8 @@
 //! * [`wrappers`] — the wrapper framework and concrete sources.
 //! * [`medmaker`] — the Mediator Specification Interpreter itself.
 
+#![warn(missing_docs)]
+
 pub use engine;
 pub use medmaker;
 pub use minidb;

@@ -7,7 +7,10 @@
 //! A poisoned std lock is treated as still usable — parking_lot has no
 //! poisoning, so panicking threads must not wedge later accessors.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// The real crate exports its guard types; the shim's guards are std's.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock whose `read`/`write` return guards directly.
 #[derive(Default, Debug)]
