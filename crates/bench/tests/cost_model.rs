@@ -1,0 +1,54 @@
+//! The answer must not depend on how the optimizer chose the join order
+//! or which executor ran the plan: every cell of the enumeration ×
+//! execution matrix returns byte-identical results for the paper's MS1
+//! workload.
+
+use engine::unify::UnifyMode;
+use medmaker::planner::{JoinEnumeration, PlannerOptions};
+use medmaker::MediatorOptions;
+use medmaker_bench::paper_mediator_with;
+use oem::printer::print_store;
+
+const QUERIES: [&str; 3] = [
+    "S :- S:<cs_person {<year 3>}>@med",
+    "P :- P:<cs_person {}>@med",
+    "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+];
+
+#[test]
+fn answers_identical_across_enumeration_and_execution_matrix() {
+    let mut reference: Option<Vec<String>> = None;
+    for enumeration in [
+        JoinEnumeration::Auto,
+        JoinEnumeration::Exhaustive,
+        JoinEnumeration::Greedy,
+        JoinEnumeration::Scalar,
+    ] {
+        for parallel in [false, true] {
+            for streaming in [true, false] {
+                let med = paper_mediator_with(MediatorOptions {
+                    planner: PlannerOptions {
+                        enumeration,
+                        ..Default::default()
+                    },
+                    parallel,
+                    streaming,
+                    unify_mode: UnifyMode::Minimal,
+                    ..Default::default()
+                });
+                let answers: Vec<String> = QUERIES
+                    .iter()
+                    .map(|q| print_store(&med.query_text(q).unwrap()))
+                    .collect();
+                match &reference {
+                    None => reference = Some(answers),
+                    Some(want) => assert_eq!(
+                        want, &answers,
+                        "{enumeration:?} parallel={parallel} streaming={streaming} \
+                         changed the answer"
+                    ),
+                }
+            }
+        }
+    }
+}

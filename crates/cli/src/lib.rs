@@ -80,6 +80,8 @@ pub struct Config {
     /// Use the materializing executor instead of streaming batches
     /// (`--materialize`).
     pub materialize: bool,
+    /// Cost-model component weights (`--cost-weights rows=1,net=5,...`).
+    pub cost_weights: Option<medmaker::cost::CostWeights>,
     /// Rows per streamed batch (`--batch-size N`).
     pub batch_size: Option<usize>,
     /// Serve subcommand: run the resident mediator daemon
@@ -100,7 +102,8 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
                 [--minimal] [--no-dedup] [--explain]
                 [--retries N] [--source-deadline-ms MS] [--partial]
                 [--cache] [--cache-capacity N] [--cache-ttl-ms MS]
-                [--cache-stale-ok] [--materialize] [--batch-size N] [QUERY]
+                [--cache-stale-ok] [--materialize] [--batch-size N]
+                [--cost-weights K=V,...] [QUERY]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker check SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
@@ -137,6 +140,11 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
   --materialize     run the materializing executor (full table per node)
                     instead of streaming bounded batches
   --batch-size N    rows per streamed batch (default: 1024)
+  --cost-weights K=V,...
+                    reweight the optimizer's cost components; keys are
+                    rows, cpu, net, mem (e.g. rows=1,net=5 prices network
+                    5x against cardinality; defaults rows=1 cpu=0.01
+                    net=1 mem=0.005)
   QUERY             a query; omit for an interactive session
 
 lint mode runs every speclint diagnostic pass over SPEC and exits with
@@ -245,6 +253,14 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
             }
             "--cache-stale-ok" => cfg.cache_stale_ok = true,
             "--materialize" => cfg.materialize = true,
+            "--cost-weights" => {
+                let v = it
+                    .next()
+                    .ok_or("--cost-weights needs a key=value,... argument")?;
+                let w = medmaker::cost::CostWeights::parse(&v)
+                    .map_err(|e| format!("--cost-weights: {e}"))?;
+                cfg.cost_weights = Some(w);
+            }
             "--batch-size" => {
                 let v = it.next().ok_or("--batch-size needs a number argument")?;
                 let n = v
@@ -407,6 +423,7 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
     Ok(med.with_options(MediatorOptions {
         planner: PlannerOptions {
             dedup: !cfg.no_dedup,
+            cost_weights: cfg.cost_weights.unwrap_or_default(),
             ..Default::default()
         },
         unify_mode: if cfg.minimal {
@@ -876,6 +893,28 @@ mod tests {
         assert!(parse_args(argv("--spec s.msl --cache-capacity")).is_err());
         assert!(parse_args(argv("--spec s.msl --cache-ttl-ms forever")).is_err());
         assert!(parse_args(argv("--spec s.msl --cache-ttl-ms")).is_err());
+    }
+
+    #[test]
+    fn parse_cost_weights_flag() {
+        let cfg = parse_args(argv(
+            "--spec med.msl --cost-weights rows=1,net=5,cpu=0.02 QUERY",
+        ))
+        .unwrap();
+        let w = cfg.cost_weights.expect("weights parsed");
+        assert_eq!(w.rows, 1.0);
+        assert_eq!(w.net, 5.0);
+        assert_eq!(w.cpu, 0.02);
+        // Unmentioned keys keep their defaults.
+        assert_eq!(w.mem, medmaker::cost::CostWeights::default().mem);
+        // Default: no override.
+        let cfg = parse_args(argv("--spec med.msl QUERY")).unwrap();
+        assert!(cfg.cost_weights.is_none());
+        // Malformed specs are rejected with the flag named.
+        let err = parse_args(argv("--spec s.msl --cost-weights rows=fast")).unwrap_err();
+        assert!(err.contains("--cost-weights"), "{err}");
+        assert!(parse_args(argv("--spec s.msl --cost-weights turbo=9")).is_err());
+        assert!(parse_args(argv("--spec s.msl --cost-weights")).is_err());
     }
 
     #[test]

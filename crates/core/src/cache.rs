@@ -34,6 +34,16 @@
 //! *not* served (the cache must not mask an outage behind stale data)
 //! unless [`CacheOptions::stale_ok`] opts into stale serving. A later
 //! success ([`AnswerCache::mark_ok`]) lifts the embargo.
+//!
+//! Statistics interaction: a hit carries a *known* result cardinality, so
+//! the executor records it as a §3.5 observation exactly like a live
+//! answer — a fully-cached workload keeps refining the optimizer's row
+//! estimates. What a hit must **never** feed is the round-trip
+//! accounting: no `source_calls`, no latency samples, no failure-rate
+//! samples. The cost model's `net` component prices what talking to the
+//! source costs; serving from memory says nothing about that, and before
+//! this rule cache-heavy workloads starved latency learning with
+//! zero-cost samples.
 
 use crate::graph::{ExtractVar, VarKind};
 use engine::bindings::{Bindings, BoundValue};

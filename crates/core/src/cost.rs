@@ -1,0 +1,187 @@
+//! Multi-objective plan cost (ROADMAP item 2).
+//!
+//! The seed planner ordered rule-body groups by a single scalar
+//! cardinality estimate. The system now *measures* much more than
+//! cardinality — per-source round-trip latency and failure rates
+//! ([`crate::retry`], PR 3), cache hit probability ([`crate::cache`],
+//! PR 4) — so a plan's cost is a vector, not a number:
+//!
+//! * `rows_out` — estimated binding rows the step emits (the EWMA
+//!   cardinality feed of §3.5, with same-source joins discounted for
+//!   shared variables);
+//! * `cpu` — rows the mediator touches locally (scans, probes, joins);
+//! * `net` — expected milliseconds spent on source round-trips:
+//!   `calls × latency × retry-inflation × (1 − cache-hit-rate)` — a
+//!   cached source is nearly free, a flaky one is expensive;
+//! * `memory` — rows materialized in mediator memory (hash-join build
+//!   sides, copied source answers).
+//!
+//! [`CostWeights`] collapses the vector to a scalar for comparing
+//! candidate join orders; the components survive alongside the chosen
+//! plan (`RulePlan::estimates` → `NodeMetrics`) so `EXPLAIN ANALYZE`
+//! can report drift per component, not just on row counts.
+
+/// One step's (or one whole order's) estimated cost, by component.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostEstimate {
+    /// Estimated binding rows flowing out of the step.
+    pub rows_out: f64,
+    /// Estimated rows the mediator processes locally (probe + extract).
+    pub cpu: f64,
+    /// Estimated milliseconds spent on source round-trips.
+    pub net: f64,
+    /// Estimated rows resident in mediator memory for the step.
+    pub memory: f64,
+}
+
+impl CostEstimate {
+    /// A cardinality-only estimate (scalar-model compatibility: the other
+    /// components are unknown and render as absent).
+    pub fn rows_only(rows_out: f64) -> CostEstimate {
+        CostEstimate {
+            rows_out,
+            ..Default::default()
+        }
+    }
+
+    /// Whether the row estimate is usable for drift reporting: finite and
+    /// not the planner's "unknown" sentinel.
+    pub fn has_rows(&self) -> bool {
+        self.rows_out.is_finite() && self.rows_out > 0.0 && self.rows_out < SENTINEL_THRESHOLD
+    }
+
+    /// Component-wise sum (accumulating a whole join order).
+    pub fn add(&self, other: &CostEstimate) -> CostEstimate {
+        CostEstimate {
+            rows_out: other.rows_out, // the running cardinality, not a sum
+            cpu: self.cpu + other.cpu,
+            net: self.net + other.net,
+            memory: self.memory + other.memory,
+        }
+    }
+
+    /// Weighted scalar total for order comparison. NaN (degenerate
+    /// statistics) sanitizes to `f64::MAX` so comparisons stay total and
+    /// join ordering deterministic (the PR 3 NaN pin).
+    pub fn total(&self, w: &CostWeights) -> f64 {
+        let t = self.rows_out * w.rows + self.cpu * w.cpu + self.net * w.net + self.memory * w.mem;
+        if t.is_nan() {
+            f64::MAX
+        } else {
+            t
+        }
+    }
+}
+
+/// Estimates at or above this are treated as "no estimate" — the planner
+/// sanitizes NaN scores to `f64::MAX`, and dividing observed rows by that
+/// sentinel would render as meaningless `drift 0.00x` noise.
+pub const SENTINEL_THRESHOLD: f64 = f64::MAX / 2.0;
+
+/// Relative weights collapsing a [`CostEstimate`] to one comparable
+/// number. The defaults make a row of intermediate result the unit,
+/// price a millisecond of round-trip like a row (both ~the cost the user
+/// waits on), and price local row handling and resident memory at a
+/// fraction of that — tune with `--cost-weights`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    /// Weight per estimated output row.
+    pub rows: f64,
+    /// Weight per locally-processed row.
+    pub cpu: f64,
+    /// Weight per estimated round-trip millisecond.
+    pub net: f64,
+    /// Weight per resident row.
+    pub mem: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> CostWeights {
+        CostWeights {
+            rows: 1.0,
+            cpu: 0.01,
+            net: 1.0,
+            mem: 0.005,
+        }
+    }
+}
+
+impl CostWeights {
+    /// Parse a `--cost-weights` argument: comma-separated `key=value`
+    /// pairs over `rows`, `cpu`, `net`, `mem`; omitted keys keep their
+    /// defaults. Example: `rows=1,net=5,cpu=0.02`.
+    pub fn parse(spec: &str) -> Result<CostWeights, String> {
+        let mut w = CostWeights::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("cost weight '{part}' is not KEY=VALUE"))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("cost weight '{part}' has a non-numeric value"))?;
+            if !value.is_finite() || value < 0.0 {
+                return Err(format!("cost weight '{part}' must be finite and >= 0"));
+            }
+            match key.trim() {
+                "rows" => w.rows = value,
+                "cpu" => w.cpu = value,
+                "net" => w.net = value,
+                "mem" | "memory" => w.mem = value,
+                other => {
+                    return Err(format!(
+                        "unknown cost weight '{other}' (expected rows/cpu/net/mem)"
+                    ))
+                }
+            }
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_total_combines_components() {
+        let e = CostEstimate {
+            rows_out: 10.0,
+            cpu: 100.0,
+            net: 2.0,
+            memory: 200.0,
+        };
+        let w = CostWeights::default();
+        let t = e.total(&w);
+        assert!((t - (10.0 + 1.0 + 2.0 + 1.0)).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn nan_totals_sanitize_to_max() {
+        let e = CostEstimate {
+            rows_out: f64::NAN,
+            ..Default::default()
+        };
+        assert_eq!(e.total(&CostWeights::default()), f64::MAX);
+        assert!(!e.has_rows());
+    }
+
+    #[test]
+    fn sentinel_rows_are_not_estimates() {
+        assert!(!CostEstimate::rows_only(f64::MAX).has_rows());
+        assert!(!CostEstimate::rows_only(0.0).has_rows());
+        assert!(CostEstimate::rows_only(2.0).has_rows());
+    }
+
+    #[test]
+    fn parse_overrides_selected_keys() {
+        let w = CostWeights::parse("net=5, cpu=0.02").unwrap();
+        assert_eq!(w.net, 5.0);
+        assert_eq!(w.cpu, 0.02);
+        assert_eq!(w.rows, CostWeights::default().rows);
+        assert!(CostWeights::parse("bogus=1").is_err());
+        assert!(CostWeights::parse("net").is_err());
+        assert!(CostWeights::parse("net=-1").is_err());
+        assert_eq!(CostWeights::parse("").unwrap(), CostWeights::default());
+    }
+}

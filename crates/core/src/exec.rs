@@ -154,6 +154,12 @@ struct ChainStats {
     cache_hits: BTreeMap<Symbol, usize>,
     containment_hits: BTreeMap<Symbol, usize>,
     cache_misses: BTreeMap<Symbol, usize>,
+    /// Total measured milliseconds of *successful* source round-trips and
+    /// how many calls that total covers — the planner's latency-EWMA feed.
+    /// Cache hits never touch these: a served-from-cache answer says
+    /// nothing about how slow the source is.
+    latency_ms: BTreeMap<Symbol, usize>,
+    latency_calls: BTreeMap<Symbol, usize>,
 }
 
 /// Everything one chain produced (its memory is private until merged).
@@ -191,6 +197,7 @@ fn run_chain(rule_plan: &RulePlan, ctx: &ChainCtx<'_>) -> Result<ChainOutcome> {
             Err(e) => return Err(e),
         };
         let wall_ns = node_start.elapsed().as_nanos() as u64;
+        let est = rule_plan.estimates.get(i).copied().unwrap_or_default();
         nodes.push(NodeTrace {
             op: node.op_name().to_string(),
             detail: node_detail(node),
@@ -205,7 +212,10 @@ fn run_chain(rule_plan: &RulePlan, ctx: &ChainCtx<'_>) -> Result<ChainOutcome> {
                     0
                 },
                 wall_ns,
-                est_rows: rule_plan.estimates.get(i).copied().unwrap_or(0.0),
+                est_rows: est.rows_out,
+                est_cpu_rows: est.cpu,
+                est_net_ms: est.net,
+                est_mem_rows: est.memory,
                 cache_hits: counters.cache_hits,
                 containment_hits: counters.containment_hits,
                 cache_misses: counters.cache_misses,
@@ -374,6 +384,14 @@ fn open_ext_source(
                     *stats.containment_hits.entry(source).or_insert(0) += 1;
                 }
             }
+            // The cached row count is a known answer cardinality for this
+            // query — feed it to §3.5 learning. (No round-trip happened,
+            // so source_calls/latency stay untouched.)
+            stats.observations.push(Observation {
+                source,
+                label: query_label(query),
+                count: rows.len(),
+            });
             counters.bindings_produced += rows.len();
             return Ok(ExtSource::from_rows(rows));
         }
@@ -1133,6 +1151,7 @@ fn run_chain_streaming(
         let node = &rule_plan.nodes[k - 1];
         let excl = op.meter.wall_ns_inclusive.saturating_sub(prev_incl);
         prev_incl = op.meter.wall_ns_inclusive;
+        let est = rule_plan.estimates.get(k - 1).copied().unwrap_or_default();
         nodes.push(NodeTrace {
             op: node.op_name().to_string(),
             detail: node_detail(node),
@@ -1147,7 +1166,10 @@ fn run_chain_streaming(
                     0
                 },
                 wall_ns: excl,
-                est_rows: rule_plan.estimates.get(k - 1).copied().unwrap_or(0.0),
+                est_rows: est.rows_out,
+                est_cpu_rows: est.cpu,
+                est_net_ms: est.net,
+                est_mem_rows: est.memory,
                 cache_hits: op.meter.counters.cache_hits,
                 containment_hits: op.meter.counters.containment_hits,
                 cache_misses: op.meter.counters.cache_misses,
@@ -1387,6 +1409,12 @@ pub fn execute(
         }
         for (s, n) in std::mem::take(&mut chain.stats.cache_misses) {
             *trace.cache_misses.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.latency_ms) {
+            *trace.latency_ms.entry(s).or_insert(0) += n;
+        }
+        for (s, n) in std::mem::take(&mut chain.stats.latency_calls) {
+            *trace.latency_calls.entry(s).or_insert(0) += n;
         }
         sources_ok.extend(std::mem::take(&mut chain.stats.sources_ok));
         if let Some(err) = chain.failed {
@@ -1787,6 +1815,9 @@ fn query_with_retry(
         }
         match outcome {
             Ok(result) => {
+                let elapsed = rt.clock.now_ms().saturating_sub(started);
+                *stats.latency_ms.entry(source).or_insert(0) += elapsed as usize;
+                *stats.latency_calls.entry(source).or_insert(0) += 1;
                 rt.circuit.record_success(source);
                 stats.sources_ok.insert(source);
                 return Ok(result);
@@ -1816,9 +1847,12 @@ fn query_with_retry(
 /// (§3.4: "the result of Qw is placed in the mediator's memory"), and
 /// extract the `bind_for_*` variables from each result object. The
 /// answer cache (when enabled) intercepts the round-trip: a hit serves
-/// the cached answer straight into `memory`, skipping both the source
-/// call and the §3.5 statistics observation — learned statistics must
-/// reflect what sources actually returned, not cache traffic.
+/// the cached answer straight into `memory`. The cached row count is a
+/// real cardinality the source once returned for this query, so it *is*
+/// recorded as a §3.5 observation — the seed skipped it, starving the
+/// EWMA feed on cache-heavy workloads. What a hit must never feed is the
+/// round-trip accounting (source_calls, latency, failures): serving from
+/// cache says nothing about the source's speed or health.
 #[allow(clippy::too_many_arguments)]
 fn run_and_extract(
     source: Symbol,
@@ -1842,6 +1876,13 @@ fn run_and_extract(
                     *stats.containment_hits.entry(source).or_insert(0) += 1;
                 }
             }
+            // As in [`open_ext_source`]: a hit's row count is a known
+            // answer cardinality, observed without a round-trip.
+            stats.observations.push(Observation {
+                source,
+                label: query_label(query),
+                count: rows.len(),
+            });
             counters.bindings_produced += rows.len();
             return Ok(rows);
         }
@@ -1921,19 +1962,24 @@ fn fetch_store(
     };
 
     // Record an observation keyed by the first tail pattern's label.
-    let label = query.tail.iter().find_map(|t| match t {
+    stats.observations.push(Observation {
+        source,
+        label: query_label(query),
+        count: result.top_level().len(),
+    });
+    Ok(result)
+}
+
+/// The first tail pattern's constant label — the key §3.5 cardinality
+/// observations are filed under.
+fn query_label(query: &Rule) -> Option<Symbol> {
+    query.tail.iter().find_map(|t| match t {
         TailItem::Match { pattern, .. } => match &pattern.label {
             Term::Const(v) => v.as_str_sym(),
             _ => None,
         },
         _ => None,
-    });
-    stats.observations.push(Observation {
-        source,
-        label,
-        count: result.top_level().len(),
-    });
-    Ok(result)
+    })
 }
 
 /// Copy a source answer into the chain's memory and pull the binding rows

@@ -81,7 +81,10 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             let m = &t.metrics;
             let _ = writeln!(out, "[{}] {}", t.op, t.detail);
             let mut line = format!("  rows: {} in -> {} out", m.rows_in, m.rows_out);
-            if m.est_rows > 0.0 {
+            // `has_estimate` gates out the planner's "unknown" sentinels
+            // (f64::MAX scores from NaN statistics) and non-finite noise:
+            // `(est 17976931348623157…)` helps nobody.
+            if m.has_estimate() {
                 line.push_str(&format!("  (est {:.1}", m.est_rows));
                 match m.drift() {
                     Some(d) => line.push_str(&format!(", drift {d:.2}x)")),
@@ -89,6 +92,24 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
                 }
             }
             let _ = writeln!(out, "{line}");
+            // Cost-model breakdown, when the multi-objective model priced
+            // this node (the scalar baseline carries rows only). The same
+            // sentinel rule as for row estimates applies per component.
+            let sane = |v: f64| v.is_finite() && v < crate::cost::SENTINEL_THRESHOLD;
+            if (m.est_cpu_rows > 0.0 || m.est_net_ms > 0.0 || m.est_mem_rows > 0.0)
+                && sane(m.est_cpu_rows)
+                && sane(m.est_net_ms)
+                && sane(m.est_mem_rows)
+            {
+                let mut cost = format!(
+                    "  cost: cpu {:.1} rows, net {:.2} ms, mem {:.1} rows",
+                    m.est_cpu_rows, m.est_net_ms, m.est_mem_rows
+                );
+                if let Some(d) = m.net_drift() {
+                    cost.push_str(&format!("  (net drift {d:.2}x)"));
+                }
+                let _ = writeln!(out, "{cost}");
+            }
             let mut extras: Vec<String> = Vec::new();
             if m.source_calls > 0 {
                 extras.push(format!("source calls: {}", m.source_calls));
@@ -437,6 +458,71 @@ mod tests {
         assert!(!report.contains("retries: "), "{report}");
         assert!(!report.contains("failed attempts: "), "{report}");
         assert!(!report.contains("cache"), "{report}");
+    }
+
+    #[test]
+    fn analyze_hides_sentinel_estimates_and_shows_cost_breakdown() {
+        // Three nodes: a sentinel estimate (NaN statistics scored as
+        // f64::MAX), a NaN estimate, and a real multi-objective estimate.
+        // The first two must render without any `(est …, drift …)`
+        // annotation; the third gets both the estimate and the per-
+        // component cost line with net drift.
+        use crate::metrics::{NodeMetrics, NodeTrace, QueryTrace, RuleTrace};
+        let node = |est_rows: f64, cpu: f64, net: f64, mem: f64, calls: usize| NodeTrace {
+            op: "query".into(),
+            detail: "@s".into(),
+            metrics: NodeMetrics {
+                rows_in: 1,
+                rows_out: 5,
+                source_calls: calls,
+                wall_ns: 2_000_000, // 2ms observed
+                est_rows,
+                est_cpu_rows: cpu,
+                est_net_ms: net,
+                est_mem_rows: mem,
+                ..Default::default()
+            },
+            table: String::new(),
+        };
+        let plan = crate::graph::PhysicalPlan {
+            rules: vec![crate::graph::RulePlan {
+                nodes: Vec::new(),
+                estimates: Vec::new(),
+                head: msl::Head::Var(sym("X")),
+            }],
+            dedup_results: false,
+            pruned: Vec::new(),
+        };
+        let outcome = ExecOutcome {
+            results: oem::ObjectStore::new(),
+            memory: oem::ObjectStore::new(),
+            trace: QueryTrace {
+                rules: vec![RuleTrace {
+                    nodes: vec![
+                        node(f64::MAX, f64::MAX, f64::MAX, f64::MAX, 1),
+                        node(f64::NAN, f64::NAN, f64::NAN, f64::NAN, 1),
+                        node(4.0, 10.0, 1.0, 8.0, 1),
+                    ],
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        };
+        let report = render_analyze(&plan, &outcome);
+        assert_eq!(
+            report.matches("(est ").count(),
+            1,
+            "sentinel/NaN estimates must not render: {report}"
+        );
+        assert_eq!(report.matches("cost: ").count(), 1, "{report}");
+        assert!(report.contains("(est 4.0, drift 1.25x)"), "{report}");
+        assert!(
+            report.contains("cost: cpu 10.0 rows, net 1.00 ms, mem 8.0 rows"),
+            "{report}"
+        );
+        assert!(report.contains("(net drift 2.00x)"), "{report}");
+        assert!(!report.contains("inf"), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
     }
 
     #[test]

@@ -137,12 +137,15 @@ impl Node {
 pub struct RulePlan {
     /// The chain's operators, in bottom-up execution order.
     pub nodes: Vec<Node>,
-    /// The optimizer's estimated *output* cardinality (rows) per node,
-    /// parallel to `nodes`. Filter and dup-elim nodes carry the running
-    /// estimate of the group they follow (the planner's cost model does
-    /// not discount them). `EXPLAIN ANALYZE` renders these next to the
-    /// observed row counts so estimate-vs-actual drift is visible.
-    pub estimates: Vec<f64>,
+    /// The optimizer's estimated per-node cost breakdown
+    /// ([`crate::cost::CostEstimate`]: output rows, local cpu rows,
+    /// round-trip milliseconds, resident rows), parallel to `nodes`.
+    /// Filter and dup-elim nodes carry the running row estimate of the
+    /// group they follow with zero cost components; under the scalar
+    /// baseline model only `rows_out` is populated. `EXPLAIN ANALYZE`
+    /// renders these next to the observed counters so estimate-vs-actual
+    /// drift is visible per component.
+    pub estimates: Vec<crate::cost::CostEstimate>,
     /// The constructor node's pattern `cp(...)` (§3.4).
     pub head: Head,
 }

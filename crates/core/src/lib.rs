@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod cache;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod explain;

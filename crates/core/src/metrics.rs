@@ -60,6 +60,15 @@ pub struct NodeMetrics {
     /// The optimizer's estimated output cardinality for this node, in rows
     /// (what `EXPLAIN ANALYZE` prints next to `rows_out` as drift).
     pub est_rows: f64,
+    /// The cost model's estimated locally-processed rows for this node
+    /// (0 when the scalar model planned, or for pure filter nodes).
+    pub est_cpu_rows: f64,
+    /// The cost model's estimated round-trip milliseconds for this node
+    /// (0 for nodes that never contact a source).
+    pub est_net_ms: f64,
+    /// The cost model's estimated resident rows for this node (hash-join
+    /// build sides, copied source answers; 0 when unknown).
+    pub est_mem_rows: f64,
     /// Source queries this node served from the answer cache by exact
     /// canonical-key match (zero when the cache is off).
     pub cache_hits: usize,
@@ -80,11 +89,34 @@ pub struct NodeMetrics {
 }
 
 impl NodeMetrics {
+    /// Whether the node carries a usable row estimate. The planner
+    /// sanitizes degenerate (NaN) statistics to an `f64::MAX` sentinel to
+    /// keep join ordering deterministic; that sentinel — like any
+    /// non-finite value — is *no estimate*, not a huge one.
+    pub fn has_estimate(&self) -> bool {
+        self.est_rows.is_finite()
+            && self.est_rows > 0.0
+            && self.est_rows < crate::cost::SENTINEL_THRESHOLD
+    }
+
     /// Observed-over-estimated cardinality: > 1 means the optimizer
-    /// underestimated, < 1 overestimated. `None` when no estimate exists.
+    /// underestimated, < 1 overestimated. `None` when no estimate exists
+    /// (including the NaN-sanitized `f64::MAX` sentinel, which would
+    /// otherwise render as meaningless `drift 0.00x`).
     pub fn drift(&self) -> Option<f64> {
-        if self.est_rows > 0.0 {
+        if self.has_estimate() {
             Some(self.rows_out as f64 / self.est_rows)
+        } else {
+            None
+        }
+    }
+
+    /// Observed-over-estimated network time: node wall milliseconds over
+    /// the cost model's estimated round-trip milliseconds. Only meaningful
+    /// for nodes that contacted a source under the multi-objective model.
+    pub fn net_drift(&self) -> Option<f64> {
+        if self.source_calls > 0 && self.est_net_ms.is_finite() && self.est_net_ms > 0.0 {
+            Some(self.wall_ns as f64 / 1e6 / self.est_net_ms)
         } else {
             None
         }
@@ -173,6 +205,14 @@ pub struct QueryTrace {
     /// Failed attempts per source (transient errors observed, including
     /// the ones later retries recovered from). Empty when nothing failed.
     pub failures: BTreeMap<Symbol, usize>,
+    /// Total round-trip milliseconds per source across this query's
+    /// *successful* calls, measured on the executor's injectable clock.
+    /// Cache and memo hits contribute nothing — latency statistics must
+    /// reflect what talking to the source actually costs.
+    pub latency_ms: BTreeMap<Symbol, usize>,
+    /// Successful calls contributing to `latency_ms`, per source (the
+    /// divisor for a mean; kept separate so EWMAs blend means, not sums).
+    pub latency_calls: BTreeMap<Symbol, usize>,
     /// Which sources answered and which chains were dropped (Partial
     /// mode); `Completeness::default()` — trivially complete — otherwise.
     pub completeness: Completeness,
@@ -281,6 +321,9 @@ impl serde::Serialize for NodeMetrics {
             ("dedup_hits", self.dedup_hits.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
             ("est_rows", self.est_rows.to_value()),
+            ("est_cpu_rows", self.est_cpu_rows.to_value()),
+            ("est_net_ms", self.est_net_ms.to_value()),
+            ("est_mem_rows", self.est_mem_rows.to_value()),
             ("cache_hits", self.cache_hits.to_value()),
             ("containment_hits", self.containment_hits.to_value()),
             ("cache_misses", self.cache_misses.to_value()),
@@ -307,6 +350,15 @@ fn optional_u64(v: &serde::Value, name: &str) -> std::result::Result<u64, serde:
     }
 }
 
+/// [`optional_count`] for `f64` fields (cost-component estimates absent
+/// in traces exported before the multi-objective cost model).
+fn optional_f64(v: &serde::Value, name: &str) -> std::result::Result<f64, serde::Error> {
+    match v.get(name) {
+        Some(n) => <f64 as serde::Deserialize>::from_value(n),
+        None => Ok(0.0),
+    }
+}
+
 impl serde::Deserialize for NodeMetrics {
     fn from_value(v: &serde::Value) -> std::result::Result<NodeMetrics, serde::Error> {
         Ok(NodeMetrics {
@@ -317,6 +369,10 @@ impl serde::Deserialize for NodeMetrics {
             dedup_hits: serde::field(v, "dedup_hits")?,
             wall_ns: serde::field(v, "wall_ns")?,
             est_rows: serde::field(v, "est_rows")?,
+            // Absent in traces exported before the multi-objective model.
+            est_cpu_rows: optional_f64(v, "est_cpu_rows")?,
+            est_net_ms: optional_f64(v, "est_net_ms")?,
+            est_mem_rows: optional_f64(v, "est_mem_rows")?,
             // Absent in traces exported before the answer cache.
             cache_hits: optional_count(v, "cache_hits")?,
             containment_hits: optional_count(v, "containment_hits")?,
@@ -479,6 +535,8 @@ impl serde::Serialize for QueryTrace {
             ("source_calls", counter_map_to_value(&self.source_calls)),
             ("retries", counter_map_to_value(&self.retries)),
             ("failures", counter_map_to_value(&self.failures)),
+            ("latency_ms", counter_map_to_value(&self.latency_ms)),
+            ("latency_calls", counter_map_to_value(&self.latency_calls)),
             ("completeness", self.completeness.to_value()),
             ("cache_hits", counter_map_to_value(&self.cache_hits)),
             (
@@ -507,6 +565,9 @@ impl serde::Deserialize for QueryTrace {
             source_calls: counter_map_field(v, "source_calls", true)?,
             retries: counter_map_field(v, "retries", false)?,
             failures: counter_map_field(v, "failures", false)?,
+            // Absent in traces exported before the multi-objective model.
+            latency_ms: counter_map_field(v, "latency_ms", false)?,
+            latency_calls: counter_map_field(v, "latency_calls", false)?,
             completeness: match v.get("completeness") {
                 Some(c) => Completeness::from_value(c)?,
                 None => Completeness::default(),
@@ -552,6 +613,9 @@ mod tests {
                         dedup_hits: 0,
                         wall_ns: 12_345,
                         est_rows: 10.0,
+                        est_cpu_rows: 12.0,
+                        est_net_ms: 1.5,
+                        est_mem_rows: 10.0,
                         cache_hits: 1,
                         containment_hits: 1,
                         cache_misses: 1,
@@ -579,6 +643,8 @@ mod tests {
             source_calls: [(sym("whois"), 1), (sym("cs"), 2)].into_iter().collect(),
             retries: [(sym("whois"), 2)].into_iter().collect(),
             failures: [(sym("whois"), 2)].into_iter().collect(),
+            latency_ms: [(sym("whois"), 6), (sym("cs"), 2)].into_iter().collect(),
+            latency_calls: [(sym("whois"), 1), (sym("cs"), 2)].into_iter().collect(),
             completeness: Completeness {
                 sources_ok: vec![sym("cs"), sym("whois")],
                 sources_failed: BTreeMap::new(),
@@ -617,6 +683,11 @@ mod tests {
             "\"dedup_hits\"",
             "\"wall_ns\"",
             "\"est_rows\"",
+            "\"est_cpu_rows\"",
+            "\"est_net_ms\"",
+            "\"est_mem_rows\"",
+            "\"latency_ms\"",
+            "\"latency_calls\"",
             "\"observations\"",
             "\"result_count\"",
             "\"result_dedup_removed\"",
@@ -758,6 +829,93 @@ mod tests {
         assert_eq!(parsed, trace);
         assert_eq!(parsed.total_cache_hits(), 0);
         assert_eq!(parsed.total_cache_misses(), 0);
+    }
+
+    #[test]
+    fn old_traces_without_cost_fields_still_parse() {
+        // A trace exported before the multi-objective cost model lacks the
+        // per-component estimates and the per-source latency maps.
+        let mut trace = sample();
+        trace.latency_ms.clear();
+        trace.latency_calls.clear();
+        let m = &mut trace.rules[0].nodes[0].metrics;
+        m.est_cpu_rows = 0.0;
+        m.est_net_ms = 0.0;
+        m.est_mem_rows = 0.0;
+        let mut v = trace.to_value();
+        let drop_cost_keys = |v: &mut serde::Value| {
+            if let serde::Value::Object(pairs) = v {
+                pairs.retain(|(k, _)| {
+                    !matches!(
+                        &**k,
+                        "est_cpu_rows"
+                            | "est_net_ms"
+                            | "est_mem_rows"
+                            | "latency_ms"
+                            | "latency_calls"
+                    )
+                });
+            }
+        };
+        drop_cost_keys(&mut v);
+        if let serde::Value::Object(pairs) = &mut v {
+            let rules = &mut pairs.iter_mut().find(|(k, _)| k == "rules").unwrap().1;
+            if let serde::Value::Array(rules) = rules {
+                for rule in rules {
+                    if let serde::Value::Object(rp) = rule {
+                        let nodes = &mut rp.iter_mut().find(|(k, _)| k == "nodes").unwrap().1;
+                        if let serde::Value::Array(nodes) = nodes {
+                            for node in nodes {
+                                if let serde::Value::Object(np) = node {
+                                    let metrics =
+                                        &mut np.iter_mut().find(|(k, _)| k == "metrics").unwrap().1;
+                                    drop_cost_keys(metrics);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = QueryTrace::from_value(&v).unwrap();
+        assert_eq!(parsed, trace);
+        assert!(parsed.latency_ms.is_empty());
+    }
+
+    #[test]
+    fn sentinel_and_non_finite_estimates_have_no_drift() {
+        // The planner sanitizes NaN statistics to f64::MAX for ordering
+        // determinism; that sentinel must not divide into a "drift 0.00x".
+        let mut m = NodeMetrics {
+            rows_out: 5,
+            est_rows: f64::MAX,
+            ..Default::default()
+        };
+        assert!(!m.has_estimate());
+        assert_eq!(m.drift(), None);
+        m.est_rows = f64::NAN;
+        assert_eq!(m.drift(), None);
+        m.est_rows = f64::INFINITY;
+        assert_eq!(m.drift(), None);
+        m.est_rows = 2.5;
+        assert!(m.has_estimate());
+        assert!((m.drift().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_drift_needs_source_calls_and_an_estimate() {
+        let mut m = NodeMetrics {
+            source_calls: 1,
+            wall_ns: 3_000_000, // 3 ms
+            est_net_ms: 2.0,
+            ..Default::default()
+        };
+        assert!((m.net_drift().unwrap() - 1.5).abs() < 1e-12);
+        m.source_calls = 0;
+        assert_eq!(m.net_drift(), None);
+        m.source_calls = 1;
+        m.est_net_ms = 0.0;
+        assert_eq!(m.net_drift(), None);
     }
 
     #[test]

@@ -3,10 +3,15 @@
 //! Turns each logical datamerge rule into a physical chain:
 //!
 //! * groups the tail's match items by source;
-//! * orders the groups — by estimated cardinality when statistics are
-//!   available, falling back to the paper's heuristic ("the outer patterns
-//!   of the join order are the ones that have the greatest number of
-//!   conditions");
+//! * orders the groups by **join enumeration** over a multi-objective
+//!   [`CostEstimate`] (rows / cpu / net / memory, weighted by
+//!   [`CostWeights`]): exhaustive enumeration of every feasible order for
+//!   small rule bodies ([`PlannerOptions::exhaustive_limit`], default 6
+//!   groups), greedy cheapest-next above it. The `net` component prices
+//!   round-trips with the measured per-source latency, failure-rate and
+//!   cache-hit EWMAs ([`crate::stats::StatsCache::per_call_cost_ms`]).
+//!   [`JoinEnumeration::Scalar`] restores the seed behavior — a sort by
+//!   scalar cardinality estimate — as the ablation baseline;
 //! * chooses, for every non-outer group, between a **parameterized query**
 //!   (bind join, the plan of Figure 3.6) and a **fetch + hash join**;
 //! * pushes every condition the source can evaluate; conditions a source
@@ -16,11 +21,12 @@
 //!   implementation is callable (§2's adornments);
 //! * appends duplicate elimination per MSL's semantics (footnote 9).
 
+use crate::cost::{CostEstimate, CostWeights};
 use crate::error::{MedError, Result};
 use crate::externals::ExternalRegistry;
 use crate::graph::{ExtractVar, Node, PhysicalPlan, RulePlan, VarKind};
 use crate::logical::LogicalProgram;
-use crate::stats::{condition_count, StatsCache};
+use crate::stats::{condition_count, StatsCache, JOIN_EQ_SELECTIVITY};
 use engine::subst::{subst_pattern, Subst};
 use msl::{Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, TailItem, Term};
 use oem::{Symbol, Value};
@@ -50,6 +56,15 @@ pub struct PlannerOptions {
     /// [`PlanContext::analysis`]; pruning never changes answers, only
     /// skips provably-empty work.
     pub prune_infeasible: bool,
+    /// How join orders are searched (and which cost model scores them).
+    pub enumeration: JoinEnumeration,
+    /// Weights collapsing a [`CostEstimate`] to one comparable number
+    /// (`--cost-weights`); ignored under [`JoinEnumeration::Scalar`].
+    pub cost_weights: CostWeights,
+    /// Rule bodies with at most this many source groups are ordered by
+    /// exhaustive enumeration under [`JoinEnumeration::Auto`]; larger
+    /// bodies fall back to the greedy cheapest-next heuristic.
+    pub exhaustive_limit: usize,
 }
 
 impl Default for PlannerOptions {
@@ -60,8 +75,32 @@ impl Default for PlannerOptions {
             dedup: true,
             use_stats: true,
             prune_infeasible: true,
+            enumeration: JoinEnumeration::Auto,
+            cost_weights: CostWeights::default(),
+            exhaustive_limit: 6,
         }
     }
+}
+
+/// Join-order search strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinEnumeration {
+    /// Exhaustive for rule bodies up to
+    /// [`PlannerOptions::exhaustive_limit`] groups, greedy above.
+    #[default]
+    Auto,
+    /// Score every feasible permutation with the multi-objective cost
+    /// model (factorial in the group count — capped by callers via
+    /// [`JoinEnumeration::Auto`]).
+    Exhaustive,
+    /// Pick the cheapest feasible next group under the already-bound
+    /// variables, one position at a time.
+    Greedy,
+    /// The seed planner: sort by scalar cardinality estimate with the
+    /// most-conditions-first tie-breaker, naive group products, and the
+    /// seed bind-vs-hash heuristic. The baseline `experiments cost`
+    /// measures the multi-objective model against.
+    Scalar,
 }
 
 /// Everything the planner consults.
@@ -210,50 +249,6 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
         ));
     }
 
-    // ---- join order ------------------------------------------------------
-    // Groups whose source demands a condition no pattern supplies must run
-    // after a group that binds the condition variable, so they sort last.
-    // Within each class: ascending estimated cardinality, with
-    // most-conditions-first as the tie-breaker and as the whole story when
-    // statistics are unavailable.
-    processed.sort_by(|(a, _), (b, _)| {
-        let class = a
-            .missing_required
-            .is_empty()
-            .cmp(&b.missing_required.is_empty())
-            .reverse();
-        if class != std::cmp::Ordering::Equal {
-            return class;
-        }
-        let pa: Vec<&Pattern> = a.patterns.iter().collect();
-        let pb: Vec<&Pattern> = b.patterns.iter().collect();
-        let conds_a = condition_count(&pa);
-        let conds_b = condition_count(&pb);
-        let (ka, kb) = (
-            ctx.options.use_stats && ctx.stats.knows(a.source),
-            ctx.options.use_stats && ctx.stats.knows(b.source),
-        );
-        // NaN estimates (degenerate statistics, e.g. 0.0/0.0 selectivity)
-        // must not compare as Equal: that would make the join order depend
-        // on input position. Unknown ⇒ last, same as a missing estimate,
-        // keeping the ordering total and deterministic.
-        let sanitize = |est: f64| if est.is_nan() { f64::MAX } else { est };
-        let est_a = if ka {
-            sanitize(ctx.stats.estimate_group(a.source, &pa))
-        } else {
-            f64::MAX
-        };
-        let est_b = if kb {
-            sanitize(ctx.stats.estimate_group(b.source, &pb))
-        } else {
-            f64::MAX
-        };
-        est_a
-            .partial_cmp(&est_b)
-            .expect("estimates are NaN-free after sanitize")
-            .then(conds_b.cmp(&conds_a))
-    });
-
     // ---- variable bookkeeping -------------------------------------------
     // "Needed" variables must be extracted from source results: head vars,
     // external-predicate arguments, client-filter vars, and join/param vars
@@ -301,18 +296,33 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
         }
     }
 
+    // ---- join order ------------------------------------------------------
+    // Pick the evaluation order by simulating candidate prefixes with the
+    // same cost model the chain builder prices nodes with, so the scores
+    // that chose the order are exactly the estimates EXPLAIN renders.
+    // Orders that cannot fill a group's required conditions are skipped;
+    // under [`JoinEnumeration::Scalar`] this is the seed's sort instead.
+    let model = CostModel::new(ctx);
+    let order = choose_join_order(&processed, &externals, &needed, &model)?;
+    let mut slots: Vec<Option<(Group, Vec<ClientFilter>)>> =
+        processed.into_iter().map(Some).collect();
+    let processed: Vec<(Group, Vec<ClientFilter>)> = order
+        .iter()
+        .map(|&i| slots[i].take().expect("join order is a permutation"))
+        .collect();
+
     // ---- build the chain ---------------------------------------------------
     // `estimates` stays parallel to `nodes`: every push into one is paired
     // with a push into the other, so EXPLAIN ANALYZE can line the cost
     // model's guess up against what actually flowed through each node.
     let mut nodes: Vec<Node> = Vec::new();
-    let mut estimates: Vec<f64> = Vec::new();
+    let mut estimates: Vec<CostEstimate> = Vec::new();
     let mut bound: HashSet<Symbol> = HashSet::new();
     let mut placed_ext = vec![false; externals.len()];
     let mut running_est: f64 = 1.0;
 
     let place_externals = |nodes: &mut Vec<Node>,
-                           estimates: &mut Vec<f64>,
+                           estimates: &mut Vec<CostEstimate>,
                            cur_est: f64,
                            bound: &mut HashSet<Symbol>,
                            placed: &mut Vec<bool>,
@@ -334,7 +344,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                     args: args.clone(),
                     new_vars,
                 });
-                estimates.push(cur_est);
+                estimates.push(CostEstimate::rows_only(cur_est));
                 placed[i] = true;
                 progressed = true;
             }
@@ -383,64 +393,31 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
         let mut extract = extract;
         extract.sort_by_key(|e| e.var.as_str());
 
-        let est = if ctx.options.use_stats && ctx.stats.knows(group.source) {
-            let pr: Vec<&Pattern> = group.patterns.iter().collect();
-            ctx.stats.estimate_group(group.source, &pr)
-        } else {
-            crate::stats::StatsCache::new()
-                .estimate_group(group.source, &group.patterns.iter().collect::<Vec<_>>())
-        };
-
         // A group with unmet required conditions (a form-based source's
         // mandatory field) is only evaluable as a bind join whose `$param`
         // slots fill those conditions — verify the params cover them.
         let forced_bind = !group.missing_required.is_empty();
-        if forced_bind {
-            let fillable = caps.parameterized
-                && group.missing_required.iter().all(|&label| {
-                    group.patterns.iter().any(|p| {
-                        let PatValue::Set(sp) = &p.value else {
-                            return false;
-                        };
-                        sp.elements.iter().any(|e| match e {
-                            SetElem::Pattern(c) | SetElem::Wildcard(c) => {
-                                matches!(&c.label, Term::Const(v)
-                                    if v.as_str_sym() == Some(label))
-                                    && matches!(&c.value, PatValue::Term(Term::Var(v))
-                                        if param_vars.contains(v))
-                            }
-                            SetElem::Var(_) => false,
-                        })
-                    })
-                });
-            if !fillable {
-                return Err(MedError::Planning(format!(
-                    "source '{}' requires a bound condition on '{}', and no \
-                     evaluation order can supply one",
-                    group.source, group.missing_required[0]
-                )));
-            }
+        if forced_bind && !params_fill_required(group, caps, &param_vars) {
+            return Err(unfillable_order_error(group));
         }
 
-        if gi == 0 {
-            let query = build_source_query(group.source, &group.patterns, &extract, &[]);
-            nodes.push(Node::Query {
-                source: group.source,
-                query,
-                vars: extract.clone(),
-            });
-            running_est = est;
-        } else {
+        let (step_est, use_bind) = if ctx.options.enumeration == JoinEnumeration::Scalar {
+            // The seed model: one scalar running-cardinality estimate and
+            // the seed's bind-vs-hash heuristic. Bind join sends one source
+            // query per outer tuple; if the source answers parameterized
+            // lookups cheaply (indexed), compare cardinalities, else bind
+            // joins only pay off for tiny outers.
+            let pr: Vec<&Pattern> = group.patterns.iter().collect();
+            let est = if ctx.options.use_stats && ctx.stats.knows(group.source) {
+                ctx.stats.estimate_group_naive(group.source, &pr)
+            } else {
+                StatsCache::new().estimate_group_naive(group.source, &pr)
+            };
             let use_bind = forced_bind
                 || !param_vars.is_empty()
                     && caps.parameterized
                     && match ctx.options.prefer_bind_join {
                         Some(b) => b,
-                        // Bind join sends one source query per outer tuple. If
-                        // the source answers parameterized lookups cheaply
-                        // (indexed), compare cardinalities; if every call is a
-                        // scan, bind joins only pay off for tiny outers (the
-                        // per-call cost signal of §3.5).
                         None => {
                             if caps.parameterized_cheap {
                                 running_est <= est
@@ -449,52 +426,77 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                             }
                         }
                     };
-            if use_bind {
-                let query =
-                    build_source_query(group.source, &group.patterns, &extract, &param_vars);
-                nodes.push(Node::ParamQuery {
-                    source: group.source,
-                    query,
-                    params: param_vars.clone(),
-                    vars: extract.clone(),
-                });
+            let next = if gi == 0 {
+                est
             } else {
-                // Fetch the group and hash-join on the shared bound vars.
-                let join_vars: Vec<Symbol> = {
-                    let mut jv: Vec<Symbol> = gvars_set
-                        .iter()
-                        .filter(|v| bound.contains(v))
-                        .copied()
-                        .collect();
-                    jv.sort_by_key(|v| v.as_str());
-                    jv
-                };
-                // Inner extraction must include the join vars.
-                let mut inner_extract = extract.clone();
-                for v in &join_vars {
-                    if !inner_extract.iter().any(|e| e.var == *v) {
-                        inner_extract.push(ExtractVar {
-                            var: *v,
-                            kind: if obj_vars.contains(v) {
-                                VarKind::Object
-                            } else {
-                                VarKind::Scalar
-                            },
-                        });
-                    }
+                running_est.min(est).max(1.0)
+            };
+            (CostEstimate::rows_only(next), use_bind)
+        } else {
+            model
+                .assess(
+                    group,
+                    caps,
+                    &param_vars,
+                    &gvars_set,
+                    &bound,
+                    running_est,
+                    gi == 0,
+                )
+                .ok_or_else(|| unfillable_order_error(group))?
+        };
+        running_est = step_est.rows_out;
+
+        if gi == 0 {
+            let query = build_source_query(group.source, &group.patterns, &extract, &[]);
+            nodes.push(Node::Query {
+                source: group.source,
+                query,
+                vars: extract.clone(),
+            });
+        } else if use_bind {
+            let query = build_source_query(group.source, &group.patterns, &extract, &param_vars);
+            nodes.push(Node::ParamQuery {
+                source: group.source,
+                query,
+                params: param_vars.clone(),
+                vars: extract.clone(),
+            });
+        } else {
+            // Fetch the group and hash-join on the shared bound vars.
+            let join_vars: Vec<Symbol> = {
+                let mut jv: Vec<Symbol> = gvars_set
+                    .iter()
+                    .filter(|v| bound.contains(v))
+                    .copied()
+                    .collect();
+                jv.sort_by_key(|v| v.as_str());
+                jv
+            };
+            // Inner extraction must include the join vars.
+            let mut inner_extract = extract.clone();
+            for v in &join_vars {
+                if !inner_extract.iter().any(|e| e.var == *v) {
+                    inner_extract.push(ExtractVar {
+                        var: *v,
+                        kind: if obj_vars.contains(v) {
+                            VarKind::Object
+                        } else {
+                            VarKind::Scalar
+                        },
+                    });
                 }
-                inner_extract.sort_by_key(|e| e.var.as_str());
-                let query = build_source_query(group.source, &group.patterns, &inner_extract, &[]);
-                nodes.push(Node::HashJoin {
-                    source: group.source,
-                    query,
-                    vars: inner_extract,
-                    join_vars,
-                });
             }
-            running_est = running_est.min(est).max(1.0);
+            inner_extract.sort_by_key(|e| e.var.as_str());
+            let query = build_source_query(group.source, &group.patterns, &inner_extract, &[]);
+            nodes.push(Node::HashJoin {
+                source: group.source,
+                query,
+                vars: inner_extract,
+                join_vars,
+            });
         }
-        estimates.push(running_est);
+        estimates.push(step_est);
         bound.extend(extract.iter().map(|e| e.var));
         bound.extend(param_vars.iter().copied());
 
@@ -511,7 +513,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
                     condition: condition.clone(),
                 }),
             }
-            estimates.push(running_est);
+            estimates.push(CostEstimate::rows_only(running_est));
         }
 
         place_externals(
@@ -547,7 +549,7 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
         let mut seen = HashSet::new();
         hv.retain(|v| seen.insert(*v));
         nodes.push(Node::DupElim { vars: hv });
-        estimates.push(running_est);
+        estimates.push(CostEstimate::rows_only(running_est));
     }
 
     Ok(RulePlan {
@@ -555,6 +557,398 @@ fn plan_rule(rule: &Rule, ctx: &PlanContext) -> Result<RulePlan> {
         estimates,
         head: rule.head.clone(),
     })
+}
+
+/// The shared error for a group whose required conditions (a form-based
+/// source's mandatory field) no evaluation order can fill via `$param`.
+fn unfillable_order_error(group: &Group) -> MedError {
+    MedError::Planning(format!(
+        "source '{}' requires a bound condition on '{}', and no \
+         evaluation order can supply one",
+        group.source, group.missing_required[0]
+    ))
+}
+
+/// Do the bind-join `$param` slots fill every required condition the
+/// group's own patterns left unmet?
+fn params_fill_required(
+    group: &Group,
+    caps: &wrappers::Capabilities,
+    param_vars: &[Symbol],
+) -> bool {
+    caps.parameterized
+        && group.missing_required.iter().all(|&label| {
+            group.patterns.iter().any(|p| {
+                let PatValue::Set(sp) = &p.value else {
+                    return false;
+                };
+                sp.elements.iter().any(|e| match e {
+                    SetElem::Pattern(c) | SetElem::Wildcard(c) => {
+                        matches!(&c.label, Term::Const(v)
+                            if v.as_str_sym() == Some(label))
+                            && matches!(&c.value, PatValue::Term(Term::Var(v))
+                                if param_vars.contains(v))
+                    }
+                    SetElem::Var(_) => false,
+                })
+            })
+        })
+}
+
+/// The multi-objective cost model. One instance prices both the
+/// enumerator's simulated steps and the chain builder's final per-node
+/// estimates, so the scores that choose the join order are exactly the
+/// numbers `EXPLAIN ANALYZE` renders drift against.
+struct CostModel<'a, 'b> {
+    ctx: &'b PlanContext<'a>,
+    /// Fallback estimates for sources with no provided/learned statistics.
+    defaults: StatsCache,
+}
+
+impl<'a, 'b> CostModel<'a, 'b> {
+    fn new(ctx: &'b PlanContext<'a>) -> CostModel<'a, 'b> {
+        CostModel {
+            ctx,
+            defaults: StatsCache::new(),
+        }
+    }
+
+    /// Estimated result rows of the group's own patterns
+    /// ([`StatsCache::estimate_group`], shared-variable discounts
+    /// included).
+    fn group_rows(&self, group: &Group) -> f64 {
+        let pr: Vec<&Pattern> = group.patterns.iter().collect();
+        if self.ctx.options.use_stats && self.ctx.stats.knows(group.source) {
+            self.ctx.stats.estimate_group(group.source, &pr)
+        } else {
+            self.defaults.estimate_group(group.source, &pr)
+        }
+    }
+
+    /// Priced milliseconds per round trip to the source: the measured
+    /// latency EWMA marked up by the failure rate and discounted by the
+    /// observed cache-hit probability (§3.5's per-call cost signal).
+    fn per_call_ms(&self, source: Symbol) -> f64 {
+        if self.ctx.options.use_stats {
+            self.ctx.stats.per_call_cost_ms(source)
+        } else {
+            crate::stats::DEFAULT_LATENCY_MS
+        }
+    }
+
+    /// Price `group` as the next step of a chain: `running` rows flow in
+    /// and `bound` variables are available. Returns the step's cost
+    /// breakdown and whether a bind join was chosen; `None` when the step
+    /// is infeasible at this position (required conditions no `$param`
+    /// can fill yet).
+    #[allow(clippy::too_many_arguments)]
+    fn assess(
+        &self,
+        group: &Group,
+        caps: &wrappers::Capabilities,
+        param_vars: &[Symbol],
+        gvars: &HashSet<Symbol>,
+        bound: &HashSet<Symbol>,
+        running: f64,
+        first: bool,
+    ) -> Option<(CostEstimate, bool)> {
+        let forced_bind = !group.missing_required.is_empty();
+        if forced_bind && !params_fill_required(group, caps, param_vars) {
+            return None;
+        }
+        let rows_g = self.group_rows(group);
+        let per_call = self.per_call_ms(group.source);
+        if first {
+            // One fetch: every group row crosses the wire, is scanned
+            // once, and flows on.
+            return Some((
+                CostEstimate {
+                    rows_out: rows_g,
+                    cpu: rows_g,
+                    net: per_call,
+                    memory: rows_g,
+                },
+                false,
+            ));
+        }
+        let shared = gvars.iter().filter(|v| bound.contains(*v)).count();
+        // Floored at one row: observed cardinalities for inner groups are
+        // fed by per-probe bind-join calls, so they already reflect the
+        // join condition — multiplying the equi-join selectivity back in
+        // would compound the discount below anything a join that runs at
+        // all actually emits.
+        let rows_out =
+            (running * rows_g * JOIN_EQ_SELECTIVITY.powi(shared.min(127) as i32)).max(1.0);
+        // Bind join: one parameterized call per outer row; only the
+        // matching rows come back, so state is output-sized. Hash join:
+        // one fetch, but the whole group crosses the wire, resides in the
+        // hash table, and is scanned.
+        let bind = CostEstimate {
+            rows_out,
+            cpu: running + rows_out,
+            net: running.max(1.0).ceil() * per_call,
+            memory: rows_out,
+        };
+        let hash = CostEstimate {
+            rows_out,
+            cpu: running + rows_g + rows_out,
+            net: per_call,
+            memory: rows_g + running,
+        };
+        let bind_possible = !param_vars.is_empty() && caps.parameterized;
+        let use_bind = forced_bind
+            || bind_possible
+                && match self.ctx.options.prefer_bind_join {
+                    Some(b) => b,
+                    None => {
+                        bind.total(&self.ctx.options.cost_weights)
+                            <= hash.total(&self.ctx.options.cost_weights)
+                    }
+                };
+        Some((if use_bind { bind } else { hash }, use_bind))
+    }
+}
+
+/// Simulated execution state for join-order search. Stepping a group
+/// mirrors exactly what the chain builder will do for that prefix: bind
+/// the group's needed variables and `$param`s, then run the
+/// external-predicate placement fixpoint (externals bind variables too,
+/// which can make later groups' bind joins feasible).
+#[derive(Clone)]
+struct OrderSim<'a, 'b> {
+    model: &'b CostModel<'a, 'b>,
+    processed: &'b [(Group, Vec<ClientFilter>)],
+    externals: &'b [(Symbol, Vec<Term>)],
+    needed: &'b HashSet<Symbol>,
+    bound: HashSet<Symbol>,
+    placed: Vec<bool>,
+    running: f64,
+    first: bool,
+}
+
+impl<'a, 'b> OrderSim<'a, 'b> {
+    fn new(
+        model: &'b CostModel<'a, 'b>,
+        processed: &'b [(Group, Vec<ClientFilter>)],
+        externals: &'b [(Symbol, Vec<Term>)],
+        needed: &'b HashSet<Symbol>,
+    ) -> OrderSim<'a, 'b> {
+        OrderSim {
+            model,
+            processed,
+            externals,
+            needed,
+            bound: HashSet::new(),
+            placed: vec![false; externals.len()],
+            running: 1.0,
+            first: true,
+        }
+    }
+
+    /// Take group `i` as the next step; returns its weighted cost, or
+    /// `None` when the group is infeasible at this position.
+    fn step(&mut self, i: usize) -> Option<f64> {
+        let ctx = self.model.ctx;
+        let (group, _) = &self.processed[i];
+        let caps = ctx.sources[&group.source].capabilities();
+        let mut gv = Vec::new();
+        for p in &group.patterns {
+            p.collect_vars(&mut gv);
+        }
+        let gvars: HashSet<Symbol> = gv.into_iter().collect();
+        let param_vars: Vec<Symbol> = if self.first {
+            Vec::new()
+        } else {
+            term_position_vars(&group.patterns)
+                .into_iter()
+                .filter(|v| self.bound.contains(v))
+                .collect()
+        };
+        let (est, _) = self.model.assess(
+            group,
+            caps,
+            &param_vars,
+            &gvars,
+            &self.bound,
+            self.running,
+            self.first,
+        )?;
+        let cost = est.total(&ctx.options.cost_weights);
+        self.running = est.rows_out;
+        self.first = false;
+        self.bound
+            .extend(gvars.iter().filter(|v| self.needed.contains(*v)).copied());
+        self.bound.extend(param_vars);
+        loop {
+            let mut progressed = false;
+            for (k, (pred, args)) in self.externals.iter().enumerate() {
+                if self.placed[k] || !callable_static(*pred, args, &self.bound, ctx.registry) {
+                    continue;
+                }
+                let mut vs = Vec::new();
+                for a in args {
+                    a.collect_vars(&mut vs);
+                }
+                self.bound.extend(vs);
+                self.placed[k] = true;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        Some(cost)
+    }
+}
+
+/// Pick the evaluation order of the rule's source groups, as indices into
+/// `processed`. Errors when a group's required conditions cannot be
+/// filled under any order.
+fn choose_join_order(
+    processed: &[(Group, Vec<ClientFilter>)],
+    externals: &[(Symbol, Vec<Term>)],
+    needed: &HashSet<Symbol>,
+    model: &CostModel,
+) -> Result<Vec<usize>> {
+    let ctx = model.ctx;
+    let n = processed.len();
+    if ctx.options.enumeration == JoinEnumeration::Scalar {
+        return Ok(scalar_order(processed, ctx));
+    }
+    if n <= 1 {
+        return Ok((0..n).collect());
+    }
+    let exhaustive = match ctx.options.enumeration {
+        JoinEnumeration::Exhaustive => true,
+        JoinEnumeration::Greedy => false,
+        _ => n <= ctx.options.exhaustive_limit,
+    };
+    let sim = OrderSim::new(model, processed, externals, needed);
+    let order = if exhaustive {
+        exhaustive_order(&sim, n)
+    } else {
+        greedy_order(sim, n)
+    };
+    order.ok_or_else(|| {
+        let offender = processed
+            .iter()
+            .map(|(g, _)| g)
+            .find(|g| !g.missing_required.is_empty())
+            .expect("an order search only fails over unfillable required conditions");
+        unfillable_order_error(offender)
+    })
+}
+
+/// Score every feasible permutation, keeping the strictly-cheapest one.
+/// Ties keep the first (lexicographically-smallest) order found, so equal
+/// costs never make planning order-dependent. Prefixes already at or
+/// above the best score are pruned (step costs are non-negative).
+fn exhaustive_order(sim: &OrderSim, n: usize) -> Option<Vec<usize>> {
+    fn search(
+        sim: &OrderSim,
+        score: f64,
+        used: &mut Vec<bool>,
+        prefix: &mut Vec<usize>,
+        best: &mut Option<(f64, Vec<usize>)>,
+    ) {
+        if let Some((best_score, _)) = best {
+            if score >= *best_score {
+                return;
+            }
+        }
+        if prefix.len() == used.len() {
+            *best = Some((score, prefix.clone()));
+            return;
+        }
+        for i in 0..used.len() {
+            if used[i] {
+                continue;
+            }
+            let mut next = sim.clone();
+            let Some(cost) = next.step(i) else { continue };
+            used[i] = true;
+            prefix.push(i);
+            search(&next, score + cost, used, prefix, best);
+            prefix.pop();
+            used[i] = false;
+        }
+    }
+    let mut best = None;
+    search(sim, 0.0, &mut vec![false; n], &mut Vec::new(), &mut best);
+    best.map(|(_, order)| order)
+}
+
+/// Greedy cheapest-next: at each position take the feasible group with
+/// the lowest incremental weighted cost (first index wins ties).
+fn greedy_order(mut sim: OrderSim, n: usize) -> Option<Vec<usize>> {
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for _ in 0..n {
+        let mut best: Option<(f64, usize, OrderSim)> = None;
+        for (i, &taken) in used.iter().enumerate() {
+            if taken {
+                continue;
+            }
+            let mut next = sim.clone();
+            if let Some(cost) = next.step(i) {
+                if best.as_ref().is_none_or(|(bc, _, _)| cost < *bc) {
+                    best = Some((cost, i, next));
+                }
+            }
+        }
+        let (_, i, next) = best?;
+        sim = next;
+        used[i] = true;
+        order.push(i);
+    }
+    Some(order)
+}
+
+/// The seed planner's join order (the `Scalar` ablation): groups whose
+/// source demands a condition no pattern supplies sort last; within each
+/// class ascending naive cardinality estimate, most-conditions-first as
+/// the tie-breaker and as the whole story without statistics.
+fn scalar_order(processed: &[(Group, Vec<ClientFilter>)], ctx: &PlanContext) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..processed.len()).collect();
+    idx.sort_by(|&x, &y| {
+        let (a, b) = (&processed[x].0, &processed[y].0);
+        let class = a
+            .missing_required
+            .is_empty()
+            .cmp(&b.missing_required.is_empty())
+            .reverse();
+        if class != std::cmp::Ordering::Equal {
+            return class;
+        }
+        let pa: Vec<&Pattern> = a.patterns.iter().collect();
+        let pb: Vec<&Pattern> = b.patterns.iter().collect();
+        let conds_a = condition_count(&pa);
+        let conds_b = condition_count(&pb);
+        let (ka, kb) = (
+            ctx.options.use_stats && ctx.stats.knows(a.source),
+            ctx.options.use_stats && ctx.stats.knows(b.source),
+        );
+        // NaN estimates (degenerate statistics, e.g. 0.0/0.0 selectivity)
+        // must not compare as Equal: that would make the join order depend
+        // on input position. Unknown ⇒ last, same as a missing estimate,
+        // keeping the ordering total and deterministic.
+        let sanitize = |est: f64| if est.is_nan() { f64::MAX } else { est };
+        let est_a = if ka {
+            sanitize(ctx.stats.estimate_group_naive(a.source, &pa))
+        } else {
+            f64::MAX
+        };
+        let est_b = if kb {
+            sanitize(ctx.stats.estimate_group_naive(b.source, &pb))
+        } else {
+            f64::MAX
+        };
+        est_a
+            .partial_cmp(&est_b)
+            .expect("estimates are NaN-free after sanitize")
+            .then(conds_b.cmp(&conds_a))
+    });
+    idx
 }
 
 /// Is the external predicate callable given the statically-known bound
@@ -989,11 +1383,13 @@ mod tests {
 
     #[test]
     fn scan_based_inner_prefers_hash_join() {
-        // With statistics, cs (80 rows) orders before whois (2000). whois
-        // answers parameterized queries by scanning, so the planner must
-        // choose a hash join rather than 80 per-tuple scans. (With a tiny
-        // outer — a handful of tuples — bind joins remain worthwhile even
-        // into scan-based sources; the threshold is in plan_rule.)
+        // whois (2000 rows) answers parameterized queries by scanning, so
+        // whenever whois is inner the planner must choose a hash join
+        // rather than per-tuple scans — under the multi-objective model
+        // the bind join's `net` (one priced round-trip per outer row)
+        // dwarfs the hash join's single fetch. Under the Scalar ablation
+        // the seed behavior is pinned exactly: cs (80 rows) goes outer and
+        // whois is hash-joined.
         let med = MediatorSpec::parse("med", MS1).unwrap();
         let q = parse_query("P :- P:<cs_person {}>@med").unwrap();
         let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
@@ -1017,27 +1413,148 @@ mod tests {
             },
         );
         let srcs = sources();
-        let options = PlannerOptions::default();
-        let ctx = PlanContext {
-            sources: &srcs,
-            registry: &registry,
-            stats: &stats,
-            options: &options,
-            analysis: None,
-        };
-        let plan = plan(&program, &ctx).unwrap();
-        let nodes = &plan.rules[0].nodes;
-        let Node::Query { source, .. } = &nodes[0] else {
-            panic!("expected a query first, got {nodes:?}")
-        };
-        assert_eq!(*source, sym("cs"), "small side goes outer");
-        let whois_hash_joined = nodes
-            .iter()
-            .any(|n| matches!(n, Node::HashJoin { source, .. } if *source == sym("whois")));
-        assert!(
-            whois_hash_joined,
-            "scan-based whois must be hash-joined, not bind-joined: {nodes:?}"
+        for enumeration in [
+            JoinEnumeration::Auto,
+            JoinEnumeration::Greedy,
+            JoinEnumeration::Scalar,
+        ] {
+            let options = PlannerOptions {
+                enumeration,
+                ..Default::default()
+            };
+            let ctx = PlanContext {
+                sources: &srcs,
+                registry: &registry,
+                stats: &stats,
+                options: &options,
+                analysis: None,
+            };
+            let plan = plan(&program, &ctx).unwrap();
+            let nodes = &plan.rules[0].nodes;
+            if enumeration == JoinEnumeration::Scalar {
+                let Node::Query { source, .. } = &nodes[0] else {
+                    panic!("expected a query first, got {nodes:?}")
+                };
+                assert_eq!(*source, sym("cs"), "seed model: small side goes outer");
+            }
+            let whois_bind_joined = nodes
+                .iter()
+                .any(|n| matches!(n, Node::ParamQuery { source, .. } if *source == sym("whois")));
+            assert!(
+                !whois_bind_joined,
+                "{enumeration:?}: scan-based whois must never be bind-joined: {nodes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_variable_discount_flips_join_order() {
+        // Two whois patterns share X, so the whois group is an equi-join
+        // (50 × 50 × 0.1 = 250 rows), not a cross product (2500). The
+        // seed's naive product ranks whois *larger* than cs (300) and
+        // starts with cs; the fixed estimate ranks whois smaller and
+        // starts there. Satellite check for the shared-variable fix:
+        // the two models must genuinely disagree on this ordering.
+        let spec = "<v {<x X> <y Y>}> :- <a {<x X> <y Y>}>@whois \
+                    AND <b {<x X>}>@whois AND <c {<y Y>}>@cs";
+        let med = MediatorSpec::parse("med", spec).unwrap();
+        let q = parse_query("V :- V:<v {}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let mut stats = StatsCache::new();
+        stats.provide(
+            sym("whois"),
+            wrappers::SourceStats {
+                top_level_count: 100,
+                label_counts: [(sym("a"), 50), (sym("b"), 50)].into_iter().collect(),
+                eq_selectivity: Default::default(),
+            },
         );
+        stats.provide(
+            sym("cs"),
+            wrappers::SourceStats {
+                top_level_count: 300,
+                label_counts: [(sym("c"), 300)].into_iter().collect(),
+                eq_selectivity: Default::default(),
+            },
+        );
+        let srcs = sources();
+        let first_source = |enumeration: JoinEnumeration| -> Symbol {
+            let options = PlannerOptions {
+                enumeration,
+                ..Default::default()
+            };
+            let ctx = PlanContext {
+                sources: &srcs,
+                registry: &registry,
+                stats: &stats,
+                options: &options,
+                analysis: None,
+            };
+            let plan = plan(&program, &ctx).unwrap();
+            let Node::Query { source, .. } = &plan.rules[0].nodes[0] else {
+                panic!("expected a query first: {:?}", plan.rules[0].nodes)
+            };
+            *source
+        };
+        assert_eq!(first_source(JoinEnumeration::Scalar), sym("cs"));
+        assert_eq!(first_source(JoinEnumeration::Auto), sym("whois"));
+        assert_eq!(first_source(JoinEnumeration::Greedy), sym("whois"));
+    }
+
+    #[test]
+    fn equal_cost_orders_tie_break_on_input_order() {
+        // Two indistinguishable groups (same wrapper, same stats): every
+        // join order costs the same. Both enumerators must settle the tie
+        // on input position — first spec order, then its mirror — and do
+        // so identically on every replan.
+        let registry = standard_registry();
+        let mut stats = StatsCache::new();
+        for src in ["s1", "s2"] {
+            stats.provide(
+                sym(src),
+                wrappers::SourceStats {
+                    top_level_count: 100,
+                    label_counts: [(sym("p"), 100)].into_iter().collect(),
+                    eq_selectivity: Default::default(),
+                },
+            );
+        }
+        let mut srcs: HashMap<Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("s1"), Arc::new(cs_wrapper()));
+        srcs.insert(sym("s2"), Arc::new(cs_wrapper()));
+        for (spec, want_first) in [
+            ("<v {<x X>}> :- <p {<x X>}>@s1 AND <p {<x X>}>@s2", "s1"),
+            ("<v {<x X>}> :- <p {<x X>}>@s2 AND <p {<x X>}>@s1", "s2"),
+        ] {
+            let med = MediatorSpec::parse("med", spec).unwrap();
+            let q = parse_query("V :- V:<v {}>@med").unwrap();
+            let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+            for enumeration in [JoinEnumeration::Exhaustive, JoinEnumeration::Greedy] {
+                let options = PlannerOptions {
+                    enumeration,
+                    ..Default::default()
+                };
+                let ctx = PlanContext {
+                    sources: &srcs,
+                    registry: &registry,
+                    stats: &stats,
+                    options: &options,
+                    analysis: None,
+                };
+                for _ in 0..5 {
+                    let plan = plan(&program, &ctx).unwrap();
+                    let Node::Query { source, .. } = &plan.rules[0].nodes[0] else {
+                        panic!("expected a query first: {:?}", plan.rules[0].nodes)
+                    };
+                    assert_eq!(
+                        *source,
+                        sym(want_first),
+                        "{enumeration:?} must keep the input order on ties"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

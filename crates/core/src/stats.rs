@@ -18,8 +18,36 @@ use wrappers::SourceStats;
 const DEFAULT_TOP_COUNT: f64 = 1000.0;
 const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
 
+/// Selectivity charged per shared (equi-join) variable — both between
+/// patterns of one source group and between groups in the planner's join
+/// enumeration. The same default as an equality condition: a join *is* an
+/// equality.
+pub const JOIN_EQ_SELECTIVITY: f64 = DEFAULT_EQ_SELECTIVITY;
+
 /// Exponentially-weighted moving average factor for observations.
 const EWMA: f64 = 0.5;
+
+/// Assumed round-trip latency for a source that has never been measured,
+/// in milliseconds (one "unit" of network cost).
+pub const DEFAULT_LATENCY_MS: f64 = 1.0;
+
+/// Floor on the expected per-call cost: even a fully-cached source keeps
+/// an epsilon so network cost never compares as exactly free.
+const MIN_CALL_MS: f64 = 0.01;
+
+/// Per-source *runtime* statistics learned from executed traces — the
+/// non-cardinality half of the feedback loop. All three are EWMAs
+/// (factor 0.5, matching the cardinality loop), `None` until first
+/// observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RuntimeStats {
+    /// Mean round-trip milliseconds per successful source call.
+    pub latency_ms: Option<f64>,
+    /// Failed attempts / total attempts (retries included).
+    pub failure_rate: Option<f64>,
+    /// Answer-cache hits / (hits + misses) for this source.
+    pub hit_rate: Option<f64>,
+}
 
 /// Per-source statistics, merged from wrapper-provided numbers and
 /// observed query results.
@@ -28,6 +56,8 @@ pub struct StatsCache {
     provided: HashMap<Symbol, SourceStats>,
     /// (source, top-level label) → EWMA of observed result counts.
     observed: HashMap<(Symbol, Option<Symbol>), f64>,
+    /// source → latency / failure / cache-hit EWMAs.
+    runtime: HashMap<Symbol, RuntimeStats>,
 }
 
 impl StatsCache {
@@ -51,11 +81,81 @@ impl StatsCache {
     /// Fold every source observation of an executed query's trace into the
     /// EWMA tables — the §3.5 feedback loop. The mediator calls this once
     /// per executed query, so each `Observation` carried by the trace
-    /// contributes exactly one [`StatsCache::record`].
+    /// contributes exactly one [`StatsCache::record`]. Beyond
+    /// cardinalities, the trace's fault and cache counters feed the
+    /// per-source [`RuntimeStats`] the cost model prices network with:
+    /// measured round-trip latency, failure rate (retries included) and
+    /// answer-cache hit rate.
     pub fn record_trace(&mut self, trace: &crate::metrics::QueryTrace) {
         for o in &trace.observations {
             self.record(o.source, o.label, o.count);
         }
+        // Latency: mean milliseconds per successful call this query.
+        for (&source, &total_ms) in &trace.latency_ms {
+            let samples = trace.latency_calls.get(&source).copied().unwrap_or(0);
+            if samples > 0 {
+                let mean = total_ms as f64 / samples as f64;
+                let rt = self.runtime.entry(source).or_default();
+                let prev = rt.latency_ms.unwrap_or(mean);
+                rt.latency_ms = Some(EWMA * mean + (1.0 - EWMA) * prev);
+            }
+        }
+        // Failure rate: failed attempts over total attempts (each call is
+        // one attempt plus its retries). Sources that were called and
+        // never failed push the rate toward zero.
+        for (&source, &calls) in &trace.source_calls {
+            let retries = trace.retries.get(&source).copied().unwrap_or(0);
+            let failures = trace.failures.get(&source).copied().unwrap_or(0);
+            let attempts = calls + retries;
+            if attempts > 0 {
+                let sample = (failures.min(attempts)) as f64 / attempts as f64;
+                let rt = self.runtime.entry(source).or_default();
+                let prev = rt.failure_rate.unwrap_or(sample);
+                rt.failure_rate = Some(EWMA * sample + (1.0 - EWMA) * prev);
+            }
+        }
+        // Cache hit rate: how often this source's answers came for free.
+        let hit_sources: std::collections::BTreeSet<Symbol> = trace
+            .cache_hits
+            .keys()
+            .chain(trace.containment_hits.keys())
+            .chain(trace.cache_misses.keys())
+            .copied()
+            .collect();
+        for source in hit_sources {
+            let hits = trace.cache_hits.get(&source).copied().unwrap_or(0)
+                + trace.containment_hits.get(&source).copied().unwrap_or(0);
+            let misses = trace.cache_misses.get(&source).copied().unwrap_or(0);
+            if hits + misses > 0 {
+                let sample = hits as f64 / (hits + misses) as f64;
+                let rt = self.runtime.entry(source).or_default();
+                let prev = rt.hit_rate.unwrap_or(sample);
+                rt.hit_rate = Some(EWMA * sample + (1.0 - EWMA) * prev);
+            }
+        }
+    }
+
+    /// The learned runtime statistics for a source (all `None` when the
+    /// source was never executed under tracing).
+    pub fn runtime(&self, source: Symbol) -> RuntimeStats {
+        self.runtime.get(&source).copied().unwrap_or_default()
+    }
+
+    /// Expected cost of one round-trip to `source`, in milliseconds: the
+    /// measured latency EWMA inflated by the expected attempt count under
+    /// the observed failure rate, discounted by the observed answer-cache
+    /// hit probability. A cached source is nearly free; a flaky one is
+    /// expensive. Floored at a small epsilon so network never compares as
+    /// exactly free.
+    pub fn per_call_cost_ms(&self, source: Symbol) -> f64 {
+        let rt = self.runtime(source);
+        let latency = rt.latency_ms.unwrap_or(DEFAULT_LATENCY_MS).max(MIN_CALL_MS);
+        // Expected attempts under independent failures: 1 / (1 - p),
+        // capped (a breaker/retry policy bounds real attempts anyway).
+        let fail = rt.failure_rate.unwrap_or(0.0).clamp(0.0, 0.9);
+        let attempts = (1.0 / (1.0 - fail)).min(10.0);
+        let hit = rt.hit_rate.unwrap_or(0.0).clamp(0.0, 1.0);
+        (latency * attempts * (1.0 - hit)).max(MIN_CALL_MS)
     }
 
     /// Estimated number of top-level objects matching a bare label at a
@@ -98,9 +198,34 @@ impl StatsCache {
         est.max(0.01)
     }
 
-    /// Estimate for a group of patterns at one source (joins within a
-    /// source multiply — a crude but monotone model).
+    /// Estimate for a group of patterns at one source. Per-pattern
+    /// estimates multiply (a cross product), but every variable a pattern
+    /// *shares* with an earlier pattern of the group is an equi-join
+    /// constraint, not a free cross — each shared variable discounts the
+    /// pattern's contribution by the default equality selectivity. The
+    /// seed model multiplied unconditionally, wildly overestimating
+    /// same-source joins (kept as [`StatsCache::estimate_group_naive`]
+    /// for the scalar-baseline comparison).
     pub fn estimate_group(&self, source: Symbol, patterns: &[&Pattern]) -> f64 {
+        let mut est = 1.0;
+        let mut seen: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
+        for p in patterns {
+            let mut vars = Vec::new();
+            p.collect_vars(&mut vars);
+            let uniq: std::collections::HashSet<Symbol> = vars.into_iter().collect();
+            let shared = uniq.iter().filter(|v| seen.contains(*v)).count();
+            est *=
+                self.estimate_pattern(source, p) * JOIN_EQ_SELECTIVITY.powi(shared.min(127) as i32);
+            seen.extend(uniq);
+        }
+        est.max(0.01)
+    }
+
+    /// The seed scalar model's group estimate: a plain product of
+    /// per-pattern estimates, blind to shared variables. Kept only so the
+    /// `experiments cost` scorecard can compare the multi-objective model
+    /// against the exact pre-PR-9 baseline.
+    pub fn estimate_group_naive(&self, source: Symbol, patterns: &[&Pattern]) -> f64 {
         patterns
             .iter()
             .map(|p| self.estimate_pattern(source, p))
@@ -324,6 +449,101 @@ mod tests {
         );
         let p = pat("X :- <person {<name 'a'>}>@s");
         assert!(c.estimate_pattern(sym("s"), &p) > 0.0);
+    }
+
+    #[test]
+    fn shared_variables_discount_group_estimates() {
+        let mut c = StatsCache::new();
+        c.provide(
+            sym("s"),
+            SourceStats {
+                top_level_count: 200,
+                label_counts: [(sym("person"), 100), (sym("emp"), 100)]
+                    .into_iter()
+                    .collect(),
+                eq_selectivity: Default::default(),
+            },
+        );
+        // Both patterns bind N: the second is an equi-join on N, not a
+        // free cross product.
+        let p1 = pat("X :- <person {<name N>}>@s");
+        let p2 = pat("X :- <emp {<name N>}>@s");
+        let naive = c.estimate_group_naive(sym("s"), &[&p1, &p2]);
+        let joined = c.estimate_group(sym("s"), &[&p1, &p2]);
+        assert_eq!(naive, 100.0 * 100.0);
+        assert!(
+            (joined - naive * JOIN_EQ_SELECTIVITY).abs() < 1e-9,
+            "{joined}"
+        );
+        // Disjoint variables keep the plain product.
+        let p3 = pat("X :- <emp {<name M>}>@s");
+        assert_eq!(
+            c.estimate_group(sym("s"), &[&p1, &p3]),
+            c.estimate_group_naive(sym("s"), &[&p1, &p3])
+        );
+    }
+
+    #[test]
+    fn record_trace_learns_runtime_stats() {
+        let mut c = StatsCache::new();
+        assert_eq!(c.runtime(sym("s")), RuntimeStats::default());
+        let t1 = crate::metrics::QueryTrace {
+            latency_ms: [(sym("s"), 8)].into_iter().collect(),
+            latency_calls: [(sym("s"), 2)].into_iter().collect(),
+            source_calls: [(sym("s"), 2)].into_iter().collect(),
+            retries: [(sym("s"), 2)].into_iter().collect(),
+            failures: [(sym("s"), 2)].into_iter().collect(),
+            cache_hits: [(sym("s"), 3)].into_iter().collect(),
+            cache_misses: [(sym("s"), 1)].into_iter().collect(),
+            ..Default::default()
+        };
+        c.record_trace(&t1);
+        let rt = c.runtime(sym("s"));
+        // First samples seed the EWMAs directly: mean latency 8ms/2 calls,
+        // 2 failures over 2+2 attempts, 3 hits over 4 lookups.
+        assert_eq!(rt.latency_ms, Some(4.0));
+        assert_eq!(rt.failure_rate, Some(0.5));
+        assert_eq!(rt.hit_rate, Some(0.75));
+        // A clean fast query halves the distance toward its sample.
+        let t2 = crate::metrics::QueryTrace {
+            latency_ms: [(sym("s"), 2)].into_iter().collect(),
+            latency_calls: [(sym("s"), 1)].into_iter().collect(),
+            source_calls: [(sym("s"), 1)].into_iter().collect(),
+            ..Default::default()
+        };
+        c.record_trace(&t2);
+        let rt = c.runtime(sym("s"));
+        assert_eq!(rt.latency_ms, Some(3.0));
+        assert_eq!(rt.failure_rate, Some(0.25));
+        // No cache traffic this query: hit rate EWMA untouched.
+        assert_eq!(rt.hit_rate, Some(0.75));
+    }
+
+    #[test]
+    fn per_call_cost_prices_failures_and_cache() {
+        let mut c = StatsCache::new();
+        // Unmeasured source: one default latency unit.
+        assert_eq!(c.per_call_cost_ms(sym("s")), DEFAULT_LATENCY_MS);
+        // 4ms latency, 50% failures (expected 2 attempts), 75% cache
+        // hits: 4 * 2 * 0.25 = 2ms expected per call.
+        c.record_trace(&crate::metrics::QueryTrace {
+            latency_ms: [(sym("s"), 4)].into_iter().collect(),
+            latency_calls: [(sym("s"), 1)].into_iter().collect(),
+            source_calls: [(sym("s"), 1)].into_iter().collect(),
+            retries: [(sym("s"), 1)].into_iter().collect(),
+            failures: [(sym("s"), 1)].into_iter().collect(),
+            cache_hits: [(sym("s"), 3)].into_iter().collect(),
+            cache_misses: [(sym("s"), 1)].into_iter().collect(),
+            ..Default::default()
+        });
+        assert_eq!(c.per_call_cost_ms(sym("s")), 2.0);
+        // A fully-cached source floors at an epsilon, never exactly free.
+        c.record_trace(&crate::metrics::QueryTrace {
+            cache_hits: [(sym("t"), 5)].into_iter().collect(),
+            ..Default::default()
+        });
+        assert_eq!(c.runtime(sym("t")).hit_rate, Some(1.0));
+        assert_eq!(c.per_call_cost_ms(sym("t")), MIN_CALL_MS);
     }
 
     #[test]
