@@ -18,8 +18,8 @@ fn all_experiments_pass() {
     // One [ok] per experiment (fig23 prints its correction note inline).
     let ok_count = stdout.matches("[ok]").count();
     assert!(
-        ok_count >= 19,
-        "expected >= 19 [ok] markers, got {ok_count}"
+        ok_count >= 20,
+        "expected >= 20 [ok] markers, got {ok_count}"
     );
     // Spot-check headline artifacts.
     for frag in [
@@ -28,6 +28,7 @@ fn all_experiments_pass() {
         "experiment: fig36",
         "experiment: lorel",
         "experiment: cache",
+        "experiment: cache_tiered",
         "'Joe Chung'",
         "'Nick Naive'",
     ] {

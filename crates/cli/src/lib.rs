@@ -77,6 +77,29 @@ pub struct Config {
     /// Serve cached answers even while the source is down
     /// (`--cache-stale-ok`).
     pub cache_stale_ok: bool,
+    /// Directory of the persistent warm cache tier (`--cache-dir DIR`;
+    /// implies `--cache`). Cached answers written here survive restarts.
+    pub cache_dir: Option<PathBuf>,
+    /// Warm-tier byte budget (`--cache-warm-bytes N`, default 64 MiB);
+    /// compaction drops the lowest-value entries past it.
+    pub cache_warm_bytes: Option<u64>,
+    /// Ablation: evict the hot tier oldest-first instead of cost-aware
+    /// (`--cache-fifo`).
+    pub cache_fifo: bool,
+    /// Offline warm-tier maintenance
+    /// (`medmaker cache stats|clear|compact --cache-dir DIR`).
+    pub cache_cmd: Option<CacheCmd>,
+    /// Invalidate subcommand: push a source delta to a running daemon
+    /// (`medmaker invalidate --source NAME [--addr HOST:PORT]`).
+    pub invalidate: bool,
+    /// Source whose cached answers the delta invalidates (`--source`).
+    pub source: Option<String>,
+    /// Labels scoping the delta (`--label L`, repeatable;
+    /// invalidate mode only).
+    pub labels: Vec<String>,
+    /// Canonical keys scoping the delta (`--key K`, repeatable;
+    /// invalidate mode only).
+    pub keys: Vec<String>,
     /// Use the materializing executor instead of streaming batches
     /// (`--materialize`).
     pub materialize: bool,
@@ -96,19 +119,36 @@ pub struct Config {
     pub queue: Option<usize>,
 }
 
+/// The `medmaker cache` maintenance actions (offline: they open the
+/// warm-tier directory directly, no daemon involved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCmd {
+    /// Print warm-tier statistics as JSON.
+    Stats,
+    /// Delete every warm segment.
+    Clear,
+    /// Rewrite live entries in value order, dropping the lowest-value
+    /// ones past the byte budget.
+    Compact,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
                 [--minimal] [--no-dedup] [--explain]
                 [--retries N] [--source-deadline-ms MS] [--partial]
                 [--cache] [--cache-capacity N] [--cache-ttl-ms MS]
-                [--cache-stale-ok] [--materialize] [--batch-size N]
+                [--cache-stale-ok] [--cache-dir DIR] [--cache-warm-bytes N]
+                [--cache-fifo] [--materialize] [--batch-size N]
                 [--cost-weights K=V,...] [QUERY]
        medmaker lint SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker check SPEC [--json] [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]...
        medmaker explain --spec FILE [--analyze] [--trace-json PATH] [source/option flags] QUERY
        medmaker serve --spec FILE [--addr HOST:PORT] [--workers N] [--queue N]
                 [source/option flags]
+       medmaker cache stats|clear|compact --cache-dir DIR [--cache-warm-bytes N]
+       medmaker invalidate --source NAME [--label L]... [--key K]...
+                [--addr HOST:PORT]
 
   --spec FILE       MSL mediator specification
   --name NAME       mediator name (default: med)
@@ -137,6 +177,13 @@ usage: medmaker --spec FILE [--name NAME] [--oem NAME=FILE]... [--csv NAME=FILE]
   --cache-ttl-ms MS expire cached answers after MS milliseconds
   --cache-stale-ok  keep serving cached answers for a source that is
                     currently failing (default: refetch and degrade)
+  --cache-dir DIR   persist cached answers to DIR (the warm tier) so
+                    they survive restarts; implies --cache
+  --cache-warm-bytes N
+                    warm-tier byte budget (default: 64 MiB); compaction
+                    drops the lowest-value entries past it
+  --cache-fifo      evict hot-tier entries oldest-first (the seed's
+                    behavior) instead of cost-aware; ablation flag
   --materialize     run the materializing executor (full table per node)
                     instead of streaming bounded batches
   --batch-size N    rows per streamed batch (default: 1024)
@@ -171,6 +218,17 @@ waiting for a worker (default 64); requests beyond workers+queue are shed
 with 503/BUSY. SIGINT/SIGTERM shut down gracefully, draining in-flight
 queries. Wire formats: DESIGN.md §11; operations: docs/OPERATIONS.md.
 
+cache mode maintains a warm-tier directory offline (no daemon): stats
+prints entry/byte/segment counts as JSON, clear deletes every segment,
+compact rewrites live entries in value order dropping the lowest-value
+ones past the --cache-warm-bytes budget.
+
+invalidate mode POSTs a source delta to a running daemon's /invalidate
+endpoint (default --addr 127.0.0.1:7070): unscoped drops every cached
+answer for --source; --label/--key scope the drop to answers whose
+label footprint or canonical key matches. The daemon's bind-join memo
+for the source is purged either way.
+
 explain mode prints the view expansion, the physical datamerge plan and a
 traced run of QUERY. With --analyze the run is rendered EXPLAIN
 ANALYZE-style: every node annotated with observed rows-in/rows-out next to
@@ -197,6 +255,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
     } else if it.peek().map(String::as_str) == Some("serve") {
         it.next();
         cfg.serve = true;
+    } else if it.peek().map(String::as_str) == Some("cache") {
+        it.next();
+        cfg.cache_cmd = Some(match it.next().as_deref() {
+            Some("stats") => CacheCmd::Stats,
+            Some("clear") => CacheCmd::Clear,
+            Some("compact") => CacheCmd::Compact,
+            Some(other) => {
+                return Err(format!(
+                    "unknown cache action '{other}' (expected stats, clear or compact)\n{USAGE}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "cache needs an action: stats, clear or compact\n{USAGE}"
+                ))
+            }
+        });
+    } else if it.peek().map(String::as_str) == Some("invalidate") {
+        it.next();
+        cfg.invalidate = true;
     }
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -252,6 +330,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
                 cfg.cache_ttl_ms = Some(ms);
             }
             "--cache-stale-ok" => cfg.cache_stale_ok = true,
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a DIR argument")?;
+                cfg.cache_dir = Some(PathBuf::from(v));
+                // Persistence without caching makes no sense; the flag
+                // implies --cache.
+                cfg.cache = true;
+            }
+            "--cache-warm-bytes" => {
+                let v = it
+                    .next()
+                    .ok_or("--cache-warm-bytes needs a number argument")?;
+                let n = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--cache-warm-bytes expects a number, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--cache-warm-bytes must be at least 1".to_string());
+                }
+                cfg.cache_warm_bytes = Some(n);
+            }
+            "--cache-fifo" => cfg.cache_fifo = true,
             "--materialize" => cfg.materialize = true,
             "--cost-weights" => {
                 let v = it
@@ -271,8 +369,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
                 }
                 cfg.batch_size = Some(n);
             }
-            "--addr" if cfg.serve => {
+            "--addr" if cfg.serve || cfg.invalidate => {
                 cfg.addr = Some(it.next().ok_or("--addr needs a HOST:PORT argument")?);
+            }
+            "--source" if cfg.invalidate => {
+                cfg.source = Some(it.next().ok_or("--source needs a NAME argument")?);
+            }
+            "--label" if cfg.invalidate => {
+                cfg.labels
+                    .push(it.next().ok_or("--label needs a LABEL argument")?);
+            }
+            "--key" if cfg.invalidate => {
+                cfg.keys
+                    .push(it.next().ok_or("--key needs a KEY argument")?);
             }
             "--workers" if cfg.serve => {
                 let v = it.next().ok_or("--workers needs a number argument")?;
@@ -318,6 +427,24 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, Str
             }
             other => return Err(format!("unknown option '{other}'\n{USAGE}")),
         }
+    }
+    if cfg.cache_cmd.is_some() || cfg.invalidate {
+        // Offline/remote maintenance: no spec, no query.
+        if cfg.query.is_some() {
+            let cmd = if cfg.invalidate {
+                "invalidate"
+            } else {
+                "cache"
+            };
+            return Err(format!("{cmd} takes no QUERY argument\n{USAGE}"));
+        }
+        if cfg.cache_cmd.is_some() && cfg.cache_dir.is_none() {
+            return Err(format!("cache needs --cache-dir DIR\n{USAGE}"));
+        }
+        if cfg.invalidate && cfg.source.is_none() {
+            return Err(format!("invalidate needs --source NAME\n{USAGE}"));
+        }
+        return Ok(cfg);
     }
     if cfg.spec_path.is_none() {
         let what = if cfg.lint {
@@ -417,6 +544,11 @@ pub fn build_mediator(cfg: &Config) -> Result<Mediator, String> {
         capacity: cfg.cache_capacity.unwrap_or(64),
         ttl_ms: cfg.cache_ttl_ms,
         stale_ok: cfg.cache_stale_ok,
+        cache_dir: cfg.cache_dir.clone(),
+        warm_bytes: cfg
+            .cache_warm_bytes
+            .unwrap_or(medmaker::cache::DEFAULT_WARM_BYTES),
+        fifo: cfg.cache_fifo,
         ..Default::default()
     };
     let defaults = MediatorOptions::default();
@@ -701,6 +833,105 @@ pub fn run_serve(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
     Ok(0)
 }
 
+/// Run `medmaker cache stats|clear|compact --cache-dir DIR`: open the
+/// warm tier offline (no daemon) and print one JSON object describing
+/// what was found, freed or compacted. Returns the process exit code
+/// (0 on success).
+pub fn run_cache(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
+    let dir = cfg.cache_dir.as_ref().expect("validated by parse_args");
+    let cmd = cfg.cache_cmd.expect("validated by parse_args");
+    let mut tier = medmaker::WarmTier::open(dir)
+        .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?;
+    let int = |n: u64| serde::Value::Int(n as i64);
+    let doc = match cmd {
+        CacheCmd::Stats => {
+            let s = tier.stats();
+            serde::Value::Object(vec![
+                ("entries".to_string(), int(s.entries as u64)),
+                ("live_bytes".to_string(), int(s.live_bytes)),
+                ("disk_bytes".to_string(), int(s.disk_bytes)),
+                ("segments".to_string(), int(s.segments as u64)),
+                (
+                    "corrupt_segments".to_string(),
+                    int(s.corrupt_segments as u64),
+                ),
+                ("torn_segments".to_string(), int(s.torn_segments as u64)),
+            ])
+        }
+        CacheCmd::Clear => {
+            let before = tier.stats();
+            tier.clear()
+                .map_err(|e| format!("cannot clear {}: {e}", dir.display()))?;
+            serde::Value::Object(vec![
+                ("cleared_entries".to_string(), int(before.entries as u64)),
+                ("freed_bytes".to_string(), int(before.disk_bytes)),
+            ])
+        }
+        CacheCmd::Compact => {
+            let budget = cfg
+                .cache_warm_bytes
+                .unwrap_or(medmaker::cache::DEFAULT_WARM_BYTES);
+            let c = tier
+                .compact(budget)
+                .map_err(|e| format!("cannot compact {}: {e}", dir.display()))?;
+            serde::Value::Object(vec![
+                ("kept".to_string(), int(c.kept as u64)),
+                ("dropped".to_string(), int(c.dropped as u64)),
+                ("bytes_before".to_string(), int(c.bytes_before)),
+                ("bytes_after".to_string(), int(c.bytes_after)),
+            ])
+        }
+    };
+    let text = serde_json::to_string(&doc).map_err(|e| e.to_string())?;
+    writeln!(out, "{text}").map_err(|e| e.to_string())?;
+    Ok(0)
+}
+
+/// Run `medmaker invalidate --source NAME [--label L]... [--key K]...
+/// [--addr HOST:PORT]`: POST a source delta to a running daemon's
+/// `/invalidate` endpoint and print its reply body. Returns the process
+/// exit code — 0 when the daemon answered 200, 1 otherwise.
+pub fn run_invalidate(cfg: &Config, out: &mut impl Write) -> Result<i32, String> {
+    use std::io::Read;
+    let addr = cfg
+        .addr
+        .clone()
+        .unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let source = cfg.source.as_ref().expect("validated by parse_args");
+    let strs = |xs: &[String]| {
+        serde::Value::Array(xs.iter().map(|x| serde::Value::Str(x.clone())).collect())
+    };
+    let mut fields = vec![("source".to_string(), serde::Value::Str(source.clone()))];
+    if !cfg.labels.is_empty() {
+        fields.push(("labels".to_string(), strs(&cfg.labels)));
+    }
+    if !cfg.keys.is_empty() {
+        fields.push(("keys".to_string(), strs(&cfg.keys)));
+    }
+    let body = serde_json::to_string(&serde::Value::Object(fields)).map_err(|e| e.to_string())?;
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let request = format!(
+        "POST /invalidate HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("cannot send to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("cannot read reply from {addr}: {e}"))?;
+    let status_ok = response.starts_with("HTTP/1.1 200");
+    let reply_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&response);
+    writeln!(out, "{}", reply_body.trim_end()).map_err(|e| e.to_string())?;
+    Ok(if status_ok { 0 } else { 1 })
+}
+
 /// Translate a LOREL query to MSL text for a mediator.
 pub fn lorel_to_msl_text(med: &Mediator, query: &str) -> Result<String, String> {
     let rule = lorel::to_msl(query, &med.spec().name.as_str()).map_err(|e| e.to_string())?;
@@ -954,6 +1185,161 @@ mod tests {
         assert!(parse_args(argv("serve --spec s.msl --workers 0")).is_err());
         assert!(parse_args(argv("serve --spec s.msl --workers many")).is_err());
         assert!(parse_args(argv("serve --spec s.msl --queue")).is_err());
+    }
+
+    #[test]
+    fn parse_tiered_cache_flags() {
+        let cfg = parse_args(argv(
+            "--spec med.msl --cache-dir /tmp/warm --cache-warm-bytes 1024 --cache-fifo QUERY",
+        ))
+        .unwrap();
+        // --cache-dir implies --cache.
+        assert!(cfg.cache);
+        assert_eq!(cfg.cache_dir.as_ref().unwrap().to_str(), Some("/tmp/warm"));
+        assert_eq!(cfg.cache_warm_bytes, Some(1024));
+        assert!(cfg.cache_fifo);
+        // Defaults: memory-only, cost-aware.
+        let cfg = parse_args(argv("--spec med.msl --cache QUERY")).unwrap();
+        assert!(cfg.cache_dir.is_none());
+        assert_eq!(cfg.cache_warm_bytes, None);
+        assert!(!cfg.cache_fifo);
+        // The byte budget validates its argument and rejects zero.
+        assert!(parse_args(argv("--spec s.msl --cache-warm-bytes big")).is_err());
+        assert!(parse_args(argv("--spec s.msl --cache-warm-bytes 0")).is_err());
+        assert!(parse_args(argv("--spec s.msl --cache-dir")).is_err());
+    }
+
+    #[test]
+    fn cache_subcommand_parsed() {
+        let cfg = parse_args(argv("cache stats --cache-dir /tmp/warm")).unwrap();
+        assert_eq!(cfg.cache_cmd, Some(CacheCmd::Stats));
+        assert_eq!(cfg.cache_dir.as_ref().unwrap().to_str(), Some("/tmp/warm"));
+        let cfg = parse_args(argv("cache clear --cache-dir d")).unwrap();
+        assert_eq!(cfg.cache_cmd, Some(CacheCmd::Clear));
+        let cfg = parse_args(argv("cache compact --cache-dir d --cache-warm-bytes 4096")).unwrap();
+        assert_eq!(cfg.cache_cmd, Some(CacheCmd::Compact));
+        assert_eq!(cfg.cache_warm_bytes, Some(4096));
+        // The action and the directory are both required; no extras.
+        assert!(parse_args(argv("cache")).is_err());
+        assert!(parse_args(argv("cache defrag --cache-dir d")).is_err());
+        assert!(parse_args(argv("cache stats")).is_err());
+        assert!(parse_args(argv("cache stats --cache-dir d QUERY")).is_err());
+    }
+
+    #[test]
+    fn invalidate_subcommand_parsed() {
+        let cfg = parse_args(argv(
+            "invalidate --addr 127.0.0.1:9 --source whois --label head --label dept --key k1",
+        ))
+        .unwrap();
+        assert!(cfg.invalidate);
+        assert_eq!(cfg.addr.as_deref(), Some("127.0.0.1:9"));
+        assert_eq!(cfg.source.as_deref(), Some("whois"));
+        assert_eq!(cfg.labels, vec!["head".to_string(), "dept".to_string()]);
+        assert_eq!(cfg.keys, vec!["k1".to_string()]);
+        // --source is required; no query; scope flags need invalidate mode.
+        assert!(parse_args(argv("invalidate --addr 127.0.0.1:9")).is_err());
+        assert!(parse_args(argv("invalidate --source s QUERY")).is_err());
+        assert!(parse_args(argv("--spec s.msl --label x QUERY")).is_err());
+        assert!(parse_args(argv("--spec s.msl --key x QUERY")).is_err());
+        assert!(parse_args(argv("invalidate --source")).is_err());
+    }
+
+    #[test]
+    fn cache_subcommand_end_to_end_over_a_real_warm_tier() {
+        let dir = std::env::temp_dir().join(format!("medmaker-cli-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let warm = dir.join("warm");
+        let spec = dir.join("spec.msl");
+        std::fs::write(&spec, "<v {<n N>}> :- <person {<name N>}>@src\n").unwrap();
+        let oem_file = dir.join("src.oem");
+        std::fs::write(&oem_file, "<&p1, person, set, {<&n1, name, 'Ann'>}>\n").unwrap();
+        // A query through a --cache-dir mediator populates the warm tier.
+        let cfg = parse_args(argv(&format!(
+            "--spec {} --name m --oem src={} --cache-dir {}",
+            spec.display(),
+            oem_file.display(),
+            warm.display()
+        )))
+        .unwrap();
+        let med = build_mediator(&cfg).unwrap();
+        let mut out = Vec::new();
+        run_query(&med, "X :- X:<v {}>@m", false, &mut out).unwrap();
+        drop(med);
+        let stats = |out: &[u8]| -> serde::Value {
+            serde_json::from_str(&String::from_utf8_lossy(out)).unwrap()
+        };
+        // stats sees the persisted entry.
+        let cfg = parse_args(argv(&format!("cache stats --cache-dir {}", warm.display()))).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run_cache(&cfg, &mut out).unwrap(), 0);
+        let v = stats(&out);
+        assert_eq!(v.get("entries").unwrap().as_i64(), Some(1));
+        assert!(v.get("disk_bytes").unwrap().as_i64().unwrap() > 0);
+        // compact keeps it (budget is generous).
+        let cfg = parse_args(argv(&format!(
+            "cache compact --cache-dir {} --cache-warm-bytes 1048576",
+            warm.display()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run_cache(&cfg, &mut out).unwrap(), 0);
+        let v = stats(&out);
+        assert_eq!(v.get("kept").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("dropped").unwrap().as_i64(), Some(0));
+        // clear empties the tier.
+        let cfg = parse_args(argv(&format!("cache clear --cache-dir {}", warm.display()))).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run_cache(&cfg, &mut out).unwrap(), 0);
+        let v = stats(&out);
+        assert_eq!(v.get("cleared_entries").unwrap().as_i64(), Some(1));
+        let cfg = parse_args(argv(&format!("cache stats --cache-dir {}", warm.display()))).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(run_cache(&cfg, &mut out).unwrap(), 0);
+        assert_eq!(stats(&out).get("entries").unwrap().as_i64(), Some(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalidate_subcommand_talks_to_a_live_daemon() {
+        use std::sync::Arc;
+        use wrappers::scenario::{cs_wrapper, whois_wrapper, MS1};
+        let med = Mediator::new(
+            "med",
+            MS1,
+            vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+            medmaker::externals::standard_registry(),
+        )
+        .unwrap()
+        .with_options(MediatorOptions {
+            cache: medmaker::CacheOptions::enabled(),
+            ..Default::default()
+        });
+        let handle = medmaker_server::Server::start(
+            Arc::new(med),
+            medmaker_server::ServerOptions {
+                addr: "127.0.0.1:0".to_string(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg = parse_args(argv(&format!(
+            "invalidate --addr {} --source whois",
+            handle.addr()
+        )))
+        .unwrap();
+        let mut out = Vec::new();
+        let code = run_invalidate(&cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("\"invalidated\""), "{text}");
+        handle.shutdown();
+        // A dead address is a connection error, not a panic.
+        let cfg = parse_args(argv("invalidate --addr 127.0.0.1:1 --source whois")).unwrap();
+        let mut out = Vec::new();
+        let err = run_invalidate(&cfg, &mut out).unwrap_err();
+        assert!(err.contains("cannot connect"), "{err}");
     }
 
     #[test]

@@ -71,6 +71,36 @@ fn main() {
             }
         }
     }
+    if cfg.cache_cmd.is_some() {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match medmaker_cli::run_cache(&cfg, &mut out) {
+            Ok(code) => {
+                let _ = out.flush();
+                std::process::exit(code);
+            }
+            Err(msg) => {
+                let _ = out.flush();
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if cfg.invalidate {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        match medmaker_cli::run_invalidate(&cfg, &mut out) {
+            Ok(code) => {
+                let _ = out.flush();
+                std::process::exit(code);
+            }
+            Err(msg) => {
+                let _ = out.flush();
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
     let med = match medmaker_cli::build_mediator(&cfg) {
         Ok(m) => m,
         Err(msg) => {

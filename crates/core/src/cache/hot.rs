@@ -1,0 +1,170 @@
+//! The hot tier: in-memory per-source shards with cost-aware eviction.
+//!
+//! This is the seed cache's store, factored out of the facade and taught
+//! a better eviction policy. Each source keeps a `Vec` of entries in
+//! insertion order (oldest first); lookups probe exact keys before
+//! containment candidates, newest first, exactly as before.
+//!
+//! **Eviction** past the per-source capacity is where the tiers earn
+//! their keep:
+//!
+//! * [`EvictionPolicy::CostAware`] (default) evicts the entry with the
+//!   lowest *value score* — what one byte of this entry saves per unit
+//!   time: `unit_cost_ms × hit_boost / size_bytes`, where `unit_cost_ms`
+//!   is the source's observed per-call latency EWMA (snapshotted from
+//!   [`crate::stats`] at insert) and `hit_boost` is a per-entry hit EWMA
+//!   (seeded from the source's hit-rate EWMA, raised toward 1 on every
+//!   hit this entry serves). Big answers from cheap sources that nobody
+//!   re-asks go first; small answers from slow sources that keep hitting
+//!   stay. Ties fall back to oldest-first, so with no signal (equal
+//!   sizes, no hits, unmeasured source) the policy degrades to exactly
+//!   the seed's FIFO.
+//! * [`EvictionPolicy::Fifo`] is the seed behavior, kept as an ablation
+//!   flag (`--cache-fifo`) so benchmarks can compare against it.
+//!
+//! When a warm tier is configured, the evicted loser **demotes** (the
+//! caller drops it from memory knowing the warm tier already holds it)
+//! instead of vanishing; without one it is simply gone.
+
+use super::Entry;
+use oem::Symbol;
+use std::collections::BTreeMap;
+
+/// How the hot tier picks a victim past capacity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the lowest value score (latency × hit EWMA / bytes); ties
+    /// oldest-first. The default.
+    #[default]
+    CostAware,
+    /// Evict the oldest entry (the seed behavior; the ablation flag).
+    Fifo,
+}
+
+/// The in-memory tier: per-source shards of cached entries.
+#[derive(Default)]
+pub struct HotTier {
+    /// Per-source shards, each in insertion order (oldest first).
+    pub(crate) shards: BTreeMap<Symbol, Vec<Entry>>,
+}
+
+impl HotTier {
+    /// The shard for `source`, if any.
+    pub(crate) fn shard(&self, source: Symbol) -> Option<&Vec<Entry>> {
+        self.shards.get(&source)
+    }
+
+    /// Mutable shard access (hit bookkeeping).
+    pub(crate) fn shard_mut(&mut self, source: Symbol) -> Option<&mut Vec<Entry>> {
+        self.shards.get_mut(&source)
+    }
+
+    /// Resident entries across all shards.
+    pub(crate) fn entry_count(&self) -> usize {
+        self.shards.values().map(Vec::len).sum()
+    }
+
+    /// Insert `entry`, replacing any same-key entry, then evict down to
+    /// `capacity`. Returns `(freed_bytes_of_replaced, evicted_entries)`:
+    /// the caller settles the byte gauge and decides whether evicted
+    /// losers demote (warm tier) or vanish.
+    pub(crate) fn insert(
+        &mut self,
+        source: Symbol,
+        entry: Entry,
+        capacity: usize,
+        policy: EvictionPolicy,
+    ) -> (usize, Vec<Entry>) {
+        let shard = self.shards.entry(source).or_default();
+        let mut freed = 0;
+        if let Some(pos) = shard.iter().position(|e| e.key == entry.key) {
+            freed += shard.remove(pos).size_bytes;
+        }
+        shard.push(entry);
+        let mut evicted = Vec::new();
+        while shard.len() > capacity {
+            let victim = match policy {
+                EvictionPolicy::Fifo => 0,
+                EvictionPolicy::CostAware => {
+                    // Lowest value first; stable min so ties evict the
+                    // oldest (seed-compatible when nothing differs).
+                    let mut best = 0;
+                    for (i, e) in shard.iter().enumerate() {
+                        if e.value_score() < shard[best].value_score() {
+                            best = i;
+                        }
+                    }
+                    best
+                }
+            };
+            evicted.push(shard.remove(victim));
+        }
+        (freed, evicted)
+    }
+
+    /// Drop expired entries of one shard; returns `(count, freed_bytes)`.
+    pub(crate) fn expire(&mut self, source: Symbol, ttl_ms: u64, now: u64) -> (usize, usize) {
+        let Some(shard) = self.shards.get_mut(&source) else {
+            return (0, 0);
+        };
+        let before = shard.len();
+        let mut freed = 0;
+        shard.retain(|e| {
+            let live = now.saturating_sub(e.inserted_ms) <= ttl_ms;
+            if !live {
+                freed += e.size_bytes;
+            }
+            live
+        });
+        (before - shard.len(), freed)
+    }
+
+    /// Remove a whole source shard; returns `(count, freed_bytes)`.
+    pub(crate) fn remove_source(&mut self, source: Symbol) -> (usize, usize) {
+        match self.shards.remove(&source) {
+            Some(shard) => (
+                shard.len(),
+                shard.iter().map(|e| e.size_bytes).sum::<usize>(),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Drop every entry of `source` failing `keep`; returns
+    /// `(count, freed_bytes)`.
+    pub(crate) fn retain(
+        &mut self,
+        source: Symbol,
+        mut keep: impl FnMut(&Entry) -> bool,
+    ) -> (usize, usize) {
+        let Some(shard) = self.shards.get_mut(&source) else {
+            return (0, 0);
+        };
+        let before = shard.len();
+        let mut freed = 0;
+        shard.retain(|e| {
+            let k = keep(e);
+            if !k {
+                freed += e.size_bytes;
+            }
+            k
+        });
+        if shard.is_empty() {
+            self.shards.remove(&source);
+        }
+        (
+            before - self.shards.get(&source).map_or(0, |s| s.len()),
+            freed,
+        )
+    }
+
+    /// Sum of resident entry sizes (the ground truth the `bytes_cached`
+    /// gauge must track exactly; see the accounting property test).
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.shards
+            .values()
+            .flat_map(|s| s.iter())
+            .map(|e| e.size_bytes)
+            .sum()
+    }
+}

@@ -1,0 +1,226 @@
+//! Delta-driven invalidation: the canonicalized key / label index.
+//!
+//! Whole-source invalidation ([`crate::Mediator::invalidate_source`])
+//! flushes every cached answer a source ever produced, which is the right
+//! hammer when a wrapper reloads wholesale but wildly wasteful when one
+//! object changes. A [`SourceDelta`] is the scoped alternative: a wrapper
+//! (or an operator, over `POST /invalidate`) reports *which* canonical
+//! keys or object labels changed, and only cache entries whose query
+//! could have observed those objects are dropped.
+//!
+//! The index side lives on every cached entry: at insert time the entry's
+//! query is folded into a **label footprint** ([`rule_labels`]) — the set
+//! of constant labels its tail patterns mention, plus a *wildcard* bit
+//! for queries whose answers can embed objects of labels the query never
+//! names (variable labels, rest variables). Matching
+//! ([`SourceDelta::matches`]) is deliberately over-approximate: a false
+//! positive costs one redundant round-trip, a false negative would serve
+//! stale data, so any structural doubt invalidates.
+
+use msl::{PatValue, Pattern, Rule, SetElem, TailItem, Term};
+use oem::Symbol;
+use std::collections::BTreeSet;
+
+/// A change report for one source: "objects with these labels / answers
+/// under these canonical keys may have changed". Empty `labels` *and*
+/// empty `keys` mean the delta is unscoped — the whole source is
+/// invalidated, exactly like
+/// [`crate::Mediator::invalidate_source`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceDelta {
+    /// The source whose exported objects changed.
+    pub source: Symbol,
+    /// Labels of changed objects (at any nesting depth), if known.
+    pub labels: BTreeSet<Symbol>,
+    /// Canonical cache keys ([`super::canonical_key`]) of affected
+    /// queries, if known.
+    pub keys: BTreeSet<String>,
+}
+
+impl SourceDelta {
+    /// An unscoped delta: everything cached for `source` is invalid.
+    pub fn whole(source: Symbol) -> SourceDelta {
+        SourceDelta {
+            source,
+            labels: BTreeSet::new(),
+            keys: BTreeSet::new(),
+        }
+    }
+
+    /// A delta scoped to objects carrying any of `labels`.
+    pub fn labels<I: IntoIterator<Item = Symbol>>(source: Symbol, labels: I) -> SourceDelta {
+        SourceDelta {
+            source,
+            labels: labels.into_iter().collect(),
+            keys: BTreeSet::new(),
+        }
+    }
+
+    /// A delta scoped to the exact canonical keys of affected queries.
+    pub fn keys<I: IntoIterator<Item = String>>(source: Symbol, keys: I) -> SourceDelta {
+        SourceDelta {
+            source,
+            labels: BTreeSet::new(),
+            keys: keys.into_iter().collect(),
+        }
+    }
+
+    /// Whether this delta names no labels and no keys (whole-source).
+    pub fn is_unscoped(&self) -> bool {
+        self.labels.is_empty() && self.keys.is_empty()
+    }
+
+    /// Could an entry with this canonical `key` and label footprint have
+    /// observed the changed objects? Over-approximate by design: an
+    /// unscoped delta matches everything, a wildcard footprint matches
+    /// any label delta.
+    pub fn matches(&self, key: &str, footprint: &LabelFootprint) -> bool {
+        if self.is_unscoped() {
+            return true;
+        }
+        if self.keys.contains(key) {
+            return true;
+        }
+        !self.labels.is_empty()
+            && (footprint.wildcard || self.labels.iter().any(|l| footprint.labels.contains(l)))
+    }
+}
+
+/// The label footprint of a cached source query: which object labels its
+/// answer can contain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelFootprint {
+    /// Constant labels the query's tail patterns mention, at any depth
+    /// (rest-condition labels included).
+    pub labels: BTreeSet<Symbol>,
+    /// `true` when the answer can embed objects of labels the query never
+    /// names: a variable in label position, or a rest variable (which
+    /// captures arbitrary sibling subobjects). Such entries match every
+    /// label-scoped delta.
+    pub wildcard: bool,
+}
+
+/// Compute the label footprint of a source query ([`LabelFootprint`]).
+/// Only the tail is scanned — the head's `bind_for_*` carrier labels are
+/// mediator-invented names, not source data.
+pub fn rule_labels(query: &Rule) -> LabelFootprint {
+    let mut fp = LabelFootprint::default();
+    for t in &query.tail {
+        match t {
+            TailItem::Match { pattern, .. } => pattern_labels(pattern, &mut fp),
+            // External predicates see bindings, not source objects.
+            TailItem::External { .. } => {}
+        }
+    }
+    // The head is deliberately NOT scanned: in a source query it is
+    // purely constructive (carrier objects the mediator invents around
+    // tail bindings), so its labels never name source data.
+    fp
+}
+
+fn pattern_labels(p: &Pattern, fp: &mut LabelFootprint) {
+    match &p.label {
+        Term::Const(v) => {
+            if let Some(sym) = label_symbol(v) {
+                fp.labels.insert(sym);
+            } else {
+                fp.wildcard = true;
+            }
+        }
+        // A variable (or computed) label can match any object.
+        _ => fp.wildcard = true,
+    }
+    if let PatValue::Set(sp) = &p.value {
+        for e in &sp.elements {
+            match e {
+                SetElem::Pattern(q) | SetElem::Wildcard(q) => pattern_labels(q, fp),
+                // A bare set variable binds a whole subobject of unknown
+                // label.
+                SetElem::Var(_) => fp.wildcard = true,
+            }
+        }
+        if let Some(r) = &sp.rest {
+            // The rest variable captures every sibling subobject the
+            // named elements did not: arbitrary labels.
+            fp.wildcard = true;
+            for c in &r.conditions {
+                pattern_labels(c, fp);
+            }
+        }
+    }
+}
+
+/// The label symbol of a constant label value (strings and symbols only;
+/// anything else is treated as unmatchable-by-name → wildcard).
+fn label_symbol(v: &oem::Value) -> Option<Symbol> {
+    match v {
+        oem::Value::Str(s) => Some(*s),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msl::parse_rule;
+    use oem::sym;
+
+    fn q(src: &str) -> Rule {
+        parse_rule(src).unwrap()
+    }
+
+    #[test]
+    fn footprint_collects_constant_labels() {
+        let fp = rule_labels(&q(
+            "<b {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois",
+        ));
+        assert!(fp.labels.contains(&sym("person")));
+        assert!(fp.labels.contains(&sym("name")));
+        assert!(fp.labels.contains(&sym("dept")));
+        assert!(!fp.labels.contains(&sym("bind_for_N")), "{fp:?}");
+        assert!(!fp.wildcard);
+    }
+
+    #[test]
+    fn rest_variable_sets_the_wildcard_bit() {
+        let fp = rule_labels(&q(
+            "<b {<bind_for_N N> <bind_for_R {R}>}> :- <person {<name N> | R}>@whois",
+        ));
+        assert!(fp.wildcard, "rest captures arbitrary labels");
+        assert!(fp.labels.contains(&sym("name")));
+    }
+
+    #[test]
+    fn variable_label_sets_the_wildcard_bit() {
+        let fp = rule_labels(&q("<b {<bind_for_V V>}> :- <person {<L V>}>@whois"));
+        assert!(fp.wildcard);
+    }
+
+    #[test]
+    fn unscoped_delta_matches_everything() {
+        let d = SourceDelta::whole(sym("whois"));
+        assert!(d.is_unscoped());
+        assert!(d.matches("anything", &LabelFootprint::default()));
+    }
+
+    #[test]
+    fn label_delta_matches_by_intersection_or_wildcard() {
+        let d = SourceDelta::labels(sym("whois"), [sym("dept")]);
+        let person = rule_labels(&q("<b {<bind_for_N N>}> :- <person {<name N>}>@whois"));
+        let dept = rule_labels(&q("<b {<bind_for_H H>}> :- <dept {<head H>}>@whois"));
+        let resty = rule_labels(&q(
+            "<b {<bind_for_N N> <bind_for_R {R}>}> :- <person {<name N> | R}>@whois",
+        ));
+        assert!(!d.matches("k1", &person), "no shared label, no rest");
+        assert!(d.matches("k2", &dept), "dept label intersects");
+        assert!(d.matches("k3", &resty), "wildcard footprint matches");
+    }
+
+    #[test]
+    fn key_delta_matches_exact_keys_only() {
+        let d = SourceDelta::keys(sym("whois"), ["K1".to_string()]);
+        let fp = LabelFootprint::default();
+        assert!(d.matches("K1", &fp));
+        assert!(!d.matches("K2", &fp));
+    }
+}

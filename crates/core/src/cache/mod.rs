@@ -1,4 +1,4 @@
-//! Source-answer cache: containment-aware reuse of wrapper answers.
+//! Source-answer cache: containment-aware, tiered reuse of wrapper answers.
 //!
 //! Every mediator query used to re-fetch from the wrapped sources cold,
 //! even though MedMaker's MSI design (§3.4–3.6) makes source round-trips
@@ -29,6 +29,28 @@
 //! entry and falls back to a miss. A containment false-positive can never
 //! serve a wrong answer; the worst case is a redundant round-trip.
 //!
+//! ## Tiers
+//!
+//! The store is split in two (submodules [`hot`] and [`warm`]):
+//!
+//! * the **hot tier** holds recently useful answers in memory, evicted
+//!   cost-aware past capacity ([`EvictionPolicy`], value score = source
+//!   latency × per-entry hit EWMA over bytes; `--cache-fifo` restores the
+//!   seed FIFO as an ablation);
+//! * the **warm tier** (enabled by [`CacheOptions::cache_dir`]) is an
+//!   append-only checksummed disk log that every insert writes through,
+//!   so hot-tier losers *demote* (drop from memory, stay on disk) instead
+//!   of vanishing, and a restarted process reopens yesterday's answers
+//!   without re-paying the source round-trips. A warm hit re-reads,
+//!   re-verifies and *promotes* the entry back to hot.
+//!
+//! Invalidation is tiered too: beyond whole-source
+//! ([`AnswerCache::invalidate_source`]), a scoped [`SourceDelta`]
+//! ([`AnswerCache::apply_delta`]) drops only entries whose canonical key
+//! or label footprint ([`keyidx`]) could touch the changed objects; warm
+//! removals are made durable with tombstone records so they survive a
+//! restart.
+//!
 //! Fault interaction: once the executor reports a source failed
 //! ([`AnswerCache::mark_failed`]), cached answers for that source are
 //! *not* served (the cache must not mask an outage behind stale data)
@@ -43,16 +65,29 @@
 //! samples. The cost model's `net` component prices what talking to the
 //! source costs; serving from memory says nothing about that, and before
 //! this rule cache-heavy workloads starved latency learning with
-//! zero-cost samples.
+//! zero-cost samples. The dependency runs the *other* way now: eviction
+//! reads the per-source latency EWMA from [`crate::stats`] (snapshotted
+//! at insert, outside the cache lock) to price what an entry saves.
+
+pub mod hot;
+pub mod keyidx;
+pub mod warm;
+
+pub use hot::EvictionPolicy;
+pub use keyidx::{rule_labels, LabelFootprint, SourceDelta};
+pub use warm::{CompactStats, WarmStats, WarmTier};
 
 use crate::graph::{ExtractVar, VarKind};
+use crate::stats::SharedStats;
 use engine::bindings::{Bindings, BoundValue};
 use engine::matcher::{atomic_eq, match_pattern};
+use hot::HotTier;
 use msl::{Head, PatValue, Pattern, RestSpec, Rule, SetElem, SetPattern, TailItem, Term};
 use oem::{copy, ObjectStore, Symbol, Value};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 use wrappers::fault::{Clock, SystemClock};
 
@@ -65,11 +100,12 @@ pub struct CacheOptions {
     /// Master switch; `false` (default) keeps the cache completely out of
     /// the execution path.
     pub enabled: bool,
-    /// Maximum cached answers per source shard; the oldest entry is
-    /// evicted when a shard overflows.
+    /// Maximum cached answers per source shard of the hot tier; the
+    /// lowest-value (or, under [`Self::fifo`], oldest) entry is evicted
+    /// when a shard overflows.
     pub capacity: usize,
     /// Time-to-live per entry in milliseconds, measured on [`Self::clock`];
-    /// `None` means entries never expire.
+    /// `None` means entries never expire. Applies to both tiers.
     pub ttl_ms: Option<u64>,
     /// Serve cached answers even for a source currently marked failed
     /// (the `--cache-stale-ok` escape hatch). Default `false`: a failed
@@ -82,7 +118,23 @@ pub struct CacheOptions {
     /// [`wrappers::fault::VirtualClock`] with [`crate::retry::FaultOptions`]
     /// to run expiry on virtual time in tests.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Directory of the warm on-disk tier (`--cache-dir`). `None`
+    /// (default) keeps the cache memory-only, exactly like the seed. When
+    /// set, every insert writes through to disk and the cache survives
+    /// process restarts. An unopenable directory degrades to memory-only
+    /// rather than failing the mediator.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget of the warm tier (`--cache-warm-bytes`). When the
+    /// segment files outgrow it, compaction rewrites live entries in
+    /// value order and drops the lowest-value ones past the budget.
+    pub warm_bytes: u64,
+    /// Ablation flag (`--cache-fifo`): evict the hot tier oldest-first
+    /// like the seed instead of cost-aware.
+    pub fifo: bool,
 }
+
+/// Default warm-tier byte budget: 64 MiB.
+pub const DEFAULT_WARM_BYTES: u64 = 64 << 20;
 
 impl Default for CacheOptions {
     fn default() -> CacheOptions {
@@ -93,6 +145,9 @@ impl Default for CacheOptions {
             stale_ok: false,
             disabled_sources: BTreeSet::new(),
             clock: None,
+            cache_dir: None,
+            warm_bytes: DEFAULT_WARM_BYTES,
+            fifo: false,
         }
     }
 }
@@ -116,6 +171,9 @@ impl fmt::Debug for CacheOptions {
             .field("stale_ok", &self.stale_ok)
             .field("disabled_sources", &self.disabled_sources)
             .field("clock", &self.clock.as_ref().map(|_| "<injected>"))
+            .field("cache_dir", &self.cache_dir)
+            .field("warm_bytes", &self.warm_bytes)
+            .field("fifo", &self.fifo)
             .finish()
     }
 }
@@ -133,40 +191,72 @@ pub enum CacheHit {
 /// A snapshot of the cache's lifetime counters.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct CacheCounters {
-    /// Exact-key lookup hits.
+    /// Exact-key lookup hits (either tier).
     pub hits: usize,
     /// Containment-probe hits (served by filtering a broader answer).
     pub containment_hits: usize,
     /// Lookups that had to fall through to the source.
     pub misses: usize,
-    /// Entries removed by capacity pressure, TTL expiry or invalidation.
+    /// Entries removed from the cache entirely: capacity pressure with no
+    /// warm tier, TTL expiry, invalidation, compaction drops.
     pub evictions: usize,
-    /// Approximate bytes held across all shards (printed-form size).
+    /// Approximate bytes resident in the hot tier (printed-form size).
     pub bytes_cached: usize,
-    /// Entries currently cached across all shards.
+    /// Entries currently resident in the hot tier.
     pub entries: usize,
+    /// Hits served off the warm disk tier (each also counts in
+    /// [`Self::hits`] or [`Self::containment_hits`]).
+    pub warm_hits: usize,
+    /// Hot-tier losers dropped from memory but still durable on disk.
+    pub demotions: usize,
+    /// Warm entries copied back into the hot tier on a warm hit.
+    pub promotions: usize,
+    /// Warm-tier compaction runs.
+    pub compactions: usize,
+    /// Entries currently live in the warm tier's index.
+    pub warm_entries: usize,
+    /// Live answer bytes in the warm tier (garbage excluded).
+    pub warm_bytes: usize,
 }
 
-/// One cached source answer.
-struct Entry {
+/// One cached source answer (hot tier).
+pub(crate) struct Entry {
     /// Canonical key — the printed canonicalized query.
     key: String,
     /// The original (post-strip) source query, for containment probes.
     query: Rule,
     /// The variables the cached answer's `bind_for_*` carriers export.
     extract: Vec<ExtractVar>,
+    /// Label footprint of the query, for delta-driven invalidation.
+    footprint: LabelFootprint,
     /// The wrapper's exported answer, as returned.
     answer: Arc<ObjectStore>,
     /// Insertion time on the cache clock, for TTL expiry.
     inserted_ms: u64,
     /// Approximate size of the answer (printed form), for accounting.
     size_bytes: usize,
+    /// Source per-call latency EWMA at insert (ms): what a miss would
+    /// re-pay. Snapshotted outside the cache lock.
+    unit_cost_ms: f64,
+    /// Per-entry hit EWMA, seeded from the source's hit rate and raised
+    /// toward 1 on every hit this entry serves.
+    hit_boost: f64,
+}
+
+impl Entry {
+    /// Value score: expected ms saved per resident byte. The cost-aware
+    /// eviction victim is the minimum of this across the shard.
+    fn value_score(&self) -> f64 {
+        self.unit_cost_ms * self.hit_boost / self.size_bytes.max(1) as f64
+    }
 }
 
 #[derive(Default)]
 struct CacheInner {
-    /// Per-source shards, each a FIFO of entries (oldest first).
-    shards: BTreeMap<Symbol, Vec<Entry>>,
+    /// The in-memory tier.
+    hot: HotTier,
+    /// The disk tier, when [`CacheOptions::cache_dir`] is set and opened.
+    warm: Option<WarmTier>,
     /// Sources currently embargoed after an observed failure.
     failed: BTreeSet<Symbol>,
     hits: usize,
@@ -174,6 +264,10 @@ struct CacheInner {
     misses: usize,
     evictions: usize,
     bytes_cached: usize,
+    warm_hits: usize,
+    demotions: usize,
+    promotions: usize,
+    compactions: usize,
 }
 
 /// The mediator-level source-answer cache. One instance lives on a
@@ -183,6 +277,11 @@ struct CacheInner {
 pub struct AnswerCache {
     opts: CacheOptions,
     clock: Arc<dyn Clock>,
+    policy: EvictionPolicy,
+    /// Mediator statistics, when wired ([`AnswerCache::with_stats`]):
+    /// the source of eviction value-score inputs. Read *before* taking
+    /// [`Self::inner`]'s lock — the two locks never nest.
+    stats: Option<Arc<SharedStats>>,
     inner: Mutex<CacheInner>,
 }
 
@@ -191,23 +290,52 @@ impl fmt::Debug for AnswerCache {
         let c = self.counters();
         f.debug_struct("AnswerCache")
             .field("opts", &self.opts)
+            .field("policy", &self.policy)
             .field("counters", &c)
             .finish()
     }
 }
 
 impl AnswerCache {
-    /// Build a cache from options. The clock defaults to
-    /// [`wrappers::fault::SystemClock`] when not injected.
+    /// Build a cache from options with no statistics wired: eviction
+    /// value scores fall back to the default latency and hit seed. The
+    /// clock defaults to [`wrappers::fault::SystemClock`] when not
+    /// injected.
     pub fn new(opts: CacheOptions) -> AnswerCache {
+        AnswerCache::with_stats(opts, None)
+    }
+
+    /// Build a cache wired to the mediator's runtime statistics, so
+    /// cost-aware eviction prices entries by the observed per-call
+    /// latency of their source. Opens the warm tier when
+    /// [`CacheOptions::cache_dir`] is set (an unopenable directory
+    /// degrades to memory-only).
+    pub fn with_stats(opts: CacheOptions, stats: Option<Arc<SharedStats>>) -> AnswerCache {
         let clock = opts
             .clock
             .clone()
             .unwrap_or_else(|| Arc::new(SystemClock::new()));
+        let warm = if opts.enabled {
+            opts.cache_dir
+                .as_ref()
+                .and_then(|dir| WarmTier::open(dir).ok())
+        } else {
+            None
+        };
+        let policy = if opts.fifo {
+            EvictionPolicy::Fifo
+        } else {
+            EvictionPolicy::CostAware
+        };
         AnswerCache {
             opts,
             clock,
-            inner: Mutex::new(CacheInner::default()),
+            policy,
+            stats,
+            inner: Mutex::new(CacheInner {
+                warm,
+                ..Default::default()
+            }),
         }
     }
 
@@ -216,10 +344,25 @@ impl AnswerCache {
         self.opts.enabled && !self.opts.disabled_sources.contains(&source)
     }
 
+    /// Value-score inputs for a fresh entry of `source`:
+    /// `(unit_cost_ms, hit_boost seed)`. Reads the stats lock, so must be
+    /// called before taking the cache lock.
+    fn value_inputs(&self, source: Symbol) -> (f64, f64) {
+        match &self.stats {
+            Some(stats) => stats.read().value_inputs(source),
+            None => (crate::stats::DEFAULT_LATENCY_MS, 0.25),
+        }
+    }
+
     /// Look up an answer for `query` against `source`. On a hit, the
     /// needed `bind_for_*` carriers are deep-copied into `memory` and
     /// returned as binding rows ready for the executor's table — exactly
     /// what extraction from a live answer would have produced.
+    ///
+    /// The hot tier is probed first (exact keys, then containment,
+    /// newest first); on a hot miss the warm tier's index is probed the
+    /// same way, the winning record re-read and re-checksummed off disk,
+    /// and the entry promoted back into the hot tier.
     pub fn lookup(
         &self,
         source: Symbol,
@@ -232,76 +375,185 @@ impl AnswerCache {
         }
         let key = canonical_key(query);
         let now = self.clock.now_ms();
-        let mut inner = self.inner.lock();
+        let inner = &mut *self.inner.lock();
         if inner.failed.contains(&source) && !self.opts.stale_ok {
             // An observed outage embargoes the shard: serving would mask
             // the failure behind data of unknown staleness.
             inner.misses += 1;
             return None;
         }
-        self.expire(&mut inner, source, now);
-        let Some(shard) = inner.shards.get(&source) else {
-            inner.misses += 1;
-            return None;
-        };
-        // Exact keys first (newest first), then containment probes.
-        let exact_then_rest = shard
-            .iter()
-            .rev()
-            .filter(|e| e.key == key)
-            .chain(shard.iter().rev().filter(|e| e.key != key));
-        for entry in exact_then_rest {
-            let Some(m) = specialize_match_rule(query, &entry.query) else {
-                continue;
-            };
-            let Some(rows) = serve(entry, &m, vars, memory) else {
-                continue;
-            };
-            let kind = if entry.key == key {
-                CacheHit::Exact
-            } else {
-                CacheHit::Containment
-            };
+        self.expire(inner, source, now);
+
+        // Hot probe: exact keys first (newest first), then containment.
+        let mut hot_hit: Option<(usize, Vec<Vec<BoundValue>>, CacheHit)> = None;
+        if let Some(shard) = inner.hot.shard(source) {
+            let order = (0..shard.len())
+                .rev()
+                .filter(|&i| shard[i].key == key)
+                .chain((0..shard.len()).rev().filter(|&i| shard[i].key != key));
+            for i in order {
+                let entry = &shard[i];
+                let Some(m) = specialize_match_rule(query, &entry.query) else {
+                    continue;
+                };
+                let Some(rows) = serve(&entry.extract, &entry.answer, &m, vars, memory) else {
+                    continue;
+                };
+                let kind = if entry.key == key {
+                    CacheHit::Exact
+                } else {
+                    CacheHit::Containment
+                };
+                hot_hit = Some((i, rows, kind));
+                break;
+            }
+        }
+        if let Some((i, rows, kind)) = hot_hit {
             match kind {
                 CacheHit::Exact => inner.hits += 1,
                 CacheHit::Containment => inner.containment_hits += 1,
             }
+            if let Some(shard) = inner.hot.shard_mut(source) {
+                let e = &mut shard[i];
+                e.hit_boost = 0.5 * e.hit_boost + 0.5;
+            }
             return Some((rows, kind));
         }
+
+        // Warm probe.
+        let mut warm_hit: Option<(String, ObjectStore, Vec<Vec<BoundValue>>, CacheHit)> = None;
+        if let Some(warm) = &inner.warm {
+            if let Some(shard) = warm.entries(source) {
+                let order = shard
+                    .keys()
+                    .filter(|k| **k == key)
+                    .chain(shard.keys().filter(|k| **k != key));
+                for k in order {
+                    let we = &shard[k];
+                    if let Some(ttl) = self.opts.ttl_ms {
+                        if now.saturating_sub(we.inserted_ms) > ttl {
+                            continue; // expired on disk; reaped by expire()
+                        }
+                    }
+                    let Some(m) = specialize_match_rule(query, &we.query) else {
+                        continue;
+                    };
+                    // Disk gate: re-read and re-verify the checksum; a
+                    // record gone bad since open is a miss, never an error.
+                    let Some(store) = warm.read_answer(we) else {
+                        continue;
+                    };
+                    let Some(rows) = serve(&we.extract, &store, &m, vars, memory) else {
+                        continue;
+                    };
+                    let kind = if we.key == key {
+                        CacheHit::Exact
+                    } else {
+                        CacheHit::Containment
+                    };
+                    warm_hit = Some((k.clone(), store, rows, kind));
+                    break;
+                }
+            }
+        }
+        if let Some((k, store, rows, kind)) = warm_hit {
+            match kind {
+                CacheHit::Exact => inner.hits += 1,
+                CacheHit::Containment => inner.containment_hits += 1,
+            }
+            inner.warm_hits += 1;
+            if self.opts.capacity == 0 {
+                return Some((rows, kind));
+            }
+            // Promote: refresh the hit EWMA and copy the entry back into
+            // the hot tier (keeping its original insert time for TTL).
+            let entry = {
+                let warm = inner.warm.as_mut().expect("warm tier present on warm hit");
+                let we = warm.entry_mut(source, &k).expect("warm entry present");
+                we.hit_boost = 0.5 * we.hit_boost + 0.5;
+                Entry {
+                    key: k,
+                    query: we.query.clone(),
+                    extract: we.extract.clone(),
+                    footprint: we.footprint.clone(),
+                    answer: Arc::new(store),
+                    inserted_ms: we.inserted_ms,
+                    size_bytes: we.size_bytes,
+                    unit_cost_ms: we.unit_cost_ms,
+                    hit_boost: we.hit_boost,
+                }
+            };
+            let size = entry.size_bytes;
+            let (freed, evicted) = inner
+                .hot
+                .insert(source, entry, self.opts.capacity, self.policy);
+            let evicted_bytes: usize = evicted.iter().map(|e| e.size_bytes).sum();
+            inner.promotions += 1;
+            inner.demotions += evicted.len(); // warm is present: losers demote
+            inner.bytes_cached = inner.bytes_cached + size - freed - evicted_bytes;
+            return Some((rows, kind));
+        }
+
         inner.misses += 1;
         None
     }
 
-    /// Cache a freshly fetched answer. Replaces an existing entry with the
-    /// same canonical key; evicts the shard's oldest entry past capacity.
+    /// Cache a freshly fetched answer. Replaces an existing entry with
+    /// the same canonical key; evicts the shard's lowest-value entry past
+    /// capacity (losers demote when a warm tier is configured). With a
+    /// warm tier the answer is also written through to disk, and
+    /// compaction runs when the segments outgrow the byte budget.
     pub fn insert(&self, source: Symbol, query: &Rule, vars: &[ExtractVar], answer: &ObjectStore) {
         if !self.enabled_for(source) || self.opts.capacity == 0 {
             return;
         }
         let key = canonical_key(query);
-        let size_bytes = oem::printer::print_store(answer).len();
+        let answer_text = oem::printer::print_store(answer);
+        let size_bytes = answer_text.len();
+        let (unit_cost_ms, hit_boost) = self.value_inputs(source);
+        let inserted_ms = self.clock.now_ms();
         let entry = Entry {
-            key,
+            key: key.clone(),
             query: query.clone(),
             extract: vars.to_vec(),
+            footprint: rule_labels(query),
             answer: Arc::new(answer.clone()),
-            inserted_ms: self.clock.now_ms(),
+            inserted_ms,
             size_bytes,
+            unit_cost_ms,
+            hit_boost,
         };
-        let mut inner = self.inner.lock();
-        let shard = inner.shards.entry(source).or_default();
-        let mut freed = 0;
-        if let Some(pos) = shard.iter().position(|e| e.key == entry.key) {
-            freed += shard.remove(pos).size_bytes;
+        let inner = &mut *self.inner.lock();
+        let (freed, evicted) = inner
+            .hot
+            .insert(source, entry, self.opts.capacity, self.policy);
+        let evicted_bytes: usize = evicted.iter().map(|e| e.size_bytes).sum();
+        if inner.warm.is_some() {
+            inner.demotions += evicted.len();
+        } else {
+            inner.evictions += evicted.len();
         }
-        shard.push(entry);
-        let mut evicted = 0;
-        while shard.len() > self.opts.capacity {
-            freed += shard.remove(0).size_bytes;
-            evicted += 1;
+        inner.bytes_cached = inner.bytes_cached + size_bytes - freed - evicted_bytes;
+        if let Some(warm) = &mut inner.warm {
+            // Write-through. Warm I/O errors degrade the tier (the entry
+            // just won't survive a restart), never the query.
+            let _ = warm.append(
+                source,
+                &key,
+                query,
+                vars,
+                inserted_ms,
+                unit_cost_ms,
+                hit_boost,
+                &answer_text,
+            );
+            if warm.disk_bytes() > self.opts.warm_bytes {
+                if let Ok(st) = warm.compact(self.opts.warm_bytes) {
+                    inner.compactions += 1;
+                    inner.evictions += st.dropped;
+                }
+            }
         }
-        inner.bytes_cached = inner.bytes_cached + size_bytes - freed;
-        inner.evictions += evicted;
     }
 
     /// Record that `source` failed its fault policy: its cached answers
@@ -325,55 +577,134 @@ impl AnswerCache {
         !self.opts.stale_ok && self.inner.lock().failed.contains(&source)
     }
 
-    /// Drop every cached answer for `source` (counted as evictions) and
-    /// lift any failure embargo. The explicit invalidation hook behind
-    /// [`crate::Mediator::invalidate_source`].
-    pub fn invalidate_source(&self, source: Symbol) {
-        let mut inner = self.inner.lock();
-        if let Some(shard) = inner.shards.remove(&source) {
-            inner.evictions += shard.len();
-            inner.bytes_cached -= shard.iter().map(|e| e.size_bytes).sum::<usize>();
+    /// Drop every cached answer for `source` in both tiers (counted as
+    /// evictions, one per distinct key) and lift any failure embargo. The
+    /// explicit invalidation hook behind
+    /// [`crate::Mediator::invalidate_source`]. Warm removal is made
+    /// durable with a whole-source tombstone. Returns the number of
+    /// distinct keys invalidated.
+    pub fn invalidate_source(&self, source: Symbol) -> usize {
+        let inner = &mut *self.inner.lock();
+        let mut keys: BTreeSet<String> = BTreeSet::new();
+        if let Some(shard) = inner.hot.shard(source) {
+            keys.extend(shard.iter().map(|e| e.key.clone()));
         }
+        let (_, freed) = inner.hot.remove_source(source);
+        inner.bytes_cached -= freed;
+        if let Some(warm) = &mut inner.warm {
+            if let Some(shard) = warm.entries(source) {
+                keys.extend(shard.keys().cloned());
+            }
+            warm.remove_source(source);
+            let _ = warm.append_tombstone(source, None);
+        }
+        inner.evictions += keys.len();
         inner.failed.remove(&source);
+        keys.len()
+    }
+
+    /// Apply a change feed entry: drop only cache entries whose canonical
+    /// key or label footprint could have observed the changed objects
+    /// ([`SourceDelta::matches`]). An unscoped delta falls back to
+    /// [`AnswerCache::invalidate_source`] (and lifts the embargo like
+    /// it); a scoped one leaves any failure embargo intact — it reports a
+    /// data change, not a recovery. Warm removals are tombstoned so they
+    /// survive restart. Returns the number of distinct keys invalidated.
+    pub fn apply_delta(&self, delta: &SourceDelta) -> usize {
+        if delta.is_unscoped() {
+            return self.invalidate_source(delta.source);
+        }
+        let source = delta.source;
+        let inner = &mut *self.inner.lock();
+        let mut keys: BTreeSet<String> = BTreeSet::new();
+        let (_, freed) = inner.hot.retain(source, |e| {
+            let stale = delta.matches(&e.key, &e.footprint);
+            if stale {
+                keys.insert(e.key.clone());
+            }
+            !stale
+        });
+        inner.bytes_cached -= freed;
+        if let Some(warm) = &mut inner.warm {
+            warm.retain(source, |e| {
+                let stale = delta.matches(&e.key, &e.footprint);
+                if stale {
+                    keys.insert(e.key.clone());
+                }
+                !stale
+            });
+            for key in &keys {
+                let _ = warm.append_tombstone(source, Some(key));
+            }
+        }
+        inner.evictions += keys.len();
+        keys.len()
     }
 
     /// Snapshot the lifetime counters.
     pub fn counters(&self) -> CacheCounters {
         let inner = self.inner.lock();
+        debug_assert_eq!(
+            inner.bytes_cached,
+            inner.hot.resident_bytes(),
+            "the bytes gauge must track hot-resident entries exactly"
+        );
+        let (warm_entries, warm_bytes) = match &inner.warm {
+            Some(warm) => {
+                let s = warm.stats();
+                (s.entries, s.live_bytes as usize)
+            }
+            None => (0, 0),
+        };
         CacheCounters {
             hits: inner.hits,
             containment_hits: inner.containment_hits,
             misses: inner.misses,
             evictions: inner.evictions,
             bytes_cached: inner.bytes_cached,
-            entries: inner.shards.values().map(Vec::len).sum(),
+            entries: inner.hot.entry_count(),
+            warm_hits: inner.warm_hits,
+            demotions: inner.demotions,
+            promotions: inner.promotions,
+            compactions: inner.compactions,
+            warm_entries,
+            warm_bytes,
         }
     }
 
-    /// Entries currently cached for `source` (tests and diagnostics).
-    pub fn entry_count(&self, source: Symbol) -> usize {
-        self.inner.lock().shards.get(&source).map_or(0, |s| s.len())
+    /// Warm-tier operational stats, when a warm tier is open.
+    pub fn warm_stats(&self) -> Option<WarmStats> {
+        self.inner.lock().warm.as_ref().map(|w| w.stats())
     }
 
-    /// Drop the expired entries of one shard (TTL), counting evictions.
+    /// Entries currently resident in the hot tier for `source` (tests
+    /// and diagnostics).
+    pub fn entry_count(&self, source: Symbol) -> usize {
+        self.inner.lock().hot.shard(source).map_or(0, |s| s.len())
+    }
+
+    /// Ground truth for the byte-accounting property test: the sum of
+    /// hot-resident entry sizes, which `bytes_cached` must equal exactly.
+    #[cfg(test)]
+    fn hot_resident_bytes(&self) -> usize {
+        self.inner.lock().hot.resident_bytes()
+    }
+
+    /// Drop the expired entries of one source in both tiers (TTL),
+    /// counting evictions once per logical entry (hot entries are
+    /// write-through copies of warm ones, so the larger tier's count is
+    /// the logical count).
     fn expire(&self, inner: &mut CacheInner, source: Symbol, now: u64) {
         let Some(ttl) = self.opts.ttl_ms else {
             return;
         };
-        let Some(shard) = inner.shards.get_mut(&source) else {
-            return;
-        };
-        let before = shard.len();
-        let mut freed = 0;
-        shard.retain(|e| {
-            let live = now.saturating_sub(e.inserted_ms) <= ttl;
-            if !live {
-                freed += e.size_bytes;
-            }
-            live
-        });
-        inner.evictions += before - shard.len();
+        let (hot_n, freed) = inner.hot.expire(source, ttl, now);
         inner.bytes_cached -= freed;
+        let mut warm_n = 0;
+        if let Some(warm) = &mut inner.warm {
+            (warm_n, _) = warm.retain(source, |e| now.saturating_sub(e.inserted_ms) <= ttl);
+        }
+        inner.evictions += hot_n.max(warm_n);
     }
 }
 
@@ -413,7 +744,11 @@ pub type ParamSlot = Arc<Mutex<Option<ParamMemoState>>>;
 ///   of the server's whole-query coalescing. Shared entries honor the
 ///   cache's TTL on the same clock, respect the failed-source embargo
 ///   (via [`AnswerCache::embargoed`], checked by the executor), and are
-///   dropped by [`ParamMemo::invalidate_source`].
+///   dropped by [`ParamMemo::invalidate_source`] — which
+///   [`crate::Mediator::apply_delta`] invokes for *any* delta touching
+///   the source, scoped or not: memo keys are parameter tuples, not
+///   canonical query keys, so scoping cannot be mapped onto them and the
+///   conservative whole-source purge is the sound choice.
 ///
 /// The memo is a dedup window, not a store: when it outgrows
 /// `max_entries` it is simply reset — anything worth keeping longer is
@@ -501,7 +836,9 @@ impl ParamMemo {
     }
 
     /// Drop every memoized tuple for `source` — invoked together with
-    /// [`AnswerCache::invalidate_source`].
+    /// [`AnswerCache::invalidate_source`], and by
+    /// [`crate::Mediator::apply_delta`] for scoped deltas too (see the
+    /// type docs for why the purge is always whole-source).
     pub fn invalidate_source(&self, source: Symbol) {
         self.slots.lock().retain(|(s, _, _), _| *s != source);
     }
@@ -1086,7 +1423,9 @@ enum Extraction {
 /// Filter a cached answer through the mapping and extract binding rows
 /// for the new query's variables, deep-copying the surviving carriers
 /// into the chain's memory. `None` on any structural surprise — the
-/// caller treats that as "this entry cannot serve the query".
+/// caller treats that as "this entry cannot serve the query". Tier-
+/// agnostic: the hot path passes the resident answer, the warm path the
+/// store it just re-read off disk.
 ///
 /// Two passes: every row is filtered and validated *before* anything is
 /// copied, so a structural surprise in a late row cannot leave earlier
@@ -1094,7 +1433,8 @@ enum Extraction {
 /// the query to the live path, where e.g. an empty Object-kind carrier
 /// raises the same hard error it always did.)
 fn serve(
-    entry: &Entry,
+    extract: &[ExtractVar],
+    answer: &ObjectStore,
     m: &Mapping,
     vars: &[ExtractVar],
     memory: &mut ObjectStore,
@@ -1104,8 +1444,7 @@ fn serve(
     let mut carrier_for: Vec<(Symbol, VarKind)> = Vec::with_capacity(vars.len());
     for v in vars {
         let cached_var = *m.rho_inv.get(&v.var)?;
-        let cached_kind = entry
-            .extract
+        let cached_kind = extract
             .iter()
             .find(|e| e.var == cached_var)
             .map(|e| e.kind)?;
@@ -1116,12 +1455,11 @@ fn serve(
     }
     // Every pinned variable and rest-filter variable must have a carrier.
     for pinned in m.sigma.keys() {
-        entry.extract.iter().find(|e| e.var == *pinned)?;
+        extract.iter().find(|e| e.var == *pinned)?;
     }
     for (rest_var, _) in &m.extra_rest {
-        entry.extract.iter().find(|e| e.var == *rest_var)?;
+        extract.iter().find(|e| e.var == *rest_var)?;
     }
-    let answer = &*entry.answer;
     // Pass 1: filter and validate, touching nothing but the cached answer.
     let mut kept: Vec<Vec<Extraction>> = Vec::new();
     for &top in answer.top_level() {
@@ -1205,460 +1543,4 @@ fn find_carrier(store: &ObjectStore, top: oem::ObjId, var: Symbol) -> Option<oem
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use msl::parse_rule;
-    use oem::sym;
-    use wrappers::fault::VirtualClock;
-
-    fn q(src: &str) -> Rule {
-        parse_rule(src).unwrap()
-    }
-
-    /// The shape the planner's `build_source_query` emits for a whois
-    /// fetch extracting `name` (scalar) and the rest set.
-    fn whois_query(name_var: &str, rest_var: &str) -> Rule {
-        q(&format!(
-            "<bind_for_whois {{<bind_for_{name_var} {name_var}> <bind_for_{rest_var} {{{rest_var}}}>}}> :- \
-             <person {{<name {name_var}> <dept 'CS'> | {rest_var}}}>@whois"
-        ))
-    }
-
-    fn whois_answer(names: &[(&str, &[(&str, &str)])]) -> ObjectStore {
-        // One bind_for_whois object per person: an atomic name carrier
-        // and a set carrier holding the rest subobjects.
-        let mut s = ObjectStore::with_oid_prefix("whois_r");
-        for (name, rest) in names {
-            let name_c = s.atom("bind_for_N", *name);
-            let rest_kids: Vec<oem::ObjId> = rest.iter().map(|(l, v)| s.atom(*l, *v)).collect();
-            let rest_c = s.set("bind_for_Rest1", rest_kids);
-            let top = s.set("bind_for_whois", vec![name_c, rest_c]);
-            s.add_top(top);
-        }
-        s
-    }
-
-    fn extract_nr() -> Vec<ExtractVar> {
-        vec![
-            ExtractVar {
-                var: sym("N"),
-                kind: VarKind::Scalar,
-            },
-            ExtractVar {
-                var: sym("Rest1"),
-                kind: VarKind::Scalar,
-            },
-        ]
-    }
-
-    #[test]
-    fn canonical_key_normalizes_renaming_and_order() {
-        let a = q("<bind_for_whois {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois");
-        let b = q("<bind_for_whois {<bind_for_X X>}> :- <person {<dept 'CS'> <name X>}>@whois");
-        assert_eq!(canonical_key(&a), canonical_key(&b));
-    }
-
-    #[test]
-    fn canonical_key_distinguishes_different_constants() {
-        let a = q("<b {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois");
-        let b = q("<b {<bind_for_N N>}> :- <person {<name N> <dept 'EE'>}>@whois");
-        assert_ne!(canonical_key(&a), canonical_key(&b));
-    }
-
-    #[test]
-    fn canonical_key_tracks_carrier_labels() {
-        // Same tail, but extracting different variables → different keys.
-        let a = q("<b {<bind_for_N N>}> :- <person {<name N> <year Y>}>@whois");
-        let b = q("<b {<bind_for_Y Y>}> :- <person {<name N> <year Y>}>@whois");
-        assert_ne!(canonical_key(&a), canonical_key(&b));
-    }
-
-    #[test]
-    fn exact_hit_serves_identical_rows_under_renamed_vars() {
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[
-            ("Joe Chung", &[("relation", "employee")]),
-            ("Nick Naive", &[("relation", "student")]),
-        ]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-
-        // The same logical query with renamed variables.
-        let renamed = q("<bind_for_whois {<bind_for_X X> <bind_for_R2 {R2}>}> :- \
-             <person {<name X> <dept 'CS'> | R2}>@whois");
-        let vars = vec![
-            ExtractVar {
-                var: sym("X"),
-                kind: VarKind::Scalar,
-            },
-            ExtractVar {
-                var: sym("R2"),
-                kind: VarKind::Scalar,
-            },
-        ];
-        let mut memory = ObjectStore::new();
-        let (rows, kind) = cache
-            .lookup(sym("whois"), &renamed, &vars, &mut memory)
-            .expect("exact hit");
-        assert_eq!(kind, CacheHit::Exact);
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Joe Chung")));
-        let c = cache.counters();
-        assert_eq!((c.hits, c.containment_hits, c.misses), (1, 0, 0));
-    }
-
-    #[test]
-    fn containment_hit_filters_by_pinned_constant() {
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[
-            ("Joe Chung", &[("relation", "employee")]),
-            ("Nick Naive", &[("relation", "student")]),
-        ]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-
-        // Narrower query: the name is pinned to a constant.
-        let narrow = q("<bind_for_whois {<bind_for_Rest1 {Rest1}>}> :- \
-             <person {<name 'Joe Chung'> <dept 'CS'> | Rest1}>@whois");
-        let vars = vec![ExtractVar {
-            var: sym("Rest1"),
-            kind: VarKind::Scalar,
-        }];
-        let mut memory = ObjectStore::new();
-        let (rows, kind) = cache
-            .lookup(sym("whois"), &narrow, &vars, &mut memory)
-            .expect("containment hit");
-        assert_eq!(kind, CacheHit::Containment);
-        assert_eq!(rows.len(), 1, "only Joe survives the filter");
-        let BoundValue::ObjSet(ids) = &rows[0][0] else {
-            panic!("rest carrier must be a set");
-        };
-        assert_eq!(ids.len(), 1);
-        assert_eq!(memory.get(ids[0]).label, sym("relation"));
-    }
-
-    #[test]
-    fn containment_hit_filters_by_extra_rest_condition() {
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[
-            ("Joe Chung", &[("relation", "employee")]),
-            ("Nick Naive", &[("relation", "student")]),
-        ]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-
-        // Narrower query: a condition pushed into the rest variable.
-        let narrow = q(
-            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
-             <person {<name N> <dept 'CS'> | Rest1:{<relation 'student'>}}>@whois",
-        );
-        let mut memory = ObjectStore::new();
-        let (rows, kind) = cache
-            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
-            .expect("containment hit");
-        assert_eq!(kind, CacheHit::Containment);
-        assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Nick Naive")));
-    }
-
-    #[test]
-    fn rest_condition_sharing_a_query_variable_is_not_served() {
-        // <person {<name N> ... | R:{<boss N>}}>: the condition's N is the
-        // same variable the query binds to the name. Serving from the
-        // broad entry would filter each row by "rest has *any* boss"
-        // instead of "rest has a boss equal to this row's name" — a
-        // superset. The probe must reject, not serve wrongly.
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[
-            ("Joe Chung", &[("boss", "John Hennessy")]),
-            ("John Hennessy", &[("boss", "John Hennessy")]),
-        ]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        let narrow = q(
-            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
-             <person {<name N> <dept 'CS'> | Rest1:{<boss N>}}>@whois",
-        );
-        let mut memory = ObjectStore::new();
-        assert!(
-            cache
-                .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
-                .is_none(),
-            "a shared-variable rest condition must miss, never serve a superset"
-        );
-        assert_eq!(cache.counters().misses, 1);
-    }
-
-    #[test]
-    fn rest_conditions_sharing_a_variable_are_not_served() {
-        // Two extra conditions sharing X: the live matcher requires the
-        // SAME X to satisfy both; independent filtering would accept a
-        // row where different members satisfy each. Must reject.
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[("Joe Chung", &[("proj", "tsimmis"), ("backup", "lore")])]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        let narrow = q(
-            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
-             <person {<name N> <dept 'CS'> | Rest1:{<proj X> <backup X>}}>@whois",
-        );
-        let mut memory = ObjectStore::new();
-        assert!(cache
-            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
-            .is_none());
-    }
-
-    #[test]
-    fn rest_condition_with_local_variable_is_served() {
-        // A condition variable used nowhere else binds freely row-by-row
-        // in the live matcher too, so local filtering is sound.
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[
-            ("Joe Chung", &[("relation", "employee")]),
-            ("Terry Torres", &[("office", "B1")]),
-        ]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        let narrow = q(
-            "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
-             <person {<name N> <dept 'CS'> | Rest1:{<relation R>}}>@whois",
-        );
-        let mut memory = ObjectStore::new();
-        let (rows, kind) = cache
-            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
-            .expect("a purely local condition variable is servable");
-        assert_eq!(kind, CacheHit::Containment);
-        assert_eq!(rows.len(), 1, "only Joe has a relation member");
-        assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Joe Chung")));
-    }
-
-    #[test]
-    fn broader_query_never_served_from_narrower_entry() {
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        // Cache the NARROW query (name pinned)...
-        let narrow = q("<bind_for_whois {<bind_for_Rest1 {Rest1}>}> :- \
-             <person {<name 'Joe Chung'> <dept 'CS'> | Rest1}>@whois");
-        let vars = vec![ExtractVar {
-            var: sym("Rest1"),
-            kind: VarKind::Scalar,
-        }];
-        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
-        cache.insert(sym("whois"), &narrow, &vars, &answer);
-        // ... and probe with the broad one: must miss (a constant does
-        // not cover a variable).
-        let mut memory = ObjectStore::new();
-        assert!(cache
-            .lookup(
-                sym("whois"),
-                &whois_query("N", "Rest1"),
-                &extract_nr(),
-                &mut memory
-            )
-            .is_none());
-        assert_eq!(cache.counters().misses, 1);
-    }
-
-    #[test]
-    fn extra_tail_pattern_is_not_containment() {
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        // A second tail pattern the cached query never had: no reuse.
-        let two_tails = q("<bind_for_whois {<bind_for_N N>}> :- \
-             <person {<name N> <dept 'CS'> | Rest1}>@whois AND <dept {<head N>}>@whois");
-        let vars = vec![ExtractVar {
-            var: sym("N"),
-            kind: VarKind::Scalar,
-        }];
-        let mut memory = ObjectStore::new();
-        assert!(cache
-            .lookup(sym("whois"), &two_tails, &vars, &mut memory)
-            .is_none());
-    }
-
-    #[test]
-    fn capacity_evicts_oldest_and_counts() {
-        let cache = AnswerCache::new(CacheOptions {
-            enabled: true,
-            capacity: 2,
-            ..Default::default()
-        });
-        let answer = whois_answer(&[("Joe Chung", &[])]);
-        for dept in ["'A'", "'B'", "'C'"] {
-            let query = q(&format!(
-                "<b {{<bind_for_N N>}}> :- <person {{<name N> <dept {dept}>}}>@whois"
-            ));
-            cache.insert(
-                sym("whois"),
-                &query,
-                &[ExtractVar {
-                    var: sym("N"),
-                    kind: VarKind::Scalar,
-                }],
-                &answer,
-            );
-        }
-        let c = cache.counters();
-        assert_eq!(c.entries, 2);
-        assert_eq!(c.evictions, 1);
-        assert!(c.bytes_cached > 0);
-        assert_eq!(cache.entry_count(sym("whois")), 2);
-    }
-
-    #[test]
-    fn ttl_expires_on_the_virtual_clock() {
-        let clock = Arc::new(VirtualClock::new());
-        let cache = AnswerCache::new(CacheOptions {
-            enabled: true,
-            ttl_ms: Some(100),
-            clock: Some(clock.clone()),
-            ..Default::default()
-        });
-        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        let mut memory = ObjectStore::new();
-        assert!(cache
-            .lookup(
-                sym("whois"),
-                &whois_query("N", "Rest1"),
-                &extract_nr(),
-                &mut memory
-            )
-            .is_some());
-        clock.advance(101);
-        assert!(
-            cache
-                .lookup(
-                    sym("whois"),
-                    &whois_query("N", "Rest1"),
-                    &extract_nr(),
-                    &mut memory
-                )
-                .is_none(),
-            "entry must expire after the TTL"
-        );
-        let c = cache.counters();
-        assert_eq!(c.evictions, 1);
-        assert_eq!(c.entries, 0);
-        assert_eq!(c.bytes_cached, 0);
-    }
-
-    #[test]
-    fn failed_source_embargoes_entries_unless_stale_ok() {
-        let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
-        for stale_ok in [false, true] {
-            let cache = AnswerCache::new(CacheOptions {
-                enabled: true,
-                stale_ok,
-                ..Default::default()
-            });
-            cache.insert(
-                sym("whois"),
-                &whois_query("N", "Rest1"),
-                &extract_nr(),
-                &answer,
-            );
-            cache.mark_failed(sym("whois"));
-            let mut memory = ObjectStore::new();
-            let served = cache
-                .lookup(
-                    sym("whois"),
-                    &whois_query("N", "Rest1"),
-                    &extract_nr(),
-                    &mut memory,
-                )
-                .is_some();
-            assert_eq!(served, stale_ok, "stale_ok={stale_ok}");
-            // Recovery lifts the embargo either way.
-            cache.mark_ok(sym("whois"));
-            assert!(cache
-                .lookup(
-                    sym("whois"),
-                    &whois_query("N", "Rest1"),
-                    &extract_nr(),
-                    &mut memory
-                )
-                .is_some());
-        }
-    }
-
-    #[test]
-    fn invalidate_source_drops_the_shard() {
-        let cache = AnswerCache::new(CacheOptions::enabled());
-        let answer = whois_answer(&[("Joe Chung", &[])]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        assert_eq!(cache.entry_count(sym("whois")), 1);
-        cache.invalidate_source(sym("whois"));
-        assert_eq!(cache.entry_count(sym("whois")), 0);
-        let c = cache.counters();
-        assert_eq!(c.evictions, 1);
-        assert_eq!(c.bytes_cached, 0);
-        let mut memory = ObjectStore::new();
-        assert!(cache
-            .lookup(
-                sym("whois"),
-                &whois_query("N", "Rest1"),
-                &extract_nr(),
-                &mut memory
-            )
-            .is_none());
-    }
-
-    #[test]
-    fn disabled_sources_are_never_cached() {
-        let cache = AnswerCache::new(CacheOptions {
-            enabled: true,
-            disabled_sources: [sym("whois")].into_iter().collect(),
-            ..Default::default()
-        });
-        assert!(!cache.enabled_for(sym("whois")));
-        assert!(cache.enabled_for(sym("cs")));
-        let answer = whois_answer(&[("Joe Chung", &[])]);
-        cache.insert(
-            sym("whois"),
-            &whois_query("N", "Rest1"),
-            &extract_nr(),
-            &answer,
-        );
-        assert_eq!(cache.entry_count(sym("whois")), 0);
-    }
-}
+mod tests;

@@ -1,0 +1,805 @@
+//! Facade tests: canonicalization, containment soundness, tier behavior,
+//! delta invalidation, crash recovery, and byte accounting.
+
+use super::*;
+use msl::parse_rule;
+use oem::sym;
+use wrappers::fault::VirtualClock;
+
+fn q(src: &str) -> Rule {
+    parse_rule(src).unwrap()
+}
+
+/// The shape the planner's `build_source_query` emits for a whois
+/// fetch extracting `name` (scalar) and the rest set.
+fn whois_query(name_var: &str, rest_var: &str) -> Rule {
+    q(&format!(
+        "<bind_for_whois {{<bind_for_{name_var} {name_var}> <bind_for_{rest_var} {{{rest_var}}}>}}> :- \
+         <person {{<name {name_var}> <dept 'CS'> | {rest_var}}}>@whois"
+    ))
+}
+
+fn whois_answer(names: &[(&str, &[(&str, &str)])]) -> ObjectStore {
+    // One bind_for_whois object per person: an atomic name carrier
+    // and a set carrier holding the rest subobjects.
+    let mut s = ObjectStore::with_oid_prefix("whois_r");
+    for (name, rest) in names {
+        let name_c = s.atom("bind_for_N", *name);
+        let rest_kids: Vec<oem::ObjId> = rest.iter().map(|(l, v)| s.atom(*l, *v)).collect();
+        let rest_c = s.set("bind_for_Rest1", rest_kids);
+        let top = s.set("bind_for_whois", vec![name_c, rest_c]);
+        s.add_top(top);
+    }
+    s
+}
+
+fn extract_nr() -> Vec<ExtractVar> {
+    vec![
+        ExtractVar {
+            var: sym("N"),
+            kind: VarKind::Scalar,
+        },
+        ExtractVar {
+            var: sym("Rest1"),
+            kind: VarKind::Scalar,
+        },
+    ]
+}
+
+#[test]
+fn canonical_key_normalizes_renaming_and_order() {
+    let a = q("<bind_for_whois {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois");
+    let b = q("<bind_for_whois {<bind_for_X X>}> :- <person {<dept 'CS'> <name X>}>@whois");
+    assert_eq!(canonical_key(&a), canonical_key(&b));
+}
+
+#[test]
+fn canonical_key_distinguishes_different_constants() {
+    let a = q("<b {<bind_for_N N>}> :- <person {<name N> <dept 'CS'>}>@whois");
+    let b = q("<b {<bind_for_N N>}> :- <person {<name N> <dept 'EE'>}>@whois");
+    assert_ne!(canonical_key(&a), canonical_key(&b));
+}
+
+#[test]
+fn canonical_key_tracks_carrier_labels() {
+    // Same tail, but extracting different variables → different keys.
+    let a = q("<b {<bind_for_N N>}> :- <person {<name N> <year Y>}>@whois");
+    let b = q("<b {<bind_for_Y Y>}> :- <person {<name N> <year Y>}>@whois");
+    assert_ne!(canonical_key(&a), canonical_key(&b));
+}
+
+#[test]
+fn exact_hit_serves_identical_rows_under_renamed_vars() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[
+        ("Joe Chung", &[("relation", "employee")]),
+        ("Nick Naive", &[("relation", "student")]),
+    ]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+
+    // The same logical query with renamed variables.
+    let renamed = q("<bind_for_whois {<bind_for_X X> <bind_for_R2 {R2}>}> :- \
+         <person {<name X> <dept 'CS'> | R2}>@whois");
+    let vars = vec![
+        ExtractVar {
+            var: sym("X"),
+            kind: VarKind::Scalar,
+        },
+        ExtractVar {
+            var: sym("R2"),
+            kind: VarKind::Scalar,
+        },
+    ];
+    let mut memory = ObjectStore::new();
+    let (rows, kind) = cache
+        .lookup(sym("whois"), &renamed, &vars, &mut memory)
+        .expect("exact hit");
+    assert_eq!(kind, CacheHit::Exact);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Joe Chung")));
+    let c = cache.counters();
+    assert_eq!((c.hits, c.containment_hits, c.misses), (1, 0, 0));
+}
+
+#[test]
+fn containment_hit_filters_by_pinned_constant() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[
+        ("Joe Chung", &[("relation", "employee")]),
+        ("Nick Naive", &[("relation", "student")]),
+    ]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+
+    // Narrower query: the name is pinned to a constant.
+    let narrow = q("<bind_for_whois {<bind_for_Rest1 {Rest1}>}> :- \
+         <person {<name 'Joe Chung'> <dept 'CS'> | Rest1}>@whois");
+    let vars = vec![ExtractVar {
+        var: sym("Rest1"),
+        kind: VarKind::Scalar,
+    }];
+    let mut memory = ObjectStore::new();
+    let (rows, kind) = cache
+        .lookup(sym("whois"), &narrow, &vars, &mut memory)
+        .expect("containment hit");
+    assert_eq!(kind, CacheHit::Containment);
+    assert_eq!(rows.len(), 1, "only Joe survives the filter");
+    let BoundValue::ObjSet(ids) = &rows[0][0] else {
+        panic!("rest carrier must be a set");
+    };
+    assert_eq!(ids.len(), 1);
+    assert_eq!(memory.get(ids[0]).label, sym("relation"));
+}
+
+#[test]
+fn containment_hit_filters_by_extra_rest_condition() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[
+        ("Joe Chung", &[("relation", "employee")]),
+        ("Nick Naive", &[("relation", "student")]),
+    ]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+
+    // Narrower query: a condition pushed into the rest variable.
+    let narrow = q(
+        "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+         <person {<name N> <dept 'CS'> | Rest1:{<relation 'student'>}}>@whois",
+    );
+    let mut memory = ObjectStore::new();
+    let (rows, kind) = cache
+        .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+        .expect("containment hit");
+    assert_eq!(kind, CacheHit::Containment);
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Nick Naive")));
+}
+
+#[test]
+fn rest_condition_sharing_a_query_variable_is_not_served() {
+    // <person {<name N> ... | R:{<boss N>}}>: the condition's N is the
+    // same variable the query binds to the name. Serving from the
+    // broad entry would filter each row by "rest has *any* boss"
+    // instead of "rest has a boss equal to this row's name" — a
+    // superset. The probe must reject, not serve wrongly.
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[
+        ("Joe Chung", &[("boss", "John Hennessy")]),
+        ("John Hennessy", &[("boss", "John Hennessy")]),
+    ]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    let narrow = q(
+        "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+         <person {<name N> <dept 'CS'> | Rest1:{<boss N>}}>@whois",
+    );
+    let mut memory = ObjectStore::new();
+    assert!(
+        cache
+            .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+            .is_none(),
+        "a shared-variable rest condition must miss, never serve a superset"
+    );
+    assert_eq!(cache.counters().misses, 1);
+}
+
+#[test]
+fn rest_conditions_sharing_a_variable_are_not_served() {
+    // Two extra conditions sharing X: the live matcher requires the
+    // SAME X to satisfy both; independent filtering would accept a
+    // row where different members satisfy each. Must reject.
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[("Joe Chung", &[("proj", "tsimmis"), ("backup", "lore")])]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    let narrow = q(
+        "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+         <person {<name N> <dept 'CS'> | Rest1:{<proj X> <backup X>}}>@whois",
+    );
+    let mut memory = ObjectStore::new();
+    assert!(cache
+        .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+        .is_none());
+}
+
+#[test]
+fn rest_condition_with_local_variable_is_served() {
+    // A condition variable used nowhere else binds freely row-by-row
+    // in the live matcher too, so local filtering is sound.
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[
+        ("Joe Chung", &[("relation", "employee")]),
+        ("Terry Torres", &[("office", "B1")]),
+    ]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    let narrow = q(
+        "<bind_for_whois {<bind_for_N N> <bind_for_Rest1 {Rest1}>}> :- \
+         <person {<name N> <dept 'CS'> | Rest1:{<relation R>}}>@whois",
+    );
+    let mut memory = ObjectStore::new();
+    let (rows, kind) = cache
+        .lookup(sym("whois"), &narrow, &extract_nr(), &mut memory)
+        .expect("a purely local condition variable is servable");
+    assert_eq!(kind, CacheHit::Containment);
+    assert_eq!(rows.len(), 1, "only Joe has a relation member");
+    assert_eq!(rows[0][0], BoundValue::Atom(Value::str("Joe Chung")));
+}
+
+#[test]
+fn broader_query_never_served_from_narrower_entry() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    // Cache the NARROW query (name pinned)...
+    let narrow = q("<bind_for_whois {<bind_for_Rest1 {Rest1}>}> :- \
+         <person {<name 'Joe Chung'> <dept 'CS'> | Rest1}>@whois");
+    let vars = vec![ExtractVar {
+        var: sym("Rest1"),
+        kind: VarKind::Scalar,
+    }];
+    let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+    cache.insert(sym("whois"), &narrow, &vars, &answer);
+    // ... and probe with the broad one: must miss (a constant does
+    // not cover a variable).
+    let mut memory = ObjectStore::new();
+    assert!(cache
+        .lookup(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &mut memory
+        )
+        .is_none());
+    assert_eq!(cache.counters().misses, 1);
+}
+
+#[test]
+fn extra_tail_pattern_is_not_containment() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    // A second tail pattern the cached query never had: no reuse.
+    let two_tails = q("<bind_for_whois {<bind_for_N N>}> :- \
+         <person {<name N> <dept 'CS'> | Rest1}>@whois AND <dept {<head N>}>@whois");
+    let vars = vec![ExtractVar {
+        var: sym("N"),
+        kind: VarKind::Scalar,
+    }];
+    let mut memory = ObjectStore::new();
+    assert!(cache
+        .lookup(sym("whois"), &two_tails, &vars, &mut memory)
+        .is_none());
+}
+
+#[test]
+fn capacity_evicts_oldest_and_counts() {
+    let cache = AnswerCache::new(CacheOptions {
+        enabled: true,
+        capacity: 2,
+        ..Default::default()
+    });
+    let answer = whois_answer(&[("Joe Chung", &[])]);
+    for dept in ["'A'", "'B'", "'C'"] {
+        let query = q(&format!(
+            "<b {{<bind_for_N N>}}> :- <person {{<name N> <dept {dept}>}}>@whois"
+        ));
+        cache.insert(
+            sym("whois"),
+            &query,
+            &[ExtractVar {
+                var: sym("N"),
+                kind: VarKind::Scalar,
+            }],
+            &answer,
+        );
+    }
+    let c = cache.counters();
+    assert_eq!(c.entries, 2);
+    assert_eq!(c.evictions, 1);
+    assert!(c.bytes_cached > 0);
+    assert_eq!(cache.entry_count(sym("whois")), 2);
+}
+
+#[test]
+fn ttl_expires_on_the_virtual_clock() {
+    let clock = Arc::new(VirtualClock::new());
+    let cache = AnswerCache::new(CacheOptions {
+        enabled: true,
+        ttl_ms: Some(100),
+        clock: Some(clock.clone()),
+        ..Default::default()
+    });
+    let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    let mut memory = ObjectStore::new();
+    assert!(cache
+        .lookup(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &mut memory
+        )
+        .is_some());
+    clock.advance(101);
+    assert!(
+        cache
+            .lookup(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &mut memory
+            )
+            .is_none(),
+        "entry must expire after the TTL"
+    );
+    let c = cache.counters();
+    assert_eq!(c.evictions, 1);
+    assert_eq!(c.entries, 0);
+    assert_eq!(c.bytes_cached, 0);
+}
+
+#[test]
+fn failed_source_embargoes_entries_unless_stale_ok() {
+    let answer = whois_answer(&[("Joe Chung", &[("relation", "employee")])]);
+    for stale_ok in [false, true] {
+        let cache = AnswerCache::new(CacheOptions {
+            enabled: true,
+            stale_ok,
+            ..Default::default()
+        });
+        cache.insert(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &answer,
+        );
+        cache.mark_failed(sym("whois"));
+        let mut memory = ObjectStore::new();
+        let served = cache
+            .lookup(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &mut memory,
+            )
+            .is_some();
+        assert_eq!(served, stale_ok, "stale_ok={stale_ok}");
+        // Recovery lifts the embargo either way.
+        cache.mark_ok(sym("whois"));
+        assert!(cache
+            .lookup(
+                sym("whois"),
+                &whois_query("N", "Rest1"),
+                &extract_nr(),
+                &mut memory
+            )
+            .is_some());
+    }
+}
+
+#[test]
+fn invalidate_source_drops_the_shard() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let answer = whois_answer(&[("Joe Chung", &[])]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    assert_eq!(cache.entry_count(sym("whois")), 1);
+    cache.invalidate_source(sym("whois"));
+    assert_eq!(cache.entry_count(sym("whois")), 0);
+    let c = cache.counters();
+    assert_eq!(c.evictions, 1);
+    assert_eq!(c.bytes_cached, 0);
+    let mut memory = ObjectStore::new();
+    assert!(cache
+        .lookup(
+            sym("whois"),
+            &whois_query("N", "Rest1"),
+            &extract_nr(),
+            &mut memory
+        )
+        .is_none());
+}
+
+#[test]
+fn disabled_sources_are_never_cached() {
+    let cache = AnswerCache::new(CacheOptions {
+        enabled: true,
+        disabled_sources: [sym("whois")].into_iter().collect(),
+        ..Default::default()
+    });
+    assert!(!cache.enabled_for(sym("whois")));
+    assert!(cache.enabled_for(sym("cs")));
+    let answer = whois_answer(&[("Joe Chung", &[])]);
+    cache.insert(
+        sym("whois"),
+        &whois_query("N", "Rest1"),
+        &extract_nr(),
+        &answer,
+    );
+    assert_eq!(cache.entry_count(sym("whois")), 0);
+}
+
+// ---- tiered-store tests ---------------------------------------------
+
+/// A fresh (pre-cleaned) per-test cache directory.
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("medmaker-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiered_opts(dir: &std::path::Path) -> CacheOptions {
+    CacheOptions {
+        enabled: true,
+        cache_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    }
+}
+
+/// A one-extraction query distinguished by its dept constant.
+fn dept_query(dept: &str) -> Rule {
+    q(&format!(
+        "<b {{<bind_for_N N>}}> :- <person {{<name N> <dept '{dept}'>}}>@whois"
+    ))
+}
+
+fn extract_n() -> Vec<ExtractVar> {
+    vec![ExtractVar {
+        var: sym("N"),
+        kind: VarKind::Scalar,
+    }]
+}
+
+/// An answer with `rows` atomic name carriers.
+fn n_answer(rows: usize) -> ObjectStore {
+    let mut s = ObjectStore::with_oid_prefix("whois_r");
+    for i in 0..rows {
+        let name_c = s.atom("bind_for_N", format!("P{i}").as_str());
+        let top = s.set("bind_for_whois", vec![name_c]);
+        s.add_top(top);
+    }
+    s
+}
+
+fn lookup_names(cache: &AnswerCache, query: &Rule) -> Option<Vec<BoundValue>> {
+    let mut memory = ObjectStore::new();
+    cache
+        .lookup(sym("whois"), query, &extract_n(), &mut memory)
+        .map(|(rows, _)| rows.into_iter().map(|mut r| r.remove(0)).collect())
+}
+
+#[test]
+fn warm_tier_survives_reopen() {
+    let dir = tmp_dir("reopen");
+    {
+        let cache = AnswerCache::new(tiered_opts(&dir));
+        cache.insert(sym("whois"), &dept_query("CS"), &extract_n(), &n_answer(2));
+    }
+    // A brand-new process image: nothing hot, everything on disk.
+    let cache = AnswerCache::new(tiered_opts(&dir));
+    assert_eq!(cache.entry_count(sym("whois")), 0);
+    let rows = lookup_names(&cache, &dept_query("CS")).expect("served from the warm tier");
+    assert_eq!(
+        rows,
+        vec![
+            BoundValue::Atom(Value::str("P0")),
+            BoundValue::Atom(Value::str("P1")),
+        ]
+    );
+    let c = cache.counters();
+    assert_eq!((c.hits, c.warm_hits, c.promotions), (1, 1, 1));
+    // The promotion made it hot: the next lookup stays in memory.
+    assert!(lookup_names(&cache, &dept_query("CS")).is_some());
+    let c = cache.counters();
+    assert_eq!((c.hits, c.warm_hits), (2, 1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn demoted_entries_stay_servable_from_warm() {
+    let dir = tmp_dir("demote");
+    let cache = AnswerCache::new(CacheOptions {
+        capacity: 1,
+        ..tiered_opts(&dir)
+    });
+    cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+    cache.insert(sym("whois"), &dept_query("B"), &extract_n(), &n_answer(1));
+    let c = cache.counters();
+    assert_eq!((c.demotions, c.evictions, c.entries), (1, 0, 1));
+    // The demoted entry is gone from memory but still serves from disk
+    // (and promotes back, demoting the other).
+    assert!(lookup_names(&cache, &dept_query("A")).is_some());
+    let c = cache.counters();
+    assert_eq!((c.warm_hits, c.promotions, c.demotions), (1, 1, 2));
+    assert_eq!(c.bytes_cached, cache.hot_resident_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cost_aware_eviction_keeps_the_hitter() {
+    // No warm tier: eviction is terminal, making the policy observable.
+    let cache = AnswerCache::new(CacheOptions {
+        enabled: true,
+        capacity: 2,
+        ..Default::default()
+    });
+    cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+    cache.insert(sym("whois"), &dept_query("B"), &extract_n(), &n_answer(1));
+    // A hit raises A's per-entry EWMA above B's.
+    assert!(lookup_names(&cache, &dept_query("A")).is_some());
+    cache.insert(sym("whois"), &dept_query("C"), &extract_n(), &n_answer(1));
+    assert!(
+        lookup_names(&cache, &dept_query("B")).is_none(),
+        "the never-hit entry is the lowest value and must go"
+    );
+    assert!(lookup_names(&cache, &dept_query("A")).is_some());
+    assert!(lookup_names(&cache, &dept_query("C")).is_some());
+}
+
+#[test]
+fn fifo_ablation_evicts_oldest_regardless_of_hits() {
+    let cache = AnswerCache::new(CacheOptions {
+        enabled: true,
+        capacity: 2,
+        fifo: true,
+        ..Default::default()
+    });
+    cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+    cache.insert(sym("whois"), &dept_query("B"), &extract_n(), &n_answer(1));
+    assert!(lookup_names(&cache, &dept_query("A")).is_some());
+    cache.insert(sym("whois"), &dept_query("C"), &extract_n(), &n_answer(1));
+    assert!(
+        lookup_names(&cache, &dept_query("A")).is_none(),
+        "FIFO ignores the hit and evicts the oldest"
+    );
+    assert!(lookup_names(&cache, &dept_query("B")).is_some());
+}
+
+#[test]
+fn scoped_label_delta_invalidates_only_matching_entries() {
+    let dir = tmp_dir("delta-label");
+    let person = dept_query("CS");
+    let dept = q("<b {<bind_for_N N>}> :- <dept {<head N>}>@whois");
+    {
+        let cache = AnswerCache::new(tiered_opts(&dir));
+        cache.insert(sym("whois"), &person, &extract_n(), &n_answer(1));
+        cache.insert(sym("whois"), &dept, &extract_n(), &n_answer(1));
+        let n = cache.apply_delta(&SourceDelta::labels(sym("whois"), [sym("head")]));
+        assert_eq!(n, 1, "only the dept query mentions the changed label");
+        assert!(
+            lookup_names(&cache, &person).is_some(),
+            "unaffected entry still hits"
+        );
+        assert!(lookup_names(&cache, &dept).is_none());
+        assert_eq!(cache.counters().evictions, 1);
+    }
+    // The tombstone keeps the invalidation durable across reopen.
+    let cache = AnswerCache::new(tiered_opts(&dir));
+    assert!(lookup_names(&cache, &person).is_some());
+    assert!(lookup_names(&cache, &dept).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn key_scoped_delta_invalidates_exact_keys_only() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    let a = dept_query("A");
+    let b = dept_query("B");
+    cache.insert(sym("whois"), &a, &extract_n(), &n_answer(1));
+    cache.insert(sym("whois"), &b, &extract_n(), &n_answer(1));
+    let n = cache.apply_delta(&SourceDelta::keys(sym("whois"), [canonical_key(&a)]));
+    assert_eq!(n, 1);
+    assert!(lookup_names(&cache, &a).is_none());
+    assert!(lookup_names(&cache, &b).is_some());
+}
+
+#[test]
+fn scoped_delta_leaves_the_failure_embargo_intact() {
+    let cache = AnswerCache::new(CacheOptions::enabled());
+    cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+    cache.mark_failed(sym("whois"));
+    cache.apply_delta(&SourceDelta::labels(sym("whois"), [sym("nosuch")]));
+    assert!(
+        cache.embargoed(sym("whois")),
+        "a data change is not a recovery"
+    );
+    // An unscoped delta is whole-source invalidation and lifts it.
+    cache.apply_delta(&SourceDelta::whole(sym("whois")));
+    assert!(!cache.embargoed(sym("whois")));
+}
+
+#[test]
+fn whole_source_invalidation_survives_reopen() {
+    let dir = tmp_dir("invalidate-reopen");
+    {
+        let cache = AnswerCache::new(tiered_opts(&dir));
+        cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+        assert_eq!(cache.invalidate_source(sym("whois")), 1);
+    }
+    let cache = AnswerCache::new(tiered_opts(&dir));
+    assert!(lookup_names(&cache, &dept_query("A")).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_final_record_recovers_to_the_valid_prefix() {
+    let dir = tmp_dir("torn");
+    {
+        let cache = AnswerCache::new(tiered_opts(&dir));
+        cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+        cache.insert(sym("whois"), &dept_query("B"), &extract_n(), &n_answer(3));
+    }
+    // Injected crash mid-append: shear bytes off the final record.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "seg"))
+        .expect("one segment written");
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+
+    let cache = AnswerCache::new(tiered_opts(&dir));
+    let stats = cache.warm_stats().expect("warm tier open");
+    assert_eq!(stats.torn_segments, 1);
+    assert_eq!(
+        stats.entries, 1,
+        "only the checksummed-valid entry survives"
+    );
+    assert!(
+        lookup_names(&cache, &dept_query("B")).is_none(),
+        "the torn record must not be served"
+    );
+    let recovered = lookup_names(&cache, &dept_query("A")).expect("valid prefix serves");
+
+    // Byte-identical to a cold run: a fresh memory-only cache fed the
+    // same answer serves the same rows.
+    let cold = AnswerCache::new(CacheOptions::enabled());
+    cold.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+    assert_eq!(recovered, lookup_names(&cold, &dept_query("A")).unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_segment_header_is_skipped_whole() {
+    let dir = tmp_dir("badheader");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("seg-00000042.seg"), b"not a segment at all").unwrap();
+    let cache = AnswerCache::new(tiered_opts(&dir));
+    let stats = cache.warm_stats().expect("warm tier open");
+    assert_eq!(stats.corrupt_segments, 1);
+    assert_eq!(stats.entries, 0);
+    // The tier still works for fresh traffic.
+    cache.insert(sym("whois"), &dept_query("A"), &extract_n(), &n_answer(1));
+    assert!(lookup_names(&cache, &dept_query("A")).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_drops_lowest_value_past_budget() {
+    let dir = tmp_dir("compact");
+    let cache = AnswerCache::new(CacheOptions {
+        // Tiny budget: inserting a handful of answers overflows it and
+        // triggers auto-compaction on the write path.
+        warm_bytes: 600,
+        ..tiered_opts(&dir)
+    });
+    for i in 0..6 {
+        cache.insert(
+            sym("whois"),
+            &dept_query(&format!("D{i}")),
+            &extract_n(),
+            &n_answer(2),
+        );
+    }
+    // The last one is the hitter: promote its value above the rest.
+    assert!(lookup_names(&cache, &dept_query("D5")).is_some());
+    cache.insert(sym("whois"), &dept_query("D6"), &extract_n(), &n_answer(2));
+    let c = cache.counters();
+    assert!(c.compactions >= 1, "budget overflow must compact: {c:?}");
+    let stats = cache.warm_stats().unwrap();
+    assert!(
+        stats.disk_bytes <= 600 + 200,
+        "compaction must shrink the log near the budget, got {stats:?}"
+    );
+    assert!(stats.entries < 7, "the lowest-value entries were dropped");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- byte-accounting property test -----------------------------------
+
+/// The `bytes_cached` gauge must equal the sum of hot-resident entry
+/// sizes after every operation — inserts, replacements, hits with
+/// promotion/demotion, scoped and unscoped invalidation, TTL expiry —
+/// with and without the warm tier. Deterministic LCG, no dependencies.
+#[test]
+fn byte_gauge_tracks_resident_entries_exactly() {
+    let mut seed: u64 = 0x243F_6A88_85A3_08D3;
+    let mut rnd = move |bound: usize| {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 33) as usize) % bound
+    };
+    for tiered in [false, true] {
+        let dir = tmp_dir(if tiered { "gauge-tiered" } else { "gauge-mem" });
+        let clock = Arc::new(VirtualClock::new());
+        let cache = AnswerCache::new(CacheOptions {
+            enabled: true,
+            capacity: 3,
+            ttl_ms: Some(500),
+            clock: Some(clock.clone()),
+            cache_dir: tiered.then(|| dir.clone()),
+            warm_bytes: 4096,
+            ..Default::default()
+        });
+        let queries: Vec<Rule> = (0..8).map(|i| dept_query(&format!("D{i}"))).collect();
+        for step in 0..400 {
+            let op = rnd(100);
+            if op < 50 {
+                let i = rnd(8);
+                cache.insert(
+                    sym("whois"),
+                    &queries[i],
+                    &extract_n(),
+                    &n_answer(1 + rnd(3)),
+                );
+            } else if op < 80 {
+                let _ = lookup_names(&cache, &queries[rnd(8)]);
+            } else if op < 88 {
+                let i = rnd(8);
+                cache.apply_delta(&SourceDelta::keys(
+                    sym("whois"),
+                    [canonical_key(&queries[i])],
+                ));
+            } else if op < 94 {
+                cache.invalidate_source(sym("whois"));
+            } else {
+                clock.advance(rnd(700) as u64);
+            }
+            assert_eq!(
+                cache.counters().bytes_cached,
+                cache.hot_resident_bytes(),
+                "gauge drifted at step {step} (tiered={tiered})"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

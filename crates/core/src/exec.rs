@@ -1219,7 +1219,7 @@ pub fn execute(
     // Cache counters are process-wide and monotone; snapshot now so the
     // trace can report this query's eviction *delta* rather than the
     // cache's lifetime total (a resident mediator serves many queries).
-    let evictions_before = opts.cache.as_ref().map(|c| c.counters().evictions);
+    let counters_before = opts.cache.as_ref().map(|c| c.counters());
     let local_memo;
     let param_memo: &ParamMemo = match &opts.param_memo {
         Some(m) => m.as_ref(),
@@ -1508,14 +1508,16 @@ pub fn execute(
     trace.peak_bytes_resident = peak_bytes;
     if let Some(cache) = &opts.cache {
         let c = cache.counters();
-        // `bytes_cached` is a process-wide gauge (bytes the shared cache
-        // holds right now); `cache_evictions` is this query's delta, so
-        // per-request traces do not re-report lifetime totals under a
-        // resident mediator.
+        // `bytes_cached`/`warm_bytes_cached` are process-wide gauges
+        // (bytes the shared cache holds right now); the eviction and
+        // tier counters are this query's deltas, so per-request traces
+        // do not re-report lifetime totals under a resident mediator.
+        let before = counters_before.unwrap_or(c);
         trace.bytes_cached = c.bytes_cached as u64;
-        trace.cache_evictions = c
-            .evictions
-            .saturating_sub(evictions_before.unwrap_or(c.evictions));
+        trace.warm_bytes_cached = c.warm_bytes as u64;
+        trace.cache_evictions = c.evictions.saturating_sub(before.evictions);
+        trace.cache_warm_hits = c.warm_hits.saturating_sub(before.warm_hits);
+        trace.cache_demotions = c.demotions.saturating_sub(before.demotions);
     }
 
     Ok(ExecOutcome {

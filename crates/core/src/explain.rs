@@ -188,6 +188,22 @@ pub fn render_analyze(plan: &PhysicalPlan, outcome: &ExecOutcome) -> String {
             trace.bytes_cached, trace.cache_evictions
         );
     }
+    // Warm-tier lines only appear when a disk tier is configured and
+    // actually did something — memory-only runs stay byte-identical.
+    if trace.cache_warm_hits > 0 || trace.cache_demotions > 0 {
+        let _ = writeln!(
+            out,
+            "cache warm tier: {} disk hits, {} demotions (this query)",
+            trace.cache_warm_hits, trace.cache_demotions
+        );
+    }
+    if trace.warm_bytes_cached > 0 {
+        let _ = writeln!(
+            out,
+            "cache warm tier: {} bytes live on disk (process-wide)",
+            trace.warm_bytes_cached
+        );
+    }
     if !trace.retries.is_empty() {
         let retries: Vec<String> = trace
             .retries
@@ -560,6 +576,62 @@ mod tests {
         assert!(report.contains("cache hits: "), "{report}");
         assert!(report.contains("bytes held"), "{report}");
         assert_eq!(warm.trace.total_source_calls(), 0, "{report}");
+        // Memory-only cache: the warm-tier lines must not appear.
+        assert!(!report.contains("warm tier"), "{report}");
+    }
+
+    #[test]
+    fn analyze_renders_warm_tier_counters_when_tiered() {
+        use crate::cache::{AnswerCache, CacheOptions};
+        let dir =
+            std::env::temp_dir().join(format!("medmaker-explain-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let med = MediatorSpec::parse("med", MS1).unwrap();
+        let q = msl::parse_query("S :- S:<cs_person {<year 3>}>@med").unwrap();
+        let program = expand(&q, &med, UnifyMode::Minimal).unwrap();
+        let registry = standard_registry();
+        let stats = StatsCache::new();
+        let mut srcs: HashMap<oem::Symbol, Arc<dyn Wrapper>> = HashMap::new();
+        srcs.insert(sym("whois"), Arc::new(whois_wrapper()));
+        srcs.insert(sym("cs"), Arc::new(cs_wrapper()));
+        let options = PlannerOptions::default();
+        let ctx = PlanContext {
+            sources: &srcs,
+            registry: &registry,
+            stats: &stats,
+            options: &options,
+            analysis: None,
+        };
+        let physical = plan(&program, &ctx).unwrap();
+        let tiered = CacheOptions {
+            enabled: true,
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        // Warm the disk tier, then simulate a restart with a fresh cache
+        // over the same directory: hits come off disk and the analyze
+        // report says so.
+        {
+            let cache = Arc::new(AnswerCache::new(tiered.clone()));
+            let opts = ExecOptions {
+                cache: Some(cache),
+                ..Default::default()
+            };
+            execute(&physical, &srcs, &registry, &opts).unwrap();
+        }
+        let cache = Arc::new(AnswerCache::new(tiered));
+        let opts = ExecOptions {
+            cache: Some(cache),
+            ..Default::default()
+        };
+        let warm = execute(&physical, &srcs, &registry, &opts).unwrap();
+        let report = render_analyze(&physical, &warm);
+        assert!(report.contains("cache warm tier: "), "{report}");
+        assert!(report.contains("disk hits"), "{report}");
+        assert!(report.contains("bytes live on disk"), "{report}");
+        assert!(warm.trace.cache_warm_hits > 0, "{report}");
+        assert_eq!(warm.trace.total_source_calls(), 0, "{report}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

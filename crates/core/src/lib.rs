@@ -58,7 +58,10 @@ pub mod table;
 pub mod veao;
 
 pub use analysis::{AnswerMatrix, SourceInfo, SpecAnalysis};
-pub use cache::{AnswerCache, CacheCounters, CacheHit, CacheOptions};
+pub use cache::{
+    AnswerCache, CacheCounters, CacheHit, CacheOptions, EvictionPolicy, SourceDelta, WarmStats,
+    WarmTier,
+};
 pub use error::{MedError, Result};
 pub use externals::ExternalRegistry;
 pub use mediator::{Mediator, MediatorOptions, QueryLimits};

@@ -5,7 +5,7 @@
 //! serve as sources of other mediators — stacking exactly as in the
 //! TSIMMIS architecture of Figure 1.1.
 
-use crate::cache::{AnswerCache, CacheCounters, CacheOptions, ParamMemo};
+use crate::cache::{AnswerCache, CacheCounters, CacheOptions, ParamMemo, SourceDelta};
 use crate::error::{MedError, Result};
 use crate::exec::{execute, ExecOptions, ExecOutcome};
 use crate::externals::ExternalRegistry;
@@ -139,7 +139,7 @@ pub struct Mediator {
     sources: HashMap<Symbol, Arc<dyn Wrapper>>,
     registry: ExternalRegistry,
     options: MediatorOptions,
-    stats: SharedStats,
+    stats: Arc<SharedStats>,
     caps: Capabilities,
     lint_warnings: Vec<msl::Diagnostic>,
     /// Whole-spec analysis result ([`crate::analysis`]), computed at
@@ -253,14 +253,18 @@ impl Mediator {
         // pushed through view expansion soundly — see veao docs).
         let mut caps = Capabilities::full();
         caps.wildcards = false;
-        let cache = Arc::new(AnswerCache::new(options.cache.clone()));
+        let stats = Arc::new(SharedStats::new(stats));
+        let cache = Arc::new(AnswerCache::with_stats(
+            options.cache.clone(),
+            Some(Arc::clone(&stats)),
+        ));
         let param_memo = Arc::new(ParamMemo::shared(&options.cache));
         Ok(Mediator {
             spec,
             sources: map,
             registry,
             options,
-            stats: SharedStats::new(stats),
+            stats,
             caps,
             lint_warnings,
             analysis,
@@ -281,7 +285,10 @@ impl Mediator {
     /// parameterized-call memo are rebuilt from the new
     /// [`MediatorOptions::cache`] configuration, starting cold.
     pub fn with_options(mut self, options: MediatorOptions) -> Mediator {
-        self.cache = Arc::new(AnswerCache::new(options.cache.clone()));
+        self.cache = Arc::new(AnswerCache::with_stats(
+            options.cache.clone(),
+            Some(Arc::clone(&self.stats)),
+        ));
         self.param_memo = Arc::new(ParamMemo::shared(&options.cache));
         if !options.analysis {
             // The analysis can only be *disabled* after construction: it
@@ -301,11 +308,27 @@ impl Mediator {
 
     /// Drop every cached source answer for `source` — the explicit
     /// invalidation hook for when a source is known to have changed.
-    /// Clears both the answer cache and the cross-query parameterized
-    /// memo, so the next query pays fresh round-trips to that source.
-    pub fn invalidate_source(&self, source: Symbol) {
-        self.cache.invalidate_source(source);
+    /// Clears both the answer cache (hot and warm tiers) and the
+    /// cross-query parameterized memo, so the next query pays fresh
+    /// round-trips to that source. Returns the number of distinct
+    /// cached answers dropped.
+    pub fn invalidate_source(&self, source: Symbol) -> usize {
+        let n = self.cache.invalidate_source(source);
         self.param_memo.invalidate_source(source);
+        n
+    }
+
+    /// Apply a scoped change report from a wrapper: only cache entries
+    /// whose query could have observed the changed objects are dropped
+    /// (see [`SourceDelta`] for the matching rules; an unscoped delta is
+    /// whole-source invalidation). The parameterized-call memo has no
+    /// per-key scoping — its keys are parameter tuples, not canonical
+    /// queries — so any delta purges it whole-source. Returns the number
+    /// of distinct cached answers dropped.
+    pub fn apply_delta(&self, delta: &SourceDelta) -> usize {
+        let n = self.cache.apply_delta(delta);
+        self.param_memo.invalidate_source(delta.source);
+        n
     }
 
     /// Snapshot of the answer cache's lifetime counters (hits, misses,

@@ -234,6 +234,18 @@ pub struct QueryTrace {
     /// requests gives the cache's lifetime eviction count, so a shared
     /// mediator's metrics never double-count.
     pub cache_evictions: usize,
+    /// Cache hits served from the warm (disk) tier during this query — a
+    /// subset of the hit counts above, and a per-request delta like
+    /// `cache_evictions`. 0 without a `--cache-dir`.
+    pub cache_warm_hits: usize,
+    /// Hot-tier entries demoted to warm-only residence during this query
+    /// (a per-request delta). With no warm tier configured, overflow is
+    /// an eviction instead and this stays 0.
+    pub cache_demotions: usize,
+    /// Live bytes indexed by the warm (disk) tier after this query — a
+    /// **process-wide gauge** like `bytes_cached`, not attributable to
+    /// this query. 0 without a `--cache-dir`.
+    pub warm_bytes_cached: u64,
     /// Top-level result objects after construction and result dedup.
     pub result_count: usize,
     /// Top-level objects removed by final structural dedup across rules.
@@ -546,6 +558,9 @@ impl serde::Serialize for QueryTrace {
             ("cache_misses", counter_map_to_value(&self.cache_misses)),
             ("bytes_cached", self.bytes_cached.to_value()),
             ("cache_evictions", self.cache_evictions.to_value()),
+            ("cache_warm_hits", self.cache_warm_hits.to_value()),
+            ("cache_demotions", self.cache_demotions.to_value()),
+            ("warm_bytes_cached", self.warm_bytes_cached.to_value()),
             ("result_count", self.result_count.to_value()),
             ("result_dedup_removed", self.result_dedup_removed.to_value()),
             ("wall_ns", self.wall_ns.to_value()),
@@ -581,6 +596,10 @@ impl serde::Deserialize for QueryTrace {
                 None => 0,
             },
             cache_evictions: optional_count(v, "cache_evictions")?,
+            // Absent in traces exported before the tiered cache.
+            cache_warm_hits: optional_count(v, "cache_warm_hits")?,
+            cache_demotions: optional_count(v, "cache_demotions")?,
+            warm_bytes_cached: optional_u64(v, "warm_bytes_cached")?,
             result_count: serde::field(v, "result_count")?,
             result_dedup_removed: serde::field(v, "result_dedup_removed")?,
             wall_ns: serde::field(v, "wall_ns")?,
@@ -655,6 +674,9 @@ mod tests {
             cache_misses: [(sym("whois"), 1), (sym("cs"), 1)].into_iter().collect(),
             bytes_cached: 512,
             cache_evictions: 1,
+            cache_warm_hits: 1,
+            cache_demotions: 1,
+            warm_bytes_cached: 256,
             result_count: 1,
             result_dedup_removed: 1,
             wall_ns: 99_000,
@@ -702,6 +724,9 @@ mod tests {
             "\"cache_misses\"",
             "\"bytes_cached\"",
             "\"cache_evictions\"",
+            "\"cache_warm_hits\"",
+            "\"cache_demotions\"",
+            "\"warm_bytes_cached\"",
             "\"first_rows_ns\"",
             "\"peak_batch_rows\"",
             "\"peak_bytes_resident\"",
@@ -829,6 +854,28 @@ mod tests {
         assert_eq!(parsed, trace);
         assert_eq!(parsed.total_cache_hits(), 0);
         assert_eq!(parsed.total_cache_misses(), 0);
+    }
+
+    #[test]
+    fn old_traces_without_tier_fields_still_parse() {
+        // A trace exported before the tiered cache lacks the warm-tier
+        // deltas and gauge; they must default to zero.
+        let mut trace = sample();
+        trace.cache_warm_hits = 0;
+        trace.cache_demotions = 0;
+        trace.warm_bytes_cached = 0;
+        let mut v = trace.to_value();
+        if let serde::Value::Object(pairs) = &mut v {
+            pairs.retain(|(k, _)| {
+                !matches!(
+                    &**k,
+                    "cache_warm_hits" | "cache_demotions" | "warm_bytes_cached"
+                )
+            });
+        }
+        let parsed = QueryTrace::from_value(&v).unwrap();
+        assert_eq!(parsed, trace);
+        assert_eq!(parsed.cache_warm_hits, 0);
     }
 
     #[test]

@@ -158,6 +158,19 @@ impl StatsCache {
         (latency * attempts * (1.0 - hit)).max(MIN_CALL_MS)
     }
 
+    /// The answer-cache's value-score inputs for `source`:
+    /// `(unit_cost_ms, hit_seed)`. The unit cost is the observed per-call
+    /// latency EWMA (default when unmeasured), the hit seed is the
+    /// source's cache hit-rate EWMA clamped away from zero so a cold
+    /// entry still has some value.
+    pub fn value_inputs(&self, source: Symbol) -> (f64, f64) {
+        let rt = self.runtime(source);
+        (
+            rt.latency_ms.unwrap_or(DEFAULT_LATENCY_MS).max(MIN_CALL_MS),
+            rt.hit_rate.unwrap_or(0.25).clamp(0.05, 1.0),
+        )
+    }
+
     /// Estimated number of top-level objects matching a bare label at a
     /// source.
     pub fn base_count(&self, source: Symbol, label: Option<Symbol>) -> f64 {

@@ -315,6 +315,27 @@ fn handle_http(
                 retry,
             )
         }
+        ("POST", "/invalidate") => {
+            let delta = match parse_invalidate_body(&request.body) {
+                Ok(d) => d,
+                Err(e) => {
+                    let body = format!("{{\"error\":{}}}\n", json_str(&e));
+                    return http::write_response(
+                        writer,
+                        400,
+                        "application/json",
+                        body.as_bytes(),
+                        &[],
+                    );
+                }
+            };
+            let n = service.invalidate(&delta);
+            let body = format!(
+                "{{\"source\":{},\"invalidated\":{n}}}\n",
+                json_str(&delta.source.as_str())
+            );
+            http::write_response(writer, 200, "application/json", body.as_bytes(), &[])
+        }
         ("POST" | "GET", _) => http::write_response(writer, 404, "text/plain", b"not found\n", &[]),
         _ => http::write_response(writer, 405, "text/plain", b"method not allowed\n", &[]),
     }
@@ -350,6 +371,40 @@ fn parse_query_body(body: &[u8]) -> Result<(String, QueryLimits), String> {
         },
     };
     Ok((query, limits))
+}
+
+/// Parse the `POST /invalidate` JSON body:
+/// `{"source": "...", "labels"?: ["l", ...], "keys"?: ["k", ...]}`.
+/// No labels and no keys means whole-source invalidation.
+fn parse_invalidate_body(body: &[u8]) -> Result<medmaker::SourceDelta, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let v: serde::Value =
+        serde_json::from_str(text).map_err(|e| format!("body is not JSON: {e}"))?;
+    let source = v
+        .get("source")
+        .and_then(|s| s.as_str())
+        .ok_or("missing string field 'source'")?;
+    let strings = |field: &str| -> Result<Vec<String>, String> {
+        match v.get(field) {
+            None | Some(serde::Value::Null) => Ok(Vec::new()),
+            Some(serde::Value::Array(items)) => items
+                .iter()
+                .map(|i| {
+                    i.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("field '{field}' must hold strings"))
+                })
+                .collect(),
+            Some(_) => Err(format!("field '{field}' must be an array of strings")),
+        }
+    };
+    let mut delta = medmaker::SourceDelta::whole(oem::Symbol::intern(source));
+    delta.labels = strings("labels")?
+        .into_iter()
+        .map(|l| oem::Symbol::intern(&l))
+        .collect();
+    delta.keys = strings("keys")?.into_iter().collect();
+    Ok(delta)
 }
 
 /// The JSON document for one reply (the HTTP response body).
@@ -470,6 +525,85 @@ mod tests {
         reader.read_line(&mut err).unwrap();
         assert!(err.starts_with("ERR "), "{err}");
         h.shutdown();
+    }
+
+    #[test]
+    fn invalidate_endpoint_purges_cache_and_param_memo_over_live_socket() {
+        // A resident mediator with the cache on: the first query pays
+        // round-trips and fills both the answer cache and the bind-join
+        // param memo; `POST /invalidate` must flush both so the next
+        // query re-fetches.
+        let med = Mediator::new(
+            "med",
+            MS1,
+            vec![Arc::new(whois_wrapper()), Arc::new(cs_wrapper())],
+            medmaker::externals::standard_registry(),
+        )
+        .unwrap()
+        .with_options(medmaker::MediatorOptions {
+            cache: medmaker::CacheOptions::enabled(),
+            ..Default::default()
+        });
+        let h = Server::start(Arc::new(med), ServerOptions::default()).unwrap();
+        let body = r#"{"query": "S :- S:<cs_person {<year 3>}>@med"}"#;
+        let query_req = format!(
+            "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let res = http_roundtrip(h.addr(), &query_req);
+        assert!(res.starts_with("HTTP/1.1 200 OK"), "{res}");
+        let memo_entries = |metrics: &str| -> i64 {
+            let json = metrics.split("\r\n\r\n").nth(1).expect("body");
+            let v: serde::Value = serde_json::from_str(json.trim()).unwrap();
+            let med = v.get("mediator").expect("mediator section");
+            med.get("param_memo_entries").unwrap().as_i64().unwrap()
+        };
+        let metrics = http_roundtrip(h.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        let before = memo_entries(&metrics);
+        assert!(before > 0, "bind joins must populate the memo: {metrics}");
+        // Whole-source invalidation of the bind-join target.
+        let inv = r#"{"source": "whois"}"#;
+        let inv_req = format!(
+            "POST /invalidate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{inv}",
+            inv.len()
+        );
+        let res = http_roundtrip(h.addr(), &inv_req);
+        assert!(res.starts_with("HTTP/1.1 200 OK"), "{res}");
+        assert!(res.contains("\"invalidated\":"), "{res}");
+        let metrics = http_roundtrip(h.addr(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            memo_entries(&metrics) < before,
+            "invalidation must purge the source's memo entries: {metrics}"
+        );
+        assert!(metrics.contains("\"invalidations\": 1"), "{metrics}");
+        // The service still answers after invalidation (re-fetching).
+        let res = http_roundtrip(h.addr(), &query_req);
+        assert!(res.starts_with("HTTP/1.1 200 OK"), "{res}");
+        // A scoped delta that names nothing cached: 0 invalidated.
+        let inv = r#"{"source": "whois", "labels": ["no_such_label"], "keys": []}"#;
+        let inv_req = format!(
+            "POST /invalidate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{inv}",
+            inv.len()
+        );
+        let res = http_roundtrip(h.addr(), &inv_req);
+        assert!(res.starts_with("HTTP/1.1 200 OK"), "{res}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn invalidate_body_parses_scopes_and_rejects_garbage() {
+        let d = parse_invalidate_body(br#"{"source": "whois"}"#).unwrap();
+        assert!(d.is_unscoped());
+        assert_eq!(d.source.as_str(), "whois");
+        let d =
+            parse_invalidate_body(br#"{"source": "whois", "labels": ["dept"], "keys": ["K1"]}"#)
+                .unwrap();
+        assert!(!d.is_unscoped());
+        assert_eq!(d.labels.len(), 1);
+        assert_eq!(d.keys.len(), 1);
+        assert!(parse_invalidate_body(b"{}").is_err());
+        assert!(parse_invalidate_body(br#"{"source": "s", "labels": [1]}"#).is_err());
+        assert!(parse_invalidate_body(b"not json").is_err());
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct ServerMetrics {
     containment_hits: AtomicU64,
     retries: AtomicU64,
     cache_evictions: AtomicU64,
+    cache_warm_hits: AtomicU64,
+    cache_demotions: AtomicU64,
+    invalidations: AtomicU64,
+    entries_invalidated: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -87,6 +91,18 @@ impl ServerMetrics {
         );
         self.cache_evictions
             .fetch_add(trace.cache_evictions as u64, Ordering::Relaxed);
+        self.cache_warm_hits
+            .fetch_add(trace.cache_warm_hits as u64, Ordering::Relaxed);
+        self.cache_demotions
+            .fetch_add(trace.cache_demotions as u64, Ordering::Relaxed);
+    }
+
+    /// Fold one `POST /invalidate` call that dropped `entries` cached
+    /// answers.
+    pub fn record_invalidation(&self, entries: usize) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.entries_invalidated
+            .fetch_add(entries as u64, Ordering::Relaxed);
     }
 
     /// Executions run so far (excludes coalesced followers and sheds).
@@ -130,6 +146,13 @@ impl ServerMetrics {
                     ("containment_hits".to_string(), n(&self.containment_hits)),
                     ("retries".to_string(), n(&self.retries)),
                     ("cache_evictions".to_string(), n(&self.cache_evictions)),
+                    ("cache_warm_hits".to_string(), n(&self.cache_warm_hits)),
+                    ("cache_demotions".to_string(), n(&self.cache_demotions)),
+                    ("invalidations".to_string(), n(&self.invalidations)),
+                    (
+                        "entries_invalidated".to_string(),
+                        n(&self.entries_invalidated),
+                    ),
                 ]),
             ),
             (
@@ -150,6 +173,30 @@ impl ServerMetrics {
                     (
                         "cache_bytes".to_string(),
                         serde::Value::Int(cache.bytes_cached as i64),
+                    ),
+                    (
+                        "cache_warm_hits".to_string(),
+                        serde::Value::Int(cache.warm_hits as i64),
+                    ),
+                    (
+                        "cache_warm_entries".to_string(),
+                        serde::Value::Int(cache.warm_entries as i64),
+                    ),
+                    (
+                        "cache_warm_bytes".to_string(),
+                        serde::Value::Int(cache.warm_bytes as i64),
+                    ),
+                    (
+                        "cache_demotions".to_string(),
+                        serde::Value::Int(cache.demotions as i64),
+                    ),
+                    (
+                        "cache_promotions".to_string(),
+                        serde::Value::Int(cache.promotions as i64),
+                    ),
+                    (
+                        "cache_compactions".to_string(),
+                        serde::Value::Int(cache.compactions as i64),
                     ),
                     (
                         "stats_observations".to_string(),

@@ -245,6 +245,16 @@ impl QueryService {
         self.metrics.snapshot(&self.mediator, self.uptime_ms())
     }
 
+    /// Apply a change report against the resident mediator's caches (the
+    /// `POST /invalidate` backend): drops matching answer-cache entries
+    /// in both tiers and purges the source's parameterized-call memo.
+    /// Returns the number of distinct cached answers dropped.
+    pub fn invalidate(&self, delta: &medmaker::SourceDelta) -> usize {
+        let n = self.mediator.apply_delta(delta);
+        self.metrics.record_invalidation(n);
+        n
+    }
+
     /// Serve one query: parse, coalesce-or-lead, admit, execute, render.
     /// Never panics and never blocks longer than the execution it joins.
     pub fn run(&self, query_text: &str, limits: &QueryLimits) -> QueryReply {

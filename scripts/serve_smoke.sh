@@ -9,12 +9,13 @@ set -euo pipefail
 
 BIN="${MEDMAKER_BIN:-target/debug/medmaker}"
 LOG="$(mktemp)"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+WARM="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$LOG"; rm -rf "$WARM"' EXIT
 
 "$BIN" serve --spec demo/med.msl \
   --oem whois=demo/whois.oem \
   --csv cs=demo/employee.csv --csv cs=demo/student.csv \
-  --addr 127.0.0.1:0 --workers 2 --queue 8 --cache >"$LOG" &
+  --addr 127.0.0.1:0 --workers 2 --queue 8 --cache --cache-dir "$WARM" >"$LOG" &
 SERVER_PID=$!
 
 # The daemon prints "medmaker serve: listening on HOST:PORT" once bound;
@@ -67,6 +68,14 @@ RES="$(http 'GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n')"
 echo "$RES" | grep -q '"queries_total": 2' || fail "/metrics queries_total != 2" "$RES"
 echo "$RES" | grep -q '"queries_ok": 2' || fail "/metrics queries_ok != 2" "$RES"
 
+# Delta-driven invalidation: the CLI client POSTs /invalidate. It is not
+# a query, so queries_total above stays at 2; the invalidation counters
+# move instead.
+RES="$("$BIN" invalidate --addr "$HOST:$PORT" --source whois)"
+echo "$RES" | grep -q '"invalidated"' || fail "invalidate reply" "$RES"
+RES="$(http 'GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n')"
+echo "$RES" | grep -q '"invalidations": 1' || fail "/metrics invalidations != 1" "$RES"
+
 # Graceful shutdown: SIGTERM must drain and exit 0 promptly.
 kill -TERM "$SERVER_PID"
 for _ in $(seq 1 100); do
@@ -81,5 +90,18 @@ fi
 wait "$SERVER_PID" && CODE=0 || CODE=$?
 [ "$CODE" -eq 0 ] || { echo "FAIL: server exited $CODE after SIGTERM"; cat "$LOG"; exit 1; }
 grep -q "shutting down" "$LOG" || { echo "FAIL: no shutdown notice"; cat "$LOG"; exit 1; }
+
+# Offline warm-tier maintenance: the daemon's cached answers survived it
+# on disk. The cs entry is still live (only whois was invalidated);
+# compact rewrites it, clear empties the tier.
+RES="$("$BIN" cache stats --cache-dir "$WARM")"
+echo "$RES" | grep -q '"entries":' || fail "cache stats shape" "$RES"
+echo "$RES" | grep -q '"entries":0,' && fail "warm tier empty after daemon exit" "$RES"
+RES="$("$BIN" cache compact --cache-dir "$WARM")"
+echo "$RES" | grep -q '"kept":' || fail "cache compact shape" "$RES"
+RES="$("$BIN" cache clear --cache-dir "$WARM")"
+echo "$RES" | grep -q '"cleared_entries":' || fail "cache clear shape" "$RES"
+RES="$("$BIN" cache stats --cache-dir "$WARM")"
+echo "$RES" | grep -q '"entries":0,' || fail "cache clear left entries" "$RES"
 
 echo "serve smoke: OK"
